@@ -1,0 +1,157 @@
+//! Angle arithmetic on the unit circle.
+//!
+//! All functions take radians. Angles are conventionally wrapped to
+//! `[0, 2π)` and signed differences to `(−π, π]`.
+//!
+//! ```
+//! use dirstats::angles;
+//! use std::f64::consts::PI;
+//!
+//! // 350° and 10° are 20° apart, not 340°.
+//! let a = 350_f64.to_radians();
+//! let b = 10_f64.to_radians();
+//! assert!((angles::angular_distance(a, b) - 20_f64.to_radians()).abs() < 1e-12);
+//!
+//! // The paper's circular distance ρ is 0 for equal angles, 1 for opposite.
+//! assert!(angles::circular_distance(0.0, PI) > 0.999);
+//! ```
+
+use crate::TAU;
+
+/// Wraps an angle to `[0, 2π)`.
+#[must_use]
+pub fn wrap(angle: f64) -> f64 {
+    let w = angle.rem_euclid(TAU);
+    // rem_euclid can return TAU itself for tiny negative inputs.
+    if w >= TAU {
+        0.0
+    } else {
+        w
+    }
+}
+
+/// The signed difference `α − β` wrapped to `(−π, π]`.
+#[must_use]
+pub fn signed_difference(alpha: f64, beta: f64) -> f64 {
+    let d = wrap(alpha - beta);
+    if d > std::f64::consts::PI {
+        d - TAU
+    } else {
+        d
+    }
+}
+
+/// The unsigned angular (arc) distance in `[0, π]`.
+#[must_use]
+pub fn angular_distance(alpha: f64, beta: f64) -> f64 {
+    signed_difference(alpha, beta).abs()
+}
+
+/// The paper's circular distance `ρ(α, β) = (1 − cos(α − β))/2 ∈ [0, 1]`
+/// (§5, after Lund): `0` for coincident angles, `1` for diametrically
+/// opposite ones.
+#[must_use]
+pub fn circular_distance(alpha: f64, beta: f64) -> f64 {
+    0.5 * (1.0 - (alpha - beta).cos())
+}
+
+/// Maps a value from a periodic domain `[0, period)` to an angle in
+/// `[0, 2π)` — e.g. hour-of-day with `period = 24`, day-of-year with
+/// `period = 365.25`.
+///
+/// # Panics
+///
+/// Panics if `period` is not finite and positive.
+#[must_use]
+pub fn to_angle(value: f64, period: f64) -> f64 {
+    assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+    wrap(value / period * TAU)
+}
+
+/// Inverse of [`to_angle`]: maps an angle back to `[0, period)`.
+///
+/// # Panics
+///
+/// Panics if `period` is not finite and positive.
+#[must_use]
+pub fn from_angle(angle: f64, period: f64) -> f64 {
+    assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+    wrap(angle) / TAU * period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn wrap_basic_cases() {
+        assert_eq!(wrap(0.0), 0.0);
+        assert!((wrap(TAU + 0.5) - 0.5).abs() < 1e-12);
+        assert!((wrap(-0.5) - (TAU - 0.5)).abs() < 1e-12);
+        assert!((wrap(-TAU)).abs() < 1e-12);
+        assert!(wrap(-1e-18) < TAU);
+    }
+
+    #[test]
+    fn signed_difference_is_antisymmetric() {
+        let a = 0.3;
+        let b = 5.9;
+        assert!((signed_difference(a, b) + signed_difference(b, a)).abs() < 1e-12);
+        // Wrap-around: 0.1 rad and 2π − 0.1 rad are 0.2 apart.
+        let d = signed_difference(0.1, TAU - 0.1);
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_difference_half_turn_is_pi_not_minus_pi() {
+        assert!((signed_difference(PI, 0.0) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_distance_endpoints() {
+        assert_eq!(circular_distance(1.0, 1.0), 0.0);
+        assert!((circular_distance(0.0, PI) - 1.0).abs() < 1e-12);
+        assert!((circular_distance(0.0, PI / 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_from_angle_round_trip() {
+        for hour in [0.0, 6.0, 12.0, 23.5] {
+            let angle = to_angle(hour, 24.0);
+            assert!((from_angle(angle, 24.0) - hour).abs() < 1e-9);
+        }
+        // Hour 24 wraps to hour 0.
+        assert!(from_angle(to_angle(24.0, 24.0), 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn to_angle_rejects_zero_period() {
+        let _ = to_angle(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_in_range(x in -1e6f64..1e6) {
+            let w = wrap(x);
+            prop_assert!((0.0..TAU).contains(&w));
+        }
+
+        #[test]
+        fn prop_angular_distance_symmetric_and_bounded(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let d = angular_distance(a, b);
+            prop_assert!((0.0..=PI + 1e-12).contains(&d));
+            prop_assert!((d - angular_distance(b, a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_circular_distance_matches_arc(a in 0.0f64..TAU, b in 0.0f64..TAU) {
+            // ρ = (1 − cos θ)/2 = sin²(θ/2) where θ is the arc distance.
+            let arc = angular_distance(a, b);
+            let rho = circular_distance(a, b);
+            prop_assert!((rho - (arc / 2.0).sin().powi(2)).abs() < 1e-9);
+        }
+    }
+}

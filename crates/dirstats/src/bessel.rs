@@ -1,0 +1,120 @@
+//! Modified Bessel functions of the first kind, `I₀` and `I₁`, needed by the
+//! von Mises density. Abramowitz & Stegun polynomial approximations
+//! (9.8.1–9.8.4), accurate to ~1e-7 relative error over the real line.
+//!
+//! ```
+//! use dirstats::bessel;
+//! assert!((bessel::i0(0.0) - 1.0).abs() < 1e-12);
+//! assert!(bessel::i0(3.0) > bessel::i1(3.0));
+//! ```
+
+/// Modified Bessel function of the first kind, order zero.
+#[must_use]
+pub fn i0(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 3.75 {
+        let t = (x / 3.75).powi(2);
+        1.0 + t
+            * (3.515_622_9
+                + t * (3.089_942_4
+                    + t * (1.206_749_2
+                        + t * (0.265_973_2 + t * (0.036_076_8 + t * 0.004_581_3)))))
+    } else {
+        let t = 3.75 / ax;
+        (ax.exp() / ax.sqrt())
+            * (0.398_942_28
+                + t * (0.013_285_92
+                    + t * (0.002_253_19
+                        + t * (-0.001_575_65
+                            + t * (0.009_162_81
+                                + t * (-0.020_577_06
+                                    + t * (0.026_355_37
+                                        + t * (-0.016_476_33 + t * 0.003_923_77))))))))
+    }
+}
+
+/// Modified Bessel function of the first kind, order one.
+#[must_use]
+pub fn i1(x: f64) -> f64 {
+    let ax = x.abs();
+    let result = if ax < 3.75 {
+        let t = (x / 3.75).powi(2);
+        ax * (0.5
+            + t * (0.878_905_94
+                + t * (0.514_988_69
+                    + t * (0.150_849_34
+                        + t * (0.026_587_33 + t * (0.003_015_32 + t * 0.000_324_11))))))
+    } else {
+        let t = 3.75 / ax;
+        let poly = 0.398_942_28
+            + t * (-0.039_880_24
+                + t * (-0.003_620_18
+                    + t * (0.001_638_01
+                        + t * (-0.010_315_55
+                            + t * (0.022_829_67
+                                + t * (-0.028_953_12
+                                    + t * (0.017_876_54 - t * 0.004_200_59)))))));
+        poly * ax.exp() / ax.sqrt()
+    };
+    if x < 0.0 {
+        -result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from tabulated Bessel functions.
+    #[test]
+    fn i0_reference_values() {
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 1.063_483_4),
+            (1.0, 1.266_065_88),
+            (2.0, 2.279_585_3),
+            (5.0, 27.239_871_8),
+            (10.0, 2_815.716_628),
+        ];
+        for (x, want) in cases {
+            let got = i0(x);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 2e-5, "I0({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn i1_reference_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.257_894_3),
+            (1.0, 0.565_159_1),
+            (2.0, 1.590_636_8),
+            (5.0, 24.335_642_2),
+        ];
+        for (x, want) in cases {
+            let got = i1(x);
+            let err = if want == 0.0 { got.abs() } else { (got - want).abs() / want };
+            assert!(err < 2e-5, "I1({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!((i0(-2.5) - i0(2.5)).abs() < 1e-12, "I0 is even");
+        assert!((i1(-2.5) + i1(2.5)).abs() < 1e-12, "I1 is odd");
+    }
+
+    #[test]
+    fn series_recurrence_consistency() {
+        // d/dx I0(x) = I1(x): check with a central difference.
+        for x in [0.3, 1.1, 2.9, 4.2, 8.0] {
+            let h = 1e-6;
+            let numeric = (i0(x + h) - i0(x - h)) / (2.0 * h);
+            let rel = (numeric - i1(x)).abs() / i1(x).max(1e-12);
+            assert!(rel < 1e-3, "x={x}: derivative {numeric} vs I1 {}", i1(x));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Association measures involving circular variables.
+//!
+//! * [`circular_linear`] — Mardia's `R²` between an angle and a real value
+//!   (e.g. hour-of-day vs temperature, the structure the paper's regression
+//!   experiments exploit),
+//! * [`circular_circular`] — the Jammalamadaka–SenGupta correlation
+//!   coefficient between two angles,
+//! * [`pearson`] — the ordinary linear correlation, exposed because the
+//!   circular measures are built from it.
+//!
+//! ```
+//! use dirstats::correlation;
+//!
+//! // A linear variable that is a noiseless cosine of the angle has
+//! // circular–linear R² = 1.
+//! let thetas: Vec<f64> = (0..100).map(|i| i as f64 * 0.0628).collect();
+//! let xs: Vec<f64> = thetas.iter().map(|t| t.cos()).collect();
+//! let r2 = correlation::circular_linear(&thetas, &xs)?;
+//! assert!(r2 > 0.999);
+//! # Ok::<(), dirstats::DirStatsError>(())
+//! ```
+
+use crate::DirStatsError;
+
+/// Pearson's linear correlation coefficient.
+///
+/// # Errors
+///
+/// Returns [`DirStatsError`] if the inputs have different lengths, fewer
+/// than two elements, or either is constant.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, DirStatsError> {
+    check_paired(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(DirStatsError::DegenerateData("constant input in correlation"));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Mardia's circular–linear correlation `R² ∈ [0, 1]` between angles
+/// `theta` (radians) and a linear variable `x`:
+///
+/// `R² = (r_xc² + r_xs² − 2·r_xc·r_xs·r_cs) / (1 − r_cs²)`
+///
+/// where `r_xc = corr(x, cos θ)`, `r_xs = corr(x, sin θ)` and
+/// `r_cs = corr(cos θ, sin θ)`.
+///
+/// # Errors
+///
+/// Returns [`DirStatsError`] if the inputs have different lengths, fewer
+/// than three elements, or are degenerate (constant `x`, or angles
+/// concentrated on a single point).
+pub fn circular_linear(theta: &[f64], x: &[f64]) -> Result<f64, DirStatsError> {
+    if theta.len() != x.len() {
+        return Err(DirStatsError::LengthMismatch { left: theta.len(), right: x.len() });
+    }
+    if theta.len() < 3 {
+        return Err(DirStatsError::NotEnoughSamples { minimum: 3, found: theta.len() });
+    }
+    let cosines: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
+    let sines: Vec<f64> = theta.iter().map(|t| t.sin()).collect();
+    let r_xc = pearson(x, &cosines)?;
+    let r_xs = pearson(x, &sines)?;
+    let r_cs = pearson(&cosines, &sines)?;
+    let denom = 1.0 - r_cs * r_cs;
+    if denom <= f64::EPSILON {
+        return Err(DirStatsError::DegenerateData("cos θ and sin θ are collinear"));
+    }
+    let r2 = (r_xc * r_xc + r_xs * r_xs - 2.0 * r_xc * r_xs * r_cs) / denom;
+    // Clamp tiny numerical excursions outside [0, 1].
+    Ok(r2.clamp(0.0, 1.0))
+}
+
+/// The Jammalamadaka–SenGupta circular–circular correlation in `[−1, 1]`:
+///
+/// `r = Σ sin(αᵢ − ᾱ)·sin(βᵢ − β̄) / sqrt(Σ sin²(αᵢ − ᾱ) · Σ sin²(βᵢ − β̄))`
+///
+/// where `ᾱ, β̄` are the circular means.
+///
+/// # Errors
+///
+/// Returns [`DirStatsError`] if the inputs have different lengths, fewer
+/// than two elements, or either sample is concentrated on a single point.
+pub fn circular_circular(alpha: &[f64], beta: &[f64]) -> Result<f64, DirStatsError> {
+    check_paired(alpha, beta)?;
+    let a_bar = crate::descriptive::circular_mean(alpha)
+        .ok_or(DirStatsError::NotEnoughSamples { minimum: 2, found: 0 })?;
+    let b_bar = crate::descriptive::circular_mean(beta)
+        .ok_or(DirStatsError::NotEnoughSamples { minimum: 2, found: 0 })?;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&a, &b) in alpha.iter().zip(beta) {
+        let sa = (a - a_bar).sin();
+        let sb = (b - b_bar).sin();
+        num += sa * sb;
+        da += sa * sa;
+        db += sb * sb;
+    }
+    // Exact point masses leave only rounding noise in the deviations.
+    let tiny = f64::EPSILON * alpha.len() as f64;
+    if da <= tiny || db <= tiny {
+        return Err(DirStatsError::DegenerateData("angles concentrated on a point"));
+    }
+    Ok(num / (da * db).sqrt())
+}
+
+fn check_paired(x: &[f64], y: &[f64]) -> Result<(), DirStatsError> {
+    if x.len() != y.len() {
+        return Err(DirStatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    if x.len() < 2 {
+        return Err(DirStatsError::NotEnoughSamples { minimum: 2, found: x.len() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Normal, VonMises, TAU};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_degenerate() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn circular_linear_detects_sinusoidal_link() {
+        let mut r = rng();
+        let noise = Normal::new(0.0, 0.2).unwrap();
+        let thetas: Vec<f64> = (0..500).map(|_| r.random::<f64>() * TAU).collect();
+        let xs: Vec<f64> =
+            thetas.iter().map(|t| 3.0 * (t - 1.0).cos() + noise.sample(&mut r)).collect();
+        let r2 = circular_linear(&thetas, &xs).unwrap();
+        assert!(r2 > 0.9, "R² = {r2}");
+    }
+
+    #[test]
+    fn circular_linear_near_zero_for_independent_data() {
+        let mut r = rng();
+        let thetas: Vec<f64> = (0..800).map(|_| r.random::<f64>() * TAU).collect();
+        let xs: Vec<f64> = (0..800).map(|_| r.random::<f64>()).collect();
+        let r2 = circular_linear(&thetas, &xs).unwrap();
+        assert!(r2 < 0.03, "R² = {r2}");
+    }
+
+    #[test]
+    fn circular_linear_invariant_to_rotation() {
+        let mut r = rng();
+        let thetas: Vec<f64> = (0..400).map(|_| r.random::<f64>() * TAU).collect();
+        let xs: Vec<f64> = thetas.iter().map(|t| t.sin() * 2.0 + 1.0).collect();
+        let r2a = circular_linear(&thetas, &xs).unwrap();
+        let shifted: Vec<f64> = thetas.iter().map(|t| crate::angles::wrap(t + 2.1)).collect();
+        let r2b = circular_linear(&shifted, &xs).unwrap();
+        // Same functional relation, rotated reference: R² only changes by
+        // sampling noise in the correlation estimates.
+        assert!(r2a > 0.99 && r2b > 0.99, "r2a={r2a} r2b={r2b}");
+    }
+
+    #[test]
+    fn circular_circular_detects_phase_lock() {
+        let mut r = rng();
+        let vm = VonMises::new(0.0, 1.0).unwrap();
+        let alphas: Vec<f64> = vm.sample_n(600, &mut r);
+        // β = α + 0.5 + small noise: strong positive association.
+        let noise = Normal::new(0.0, 0.1).unwrap();
+        let betas: Vec<f64> =
+            alphas.iter().map(|a| crate::angles::wrap(a + 0.5 + noise.sample(&mut r))).collect();
+        let rho = circular_circular(&alphas, &betas).unwrap();
+        assert!(rho > 0.8, "rho = {rho}");
+    }
+
+    #[test]
+    fn circular_circular_independent_near_zero() {
+        let mut r = rng();
+        let alphas: Vec<f64> = (0..800).map(|_| r.random::<f64>() * TAU).collect();
+        let betas: Vec<f64> = (0..800).map(|_| r.random::<f64>() * TAU).collect();
+        let rho = circular_circular(&alphas, &betas).unwrap();
+        assert!(rho.abs() < 0.1, "rho = {rho}");
+    }
+
+    #[test]
+    fn circular_circular_rejects_degenerate() {
+        assert!(circular_circular(&[1.0, 1.0, 1.0], &[0.1, 0.2, 0.3]).is_err());
+        assert!(circular_circular(&[1.0, 2.0], &[0.1]).is_err());
+    }
+
+    #[test]
+    fn circular_linear_requires_three() {
+        assert!(matches!(
+            circular_linear(&[0.0, 1.0], &[0.0, 1.0]),
+            Err(DirStatsError::NotEnoughSamples { minimum: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Descriptive statistics for samples of angles (radians).
+//!
+//! All estimators are based on the resultant vector
+//! `R = (Σ cos θᵢ, Σ sin θᵢ)`: its direction is the circular mean, and its
+//! normalized length `R̄ = |R|/n ∈ [0, 1]` measures concentration
+//! (1 = all angles coincide, 0 = e.g. perfectly uniform).
+//!
+//! ```
+//! use dirstats::descriptive;
+//!
+//! // Angles clustered around 0 crossing the wrap point.
+//! let angles = [6.1, 6.2, 0.1, 0.2];
+//! let mean = descriptive::circular_mean(&angles).expect("non-empty");
+//! assert!(mean < 0.2 || mean > 6.0, "mean near the wrap point, got {mean}");
+//! ```
+
+use crate::angles::wrap;
+
+/// The mean direction of a sample, in `[0, 2π)`; `None` for an empty sample.
+///
+/// Note the resultant may vanish (e.g. two opposite angles), in which case
+/// the direction is numerically arbitrary; check
+/// [`mean_resultant_length`] when that matters.
+#[must_use]
+pub fn circular_mean(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    Some(wrap(s.atan2(c)))
+}
+
+/// The mean resultant length `R̄ ∈ [0, 1]`; `None` for an empty sample.
+#[must_use]
+pub fn mean_resultant_length(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let n = angles.len() as f64;
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    Some((s * s + c * c).sqrt() / n)
+}
+
+/// The circular variance `V = 1 − R̄ ∈ [0, 1]`; `None` for an empty sample.
+#[must_use]
+pub fn circular_variance(angles: &[f64]) -> Option<f64> {
+    mean_resultant_length(angles).map(|r| 1.0 - r)
+}
+
+/// The circular standard deviation `σ = sqrt(−2 ln R̄)`; `None` for an empty
+/// sample. Unbounded as the sample approaches uniformity (`R̄ → 0` gives
+/// `σ → ∞`).
+#[must_use]
+pub fn circular_std(angles: &[f64]) -> Option<f64> {
+    mean_resultant_length(angles).map(|r| {
+        if r <= 0.0 {
+            f64::INFINITY
+        } else {
+            (-2.0 * r.ln()).sqrt()
+        }
+    })
+}
+
+/// The circular median: the sample angle minimizing the mean arc distance
+/// to all observations (ties resolve to the earliest sample); `None` for an
+/// empty sample.
+///
+/// Robust to outliers where the circular mean is not; O(n²), intended for
+/// descriptive analysis rather than hot loops.
+#[must_use]
+pub fn circular_median(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    angles
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let cost = |phi: f64| -> f64 {
+                angles.iter().map(|&t| crate::angles::angular_distance(phi, t)).sum()
+            };
+            cost(a).partial_cmp(&cost(b)).expect("arc distances are finite")
+        })
+        .map(wrap)
+}
+
+/// Weighted circular mean, in `[0, 2π)`; `None` if inputs are empty, lengths
+/// differ, or the total weight is not positive.
+#[must_use]
+pub fn weighted_circular_mean(angles: &[f64], weights: &[f64]) -> Option<f64> {
+    if angles.is_empty() || angles.len() != weights.len() {
+        return None;
+    }
+    if weights.iter().sum::<f64>() <= 0.0 {
+        return None;
+    }
+    let (s, c) = angles
+        .iter()
+        .zip(weights)
+        .fold((0.0, 0.0), |(s, c), (&a, &w)| (s + w * a.sin(), c + w * a.cos()));
+    Some(wrap(s.atan2(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TAU;
+    use proptest::prelude::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(circular_mean(&[]).is_none());
+        assert!(mean_resultant_length(&[]).is_none());
+        assert!(circular_variance(&[]).is_none());
+        assert!(circular_std(&[]).is_none());
+        assert!(weighted_circular_mean(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn single_angle_is_its_own_mean() {
+        for a in [0.0, 1.0, PI, 6.0] {
+            assert!((circular_mean(&[a]).unwrap() - a).abs() < 1e-12);
+            assert!((mean_resultant_length(&[a]).unwrap() - 1.0).abs() < 1e-12);
+            assert!(circular_variance(&[a]).unwrap() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrap_point_cluster_means_correctly() {
+        // The arithmetic mean of {6.18, 0.1} is ~3.14 (wrong side of the
+        // circle); the circular mean is near 0.
+        let angles = [TAU - 0.1, 0.1];
+        let mean = circular_mean(&angles).unwrap();
+        assert!(mean < 0.01 || mean > TAU - 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn opposite_angles_have_zero_resultant() {
+        let angles = [0.0, PI];
+        assert!(mean_resultant_length(&angles).unwrap() < 1e-12);
+        assert!((circular_variance(&angles).unwrap() - 1.0).abs() < 1e-12);
+        // R̄ underflows to rounding noise; σ = sqrt(−2 ln R̄) is enormous
+        // (or infinite if R̄ reached exactly zero).
+        assert!(circular_std(&angles).unwrap() > 5.0);
+    }
+
+    #[test]
+    fn uniform_grid_is_maximally_dispersed() {
+        let n = 16;
+        let angles: Vec<f64> = (0..n).map(|i| TAU * i as f64 / n as f64).collect();
+        assert!(mean_resultant_length(&angles).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn weighted_mean_follows_heavy_weight() {
+        let angles = [0.5, 3.0];
+        let mean = weighted_circular_mean(&angles, &[100.0, 0.001]).unwrap();
+        assert!((mean - 0.5).abs() < 0.01);
+        // Zero or negative total weight is rejected.
+        assert!(weighted_circular_mean(&angles, &[0.0, 0.0]).is_none());
+        assert!(weighted_circular_mean(&angles, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        // A tight cluster at 0.2 plus one distant (non-antipodal) outlier:
+        // the mean is dragged towards it, the median stays on the cluster.
+        let angles = [0.18, 0.2, 0.22, 0.21, 0.19, 0.2 + 2.5];
+        let median = circular_median(&angles).unwrap();
+        assert!(crate::angles::angular_distance(median, 0.2) < 0.05, "median {median}");
+        let mean = circular_mean(&angles).unwrap();
+        assert!(
+            crate::angles::angular_distance(mean, 0.2) > 0.1,
+            "mean {mean} should be visibly dragged"
+        );
+    }
+
+    #[test]
+    fn median_handles_wrap_cluster() {
+        let angles = [TAU - 0.1, TAU - 0.05, 0.05, 0.1];
+        let median = circular_median(&angles).unwrap();
+        assert!(
+            median < 0.2 || median > TAU - 0.2,
+            "median {median} should sit near the wrap point"
+        );
+        assert!(circular_median(&[]).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        let angles = [0.2, 0.4, 5.9, 0.05];
+        let w = [1.0; 4];
+        let a = circular_mean(&angles).unwrap();
+        let b = weighted_circular_mean(&angles, &w).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_is_rotation_equivariant(
+            shift in 0.0f64..TAU,
+            raw in proptest::collection::vec(0.0f64..0.5, 1..30),
+        ) {
+            // Concentrated samples: rotating all angles rotates the mean.
+            let mean = circular_mean(&raw).unwrap();
+            let shifted: Vec<f64> = raw.iter().map(|a| wrap(a + shift)).collect();
+            let shifted_mean = circular_mean(&shifted).unwrap();
+            let diff = crate::angles::angular_distance(shifted_mean, wrap(mean + shift));
+            prop_assert!(diff < 1e-9, "diff = {}", diff);
+        }
+
+        #[test]
+        fn prop_resultant_in_unit_interval(
+            angles in proptest::collection::vec(0.0f64..TAU, 1..50),
+        ) {
+            let r = mean_resultant_length(&angles).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by directional-statistics constructors and estimators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DirStatsError {
+    /// A distribution parameter was invalid (NaN, infinite or out of range).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An estimator that needs at least `minimum` observations received
+    /// fewer.
+    NotEnoughSamples {
+        /// The minimum number of observations required.
+        minimum: usize,
+        /// The number actually supplied.
+        found: usize,
+    },
+    /// Paired-sample estimators require equally long inputs.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input data is degenerate for the requested estimator (e.g. zero
+    /// variance in a correlation).
+    DegenerateData(&'static str),
+}
+
+impl fmt::Display for DirStatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DirStatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            DirStatsError::NotEnoughSamples { minimum, found } => {
+                write!(f, "estimator needs at least {minimum} samples, found {found}")
+            }
+            DirStatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have different lengths: {left} and {right}")
+            }
+            DirStatsError::DegenerateData(what) => write!(f, "degenerate data: {what}"),
+        }
+    }
+}
+
+impl Error for DirStatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DirStatsError::InvalidParameter { name: "kappa", value: -1.0 };
+        assert!(e.to_string().contains("kappa"));
+        let e = DirStatsError::NotEnoughSamples { minimum: 2, found: 0 };
+        assert!(e.to_string().contains('2'));
+        let e = DirStatsError::LengthMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('4'));
+        assert!(!DirStatsError::DegenerateData("x is constant").to_string().is_empty());
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync>() {}
+        assert_traits::<DirStatsError>();
+    }
+}

@@ -1,0 +1,186 @@
+use std::fmt;
+
+use crate::angles::wrap;
+use crate::{DirStatsError, TAU};
+
+/// A histogram over the circle: `bins` equal arcs of `[0, 2π)`.
+///
+/// Useful for inspecting the angular structure of synthetic datasets and for
+/// quick goodness-of-fit eyeballing in examples.
+///
+/// # Example
+///
+/// ```
+/// use dirstats::CircularHistogram;
+///
+/// let mut hist = CircularHistogram::new(4)?;
+/// hist.extend([0.1, 0.2, 3.2, 6.4]); // 6.4 > 2π wraps into the first quadrant bin
+/// assert_eq!(hist.count(0), 3);
+/// assert_eq!(hist.count(2), 1);
+/// assert_eq!(hist.total(), 4);
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularHistogram {
+    counts: Vec<u64>,
+}
+
+impl CircularHistogram {
+    /// Creates a histogram with `bins` equal arcs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStatsError::InvalidParameter`] if `bins == 0`.
+    pub fn new(bins: usize) -> Result<Self, DirStatsError> {
+        if bins == 0 {
+            return Err(DirStatsError::InvalidParameter { name: "bins", value: 0.0 });
+        }
+        Ok(Self { counts: vec![0; bins] })
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one angle (radians; wrapped automatically).
+    pub fn add(&mut self, angle: f64) {
+        let idx = self.bin_index(angle);
+        self.counts[idx] += 1;
+    }
+
+    /// The bin an angle falls into.
+    #[must_use]
+    pub fn bin_index(&self, angle: f64) -> usize {
+        let w = wrap(angle);
+        ((w / TAU * self.counts.len() as f64) as usize).min(self.counts.len() - 1)
+    }
+
+    /// The count of bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.bins()`.
+    #[must_use]
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// All bin counts in order.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded angles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The central angle of bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.bins()`.
+    #[must_use]
+    pub fn bin_center(&self, bin: usize) -> f64 {
+        assert!(bin < self.counts.len(), "bin {bin} out of range");
+        TAU * (bin as f64 + 0.5) / self.counts.len() as f64
+    }
+
+    /// The empirical density of bin `bin` (count / total / bin width);
+    /// `0.0` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.bins()`.
+    #[must_use]
+    pub fn density(&self, bin: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let width = TAU / self.counts.len() as f64;
+        self.counts[bin] as f64 / total as f64 / width
+    }
+}
+
+impl Extend<f64> for CircularHistogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for a in iter {
+            self.add(a);
+        }
+    }
+}
+
+impl fmt::Display for CircularHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(f, "[{:6.3} rad] {:>6} {bar}", self.bin_center(i), c)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VonMises;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_zero_bins() {
+        assert!(CircularHistogram::new(0).is_err());
+    }
+
+    #[test]
+    fn wraps_negative_angles() {
+        let mut h = CircularHistogram::new(8).unwrap();
+        h.add(-0.1); // wraps to just under 2π → last bin
+        assert_eq!(h.count(7), 1);
+    }
+
+    #[test]
+    fn bin_boundaries() {
+        let h = CircularHistogram::new(4).unwrap();
+        assert_eq!(h.bin_index(0.0), 0);
+        assert_eq!(h.bin_index(TAU / 4.0), 1);
+        assert_eq!(h.bin_index(TAU - 1e-9), 3);
+        assert_eq!(h.bin_index(TAU), 0); // wraps
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut r = StdRng::seed_from_u64(3);
+        let vm = VonMises::new(1.0, 2.0).unwrap();
+        let mut h = CircularHistogram::new(32).unwrap();
+        h.extend(vm.sample_n(5_000, &mut r));
+        let width = TAU / 32.0;
+        let integral: f64 = (0..32).map(|b| h.density(b) * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+        // Mode near μ = 1.0.
+        let mode = (0..32).max_by_key(|&b| h.count(b)).unwrap();
+        let center = h.bin_center(mode);
+        assert!(crate::angles::angular_distance(center, 1.0) < 0.5, "mode at {center}");
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let mut h = CircularHistogram::new(5).unwrap();
+        h.extend([0.1, 0.1, 2.0]);
+        let text = h.to_string();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn empty_density_is_zero() {
+        let h = CircularHistogram::new(3).unwrap();
+        assert_eq!(h.density(0), 0.0);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,160 @@
+use rand::Rng;
+
+use crate::DirStatsError;
+
+/// A univariate normal distribution sampled with the Box–Muller transform.
+///
+/// Implemented here (rather than importing a distributions crate) because
+/// the synthetic dataset generators only need Gaussian and von Mises noise,
+/// keeping the workspace's dependency footprint minimal.
+///
+/// # Example
+///
+/// ```
+/// use dirstats::Normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(12);
+/// let noise = Normal::new(0.0, 2.0)?;
+/// let xs: Vec<f64> = (0..4000).map(|_| noise.sample(&mut rng)).collect();
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!(mean.abs() < 0.15);
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStatsError::InvalidParameter`] if either parameter is
+    /// non-finite or `std_dev < 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DirStatsError> {
+        if !mean.is_finite() {
+            return Err(DirStatsError::InvalidParameter { name: "mean", value: mean });
+        }
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(DirStatsError::InvalidParameter { name: "std_dev", value: std_dev });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The probability density at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is degenerate (`std_dev == 0`).
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        assert!(self.std_dev > 0.0, "density of a degenerate normal is undefined");
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+/// One standard-normal draw via Box–Muller (the cosine branch).
+pub(crate) fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // u1 ∈ (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (crate::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn moments_match() {
+        let mut r = rng();
+        let dist = Normal::new(3.0, 1.5).unwrap();
+        let xs = dist.sample_n(20_000, &mut r);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert!((mean - 3.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 2.25).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn tail_mass_is_gaussian() {
+        // ~31.7% of mass beyond 1σ, ~4.6% beyond 2σ.
+        let mut r = rng();
+        let dist = Normal::standard();
+        let xs = dist.sample_n(50_000, &mut r);
+        let beyond1 = xs.iter().filter(|x| x.abs() > 1.0).count() as f64 / xs.len() as f64;
+        let beyond2 = xs.iter().filter(|x| x.abs() > 2.0).count() as f64 / xs.len() as f64;
+        assert!((beyond1 - 0.3173).abs() < 0.01, "beyond1 = {beyond1}");
+        assert!((beyond2 - 0.0455).abs() < 0.005, "beyond2 = {beyond2}");
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let dist = Normal::new(1.0, 2.0).unwrap();
+        assert!(dist.pdf(1.0) > dist.pdf(0.0));
+        assert!(dist.pdf(1.0) > dist.pdf(2.0));
+        // Standard normal peak value 1/sqrt(2π).
+        let peak = Normal::standard().pdf(0.0);
+        assert!((peak - 0.398_942_28).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut r = rng();
+        let dist = Normal::new(5.0, 0.0).unwrap();
+        assert_eq!(dist.sample(&mut r), 5.0);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let dist = Normal::new(1.0, 2.0).unwrap();
+        assert_eq!(dist.mean(), 1.0);
+        assert_eq!(dist.std_dev(), 2.0);
+    }
+}

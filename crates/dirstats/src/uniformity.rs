@@ -1,0 +1,110 @@
+//! Tests of circular uniformity.
+//!
+//! The Rayleigh test rejects the null hypothesis "the sample is uniform on
+//! the circle" when the mean resultant length is improbably large — the
+//! standard first check before fitting a von Mises model.
+//!
+//! ```
+//! use dirstats::uniformity::rayleigh_test;
+//! use dirstats::VonMises;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(6);
+//! let concentrated = VonMises::new(1.0, 5.0)?.sample_n(200, &mut rng);
+//! let result = rayleigh_test(&concentrated)?;
+//! assert!(result.p_value < 0.001); // clearly not uniform
+//! # Ok::<(), dirstats::DirStatsError>(())
+//! ```
+
+use crate::descriptive::mean_resultant_length;
+use crate::DirStatsError;
+
+/// Outcome of the [`rayleigh_test`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayleighTest {
+    /// The test statistic `z = n·R̄²`.
+    pub z: f64,
+    /// Approximate p-value under the uniform null (Fisher's 1995
+    /// second-order approximation, accurate for `n ≳ 10`).
+    pub p_value: f64,
+    /// The mean resultant length `R̄` of the sample.
+    pub mean_resultant_length: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Runs the Rayleigh test of uniformity on a sample of angles (radians).
+///
+/// # Errors
+///
+/// Returns [`DirStatsError::NotEnoughSamples`] for samples with fewer than
+/// two angles.
+pub fn rayleigh_test(angles: &[f64]) -> Result<RayleighTest, DirStatsError> {
+    if angles.len() < 2 {
+        return Err(DirStatsError::NotEnoughSamples { minimum: 2, found: angles.len() });
+    }
+    let n = angles.len();
+    let nf = n as f64;
+    let rbar = mean_resultant_length(angles).expect("non-empty checked above");
+    let z = nf * rbar * rbar;
+    // Fisher (1995) correction to the first-order e^{−z} approximation.
+    let p = (-z).exp()
+        * (1.0 + (2.0 * z - z * z) / (4.0 * nf)
+            - (24.0 * z - 132.0 * z * z + 76.0 * z.powi(3) - 9.0 * z.powi(4)) / (288.0 * nf * nf));
+    Ok(RayleighTest { z, p_value: p.clamp(0.0, 1.0), mean_resultant_length: rbar, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{VonMises, TAU};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(515)
+    }
+
+    #[test]
+    fn uniform_sample_is_not_rejected() {
+        let mut r = rng();
+        let angles: Vec<f64> = (0..500).map(|_| r.random::<f64>() * TAU).collect();
+        let result = rayleigh_test(&angles).unwrap();
+        assert!(result.p_value > 0.01, "p = {}", result.p_value);
+        assert!(result.mean_resultant_length < 0.15);
+    }
+
+    #[test]
+    fn concentrated_sample_is_rejected() {
+        let mut r = rng();
+        let vm = VonMises::new(2.0, 3.0).unwrap();
+        let angles = vm.sample_n(100, &mut r);
+        let result = rayleigh_test(&angles).unwrap();
+        assert!(result.p_value < 1e-6, "p = {}", result.p_value);
+        assert_eq!(result.n, 100);
+    }
+
+    #[test]
+    fn weakly_concentrated_needs_more_data() {
+        // κ = 0.25 with n = 30 should usually fail to reject; with n = 3000
+        // it must reject. Both behaviours are statistical, so use one seed
+        // and sample sizes far from the decision boundary.
+        let mut r = rng();
+        let vm = VonMises::new(0.0, 0.25).unwrap();
+        let large = vm.sample_n(3_000, &mut r);
+        assert!(rayleigh_test(&large).unwrap().p_value < 1e-4);
+    }
+
+    #[test]
+    fn grid_is_perfectly_uniform() {
+        let angles: Vec<f64> = (0..64).map(|i| TAU * i as f64 / 64.0).collect();
+        let result = rayleigh_test(&angles).unwrap();
+        assert!(result.z < 1e-12);
+        assert!(result.p_value > 0.99);
+    }
+
+    #[test]
+    fn rejects_tiny_samples() {
+        assert!(rayleigh_test(&[]).is_err());
+        assert!(rayleigh_test(&[1.0]).is_err());
+    }
+}

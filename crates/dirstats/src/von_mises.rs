@@ -1,0 +1,190 @@
+use rand::Rng;
+
+use crate::angles::wrap;
+use crate::bessel::i0;
+use crate::DirStatsError;
+
+/// The von Mises distribution `VM(μ, κ)` — the "circular normal", the
+/// canonical distribution of directional statistics.
+///
+/// `μ` is the mean direction; the concentration `κ ≥ 0` plays the role of an
+/// inverse variance (`κ = 0` is the uniform distribution on the circle; for
+/// large `κ` the distribution approaches `N(μ, 1/κ)` wrapped on the circle).
+///
+/// Sampling uses the Best–Fisher (1979) wrapped-Cauchy rejection algorithm,
+/// exact for all `κ`.
+///
+/// # Example
+///
+/// ```
+/// use dirstats::{descriptive, VonMises};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let vm = VonMises::new(1.0, 8.0)?;
+/// let xs: Vec<f64> = (0..4000).map(|_| vm.sample(&mut rng)).collect();
+/// assert!((descriptive::circular_mean(&xs).unwrap() - 1.0).abs() < 0.05);
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VonMises {
+    mu: f64,
+    kappa: f64,
+}
+
+impl VonMises {
+    /// Creates a von Mises distribution with mean direction `mu` (radians,
+    /// wrapped into `[0, 2π)`) and concentration `kappa ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStatsError::InvalidParameter`] if `mu` is non-finite or
+    /// `kappa` is negative or non-finite.
+    pub fn new(mu: f64, kappa: f64) -> Result<Self, DirStatsError> {
+        if !mu.is_finite() {
+            return Err(DirStatsError::InvalidParameter { name: "mu", value: mu });
+        }
+        if !kappa.is_finite() || kappa < 0.0 {
+            return Err(DirStatsError::InvalidParameter { name: "kappa", value: kappa });
+        }
+        Ok(Self { mu: wrap(mu), kappa })
+    }
+
+    /// The mean direction `μ ∈ [0, 2π)`.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The concentration `κ`.
+    #[must_use]
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+
+    /// The probability density at angle `theta`.
+    #[must_use]
+    pub fn pdf(&self, theta: f64) -> f64 {
+        (self.kappa * (theta - self.mu).cos()).exp()
+            / (crate::TAU * i0(self.kappa))
+    }
+
+    /// Draws one angle in `[0, 2π)` (Best–Fisher rejection sampling;
+    /// uniform for `κ = 0`).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.kappa == 0.0 {
+            return rng.random::<f64>() * crate::TAU;
+        }
+        // Best & Fisher (1979), as given in Mardia & Jupp §3.5.
+        let tau = 1.0 + (1.0 + 4.0 * self.kappa * self.kappa).sqrt();
+        let rho = (tau - (2.0 * tau).sqrt()) / (2.0 * self.kappa);
+        let r = (1.0 + rho * rho) / (2.0 * rho);
+        loop {
+            let u1: f64 = rng.random();
+            let z = (std::f64::consts::PI * u1).cos();
+            let f = (1.0 + r * z) / (r + z);
+            let c = self.kappa * (r - f);
+            let u2: f64 = rng.random();
+            if c * (2.0 - c) - u2 > 0.0 || (c / u2).ln() + 1.0 - c >= 0.0 {
+                let u3: f64 = rng.random();
+                let theta = if u3 > 0.5 { self.mu + f.acos() } else { self.mu - f.acos() };
+                return wrap(theta);
+            }
+        }
+    }
+
+    /// Draws `n` angles.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{circular_mean, mean_resultant_length};
+    use crate::TAU;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for kappa in [0.0, 0.5, 2.0, 10.0] {
+            let vm = VonMises::new(1.2, kappa).unwrap();
+            let n = 100_000;
+            let integral: f64 =
+                (0..n).map(|i| vm.pdf(TAU * i as f64 / n as f64)).sum::<f64>() * TAU / n as f64;
+            assert!((integral - 1.0).abs() < 1e-3, "kappa={kappa} integral={integral}");
+        }
+    }
+
+    #[test]
+    fn pdf_peaks_at_mu() {
+        let vm = VonMises::new(2.0, 3.0).unwrap();
+        assert!(vm.pdf(2.0) > vm.pdf(2.5));
+        assert!(vm.pdf(2.0) > vm.pdf(1.5));
+        assert!(vm.pdf(2.0) > vm.pdf(2.0 + std::f64::consts::PI));
+    }
+
+    #[test]
+    fn sample_mean_matches_mu() {
+        let mut r = rng();
+        for mu in [0.0, 1.0, 3.5, 6.0] {
+            let vm = VonMises::new(mu, 5.0).unwrap();
+            let xs = vm.sample_n(4_000, &mut r);
+            let mean = circular_mean(&xs).unwrap();
+            let err = crate::angles::angular_distance(mean, mu);
+            assert!(err < 0.05, "mu={mu} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn sample_concentration_matches_kappa() {
+        // E[R̄] = I1(κ)/I0(κ); check the sampled resultant length against it.
+        let mut r = rng();
+        for kappa in [0.5, 2.0, 8.0] {
+            let vm = VonMises::new(0.7, kappa).unwrap();
+            let xs = vm.sample_n(8_000, &mut r);
+            let rbar = mean_resultant_length(&xs).unwrap();
+            let expected = crate::bessel::i1(kappa) / crate::bessel::i0(kappa);
+            assert!((rbar - expected).abs() < 0.03, "kappa={kappa} rbar={rbar} want={expected}");
+        }
+    }
+
+    #[test]
+    fn zero_kappa_is_uniform() {
+        let mut r = rng();
+        let vm = VonMises::new(0.0, 0.0).unwrap();
+        let xs = vm.sample_n(10_000, &mut r);
+        assert!(mean_resultant_length(&xs).unwrap() < 0.03);
+        // Density is flat.
+        assert!((vm.pdf(0.0) - vm.pdf(3.0)).abs() < 1e-12);
+        assert!((vm.pdf(0.0) - 1.0 / TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_wrapped() {
+        let mut r = rng();
+        let vm = VonMises::new(0.05, 4.0).unwrap(); // mass straddles 0
+        for x in vm.sample_n(2_000, &mut r) {
+            assert!((0.0..TAU).contains(&x), "sample {x} not wrapped");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(VonMises::new(f64::NAN, 1.0).is_err());
+        assert!(VonMises::new(0.0, -0.1).is_err());
+        assert!(VonMises::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mu_is_wrapped_and_accessible() {
+        let vm = VonMises::new(TAU + 1.0, 2.0).unwrap();
+        assert!((vm.mu() - 1.0).abs() < 1e-12);
+        assert_eq!(vm.kappa(), 2.0);
+    }
+}

@@ -1,0 +1,162 @@
+use rand::Rng;
+
+use crate::angles::wrap;
+use crate::DirStatsError;
+
+/// The wrapped Cauchy distribution `WC(μ, ρ)`: the Cauchy distribution
+/// wrapped onto the circle, the second canonical circular family next to
+/// the von Mises (heavier-tailed; closed-form density and exact sampling).
+///
+/// `μ` is the mean direction and `ρ ∈ [0, 1)` the mean resultant length
+/// (`ρ = 0` uniform, `ρ → 1` a point mass at `μ`).
+///
+/// # Example
+///
+/// ```
+/// use dirstats::{descriptive, WrappedCauchy};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let wc = WrappedCauchy::new(1.5, 0.8)?;
+/// let xs: Vec<f64> = (0..4000).map(|_| wc.sample(&mut rng)).collect();
+/// let rbar = descriptive::mean_resultant_length(&xs).unwrap();
+/// assert!((rbar - 0.8).abs() < 0.05); // E[R̄] = ρ exactly for this family
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrappedCauchy {
+    mu: f64,
+    rho: f64,
+}
+
+impl WrappedCauchy {
+    /// Creates a wrapped Cauchy distribution with mean direction `mu`
+    /// (radians, wrapped) and concentration `rho ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStatsError::InvalidParameter`] if `mu` is non-finite or
+    /// `rho` lies outside `[0, 1)`.
+    pub fn new(mu: f64, rho: f64) -> Result<Self, DirStatsError> {
+        if !mu.is_finite() {
+            return Err(DirStatsError::InvalidParameter { name: "mu", value: mu });
+        }
+        if !rho.is_finite() || !(0.0..1.0).contains(&rho) {
+            return Err(DirStatsError::InvalidParameter { name: "rho", value: rho });
+        }
+        Ok(Self { mu: wrap(mu), rho })
+    }
+
+    /// The mean direction `μ ∈ [0, 2π)`.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The concentration `ρ` (which equals the mean resultant length).
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The probability density at angle `theta` (closed form):
+    /// `f(θ) = (1 − ρ²) / (2π (1 + ρ² − 2ρ cos(θ − μ)))`.
+    #[must_use]
+    pub fn pdf(&self, theta: f64) -> f64 {
+        let r = self.rho;
+        (1.0 - r * r) / (crate::TAU * (1.0 + r * r - 2.0 * r * (theta - self.mu).cos()))
+    }
+
+    /// Draws one angle in `[0, 2π)` by wrapping a Cauchy draw: if
+    /// `ρ = e^{−γ}`, then `μ + γ·tan(π(U − ½))` wrapped is `WC(μ, ρ)`.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        if self.rho == 0.0 {
+            return rng.random::<f64>() * crate::TAU;
+        }
+        let gamma = -self.rho.ln();
+        let u: f64 = rng.random();
+        wrap(self.mu + gamma * (std::f64::consts::PI * (u - 0.5)).tan())
+    }
+
+    /// Draws `n` angles.
+    pub fn sample_n(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{circular_mean, mean_resultant_length};
+    use crate::TAU;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(909)
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for rho in [0.0, 0.3, 0.7, 0.95] {
+            let wc = WrappedCauchy::new(2.0, rho).unwrap();
+            let n = 200_000;
+            let integral: f64 =
+                (0..n).map(|i| wc.pdf(TAU * i as f64 / n as f64)).sum::<f64>() * TAU / n as f64;
+            assert!((integral - 1.0).abs() < 1e-3, "rho={rho}: {integral}");
+        }
+    }
+
+    #[test]
+    fn pdf_peaks_at_mu() {
+        let wc = WrappedCauchy::new(1.0, 0.6).unwrap();
+        assert!(wc.pdf(1.0) > wc.pdf(2.0));
+        assert!(wc.pdf(1.0) > wc.pdf(1.0 + std::f64::consts::PI));
+    }
+
+    #[test]
+    fn resultant_length_equals_rho() {
+        let mut r = rng();
+        for rho in [0.2, 0.5, 0.85] {
+            let wc = WrappedCauchy::new(0.5, rho).unwrap();
+            let xs = wc.sample_n(20_000, &mut r);
+            let rbar = mean_resultant_length(&xs).unwrap();
+            assert!((rbar - rho).abs() < 0.02, "rho={rho} rbar={rbar}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_mu() {
+        let mut r = rng();
+        let wc = WrappedCauchy::new(4.0, 0.7).unwrap();
+        let xs = wc.sample_n(10_000, &mut r);
+        let mean = circular_mean(&xs).unwrap();
+        assert!(crate::angles::angular_distance(mean, 4.0) < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn zero_rho_is_uniform() {
+        let mut r = rng();
+        let wc = WrappedCauchy::new(0.0, 0.0).unwrap();
+        let xs = wc.sample_n(10_000, &mut r);
+        assert!(mean_resultant_length(&xs).unwrap() < 0.03);
+        assert!((wc.pdf(0.1) - 1.0 / TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_tails_than_von_mises() {
+        // Match the resultant length (ρ = I1/I0(κ)) and compare tail mass
+        // at the antipode: wrapped Cauchy must carry more.
+        let rho = 0.7f64;
+        // κ such that I1/I0(κ) ≈ 0.7 → κ ≈ 2.87.
+        let vm = crate::VonMises::new(0.0, 2.87).unwrap();
+        let wc = WrappedCauchy::new(0.0, rho).unwrap();
+        assert!(wc.pdf(std::f64::consts::PI) > vm.pdf(std::f64::consts::PI));
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(WrappedCauchy::new(f64::NAN, 0.5).is_err());
+        assert!(WrappedCauchy::new(0.0, 1.0).is_err());
+        assert!(WrappedCauchy::new(0.0, -0.1).is_err());
+    }
+}

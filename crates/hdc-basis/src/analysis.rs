@@ -1,0 +1,187 @@
+//! Diagnostics over basis-hypervector sets: pairwise similarity matrices,
+//! per-reference similarity profiles and ASCII heatmaps — the machinery
+//! behind the paper's Figures 3 and 6.
+//!
+//! ```
+//! use hdc_basis::{analysis, BasisSet, CircularBasis};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let basis = CircularBasis::new(10, 10_000, &mut rng)?;
+//! let matrix = analysis::similarity_matrix(&basis);
+//! assert_eq!(matrix.len(), 10);
+//! assert_eq!(matrix[0][0], 1.0);
+//! // Opposite members are quasi-orthogonal (similarity ≈ 0.5).
+//! assert!((matrix[0][5] - 0.5).abs() < 0.05);
+//! # Ok::<(), hdc_basis::HdcError>(())
+//! ```
+
+use crate::BasisSet;
+
+/// The full pairwise similarity matrix `1 − δ` of a basis set (Figure 3).
+pub fn similarity_matrix<B: BasisSet + ?Sized>(basis: &B) -> Vec<Vec<f64>> {
+    hdc_core::similarity::pairwise_similarity(basis.hypervectors())
+}
+
+/// The similarity of every member to a single `reference` member (the
+/// quantity Figure 6 plots around the circle).
+///
+/// # Panics
+///
+/// Panics if `reference >= basis.len()`.
+pub fn similarity_profile<B: BasisSet + ?Sized>(basis: &B, reference: usize) -> Vec<f64> {
+    assert!(
+        reference < basis.len(),
+        "reference index {reference} out of range for {} members",
+        basis.len()
+    );
+    let anchor = basis.get(reference);
+    basis.hypervectors().iter().map(|hv| anchor.similarity(hv)).collect()
+}
+
+/// The mean absolute deviation between a measured profile and an expected
+/// one — a scalar "does this basis behave as designed" check used by the
+/// experiment harness.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn profile_deviation(measured: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(measured.len(), expected.len(), "profile lengths differ");
+    if measured.is_empty() {
+        return 0.0;
+    }
+    measured
+        .iter()
+        .zip(expected)
+        .map(|(m, e)| (m - e).abs())
+        .sum::<f64>()
+        / measured.len() as f64
+}
+
+/// Renders a matrix of values in `[0, 1]` as an ASCII heatmap, one row per
+/// line, dark-to-light `.:-=+*#%@` ramp (used by the `experiments fig3`
+/// binary to approximate the paper's heatmap figures in a terminal).
+#[must_use]
+pub fn render_heatmap(matrix: &[Vec<f64>]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for row in matrix {
+        for &v in row {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = ((clamped * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+            out.push(RAMP[idx] as char); // double width ≈ square cells
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a similarity matrix as an aligned numeric table (two decimal
+/// places), for textual comparison against the paper's figures.
+#[must_use]
+pub fn format_matrix(matrix: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    for row in matrix {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:5.2}")).collect();
+        out.push_str(&cells.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircularBasis, LevelBasis, RandomBasis};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(66)
+    }
+
+    #[test]
+    fn random_matrix_is_flat_half() {
+        let mut r = rng();
+        let basis = RandomBasis::new(8, 10_000, &mut r).unwrap();
+        let m = similarity_matrix(&basis);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i == j {
+                    assert_eq!(m[i][j], 1.0);
+                } else {
+                    assert!((m[i][j] - 0.5).abs() < 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_profile_is_descending_ramp() {
+        let mut r = rng();
+        let basis = LevelBasis::new(10, 16_384, &mut r).unwrap();
+        let profile = similarity_profile(&basis, 0);
+        assert_eq!(profile[0], 1.0);
+        for w in profile.windows(2) {
+            assert!(w[1] < w[0] + 0.04, "profile should descend: {profile:?}");
+        }
+        assert!((profile[9] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn circular_profile_is_v_shaped() {
+        let mut r = rng();
+        let basis = CircularBasis::new(12, 16_384, &mut r).unwrap();
+        let profile = similarity_profile(&basis, 0);
+        // Down to the antipode, back up to the wrap-around neighbour.
+        let antipode = 6;
+        for k in 1..=antipode {
+            assert!(profile[k] < profile[k - 1] + 0.04);
+        }
+        for k in (antipode + 1)..12 {
+            assert!(profile[k] > profile[k - 1] - 0.04);
+        }
+        assert!(profile[11] > 0.8, "wrap-around neighbour similar: {}", profile[11]);
+    }
+
+    #[test]
+    fn profile_deviation_zero_for_identical() {
+        assert_eq!(profile_deviation(&[0.1, 0.2], &[0.1, 0.2]), 0.0);
+        assert!((profile_deviation(&[0.0, 1.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(profile_deviation(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile lengths differ")]
+    fn profile_deviation_rejects_mismatched_lengths() {
+        let _ = profile_deviation(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn heatmap_dimensions() {
+        let matrix = vec![vec![0.0, 0.5, 1.0], vec![1.0, 0.5, 0.0]];
+        let art = render_heatmap(&matrix);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 6);
+        assert!(art.contains('@') && art.contains(' '));
+    }
+
+    #[test]
+    fn format_matrix_shape() {
+        let matrix = vec![vec![1.0, 0.25], vec![0.25, 1.0]];
+        let text = format_matrix(&matrix);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("1.00") && text.contains("0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn profile_rejects_bad_reference() {
+        let mut r = rng();
+        let basis = RandomBasis::new(4, 64, &mut r).unwrap();
+        let _ = similarity_profile(&basis, 4);
+    }
+}

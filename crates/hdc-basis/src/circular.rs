@@ -1,0 +1,289 @@
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::Rng;
+
+use crate::span::spanned_levels;
+use crate::BasisSet;
+
+/// A set of hypervectors arranged on a circle (paper §5.1) for encoding
+/// *circular data*: angles, day-of-year, hour-of-day, phases, orientations.
+///
+/// Member `C_i` represents the angle `2π·i/m`. Expected distances are
+/// proportional to the **circular (arc) distance** between the represented
+/// angles: `E[δ(C_i, C_j)] = arc(i, j)/m` where
+/// `arc(i, j) = min(|i−j|, m−|i−j|)`, so diametrically opposite members are
+/// quasi-orthogonal (δ ≈ 0.5) and — unlike a [`LevelBasis`] — the set wraps:
+/// `C_0` and `C_{m−1}` are *neighbours*.
+///
+/// The construction (Figure 5 of the paper) proceeds in two phases:
+/// phase 1 lays a level set of `m/2 + 1` hypervectors over half the circle;
+/// phase 2 replays the XOR *transitions* between consecutive levels onto the
+/// far end, folding the path back to the start.
+///
+/// Odd cardinalities are supported via the paper's footnote: a set of `2m`
+/// is generated and every other member kept.
+///
+/// # Example
+///
+/// ```
+/// use hdc_basis::{BasisSet, CircularBasis};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let hours = CircularBasis::new(24, 10_000, &mut rng)?;
+/// // 23:00 is as close to 00:00 as 01:00 is.
+/// let wrap = hours.get(23).normalized_hamming(hours.get(0));
+/// let step = hours.get(1).normalized_hamming(hours.get(0));
+/// assert!((wrap - step).abs() < 0.05);
+/// # Ok::<(), hdc_basis::HdcError>(())
+/// ```
+///
+/// [`LevelBasis`]: crate::LevelBasis
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularBasis {
+    hvs: Vec<BinaryHypervector>,
+    dim: usize,
+}
+
+impl CircularBasis {
+    /// Creates `m` circular-hypervectors (`r = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `m < 2` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn new(m: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        Self::with_randomness(m, dim, 0.0, rng)
+    }
+
+    /// Creates `m` circular-hypervectors with randomness `r ∈ [0, 1]`
+    /// (paper §5.2). The interpolation applies to phase 1 only; phase 2
+    /// replays whatever transitions phase 1 produced, so the wrap-around
+    /// structure survives for every `r < 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `m < 2`, `dim == 0` or `r ∉ [0, 1]`.
+    pub fn with_randomness(
+        m: usize,
+        dim: usize,
+        r: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        crate::validate_basis_params(m, dim, 2)?;
+        crate::validate_randomness(r)?;
+        if m % 2 == 0 {
+            Ok(Self { hvs: Self::generate_even(m, dim, r, rng), dim })
+        } else {
+            // Footnote 1 of the paper: an odd set is the subset
+            // {C_0, C_2, …, C_{2m−2}} of an even set of size 2m.
+            let even = Self::generate_even(2 * m, dim, r, rng);
+            Ok(Self { hvs: even.into_iter().step_by(2).collect(), dim })
+        }
+    }
+
+    fn generate_even(m: usize, dim: usize, r: f64, rng: &mut impl Rng) -> Vec<BinaryHypervector> {
+        debug_assert!(m % 2 == 0 && m >= 2);
+        let half = m / 2;
+        // Phase 1: a level set over half the circle (m/2 + 1 hypervectors,
+        // endpoints quasi-orthogonal).
+        let levels = spanned_levels(half + 1, dim, r, rng);
+        // Transitions T_k = C_k ⊗ C_{k+1}: the bits flipped between
+        // consecutive levels of phase 1.
+        let transitions: Vec<BinaryHypervector> =
+            (0..half).map(|k| levels[k].bind(&levels[k + 1])).collect();
+
+        let mut hvs = levels;
+        // Phase 2 (Equation 3): replay the transitions, in order, onto the
+        // far side of the circle. The final transition would return to C_0
+        // and is not materialized.
+        for k in 0..half.saturating_sub(1) {
+            let next = hvs[half + k].bind(&transitions[k]);
+            hvs.push(next);
+        }
+        debug_assert_eq!(hvs.len(), m);
+        hvs
+    }
+
+    /// The angle `2π·index/m` represented by member `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn angle(&self, index: usize) -> f64 {
+        assert!(index < self.hvs.len(), "index {index} out of range for {} members", self.hvs.len());
+        2.0 * std::f64::consts::PI * index as f64 / self.hvs.len() as f64
+    }
+
+    /// The expected normalized distance `arc(i, j)/m` between members `i`
+    /// and `j` under the `r = 0` construction (0-based indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn expected_distance(&self, i: usize, j: usize) -> f64 {
+        let m = self.hvs.len();
+        assert!(i < m && j < m, "indices ({i}, {j}) out of range for {m} members");
+        let diff = i.abs_diff(j);
+        diff.min(m - diff) as f64 / m as f64
+    }
+}
+
+impl BasisSet for CircularBasis {
+    fn len(&self) -> usize {
+        self.hvs.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn get(&self, index: usize) -> &BinaryHypervector {
+        &self.hvs[index]
+    }
+
+    fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(555)
+    }
+
+    #[test]
+    fn distances_follow_arc_profile() {
+        let mut r = rng();
+        let m = 16;
+        let basis = CircularBasis::new(m, 20_000, &mut r).unwrap();
+        for i in 0..m {
+            for j in 0..m {
+                let expected = basis.expected_distance(i, j);
+                let actual = basis.get(i).normalized_hamming(basis.get(j));
+                assert!(
+                    (actual - expected).abs() < 0.04,
+                    "i={i} j={j} expected={expected:.3} actual={actual:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_members_quasi_orthogonal_from_every_start() {
+        let mut r = rng();
+        let m = 12;
+        let basis = CircularBasis::new(m, 10_000, &mut r).unwrap();
+        for i in 0..m {
+            let d = basis.get(i).normalized_hamming(basis.get((i + m / 2) % m));
+            assert!((d - 0.5).abs() < 0.05, "i={i} d={d}");
+        }
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut r = rng();
+        let basis = CircularBasis::new(10, 10_000, &mut r).unwrap();
+        let wrap = basis.get(0).normalized_hamming(basis.get(9));
+        let step = basis.get(0).normalized_hamming(basis.get(1));
+        assert!((wrap - step).abs() < 0.04, "wrap={wrap} step={step}");
+        assert!(wrap < 0.2);
+    }
+
+    #[test]
+    fn odd_cardinality_keeps_circular_profile() {
+        let mut r = rng();
+        let m = 9;
+        let basis = CircularBasis::new(m, 16_384, &mut r).unwrap();
+        assert_eq!(basis.len(), m);
+        for i in 0..m {
+            for j in 0..m {
+                let expected = basis.expected_distance(i, j);
+                let actual = basis.get(i).normalized_hamming(basis.get(j));
+                assert!(
+                    (actual - expected).abs() < 0.05,
+                    "i={i} j={j} expected={expected:.3} actual={actual:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_even_set() {
+        let mut r = rng();
+        let basis = CircularBasis::new(2, 4_096, &mut r).unwrap();
+        assert_eq!(basis.len(), 2);
+        let d = basis.get(0).normalized_hamming(basis.get(1));
+        assert!((d - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn full_randomness_decorrelates_everything() {
+        let mut r = rng();
+        let basis = CircularBasis::with_randomness(12, 10_000, 1.0, &mut r).unwrap();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                let d = basis.get(i).normalized_hamming(basis.get(j));
+                assert!((d - 0.5).abs() < 0.05, "i={i} j={j} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_randomness_keeps_neighbours_close() {
+        let mut r = rng();
+        let basis = CircularBasis::with_randomness(20, 10_000, 0.1, &mut r).unwrap();
+        for i in 0..20 {
+            let d = basis.get(i).normalized_hamming(basis.get((i + 1) % 20));
+            assert!(d < 0.35, "i={i} neighbour distance {d}");
+        }
+    }
+
+    #[test]
+    fn angle_mapping() {
+        let mut r = rng();
+        let basis = CircularBasis::new(8, 512, &mut r).unwrap();
+        assert_eq!(basis.angle(0), 0.0);
+        assert!((basis.angle(4) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut r = rng();
+        assert!(matches!(
+            CircularBasis::new(1, 64, &mut r),
+            Err(HdcError::InvalidBasisSize { .. })
+        ));
+        assert!(matches!(
+            CircularBasis::with_randomness(8, 64, 1.01, &mut r),
+            Err(HdcError::InvalidRandomness(_))
+        ));
+        assert!(matches!(CircularBasis::new(8, 0, &mut r), Err(HdcError::InvalidDimension(0))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn prop_arc_symmetry(seed in 0u64..100, half in 2usize..10) {
+            // δ(C_i, C_j) depends (in expectation) only on the arc distance;
+            // check the two arcs of equal length agree.
+            let m = 2 * half;
+            let mut r = StdRng::seed_from_u64(seed);
+            let basis = CircularBasis::new(m, 8_192, &mut r).unwrap();
+            for k in 1..half {
+                let forward = basis.get(0).normalized_hamming(basis.get(k));
+                let backward = basis.get(0).normalized_hamming(basis.get(m - k));
+                prop_assert!(
+                    (forward - backward).abs() < 0.06,
+                    "k={} forward={} backward={}", k, forward, backward
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::span::spanned_levels;
+use crate::BasisSet;
+
+/// A set of linearly correlated hypervectors for encoding *real numbers*
+/// (paper §3.2–§4): the closer two levels, the more similar their
+/// hypervectors.
+///
+/// Two constructions are provided:
+///
+/// * [`LevelBasis::new`] — the paper's **Algorithm 1** (§4.3): interpolation
+///   between two random endpoints through a random filter, giving
+///   `E[δ(L_i, L_j)] = (j−i)/(2(m−1))` *in expectation*. Relaxing the exact
+///   distance constraint enlarges the sample space and therefore the
+///   information content of the set (§4.1–§4.2).
+/// * [`LevelBasis::legacy`] — the pre-existing method (Rahimi et al.;
+///   Widdows & Cohen): flip a fixed group of `d/(2(m−1))` fresh bits per
+///   step, never unflipping, so every pairwise distance is *exact* and the
+///   endpoints are precisely orthogonal.
+///
+/// [`LevelBasis::with_randomness`] exposes the `r` hyperparameter of §5.2.
+///
+/// # Example
+///
+/// ```
+/// use hdc_basis::{BasisSet, LevelBasis};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(10);
+/// let levels = LevelBasis::new(16, 10_000, &mut rng)?;
+/// // Distances grow linearly with level separation…
+/// let near = levels.get(0).normalized_hamming(levels.get(1));
+/// let far = levels.get(0).normalized_hamming(levels.get(15));
+/// assert!(near < far);
+/// // …and the endpoints are quasi-orthogonal.
+/// assert!((far - 0.5).abs() < 0.05);
+/// # Ok::<(), hdc_basis::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelBasis {
+    hvs: Vec<BinaryHypervector>,
+    dim: usize,
+}
+
+impl LevelBasis {
+    /// Creates `m` level-hypervectors with the paper's Algorithm 1
+    /// (interpolation filters, `r = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `m < 2` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn new(m: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        Self::with_randomness(m, dim, 0.0, rng)
+    }
+
+    /// Creates `m` level-hypervectors with randomness `r ∈ [0, 1]`
+    /// (paper §5.2): `r = 0` is Algorithm 1, `r = 1` is an uncorrelated
+    /// random set, intermediate values keep local correlation while raising
+    /// the set's information content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `m < 2`, `dim == 0` or `r ∉ [0, 1]`.
+    pub fn with_randomness(
+        m: usize,
+        dim: usize,
+        r: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        crate::validate_basis_params(m, dim, 2)?;
+        crate::validate_randomness(r)?;
+        Ok(Self { hvs: spanned_levels(m, dim, r, rng), dim })
+    }
+
+    /// Creates `m` level-hypervectors with the *legacy* fixed-flip method
+    /// (paper §4): `⌊d/2⌋` distinct bit positions are flipped cumulatively in
+    /// `m − 1` equal groups, so `δ(L_i, L_j)` is deterministic and the
+    /// endpoints share exactly `⌈d/2⌉` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `m < 2` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn legacy(m: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        crate::validate_basis_params(m, dim, 2)?;
+        let total_flips = dim / 2;
+        // Choose d/2 distinct positions, then flip them group by group.
+        let mut positions: Vec<usize> = (0..dim).collect();
+        positions.shuffle(rng);
+        positions.truncate(total_flips);
+
+        let transitions = m - 1;
+        let base = total_flips / transitions;
+        let extra = total_flips % transitions;
+
+        let mut hvs = Vec::with_capacity(m);
+        let mut current = BinaryHypervector::random(dim, rng);
+        hvs.push(current.clone());
+        let mut cursor = 0;
+        for t in 0..transitions {
+            let group = base + usize::from(t < extra);
+            current.flip_positions(&positions[cursor..cursor + group]);
+            cursor += group;
+            hvs.push(current.clone());
+        }
+        debug_assert_eq!(cursor, total_flips);
+        Ok(Self { hvs, dim })
+    }
+
+    /// The expected normalized distance `Δ_{i,j} = (j−i)/(2(m−1))` between
+    /// levels `i` and `j` (0-based indices; order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn expected_distance(&self, i: usize, j: usize) -> f64 {
+        let m = self.hvs.len();
+        assert!(i < m && j < m, "level indices ({i}, {j}) out of range for {m} levels");
+        i.abs_diff(j) as f64 / (2.0 * (m as f64 - 1.0))
+    }
+}
+
+impl BasisSet for LevelBasis {
+    fn len(&self) -> usize {
+        self.hvs.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn get(&self, index: usize) -> &BinaryHypervector {
+        &self.hvs[index]
+    }
+
+    fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2023)
+    }
+
+    #[test]
+    fn interpolation_distances_match_expectation() {
+        let mut r = rng();
+        let m = 12;
+        let basis = LevelBasis::new(m, 20_000, &mut r).unwrap();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let expected = basis.expected_distance(i, j);
+                let actual = basis.get(i).normalized_hamming(basis.get(j));
+                assert!(
+                    (actual - expected).abs() < 0.03,
+                    "i={i} j={j} expected={expected:.3} actual={actual:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_distances_are_exact() {
+        let mut r = rng();
+        let dim = 10_000;
+        let m = 11;
+        let basis = LevelBasis::legacy(m, dim, &mut r).unwrap();
+        // With d/2 = 5000 and 10 transitions each group is exactly 500 bits:
+        // δ(L_i, L_j) = |j − i| · 500 / 10000, *exactly*.
+        for i in 0..m {
+            for j in i..m {
+                let expected = (j - i) * 500;
+                assert_eq!(basis.get(i).hamming(basis.get(j)), expected, "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_endpoints_precisely_orthogonal() {
+        let mut r = rng();
+        let basis = LevelBasis::legacy(5, 8_192, &mut r).unwrap();
+        assert_eq!(basis.get(0).hamming(basis.get(4)), 4_096);
+    }
+
+    #[test]
+    fn legacy_uneven_groups_still_reach_half() {
+        let mut r = rng();
+        // 7 transitions do not divide 5000 evenly.
+        let basis = LevelBasis::legacy(8, 10_000, &mut r).unwrap();
+        assert_eq!(basis.get(0).hamming(basis.get(7)), 5_000);
+        // Monotone in level separation.
+        for j in 1..8 {
+            assert!(basis.get(0).hamming(basis.get(j)) > basis.get(0).hamming(basis.get(j - 1)));
+        }
+    }
+
+    #[test]
+    fn interpolation_has_variance_legacy_does_not() {
+        // The whole point of Algorithm 1 (§4.2): distances are random
+        // variables rather than constants. Check the dispersion of δ(L_0, L_1)
+        // across seeds.
+        let spread = |legacy: bool| -> f64 {
+            let samples: Vec<f64> = (0..24)
+                .map(|seed| {
+                    let mut r = StdRng::seed_from_u64(seed);
+                    let basis = if legacy {
+                        LevelBasis::legacy(5, 4_096, &mut r).unwrap()
+                    } else {
+                        LevelBasis::new(5, 4_096, &mut r).unwrap()
+                    };
+                    basis.get(0).normalized_hamming(basis.get(1))
+                })
+                .collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64
+        };
+        assert_eq!(spread(true), 0.0, "legacy distances are deterministic");
+        assert!(spread(false) > 0.0, "Algorithm 1 distances vary");
+    }
+
+    #[test]
+    fn expected_distance_accessor() {
+        let mut r = rng();
+        let basis = LevelBasis::new(6, 128, &mut r).unwrap();
+        assert!((basis.expected_distance(0, 5) - 0.5).abs() < 1e-12);
+        assert!((basis.expected_distance(5, 0) - 0.5).abs() < 1e-12);
+        assert_eq!(basis.expected_distance(3, 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn expected_distance_rejects_bad_index() {
+        let mut r = rng();
+        let basis = LevelBasis::new(4, 64, &mut r).unwrap();
+        let _ = basis.expected_distance(0, 4);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut r = rng();
+        assert!(matches!(
+            LevelBasis::new(1, 64, &mut r),
+            Err(HdcError::InvalidBasisSize { minimum: 2, .. })
+        ));
+        assert!(matches!(LevelBasis::legacy(0, 64, &mut r), Err(HdcError::InvalidBasisSize { .. })));
+        assert!(matches!(
+            LevelBasis::with_randomness(4, 64, 2.0, &mut r),
+            Err(HdcError::InvalidRandomness(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_interpolation_monotone_from_endpoint(seed in 0u64..200, m in 3usize..16) {
+            // Distance from L_0 should (statistically) increase with level
+            // index; with d = 8192 the noise is far below one step of the
+            // expected ramp for m ≤ 16, checked with slack.
+            let mut r = StdRng::seed_from_u64(seed);
+            let basis = LevelBasis::new(m, 8_192, &mut r).unwrap();
+            for j in 2..m {
+                let closer = basis.get(0).normalized_hamming(basis.get(j - 1));
+                let farther = basis.get(0).normalized_hamming(basis.get(j));
+                prop_assert!(farther > closer - 0.04, "j={} closer={} farther={}", j, closer, farther);
+            }
+        }
+
+        #[test]
+        fn prop_legacy_total_flips(seed in 0u64..200, m in 2usize..10, dim in 16usize..512) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let basis = LevelBasis::legacy(m, dim, &mut r).unwrap();
+            prop_assert_eq!(basis.get(0).hamming(basis.get(m - 1)), dim / 2);
+        }
+    }
+}

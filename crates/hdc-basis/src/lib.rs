@@ -1,0 +1,208 @@
+//! Basis-hypervector sets: the stochastically created hypervector families
+//! used to encode atomic information in hyperdimensional computing.
+//!
+//! This crate implements every basis construction studied by *"An Extension
+//! to Basis-Hypervectors for Learning from Circular Data in Hyperdimensional
+//! Computing"* (DAC 2023):
+//!
+//! | Type | Paper section | Pairwise distance structure |
+//! |------|---------------|------------------------------|
+//! | [`RandomBasis`] | §3.1 | all pairs quasi-orthogonal (δ ≈ 0.5) |
+//! | [`LevelBasis::legacy`] | §4 | exact linear distances, orthogonal endpoints |
+//! | [`LevelBasis::new`] (Algorithm 1) | §4.3 | linear distances **in expectation** — higher information content |
+//! | [`ScatterBasis`] | §4.2 | random-walk scatter codes via Markov-chain absorption times |
+//! | [`CircularBasis`] | §5.1 | distances proportional to circular (arc) distance; wraps around |
+//!
+//! The `r ∈ [0, 1]` randomness hyperparameter of §5.2 interpolates any level
+//! or circular set towards a random set, trading correlation preservation
+//! against information content
+//! ([`LevelBasis::with_randomness`], [`CircularBasis::with_randomness`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_basis::{BasisSet, CircularBasis, LevelBasis, RandomBasis};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let random = RandomBasis::new(8, 10_000, &mut rng)?;
+//! let level = LevelBasis::new(8, 10_000, &mut rng)?;
+//! let circular = CircularBasis::new(8, 10_000, &mut rng)?;
+//!
+//! // Random: everything far apart. Level: endpoints orthogonal.
+//! assert!((random.get(0).normalized_hamming(random.get(7)) - 0.5).abs() < 0.05);
+//! assert!((level.get(0).normalized_hamming(level.get(7)) - 0.5).abs() < 0.05);
+//! // Circular: the set wraps — first and last are *neighbours*.
+//! assert!(circular.get(0).normalized_hamming(circular.get(7)) < 0.2);
+//! # Ok::<(), hdc_basis::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod circular;
+mod level;
+pub mod markov;
+mod random;
+mod scatter;
+mod span;
+pub mod tridiag;
+
+pub use circular::CircularBasis;
+pub use hdc_core::HdcError;
+pub use level::LevelBasis;
+pub use random::RandomBasis;
+pub use scatter::ScatterBasis;
+
+use hdc_core::BinaryHypervector;
+
+/// Common interface of all basis-hypervector sets: an ordered, fixed-size
+/// collection of equally sized hypervectors.
+///
+/// The trait is object-safe, so heterogeneous experiments can hold
+/// `Box<dyn BasisSet>` values — see [`BasisKind`] for a ready-made selector.
+pub trait BasisSet: std::fmt::Debug {
+    /// Number of hypervectors in the set (`m`).
+    fn len(&self) -> usize;
+
+    /// `true` if the set contains no hypervectors (never the case for the
+    /// constructions in this crate, which require `m ≥ 2`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality `d` shared by every member.
+    fn dim(&self) -> usize;
+
+    /// The `index`-th basis hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    fn get(&self, index: usize) -> &BinaryHypervector;
+
+    /// All members in order.
+    fn hypervectors(&self) -> &[BinaryHypervector];
+}
+
+/// Selector for the three basis families compared throughout the paper's
+/// evaluation, with the level and circular variants carrying their `r` value.
+///
+/// ```
+/// use hdc_basis::{BasisKind, BasisSet};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let basis = BasisKind::Circular { randomness: 0.1 }.build(16, 10_000, &mut rng)?;
+/// assert_eq!(basis.len(), 16);
+/// # Ok::<(), hdc_basis::HdcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BasisKind {
+    /// Uncorrelated random-hypervectors (§3.1).
+    Random,
+    /// Interpolation-based level-hypervectors (§4.3) with randomness `r`.
+    Level {
+        /// Randomness hyperparameter `r ∈ [0, 1]` (§5.2); `0.0` is Algorithm 1.
+        randomness: f64,
+    },
+    /// Circular-hypervectors (§5.1) with randomness `r`.
+    Circular {
+        /// Randomness hyperparameter `r ∈ [0, 1]` (§5.2).
+        randomness: f64,
+    },
+}
+
+impl BasisKind {
+    /// Builds the selected basis set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `m < 2`, `dim == 0` or the randomness value is
+    /// outside `[0, 1]`.
+    pub fn build(
+        self,
+        m: usize,
+        dim: usize,
+        rng: &mut impl rand::Rng,
+    ) -> Result<Box<dyn BasisSet>, HdcError> {
+        Ok(match self {
+            BasisKind::Random => Box::new(RandomBasis::new(m, dim, rng)?),
+            BasisKind::Level { randomness } => {
+                Box::new(LevelBasis::with_randomness(m, dim, randomness, rng)?)
+            }
+            BasisKind::Circular { randomness } => {
+                Box::new(CircularBasis::with_randomness(m, dim, randomness, rng)?)
+            }
+        })
+    }
+
+    /// A short human-readable name (used by the experiment harness tables).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BasisKind::Random => "random",
+            BasisKind::Level { .. } => "level",
+            BasisKind::Circular { .. } => "circular",
+        }
+    }
+}
+
+pub(crate) fn validate_basis_params(m: usize, dim: usize, minimum: usize) -> Result<(), HdcError> {
+    if dim == 0 {
+        return Err(HdcError::InvalidDimension(dim));
+    }
+    if m < minimum {
+        return Err(HdcError::InvalidBasisSize { requested: m, minimum });
+    }
+    Ok(())
+}
+
+pub(crate) fn validate_randomness(r: f64) -> Result<(), HdcError> {
+    if r.is_nan() || !(0.0..=1.0).contains(&r) {
+        return Err(HdcError::InvalidRandomness(r));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn basis_kind_builds_all_variants() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in [
+            BasisKind::Random,
+            BasisKind::Level { randomness: 0.0 },
+            BasisKind::Level { randomness: 0.3 },
+            BasisKind::Circular { randomness: 0.0 },
+            BasisKind::Circular { randomness: 0.1 },
+        ] {
+            let basis = kind.build(10, 1_000, &mut rng).expect("valid parameters");
+            assert_eq!(basis.len(), 10);
+            assert_eq!(basis.dim(), 1_000);
+            assert!(!basis.is_empty());
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn basis_kind_rejects_bad_randomness() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = BasisKind::Level { randomness: 1.5 }.build(4, 64, &mut rng).unwrap_err();
+        assert_eq!(err, HdcError::InvalidRandomness(1.5));
+        let err = BasisKind::Circular { randomness: -0.1 }.build(4, 64, &mut rng).unwrap_err();
+        assert_eq!(err, HdcError::InvalidRandomness(-0.1));
+    }
+
+    #[test]
+    fn validate_rejects_zero_dim_and_tiny_sets() {
+        assert!(validate_basis_params(4, 0, 2).is_err());
+        assert!(validate_basis_params(1, 64, 2).is_err());
+        assert!(validate_basis_params(2, 64, 2).is_ok());
+        assert!(validate_randomness(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Analysis of the bit-flipping Markov chain of paper §4.2 (Figure 4).
+//!
+//! Flipping uniformly random positions of a `d`-bit hypervector performs a
+//! birth–death random walk on the Hamming distance to the start vector:
+//! from distance `k` a flip moves *away* with probability `(d − k)/d` and
+//! *back* with probability `k/d`. The expected number of flips `𭟋` until the
+//! walk first reaches a target distance `Δ·d` is the absorption time of the
+//! chain, which the paper expresses as a tridiagonal linear system.
+//!
+//! Two independent evaluations are provided:
+//!
+//! * [`expected_flips`] — the exact O(Δd) birth–death hitting-time
+//!   recursion (numerically stable, used by [`crate::ScatterBasis`]),
+//! * [`expected_flips_tridiagonal`] — the paper's formulation solved with
+//!   the Thomas algorithm from [`crate::tridiag`].
+//!
+//! They agree to floating-point accuracy — a useful cross-validation that
+//! the tridiagonal system was set up exactly as published.
+
+use crate::tridiag::solve_tridiagonal;
+
+/// Expected number of uniformly random bit flips needed to first reach
+/// Hamming distance `target_bits` from the start of a `dim`-bit vector.
+///
+/// Computed with the birth–death hitting-time recursion
+/// `h(0) = 1`, `h(k) = (1 + (k/d)·h(k−1)) / ((d − k)/d)`,
+/// `𭟋 = Σ_{k=0}^{Δ−1} h(k)`, where `h(k)` is the expected time to go from
+/// distance `k` to `k + 1`.
+///
+/// Returns `0.0` when `target_bits == 0`.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `target_bits > dim`. (For `target_bits == dim`
+/// the absorption time is astronomically large but still finite; values
+/// above `dim/2` grow extremely quickly.)
+#[must_use]
+pub fn expected_flips(dim: usize, target_bits: usize) -> f64 {
+    assert!(dim > 0, "dimension must be at least 1");
+    assert!(
+        target_bits <= dim,
+        "target distance {target_bits} exceeds dimension {dim}"
+    );
+    let d = dim as f64;
+    let mut total = 0.0;
+    let mut h = 1.0; // h(0): from distance 0 every flip moves away.
+    for k in 0..target_bits {
+        if k > 0 {
+            let kf = k as f64;
+            h = (1.0 + (kf / d) * h) / ((d - kf) / d);
+        }
+        total += h;
+    }
+    total
+}
+
+/// Expected flips computed by solving the paper's tridiagonal system with
+/// the Thomas algorithm; `u(0)` of the linear recurrence
+///
+/// ```text
+/// u(k) = 1 + u(1)                               if k = 0
+/// u(k) = 1 + ((d−k)·u(k+1) + k·u(k−1)) / d      if 0 < k < Δ
+/// u(Δ) = 0
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `target_bits > dim`, or (unreachable for these
+/// well-conditioned systems) the solver reports a zero pivot.
+#[must_use]
+pub fn expected_flips_tridiagonal(dim: usize, target_bits: usize) -> f64 {
+    assert!(dim > 0, "dimension must be at least 1");
+    assert!(
+        target_bits <= dim,
+        "target distance {target_bits} exceeds dimension {dim}"
+    );
+    if target_bits == 0 {
+        return 0.0;
+    }
+    let d = dim as f64;
+    let n = target_bits; // unknowns u(0) … u(Δ−1); u(Δ) = 0 is eliminated.
+
+    // Row k: −(k/d)·u(k−1) + u(k) − ((d−k)/d)·u(k+1) = 1.
+    let sub: Vec<f64> = (1..n).map(|k| -(k as f64) / d).collect();
+    let diag = vec![1.0; n];
+    let sup: Vec<f64> = (0..n - 1).map(|k| -((d - k as f64) / d)).collect();
+    let rhs = vec![1.0; n];
+
+    let u = solve_tridiagonal(&sub, &diag, &sup, &rhs)
+        .expect("absorption-time system is diagonally dominant and non-singular");
+    u[0]
+}
+
+/// The expected flips for each of the `m` levels of a scatter code:
+/// level `j` (0-based) targets distance `Δ_{1,j}·d = j·d/(2(m−1))` bits.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `m < 2`.
+#[must_use]
+pub fn scatter_schedule(dim: usize, m: usize) -> Vec<f64> {
+    assert!(dim > 0, "dimension must be at least 1");
+    assert!(m >= 2, "a scatter schedule needs at least 2 levels");
+    (0..m)
+        .map(|j| {
+            let target = (j as f64 * dim as f64 / (2.0 * (m as f64 - 1.0))).round() as usize;
+            expected_flips(dim, target.min(dim))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_target_needs_zero_flips() {
+        assert_eq!(expected_flips(100, 0), 0.0);
+        assert_eq!(expected_flips_tridiagonal(100, 0), 0.0);
+    }
+
+    #[test]
+    fn one_bit_needs_exactly_one_flip() {
+        assert_eq!(expected_flips(100, 1), 1.0);
+        assert!((expected_flips_tridiagonal(100, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_bits_closed_form() {
+        // From distance 1 the walk returns with probability 1/d, so
+        // h(1) = (1 + 1/d) / ((d−1)/d) = (d + 1)/(d − 1); 𭟋 = 1 + h(1).
+        let d = 50.0;
+        let expected = 1.0 + (d + 1.0) / (d - 1.0);
+        assert!((expected_flips(50, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recursion_and_tridiagonal_agree() {
+        for (dim, target) in [(64, 16), (256, 100), (1_000, 400), (1_000, 500), (10_000, 2_500)] {
+            let a = expected_flips(dim, target);
+            let b = expected_flips_tridiagonal(dim, target);
+            let rel = (a - b).abs() / a.max(1.0);
+            assert!(rel < 1e-6, "dim={dim} target={target}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flips_exceed_target_superlinearly() {
+        // Reaching Δ·d needs *more* than Δ·d flips because some flips undo
+        // progress, and the excess grows with the target.
+        let dim = 1_000;
+        let quarter = expected_flips(dim, 250);
+        let half = expected_flips(dim, 500);
+        assert!(quarter > 250.0);
+        assert!(half > 500.0);
+        assert!(half / 500.0 > quarter / 250.0, "nonlinearity: {quarter} vs {half}");
+    }
+
+    #[test]
+    fn monotone_in_target() {
+        let dim = 512;
+        let mut prev = 0.0;
+        for t in 1..=256 {
+            let f = expected_flips(dim, t);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn scatter_schedule_shape() {
+        let schedule = scatter_schedule(1_000, 5);
+        assert_eq!(schedule.len(), 5);
+        assert_eq!(schedule[0], 0.0);
+        for w in schedule.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Final target is d/2 = 500 bits; strictly more flips than that.
+        assert!(schedule[4] > 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds dimension")]
+    fn rejects_target_beyond_dimension() {
+        let _ = expected_flips(16, 17);
+    }
+}

@@ -1,0 +1,103 @@
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::Rng;
+
+use crate::BasisSet;
+
+/// A set of independently, uniformly sampled hypervectors (paper §3.1) —
+/// the basis for *symbolic/categorical* information.
+///
+/// Every pair of members is quasi-orthogonal with overwhelming probability,
+/// so the set carries maximal information content but preserves no input
+/// correlation: it is the `r = 1` endpoint of the interpolation studied in
+/// §5.2 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use hdc_basis::{BasisSet, RandomBasis};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let letters = RandomBasis::new(26, 10_000, &mut rng)?;
+/// let d = letters.get(0).normalized_hamming(letters.get(25));
+/// assert!((d - 0.5).abs() < 0.05);
+/// # Ok::<(), hdc_basis::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomBasis {
+    hvs: Vec<BinaryHypervector>,
+    dim: usize,
+}
+
+impl RandomBasis {
+    /// Samples `m` hypervectors of dimensionality `dim` uniformly at random.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `m < 1` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn new(m: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        crate::validate_basis_params(m, dim, 1)?;
+        Ok(Self { hvs: (0..m).map(|_| BinaryHypervector::random(dim, rng)).collect(), dim })
+    }
+}
+
+impl BasisSet for RandomBasis {
+    fn len(&self) -> usize {
+        self.hvs.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn get(&self, index: usize) -> &BinaryHypervector {
+        &self.hvs[index]
+    }
+
+    fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn all_pairs_quasi_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let basis = RandomBasis::new(12, 10_000, &mut rng).unwrap();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                let d = basis.get(i).normalized_hamming(basis.get(j));
+                assert!((d - 0.5).abs() < 0.05, "pair ({i},{j}) distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_is_allowed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let basis = RandomBasis::new(1, 64, &mut rng).unwrap();
+        assert_eq!(basis.len(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            RandomBasis::new(0, 64, &mut rng),
+            Err(HdcError::InvalidBasisSize { .. })
+        ));
+        assert!(matches!(RandomBasis::new(4, 0, &mut rng), Err(HdcError::InvalidDimension(0))));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = RandomBasis::new(5, 256, &mut StdRng::seed_from_u64(3)).unwrap();
+        let b = RandomBasis::new(5, 256, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! A tridiagonal linear-system solver (Thomas algorithm).
+//!
+//! Paper §4.2 reduces the expected number of bit flips between two
+//! level-hypervectors to "a solvable tridiagonal linear system" (citing
+//! Stone's parallel tridiagonal work). This module provides the sequential
+//! O(n) solver used by [`crate::markov`]; the closed-form birth–death
+//! recursion in that module cross-validates it.
+//!
+//! ```
+//! use hdc_basis::tridiag::solve_tridiagonal;
+//!
+//! // Solve the 3×3 system [[2,1,0],[1,2,1],[0,1,2]] · x = [4,8,8].
+//! let x = solve_tridiagonal(&[1.0, 1.0], &[2.0, 2.0, 2.0], &[1.0, 1.0], &[4.0, 8.0, 8.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 2.0).abs() < 1e-12);
+//! assert!((x[2] - 3.0).abs() < 1e-12);
+//! # Ok::<(), hdc_basis::tridiag::SolveTridiagonalError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`solve_tridiagonal`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveTridiagonalError {
+    /// The band lengths are inconsistent with the system size.
+    BadShape {
+        /// Length of the main diagonal (the system size `n`).
+        n: usize,
+        /// Length of the sub-diagonal (must be `n − 1`).
+        sub: usize,
+        /// Length of the super-diagonal (must be `n − 1`).
+        sup: usize,
+        /// Length of the right-hand side (must be `n`).
+        rhs: usize,
+    },
+    /// The system is empty.
+    Empty,
+    /// Elimination produced a (numerically) zero pivot at the given row;
+    /// the system is singular or ill-conditioned.
+    ZeroPivot(usize),
+}
+
+impl fmt::Display for SolveTridiagonalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SolveTridiagonalError::BadShape { n, sub, sup, rhs } => write!(
+                f,
+                "inconsistent band lengths: diag {n}, sub {sub}, sup {sup}, rhs {rhs}"
+            ),
+            SolveTridiagonalError::Empty => write!(f, "empty system"),
+            SolveTridiagonalError::ZeroPivot(row) => {
+                write!(f, "zero pivot encountered at row {row}")
+            }
+        }
+    }
+}
+
+impl Error for SolveTridiagonalError {}
+
+/// Solves `A·x = rhs` for a tridiagonal matrix `A` given by its bands:
+/// `sub` (below the diagonal, length `n − 1`), `diag` (length `n`) and
+/// `sup` (above the diagonal, length `n − 1`).
+///
+/// Runs the Thomas algorithm: O(n) time, O(n) scratch. The algorithm is
+/// stable for diagonally dominant systems, which is the case for the
+/// absorption-time systems built in [`crate::markov`].
+///
+/// # Errors
+///
+/// Returns [`SolveTridiagonalError`] when band lengths are inconsistent, the
+/// system is empty, or a pivot collapses to zero.
+pub fn solve_tridiagonal(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, SolveTridiagonalError> {
+    let n = diag.len();
+    if n == 0 {
+        return Err(SolveTridiagonalError::Empty);
+    }
+    if sub.len() != n - 1 || sup.len() != n - 1 || rhs.len() != n {
+        return Err(SolveTridiagonalError::BadShape {
+            n,
+            sub: sub.len(),
+            sup: sup.len(),
+            rhs: rhs.len(),
+        });
+    }
+
+    // Forward elimination.
+    let mut c_prime = vec![0.0; n - 1];
+    let mut d_prime = vec![0.0; n];
+    if diag[0] == 0.0 {
+        return Err(SolveTridiagonalError::ZeroPivot(0));
+    }
+    if n > 1 {
+        c_prime[0] = sup[0] / diag[0];
+    }
+    d_prime[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let denom = diag[i] - sub[i - 1] * c_prime.get(i - 1).copied().unwrap_or(0.0);
+        if denom == 0.0 || !denom.is_finite() {
+            return Err(SolveTridiagonalError::ZeroPivot(i));
+        }
+        if i < n - 1 {
+            c_prime[i] = sup[i] / denom;
+        }
+        d_prime[i] = (rhs[i] - sub[i - 1] * d_prime[i - 1]) / denom;
+    }
+
+    // Back substitution.
+    let mut x = d_prime;
+    for i in (0..n - 1).rev() {
+        x[i] -= c_prime[i] * x[i + 1];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn multiply(sub: &[f64], diag: &[f64], sup: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = diag.len();
+        (0..n)
+            .map(|i| {
+                let mut v = diag[i] * x[i];
+                if i > 0 {
+                    v += sub[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += sup[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let x = solve_tridiagonal(&[0.0; 3], &[1.0; 4], &[0.0; 3], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_single_equation() {
+        let x = solve_tridiagonal(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_shapes() {
+        assert_eq!(solve_tridiagonal(&[], &[], &[], &[]), Err(SolveTridiagonalError::Empty));
+        assert!(matches!(
+            solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[0.0, 0.0, 0.0]),
+            Err(SolveTridiagonalError::BadShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_singular_system() {
+        // Row 1 becomes 0 after elimination: [[1,1],[1,1]].
+        assert_eq!(
+            solve_tridiagonal(&[1.0], &[1.0, 1.0], &[1.0], &[1.0, 1.0]),
+            Err(SolveTridiagonalError::ZeroPivot(1))
+        );
+    }
+
+    #[test]
+    fn solves_laplacian_like_system() {
+        // -1, 2, -1 tridiagonal (discrete Laplacian), rhs of ones: the known
+        // solution is x_i = i(n − i + 1)/2 for 1-based i.
+        let n = 10;
+        let sub = vec![-1.0; n - 1];
+        let diag = vec![2.0; n];
+        let sup = vec![-1.0; n - 1];
+        let rhs = vec![1.0; n];
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            let k = (i + 1) as f64;
+            let expected = k * (n as f64 - k + 1.0) / 2.0;
+            assert!((xi - expected).abs() < 1e-9, "i={i} got {xi} want {expected}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_residual_is_small(
+            n in 1usize..40,
+            seed in 0u64..500,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Build a strictly diagonally dominant system: always solvable.
+            let sub: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let sup: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let diag: Vec<f64> = (0..n).map(|_| rng.random_range(2.5..4.0)).collect();
+            let rhs: Vec<f64> = (0..n).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+            let back = multiply(&sub, &diag, &sup, &x);
+            for i in 0..n {
+                prop_assert!((back[i] - rhs[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

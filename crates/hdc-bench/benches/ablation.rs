@@ -1,0 +1,54 @@
+//! Ablation benches: BSC vs MAP arithmetic cost, and the hash-ring lookup
+//! cost of the hyperdimensional vs classic consistent-hash schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc_core::{BinaryHypervector, BipolarHypervector};
+use hdc_hash::{ClassicRing, HdcHashRing};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_bsc_vs_map(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let dim = 10_000;
+    let a_bin = BinaryHypervector::random(dim, &mut rng);
+    let b_bin = BinaryHypervector::random(dim, &mut rng);
+    let a_bip = a_bin.to_bipolar();
+    let b_bip = b_bin.to_bipolar();
+
+    let mut group = c.benchmark_group("model_arithmetic");
+    group.bench_function("bsc_bind", |bencher| {
+        bencher.iter(|| black_box(&a_bin).bind(black_box(&b_bin)));
+    });
+    group.bench_function("map_bind", |bencher| {
+        bencher.iter(|| black_box(&a_bip).bind(black_box(&b_bip)));
+    });
+    group.bench_function("bsc_similarity", |bencher| {
+        bencher.iter(|| black_box(&a_bin).normalized_hamming(black_box(&b_bin)));
+    });
+    group.bench_function("map_similarity", |bencher| {
+        bencher.iter(|| black_box(&a_bip).cosine(black_box(&b_bip)));
+    });
+    group.finish();
+}
+
+fn bench_hash_lookup(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut hdc = HdcHashRing::new(128, 10_000, &mut rng).unwrap();
+    let mut classic = ClassicRing::new();
+    for i in 0..16 {
+        hdc.add_node(format!("node-{i}"));
+        classic.add_node(format!("node-{i}"));
+    }
+
+    let mut group = c.benchmark_group("hash_lookup");
+    group.bench_function("hdc_ring", |bencher| {
+        bencher.iter(|| black_box(hdc.lookup(black_box(&"some-key"))));
+    });
+    group.bench_function("classic_ring", |bencher| {
+        bencher.iter(|| black_box(classic.lookup(black_box(&"some-key"))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsc_vs_map, bench_hash_lookup);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Basis-set generation cost — supporting the paper's §6.1 claim that the
+//! one-time cost of generating any basis set is negligible compared to
+//! training, and nearly equivalent across set types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_basis::{CircularBasis, LevelBasis, RandomBasis, ScatterBasis};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let dim = 10_000;
+    let mut group = c.benchmark_group("basis_generation");
+    for m in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("random", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(RandomBasis::new(m, dim, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("level_interpolation", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(LevelBasis::new(m, dim, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("level_legacy", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(LevelBasis::legacy(m, dim, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("circular", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(CircularBasis::new(m, dim, &mut rng).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scatter", m), &m, |bencher, &m| {
+            bencher.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(ScatterBasis::new(m, dim, &mut rng).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Training and inference cost per basis kind — the paper's §6.1 timing
+//! claim: "the training and evaluation running time are nearly equivalent
+//! among all basis sets".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_basis::BasisKind;
+use hdc_bench::table1::{run_task, Table1Config};
+use hdc_datasets::jigsaws::{JigsawsConfig, JigsawsTask};
+use std::hint::black_box;
+
+fn bench_train_and_eval(c: &mut Criterion) {
+    // A small but realistic classification job; identical across kinds so
+    // the comparison isolates the basis type.
+    let config = Table1Config {
+        dim: 4_096,
+        bins: 24,
+        jigsaws: JigsawsConfig {
+            trials_per_surgeon: 1,
+            frames_per_trial: 4,
+            ..JigsawsConfig::default()
+        },
+        ..Table1Config::default()
+    };
+    let dataset = JigsawsTask::KnotTying.generate(&config.jigsaws);
+
+    let mut group = c.benchmark_group("train_eval_by_basis");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("random", BasisKind::Random),
+        ("level", BasisKind::Level { randomness: 0.0 }),
+        ("circular", BasisKind::Circular { randomness: 0.1 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("jigsaws", name), &kind, |bencher, &kind| {
+            bencher.iter(|| black_box(run_task(&dataset, kind, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_and_eval);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the three HDC operations plus similarity search —
+//! the dimension-independent primitives whose throughput underpins the
+//! paper's efficiency narrative (§2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_core::{BinaryHypervector, MajorityAccumulator};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBE);
+    let mut group = c.benchmark_group("ops");
+    for dim in [1_024usize, 10_000, 32_768] {
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("bind", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).bind(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("hamming", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).hamming(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("permute", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).permute(black_box(37)));
+        });
+        group.bench_with_input(BenchmarkId::new("accumulate", dim), &dim, |bencher, _| {
+            bencher.iter(|| {
+                let mut acc = MajorityAccumulator::new(dim);
+                acc.push(black_box(&a));
+                acc.push(black_box(&b));
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBF);
+    let dim = 10_000;
+    let mut group = c.benchmark_group("similarity_search");
+    for candidates in [16usize, 128, 1_024] {
+        let items: Vec<BinaryHypervector> =
+            (0..candidates).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let query = items[candidates / 2].corrupt(0.2, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("nearest", candidates),
+            &candidates,
+            |bencher, _| {
+                bencher.iter(|| {
+                    hdc_core::similarity::nearest(black_box(&query), black_box(&items))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_similarity_search);
+criterion_main!(benches);

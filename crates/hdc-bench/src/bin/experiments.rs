@@ -1,0 +1,318 @@
+//! CLI that regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <command> [--quick]
+//!
+//! commands:
+//!   table1    Table 1  — JIGSAWS classification accuracy
+//!   table2    Table 2  — Beijing / Mars Express regression MSE
+//!   fig3      Figure 3 — pairwise similarity heatmaps
+//!   fig4      Figure 4 — bit-flip Markov chain absorption times
+//!   fig6      Figure 6 — r-hyperparameter similarity profiles
+//!   fig7      Figure 7 — normalized regression MSE (Table 2 normalized)
+//!   fig8      Figure 8 — normalized error vs r sweep
+//!   ablation  extra ablations (basis fidelity, BSC vs MAP, factors, hashing)
+//!   all       everything above
+//! ```
+//!
+//! `--quick` switches to reduced configurations (smaller dimension and
+//! corpora) so the full suite finishes in seconds; used by integration
+//! tests. Results are printed and also written to `results/`.
+
+use std::process::ExitCode;
+
+use hdc_basis::analysis;
+use hdc_bench::figures::{fig3, fig4, fig6, fig8};
+use hdc_bench::{ablation, report, table1, table2};
+use hdc_learn::metrics;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let command = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let Some(command) = command else {
+        eprintln!("usage: experiments <table1|table2|fig3|fig4|fig6|fig7|fig8|ablation|all> [--quick]");
+        return ExitCode::FAILURE;
+    };
+
+    match command.as_str() {
+        "table1" => run_table1(quick),
+        "table2" => run_table2(quick),
+        "fig3" => run_fig3(quick),
+        "fig4" => run_fig4(quick),
+        "fig6" => run_fig6(quick),
+        "fig7" => run_fig7(quick),
+        "fig8" => run_fig8(quick),
+        "ablation" => run_ablation(quick),
+        "all" => {
+            run_fig3(quick);
+            run_fig4(quick);
+            run_fig6(quick);
+            run_table1(quick);
+            run_table2(quick);
+            run_fig7(quick);
+            run_fig8(quick);
+            run_ablation(quick);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn table1_config(quick: bool) -> table1::Table1Config {
+    if quick {
+        table1::Table1Config::quick()
+    } else {
+        table1::Table1Config::default()
+    }
+}
+
+fn table2_config(quick: bool) -> table2::Table2Config {
+    if quick {
+        table2::Table2Config::quick()
+    } else {
+        table2::Table2Config::default()
+    }
+}
+
+fn run_table1(quick: bool) {
+    let config = table1_config(quick);
+    println!("\n== Table 1: classification accuracy (circular r = {}) ==", config.circular_randomness);
+    let rows = table1::run(&config);
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.name().to_string(),
+                format!("{:.1}%", 100.0 * r.random),
+                format!("{:.1}%", 100.0 * r.level),
+                format!("{:.1}%", 100.0 * r.circular),
+            ]
+        })
+        .collect();
+    let table = report::format_table(&["Dataset", "Random", "Level", "Circular"], &formatted);
+    print!("{table}");
+    persist("table1.txt", &table);
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.task.name().to_string(),
+                format!("{:.4}", r.random),
+                format!("{:.4}", r.level),
+                format!("{:.4}", r.circular),
+            ]
+        })
+        .collect();
+    persist_csv("table1.csv", "dataset,random,level,circular", &csv_rows);
+}
+
+fn run_table2(quick: bool) {
+    let config = table2_config(quick);
+    println!("\n== Table 2: regression MSE (circular r = {}) ==", config.circular_randomness);
+    let rows = table2::run(&config);
+    print_table2(&rows);
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{:.2}", r.random),
+                format!("{:.2}", r.level),
+                format!("{:.2}", r.circular),
+            ]
+        })
+        .collect();
+    persist_csv("table2.csv", "dataset,random,level,circular", &csv_rows);
+}
+
+fn print_table2(rows: &[table2::Table2Row]) {
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{:.1}", r.random),
+                format!("{:.1}", r.level),
+                format!("{:.1}", r.circular),
+            ]
+        })
+        .collect();
+    let table = report::format_table(&["Dataset", "Random", "Level", "Circular"], &formatted);
+    print!("{table}");
+    persist("table2.txt", &table);
+}
+
+fn run_fig3(quick: bool) {
+    let (m, dim) = if quick { (10, 2_048) } else { (10, 10_000) };
+    println!("\n== Figure 3: pairwise similarity of basis sets (m = {m}, d = {dim}) ==");
+    let matrices = fig3::run(m, dim, 0xF16_3);
+    let mut saved = String::new();
+    for matrix in &matrices {
+        println!("\n-- {} --", matrix.name);
+        let text = analysis::format_matrix(&matrix.values);
+        let art = analysis::render_heatmap(&matrix.values);
+        println!("{text}");
+        println!("{art}");
+        saved.push_str(&format!("-- {} --\n{text}\n{art}\n", matrix.name));
+    }
+    persist("fig3.txt", &saved);
+}
+
+fn run_fig4(quick: bool) {
+    let dim = if quick { 1_000 } else { 10_000 };
+    println!("\n== Figure 4: expected flips to reach distance Δ (d = {dim}) ==");
+    let points = fig4::run(dim, 10);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.delta),
+                format!("{:.1}", p.expected_flips),
+                format!("{:.0}", p.linear_flips),
+                format!("{:.3}", p.expected_flips / p.linear_flips.max(1.0)),
+            ]
+        })
+        .collect();
+    let table = report::format_table(&["Δ", "𭟋 (expected flips)", "Δ·d (linear)", "ratio"], &rows);
+    print!("{table}");
+    persist("fig4.txt", &table);
+    persist_csv(
+        "fig4.csv",
+        "delta,expected_flips,linear_flips",
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.3}", p.delta),
+                    format!("{:.3}", p.expected_flips),
+                    format!("{:.0}", p.linear_flips),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_fig6(quick: bool) {
+    let dim = if quick { 2_048 } else { 10_000 };
+    println!("\n== Figure 6: effect of r on circular similarities (m = 10, d = {dim}) ==");
+    let profiles = fig6::run(10, dim, &[0.0, 0.5, 1.0], 0xF16_6);
+    let mut rows = Vec::new();
+    for node in 0..10 {
+        rows.push(vec![
+            node.to_string(),
+            format!("{:.3}", profiles[0].similarities[node]),
+            format!("{:.3}", profiles[1].similarities[node]),
+            format!("{:.3}", profiles[2].similarities[node]),
+        ]);
+    }
+    let table = report::format_table(
+        &["node", "r=0 (circular)", "r=0.5", "r=1 (random)"],
+        &rows,
+    );
+    print!("{table}");
+    persist("fig6.txt", &table);
+}
+
+fn run_fig7(quick: bool) {
+    let config = table2_config(quick);
+    println!("\n== Figure 7: normalized regression MSE (reference: random) ==");
+    let rows = table2::run(&config);
+    let formatted: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                "1.000".to_string(),
+                format!("{:.3}", metrics::normalized_mse(r.level, r.random)),
+                format!("{:.3}", metrics::normalized_mse(r.circular, r.random)),
+            ]
+        })
+        .collect();
+    let table =
+        report::format_table(&["Dataset", "Random", "Level", "Circular"], &formatted);
+    print!("{table}");
+    persist("fig7.txt", &table);
+}
+
+fn run_fig8(quick: bool) {
+    let config = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::default() };
+    println!("\n== Figure 8: normalized error vs r (reference: random) ==");
+    let series = fig8::run(&config);
+    let mut headers: Vec<String> = vec!["r".to_string()];
+    headers.extend(series.iter().map(|s| s.dataset.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (i, &r) in config.r_values.iter().enumerate() {
+        let mut row = vec![format!("{r:.2}")];
+        for s in &series {
+            row.push(format!("{:.3}", s.points[i].1));
+        }
+        rows.push(row);
+    }
+    let table = report::format_table(&header_refs, &rows);
+    print!("{table}");
+    persist("fig8.txt", &table);
+    persist_csv(
+        "fig8.csv",
+        &headers.join(","),
+        &rows.iter().map(|r| r.clone()).collect::<Vec<_>>(),
+    );
+}
+
+fn run_ablation(quick: bool) {
+    let dim = if quick { 2_048 } else { 8_192 };
+    println!("\n== Ablation: level-set construction fidelity ==");
+    let rows: Vec<Vec<String>> = ablation::basis_fidelity(12, dim, 0xAB1)
+        .iter()
+        .map(|r| vec![r.name.to_string(), format!("{:.4}", r.deviation)])
+        .collect();
+    print!("{}", report::format_table(&["construction", "mean |measured - designed|"], &rows));
+
+    println!("\n== Ablation: BSC vs MAP model ==");
+    let rows: Vec<Vec<String>> = ablation::bsc_vs_map(dim / 4, 8, 0xAB2, &[0.40, 0.44, 0.46, 0.48])
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.noise),
+                format!("{:.1}%", 100.0 * r.bsc_accuracy),
+                format!("{:.1}%", 100.0 * r.map_accuracy),
+            ]
+        })
+        .collect();
+    print!("{}", report::format_table(&["noise", "BSC accuracy", "MAP accuracy"], &rows));
+
+    println!("\n== Ablation: regression kernel sharpening by factor count ==");
+    let rows: Vec<Vec<String>> = ablation::factor_sharpening(dim, 0xAB3, 3)
+        .iter()
+        .map(|r| vec![r.factors.to_string(), format!("{:.3}", r.prediction_spread)])
+        .collect();
+    print!("{}", report::format_table(&["bound factors", "prediction spread"], &rows));
+
+    println!("\n== Ablation: hash-ring remapping ==");
+    let rows: Vec<Vec<String>> = ablation::hash_robustness(dim, 0xAB4)
+        .iter()
+        .map(|r| vec![r.scenario.to_string(), format!("{:.1}%", 100.0 * r.remapped_fraction)])
+        .collect();
+    let table = report::format_table(&["scenario", "keys remapped"], &rows);
+    print!("{table}");
+    persist("ablation.txt", &table);
+}
+
+fn persist(name: &str, content: &str) {
+    match report::save(name, content) {
+        Ok(path) => println!("[saved {}]", report::display_path(&path)),
+        Err(err) => eprintln!("warning: could not save {name}: {err}"),
+    }
+}
+
+fn persist_csv(name: &str, header: &str, rows: &[Vec<String>]) {
+    match report::save_csv(name, header, rows) {
+        Ok(path) => println!("[saved {}]", report::display_path(&path)),
+        Err(err) => eprintln!("warning: could not save {name}: {err}"),
+    }
+}

@@ -1,0 +1,281 @@
+//! Figures 3, 4, 6 and 8 of the paper.
+//!
+//! * [`fig3`] — pairwise similarity matrices of random, level and circular
+//!   basis sets (rendered as numeric tables and ASCII heatmaps).
+//! * [`fig4`] — the bit-flip Markov chain's expected absorption times
+//!   (scatter-code flip schedule), the quantity behind Figure 4's analysis.
+//! * [`fig6`] — the effect of the `r` hyperparameter on node-to-reference
+//!   similarity around a circular set of 10.
+//! * [`fig8`] — normalized error of all five learning tasks as `r` sweeps
+//!   from 0 (structured) to 1 (random).
+
+use hdc_basis::{analysis, markov, BasisKind, CircularBasis, LevelBasis, RandomBasis};
+use hdc_datasets::jigsaws::JigsawsTask;
+use hdc_datasets::{beijing, mars};
+use hdc_learn::metrics;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::{table1, table2};
+
+/// Figure 3: similarity matrices for the three basis families.
+pub mod fig3 {
+    use super::*;
+
+    /// One similarity matrix with its label.
+    #[derive(Debug, Clone)]
+    pub struct Matrix {
+        /// Basis family name.
+        pub name: &'static str,
+        /// The `m × m` pairwise similarity matrix.
+        pub values: Vec<Vec<f64>>,
+    }
+
+    /// Computes the three matrices with `m` members of dimensionality `dim`
+    /// (the paper's figure uses indices 0–9, i.e. `m = 10`).
+    #[must_use]
+    pub fn run(m: usize, dim: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let random = RandomBasis::new(m, dim, &mut rng).expect("valid parameters");
+        let level = LevelBasis::new(m, dim, &mut rng).expect("valid parameters");
+        let circular = CircularBasis::new(m, dim, &mut rng).expect("valid parameters");
+        vec![
+            Matrix { name: "Random", values: analysis::similarity_matrix(&random) },
+            Matrix { name: "Level", values: analysis::similarity_matrix(&level) },
+            Matrix { name: "Circular", values: analysis::similarity_matrix(&circular) },
+        ]
+    }
+}
+
+/// Figure 4: expected number of random flips to reach a target distance.
+pub mod fig4 {
+    use super::*;
+
+    /// One sweep point: target distance and the expected flips to reach it.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Point {
+        /// Target normalized distance `Δ`.
+        pub delta: f64,
+        /// Expected flips `𭟋` from the birth–death recursion.
+        pub expected_flips: f64,
+        /// The naive linear estimate `Δ·d` (what the flips would be if no
+        /// flip ever undid progress).
+        pub linear_flips: f64,
+    }
+
+    /// Sweeps `Δ` from 0 to 0.5 in `steps` increments at dimensionality
+    /// `dim`, also verifying the tridiagonal solution agrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two independent computations of `𭟋` disagree — that
+    /// would mean the paper's linear system was set up wrong.
+    #[must_use]
+    pub fn run(dim: usize, steps: usize) -> Vec<Point> {
+        (0..=steps)
+            .map(|i| {
+                let delta = 0.5 * i as f64 / steps as f64;
+                let target = (delta * dim as f64).round() as usize;
+                let flips = markov::expected_flips(dim, target);
+                let tri = markov::expected_flips_tridiagonal(dim, target);
+                assert!(
+                    (flips - tri).abs() / flips.max(1.0) < 1e-6,
+                    "recursion and tridiagonal solver disagree at Δ={delta}"
+                );
+                Point { delta, expected_flips: flips, linear_flips: target as f64 }
+            })
+            .collect()
+    }
+}
+
+/// Figure 6: node-to-reference similarity around a circular set as `r`
+/// varies.
+pub mod fig6 {
+    use super::*;
+
+    /// The similarity profile of one `r` value.
+    #[derive(Debug, Clone)]
+    pub struct Profile {
+        /// The randomness hyperparameter.
+        pub r: f64,
+        /// Similarity of node `i` to the reference node 0.
+        pub similarities: Vec<f64>,
+    }
+
+    /// Computes profiles for the given `r` values over a circular set of
+    /// `m` hypervectors (the paper shows `m = 10`, r ∈ {0, 0.5, 1}).
+    #[must_use]
+    pub fn run(m: usize, dim: usize, r_values: &[f64], seed: u64) -> Vec<Profile> {
+        r_values
+            .iter()
+            .map(|&r| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let basis = CircularBasis::with_randomness(m, dim, r, &mut rng)
+                    .expect("valid parameters");
+                Profile { r, similarities: analysis::similarity_profile(&basis, 0) }
+            })
+            .collect()
+    }
+}
+
+/// Figure 8: normalized error vs `r` for all five tasks.
+pub mod fig8 {
+    use super::*;
+
+    /// The normalized-error series of one dataset.
+    #[derive(Debug, Clone)]
+    pub struct Series {
+        /// Dataset name as in the paper's legend.
+        pub dataset: &'static str,
+        /// `(r, normalized error)` pairs; 1.0 means "as bad as random".
+        pub points: Vec<(f64, f64)>,
+    }
+
+    /// Configuration of the sweep.
+    #[derive(Debug, Clone)]
+    pub struct Fig8Config {
+        /// The r values to evaluate.
+        pub r_values: Vec<f64>,
+        /// Classification setup (shared with Table 1).
+        pub table1: table1::Table1Config,
+        /// Regression setup (shared with Table 2).
+        pub table2: table2::Table2Config,
+    }
+
+    impl Default for Fig8Config {
+        fn default() -> Self {
+            Self {
+                r_values: vec![0.0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+                table1: table1::Table1Config::default(),
+                table2: table2::Table2Config::default(),
+            }
+        }
+    }
+
+    impl Fig8Config {
+        /// Reduced sweep for smoke tests.
+        #[must_use]
+        pub fn quick() -> Self {
+            Self {
+                r_values: vec![0.0, 0.1, 1.0],
+                table1: table1::Table1Config::quick(),
+                table2: table2::Table2Config::quick(),
+            }
+        }
+    }
+
+    /// Runs the sweep: for every dataset, the random-basis performance is
+    /// the reference (normalized error 1.0) and each `r` produces one
+    /// circular-basis point.
+    #[must_use]
+    pub fn run(config: &Fig8Config) -> Vec<Series> {
+        let mut series = Vec::new();
+
+        // Regression datasets: normalized MSE.
+        let beijing_data = beijing::generate(&config.table2.beijing);
+        let reference =
+            table2::run_beijing(&beijing_data, BasisKind::Random, &config.table2);
+        series.push(Series {
+            dataset: "Beijing",
+            points: config
+                .r_values
+                .iter()
+                .map(|&r| {
+                    let mse = table2::run_beijing(
+                        &beijing_data,
+                        BasisKind::Circular { randomness: r },
+                        &config.table2,
+                    );
+                    (r, metrics::normalized_mse(mse, reference))
+                })
+                .collect(),
+        });
+
+        let mars_data = mars::generate(&config.table2.mars);
+        let reference = table2::run_mars(&mars_data, BasisKind::Random, &config.table2);
+        series.push(Series {
+            dataset: "Mars Express",
+            points: config
+                .r_values
+                .iter()
+                .map(|&r| {
+                    let mse = table2::run_mars(
+                        &mars_data,
+                        BasisKind::Circular { randomness: r },
+                        &config.table2,
+                    );
+                    (r, metrics::normalized_mse(mse, reference))
+                })
+                .collect(),
+        });
+
+        // Classification datasets: normalized accuracy error.
+        for task in JigsawsTask::ALL {
+            let dataset = task.generate(&config.table1.jigsaws);
+            let reference_acc = table1::run_task(&dataset, BasisKind::Random, &config.table1);
+            series.push(Series {
+                dataset: task.name(),
+                points: config
+                    .r_values
+                    .iter()
+                    .map(|&r| {
+                        let acc = table1::run_task(
+                            &dataset,
+                            BasisKind::Circular { randomness: r },
+                            &config.table1,
+                        );
+                        (r, metrics::normalized_accuracy_error(acc, reference_acc))
+                    })
+                    .collect(),
+            });
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_matrices_have_expected_shapes() {
+        let matrices = fig3::run(10, 4_096, 3);
+        assert_eq!(matrices.len(), 3);
+        for m in &matrices {
+            assert_eq!(m.values.len(), 10);
+            assert_eq!(m.values[0].len(), 10);
+            assert_eq!(m.values[0][0], 1.0);
+        }
+        // Random ≈ 0.5 off-diagonal; circular wraps.
+        let random = &matrices[0].values;
+        assert!((random[0][9] - 0.5).abs() < 0.06);
+        let circular = &matrices[2].values;
+        assert!(circular[0][9] > 0.8, "circular wrap similarity {}", circular[0][9]);
+    }
+
+    #[test]
+    fn fig4_flips_grow_superlinearly() {
+        let points = fig4::run(1_000, 10);
+        assert_eq!(points.len(), 11);
+        assert_eq!(points[0].expected_flips, 0.0);
+        for p in &points[1..] {
+            assert!(p.expected_flips > p.linear_flips, "Δ={}", p.delta);
+        }
+        // Nonlinearity increases with Δ.
+        let ratio_small = points[2].expected_flips / points[2].linear_flips;
+        let ratio_large = points[10].expected_flips / points[10].linear_flips;
+        assert!(ratio_large > ratio_small);
+    }
+
+    #[test]
+    fn fig6_r_extremes_behave() {
+        let profiles = fig6::run(10, 8_192, &[0.0, 1.0], 5);
+        let structured = &profiles[0].similarities;
+        let random = &profiles[1].similarities;
+        // r = 0: wrap-around neighbour highly similar.
+        assert!(structured[9] > 0.75, "structured wrap {}", structured[9]);
+        // r = 1: everything quasi-orthogonal.
+        for &s in &random[1..] {
+            assert!((s - 0.5).abs() < 0.06, "random profile {s}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section on the synthetic dataset surrogates.
+//!
+//! Each experiment is a pure function from a config (with a fixed seed) to
+//! printable rows, so results are exactly reproducible. The `experiments`
+//! binary wraps these in a small CLI:
+//!
+//! ```text
+//! cargo run -p hdc-bench --release --bin experiments -- table1
+//! cargo run -p hdc-bench --release --bin experiments -- all
+//! ```
+//!
+//! | module | regenerates |
+//! |--------|-------------|
+//! | [`table1`] | Table 1 — JIGSAWS classification accuracy |
+//! | [`table2`] | Table 2 — Beijing & Mars Express regression MSE (also Figure 7) |
+//! | [`figures`] | Figures 3, 4, 6 and 8 |
+//! | [`ablation`] | extra ablations: basis fidelity, BSC vs MAP, hash robustness |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod encoders;
+pub mod figures;
+pub mod report;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,134 @@
+//! Plain-text table formatting and results persistence for the experiment
+//! binary.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Formats a table with a header row and aligned columns (space-padded),
+/// matching the look of the paper's tables in a terminal.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns, "row arity differs from header arity");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<w$}");
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// The directory experiment outputs are written to (`results/` beside the
+/// workspace root, honouring `HDC_RESULTS_DIR` if set).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("HDC_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR = crates/hdc-bench; results live at the repo root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
+}
+
+/// Writes `content` into `results_dir()/name`, creating the directory as
+/// needed, and returns the full path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(name: &str, content: &str) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes CSV content (header + rows) into the results directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_csv(name: &str, header: &str, rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    let mut content = String::from(header);
+    content.push('\n');
+    for row in rows {
+        content.push_str(&row.join(","));
+        content.push('\n');
+    }
+    save(name, &content)
+}
+
+/// Ensures a path's parent chain is printable relative to the repo root —
+/// convenience for CLI output.
+#[must_use]
+pub fn display_path(path: &Path) -> String {
+    path.display().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let table = format_table(
+            &["Dataset", "Random", "Level"],
+            &[
+                vec!["Knot Tying".into(), "76.6%".into(), "75.9%".into()],
+                vec!["Suturing".into(), "73.0%".into(), "60.4%".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Dataset"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("76.6%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn format_table_rejects_ragged_rows() {
+        let _ = format_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn save_round_trips() {
+        let dir = std::env::temp_dir().join("hdc-bench-report-test");
+        std::env::set_var("HDC_RESULTS_DIR", &dir);
+        let path = save("test.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        let csv = save_csv("test.csv", "a,b", &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::env::remove_var("HDC_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

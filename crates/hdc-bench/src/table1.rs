@@ -1,0 +1,178 @@
+//! Table 1 — classification accuracy on the three JIGSAWS surgical tasks,
+//! comparing random, level and circular basis-hypervectors (circular with
+//! `r = 0.1`, as in the paper).
+//!
+//! Protocol (paper §6.1): each sample's 18 kinematic channels are quantized
+//! and encoded through the basis under test, combined with the key–value
+//! record encoding `⊕ᵢ Kᵢ ⊗ Vᵢ`, and classified with the standard centroid
+//! framework. The model trains on the experienced surgeon "D" and tests on
+//! the remaining surgeons.
+
+use hdc_basis::BasisKind;
+use hdc_core::BinaryHypervector;
+use hdc_datasets::jigsaws::{JigsawsConfig, JigsawsDataset, JigsawsSample, JigsawsTask, TRAIN_SURGEON};
+use hdc_encode::RecordEncoder;
+use hdc_learn::{metrics, CentroidClassifier};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::encoders::BinnedAngleEncoder;
+
+/// Configuration of the Table 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Config {
+    /// Hypervector dimensionality.
+    pub dim: usize,
+    /// Quantization bins per kinematic channel.
+    pub bins: usize,
+    /// Randomness `r` of the circular basis (the paper uses 0.1).
+    pub circular_randomness: f64,
+    /// Dataset generation parameters.
+    pub jigsaws: JigsawsConfig,
+    /// Seed for basis generation and tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Self {
+            dim: 10_000,
+            bins: 16,
+            circular_randomness: 0.1,
+            jigsaws: JigsawsConfig::default(),
+            seed: 0x7AB1E1,
+        }
+    }
+}
+
+impl Table1Config {
+    /// A reduced configuration for smoke tests and CI (smaller dimension
+    /// and corpus; same code paths).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            dim: 2_048,
+            bins: 24,
+            jigsaws: JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 6, ..JigsawsConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The surgical task.
+    pub task: JigsawsTask,
+    /// Accuracy with random-hypervectors.
+    pub random: f64,
+    /// Accuracy with level-hypervectors.
+    pub level: f64,
+    /// Accuracy with circular-hypervectors (`r` from the config).
+    pub circular: f64,
+}
+
+/// Runs the full Table 1 experiment: three tasks × three basis kinds.
+#[must_use]
+pub fn run(config: &Table1Config) -> Vec<Table1Row> {
+    JigsawsTask::ALL
+        .iter()
+        .map(|&task| {
+            let dataset = task.generate(&config.jigsaws);
+            Table1Row {
+                task,
+                random: run_task(&dataset, BasisKind::Random, config),
+                level: run_task(&dataset, BasisKind::Level { randomness: 0.0 }, config),
+                circular: run_task(
+                    &dataset,
+                    BasisKind::Circular { randomness: config.circular_randomness },
+                    config,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Trains and evaluates one `(task dataset, basis kind)` cell; returns the
+/// test accuracy. Exposed for the Figure 8 sweep.
+#[must_use]
+pub fn run_task(dataset: &JigsawsDataset, kind: BasisKind, config: &Table1Config) -> f64 {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let channels = dataset.channels();
+
+    // One value encoder per channel (independent bases), one record encoder.
+    let value_encoders: Vec<BinnedAngleEncoder> = (0..channels)
+        .map(|_| {
+            BinnedAngleEncoder::new(kind, config.bins, config.dim, &mut rng)
+                .expect("valid encoder parameters")
+        })
+        .collect();
+    let record =
+        RecordEncoder::new(channels, config.dim, &mut rng).expect("valid record parameters");
+
+    let encode = |sample: &JigsawsSample, rng: &mut StdRng| -> BinaryHypervector {
+        let values: Vec<&BinaryHypervector> = sample
+            .angles
+            .iter()
+            .zip(&value_encoders)
+            .map(|(&angle, enc)| enc.encode(angle))
+            .collect();
+        record.encode(&values, rng).expect("arity matches")
+    };
+
+    let (train, test) = dataset.train_test_split(TRAIN_SURGEON);
+    let encoded_train: Vec<(BinaryHypervector, usize)> =
+        train.iter().map(|s| (encode(s, &mut rng), s.gesture)).collect();
+    let model = CentroidClassifier::fit(
+        encoded_train.iter().map(|(hv, l)| (hv, *l)),
+        dataset.gesture_count,
+        config.dim,
+        &mut rng,
+    )
+    .expect("valid training configuration");
+
+    let mut predicted = Vec::with_capacity(test.len());
+    let mut truth = Vec::with_capacity(test.len());
+    for sample in test {
+        predicted.push(model.predict(&encode(sample, &mut rng)));
+        truth.push(sample.gesture);
+    }
+    metrics::accuracy(&predicted, &truth)
+}
+
+/// Convenience: accuracy of one basis kind on a task generated from the
+/// config (generates the dataset internally). Used by the r-sweep.
+#[must_use]
+pub fn run_fresh(task: JigsawsTask, kind: BasisKind, config: &Table1Config) -> f64 {
+    let dataset = task.generate(&config.jigsaws);
+    run_task(&dataset, kind, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_sane_accuracies() {
+        let config = Table1Config::quick();
+        let dataset = JigsawsTask::KnotTying.generate(&config.jigsaws);
+        let chance = 1.0 / dataset.gesture_count as f64;
+        for kind in [
+            BasisKind::Random,
+            BasisKind::Level { randomness: 0.0 },
+            BasisKind::Circular { randomness: 0.1 },
+        ] {
+            let acc = run_task(&dataset, kind, &config);
+            assert!((0.0..=1.0).contains(&acc));
+            assert!(acc > chance * 1.5, "{kind:?} accuracy {acc} barely above chance");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = Table1Config::quick();
+        let dataset = JigsawsTask::KnotTying.generate(&config.jigsaws);
+        let a = run_task(&dataset, BasisKind::Random, &config);
+        let b = run_task(&dataset, BasisKind::Random, &config);
+        assert_eq!(a, b);
+    }
+}

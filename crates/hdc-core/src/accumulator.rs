@@ -1,0 +1,360 @@
+use rand::Rng;
+
+use crate::BinaryHypervector;
+
+/// Policy for resolving ties when a [`MajorityAccumulator`] is finalized and
+/// a dimension has seen exactly as many ones as zeros.
+///
+/// Ties occur whenever an even number of hypervectors is bundled. The HDC
+/// literature most commonly breaks them randomly (equivalent to bundling one
+/// extra random hypervector), which keeps the result unbiased; deterministic
+/// policies are provided for reproducible pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TieBreak {
+    /// Resolve ties to `0`.
+    #[default]
+    Zero,
+    /// Resolve ties to `1`.
+    One,
+    /// Alternate `0`/`1` by dimension index (deterministic, unbiased on
+    /// average across dimensions).
+    Alternate,
+}
+
+/// Exact majority bundling `⊕` over any number of hypervectors.
+///
+/// The bundling operation of HDC (paper §2.1) is an element-wise majority
+/// vote. This accumulator keeps one signed counter per dimension
+/// (`+1` per one-bit, `−1` per zero-bit), so hypervectors can be added *and
+/// subtracted* — the latter is what makes retraining-style classifiers cheap.
+///
+/// # Example
+///
+/// ```
+/// use hdc_core::{BinaryHypervector, MajorityAccumulator, TieBreak};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let vs: Vec<_> = (0..5).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+/// let mut acc = MajorityAccumulator::new(10_000);
+/// for v in &vs {
+///     acc.push(v);
+/// }
+/// let bundle = acc.finalize(TieBreak::Zero);
+/// // The bundle is similar to each of its five members…
+/// for v in &vs {
+///     assert!(bundle.normalized_hamming(v) < 0.45);
+/// }
+/// // …and quasi-orthogonal to an unrelated hypervector.
+/// let other = BinaryHypervector::random(10_000, &mut rng);
+/// assert!((bundle.normalized_hamming(&other) - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityAccumulator {
+    counts: Vec<i32>,
+    weight: i64,
+}
+
+impl MajorityAccumulator {
+    /// Creates an empty accumulator for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        Self { counts: vec![0; dim], weight: 0 }
+    }
+
+    /// The dimensionality this accumulator operates on.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Net weight pushed so far (pushes minus subtractions).
+    #[must_use]
+    pub fn weight(&self) -> i64 {
+        self.weight
+    }
+
+    /// `true` if nothing has been accumulated (all counters zero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weight == 0 && self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The per-dimension signed counters.
+    #[must_use]
+    pub fn counts(&self) -> &[i32] {
+        &self.counts
+    }
+
+    /// Adds a hypervector to the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push(&mut self, hv: &BinaryHypervector) {
+        self.push_weighted(hv, 1);
+    }
+
+    /// Removes a hypervector from the bundle (used by retraining updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn subtract(&mut self, hv: &BinaryHypervector) {
+        self.push_weighted(hv, -1);
+    }
+
+    /// Adds a hypervector with an integer weight (negative weights subtract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push_weighted(&mut self, hv: &BinaryHypervector, weight: i32) {
+        assert_eq!(
+            self.counts.len(),
+            hv.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.counts.len(),
+            hv.dim()
+        );
+        for (i, bit) in hv.bits().enumerate() {
+            self.counts[i] += if bit { weight } else { -weight };
+        }
+        self.weight += i64::from(weight);
+    }
+
+    /// Resolves the majority vote into a binary hypervector using a
+    /// deterministic tie-break policy.
+    #[must_use]
+    pub fn finalize(&self, tie: TieBreak) -> BinaryHypervector {
+        BinaryHypervector::from_fn(self.counts.len(), |i| {
+            match self.counts[i].cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => match tie {
+                    TieBreak::Zero => false,
+                    TieBreak::One => true,
+                    TieBreak::Alternate => i % 2 == 0,
+                },
+            }
+        })
+    }
+
+    /// Resolves the majority vote, breaking ties uniformly at random
+    /// (equivalent to bundling one additional random hypervector — the
+    /// conventional unbiased choice).
+    #[must_use]
+    pub fn finalize_random(&self, rng: &mut impl Rng) -> BinaryHypervector {
+        BinaryHypervector::from_fn(self.counts.len(), |i| match self.counts[i].cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => rng.random_bool(0.5),
+        })
+    }
+
+    /// Signed agreement between the accumulated counters and a query
+    /// hypervector: `Σ_i (query_i == 1 ? counts_i : −counts_i)`.
+    ///
+    /// This is the dot product of the integer class vector with the
+    /// bipolarized query, the similarity measure used when classifying
+    /// against *non-binarized* class vectors (an accuracy-preserving
+    /// alternative to majority-then-Hamming).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn dot_bipolar(&self, query: &BinaryHypervector) -> i64 {
+        assert_eq!(
+            self.counts.len(),
+            query.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.counts.len(),
+            query.dim()
+        );
+        let mut total = 0i64;
+        for (i, bit) in query.bits().enumerate() {
+            let c = i64::from(self.counts[i]);
+            total += if bit { c } else { -c };
+        }
+        total
+    }
+
+    /// Resets all counters to zero.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.weight = 0;
+    }
+}
+
+impl Extend<BinaryHypervector> for MajorityAccumulator {
+    fn extend<T: IntoIterator<Item = BinaryHypervector>>(&mut self, iter: T) {
+        for hv in iter {
+            self.push(&hv);
+        }
+    }
+}
+
+impl<'a> Extend<&'a BinaryHypervector> for MajorityAccumulator {
+    fn extend<T: IntoIterator<Item = &'a BinaryHypervector>>(&mut self, iter: T) {
+        for hv in iter {
+            self.push(hv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn majority_of_odd_set_is_exact() {
+        // With three vectors the majority is unambiguous; verify bit-by-bit.
+        let a = BinaryHypervector::from_bits(&[true, true, false, false, true]);
+        let b = BinaryHypervector::from_bits(&[true, false, true, false, true]);
+        let c = BinaryHypervector::from_bits(&[false, false, false, true, true]);
+        let mut acc = MajorityAccumulator::new(5);
+        acc.extend([&a, &b, &c]);
+        let m = acc.finalize(TieBreak::Zero);
+        let expected = BinaryHypervector::from_bits(&[true, false, false, false, true]);
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn bundle_is_similar_to_members() {
+        let mut r = rng();
+        let members: Vec<_> =
+            (0..9).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let mut acc = MajorityAccumulator::new(10_000);
+        acc.extend(members.iter());
+        let bundle = acc.finalize_random(&mut r);
+        for m in &members {
+            // E[δ] for 9 bundled vectors is ≈ 0.5 − C(8,4)/2^9 ≈ 0.36.
+            let d = bundle.normalized_hamming(m);
+            assert!(d < 0.42, "distance to member {d}");
+        }
+    }
+
+    #[test]
+    fn subtract_undoes_push() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(256, &mut r);
+        let b = BinaryHypervector::random(256, &mut r);
+        let mut acc = MajorityAccumulator::new(256);
+        acc.push(&a);
+        acc.push(&b);
+        acc.subtract(&b);
+        let mut only_a = MajorityAccumulator::new(256);
+        only_a.push(&a);
+        assert_eq!(acc.counts(), only_a.counts());
+        assert_eq!(acc.weight(), 1);
+    }
+
+    #[test]
+    fn weighted_push_equals_repeated_push() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(128, &mut r);
+        let mut acc1 = MajorityAccumulator::new(128);
+        acc1.push_weighted(&a, 3);
+        let mut acc2 = MajorityAccumulator::new(128);
+        for _ in 0..3 {
+            acc2.push(&a);
+        }
+        assert_eq!(acc1, acc2);
+    }
+
+    #[test]
+    fn tie_break_policies() {
+        let a = BinaryHypervector::from_bits(&[true, false]);
+        let b = BinaryHypervector::from_bits(&[false, true]);
+        let mut acc = MajorityAccumulator::new(2);
+        acc.push(&a);
+        acc.push(&b);
+        assert_eq!(acc.finalize(TieBreak::Zero).count_ones(), 0);
+        assert_eq!(acc.finalize(TieBreak::One).count_ones(), 2);
+        let alt = acc.finalize(TieBreak::Alternate);
+        assert!(alt.get(0) && !alt.get(1));
+    }
+
+    #[test]
+    fn random_tie_break_is_roughly_balanced() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(10_000, &mut r);
+        let mut acc = MajorityAccumulator::new(10_000);
+        acc.push(&a);
+        acc.subtract(&a);
+        // All counters are zero: the finalized vector is pure tie-break.
+        let out = acc.finalize_random(&mut r);
+        let ones = out.count_ones();
+        assert!((4_700..=5_300).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut acc = MajorityAccumulator::new(8);
+        acc.push(&BinaryHypervector::ones(8));
+        assert!(!acc.is_empty());
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.weight(), 0);
+    }
+
+    #[test]
+    fn dot_bipolar_identifies_member() {
+        let mut r = rng();
+        let members: Vec<_> =
+            (0..6).map(|_| BinaryHypervector::random(4_096, &mut r)).collect();
+        let outsider = BinaryHypervector::random(4_096, &mut r);
+        let mut acc = MajorityAccumulator::new(4_096);
+        acc.extend(members.iter());
+        for m in &members {
+            assert!(acc.dot_bipolar(m) > acc.dot_bipolar(&outsider));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_dimension_mismatch_panics() {
+        let mut acc = MajorityAccumulator::new(8);
+        acc.push(&BinaryHypervector::zeros(9));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_single_vector_round_trips(seed in 0u64..500, dim in 1usize..300) {
+            // Majority of a single vector is the vector itself.
+            let mut r = StdRng::seed_from_u64(seed);
+            let hv = BinaryHypervector::random(dim, &mut r);
+            let mut acc = MajorityAccumulator::new(dim);
+            acc.push(&hv);
+            prop_assert_eq!(acc.finalize(TieBreak::Zero), hv);
+        }
+
+        #[test]
+        fn prop_majority_bounded_by_counts(seed in 0u64..500, n in 1usize..12) {
+            // Each finalized bit must agree with the sign of its counter.
+            let mut r = StdRng::seed_from_u64(seed);
+            let dim = 64;
+            let mut acc = MajorityAccumulator::new(dim);
+            for _ in 0..n {
+                acc.push(&BinaryHypervector::random(dim, &mut r));
+            }
+            let out = acc.finalize(TieBreak::Zero);
+            for (i, bit) in out.bits().enumerate() {
+                let c = acc.counts()[i];
+                prop_assert_eq!(bit, c > 0);
+            }
+        }
+    }
+}

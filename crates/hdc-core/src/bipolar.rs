@@ -1,0 +1,371 @@
+use std::fmt;
+
+use rand::Rng;
+
+use crate::BinaryHypervector;
+
+/// A bipolar hypervector: a point of `{−1, +1}^d`, the representation used by
+/// the Multiply–Add–Permute (MAP) family of vector-symbolic architectures.
+///
+/// The paper's experiments run on the binary spatter-code model
+/// ([`BinaryHypervector`]); this type exists for the MAP-vs-BSC ablation
+/// benches and mirrors the same three operations:
+///
+/// * binding — element-wise multiplication (self-inverse, like XOR),
+/// * bundling — element-wise integer addition followed by the sign function
+///   (see [`BipolarAccumulator`]),
+/// * permutation — cyclic rotation.
+///
+/// Similarity is measured with the cosine, which for ±1 vectors equals
+/// `1 − 2δ` of the corresponding binary vectors.
+///
+/// # Example
+///
+/// ```
+/// use hdc_core::BipolarHypervector;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let a = BipolarHypervector::random(10_000, &mut rng);
+/// let b = BipolarHypervector::random(10_000, &mut rng);
+/// assert!(a.cosine(&b).abs() < 0.05); // quasi-orthogonal
+/// assert_eq!(a.bind(&b).bind(&a), b); // self-inverse binding
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BipolarHypervector {
+    elems: Vec<i8>,
+}
+
+impl BipolarHypervector {
+    /// Samples a hypervector uniformly from `{−1, +1}^dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn random(dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        Self { elems: (0..dim).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect() }
+    }
+
+    /// Builds a hypervector by evaluating `f` at every index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or if `f` returns anything other than `±1`.
+    #[must_use]
+    pub fn from_fn(dim: usize, mut f: impl FnMut(usize) -> i8) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        let elems: Vec<i8> = (0..dim)
+            .map(|i| {
+                let v = f(i);
+                assert!(v == 1 || v == -1, "bipolar element must be ±1, got {v}");
+                v
+            })
+            .collect();
+        Self { elems }
+    }
+
+    /// The dimensionality of this hypervector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// The underlying ±1 elements.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i8] {
+        &self.elems
+    }
+
+    /// Binding: element-wise multiplication. Commutative and self-inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn bind(&self, other: &Self) -> Self {
+        self.assert_same_dim(other);
+        Self { elems: self.elems.iter().zip(&other.elems).map(|(a, b)| a * b).collect() }
+    }
+
+    /// Cyclic rotation by `shift` positions (`Π^shift`).
+    #[must_use]
+    pub fn permute(&self, shift: isize) -> Self {
+        let dim = self.elems.len();
+        let s = shift.rem_euclid(dim as isize) as usize;
+        let mut elems = Vec::with_capacity(dim);
+        elems.extend_from_slice(&self.elems[dim - s..]);
+        elems.extend_from_slice(&self.elems[..dim - s]);
+        Self { elems }
+    }
+
+    /// Dot product with another bipolar hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn dot(&self, other: &Self) -> i64 {
+        self.assert_same_dim(other);
+        self.elems
+            .iter()
+            .zip(&other.elems)
+            .map(|(a, b)| i64::from(*a) * i64::from(*b))
+            .sum()
+    }
+
+    /// Cosine similarity in `[−1, 1]`; quasi-orthogonal vectors score ≈ 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn cosine(&self, other: &Self) -> f64 {
+        self.dot(other) as f64 / self.elems.len() as f64
+    }
+
+    /// Converts to the binary representation: `+1 ↦ 1`, `−1 ↦ 0`.
+    #[must_use]
+    pub fn to_binary(&self) -> BinaryHypervector {
+        BinaryHypervector::from_fn(self.elems.len(), |i| self.elems[i] > 0)
+    }
+
+    fn assert_same_dim(&self, other: &Self) {
+        assert_eq!(
+            self.elems.len(),
+            other.elems.len(),
+            "dimension mismatch: expected {}, found {}",
+            self.elems.len(),
+            other.elems.len()
+        );
+    }
+}
+
+impl fmt::Debug for BipolarHypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 16;
+        write!(f, "BipolarHypervector {{ dim: {}, elems: ", self.elems.len())?;
+        for (i, e) in self.elems.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e:+}")?;
+        }
+        if self.elems.len() > PREVIEW {
+            write!(f, ",…")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl fmt::Display for BipolarHypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let positives = self.elems.iter().filter(|&&e| e > 0).count();
+        write!(f, "bipolar hypervector(d={}, +1s={})", self.elems.len(), positives)
+    }
+}
+
+/// Integer accumulator for bundling [`BipolarHypervector`]s (the "Add" of
+/// Multiply–Add–Permute).
+///
+/// # Example
+///
+/// ```
+/// use hdc_core::{BipolarAccumulator, BipolarHypervector};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let a = BipolarHypervector::random(10_000, &mut rng);
+/// let b = BipolarHypervector::random(10_000, &mut rng);
+/// let mut acc = BipolarAccumulator::new(10_000);
+/// acc.push(&a);
+/// acc.push(&b);
+/// let bundle = acc.finalize_random(&mut rng);
+/// assert!(bundle.cosine(&a) > 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipolarAccumulator {
+    sums: Vec<i32>,
+}
+
+impl BipolarAccumulator {
+    /// Creates an empty accumulator for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        Self { sums: vec![0; dim] }
+    }
+
+    /// The dimensionality this accumulator operates on.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// The per-dimension integer sums.
+    #[must_use]
+    pub fn sums(&self) -> &[i32] {
+        &self.sums
+    }
+
+    /// Adds a hypervector to the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push(&mut self, hv: &BipolarHypervector) {
+        self.push_weighted(hv, 1);
+    }
+
+    /// Removes a hypervector from the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn subtract(&mut self, hv: &BipolarHypervector) {
+        self.push_weighted(hv, -1);
+    }
+
+    /// Adds a hypervector with an integer weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push_weighted(&mut self, hv: &BipolarHypervector, weight: i32) {
+        assert_eq!(
+            self.sums.len(),
+            hv.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.sums.len(),
+            hv.dim()
+        );
+        for (s, &e) in self.sums.iter_mut().zip(hv.as_slice()) {
+            *s += i32::from(e) * weight;
+        }
+    }
+
+    /// Applies the sign function, breaking zero-sums uniformly at random.
+    #[must_use]
+    pub fn finalize_random(&self, rng: &mut impl Rng) -> BipolarHypervector {
+        BipolarHypervector::from_fn(self.sums.len(), |i| match self.sums[i].cmp(&0) {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => {
+                if rng.random_bool(0.5) {
+                    1
+                } else {
+                    -1
+                }
+            }
+        })
+    }
+
+    /// Dot product of the raw integer sums with a ±1 query — similarity
+    /// against the non-binarized bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn dot(&self, query: &BipolarHypervector) -> i64 {
+        assert_eq!(
+            self.sums.len(),
+            query.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.sums.len(),
+            query.dim()
+        );
+        self.sums
+            .iter()
+            .zip(query.as_slice())
+            .map(|(&s, &e)| i64::from(s) * i64::from(e))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn binding_is_self_inverse_and_isometric() {
+        let mut r = rng();
+        let a = BipolarHypervector::random(4_096, &mut r);
+        let b = BipolarHypervector::random(4_096, &mut r);
+        let c = BipolarHypervector::random(4_096, &mut r);
+        assert_eq!(a.bind(&b).bind(&a), b);
+        assert!((a.bind(&c).cosine(&b.bind(&c)) - a.cosine(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_matches_binary_distance_relation() {
+        // cos(a, b) = 1 − 2δ(bin(a), bin(b)).
+        let mut r = rng();
+        let a = BipolarHypervector::random(2_048, &mut r);
+        let b = BipolarHypervector::random(2_048, &mut r);
+        let delta = a.to_binary().normalized_hamming(&b.to_binary());
+        assert!((a.cosine(&b) - (1.0 - 2.0 * delta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permute_round_trip() {
+        let mut r = rng();
+        let a = BipolarHypervector::random(999, &mut r);
+        assert_eq!(a.permute(17).permute(-17), a);
+        assert_eq!(a.permute(0), a);
+        assert_eq!(a.permute(999), a);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(512, &mut r);
+        assert_eq!(a.to_bipolar().to_binary(), a);
+        let b = BipolarHypervector::random(512, &mut r);
+        assert_eq!(b.to_binary().to_bipolar(), b);
+    }
+
+    #[test]
+    fn bundle_similar_to_members() {
+        let mut r = rng();
+        let members: Vec<_> = (0..7).map(|_| BipolarHypervector::random(8_192, &mut r)).collect();
+        let mut acc = BipolarAccumulator::new(8_192);
+        for m in &members {
+            acc.push(m);
+        }
+        let bundle = acc.finalize_random(&mut r);
+        for m in &members {
+            assert!(bundle.cosine(m) > 0.15);
+        }
+    }
+
+    #[test]
+    fn subtract_undoes_push() {
+        let mut r = rng();
+        let a = BipolarHypervector::random(64, &mut r);
+        let b = BipolarHypervector::random(64, &mut r);
+        let mut acc = BipolarAccumulator::new(64);
+        acc.push(&a);
+        acc.push(&b);
+        acc.subtract(&b);
+        let mut only_a = BipolarAccumulator::new(64);
+        only_a.push(&a);
+        assert_eq!(acc.sums(), only_a.sums());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ±1")]
+    fn from_fn_rejects_invalid_elements() {
+        let _ = BipolarHypervector::from_fn(4, |_| 0);
+    }
+}

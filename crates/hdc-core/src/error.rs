@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible hyperdimensional-computing constructors.
+///
+/// Hot-path arithmetic (binding, Hamming distance, …) panics on dimension
+/// mismatch instead — see the `# Panics` sections of the respective methods —
+/// while configuration-time constructors (basis sets, encoders, models)
+/// return `Result<_, HdcError>` so applications can surface invalid
+/// parameters gracefully.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors (or a hypervector and an accumulator) with different
+    /// dimensionalities were combined.
+    DimensionMismatch {
+        /// The dimensionality expected by the receiver.
+        expected: usize,
+        /// The dimensionality that was supplied.
+        found: usize,
+    },
+    /// A hypervector dimensionality of zero was requested.
+    InvalidDimension(usize),
+    /// A basis set with fewer members than the construction supports was
+    /// requested (e.g. a level set needs at least two levels).
+    InvalidBasisSize {
+        /// The requested number of basis hypervectors.
+        requested: usize,
+        /// The minimum supported by the construction.
+        minimum: usize,
+    },
+    /// The randomness hyperparameter `r` lies outside `[0, 1]` or is NaN.
+    InvalidRandomness(f64),
+    /// A scalar encoder was configured with an empty or inverted interval.
+    InvalidInterval {
+        /// Lower bound of the interval.
+        low: f64,
+        /// Upper bound of the interval.
+        high: f64,
+    },
+    /// An operation that needs at least one input received none.
+    EmptyInput,
+    /// A model was asked to train on a label outside its configured range.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The number of classes the model was configured with.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HdcError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            HdcError::InvalidDimension(dim) => {
+                write!(f, "invalid hypervector dimension {dim}; must be at least 1")
+            }
+            HdcError::InvalidBasisSize { requested, minimum } => write!(
+                f,
+                "invalid basis size {requested}; this construction needs at least {minimum}"
+            ),
+            HdcError::InvalidRandomness(r) => {
+                write!(f, "randomness hyperparameter {r} is outside [0, 1]")
+            }
+            HdcError::InvalidInterval { low, high } => {
+                write!(f, "invalid interval [{low}, {high}]; bounds must be finite and low < high")
+            }
+            HdcError::EmptyInput => write!(f, "operation requires at least one input"),
+            HdcError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let messages = [
+            HdcError::DimensionMismatch { expected: 4, found: 8 }.to_string(),
+            HdcError::InvalidDimension(0).to_string(),
+            HdcError::InvalidBasisSize { requested: 1, minimum: 2 }.to_string(),
+            HdcError::InvalidRandomness(1.5).to_string(),
+            HdcError::InvalidInterval { low: 2.0, high: 1.0 }.to_string(),
+            HdcError::EmptyInput.to_string(),
+            HdcError::LabelOutOfRange { label: 9, classes: 3 }.to_string(),
+        ];
+        for message in messages {
+            assert!(!message.is_empty());
+            assert!(!message.ends_with('.'), "no trailing punctuation: {message}");
+            assert!(message.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn Error> = Box::new(HdcError::EmptyInput);
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,212 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::BinaryHypervector;
+
+/// An associative *item memory*: a keyed store of hypervectors supporting
+/// exact lookup by key and noisy lookup ("cleanup") by nearest neighbour.
+///
+/// Item memories are the bridge between symbols and the hyperspace: encoders
+/// store one hypervector per atomic symbol, and decoding a noisy query (for
+/// instance the label vector recovered by unbinding a regression model,
+/// paper §2.3) is a cleanup operation.
+///
+/// # Example
+///
+/// ```
+/// use hdc_core::{BinaryHypervector, ItemMemory};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let mut memory = ItemMemory::new();
+/// for name in ["sun", "moon", "star"] {
+///     memory.insert(name, BinaryHypervector::random(10_000, &mut rng));
+/// }
+///
+/// let noisy = memory.get(&"moon").unwrap().corrupt(0.25, &mut rng);
+/// let (key, _, similarity) = memory.cleanup(&noisy).unwrap();
+/// assert_eq!(*key, "moon");
+/// assert!(similarity > 0.6);
+/// ```
+#[derive(Clone)]
+pub struct ItemMemory<K> {
+    entries: Vec<(K, BinaryHypervector)>,
+    index: HashMap<K, usize>,
+}
+
+impl<K: Eq + Hash + Clone> ItemMemory<K> {
+    /// Creates an empty item memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { entries: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Number of stored items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no items are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores `hv` under `key`, returning the previously stored hypervector
+    /// if the key was already present.
+    pub fn insert(&mut self, key: K, hv: BinaryHypervector) -> Option<BinaryHypervector> {
+        if let Some(&pos) = self.index.get(&key) {
+            let old = std::mem::replace(&mut self.entries[pos].1, hv);
+            return Some(old);
+        }
+        self.index.insert(key.clone(), self.entries.len());
+        self.entries.push((key, hv));
+        None
+    }
+
+    /// Exact lookup by key.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&BinaryHypervector> {
+        self.index.get(key).map(|&pos| &self.entries[pos].1)
+    }
+
+    /// `true` if `key` is stored.
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Noisy lookup: returns the `(key, hypervector, similarity)` of the
+    /// stored item most similar to `query`, or `None` if the memory is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stored hypervectors have a different dimensionality than the
+    /// query.
+    #[must_use]
+    pub fn cleanup(&self, query: &BinaryHypervector) -> Option<(&K, &BinaryHypervector, f64)> {
+        crate::similarity::most_similar(query, self.entries.iter().map(|(_, hv)| hv))
+            .map(|(i, s)| (&self.entries[i].0, &self.entries[i].1, s))
+    }
+
+    /// Iterates over `(key, hypervector)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &BinaryHypervector)> {
+        self.entries.iter().map(|(k, hv)| (k, hv))
+    }
+
+    /// Iterates over stored hypervectors in insertion order.
+    pub fn hypervectors(&self) -> impl Iterator<Item = &BinaryHypervector> {
+        self.entries.iter().map(|(_, hv)| hv)
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for ItemMemory<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> FromIterator<(K, BinaryHypervector)> for ItemMemory<K> {
+    fn from_iter<T: IntoIterator<Item = (K, BinaryHypervector)>>(iter: T) -> Self {
+        let mut memory = Self::new();
+        for (k, hv) in iter {
+            memory.insert(k, hv);
+        }
+        memory
+    }
+}
+
+impl<K: Eq + Hash + Clone> Extend<(K, BinaryHypervector)> for ItemMemory<K> {
+    fn extend<T: IntoIterator<Item = (K, BinaryHypervector)>>(&mut self, iter: T) {
+        for (k, hv) in iter {
+            self.insert(k, hv);
+        }
+    }
+}
+
+impl<K: fmt::Debug> fmt::Debug for ItemMemory<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ItemMemory")
+            .field("len", &self.entries.len())
+            .field("keys", &self.entries.iter().map(|(k, _)| k).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut r = rng();
+        let mut mem = ItemMemory::new();
+        let a = BinaryHypervector::random(512, &mut r);
+        assert!(mem.insert("a", a.clone()).is_none());
+        assert_eq!(mem.get(&"a"), Some(&a));
+        assert!(mem.contains(&"a"));
+        assert!(!mem.contains(&"b"));
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut r = rng();
+        let mut mem = ItemMemory::new();
+        let first = BinaryHypervector::random(128, &mut r);
+        let second = BinaryHypervector::random(128, &mut r);
+        mem.insert(1u32, first.clone());
+        let old = mem.insert(1u32, second.clone());
+        assert_eq!(old, Some(first));
+        assert_eq!(mem.get(&1), Some(&second));
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn cleanup_recovers_noisy_items() {
+        let mut r = rng();
+        let mut mem = ItemMemory::new();
+        for i in 0..20u32 {
+            mem.insert(i, BinaryHypervector::random(10_000, &mut r));
+        }
+        for i in 0..20u32 {
+            let noisy = mem.get(&i).unwrap().corrupt(0.3, &mut r);
+            let (key, _, sim) = mem.cleanup(&noisy).unwrap();
+            assert_eq!(*key, i);
+            assert!(sim > 0.6);
+        }
+    }
+
+    #[test]
+    fn cleanup_empty_is_none() {
+        let mem: ItemMemory<u8> = ItemMemory::new();
+        assert!(mem.cleanup(&BinaryHypervector::zeros(8)).is_none());
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_iter_preserve_order() {
+        let mut r = rng();
+        let pairs: Vec<(u8, BinaryHypervector)> =
+            (0..4).map(|i| (i, BinaryHypervector::random(64, &mut r))).collect();
+        let mem: ItemMemory<u8> = pairs.clone().into_iter().collect();
+        let keys: Vec<u8> = mem.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, [0, 1, 2, 3]);
+        assert_eq!(mem.hypervectors().count(), 4);
+    }
+
+    #[test]
+    fn debug_shows_keys() {
+        let mut mem = ItemMemory::new();
+        mem.insert("x", BinaryHypervector::zeros(8));
+        let s = format!("{mem:?}");
+        assert!(s.contains("ItemMemory") && s.contains('x'));
+    }
+}

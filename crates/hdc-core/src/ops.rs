@@ -1,0 +1,169 @@
+//! Free-function forms of the three HDC operations over iterators of
+//! hypervectors, convenient for building encoders.
+//!
+//! ```
+//! use hdc_core::{ops, BinaryHypervector};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let vs: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+//!
+//! let bound = ops::bind_all(vs.iter()).expect("non-empty");
+//! let bundled = ops::bundle(vs.iter(), &mut rng).expect("non-empty");
+//! assert!(bundled.normalized_hamming(&vs[0]) < 0.45);
+//! # let _ = bound;
+//! ```
+
+use rand::Rng;
+
+use crate::{BinaryHypervector, MajorityAccumulator};
+
+/// Binds (XORs) all hypervectors of the iterator together, returning `None`
+/// for an empty iterator.
+///
+/// Binding many vectors is how records such as the paper's Beijing encoding
+/// `Y ⊗ D ⊗ H` are formed.
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+pub fn bind_all<'a, I>(hvs: I) -> Option<BinaryHypervector>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    let mut iter = hvs.into_iter();
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |mut acc, hv| {
+        acc.bind_assign(hv);
+        acc
+    }))
+}
+
+/// Bundles (majority-votes) all hypervectors of the iterator, breaking ties
+/// randomly. Returns `None` for an empty iterator.
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+pub fn bundle<'a, I>(hvs: I, rng: &mut impl Rng) -> Option<BinaryHypervector>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    let mut iter = hvs.into_iter();
+    let first = iter.next()?;
+    let mut acc = MajorityAccumulator::new(first.dim());
+    acc.push(first);
+    for hv in iter {
+        acc.push(hv);
+    }
+    Some(acc.finalize_random(rng))
+}
+
+/// Encodes a sequence by bundling position-permuted element hypervectors:
+/// `⊕_i Π^i(items[i])` — the word encoding of paper §3.1.
+///
+/// Returns `None` for an empty sequence.
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+pub fn bundle_sequence<'a, I>(items: I, rng: &mut impl Rng) -> Option<BinaryHypervector>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    let mut iter = items.into_iter();
+    let first = iter.next()?;
+    let mut acc = MajorityAccumulator::new(first.dim());
+    acc.push(&first.permute(0));
+    for (i, hv) in iter.enumerate() {
+        acc.push(&hv.permute(i as isize + 1));
+    }
+    Some(acc.finalize_random(rng))
+}
+
+/// Binds position-permuted element hypervectors together:
+/// `⊗_i Π^i(items[i])` — the n-gram encoding used for sliding windows.
+///
+/// Returns `None` for an empty sequence.
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+pub fn bind_sequence<'a, I>(items: I) -> Option<BinaryHypervector>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    let mut iter = items.into_iter();
+    let first = iter.next()?.permute(0);
+    Some(iter.enumerate().fold(first, |mut acc, (i, hv)| {
+        acc.bind_assign(&hv.permute(i as isize + 1));
+        acc
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn bind_all_empty_is_none() {
+        assert!(bind_all(std::iter::empty()).is_none());
+        assert!(bundle(std::iter::empty(), &mut rng()).is_none());
+        assert!(bundle_sequence(std::iter::empty(), &mut rng()).is_none());
+        assert!(bind_sequence(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn bind_all_matches_pairwise() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(1_024, &mut r);
+        let b = BinaryHypervector::random(1_024, &mut r);
+        let c = BinaryHypervector::random(1_024, &mut r);
+        assert_eq!(bind_all([&a, &b, &c]).unwrap(), a.bind(&b).bind(&c));
+        assert_eq!(bind_all([&a]).unwrap(), a);
+    }
+
+    #[test]
+    fn bundle_matches_accumulator() {
+        let mut r = rng();
+        let vs: Vec<_> = (0..5).map(|_| BinaryHypervector::random(2_048, &mut r)).collect();
+        // Odd count: no ties, so both paths are deterministic and equal.
+        let via_free = bundle(vs.iter(), &mut r.clone()).unwrap();
+        let mut acc = MajorityAccumulator::new(2_048);
+        acc.extend(vs.iter());
+        assert_eq!(via_free, acc.finalize(crate::TieBreak::Zero));
+    }
+
+    #[test]
+    fn sequence_encoding_is_order_sensitive() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(10_000, &mut r);
+        let b = BinaryHypervector::random(10_000, &mut r);
+        let c = BinaryHypervector::random(10_000, &mut r);
+        let abc = bind_sequence([&a, &b, &c]).unwrap();
+        let acb = bind_sequence([&a, &c, &b]).unwrap();
+        assert!((abc.normalized_hamming(&acb) - 0.5).abs() < 0.05);
+        // Same order twice is identical.
+        assert_eq!(abc, bind_sequence([&a, &b, &c]).unwrap());
+    }
+
+    #[test]
+    fn bundled_sequence_similar_to_permuted_members() {
+        let mut r = rng();
+        let items: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let enc = bundle_sequence(items.iter(), &mut r).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            let expected = item.permute(i as isize);
+            assert!(enc.normalized_hamming(&expected) < 0.4);
+            // And dissimilar to the *unpermuted* member at other positions.
+            if i > 0 {
+                assert!((enc.normalized_hamming(item) - 0.5).abs() < 0.06);
+            }
+        }
+    }
+}

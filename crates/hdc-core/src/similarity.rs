@@ -1,0 +1,166 @@
+//! Similarity search helpers: nearest-neighbour queries over collections of
+//! hypervectors, the primitive behind both classification (nearest
+//! class-vector) and regression decoding (nearest label-vector).
+//!
+//! ```
+//! use hdc_core::{similarity, BinaryHypervector};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let items: Vec<_> = (0..4).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+//! let noisy = items[2].corrupt(0.2, &mut rng);
+//! let (index, distance) = similarity::nearest(&noisy, &items).expect("non-empty");
+//! assert_eq!(index, 2);
+//! assert!(distance < 0.3);
+//! ```
+
+use crate::BinaryHypervector;
+
+/// Finds the candidate with the smallest normalized Hamming distance to
+/// `query`, returning its index and that distance. Returns `None` when
+/// `candidates` is empty. Ties resolve to the earliest index.
+///
+/// # Panics
+///
+/// Panics if any candidate's dimensionality differs from the query's.
+pub fn nearest<'a, I>(query: &BinaryHypervector, candidates: I) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    let mut best: Option<(usize, usize)> = None;
+    for (i, hv) in candidates.into_iter().enumerate() {
+        let d = query.hamming(hv);
+        if best.map_or(true, |(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best.map(|(i, d)| (i, d as f64 / query.dim() as f64))
+}
+
+/// Finds the candidate with the greatest similarity `1 − δ` to `query`.
+/// Equivalent to [`nearest`] but reports similarity instead of distance.
+///
+/// # Panics
+///
+/// Panics if any candidate's dimensionality differs from the query's.
+pub fn most_similar<'a, I>(query: &BinaryHypervector, candidates: I) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    nearest(query, candidates).map(|(i, d)| (i, 1.0 - d))
+}
+
+/// Computes the normalized Hamming distance from `query` to every candidate.
+///
+/// # Panics
+///
+/// Panics if any candidate's dimensionality differs from the query's.
+pub fn distances<'a, I>(query: &BinaryHypervector, candidates: I) -> Vec<f64>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
+    candidates.into_iter().map(|hv| query.normalized_hamming(hv)).collect()
+}
+
+/// Computes the full pairwise similarity matrix `1 − δ` of a set of
+/// hypervectors (the quantity plotted in the paper's Figure 3).
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+pub fn pairwise_similarity(hvs: &[BinaryHypervector]) -> Vec<Vec<f64>> {
+    let n = hvs.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        matrix[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let s = hvs[i].similarity(&hvs[j]);
+            matrix[i][j] = s;
+            matrix[j][i] = s;
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn nearest_empty_is_none() {
+        let q = BinaryHypervector::zeros(16);
+        assert!(nearest(&q, &[]).is_none());
+    }
+
+    #[test]
+    fn nearest_finds_exact_match() {
+        let mut r = rng();
+        let items: Vec<_> = (0..8).map(|_| BinaryHypervector::random(4_096, &mut r)).collect();
+        for (i, item) in items.iter().enumerate() {
+            let (found, d) = nearest(item, &items).unwrap();
+            assert_eq!(found, i);
+            assert_eq!(d, 0.0);
+        }
+    }
+
+    #[test]
+    fn nearest_tolerates_noise() {
+        let mut r = rng();
+        let items: Vec<_> = (0..16).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        for (i, item) in items.iter().enumerate() {
+            let noisy = item.corrupt(0.3, &mut r);
+            let (found, _) = nearest(&noisy, &items).unwrap();
+            assert_eq!(found, i, "30% noise must still decode");
+        }
+    }
+
+    #[test]
+    fn nearest_tie_resolves_to_first() {
+        let a = BinaryHypervector::from_bits(&[true, false, false, false]);
+        let b = BinaryHypervector::from_bits(&[false, true, false, false]);
+        let q = BinaryHypervector::zeros(4);
+        let (i, d) = nearest(&q, [&a, &b]).unwrap();
+        assert_eq!(i, 0);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_similar_complements_nearest() {
+        let mut r = rng();
+        let items: Vec<_> = (0..4).map(|_| BinaryHypervector::random(1_024, &mut r)).collect();
+        let q = items[1].corrupt(0.1, &mut r);
+        let (ni, nd) = nearest(&q, &items).unwrap();
+        let (si, ss) = most_similar(&q, &items).unwrap();
+        assert_eq!(ni, si);
+        assert!((ss - (1.0 - nd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_len_matches() {
+        let mut r = rng();
+        let items: Vec<_> = (0..5).map(|_| BinaryHypervector::random(256, &mut r)).collect();
+        let q = BinaryHypervector::random(256, &mut r);
+        assert_eq!(distances(&q, &items).len(), 5);
+    }
+
+    #[test]
+    fn pairwise_similarity_is_symmetric_with_unit_diagonal() {
+        let mut r = rng();
+        let items: Vec<_> = (0..6).map(|_| BinaryHypervector::random(2_048, &mut r)).collect();
+        let m = pairwise_similarity(&items);
+        for i in 0..6 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..6 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+                if i != j {
+                    assert!((m[i][j] - 0.5).abs() < 0.06);
+                }
+            }
+        }
+    }
+}

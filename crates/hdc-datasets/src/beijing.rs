@@ -1,0 +1,290 @@
+//! Synthetic surrogate of the Beijing (Aotizhongxin station) hourly
+//! temperature series used in the paper's first regression task.
+//!
+//! The real series (Zhang et al. 2017, UCI repository) spans March 2013 to
+//! February 2017 at hourly resolution. The surrogate reproduces the
+//! structure the paper's hypothesis rests on — temperature is
+//! circular-linearly correlated with **day-of-year** (Earth's orbit) and
+//! **hour-of-day** (Earth's rotation), plus a macro warming trend across
+//! years:
+//!
+//! `T(t) = mean + trend·years + annual(doy) + diurnal(hour) + AR(1) noise`
+//!
+//! ```
+//! use hdc_datasets::beijing::{self, BeijingConfig};
+//!
+//! let data = beijing::generate(&BeijingConfig::default());
+//! // Four years of hourly samples.
+//! assert_eq!(data.samples.len(), 4 * 365 * 24);
+//! // July afternoons are hotter than January nights.
+//! let july = data.samples.iter().find(|s| s.day_of_year > 190.0 && s.hour == 14.0).unwrap();
+//! let january = data.samples.iter().find(|s| s.day_of_year > 10.0 && s.hour == 4.0).unwrap();
+//! assert!(july.temperature > january.temperature);
+//! ```
+
+use dirstats::TAU;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::noise::Ar1;
+
+/// Days per (non-leap) year used by the generator's calendar.
+pub const DAYS_PER_YEAR: f64 = 365.0;
+
+/// Generation parameters for the Beijing surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeijingConfig {
+    /// Number of years of hourly data.
+    pub years: usize,
+    /// Long-run mean temperature (°C).
+    pub mean_temperature: f64,
+    /// Amplitude of the annual cycle (°C).
+    pub annual_amplitude: f64,
+    /// Amplitude of the diurnal cycle (°C).
+    pub diurnal_amplitude: f64,
+    /// Linear warming trend (°C per year).
+    pub warming_per_year: f64,
+    /// Stationary standard deviation of the AR(1) weather noise (°C).
+    pub noise_std: f64,
+    /// Hour-to-hour autocorrelation of the weather noise.
+    pub noise_rho: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BeijingConfig {
+    fn default() -> Self {
+        Self {
+            years: 4,
+            mean_temperature: 13.0,
+            annual_amplitude: 14.5,
+            diurnal_amplitude: 4.0,
+            warming_per_year: 0.05,
+            noise_std: 3.0,
+            noise_rho: 0.95,
+            seed: 0xBE11,
+        }
+    }
+}
+
+/// One hourly record of the surrogate series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeijingSample {
+    /// Years elapsed since the start of the series (continuous, `0..years`).
+    pub year: f64,
+    /// Day of the year in `[0, 365)`.
+    pub day_of_year: f64,
+    /// Hour of the day in `[0, 24)`.
+    pub hour: f64,
+    /// Temperature (°C) — the regression target.
+    pub temperature: f64,
+}
+
+/// The generated hourly series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeijingDataset {
+    /// Hourly records in chronological order.
+    pub samples: Vec<BeijingSample>,
+}
+
+impl BeijingDataset {
+    /// The `(min, max)` of the temperature column, used to configure label
+    /// encoders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn temperature_range(&self) -> (f64, f64) {
+        assert!(!self.samples.is_empty(), "empty dataset has no range");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in &self.samples {
+            min = min.min(s.temperature);
+            max = max.max(s.temperature);
+        }
+        (min, max)
+    }
+
+    /// Chronological train/test split (`train_fraction` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not within `[0, 1]`.
+    #[must_use]
+    pub fn temporal_split(
+        &self,
+        train_fraction: f64,
+    ) -> (Vec<&BeijingSample>, Vec<&BeijingSample>) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction {train_fraction} must lie in [0, 1]"
+        );
+        let cut = (self.samples.len() as f64 * train_fraction).round() as usize;
+        let (a, b) = self.samples.split_at(cut);
+        (a.iter().collect(), b.iter().collect())
+    }
+
+    /// Writes the series as CSV (`year,day_of_year,hour,temperature`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "year,day_of_year,hour,temperature")?;
+        for s in &self.samples {
+            writeln!(writer, "{:.4},{:.1},{:.1},{:.3}", s.year, s.day_of_year, s.hour, s.temperature)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates the surrogate series.
+///
+/// # Panics
+///
+/// Panics if `config.years == 0` or the noise parameters are invalid.
+#[must_use]
+pub fn generate(config: &BeijingConfig) -> BeijingDataset {
+    assert!(config.years > 0, "need at least one year of data");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut weather = Ar1::with_stationary_std(config.noise_rho, config.noise_std)
+        .expect("valid AR(1) parameters");
+
+    let hours = config.years * DAYS_PER_YEAR as usize * 24;
+    let samples = (0..hours)
+        .map(|h| {
+            let hour = (h % 24) as f64;
+            let day_of_year = ((h / 24) % DAYS_PER_YEAR as usize) as f64;
+            let year = h as f64 / (DAYS_PER_YEAR * 24.0);
+            // Coldest around January 15 (day 15), warmest mid-July.
+            let annual = -config.annual_amplitude * (TAU * (day_of_year - 15.0) / DAYS_PER_YEAR).cos();
+            // Coldest around 5 am, warmest around 5 pm.
+            let diurnal = -config.diurnal_amplitude * (TAU * (hour - 5.0) / 24.0).cos();
+            let temperature = config.mean_temperature
+                + config.warming_per_year * year
+                + annual
+                + diurnal
+                + weather.next_value(&mut rng);
+            BeijingSample { year, day_of_year, hour, temperature }
+        })
+        .collect();
+    BeijingDataset { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirstats::{angles::to_angle, correlation};
+
+    fn small() -> BeijingDataset {
+        generate(&BeijingConfig { years: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn calendar_fields_are_in_range() {
+        let data = small();
+        assert_eq!(data.samples.len(), 2 * 365 * 24);
+        for s in &data.samples {
+            assert!((0.0..24.0).contains(&s.hour));
+            assert!((0.0..365.0).contains(&s.day_of_year));
+            assert!((0.0..2.0).contains(&s.year));
+        }
+        // Strictly chronological.
+        for w in data.samples.windows(2) {
+            assert!(w[1].year >= w[0].year);
+        }
+    }
+
+    #[test]
+    fn seasonal_cycle_dominates() {
+        let data = small();
+        let summer: Vec<f64> = data
+            .samples
+            .iter()
+            .filter(|s| (170.0..220.0).contains(&s.day_of_year))
+            .map(|s| s.temperature)
+            .collect();
+        let winter: Vec<f64> = data
+            .samples
+            .iter()
+            .filter(|s| s.day_of_year < 30.0 || s.day_of_year > 350.0)
+            .map(|s| s.temperature)
+            .collect();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean(&summer) - mean(&winter) > 20.0, "seasonal swing too small");
+    }
+
+    #[test]
+    fn day_of_year_angle_is_circularly_correlated_with_temperature() {
+        let data = small();
+        let angles: Vec<f64> =
+            data.samples.iter().map(|s| to_angle(s.day_of_year, 365.0)).collect();
+        let temps: Vec<f64> = data.samples.iter().map(|s| s.temperature).collect();
+        let r2 = correlation::circular_linear(&angles, &temps).unwrap();
+        assert!(r2 > 0.7, "circular-linear R² = {r2}");
+    }
+
+    #[test]
+    fn hour_angle_correlates_within_a_day() {
+        // Remove the seasonal component by looking at one week.
+        let data = small();
+        let week: Vec<&BeijingSample> =
+            data.samples.iter().filter(|s| (100.0..107.0).contains(&s.day_of_year)).collect();
+        let angles: Vec<f64> = week.iter().map(|s| to_angle(s.hour, 24.0)).collect();
+        let temps: Vec<f64> = week.iter().map(|s| s.temperature).collect();
+        let r2 = correlation::circular_linear(&angles, &temps).unwrap();
+        assert!(r2 > 0.2, "diurnal circular-linear R² = {r2}");
+    }
+
+    #[test]
+    fn warming_trend_is_present() {
+        let data = generate(&BeijingConfig {
+            years: 4,
+            warming_per_year: 1.0, // exaggerated for a clean statistical test
+            noise_std: 1.0,
+            ..Default::default()
+        });
+        let (first, last) = data.temporal_split(0.5);
+        // Compare the same calendar windows (all seasons present in both).
+        let mean = |xs: &[&BeijingSample]| {
+            xs.iter().map(|s| s.temperature).sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(&last) - mean(&first) > 1.0, "warming not detected");
+    }
+
+    #[test]
+    fn temperature_range_covers_sensible_band() {
+        let (min, max) = small().temperature_range();
+        assert!(min < -5.0 && min > -35.0, "min = {min}");
+        assert!(max > 25.0 && max < 50.0, "max = {max}");
+    }
+
+    #[test]
+    fn temporal_split_is_chronological() {
+        let data = small();
+        let (train, test) = data.temporal_split(0.7);
+        assert_eq!(train.len() + test.len(), data.samples.len());
+        let last_train = train.last().unwrap().year;
+        let first_test = test.first().unwrap().year;
+        assert!(last_train <= first_test);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&BeijingConfig { years: 1, ..Default::default() });
+        let b = generate(&BeijingConfig { years: 1, ..Default::default() });
+        assert_eq!(a, b);
+        let c = generate(&BeijingConfig { years: 1, seed: 7, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let data = generate(&BeijingConfig { years: 1, ..Default::default() });
+        let mut buffer = Vec::new();
+        data.write_csv(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert_eq!(text.lines().count(), data.samples.len() + 1);
+        assert!(text.starts_with("year,day_of_year,hour,temperature"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Synthetic surrogate of the JIGSAWS surgical-gesture dataset.
+//!
+//! The real JIGSAWS corpus (Gao et al.; Ahmidi et al.) contains kinematic
+//! recordings of surgeons performing three training tasks on a da Vinci
+//! robot, annotated with 15 gesture labels (G1–G15). The paper classifies
+//! gestures from the 18 kinematic variables describing the rotation of the
+//! left master tool manipulator and the patient-side manipulator.
+//!
+//! This surrogate preserves the properties that drive the paper's result:
+//!
+//! * **18 angular channels** per sample (manipulator orientation angles),
+//!   each gesture having a characteristic von Mises signature per channel;
+//! * a fraction of gesture signatures deliberately **straddles the ±π wrap
+//!   point**, which is precisely where level encodings break and circular
+//!   encodings shine;
+//! * **eight surgeons** of varying skill (noisier kinematics for novices);
+//!   the paper's protocol trains on the experienced surgeon "D" and tests
+//!   on the rest;
+//! * the three tasks use different **gesture vocabularies**, matching the
+//!   real corpus (Suturing 10 gestures, Needle Passing 8, Knot Tying 6).
+//!
+//! ```
+//! use hdc_datasets::jigsaws::{JigsawsConfig, JigsawsTask, TRAIN_SURGEON};
+//!
+//! let data = JigsawsTask::KnotTying.generate(&JigsawsConfig::default());
+//! let (train, test) = data.train_test_split(TRAIN_SURGEON);
+//! assert!(!train.is_empty() && !test.is_empty());
+//! assert!(train.iter().all(|s| s.surgeon == TRAIN_SURGEON));
+//! ```
+
+use dirstats::{angles::wrap, Normal, VonMises};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Number of kinematic channels per sample (matching the paper's 18
+/// rotation variables).
+pub const CHANNELS: usize = 18;
+
+/// Number of surgeons in the corpus.
+pub const SURGEONS: usize = 8;
+
+/// Index of the experienced surgeon ("D") whose trials form the training
+/// split in the paper's protocol.
+pub const TRAIN_SURGEON: usize = 2;
+
+/// Total number of gesture labels across the corpus (G1–G15).
+pub const GESTURES: usize = 15;
+
+/// The three JIGSAWS surgical tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JigsawsTask {
+    /// Tying a suture knot.
+    KnotTying,
+    /// Passing a needle through tissue loops.
+    NeedlePassing,
+    /// Suturing an incision.
+    Suturing,
+}
+
+impl JigsawsTask {
+    /// All three tasks, in the order of the paper's Table 1.
+    pub const ALL: [JigsawsTask; 3] =
+        [JigsawsTask::KnotTying, JigsawsTask::NeedlePassing, JigsawsTask::Suturing];
+
+    /// Human-readable task name as printed in Table 1.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JigsawsTask::KnotTying => "Knot Tying",
+            JigsawsTask::NeedlePassing => "Needle Passing",
+            JigsawsTask::Suturing => "Suturing",
+        }
+    }
+
+    /// The global gesture indices (0-based G1–G15) in this task's
+    /// vocabulary, mirroring the real corpus' per-task gesture sets.
+    #[must_use]
+    pub fn gesture_vocabulary(self) -> &'static [usize] {
+        match self {
+            JigsawsTask::KnotTying => &[0, 10, 11, 12, 13, 14],
+            JigsawsTask::NeedlePassing => &[0, 1, 2, 3, 4, 5, 7, 10],
+            JigsawsTask::Suturing => &[0, 1, 2, 3, 4, 5, 7, 8, 9, 10],
+        }
+    }
+
+    /// Generates the synthetic dataset for this task.
+    #[must_use]
+    pub fn generate(self, config: &JigsawsConfig) -> JigsawsDataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let signatures =
+            GestureSignatures::draw(&mut rng, config.kappa_range, config.gesture_spread);
+
+        // Per-surgeon skill: the training surgeon is experienced (precise),
+        // others have increasingly noisy kinematics plus personal offsets.
+        let offset_noise = Normal::new(0.0, config.surgeon_offset_std).expect("valid normal");
+        let novice_span = (config.max_novice_noise - 1.0).max(0.0);
+        let surgeons: Vec<Surgeon> = (0..SURGEONS)
+            .map(|s| Surgeon {
+                noise_scale: if s == TRAIN_SURGEON {
+                    1.0
+                } else {
+                    1.0 + novice_span * (0.3 + 0.175 * ((s * 7 + 3) % 5) as f64)
+                },
+                offsets: if s == TRAIN_SURGEON {
+                    vec![0.0; CHANNELS]
+                } else {
+                    (0..CHANNELS).map(|_| offset_noise.sample(&mut rng)).collect()
+                },
+            })
+            .collect();
+
+        let vocabulary = self.gesture_vocabulary();
+        let drift_step = Normal::new(0.0, config.drift_std).expect("valid normal");
+        let mut samples = Vec::new();
+        for (label, &gesture) in vocabulary.iter().enumerate() {
+            for (surgeon_id, surgeon) in surgeons.iter().enumerate() {
+                for _ in 0..config.trials_per_surgeon {
+                    let mut drift = 0.0;
+                    for _ in 0..config.frames_per_trial {
+                        drift += drift_step.sample(&mut rng);
+                        let angles = (0..CHANNELS)
+                            .map(|c| {
+                                let (mu, kappa) = signatures.channel(gesture, c);
+                                let vm = VonMises::new(
+                                    mu + surgeon.offsets[c] + drift,
+                                    kappa / (surgeon.noise_scale * surgeon.noise_scale),
+                                )
+                                .expect("valid von Mises parameters");
+                                vm.sample(&mut rng)
+                            })
+                            .collect();
+                        let noisy_label = if config.label_noise > 0.0
+                            && rng.random_bool(config.label_noise)
+                        {
+                            rng.random_range(0..vocabulary.len())
+                        } else {
+                            label
+                        };
+                        samples.push(JigsawsSample {
+                            angles,
+                            gesture: noisy_label,
+                            surgeon: surgeon_id,
+                        });
+                    }
+                }
+            }
+        }
+        JigsawsDataset { task: self, gesture_count: vocabulary.len(), samples }
+    }
+}
+
+/// Generation parameters for the JIGSAWS surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawsConfig {
+    /// Trials recorded per gesture per surgeon.
+    pub trials_per_surgeon: usize,
+    /// Frames (= classification samples) per trial.
+    pub frames_per_trial: usize,
+    /// Standard deviation of the per-frame trajectory drift (radians).
+    pub drift_std: f64,
+    /// Range of von Mises concentrations for gesture signatures; lower
+    /// values make gestures angularly broader and harder to separate.
+    pub kappa_range: (f64, f64),
+    /// Standard deviation of per-surgeon channel offsets (radians). Larger
+    /// offsets push test surgeons' angles into quantization bins the
+    /// training surgeon never visited — the regime where basis structure
+    /// matters.
+    pub surgeon_offset_std: f64,
+    /// Noise-scale multiplier of the least precise novice surgeon (the
+    /// training surgeon is 1.0; others interpolate upward).
+    pub max_novice_noise: f64,
+    /// Angular spread (radians) of gesture means around each channel's
+    /// shared posture anchor. Small spreads make gestures confusable —
+    /// distinguishing them requires *fine* angular discrimination, which is
+    /// where the choice of basis-hypervector set matters most.
+    pub gesture_spread: f64,
+    /// Fraction of frames whose label is replaced by another gesture of the
+    /// task, modelling the segment-boundary/annotation ambiguity of real
+    /// gesture corpora (an accuracy ceiling no encoder can beat).
+    pub label_noise: f64,
+    /// RNG seed; the same seed regenerates the identical corpus.
+    pub seed: u64,
+}
+
+impl Default for JigsawsConfig {
+    fn default() -> Self {
+        Self {
+            trials_per_surgeon: 3,
+            frames_per_trial: 10,
+            drift_std: 0.07,
+            kappa_range: (9.0, 18.0),
+            surgeon_offset_std: 0.10,
+            max_novice_noise: 1.8,
+            gesture_spread: 0.55,
+            label_noise: 0.08,
+            seed: 0x5151,
+        }
+    }
+}
+
+/// One kinematic frame: 18 manipulator orientation angles with its gesture
+/// label (index into the task's vocabulary) and performing surgeon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawsSample {
+    /// The 18 orientation angles, wrapped to `[0, 2π)`.
+    pub angles: Vec<f64>,
+    /// Gesture label, `0..dataset.gesture_count`.
+    pub gesture: usize,
+    /// Surgeon index, `0..SURGEONS`.
+    pub surgeon: usize,
+}
+
+/// A generated JIGSAWS-surrogate corpus for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JigsawsDataset {
+    /// The task this corpus belongs to.
+    pub task: JigsawsTask,
+    /// Number of distinct gesture labels.
+    pub gesture_count: usize,
+    /// All frames, grouped by gesture then surgeon then trial.
+    pub samples: Vec<JigsawsSample>,
+}
+
+impl JigsawsDataset {
+    /// Number of kinematic channels per sample.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        CHANNELS
+    }
+
+    /// Splits into (train, test) by surgeon: the paper trains on one
+    /// surgeon's trials and tests on everyone else's.
+    #[must_use]
+    pub fn train_test_split(
+        &self,
+        train_surgeon: usize,
+    ) -> (Vec<&JigsawsSample>, Vec<&JigsawsSample>) {
+        self.samples.iter().partition(|s| s.surgeon == train_surgeon)
+    }
+
+    /// Writes the corpus as CSV (`gesture,surgeon,angle_0..angle_17`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        write!(writer, "gesture,surgeon")?;
+        for c in 0..CHANNELS {
+            write!(writer, ",angle_{c}")?;
+        }
+        writeln!(writer)?;
+        for s in &self.samples {
+            write!(writer, "{},{}", s.gesture, s.surgeon)?;
+            for a in &s.angles {
+                write!(writer, ",{a:.6}")?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+}
+
+struct Surgeon {
+    noise_scale: f64,
+    offsets: Vec<f64>,
+}
+
+/// Per-gesture, per-channel von Mises parameters.
+struct GestureSignatures {
+    mus: Vec<f64>,     // GESTURES × CHANNELS
+    kappas: Vec<f64>,  // GESTURES × CHANNELS
+}
+
+impl GestureSignatures {
+    fn draw(rng: &mut StdRng, kappa_range: (f64, f64), gesture_spread: f64) -> Self {
+        // Each channel has one shared *posture anchor* (the manipulator's
+        // typical orientation for that joint during the task); gestures are
+        // modest angular deviations around it. This makes classes
+        // confusable — exactly like real kinematics, where all gestures of
+        // a task share the same workspace posture. A third of the anchors
+        // sit right at the wrap point, the regime where circular encodings
+        // have the edge.
+        let anchors: Vec<f64> = (0..CHANNELS)
+            .map(|channel| {
+                if channel % 3 == 0 {
+                    wrap(rng.random_range(-0.3..0.3))
+                } else {
+                    rng.random_range(0.0..std::f64::consts::TAU)
+                }
+            })
+            .collect();
+        let deviation = Normal::new(0.0, gesture_spread).expect("valid normal");
+        let mut mus = Vec::with_capacity(GESTURES * CHANNELS);
+        let mut kappas = Vec::with_capacity(GESTURES * CHANNELS);
+        for _gesture in 0..GESTURES {
+            for channel in 0..CHANNELS {
+                mus.push(wrap(anchors[channel] + deviation.sample(rng)));
+                kappas.push(rng.random_range(kappa_range.0..kappa_range.1));
+            }
+        }
+        Self { mus, kappas }
+    }
+
+    fn channel(&self, gesture: usize, channel: usize) -> (f64, f64) {
+        let idx = gesture * CHANNELS + channel;
+        (self.mus[idx], self.kappas[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirstats::descriptive::mean_resultant_length;
+
+    #[test]
+    fn vocabulary_sizes_match_the_corpus() {
+        assert_eq!(JigsawsTask::KnotTying.gesture_vocabulary().len(), 6);
+        assert_eq!(JigsawsTask::NeedlePassing.gesture_vocabulary().len(), 8);
+        assert_eq!(JigsawsTask::Suturing.gesture_vocabulary().len(), 10);
+    }
+
+    #[test]
+    fn generated_sizes_are_consistent() {
+        let config = JigsawsConfig { trials_per_surgeon: 2, frames_per_trial: 5, ..Default::default() };
+        let data = JigsawsTask::KnotTying.generate(&config);
+        assert_eq!(data.gesture_count, 6);
+        assert_eq!(data.samples.len(), 6 * SURGEONS * 2 * 5);
+        for s in &data.samples {
+            assert_eq!(s.angles.len(), CHANNELS);
+            assert!(s.gesture < 6);
+            assert!(s.surgeon < SURGEONS);
+            for &a in &s.angles {
+                assert!((0.0..std::f64::consts::TAU).contains(&a), "angle {a} not wrapped");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 3, ..Default::default() };
+        let a = JigsawsTask::Suturing.generate(&config);
+        let b = JigsawsTask::Suturing.generate(&config);
+        assert_eq!(a, b);
+        let different =
+            JigsawsTask::Suturing.generate(&JigsawsConfig { seed: 999, ..config });
+        assert_ne!(a, different);
+    }
+
+    #[test]
+    fn split_by_surgeon_partitions() {
+        let data = JigsawsTask::NeedlePassing.generate(&JigsawsConfig {
+            trials_per_surgeon: 1,
+            frames_per_trial: 4,
+            ..Default::default()
+        });
+        let (train, test) = data.train_test_split(TRAIN_SURGEON);
+        assert_eq!(train.len() + test.len(), data.samples.len());
+        assert!(train.iter().all(|s| s.surgeon == TRAIN_SURGEON));
+        assert!(test.iter().all(|s| s.surgeon != TRAIN_SURGEON));
+        // 1 of 8 surgeons in train.
+        assert_eq!(train.len() * (SURGEONS - 1), test.len());
+    }
+
+    #[test]
+    fn gesture_channels_are_concentrated() {
+        // Within one gesture and surgeon, a channel's angles cluster
+        // (high resultant length); across gestures they disperse.
+        let data = JigsawsTask::KnotTying.generate(&JigsawsConfig {
+            trials_per_surgeon: 6,
+            frames_per_trial: 10,
+            ..Default::default()
+        });
+        let gesture0_ch0: Vec<f64> = data
+            .samples
+            .iter()
+            .filter(|s| s.gesture == 0 && s.surgeon == TRAIN_SURGEON)
+            .map(|s| s.angles[0])
+            .collect();
+        assert!(gesture0_ch0.len() >= 30);
+        let r = mean_resultant_length(&gesture0_ch0).unwrap();
+        assert!(r > 0.8, "within-gesture concentration R̄ = {r}");
+
+        let all_gestures_ch0: Vec<f64> = data
+            .samples
+            .iter()
+            .filter(|s| s.surgeon == TRAIN_SURGEON)
+            .map(|s| s.angles[0])
+            .collect();
+        let r_all = mean_resultant_length(&all_gestures_ch0).unwrap();
+        assert!(r_all < r, "across-gesture dispersion {r_all} < within {r}");
+    }
+
+    #[test]
+    fn some_signatures_straddle_the_wrap() {
+        let data = JigsawsTask::Suturing.generate(&JigsawsConfig {
+            trials_per_surgeon: 4,
+            frames_per_trial: 10,
+            ..Default::default()
+        });
+        // Count samples whose channel-0 angle is within 0.3 rad of the wrap.
+        let near_wrap = data
+            .samples
+            .iter()
+            .filter(|s| s.angles[0] < 0.3 || s.angles[0] > std::f64::consts::TAU - 0.3)
+            .count();
+        assert!(near_wrap > data.samples.len() / 50, "wrap-straddling mass: {near_wrap}");
+    }
+
+    #[test]
+    fn novice_surgeons_are_noisier() {
+        let data = JigsawsTask::KnotTying.generate(&JigsawsConfig {
+            trials_per_surgeon: 8,
+            frames_per_trial: 10,
+            ..Default::default()
+        });
+        let concentration = |surgeon: usize| {
+            let angles: Vec<f64> = data
+                .samples
+                .iter()
+                .filter(|s| s.gesture == 1 && s.surgeon == surgeon)
+                .map(|s| s.angles[3])
+                .collect();
+            mean_resultant_length(&angles).unwrap()
+        };
+        // The experienced training surgeon is at least as concentrated as
+        // the noisiest novice.
+        let expert = concentration(TRAIN_SURGEON);
+        let novices: Vec<f64> =
+            (0..SURGEONS).filter(|&s| s != TRAIN_SURGEON).map(concentration).collect();
+        let min_novice = novices.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(expert >= min_novice - 0.05, "expert {expert} vs min novice {min_novice}");
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let data = JigsawsTask::KnotTying.generate(&JigsawsConfig {
+            trials_per_surgeon: 1,
+            frames_per_trial: 2,
+            ..Default::default()
+        });
+        let mut buffer = Vec::new();
+        data.write_csv(&mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), data.samples.len() + 1);
+        assert!(lines[0].starts_with("gesture,surgeon,angle_0"));
+        assert_eq!(lines[1].split(',').count(), 2 + CHANNELS);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic surrogates of the paper's three evaluation datasets.
+//!
+//! The original data (JIGSAWS surgical kinematics, the UCI Beijing
+//! air-quality series, ESA Mars Express telemetry) cannot be redistributed
+//! or downloaded in this environment, so this crate generates statistically
+//! faithful stand-ins that preserve exactly the structure the paper's
+//! experiments exercise — see `DESIGN.md` §3 for the substitution argument:
+//!
+//! * [`jigsaws`] — per-gesture surgical kinematics: 18 angular channels
+//!   drawn from gesture-specific von Mises distributions, several of which
+//!   straddle the ±π wrap point; eight surgeons of varying skill; the three
+//!   tasks (Knot Tying, Needle Passing, Suturing) with their own gesture
+//!   vocabularies.
+//! * [`beijing`] — four years of hourly temperature: annual + diurnal
+//!   sinusoids, a warming trend, and AR(1) weather noise; features are
+//!   (year, day-of-year, hour-of-day), the latter two circular.
+//! * [`mars`] — satellite power as a function of the mean anomaly of Mars'
+//!   solar orbit, computed through a real Kepler-equation solver
+//!   ([`orbit`]) plus eclipse harmonics and Gaussian noise.
+//! * [`noise`] — the AR(1) process used by the Beijing generator.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_datasets::jigsaws::{JigsawsConfig, JigsawsTask};
+//!
+//! let data = JigsawsTask::Suturing.generate(&JigsawsConfig::default());
+//! assert_eq!(data.channels(), 18);
+//! assert!(data.samples.len() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beijing;
+pub mod jigsaws;
+pub mod mars;
+pub mod noise;
+pub mod orbit;

@@ -1,0 +1,129 @@
+//! Noise processes for synthetic time series.
+
+use dirstats::Normal;
+use rand::Rng;
+
+/// A first-order autoregressive process `x_t = ρ·x_{t−1} + ε_t`,
+/// `ε_t ~ N(0, σ_ε²)`, used to give the Beijing surrogate realistic weather
+/// autocorrelation.
+///
+/// # Example
+///
+/// ```
+/// use hdc_datasets::noise::Ar1;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // Stationary standard deviation 3.0 with strong hour-to-hour memory.
+/// let mut weather = Ar1::with_stationary_std(0.95, 3.0)?;
+/// let x0 = weather.next_value(&mut rng);
+/// let x1 = weather.next_value(&mut rng);
+/// // Consecutive values are close relative to the stationary spread.
+/// assert!((x1 - x0).abs() < 6.0);
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    rho: f64,
+    innovation: Normal,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Creates an AR(1) process with autocorrelation `rho ∈ (−1, 1)` and
+    /// innovation standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dirstats::DirStatsError`] if `rho` is outside `(−1, 1)` or
+    /// `sigma` is invalid.
+    pub fn new(rho: f64, sigma: f64) -> Result<Self, dirstats::DirStatsError> {
+        if !rho.is_finite() || rho.abs() >= 1.0 {
+            return Err(dirstats::DirStatsError::InvalidParameter { name: "rho", value: rho });
+        }
+        Ok(Self { rho, innovation: Normal::new(0.0, sigma)?, state: 0.0 })
+    }
+
+    /// Creates an AR(1) process whose *stationary* standard deviation is
+    /// `stationary_std` (innovations are scaled by `sqrt(1 − ρ²)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dirstats::DirStatsError`] for invalid parameters.
+    pub fn with_stationary_std(
+        rho: f64,
+        stationary_std: f64,
+    ) -> Result<Self, dirstats::DirStatsError> {
+        let sigma = stationary_std * (1.0 - rho * rho).max(0.0).sqrt();
+        Self::new(rho, sigma)
+    }
+
+    /// The autocorrelation coefficient `ρ`.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Advances the process one step and returns the new value.
+    pub fn next_value(&mut self, rng: &mut impl Rng) -> f64 {
+        self.state = self.rho * self.state + self.innovation.sample(rng);
+        self.state
+    }
+
+    /// Generates `n` consecutive values.
+    pub fn series(&mut self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n).map(|_| self.next_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn stationary_std_matches_request() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut process = Ar1::with_stationary_std(0.9, 2.0).unwrap();
+        // Burn in, then measure.
+        let _ = process.series(500, &mut rng);
+        let xs = process.series(30_000, &mut rng);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.25, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn autocorrelation_matches_rho() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut process = Ar1::with_stationary_std(0.8, 1.0).unwrap();
+        let _ = process.series(500, &mut rng);
+        let xs = process.series(30_000, &mut rng);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let cov = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!((cov / var - 0.8).abs() < 0.05, "rho_hat = {}", cov / var);
+    }
+
+    #[test]
+    fn zero_rho_is_white_noise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut process = Ar1::new(0.0, 1.0).unwrap();
+        let xs = process.series(10_000, &mut rng);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05);
+        assert_eq!(process.rho(), 0.0);
+    }
+
+    #[test]
+    fn rejects_nonstationary_rho() {
+        assert!(Ar1::new(1.0, 1.0).is_err());
+        assert!(Ar1::new(-1.5, 1.0).is_err());
+        assert!(Ar1::new(f64::NAN, 1.0).is_err());
+        assert!(Ar1::new(0.5, -1.0).is_err());
+    }
+}

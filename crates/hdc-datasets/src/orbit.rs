@@ -1,0 +1,180 @@
+//! Two-body orbital mechanics: the Kepler-equation substrate behind the
+//! Mars Express surrogate.
+//!
+//! The *mean anomaly* `M` grows linearly with time; the *eccentric anomaly*
+//! `E` solves Kepler's equation `E − e·sin E = M`; the heliocentric radius
+//! is `r = a(1 − e·cos E)`. Solar flux at the spacecraft falls off as
+//! `1/r²`, which is what couples the circular feature (mean anomaly) to the
+//! linear target (power) in the paper's regression task.
+//!
+//! ```
+//! use hdc_datasets::orbit::Orbit;
+//!
+//! let mars = Orbit::mars();
+//! // Perihelion at M = 0, aphelion at M = π.
+//! assert!(mars.radius(0.0) < mars.radius(std::f64::consts::PI));
+//! ```
+
+/// A Keplerian orbit described by its semi-major axis (astronomical units)
+/// and eccentricity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Orbit {
+    semi_major_axis: f64,
+    eccentricity: f64,
+}
+
+impl Orbit {
+    /// Creates an orbit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `semi_major_axis > 0` and `0 ≤ eccentricity < 1`
+    /// (closed orbits only).
+    #[must_use]
+    pub fn new(semi_major_axis: f64, eccentricity: f64) -> Self {
+        assert!(
+            semi_major_axis.is_finite() && semi_major_axis > 0.0,
+            "semi-major axis {semi_major_axis} must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&eccentricity),
+            "eccentricity {eccentricity} must lie in [0, 1) for a closed orbit"
+        );
+        Self { semi_major_axis, eccentricity }
+    }
+
+    /// Mars' heliocentric orbit (a = 1.5237 au, e = 0.0934).
+    #[must_use]
+    pub fn mars() -> Self {
+        Self::new(1.523_7, 0.093_4)
+    }
+
+    /// The semi-major axis in astronomical units.
+    #[must_use]
+    pub fn semi_major_axis(&self) -> f64 {
+        self.semi_major_axis
+    }
+
+    /// The orbital eccentricity.
+    #[must_use]
+    pub fn eccentricity(&self) -> f64 {
+        self.eccentricity
+    }
+
+    /// Solves Kepler's equation `E − e·sin E = M` for the eccentric anomaly
+    /// by Newton iteration (converges quadratically for `e < 1`; the result
+    /// satisfies the equation to better than 1e-12).
+    #[must_use]
+    pub fn eccentric_anomaly(&self, mean_anomaly: f64) -> f64 {
+        let m = mean_anomaly.rem_euclid(std::f64::consts::TAU);
+        let e = self.eccentricity;
+        // Standard starting guess: E₀ = M + e·sin(M).
+        let mut big_e = m + e * m.sin();
+        for _ in 0..32 {
+            let f = big_e - e * big_e.sin() - m;
+            let fp = 1.0 - e * big_e.cos();
+            let step = f / fp;
+            big_e -= step;
+            if step.abs() < 1e-14 {
+                break;
+            }
+        }
+        big_e
+    }
+
+    /// The heliocentric distance `r = a(1 − e·cos E)` at a given mean
+    /// anomaly (astronomical units).
+    #[must_use]
+    pub fn radius(&self, mean_anomaly: f64) -> f64 {
+        let big_e = self.eccentric_anomaly(mean_anomaly);
+        self.semi_major_axis * (1.0 - self.eccentricity * big_e.cos())
+    }
+
+    /// The true anomaly `ν` (angle from perihelion as seen from the sun) at
+    /// a given mean anomaly, in `[0, 2π)`.
+    #[must_use]
+    pub fn true_anomaly(&self, mean_anomaly: f64) -> f64 {
+        let big_e = self.eccentric_anomaly(mean_anomaly);
+        let e = self.eccentricity;
+        let nu = 2.0
+            * ((1.0 + e).sqrt() * (big_e / 2.0).sin())
+                .atan2((1.0 - e).sqrt() * (big_e / 2.0).cos());
+        nu.rem_euclid(std::f64::consts::TAU)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn circular_orbit_is_trivial() {
+        let orbit = Orbit::new(1.0, 0.0);
+        for m in [0.0, 1.0, PI, 5.0] {
+            assert!((orbit.eccentric_anomaly(m) - m.rem_euclid(TAU)).abs() < 1e-12);
+            assert!((orbit.radius(m) - 1.0).abs() < 1e-12);
+            assert!((orbit.true_anomaly(m) - m.rem_euclid(TAU)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perihelion_and_aphelion() {
+        let mars = Orbit::mars();
+        let a = mars.semi_major_axis();
+        let e = mars.eccentricity();
+        assert!((mars.radius(0.0) - a * (1.0 - e)).abs() < 1e-9, "perihelion");
+        assert!((mars.radius(PI) - a * (1.0 + e)).abs() < 1e-9, "aphelion");
+    }
+
+    #[test]
+    fn high_eccentricity_converges() {
+        let comet = Orbit::new(10.0, 0.95);
+        for i in 0..50 {
+            let m = TAU * i as f64 / 50.0;
+            let big_e = comet.eccentric_anomaly(m);
+            let residual = big_e - 0.95 * big_e.sin() - m.rem_euclid(TAU);
+            assert!(residual.abs() < 1e-10, "M={m} residual={residual}");
+        }
+    }
+
+    #[test]
+    fn radius_bounds() {
+        let mars = Orbit::mars();
+        let a = mars.semi_major_axis();
+        let e = mars.eccentricity();
+        for i in 0..100 {
+            let m = TAU * i as f64 / 100.0;
+            let r = mars.radius(m);
+            assert!(r >= a * (1.0 - e) - 1e-12 && r <= a * (1.0 + e) + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eccentricity")]
+    fn rejects_open_orbits() {
+        let _ = Orbit::new(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_degenerate_axis() {
+        let _ = Orbit::new(0.0, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kepler_equation_holds(m in 0.0f64..TAU, e in 0.0f64..0.9) {
+            let orbit = Orbit::new(1.0, e);
+            let big_e = orbit.eccentric_anomaly(m);
+            prop_assert!((big_e - e * big_e.sin() - m).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_true_anomaly_in_range(m in 0.0f64..TAU) {
+            let nu = Orbit::mars().true_anomaly(m);
+            prop_assert!((0.0..TAU).contains(&nu));
+        }
+    }
+}

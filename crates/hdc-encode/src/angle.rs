@@ -1,0 +1,243 @@
+use hdc_basis::{BasisSet, CircularBasis};
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::Rng;
+
+const TAU: f64 = std::f64::consts::TAU;
+
+/// Encoder for *circular* quantities: angles in `[0, 2π)`, or any periodic
+/// value via [`encode_periodic`](Self::encode_periodic) (hour-of-day,
+/// day-of-year, orbital phase…).
+///
+/// The circle is quantized into `m` sectors; values wrap, so `2π − ε` and
+/// `ε` land on neighbouring (or the same) hypervectors. Backed by a
+/// [`CircularBasis`] by default so hyperspace distances are proportional to
+/// angular distances (paper §5).
+///
+/// # Example
+///
+/// ```
+/// use hdc_encode::AngleEncoder;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let enc = AngleEncoder::with_circular(360, 10_000, 0.0, &mut rng)?;
+/// // December 31st and January 1st are neighbours on the yearly circle.
+/// let dec31 = enc.encode_periodic(364.0, 365.0);
+/// let jan1 = enc.encode_periodic(0.0, 365.0);
+/// assert!(dec31.normalized_hamming(jan1) < 0.05);
+/// # Ok::<(), hdc_encode::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AngleEncoder {
+    hvs: Vec<BinaryHypervector>,
+}
+
+impl AngleEncoder {
+    /// Creates an encoder from an existing basis set; sector `i` represents
+    /// the angle `2π·i/m`. Any basis works (the experiment harness swaps in
+    /// random and level sets to reproduce the paper's comparisons), but only
+    /// a circular basis gives wrap-correct distances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if the basis has fewer than
+    /// two members.
+    pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
+        if basis.len() < 2 {
+            return Err(HdcError::InvalidBasisSize { requested: basis.len(), minimum: 2 });
+        }
+        Ok(Self { hvs: basis.hypervectors().to_vec() })
+    }
+
+    /// Creates an encoder backed by a fresh [`CircularBasis`] with `m`
+    /// sectors and randomness `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `m < 2`, `dim == 0` or `r ∉ [0, 1]`.
+    pub fn with_circular(
+        m: usize,
+        dim: usize,
+        r: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        let basis = CircularBasis::with_randomness(m, dim, r, rng)?;
+        Self::from_basis(&basis)
+    }
+
+    /// Number of sectors `m`.
+    #[must_use]
+    pub fn sectors(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.hvs[0].dim()
+    }
+
+    /// The sector whose center is nearest to `angle` (radians; wraps).
+    #[must_use]
+    pub fn index_of(&self, angle: f64) -> usize {
+        let m = self.hvs.len();
+        let w = angle.rem_euclid(TAU);
+        ((w / TAU * m as f64).round() as usize) % m
+    }
+
+    /// The central angle of a sector (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.sectors()`.
+    #[must_use]
+    pub fn angle_of(&self, index: usize) -> f64 {
+        assert!(index < self.hvs.len(), "sector {index} out of range for {}", self.hvs.len());
+        TAU * index as f64 / self.hvs.len() as f64
+    }
+
+    /// Encodes an angle in radians (wrapped automatically).
+    #[must_use]
+    pub fn encode(&self, angle: f64) -> &BinaryHypervector {
+        &self.hvs[self.index_of(angle)]
+    }
+
+    /// Encodes a value from a periodic domain `[0, period)` — e.g.
+    /// `encode_periodic(17.0, 24.0)` for 5 pm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not finite and positive.
+    #[must_use]
+    pub fn encode_periodic(&self, value: f64, period: f64) -> &BinaryHypervector {
+        assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+        self.encode(value / period * TAU)
+    }
+
+    /// Decodes a (possibly noisy) hypervector to the central angle of the
+    /// most similar sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv` has a different dimensionality than the encoder.
+    #[must_use]
+    pub fn decode(&self, hv: &BinaryHypervector) -> f64 {
+        let (idx, _) = hdc_core::similarity::nearest(hv, &self.hvs)
+            .expect("encoder always holds at least two sectors");
+        self.angle_of(idx)
+    }
+
+    /// The stored sector hypervectors, sector 0 (angle 0) first.
+    #[must_use]
+    pub fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_basis::{LevelBasis, RandomBasis};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31_337)
+    }
+
+    #[test]
+    fn sector_selection_wraps() {
+        let mut r = rng();
+        let enc = AngleEncoder::with_circular(8, 512, 0.0, &mut r).unwrap();
+        assert_eq!(enc.index_of(0.0), 0);
+        assert_eq!(enc.index_of(TAU), 0);
+        assert_eq!(enc.index_of(-0.01), 0); // rounds to sector 0 across the wrap
+        assert_eq!(enc.index_of(TAU / 8.0), 1);
+        // Just below 2π rounds up to sector 8 ≡ 0.
+        assert_eq!(enc.index_of(TAU - 0.01), 0);
+    }
+
+    #[test]
+    fn wrap_distance_is_small() {
+        let mut r = rng();
+        let enc = AngleEncoder::with_circular(24, 10_000, 0.0, &mut r).unwrap();
+        let a = enc.encode_periodic(23.0, 24.0);
+        let b = enc.encode_periodic(1.0, 24.0);
+        assert!(a.normalized_hamming(b) < 0.15);
+        // Opposite times of day are quasi-orthogonal.
+        let noon = enc.encode_periodic(12.0, 24.0);
+        let midnight = enc.encode_periodic(0.0, 24.0);
+        assert!((noon.normalized_hamming(midnight) - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let mut r = rng();
+        let enc = AngleEncoder::with_circular(36, 8_192, 0.0, &mut r).unwrap();
+        for i in 0..36 {
+            let angle = enc.angle_of(i);
+            assert_eq!(enc.decode(enc.encode(angle)), angle);
+        }
+    }
+
+    #[test]
+    fn decode_survives_noise() {
+        let mut r = rng();
+        let enc = AngleEncoder::with_circular(12, 10_000, 0.0, &mut r).unwrap();
+        let hv = enc.encode(2.0).corrupt(0.1, &mut r);
+        let decoded = enc.decode(&hv);
+        let err = (decoded - enc.angle_of(enc.index_of(2.0))).abs();
+        assert!(err < 1.2, "decoded angle off by {err}");
+    }
+
+    #[test]
+    fn level_backed_encoder_does_not_wrap() {
+        // The failure mode the paper fixes: with a level basis, the two ends
+        // of the circle are maximally dissimilar.
+        let mut r = rng();
+        let basis = LevelBasis::new(24, 10_000, &mut r).unwrap();
+        let enc = AngleEncoder::from_basis(&basis).unwrap();
+        let d = enc.encode_periodic(23.0, 24.0).normalized_hamming(enc.encode_periodic(0.0, 24.0));
+        // δ(L_23, L_0) = 23/(2·23) = 0.5 under the level construction.
+        assert!((d - 0.5).abs() < 0.06, "level basis should not wrap: {d}");
+    }
+
+    #[test]
+    fn random_backed_encoder_has_no_structure() {
+        let mut r = rng();
+        let basis = RandomBasis::new(24, 10_000, &mut r).unwrap();
+        let enc = AngleEncoder::from_basis(&basis).unwrap();
+        let d = enc.encode_periodic(11.0, 24.0).normalized_hamming(enc.encode_periodic(12.0, 24.0));
+        assert!((d - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn rejects_tiny_basis() {
+        let mut r = rng();
+        let basis = RandomBasis::new(1, 64, &mut r).unwrap();
+        assert!(matches!(
+            AngleEncoder::from_basis(&basis),
+            Err(HdcError::InvalidBasisSize { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_in_range(angle in -100.0f64..100.0) {
+            let mut r = StdRng::seed_from_u64(0);
+            let enc = AngleEncoder::with_circular(10, 256, 0.0, &mut r).unwrap();
+            prop_assert!(enc.index_of(angle) < 10);
+        }
+
+        #[test]
+        fn prop_periodic_equivalence(hour in 0.0f64..24.0) {
+            // encode_periodic(v, p) must agree with encode(v/p·2π).
+            let mut r = StdRng::seed_from_u64(0);
+            let enc = AngleEncoder::with_circular(24, 256, 0.0, &mut r).unwrap();
+            prop_assert_eq!(
+                enc.encode_periodic(hour, 24.0),
+                enc.encode(hour / 24.0 * TAU)
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+use hdc_basis::{BasisSet, RandomBasis};
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::Rng;
+
+/// Encoder for symbolic/categorical information (paper §3.1): each of `n`
+/// categories gets an independent random hypervector, so distinct categories
+/// are quasi-orthogonal and carry no spurious ordinal structure.
+///
+/// # Example
+///
+/// ```
+/// use hdc_encode::CategoricalEncoder;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let letters = CategoricalEncoder::new(26, 10_000, &mut rng)?;
+/// let a = letters.encode(0);
+/// let z = letters.encode(25);
+/// assert!((a.normalized_hamming(z) - 0.5).abs() < 0.05);
+/// # Ok::<(), hdc_encode::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CategoricalEncoder {
+    hvs: Vec<BinaryHypervector>,
+}
+
+impl CategoricalEncoder {
+    /// Creates an encoder for `n` categories with fresh random
+    /// hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `n == 0` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn new(n: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        let basis = RandomBasis::new(n, dim, rng)?;
+        Ok(Self { hvs: basis.hypervectors().to_vec() })
+    }
+
+    /// Creates an encoder from an existing basis set (cloning its members).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if the basis is empty.
+    pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
+        if basis.is_empty() {
+            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+        }
+        Ok(Self { hvs: basis.hypervectors().to_vec() })
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn categories(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.hvs[0].dim()
+    }
+
+    /// Encodes category `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.categories()`.
+    #[must_use]
+    pub fn encode(&self, index: usize) -> &BinaryHypervector {
+        assert!(
+            index < self.hvs.len(),
+            "category {index} out of range for {} categories",
+            self.hvs.len()
+        );
+        &self.hvs[index]
+    }
+
+    /// Decodes a (possibly noisy) hypervector to the most similar category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv` has a different dimensionality than the encoder.
+    #[must_use]
+    pub fn decode(&self, hv: &BinaryHypervector) -> usize {
+        hdc_core::similarity::nearest(hv, &self.hvs)
+            .expect("encoder always holds at least one category")
+            .0
+    }
+
+    /// The stored category hypervectors.
+    #[must_use]
+    pub fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1_000)
+    }
+
+    #[test]
+    fn categories_are_quasi_orthogonal() {
+        let mut r = rng();
+        let enc = CategoricalEncoder::new(10, 10_000, &mut r).unwrap();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let d = enc.encode(i).normalized_hamming(enc.encode(j));
+                assert!((d - 0.5).abs() < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode_under_noise() {
+        let mut r = rng();
+        let enc = CategoricalEncoder::new(50, 10_000, &mut r).unwrap();
+        for i in [0, 7, 49] {
+            let noisy = enc.encode(i).corrupt(0.25, &mut r);
+            assert_eq!(enc.decode(&noisy), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_bad_index() {
+        let mut r = rng();
+        let enc = CategoricalEncoder::new(3, 64, &mut r).unwrap();
+        let _ = enc.encode(3);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut r = rng();
+        assert!(CategoricalEncoder::new(0, 64, &mut r).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let mut r = rng();
+        let enc = CategoricalEncoder::new(4, 128, &mut r).unwrap();
+        assert_eq!(enc.categories(), 4);
+        assert_eq!(enc.dim(), 128);
+        assert_eq!(enc.hypervectors().len(), 4);
+    }
+}

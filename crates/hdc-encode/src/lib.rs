@@ -1,0 +1,52 @@
+//! Encoders: mapping input-space objects to hypervectors.
+//!
+//! Encoding is "the most important stage in HDC" (paper §1): atomic pieces
+//! of information are mapped through *basis-hypervector* sets, then combined
+//! with binding, bundling and permutation into representations of whole
+//! samples. This crate provides:
+//!
+//! * [`ScalarEncoder`] — quantizes an interval `[a, b]` into `m` levels
+//!   (paper §3.2, `φ_L`) and decodes back (invertibility is what makes HDC
+//!   regression possible, §2.3),
+//! * [`AngleEncoder`] — quantizes the circle `[0, 2π)` into `m` circular
+//!   hypervectors, wrapping correctly (paper §5),
+//! * [`CategoricalEncoder`] — maps symbol indices through a random basis
+//!   (paper §3.1),
+//! * [`RecordEncoder`] — the key–value superposition `⊕ᵢ Kᵢ ⊗ Vᵢ` used for
+//!   the JIGSAWS feature vectors (paper §6.1),
+//! * [`SequenceEncoder`] — order-aware sequence and n-gram encodings via
+//!   permutation (paper §3.1).
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_encode::{AngleEncoder, ScalarEncoder};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let temp = ScalarEncoder::with_levels(-20.0, 40.0, 64, 10_000, &mut rng)?;
+//! let hv = temp.encode(21.3);
+//! assert!((temp.decode(hv) - 21.3).abs() < 1.0); // quantization error ≤ step/2
+//!
+//! let hour = AngleEncoder::with_circular(24, 10_000, 0.0, &mut rng)?;
+//! // 23h and 1h are two hours apart across midnight.
+//! let d = hour.encode_periodic(23.0, 24.0).normalized_hamming(hour.encode_periodic(1.0, 24.0));
+//! assert!(d < 0.15);
+//! # Ok::<(), hdc_encode::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angle;
+mod categorical;
+mod record;
+mod scalar;
+mod sequence;
+
+pub use angle::AngleEncoder;
+pub use categorical::CategoricalEncoder;
+pub use hdc_core::HdcError;
+pub use record::RecordEncoder;
+pub use scalar::ScalarEncoder;
+pub use sequence::SequenceEncoder;

@@ -1,0 +1,291 @@
+use hdc_basis::{BasisKind, BasisSet, LevelBasis};
+use hdc_core::{BinaryHypervector, HdcError};
+use rand::Rng;
+
+/// Quantizing encoder `φ_L` for real numbers over an interval `[a, b]`
+/// (paper §3.2): `m` points `ξ_1 … ξ_m` are placed evenly over the interval
+/// and a value maps to the hypervector of its nearest point.
+///
+/// The encoder is *invertible up to quantization*: [`decode`](Self::decode)
+/// finds the nearest stored hypervector and returns its `ξ`, which is what
+/// HDC regression uses to read labels back out of a model (paper §2.3).
+///
+/// Values outside `[a, b]` are clamped to the nearest endpoint level.
+///
+/// # Example
+///
+/// ```
+/// use hdc_encode::ScalarEncoder;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let enc = ScalarEncoder::with_levels(0.0, 10.0, 11, 10_000, &mut rng)?;
+/// assert_eq!(enc.index_of(3.2), 3); // nearest grid point ξ_4 = 3.0
+/// assert_eq!(enc.decode(enc.encode(3.2)), 3.0);
+/// # Ok::<(), hdc_encode::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScalarEncoder {
+    hvs: Vec<BinaryHypervector>,
+    low: f64,
+    high: f64,
+}
+
+impl ScalarEncoder {
+    /// Creates an encoder over `[low, high]` from an existing basis set
+    /// (the hypervectors are cloned out of it; level `i` represents
+    /// `ξ_i = low + i·(high − low)/(m − 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidInterval`] for non-finite or inverted
+    /// bounds and [`HdcError::InvalidBasisSize`] if the basis has fewer than
+    /// two members.
+    pub fn from_basis<B: BasisSet + ?Sized>(
+        low: f64,
+        high: f64,
+        basis: &B,
+    ) -> Result<Self, HdcError> {
+        if !low.is_finite() || !high.is_finite() || low >= high {
+            return Err(HdcError::InvalidInterval { low, high });
+        }
+        if basis.len() < 2 {
+            return Err(HdcError::InvalidBasisSize { requested: basis.len(), minimum: 2 });
+        }
+        Ok(Self { hvs: basis.hypervectors().to_vec(), low, high })
+    }
+
+    /// Creates an encoder backed by a fresh interpolation [`LevelBasis`]
+    /// (Algorithm 1) with `m` levels — the standard choice for linear data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for an invalid interval, `m < 2` or `dim == 0`.
+    pub fn with_levels(
+        low: f64,
+        high: f64,
+        m: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        let basis = LevelBasis::new(m, dim, rng)?;
+        Self::from_basis(low, high, &basis)
+    }
+
+    /// Creates an encoder backed by any [`BasisKind`] — used by the
+    /// experiment harness to swap random/level/circular value encodings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for an invalid interval or basis parameters.
+    pub fn with_kind(
+        low: f64,
+        high: f64,
+        m: usize,
+        dim: usize,
+        kind: BasisKind,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        let basis = kind.build(m, dim, rng)?;
+        Self::from_basis(low, high, basis.as_ref())
+    }
+
+    /// Number of quantization levels `m`.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// Hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.hvs[0].dim()
+    }
+
+    /// Lower bound of the encoded interval.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound of the encoded interval.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// The grid point `ξ_index` represented by a level (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.levels()`.
+    #[must_use]
+    pub fn value_of(&self, index: usize) -> f64 {
+        assert!(index < self.hvs.len(), "level {index} out of range for {}", self.hvs.len());
+        self.low + index as f64 * (self.high - self.low) / (self.hvs.len() as f64 - 1.0)
+    }
+
+    /// The level whose grid point is nearest to `x` (clamped to the
+    /// interval). NaN maps to the lowest level.
+    #[must_use]
+    pub fn index_of(&self, x: f64) -> usize {
+        let m = self.hvs.len();
+        let clamped = x.clamp(self.low, self.high);
+        if clamped.is_nan() {
+            return 0;
+        }
+        let t = (clamped - self.low) / (self.high - self.low);
+        ((t * (m as f64 - 1.0)).round() as usize).min(m - 1)
+    }
+
+    /// Encodes `x` as the hypervector of its nearest level.
+    #[must_use]
+    pub fn encode(&self, x: f64) -> &BinaryHypervector {
+        &self.hvs[self.index_of(x)]
+    }
+
+    /// Decodes a (possibly noisy) hypervector back to the grid point of the
+    /// most similar level — the paper's `φ_ℓ⁻¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv` has a different dimensionality than the encoder.
+    #[must_use]
+    pub fn decode(&self, hv: &BinaryHypervector) -> f64 {
+        let (idx, _) = hdc_core::similarity::nearest(hv, &self.hvs)
+            .expect("encoder always holds at least two levels");
+        self.value_of(idx)
+    }
+
+    /// The stored level hypervectors, lowest level first.
+    #[must_use]
+    pub fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_basis::CircularBasis;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(700)
+    }
+
+    #[test]
+    fn grid_points_are_even() {
+        let mut r = rng();
+        let enc = ScalarEncoder::with_levels(0.0, 100.0, 5, 256, &mut r).unwrap();
+        assert_eq!(enc.value_of(0), 0.0);
+        assert_eq!(enc.value_of(2), 50.0);
+        assert_eq!(enc.value_of(4), 100.0);
+        assert_eq!(enc.levels(), 5);
+        assert_eq!(enc.dim(), 256);
+        assert_eq!(enc.low(), 0.0);
+        assert_eq!(enc.high(), 100.0);
+    }
+
+    #[test]
+    fn nearest_level_selection() {
+        let mut r = rng();
+        let enc = ScalarEncoder::with_levels(0.0, 10.0, 11, 128, &mut r).unwrap();
+        assert_eq!(enc.index_of(0.0), 0);
+        assert_eq!(enc.index_of(0.49), 0);
+        assert_eq!(enc.index_of(0.51), 1);
+        assert_eq!(enc.index_of(10.0), 10);
+        // Clamping.
+        assert_eq!(enc.index_of(-5.0), 0);
+        assert_eq!(enc.index_of(25.0), 10);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_within_half_step() {
+        let mut r = rng();
+        let enc = ScalarEncoder::with_levels(-1.0, 1.0, 21, 8_192, &mut r).unwrap();
+        let step = 2.0 / 20.0;
+        for i in 0..100 {
+            let x = -1.0 + 2.0 * i as f64 / 99.0;
+            let decoded = enc.decode(enc.encode(x));
+            assert!((decoded - x).abs() <= step / 2.0 + 1e-12, "x={x} decoded={decoded}");
+        }
+    }
+
+    #[test]
+    fn decode_survives_noise() {
+        let mut r = rng();
+        let enc = ScalarEncoder::with_levels(0.0, 1.0, 16, 10_000, &mut r).unwrap();
+        let hv = enc.encode(0.4);
+        let noisy = hv.corrupt(0.15, &mut r);
+        // Noise of 15% shifts distances by ±0.15; levels are 1/30 apart in
+        // expected distance, so decoding may move by a level or two but not
+        // across the interval.
+        let decoded = enc.decode(&noisy);
+        assert!((decoded - 0.4).abs() < 0.2, "decoded = {decoded}");
+    }
+
+    #[test]
+    fn neighbouring_values_get_similar_hypervectors() {
+        let mut r = rng();
+        let enc = ScalarEncoder::with_levels(0.0, 1.0, 32, 10_000, &mut r).unwrap();
+        let near = enc.encode(0.50).normalized_hamming(enc.encode(0.53));
+        let far = enc.encode(0.50).normalized_hamming(enc.encode(0.95));
+        assert!(near < far);
+    }
+
+    #[test]
+    fn from_circular_basis_wraps() {
+        let mut r = rng();
+        let basis = CircularBasis::new(24, 10_000, &mut r).unwrap();
+        let enc = ScalarEncoder::from_basis(0.0, 24.0, &basis).unwrap();
+        // NOTE: the scalar grid maps 0 and 24 to *different levels* (0 and
+        // 23) but the circular basis makes them similar anyway.
+        let d = enc.encode(0.0).normalized_hamming(enc.encode(23.5));
+        assert!(d < 0.15, "wrap distance {d}");
+    }
+
+    #[test]
+    fn rejects_invalid_intervals() {
+        let mut r = rng();
+        for (lo, hi) in [(1.0, 1.0), (2.0, 1.0), (f64::NAN, 1.0), (0.0, f64::INFINITY)] {
+            assert!(matches!(
+                ScalarEncoder::with_levels(lo, hi, 4, 64, &mut r),
+                Err(HdcError::InvalidInterval { .. })
+            ));
+        }
+        assert!(ScalarEncoder::with_levels(0.0, 1.0, 1, 64, &mut r).is_err());
+    }
+
+    #[test]
+    fn with_kind_builds_all_variants() {
+        let mut r = rng();
+        for kind in [
+            BasisKind::Random,
+            BasisKind::Level { randomness: 0.1 },
+            BasisKind::Circular { randomness: 0.0 },
+        ] {
+            let enc = ScalarEncoder::with_kind(0.0, 1.0, 8, 512, kind, &mut r).unwrap();
+            assert_eq!(enc.levels(), 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_within_bounds(x in -1e3f64..1e3) {
+            let mut r = StdRng::seed_from_u64(0);
+            let enc = ScalarEncoder::with_levels(-10.0, 10.0, 13, 64, &mut r).unwrap();
+            prop_assert!(enc.index_of(x) < 13);
+        }
+
+        #[test]
+        fn prop_round_trip_error_bounded(x in 0.0f64..1.0, m in 2usize..40) {
+            let mut r = StdRng::seed_from_u64(1);
+            let enc = ScalarEncoder::with_levels(0.0, 1.0, m, 2_048, &mut r).unwrap();
+            let step = 1.0 / (m as f64 - 1.0);
+            let decoded = enc.value_of(enc.index_of(x));
+            prop_assert!((decoded - x).abs() <= step / 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Hyperdimensional consistent hashing.
+//!
+//! Circular-hypervectors were originally introduced for *hyperdimensional
+//! hashing* (Heddes et al., DAC 2022 — reference 13 of the paper this
+//! workspace reproduces): a consistent-hash ring whose positions are
+//! hypervectors on a circle. Keys and nodes hash to ring positions; a key is
+//! served by the node whose hypervector is most similar to the key's.
+//!
+//! Because similarity degrades *gracefully* with bit errors, the scheme is
+//! robust to memory faults: flipping a moderate fraction of a node
+//! hypervector's bits rarely changes any lookup, whereas a single bit flip
+//! in a classic ring's 64-bit position teleports the node. This crate
+//! implements both:
+//!
+//! * [`HdcHashRing`] — the hyperdimensional ring,
+//! * [`ClassicRing`] — a conventional BTreeMap-based consistent-hash ring
+//!   (clockwise-successor rule) as the baseline,
+//!
+//! plus [`modulo_assign`], the naive `hash % n` strawman that remaps almost
+//! everything when `n` changes.
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_hash::HdcHashRing;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut ring = HdcHashRing::new(64, 10_000, &mut rng)?;
+//! ring.add_node("server-a");
+//! ring.add_node("server-b");
+//! ring.add_node("server-c");
+//!
+//! let owner = ring.lookup(&"user-42").expect("ring is non-empty");
+//! // Deterministic: the same key always lands on the same node.
+//! assert_eq!(ring.lookup(&"user-42"), Some(owner));
+//! # Ok::<(), hdc_hash::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use hdc_basis::{BasisSet, CircularBasis};
+use hdc_core::BinaryHypervector;
+use rand::Rng;
+
+pub use hdc_core::HdcError;
+
+fn hash_to_u64<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A consistent-hash ring whose positions are circular hypervectors.
+///
+/// The ring is quantized into `positions` sectors backed by a
+/// [`CircularBasis`]; nodes and keys hash deterministically to sectors, and
+/// a key is served by the node with the most similar hypervector. See the
+/// crate docs for the robustness story.
+#[derive(Debug, Clone)]
+pub struct HdcHashRing<N> {
+    basis: CircularBasis,
+    replicas: usize,
+    nodes: Vec<(N, usize, BinaryHypervector)>, // (node, replica id, hv)
+}
+
+impl<N: Hash + Eq + Clone> HdcHashRing<N> {
+    /// Creates an empty ring with `positions` sectors of `dim`-bit
+    /// hypervectors and one ring point per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `positions < 2` or `dim == 0`.
+    pub fn new(positions: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
+        Self::with_replicas(positions, dim, 1, rng)
+    }
+
+    /// Creates an empty ring where each node occupies `replicas` *virtual
+    /// nodes* (distinct hashed ring points). More replicas smooth the load
+    /// distribution, exactly as in classic consistent hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `positions < 2`, `dim == 0` or
+    /// `replicas == 0` (reported as an invalid basis size).
+    pub fn with_replicas(
+        positions: usize,
+        dim: usize,
+        replicas: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        if replicas == 0 {
+            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+        }
+        Ok(Self {
+            basis: CircularBasis::new(positions, dim, rng)?,
+            replicas,
+            nodes: Vec::new(),
+        })
+    }
+
+    /// Number of virtual nodes per physical node.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of ring sectors.
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Number of registered (physical) nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        let mut count = 0;
+        let mut last: Option<&N> = None;
+        for (n, _, _) in &self.nodes {
+            if last != Some(n) {
+                count += 1;
+                last = Some(n);
+            }
+        }
+        count
+    }
+
+    /// The sector a key hashes to.
+    #[must_use]
+    pub fn position_of<K: Hash>(&self, key: &K) -> usize {
+        (hash_to_u64(key) % self.basis.len() as u64) as usize
+    }
+
+    fn replica_position(&self, node: &N, replica: usize) -> usize {
+        (hash_to_u64(&(replica as u64, hash_to_u64(node))) % self.basis.len() as u64) as usize
+    }
+
+    /// Registers a node (all of its virtual replicas) at its hashed ring
+    /// positions. Re-adding an existing node resets its hypervectors
+    /// (repairing any injected corruption). Returns the sector of the
+    /// node's first replica.
+    pub fn add_node(&mut self, node: N) -> usize {
+        self.nodes.retain(|(n, _, _)| n != &node);
+        let first = self.replica_position(&node, 0);
+        for replica in 0..self.replicas {
+            let position = self.replica_position(&node, replica);
+            self.nodes.push((node.clone(), replica, self.basis.get(position).clone()));
+        }
+        first
+    }
+
+    /// Removes a node (all of its replicas); returns `true` if present.
+    pub fn remove_node(&mut self, node: &N) -> bool {
+        let before = self.nodes.len();
+        self.nodes.retain(|(n, _, _)| n != node);
+        self.nodes.len() != before
+    }
+
+    /// Looks up the owning node for a key: the node owning the virtual
+    /// replica whose hypervector is most similar to the key's sector
+    /// hypervector. Returns `None` on an empty ring.
+    #[must_use]
+    pub fn lookup<K: Hash>(&self, key: &K) -> Option<&N> {
+        let query = self.basis.get(self.position_of(key));
+        hdc_core::similarity::nearest(query, self.nodes.iter().map(|(_, _, hv)| hv))
+            .map(|(i, _)| &self.nodes[i].0)
+    }
+
+    /// Injects bit-flip noise into every stored replica hypervector of a
+    /// node (failure injection for robustness experiments). Returns `false`
+    /// if the node is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip_probability` is not in `[0, 1]`.
+    pub fn corrupt_node(
+        &mut self,
+        node: &N,
+        flip_probability: f64,
+        rng: &mut impl Rng,
+    ) -> bool {
+        let mut found = false;
+        for entry in self.nodes.iter_mut().filter(|(n, _, _)| n == node) {
+            entry.2 = entry.2.corrupt(flip_probability, rng);
+            found = true;
+        }
+        found
+    }
+
+    /// Iterates over registered physical nodes (each once, in insertion
+    /// order).
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        let mut seen: Vec<&N> = Vec::new();
+        self.nodes
+            .iter()
+            .filter_map(move |(n, _, _)| {
+                if seen.contains(&n) {
+                    None
+                } else {
+                    seen.push(n);
+                    Some(n)
+                }
+            })
+    }
+}
+
+/// A conventional consistent-hash ring (Karger et al.): nodes at hashed
+/// 64-bit positions, each key served by the first node clockwise from the
+/// key's position.
+#[derive(Debug, Clone, Default)]
+pub struct ClassicRing<N> {
+    ring: BTreeMap<u64, N>,
+}
+
+impl<N: Hash + Eq + Clone> ClassicRing<N> {
+    /// Creates an empty ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { ring: BTreeMap::new() }
+    }
+
+    /// Number of registered nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Registers a node at its hashed position, returning that position.
+    pub fn add_node(&mut self, node: N) -> u64 {
+        let position = hash_to_u64(&node);
+        self.ring.insert(position, node);
+        position
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    pub fn remove_node(&mut self, node: &N) -> bool {
+        let position = hash_to_u64(node);
+        self.ring.remove(&position).is_some()
+    }
+
+    /// Looks up the owning node: first node clockwise from the key's
+    /// position (wrapping). Returns `None` on an empty ring.
+    #[must_use]
+    pub fn lookup<K: Hash>(&self, key: &K) -> Option<&N> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let position = hash_to_u64(key);
+        self.ring
+            .range(position..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .map(|(_, n)| n)
+    }
+
+    /// Flips one bit of a node's stored 64-bit ring position — the memory
+    /// fault a single bit error causes in a classic ring (the node
+    /// teleports). Returns `false` if the node is not registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 64`.
+    pub fn corrupt_node_position(&mut self, node: &N, bit: u32) -> bool {
+        assert!(bit < 64, "bit index {bit} out of range for a u64 position");
+        let position = hash_to_u64(node);
+        if self.ring.remove(&position).is_none() {
+            return false;
+        }
+        self.ring.insert(position ^ (1u64 << bit), node.clone());
+        true
+    }
+}
+
+/// The naive baseline: assigns a key to bucket `hash(key) % n`. When `n`
+/// changes, an expected `1 − 1/max(n, n')` of keys remap — the failure mode
+/// consistent hashing exists to avoid.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn modulo_assign<K: Hash>(key: &K, n: usize) -> usize {
+    assert!(n > 0, "cannot assign to zero buckets");
+    (hash_to_u64(key) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4_242)
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("key-{i}")).collect()
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_total() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(64, 4_096, &mut r).unwrap();
+        for s in ["a", "b", "c", "d"] {
+            ring.add_node(s);
+        }
+        for key in keys(100) {
+            let first = ring.lookup(&key).copied().unwrap();
+            let second = ring.lookup(&key).copied().unwrap();
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn empty_ring_returns_none() {
+        let mut r = rng();
+        let ring: HdcHashRing<&str> = HdcHashRing::new(16, 512, &mut r).unwrap();
+        assert!(ring.lookup(&"anything").is_none());
+        let classic: ClassicRing<&str> = ClassicRing::new();
+        assert!(classic.lookup(&"anything").is_none());
+    }
+
+    #[test]
+    fn load_is_reasonably_balanced() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(256, 4_096, &mut r).unwrap();
+        let nodes: Vec<String> = (0..8).map(|i| format!("node-{i}")).collect();
+        for n in &nodes {
+            ring.add_node(n.clone());
+        }
+        let mut counts = std::collections::HashMap::new();
+        for key in keys(4_000) {
+            *counts.entry(ring.lookup(&key).unwrap().clone()).or_insert(0usize) += 1;
+        }
+        // Every node serves someone; no node serves more than 60% (single
+        // hash point per node gives coarse balance, as in classic schemes).
+        assert!(counts.len() >= 6, "only {} of 8 nodes used", counts.len());
+        for (node, count) in &counts {
+            assert!(*count < 2_400, "node {node} serves {count} of 4000");
+        }
+    }
+
+    #[test]
+    fn node_addition_remaps_minimally() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(128, 4_096, &mut r).unwrap();
+        for i in 0..8 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(2_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        ring.add_node("node-new".to_string());
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        // All movers must move *to* the new node, and the volume should be
+        // about 1/9 of the keys.
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                assert_eq!(a, "node-new");
+            }
+        }
+        let fraction = moved as f64 / all.len() as f64;
+        assert!(fraction < 0.35, "moved fraction {fraction}");
+    }
+
+    #[test]
+    fn node_removal_only_remaps_its_keys() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(128, 4_096, &mut r).unwrap();
+        for i in 0..6 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(2_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        assert!(ring.remove_node(&"node-3".to_string()));
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        for ((key, b), a) in all.iter().zip(&before).zip(&after) {
+            if b != "node-3" {
+                assert_eq!(b, a, "key {key} moved although its node survived");
+            } else {
+                assert_ne!(a, "node-3");
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_baseline_remaps_catastrophically() {
+        let all = keys(2_000);
+        let before: Vec<usize> = all.iter().map(|k| modulo_assign(k, 8)).collect();
+        let after: Vec<usize> = all.iter().map(|k| modulo_assign(k, 9)).collect();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let fraction = moved as f64 / all.len() as f64;
+        assert!(fraction > 0.7, "modulo should remap most keys, moved {fraction}");
+    }
+
+    #[test]
+    fn hdc_ring_survives_bit_corruption() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(64, 10_000, &mut r).unwrap();
+        for i in 0..6 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(1_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        // 5% of one node's bits flip (a severe memory fault).
+        assert!(ring.corrupt_node(&"node-2".to_string(), 0.05, &mut r));
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        let fraction = moved as f64 / all.len() as f64;
+        assert!(fraction < 0.10, "corruption moved {fraction} of keys");
+        // Re-adding the node repairs it completely.
+        ring.add_node("node-2".to_string());
+        let repaired: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        assert_eq!(before, repaired);
+    }
+
+    #[test]
+    fn classic_ring_basics() {
+        let mut ring = ClassicRing::new();
+        ring.add_node("a");
+        ring.add_node("b");
+        ring.add_node("c");
+        assert_eq!(ring.node_count(), 3);
+        let owner = ring.lookup(&"key-1").copied().unwrap();
+        assert_eq!(ring.lookup(&"key-1"), Some(&owner));
+        assert!(ring.remove_node(&"b"));
+        assert!(!ring.remove_node(&"b"));
+        assert_eq!(ring.node_count(), 2);
+    }
+
+    #[test]
+    fn classic_ring_minimal_remapping() {
+        let mut ring = ClassicRing::new();
+        for i in 0..8 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(2_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        ring.add_node("node-new".to_string());
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                assert_eq!(a, "node-new");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_missing_node_is_false() {
+        let mut r = rng();
+        let mut ring: HdcHashRing<&str> = HdcHashRing::new(16, 512, &mut r).unwrap();
+        assert!(!ring.corrupt_node(&"ghost", 0.1, &mut r));
+    }
+
+    #[test]
+    fn classic_single_bit_flip_teleports_node() {
+        let mut ring = ClassicRing::new();
+        for i in 0..6 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(2_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        assert!(ring.corrupt_node_position(&"node-3".to_string(), 60));
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        // Flipping a high bit relocates the node across the ring: a large
+        // slice of keys changes owner from one bit error.
+        assert!(moved > 0, "teleport must move keys");
+        assert!(!ring.corrupt_node_position(&"ghost".to_string(), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn classic_corrupt_rejects_bad_bit() {
+        let mut ring = ClassicRing::new();
+        ring.add_node("a");
+        let _ = ring.corrupt_node_position(&"a", 64);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::new(32, 1_024, &mut r).unwrap();
+        assert_eq!(ring.positions(), 32);
+        assert_eq!(ring.replicas(), 1);
+        ring.add_node("x");
+        assert_eq!(ring.node_count(), 1);
+        assert_eq!(ring.nodes().count(), 1);
+        let p = ring.position_of(&"some-key");
+        assert!(p < 32);
+    }
+
+    #[test]
+    fn replicas_smooth_the_load() {
+        let mut r = rng();
+        let spread_with = |replicas: usize, r: &mut StdRng| -> f64 {
+            let mut ring = HdcHashRing::with_replicas(256, 4_096, replicas, r).unwrap();
+            for i in 0..6 {
+                ring.add_node(format!("node-{i}"));
+            }
+            let mut counts = std::collections::HashMap::new();
+            for key in keys(3_000) {
+                *counts.entry(ring.lookup(&key).unwrap().clone()).or_insert(0usize) += 1;
+            }
+            let max = *counts.values().max().unwrap() as f64;
+            let min = counts.values().copied().min().unwrap_or(0) as f64;
+            (max - min) / 3_000.0
+        };
+        let single = spread_with(1, &mut r);
+        let replicated = spread_with(8, &mut r);
+        assert!(
+            replicated < single,
+            "8 replicas (spread {replicated}) should balance better than 1 ({single})"
+        );
+    }
+
+    #[test]
+    fn replicated_ring_still_remaps_minimally() {
+        let mut r = rng();
+        let mut ring = HdcHashRing::with_replicas(256, 4_096, 4, &mut r).unwrap();
+        for i in 0..8 {
+            ring.add_node(format!("node-{i}"));
+        }
+        let all = keys(2_000);
+        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        ring.add_node("node-new".to_string());
+        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                assert_eq!(a, "node-new");
+            }
+        }
+        // Removal of the new node restores the old assignment exactly.
+        assert!(ring.remove_node(&"node-new".to_string()));
+        let restored: Vec<String> =
+            all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        assert_eq!(before, restored);
+    }
+
+    #[test]
+    fn zero_replicas_is_rejected() {
+        let mut r = rng();
+        assert!(HdcHashRing::<String>::with_replicas(32, 512, 0, &mut r).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+use hdc_core::{BinaryHypervector, HdcError, MajorityAccumulator};
+use rand::Rng;
+
+use crate::{CentroidClassifier, CentroidTrainer};
+
+/// Retraining (perceptron-style) classifier — the standard accuracy
+/// refinement of the HDC literature (often called *AdaptHD* or simply
+/// "retraining"), provided as an extension on top of the paper's centroid
+/// framework.
+///
+/// Training starts from centroid accumulation; additional epochs then sweep
+/// the training set, and every mispredicted sample is **added** to its true
+/// class accumulator and **subtracted** from the wrongly predicted one.
+/// During refinement, similarity is evaluated against the *integer*
+/// (non-binarized) class accumulators, which avoids quantization noise in
+/// the update direction.
+///
+/// # Example
+///
+/// ```
+/// use hdc_core::BinaryHypervector;
+/// use hdc_learn::AdaptiveClassifier;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(21);
+/// let protos: Vec<_> = (0..4).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+/// let train: Vec<(BinaryHypervector, usize)> = (0..80)
+///     .map(|i| (protos[i % 4].corrupt(0.3, &mut rng), i % 4))
+///     .collect();
+///
+/// let mut model = AdaptiveClassifier::fit(
+///     train.iter().map(|(h, l)| (h, *l)), 4, 10_000)?;
+/// model.refine(train.iter().map(|(h, l)| (h, *l)), 3);
+/// let classifier = model.finish(&mut rng);
+/// assert_eq!(classifier.predict(&protos[2].corrupt(0.3, &mut rng)), 2);
+/// # Ok::<(), hdc_learn::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveClassifier {
+    accumulators: Vec<MajorityAccumulator>,
+}
+
+impl AdaptiveClassifier {
+    /// Initializes the model with one centroid pass over the training data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for zero classes/dimension or an out-of-range
+    /// label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's dimensionality differs from `dim`.
+    pub fn fit<'a, I>(samples: I, classes: usize, dim: usize) -> Result<Self, HdcError>
+    where
+        I: IntoIterator<Item = (&'a BinaryHypervector, usize)>,
+    {
+        let mut trainer = CentroidTrainer::new(classes, dim)?;
+        for (hv, label) in samples {
+            trainer.observe(hv, label)?;
+        }
+        Ok(Self { accumulators: trainer.into_accumulators() })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// Predicts with the current (integer) accumulators: the class whose
+    /// accumulator has the largest bipolar dot product with the query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict(&self, query: &BinaryHypervector) -> usize {
+        self.accumulators
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, acc)| acc.dot_bipolar(query))
+            .expect("at least one class")
+            .0
+    }
+
+    /// Runs `epochs` retraining sweeps, returning the number of updates
+    /// (mispredictions) in the final epoch. Zero means the training set is
+    /// fully separated by the current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's dimensionality differs from the model's or a
+    /// label is out of range.
+    pub fn refine<'a, I>(&mut self, samples: I, epochs: usize) -> usize
+    where
+        I: IntoIterator<Item = (&'a BinaryHypervector, usize)>,
+        I::IntoIter: Clone,
+    {
+        let iter = samples.into_iter();
+        let mut last_errors = 0;
+        for _ in 0..epochs {
+            last_errors = 0;
+            for (hv, label) in iter.clone() {
+                assert!(label < self.accumulators.len(), "label {label} out of range");
+                let predicted = self.predict(hv);
+                if predicted != label {
+                    self.accumulators[label].push(hv);
+                    self.accumulators[predicted].subtract(hv);
+                    last_errors += 1;
+                }
+            }
+            if last_errors == 0 {
+                break;
+            }
+        }
+        last_errors
+    }
+
+    /// Binarizes the accumulators into a plain [`CentroidClassifier`] for
+    /// cheap Hamming-distance inference.
+    #[must_use]
+    pub fn finish(&self, rng: &mut impl Rng) -> CentroidClassifier {
+        CentroidClassifier::from_class_vectors(
+            self.accumulators.iter().map(|a| a.finalize_random(rng)).collect(),
+        )
+        .expect("at least one class accumulator")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13_579)
+    }
+
+    /// A hard problem for plain centroids: class 2's distribution is a
+    /// *mixture* whose components are each closer to the prototypes of
+    /// classes 0 and 1 than to each other.
+    fn mixture_problem(
+        rng: &mut StdRng,
+    ) -> (Vec<BinaryHypervector>, Vec<(BinaryHypervector, usize)>) {
+        let a = BinaryHypervector::random(10_000, rng);
+        let b = BinaryHypervector::random(10_000, rng);
+        let near_a = a.corrupt(0.15, rng);
+        let near_b = b.corrupt(0.15, rng);
+        let mut train = Vec::new();
+        for _ in 0..30 {
+            train.push((a.corrupt(0.1, rng), 0));
+            train.push((b.corrupt(0.1, rng), 1));
+            train.push((near_a.corrupt(0.05, rng), 2));
+            train.push((near_b.corrupt(0.05, rng), 2));
+        }
+        (vec![a, b, near_a, near_b], train)
+    }
+
+    #[test]
+    fn refinement_reduces_training_errors() {
+        let mut r = rng();
+        let (_, train) = mixture_problem(&mut r);
+        let mut model =
+            AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
+        let initial_errors: usize = train
+            .iter()
+            .filter(|(h, l)| model.predict(h) != *l)
+            .count();
+        let final_errors = model.refine(train.iter().map(|(h, l)| (h, *l)), 10);
+        assert!(
+            final_errors <= initial_errors,
+            "refinement must not increase errors: {initial_errors} -> {final_errors}"
+        );
+    }
+
+    #[test]
+    fn refinement_beats_plain_centroid_on_mixture() {
+        let mut r = rng();
+        let (protos, train) = mixture_problem(&mut r);
+        let centroid = crate::CentroidClassifier::fit(
+            train.iter().map(|(h, l)| (h, *l)),
+            3,
+            10_000,
+            &mut r,
+        )
+        .unwrap();
+        let mut adaptive =
+            AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
+        adaptive.refine(train.iter().map(|(h, l)| (h, *l)), 15);
+        let adaptive = adaptive.finish(&mut r);
+
+        let mut test = Vec::new();
+        for _ in 0..50 {
+            test.push((protos[0].corrupt(0.1, &mut r), 0));
+            test.push((protos[1].corrupt(0.1, &mut r), 1));
+            test.push((protos[2].corrupt(0.05, &mut r), 2));
+            test.push((protos[3].corrupt(0.05, &mut r), 2));
+        }
+        let acc = |m: &crate::CentroidClassifier| {
+            test.iter().filter(|(h, l)| m.predict(h) == *l).count() as f64 / test.len() as f64
+        };
+        let centroid_acc = acc(&centroid);
+        let adaptive_acc = acc(&adaptive);
+        assert!(
+            adaptive_acc >= centroid_acc,
+            "adaptive {adaptive_acc} should match or beat centroid {centroid_acc}"
+        );
+    }
+
+    #[test]
+    fn perfectly_separable_data_converges_to_zero_errors() {
+        let mut r = rng();
+        let protos: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let train: Vec<(BinaryHypervector, usize)> =
+            (0..30).map(|i| (protos[i % 3].corrupt(0.05, &mut r), i % 3)).collect();
+        let mut model =
+            AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
+        let errors = model.refine(train.iter().map(|(h, l)| (h, *l)), 20);
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let empty: Vec<(&BinaryHypervector, usize)> = vec![];
+        assert!(AdaptiveClassifier::fit(empty.iter().copied(), 0, 64).is_err());
+        let empty2: Vec<(&BinaryHypervector, usize)> = vec![];
+        assert!(AdaptiveClassifier::fit(empty2.iter().copied(), 2, 0).is_err());
+    }
+
+    #[test]
+    fn classes_accessor() {
+        let empty: Vec<(&BinaryHypervector, usize)> = vec![];
+        let model = AdaptiveClassifier::fit(empty.iter().copied(), 7, 64).unwrap();
+        assert_eq!(model.classes(), 7);
+    }
+}

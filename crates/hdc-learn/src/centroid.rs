@@ -1,0 +1,347 @@
+use hdc_core::{BinaryHypervector, HdcError, MajorityAccumulator};
+use rand::Rng;
+
+/// Incremental trainer for a [`CentroidClassifier`]: one majority
+/// accumulator per class, fed with encoded training samples.
+///
+/// ```
+/// use hdc_core::BinaryHypervector;
+/// use hdc_learn::CentroidTrainer;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let mut trainer = CentroidTrainer::new(2, 10_000)?;
+/// let a = BinaryHypervector::random(10_000, &mut rng);
+/// let b = BinaryHypervector::random(10_000, &mut rng);
+/// trainer.observe(&a, 0)?;
+/// trainer.observe(&b, 1)?;
+/// let model = trainer.finish(&mut rng);
+/// assert_eq!(model.predict(&a), 0);
+/// # Ok::<(), hdc_learn::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentroidTrainer {
+    accumulators: Vec<MajorityAccumulator>,
+    counts: Vec<usize>,
+}
+
+impl CentroidTrainer {
+    /// Creates a trainer for `classes` classes over `dim`-bit encodings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `classes == 0` or
+    /// [`HdcError::InvalidDimension`] if `dim == 0`.
+    pub fn new(classes: usize, dim: usize) -> Result<Self, HdcError> {
+        if classes == 0 {
+            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidDimension(dim));
+        }
+        Ok(Self {
+            accumulators: (0..classes).map(|_| MajorityAccumulator::new(dim)).collect(),
+            counts: vec![0; classes],
+        })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// Adds an encoded training sample for class `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's dimensionality differs from the trainer's.
+    pub fn observe(&mut self, sample: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        let classes = self.accumulators.len();
+        let acc = self
+            .accumulators
+            .get_mut(label)
+            .ok_or(HdcError::LabelOutOfRange { label, classes })?;
+        acc.push(sample);
+        self.counts[label] += 1;
+        Ok(())
+    }
+
+    /// Number of samples observed per class.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Access to the per-class accumulators (used by
+    /// [`AdaptiveClassifier`](crate::AdaptiveClassifier) for retraining).
+    #[must_use]
+    pub(crate) fn into_accumulators(self) -> Vec<MajorityAccumulator> {
+        self.accumulators
+    }
+
+    /// Finalizes the per-class majorities into a classifier, breaking
+    /// bundling ties randomly.
+    #[must_use]
+    pub fn finish(&self, rng: &mut impl Rng) -> CentroidClassifier {
+        CentroidClassifier {
+            class_vectors: self.accumulators.iter().map(|a| a.finalize_random(rng)).collect(),
+        }
+    }
+}
+
+/// The paper's standard classification model (§2.2): one prototype
+/// *class-vector* `Mᵢ = ⊕_{ℓ(x)=i} φ(x)` per class; a query is assigned to
+/// the class whose vector is nearest in normalized Hamming distance.
+///
+/// Build it incrementally with [`CentroidTrainer`] or in one call with
+/// [`CentroidClassifier::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentroidClassifier {
+    class_vectors: Vec<BinaryHypervector>,
+}
+
+impl CentroidClassifier {
+    /// Fits a model from an iterator of `(encoded sample, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for zero classes/dimension or an out-of-range
+    /// label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample's dimensionality differs from `dim`.
+    pub fn fit<'a, I>(
+        samples: I,
+        classes: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError>
+    where
+        I: IntoIterator<Item = (&'a BinaryHypervector, usize)>,
+    {
+        let mut trainer = CentroidTrainer::new(classes, dim)?;
+        for (hv, label) in samples {
+            trainer.observe(hv, label)?;
+        }
+        Ok(trainer.finish(rng))
+    }
+
+    /// Creates a classifier directly from externally built class-vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] if no class-vectors are supplied.
+    pub fn from_class_vectors(class_vectors: Vec<BinaryHypervector>) -> Result<Self, HdcError> {
+        if class_vectors.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        Ok(Self { class_vectors })
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.class_vectors.len()
+    }
+
+    /// The prototype vector of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.classes()`.
+    #[must_use]
+    pub fn class_vector(&self, label: usize) -> &BinaryHypervector {
+        &self.class_vectors[label]
+    }
+
+    /// Predicts the label of an encoded query: `argmin_i δ(φ(x̂), Mᵢ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict(&self, query: &BinaryHypervector) -> usize {
+        hdc_core::similarity::nearest(query, &self.class_vectors)
+            .expect("classifier always holds at least one class-vector")
+            .0
+    }
+
+    /// Predicts and also returns the normalized distance to every
+    /// class-vector (useful for confidence/margin analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_with_distances(&self, query: &BinaryHypervector) -> (usize, Vec<f64>) {
+        let distances = hdc_core::similarity::distances(query, &self.class_vectors);
+        let best = distances
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("distances are finite"))
+            .expect("non-empty")
+            .0;
+        (best, distances)
+    }
+
+    /// Classifies a batch, returning predicted labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimensionality differs from the model's.
+    pub fn predict_batch<'a, I>(&self, queries: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = &'a BinaryHypervector>,
+    {
+        queries.into_iter().map(|q| self.predict(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2_468)
+    }
+
+    fn noisy_problem(
+        rng: &mut StdRng,
+        classes: usize,
+        per_class: usize,
+        noise: f64,
+    ) -> (Vec<BinaryHypervector>, Vec<(BinaryHypervector, usize)>) {
+        let protos: Vec<_> =
+            (0..classes).map(|_| BinaryHypervector::random(10_000, rng)).collect();
+        let samples = (0..classes * per_class)
+            .map(|i| {
+                let c = i % classes;
+                (protos[c].corrupt(noise, rng), c)
+            })
+            .collect();
+        (protos, samples)
+    }
+
+    #[test]
+    fn learns_noisy_prototypes() {
+        let mut r = rng();
+        let (protos, train) = noisy_problem(&mut r, 5, 20, 0.25);
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 5, 10_000, &mut r)
+                .unwrap();
+        let mut correct = 0;
+        let total = 200;
+        for i in 0..total {
+            let c = i % 5;
+            let query = protos[c].corrupt(0.25, &mut r);
+            if model.predict(&query) == c {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.95, "accuracy {correct}/{total}");
+    }
+
+    #[test]
+    fn class_vector_is_closer_to_own_samples() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 3, 15, 0.2);
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
+                .unwrap();
+        for (hv, label) in &train {
+            let own = model.class_vector(*label).normalized_hamming(hv);
+            for other in 0..3 {
+                if other != *label {
+                    assert!(own < model.class_vector(other).normalized_hamming(hv));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_with_distances_is_consistent() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 4, 10, 0.2);
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, 10_000, &mut r)
+                .unwrap();
+        let q = &train[0].0;
+        let (label, distances) = model.predict_with_distances(q);
+        assert_eq!(label, model.predict(q));
+        assert_eq!(distances.len(), 4);
+        for d in &distances {
+            assert!(*d >= distances[label]);
+        }
+    }
+
+    #[test]
+    fn trainer_counts_and_classes() {
+        let mut r = rng();
+        let mut trainer = CentroidTrainer::new(3, 256).unwrap();
+        assert_eq!(trainer.classes(), 3);
+        let hv = BinaryHypervector::random(256, &mut r);
+        trainer.observe(&hv, 2).unwrap();
+        trainer.observe(&hv, 2).unwrap();
+        assert_eq!(trainer.counts(), &[0, 0, 2]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let mut r = rng();
+        let mut trainer = CentroidTrainer::new(2, 64).unwrap();
+        let hv = BinaryHypervector::random(64, &mut r);
+        assert!(matches!(
+            trainer.observe(&hv, 2),
+            Err(HdcError::LabelOutOfRange { label: 2, classes: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_construction() {
+        assert!(CentroidTrainer::new(0, 64).is_err());
+        assert!(CentroidTrainer::new(2, 0).is_err());
+        assert!(CentroidClassifier::from_class_vectors(vec![]).is_err());
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let mut r = rng();
+        let (protos, train) = noisy_problem(&mut r, 3, 10, 0.2);
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
+                .unwrap();
+        let queries: Vec<BinaryHypervector> =
+            (0..9).map(|i| protos[i % 3].corrupt(0.2, &mut r)).collect();
+        let batch = model.predict_batch(&queries);
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(model.predict(q), *b);
+        }
+    }
+
+    #[test]
+    fn untrained_class_is_never_catastrophic() {
+        // A class that saw no samples gets a tie-broken random vector; it
+        // must not absorb other classes' queries.
+        let mut r = rng();
+        let (protos, train) = noisy_problem(&mut r, 2, 20, 0.2);
+        // Train a 3-class model but only feed classes 0 and 1.
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
+                .unwrap();
+        let mut correct = 0;
+        for i in 0..100 {
+            let c = i % 2;
+            if model.predict(&protos[c].corrupt(0.2, &mut r)) == c {
+                correct += 1;
+            }
+        }
+        assert!(correct > 95, "accuracy {correct}/100 with an empty class present");
+    }
+}

@@ -1,0 +1,52 @@
+//! HDC learning frameworks: classification and regression in hyperspace.
+//!
+//! Implements the paper's two learning settings plus a standard retraining
+//! extension:
+//!
+//! * [`CentroidClassifier`] (§2.2) — one class-vector per class, built by
+//!   bundling the encodings of that class's training samples; inference is
+//!   nearest class-vector by Hamming distance.
+//! * [`AdaptiveClassifier`] — perceptron-style retraining on top of the
+//!   centroid model (mispredicted samples are added to the correct class
+//!   accumulator and subtracted from the predicted one), the ubiquitous
+//!   "retraining"/AdaptHD refinement of the HDC literature.
+//! * [`RegressionModel`] (§2.3) — a single model hypervector
+//!   `M = ⊕ᵢ φ(xᵢ) ⊗ φ_ℓ(yᵢ)`; prediction unbinds the query and decodes the
+//!   nearest label hypervector through the invertible label encoder.
+//! * [`metrics`] — accuracy, confusion matrices, MSE/MAE/R², and the
+//!   normalized errors used in the paper's Figures 7 and 8.
+//! * [`split`] — deterministic random and temporal train/test splits.
+//!
+//! # Example: 3-class classification
+//!
+//! ```
+//! use hdc_core::BinaryHypervector;
+//! use hdc_learn::CentroidClassifier;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(9);
+//! // Three class prototypes and noisy observations of them.
+//! let protos: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+//! let train: Vec<(BinaryHypervector, usize)> = (0..60)
+//!     .map(|i| (protos[i % 3].corrupt(0.2, &mut rng), i % 3))
+//!     .collect();
+//!
+//! let model = CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut rng)?;
+//! let query = protos[1].corrupt(0.2, &mut rng);
+//! assert_eq!(model.predict(&query), 1);
+//! # Ok::<(), hdc_learn::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod centroid;
+pub mod metrics;
+mod regression;
+pub mod split;
+
+pub use adaptive::AdaptiveClassifier;
+pub use centroid::{CentroidClassifier, CentroidTrainer};
+pub use hdc_core::HdcError;
+pub use regression::{Readout, RegressionModel, RegressionTrainer};

@@ -1,0 +1,206 @@
+//! Evaluation metrics for classification and regression, including the
+//! normalized errors the paper plots in Figures 7 and 8.
+//!
+//! ```
+//! use hdc_learn::metrics;
+//!
+//! let truth = [0usize, 1, 2, 1];
+//! let pred = [0usize, 1, 1, 1];
+//! assert_eq!(metrics::accuracy(&pred, &truth), 0.75);
+//!
+//! // Paper §6.3: normalized accuracy error (1 − α)/(1 − ᾱ) against a
+//! // reference accuracy ᾱ.
+//! let nae = metrics::normalized_accuracy_error(0.9, 0.8);
+//! assert!((nae - 0.5).abs() < 1e-12);
+//! ```
+
+/// Fraction of predictions matching the ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// The `classes × classes` confusion matrix: `matrix[truth][predicted]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any label is `>= classes`.
+#[must_use]
+pub fn confusion_matrix(predicted: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    let mut matrix = vec![vec![0usize; classes]; classes];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        assert!(p < classes && t < classes, "label out of range: predicted {p}, truth {t}");
+        matrix[t][p] += 1;
+    }
+    matrix
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mse(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn rmse(predicted: &[f64], truth: &[f64]) -> f64 {
+    mse(predicted, truth).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mae(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    predicted.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / predicted.len() as f64
+}
+
+/// Coefficient of determination `R² = 1 − SS_res/SS_tot`. Returns negative
+/// values for models worse than predicting the mean; `NaN` if the truth is
+/// constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn r2(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Normalized MSE against a reference model's MSE (paper Figures 7–8 use
+/// the random-basis model as reference): `mse / reference_mse`.
+///
+/// # Panics
+///
+/// Panics if `reference_mse <= 0`.
+#[must_use]
+pub fn normalized_mse(mse: f64, reference_mse: f64) -> f64 {
+    assert!(reference_mse > 0.0, "reference MSE must be positive");
+    mse / reference_mse
+}
+
+/// Normalized accuracy error `(1 − α)/(1 − ᾱ)` (paper §6.3), where `α` is a
+/// model's accuracy and `ᾱ` the reference accuracy. Values below 1 beat the
+/// reference.
+///
+/// # Panics
+///
+/// Panics if `reference_accuracy >= 1` (the normalization is undefined for
+/// a perfect reference).
+#[must_use]
+pub fn normalized_accuracy_error(accuracy: f64, reference_accuracy: f64) -> f64 {
+    assert!(
+        reference_accuracy < 1.0,
+        "normalized accuracy error undefined for a perfect reference"
+    );
+    (1.0 - accuracy) / (1.0 - reference_accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounds() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 2, 3]), 0.0);
+        assert!((accuracy(&[1, 0], &[1, 1]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn accuracy_empty_panics() {
+        let _ = accuracy(&[], &[]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let m = confusion_matrix(&pred, &truth, 3);
+        assert_eq!(m[0], vec![1, 1, 0]);
+        assert_eq!(m[1], vec![0, 2, 0]);
+        assert_eq!(m[2], vec![1, 0, 0]);
+        // Row sums = class support; total = n.
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn regression_metrics_basics() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&pred, &truth), 0.0);
+        assert_eq!(mae(&pred, &truth), 0.0);
+        assert_eq!(rmse(&pred, &truth), 0.0);
+        assert!((r2(&pred, &truth) - 1.0).abs() < 1e-12);
+
+        let off = [2.0, 3.0, 4.0];
+        assert!((mse(&off, &truth) - 1.0).abs() < 1e-12);
+        assert!((mae(&off, &truth) - 1.0).abs() < 1e-12);
+        assert!((rmse(&off, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let mean = [2.5; 4];
+        assert!(r2(&mean, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_metrics() {
+        assert!((normalized_mse(50.0, 100.0) - 0.5).abs() < 1e-12);
+        assert!((normalized_accuracy_error(0.8, 0.8) - 1.0).abs() < 1e-12);
+        // Better than reference → below 1.
+        assert!(normalized_accuracy_error(0.95, 0.9) < 1.0);
+        // Worse than reference → above 1.
+        assert!(normalized_accuracy_error(0.5, 0.9) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn normalized_mse_rejects_zero_reference() {
+        let _ = normalized_mse(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for a perfect reference")]
+    fn normalized_accuracy_error_rejects_perfect_reference() {
+        let _ = normalized_accuracy_error(0.5, 1.0);
+    }
+}

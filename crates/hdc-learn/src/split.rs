@@ -1,0 +1,166 @@
+//! Deterministic train/test splitting utilities.
+//!
+//! The paper uses both kinds of split: temporal (first 70% train) for the
+//! Beijing series and random 70/30 for Mars Express.
+//!
+//! ```
+//! use hdc_learn::split;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let (train, test) = split::temporal(10, 0.7);
+//! assert_eq!(train, (0..7).collect::<Vec<_>>());
+//! assert_eq!(test, (7..10).collect::<Vec<_>>());
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let (train, test) = split::random(10, 0.7, &mut rng);
+//! assert_eq!(train.len(), 7);
+//! assert_eq!(test.len(), 3);
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits indices `0..n` into a leading train block and trailing test block
+/// (for time series, where training on the future would leak).
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not within `[0, 1]`.
+#[must_use]
+pub fn temporal(n: usize, train_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction {train_fraction} must lie in [0, 1]"
+    );
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    ((0..cut).collect(), (cut..n).collect())
+}
+
+/// Randomly splits indices `0..n` into train and test sets of sizes
+/// `round(n·train_fraction)` and the rest.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not within `[0, 1]`.
+#[must_use]
+pub fn random(n: usize, train_fraction: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction {train_fraction} must lie in [0, 1]"
+    );
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    let test = indices.split_off(cut);
+    (indices, test)
+}
+
+/// Stratified random split: preserves the per-class proportions of `labels`
+/// in both halves. Returns `(train_indices, test_indices)`.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not within `[0, 1]`.
+#[must_use]
+pub fn stratified(
+    labels: &[usize],
+    train_fraction: f64,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction {train_fraction} must lie in [0, 1]"
+    );
+    let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut members in by_class {
+        members.shuffle(rng);
+        let cut = ((members.len() as f64) * train_fraction).round() as usize;
+        test.extend_from_slice(&members[cut..]);
+        members.truncate(cut);
+        train.extend_from_slice(&members);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn temporal_is_contiguous() {
+        let (train, test) = temporal(100, 0.7);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        assert_eq!(*train.last().unwrap() + 1, test[0]);
+    }
+
+    #[test]
+    fn temporal_extremes() {
+        let (train, test) = temporal(5, 0.0);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 5);
+        let (train, test) = temporal(5, 1.0);
+        assert_eq!(train.len(), 5);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn random_split_partitions() {
+        let mut r = StdRng::seed_from_u64(1);
+        let (train, test) = random(97, 0.7, &mut r);
+        assert_eq!(train.len() + test.len(), 97);
+        let all: HashSet<usize> = train.iter().chain(&test).copied().collect();
+        assert_eq!(all.len(), 97, "no index lost or duplicated");
+    }
+
+    #[test]
+    fn random_split_is_deterministic_per_seed() {
+        let split1 = random(50, 0.6, &mut StdRng::seed_from_u64(7));
+        let split2 = random(50, 0.6, &mut StdRng::seed_from_u64(7));
+        assert_eq!(split1, split2);
+        let split3 = random(50, 0.6, &mut StdRng::seed_from_u64(8));
+        assert_ne!(split1, split3, "different seeds, different shuffles");
+    }
+
+    #[test]
+    fn stratified_preserves_proportions() {
+        let labels: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        let mut r = StdRng::seed_from_u64(2);
+        let (train, test) = stratified(&labels, 0.75, &mut r);
+        // 25 members per class, cut = round(25·0.75) = 19 each.
+        assert_eq!(train.len(), 76);
+        assert_eq!(test.len(), 24);
+        for class in 0..4 {
+            let in_train = train.iter().filter(|&&i| labels[i] == class).count();
+            let in_test = test.iter().filter(|&&i| labels[i] == class).count();
+            assert_eq!(in_train, 19, "class {class}");
+            assert_eq!(in_test, 6, "class {class}");
+        }
+    }
+
+    #[test]
+    fn stratified_partitions_without_overlap() {
+        let labels = vec![0, 1, 0, 1, 0, 1, 2, 2];
+        let mut r = StdRng::seed_from_u64(3);
+        let (train, test) = stratified(&labels, 0.5, &mut r);
+        let overlap: Vec<_> = train.iter().filter(|i| test.contains(i)).collect();
+        assert!(overlap.is_empty());
+        assert_eq!(train.len() + test.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn rejects_bad_fraction() {
+        let _ = temporal(10, 1.5);
+    }
+}

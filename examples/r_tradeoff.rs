@@ -1,0 +1,33 @@
+//! The `r` hyperparameter (paper §5.2): interpolating a circular set
+//! towards a random set trades correlation preservation for information
+//! content. This example prints the similarity profile around the circle
+//! for several `r` values — the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release --example r_tradeoff
+//! ```
+
+use hdc::basis::{analysis, CircularBasis};
+use hdc::HdcError;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() -> Result<(), HdcError> {
+    let m = 10;
+    let dim = hdc::DEFAULT_DIMENSION;
+
+    println!("similarity of each node to node 0 in a circular set of {m} (d = {dim}):\n");
+    println!("  node:      {}", (0..m).map(|i| format!("{i:6}")).collect::<String>());
+    for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut rng = StdRng::seed_from_u64(606);
+        let basis = CircularBasis::with_randomness(m, dim, r, &mut rng)?;
+        let profile = analysis::similarity_profile(&basis, 0);
+        let row: String = profile.iter().map(|s| format!("{s:6.2}")).collect();
+        println!("  r = {r:<4}  {row}");
+    }
+    println!(
+        "\nr = 0: structured circle (wraps, antipode ≈ 0.5) … r = 1: every node quasi-orthogonal.\n\
+         Intermediate r keeps *local* correlation while raising the set's information content —\n\
+         the paper finds small r > 0 (0.01–0.1) to be the accuracy sweet spot (its Figure 8)."
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Cross-crate property tests of the basis-hypervector constructions:
+//! the statistical laws the paper states, checked end-to-end through the
+//! facade crate.
+
+use hdc::basis::{analysis, markov, BasisSet, CircularBasis, LevelBasis, ScatterBasis};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Proposition 4.1: E[δ(L_i, L_j)] = (j−i)/(2(m−1)).
+    #[test]
+    fn level_distance_law(seed in 0u64..50, m in 3usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = LevelBasis::new(m, 16_384, &mut rng).unwrap();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let expected = basis.expected_distance(i, j);
+                let actual = basis.get(i).normalized_hamming(basis.get(j));
+                prop_assert!((actual - expected).abs() < 0.04,
+                    "i={} j={} expected={} actual={}", i, j, expected, actual);
+            }
+        }
+    }
+
+    /// §5.1: circular distances are proportional to arc distance and the
+    /// antipode is quasi-orthogonal, from *every* starting point.
+    #[test]
+    fn circular_distance_law(seed in 0u64..50, half in 2usize..8) {
+        let m = 2 * half;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = CircularBasis::new(m, 16_384, &mut rng).unwrap();
+        for i in 0..m {
+            for j in 0..m {
+                let expected = basis.expected_distance(i, j);
+                let actual = basis.get(i).normalized_hamming(basis.get(j));
+                prop_assert!((actual - expected).abs() < 0.05,
+                    "i={} j={} expected={} actual={}", i, j, expected, actual);
+            }
+        }
+    }
+
+    /// §4.2: the expected-flip schedule is strictly increasing and
+    /// superlinear, and both independent computations agree.
+    #[test]
+    fn markov_flip_schedule(dim in 64usize..2048) {
+        let quarter = markov::expected_flips(dim, dim / 4);
+        let half = markov::expected_flips(dim, dim / 2);
+        prop_assert!(half > quarter);
+        prop_assert!(quarter >= (dim / 4) as f64);
+        let tri = markov::expected_flips_tridiagonal(dim, dim / 4);
+        prop_assert!((quarter - tri).abs() / quarter < 1e-6);
+    }
+}
+
+#[test]
+fn scatter_codes_approximate_linear_targets() {
+    // Averaged over seeds, scatter-code distances track the level law.
+    let m = 7;
+    let trials = 6;
+    let mut mean_profile = vec![0.0; m];
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let basis = ScatterBasis::new(m, 8_192, &mut rng).unwrap();
+        let profile = analysis::similarity_profile(&basis, 0);
+        for (acc, p) in mean_profile.iter_mut().zip(profile) {
+            *acc += p / trials as f64;
+        }
+    }
+    for (j, sim) in mean_profile.iter().enumerate() {
+        let expected = 1.0 - j as f64 / (2.0 * (m as f64 - 1.0));
+        assert!(
+            (sim - expected).abs() < 0.05,
+            "level {j}: mean similarity {sim} vs designed {expected}"
+        );
+    }
+}
+
+#[test]
+fn randomness_parameter_interpolates_monotonically() {
+    // Similarity across a quarter of the circle decays as r goes from 0
+    // (structured: 1 − 3/12 = 0.75) to 1 (quasi-orthogonal: 0.5).
+    let quarter_similarity = |r: f64| {
+        let mut rng = StdRng::seed_from_u64(404);
+        let basis = CircularBasis::with_randomness(12, 8_192, r, &mut rng).unwrap();
+        basis.get(0).similarity(basis.get(9))
+    };
+    let structured = quarter_similarity(0.0);
+    let half = quarter_similarity(0.5);
+    let random = quarter_similarity(1.0);
+    assert!((structured - 0.75).abs() < 0.05, "structured = {structured}");
+    assert!(structured > half + 0.05, "{structured} vs {half}");
+    assert!(half > random - 0.05, "{half} vs {random}");
+    assert!((random - 0.5).abs() < 0.05);
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration: the full classification pipeline through the
+//! facade crate — dataset generation → per-channel encoding → record
+//! encoding → centroid training → evaluation.
+
+use hdc::basis::BasisKind;
+use hdc::core::BinaryHypervector;
+use hdc::datasets::jigsaws::{JigsawsConfig, JigsawsSample, JigsawsTask, TRAIN_SURGEON};
+use hdc::encode::RecordEncoder;
+use hdc::learn::{metrics, AdaptiveClassifier, CentroidClassifier};
+use rand::{rngs::StdRng, SeedableRng};
+
+const DIM: usize = 2_048;
+const BINS: usize = 16;
+
+fn small_config() -> JigsawsConfig {
+    JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 6, ..JigsawsConfig::default() }
+}
+
+fn encode_all(
+    kind: BasisKind,
+    samples: &[&JigsawsSample],
+    seed: u64,
+) -> Vec<(BinaryHypervector, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoders: Vec<Vec<BinaryHypervector>> = (0..18)
+        .map(|_| kind.build(BINS, DIM, &mut rng).expect("valid").hypervectors().to_vec())
+        .collect();
+    let record = RecordEncoder::new(18, DIM, &mut rng).expect("valid");
+    let tau = std::f64::consts::TAU;
+    samples
+        .iter()
+        .map(|s| {
+            let values: Vec<&BinaryHypervector> = s
+                .angles
+                .iter()
+                .zip(&encoders)
+                .map(|(&a, hvs)| {
+                    &hvs[((a.rem_euclid(tau) / tau * BINS as f64) as usize).min(BINS - 1)]
+                })
+                .collect();
+            (record.encode(&values, &mut rng).expect("arity"), s.gesture)
+        })
+        .collect()
+}
+
+#[test]
+fn circular_basis_beats_chance_decisively() {
+    let data = JigsawsTask::KnotTying.generate(&small_config());
+    let (train, test) = data.train_test_split(TRAIN_SURGEON);
+    let kind = BasisKind::Circular { randomness: 0.1 };
+    let encoded_train = encode_all(kind, &train, 5);
+    let encoded_test = encode_all(kind, &test, 5);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = CentroidClassifier::fit(
+        encoded_train.iter().map(|(h, l)| (h, *l)),
+        data.gesture_count,
+        DIM,
+        &mut rng,
+    )
+    .expect("valid");
+
+    let predicted: Vec<usize> = encoded_test.iter().map(|(h, _)| model.predict(h)).collect();
+    let truth: Vec<usize> = encoded_test.iter().map(|(_, l)| *l).collect();
+    let accuracy = metrics::accuracy(&predicted, &truth);
+    let chance = 1.0 / data.gesture_count as f64;
+    assert!(accuracy > 3.0 * chance, "accuracy {accuracy} vs chance {chance}");
+}
+
+#[test]
+fn circular_outperforms_random_on_circular_data() {
+    // The paper's headline classification claim, as an integration test.
+    let data = JigsawsTask::Suturing.generate(&small_config());
+    let (train, test) = data.train_test_split(TRAIN_SURGEON);
+
+    let accuracy_of = |kind: BasisKind| {
+        let encoded_train = encode_all(kind, &train, 9);
+        let encoded_test = encode_all(kind, &test, 9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = CentroidClassifier::fit(
+            encoded_train.iter().map(|(h, l)| (h, *l)),
+            data.gesture_count,
+            DIM,
+            &mut rng,
+        )
+        .expect("valid");
+        let predicted: Vec<usize> =
+            encoded_test.iter().map(|(h, _)| model.predict(h)).collect();
+        let truth: Vec<usize> = encoded_test.iter().map(|(_, l)| *l).collect();
+        metrics::accuracy(&predicted, &truth)
+    };
+
+    let circular = accuracy_of(BasisKind::Circular { randomness: 0.1 });
+    let random = accuracy_of(BasisKind::Random);
+    assert!(
+        circular > random + 0.03,
+        "circular {circular} should clearly beat random {random}"
+    );
+}
+
+#[test]
+fn adaptive_refinement_does_not_hurt() {
+    let data = JigsawsTask::KnotTying.generate(&small_config());
+    let (train, test) = data.train_test_split(TRAIN_SURGEON);
+    let kind = BasisKind::Circular { randomness: 0.1 };
+    let encoded_train = encode_all(kind, &train, 31);
+    let encoded_test = encode_all(kind, &test, 31);
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let centroid = CentroidClassifier::fit(
+        encoded_train.iter().map(|(h, l)| (h, *l)),
+        data.gesture_count,
+        DIM,
+        &mut rng,
+    )
+    .expect("valid");
+    let mut adaptive = AdaptiveClassifier::fit(
+        encoded_train.iter().map(|(h, l)| (h, *l)),
+        data.gesture_count,
+        DIM,
+    )
+    .expect("valid");
+    adaptive.refine(encoded_train.iter().map(|(h, l)| (h, *l)), 5);
+    let adaptive = adaptive.finish(&mut rng);
+
+    let score = |m: &CentroidClassifier| {
+        let predicted: Vec<usize> = encoded_test.iter().map(|(h, _)| m.predict(h)).collect();
+        let truth: Vec<usize> = encoded_test.iter().map(|(_, l)| *l).collect();
+        metrics::accuracy(&predicted, &truth)
+    };
+    assert!(score(&adaptive) >= score(&centroid) - 0.05);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let data = JigsawsTask::NeedlePassing.generate(&small_config());
+    let (train, _) = data.train_test_split(TRAIN_SURGEON);
+    let a = encode_all(BasisKind::Random, &train, 77);
+    let b = encode_all(BasisKind::Random, &train, 77);
+    assert_eq!(a, b, "same seed, same pipeline, same encodings");
+}

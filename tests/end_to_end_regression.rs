@@ -1,0 +1,113 @@
+//! Cross-crate integration: the full regression pipeline through the
+//! facade crate on both regression surrogates.
+
+use hdc::core::BinaryHypervector;
+use hdc::datasets::beijing::{self, BeijingConfig, BeijingSample, DAYS_PER_YEAR};
+use hdc::datasets::mars::{self, MarsConfig};
+use hdc::encode::{AngleEncoder, ScalarEncoder};
+use hdc::learn::{metrics, split, Readout, RegressionModel, RegressionTrainer};
+use rand::{rngs::StdRng, SeedableRng};
+
+const DIM: usize = 4_096;
+
+#[test]
+fn beijing_pipeline_beats_mean_baseline() {
+    let mut rng = StdRng::seed_from_u64(13);
+    // Two years minimum: a 70% temporal split of a single year would leave
+    // the autumn/winter day-of-year range entirely unseen in training.
+    let data = beijing::generate(&BeijingConfig { years: 2, ..BeijingConfig::default() });
+    let (train, test) = data.temporal_split(0.7);
+
+    let year_enc = ScalarEncoder::with_levels(0.0, 1.0, 4, DIM, &mut rng).expect("valid");
+    let day_enc = AngleEncoder::with_circular(36, DIM, 0.01, &mut rng).expect("valid");
+    let hour_enc = AngleEncoder::with_circular(24, DIM, 0.01, &mut rng).expect("valid");
+    let encode = |s: &BeijingSample| -> BinaryHypervector {
+        let mut hv = year_enc.encode(s.year).clone();
+        hv.bind_assign(day_enc.encode_periodic(s.day_of_year, DAYS_PER_YEAR));
+        hv.bind_assign(hour_enc.encode_periodic(s.hour, 24.0));
+        hv
+    };
+
+    let (min_t, max_t) = data.temperature_range();
+    let label = ScalarEncoder::with_levels(min_t, max_t, 32, DIM, &mut rng).expect("valid");
+    let mut trainer = RegressionTrainer::new(label);
+    for s in &train {
+        trainer.observe(&encode(s), s.temperature);
+    }
+    let model = trainer.finish(&mut rng).expect("non-empty");
+
+    let predicted: Vec<f64> = test.iter().map(|s| model.predict(&encode(s))).collect();
+    let truth: Vec<f64> = test.iter().map(|s| s.temperature).collect();
+    let mse = metrics::mse(&predicted, &truth);
+
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let variance = truth.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / truth.len() as f64;
+    assert!(mse < variance * 0.5, "mse {mse} must clearly beat variance {variance}");
+}
+
+#[test]
+fn mars_circular_model_tracks_the_orbit() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let data = mars::generate(&MarsConfig::default());
+    let (train_idx, test_idx) = split::random(data.samples.len(), 0.7, &mut rng);
+
+    let anomaly_enc = AngleEncoder::with_circular(256, DIM, 0.01, &mut rng).expect("valid");
+    let (min_p, max_p) = data.power_range();
+    let label = ScalarEncoder::with_levels(min_p, max_p, 32, DIM, &mut rng).expect("valid");
+
+    let mut trainer = RegressionTrainer::new(label);
+    for &i in &train_idx {
+        trainer.observe(
+            anomaly_enc.encode(data.samples[i].mean_anomaly),
+            data.samples[i].power,
+        );
+    }
+    let model = trainer.finish(&mut rng).expect("non-empty");
+
+    let predicted: Vec<f64> = test_idx
+        .iter()
+        .map(|&i| model.predict(anomaly_enc.encode(data.samples[i].mean_anomaly)))
+        .collect();
+    let truth: Vec<f64> = test_idx.iter().map(|&i| data.samples[i].power).collect();
+    let r2 = metrics::r2(&predicted, &truth);
+    assert!(r2 > 0.3, "R² = {r2}");
+}
+
+#[test]
+fn integer_readout_dominates_binarized_on_level_encodings() {
+    // The readout ablation end-to-end: single level-encoded feature.
+    let mut rng = StdRng::seed_from_u64(15);
+    let input = ScalarEncoder::with_levels(0.0, 1.0, 32, DIM, &mut rng).expect("valid");
+    let pairs: Vec<(BinaryHypervector, f64)> = (0..150)
+        .map(|i| {
+            let x = i as f64 / 149.0;
+            (input.encode(x).clone(), x)
+        })
+        .collect();
+
+    let fit = |readout: Readout, rng: &mut StdRng| {
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 32, DIM, rng).expect("valid");
+        RegressionModel::fit_with(pairs.iter().map(|(h, y)| (h, *y)), label, readout, rng)
+            .expect("non-empty")
+    };
+    let integer = fit(Readout::Integer, &mut rng);
+    let binarized = fit(Readout::Binarized, &mut rng);
+
+    let mse_of = |m: &RegressionModel| {
+        let preds: Vec<f64> =
+            (0..50).map(|i| m.predict(input.encode(i as f64 / 49.0))).collect();
+        let truth: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        metrics::mse(&preds, &truth)
+    };
+    assert!(mse_of(&integer) < mse_of(&binarized));
+}
+
+#[test]
+fn kepler_substrate_feeds_the_dataset() {
+    // The orbital mechanics must agree with the generated telemetry:
+    // perihelion side brighter than aphelion side on average.
+    let data = mars::generate(&MarsConfig { noise_std: 1.0, ..MarsConfig::default() });
+    let perihelion = data.mean_power_in(0.0, 0.5);
+    let aphelion = data.mean_power_in(2.9, 3.4);
+    assert!(perihelion > aphelion + 30.0);
+}

@@ -1,0 +1,116 @@
+//! Failure-injection integration tests: HDC's holographic representation
+//! should degrade gracefully under bit errors, across the whole stack.
+
+use hdc::basis::{BasisKind, BasisSet};
+use hdc::core::BinaryHypervector;
+use hdc::encode::ScalarEncoder;
+use hdc::learn::CentroidClassifier;
+use hdc::ItemMemory;
+use rand::{rngs::StdRng, SeedableRng};
+
+const DIM: usize = 10_000;
+
+#[test]
+fn classifier_survives_query_corruption() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let protos: Vec<BinaryHypervector> =
+        (0..6).map(|_| BinaryHypervector::random(DIM, &mut rng)).collect();
+    let train: Vec<(BinaryHypervector, usize)> =
+        (0..120).map(|i| (protos[i % 6].corrupt(0.1, &mut rng), i % 6)).collect();
+    let model =
+        CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 6, DIM, &mut rng).unwrap();
+
+    // Accuracy under increasing query corruption: graceful, not cliff-edge.
+    let mut accuracies = Vec::new();
+    for noise in [0.1, 0.2, 0.3, 0.4] {
+        let correct = (0..300)
+            .filter(|i| {
+                let class = i % 6;
+                model.predict(&protos[class].corrupt(noise, &mut rng)) == class
+            })
+            .count();
+        accuracies.push(correct as f64 / 300.0);
+    }
+    assert!(accuracies[0] > 0.99, "10% noise: {}", accuracies[0]);
+    assert!(accuracies[1] > 0.99, "20% noise: {}", accuracies[1]);
+    assert!(accuracies[2] > 0.95, "30% noise: {}", accuracies[2]);
+    // Even at 40% (80% of the way to pure noise) the model retains signal.
+    assert!(accuracies[3] > 0.5, "40% noise: {}", accuracies[3]);
+}
+
+#[test]
+fn class_vector_corruption_degrades_gracefully() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let protos: Vec<BinaryHypervector> =
+        (0..4).map(|_| BinaryHypervector::random(DIM, &mut rng)).collect();
+    let train: Vec<(BinaryHypervector, usize)> =
+        (0..80).map(|i| (protos[i % 4].corrupt(0.1, &mut rng), i % 4)).collect();
+    let model =
+        CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, DIM, &mut rng).unwrap();
+
+    // Corrupt the stored class vectors themselves (memory faults in a
+    // deployed model) and re-evaluate.
+    let corrupted = CentroidClassifier::from_class_vectors(
+        (0..4).map(|c| model.class_vector(c).corrupt(0.15, &mut rng)).collect(),
+    )
+    .unwrap();
+    let correct = (0..200)
+        .filter(|i| {
+            let class = i % 4;
+            corrupted.predict(&protos[class].corrupt(0.1, &mut rng)) == class
+        })
+        .count();
+    assert!(correct > 190, "15% model corruption: {correct}/200");
+}
+
+#[test]
+fn scalar_decode_with_corrupted_levels() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let enc = ScalarEncoder::with_levels(0.0, 100.0, 21, DIM, &mut rng).unwrap();
+    for value in [0.0, 25.0, 50.0, 75.0, 100.0] {
+        let noisy = enc.encode(value).corrupt(0.2, &mut rng);
+        let decoded = enc.decode(&noisy);
+        assert!(
+            (decoded - value).abs() <= 15.0,
+            "value {value} decoded to {decoded} under 20% noise"
+        );
+    }
+}
+
+#[test]
+fn item_memory_cleanup_under_heavy_noise() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut memory = ItemMemory::new();
+    for i in 0..32u32 {
+        memory.insert(i, BinaryHypervector::random(DIM, &mut rng));
+    }
+    let mut recovered = 0;
+    for i in 0..32u32 {
+        let noisy = memory.get(&i).unwrap().corrupt(0.35, &mut rng);
+        if *memory.cleanup(&noisy).unwrap().0 == i {
+            recovered += 1;
+        }
+    }
+    assert!(recovered >= 30, "35% noise: {recovered}/32 recovered");
+}
+
+#[test]
+fn all_basis_kinds_decode_under_noise() {
+    for kind in [
+        BasisKind::Random,
+        BasisKind::Level { randomness: 0.0 },
+        BasisKind::Circular { randomness: 0.0 },
+    ] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let basis = kind.build(8, DIM, &mut rng).unwrap();
+        // Nearest-member decoding of corrupted members: correlated sets
+        // have closer neighbours, so allow ±1 index for level/circular.
+        for i in 0..8 {
+            let noisy = basis.get(i).corrupt(0.1, &mut rng);
+            let (found, _) =
+                hdc::core::similarity::nearest(&noisy, basis.hypervectors()).unwrap();
+            let arc = (found as isize - i as isize).abs().min(8 - (found as isize - i as isize).abs());
+            assert!(arc <= 1, "{kind:?}: member {i} decoded to {found}");
+        }
+    }
+}
