@@ -64,7 +64,10 @@ pub fn circular_distance(alpha: f64, beta: f64) -> f64 {
 /// Panics if `period` is not finite and positive.
 #[must_use]
 pub fn to_angle(value: f64, period: f64) -> f64 {
-    assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+    assert!(
+        period.is_finite() && period > 0.0,
+        "period {period} must be positive and finite"
+    );
     wrap(value / period * TAU)
 }
 
@@ -75,7 +78,10 @@ pub fn to_angle(value: f64, period: f64) -> f64 {
 /// Panics if `period` is not finite and positive.
 #[must_use]
 pub fn from_angle(angle: f64, period: f64) -> f64 {
-    assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+    assert!(
+        period.is_finite() && period > 0.0,
+        "period {period} must be positive and finite"
+    );
     wrap(angle) / TAU * period
 }
 

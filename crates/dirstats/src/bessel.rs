@@ -17,8 +17,7 @@ pub fn i0(x: f64) -> f64 {
         1.0 + t
             * (3.515_622_9
                 + t * (3.089_942_4
-                    + t * (1.206_749_2
-                        + t * (0.265_973_2 + t * (0.036_076_8 + t * 0.004_581_3)))))
+                    + t * (1.206_749_2 + t * (0.265_973_2 + t * (0.036_076_8 + t * 0.004_581_3)))))
     } else {
         let t = 3.75 / ax;
         (ax.exp() / ax.sqrt())
@@ -52,8 +51,7 @@ pub fn i1(x: f64) -> f64 {
                     + t * (0.001_638_01
                         + t * (-0.010_315_55
                             + t * (0.022_829_67
-                                + t * (-0.028_953_12
-                                    + t * (0.017_876_54 - t * 0.004_200_59)))))));
+                                + t * (-0.028_953_12 + t * (0.017_876_54 - t * 0.004_200_59)))))));
         poly * ax.exp() / ax.sqrt()
     };
     if x < 0.0 {
@@ -96,7 +94,11 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = i1(x);
-            let err = if want == 0.0 { got.abs() } else { (got - want).abs() / want };
+            let err = if want == 0.0 {
+                got.abs()
+            } else {
+                (got - want).abs() / want
+            };
             assert!(err < 2e-5, "I1({x}) = {got}, want {want}");
         }
     }

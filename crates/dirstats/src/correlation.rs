@@ -42,7 +42,9 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, DirStatsError> {
         syy += (b - my) * (b - my);
     }
     if sxx == 0.0 || syy == 0.0 {
-        return Err(DirStatsError::DegenerateData("constant input in correlation"));
+        return Err(DirStatsError::DegenerateData(
+            "constant input in correlation",
+        ));
     }
     Ok(sxy / (sxx * syy).sqrt())
 }
@@ -62,10 +64,16 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, DirStatsError> {
 /// concentrated on a single point).
 pub fn circular_linear(theta: &[f64], x: &[f64]) -> Result<f64, DirStatsError> {
     if theta.len() != x.len() {
-        return Err(DirStatsError::LengthMismatch { left: theta.len(), right: x.len() });
+        return Err(DirStatsError::LengthMismatch {
+            left: theta.len(),
+            right: x.len(),
+        });
     }
     if theta.len() < 3 {
-        return Err(DirStatsError::NotEnoughSamples { minimum: 3, found: theta.len() });
+        return Err(DirStatsError::NotEnoughSamples {
+            minimum: 3,
+            found: theta.len(),
+        });
     }
     let cosines: Vec<f64> = theta.iter().map(|t| t.cos()).collect();
     let sines: Vec<f64> = theta.iter().map(|t| t.sin()).collect();
@@ -74,7 +82,9 @@ pub fn circular_linear(theta: &[f64], x: &[f64]) -> Result<f64, DirStatsError> {
     let r_cs = pearson(&cosines, &sines)?;
     let denom = 1.0 - r_cs * r_cs;
     if denom <= f64::EPSILON {
-        return Err(DirStatsError::DegenerateData("cos θ and sin θ are collinear"));
+        return Err(DirStatsError::DegenerateData(
+            "cos θ and sin θ are collinear",
+        ));
     }
     let r2 = (r_xc * r_xc + r_xs * r_xs - 2.0 * r_xc * r_xs * r_cs) / denom;
     // Clamp tiny numerical excursions outside [0, 1].
@@ -93,10 +103,15 @@ pub fn circular_linear(theta: &[f64], x: &[f64]) -> Result<f64, DirStatsError> {
 /// than two elements, or either sample is concentrated on a single point.
 pub fn circular_circular(alpha: &[f64], beta: &[f64]) -> Result<f64, DirStatsError> {
     check_paired(alpha, beta)?;
-    let a_bar = crate::descriptive::circular_mean(alpha)
-        .ok_or(DirStatsError::NotEnoughSamples { minimum: 2, found: 0 })?;
-    let b_bar = crate::descriptive::circular_mean(beta)
-        .ok_or(DirStatsError::NotEnoughSamples { minimum: 2, found: 0 })?;
+    let a_bar =
+        crate::descriptive::circular_mean(alpha).ok_or(DirStatsError::NotEnoughSamples {
+            minimum: 2,
+            found: 0,
+        })?;
+    let b_bar = crate::descriptive::circular_mean(beta).ok_or(DirStatsError::NotEnoughSamples {
+        minimum: 2,
+        found: 0,
+    })?;
     let mut num = 0.0;
     let mut da = 0.0;
     let mut db = 0.0;
@@ -110,17 +125,25 @@ pub fn circular_circular(alpha: &[f64], beta: &[f64]) -> Result<f64, DirStatsErr
     // Exact point masses leave only rounding noise in the deviations.
     let tiny = f64::EPSILON * alpha.len() as f64;
     if da <= tiny || db <= tiny {
-        return Err(DirStatsError::DegenerateData("angles concentrated on a point"));
+        return Err(DirStatsError::DegenerateData(
+            "angles concentrated on a point",
+        ));
     }
     Ok(num / (da * db).sqrt())
 }
 
 fn check_paired(x: &[f64], y: &[f64]) -> Result<(), DirStatsError> {
     if x.len() != y.len() {
-        return Err(DirStatsError::LengthMismatch { left: x.len(), right: y.len() });
+        return Err(DirStatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
     }
     if x.len() < 2 {
-        return Err(DirStatsError::NotEnoughSamples { minimum: 2, found: x.len() });
+        return Err(DirStatsError::NotEnoughSamples {
+            minimum: 2,
+            found: x.len(),
+        });
     }
     Ok(())
 }
@@ -156,8 +179,10 @@ mod tests {
         let mut r = rng();
         let noise = Normal::new(0.0, 0.2).unwrap();
         let thetas: Vec<f64> = (0..500).map(|_| r.random::<f64>() * TAU).collect();
-        let xs: Vec<f64> =
-            thetas.iter().map(|t| 3.0 * (t - 1.0).cos() + noise.sample(&mut r)).collect();
+        let xs: Vec<f64> = thetas
+            .iter()
+            .map(|t| 3.0 * (t - 1.0).cos() + noise.sample(&mut r))
+            .collect();
         let r2 = circular_linear(&thetas, &xs).unwrap();
         assert!(r2 > 0.9, "R² = {r2}");
     }
@@ -177,7 +202,10 @@ mod tests {
         let thetas: Vec<f64> = (0..400).map(|_| r.random::<f64>() * TAU).collect();
         let xs: Vec<f64> = thetas.iter().map(|t| t.sin() * 2.0 + 1.0).collect();
         let r2a = circular_linear(&thetas, &xs).unwrap();
-        let shifted: Vec<f64> = thetas.iter().map(|t| crate::angles::wrap(t + 2.1)).collect();
+        let shifted: Vec<f64> = thetas
+            .iter()
+            .map(|t| crate::angles::wrap(t + 2.1))
+            .collect();
         let r2b = circular_linear(&shifted, &xs).unwrap();
         // Same functional relation, rotated reference: R² only changes by
         // sampling noise in the correlation estimates.
@@ -191,8 +219,10 @@ mod tests {
         let alphas: Vec<f64> = vm.sample_n(600, &mut r);
         // β = α + 0.5 + small noise: strong positive association.
         let noise = Normal::new(0.0, 0.1).unwrap();
-        let betas: Vec<f64> =
-            alphas.iter().map(|a| crate::angles::wrap(a + 0.5 + noise.sample(&mut r))).collect();
+        let betas: Vec<f64> = alphas
+            .iter()
+            .map(|a| crate::angles::wrap(a + 0.5 + noise.sample(&mut r)))
+            .collect();
         let rho = circular_circular(&alphas, &betas).unwrap();
         assert!(rho > 0.8, "rho = {rho}");
     }

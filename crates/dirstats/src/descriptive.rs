@@ -81,9 +81,14 @@ pub fn circular_median(angles: &[f64]) -> Option<f64> {
         .copied()
         .min_by(|&a, &b| {
             let cost = |phi: f64| -> f64 {
-                angles.iter().map(|&t| crate::angles::angular_distance(phi, t)).sum()
+                angles
+                    .iter()
+                    .map(|&t| crate::angles::angular_distance(phi, t))
+                    .sum()
             };
-            cost(a).partial_cmp(&cost(b)).expect("arc distances are finite")
+            cost(a)
+                .partial_cmp(&cost(b))
+                .expect("arc distances are finite")
         })
         .map(wrap)
 }
@@ -101,7 +106,9 @@ pub fn weighted_circular_mean(angles: &[f64], weights: &[f64]) -> Option<f64> {
     let (s, c) = angles
         .iter()
         .zip(weights)
-        .fold((0.0, 0.0), |(s, c), (&a, &w)| (s + w * a.sin(), c + w * a.cos()));
+        .fold((0.0, 0.0), |(s, c), (&a, &w)| {
+            (s + w * a.sin(), c + w * a.cos())
+        });
     Some(wrap(s.atan2(c)))
 }
 
@@ -136,7 +143,7 @@ mod tests {
         // circle); the circular mean is near 0.
         let angles = [TAU - 0.1, 0.1];
         let mean = circular_mean(&angles).unwrap();
-        assert!(mean < 0.01 || mean > TAU - 0.01, "mean = {mean}");
+        assert!(!(0.01..=TAU - 0.01).contains(&mean), "mean = {mean}");
     }
 
     #[test]
@@ -172,7 +179,10 @@ mod tests {
         // the mean is dragged towards it, the median stays on the cluster.
         let angles = [0.18, 0.2, 0.22, 0.21, 0.19, 0.2 + 2.5];
         let median = circular_median(&angles).unwrap();
-        assert!(crate::angles::angular_distance(median, 0.2) < 0.05, "median {median}");
+        assert!(
+            crate::angles::angular_distance(median, 0.2) < 0.05,
+            "median {median}"
+        );
         let mean = circular_mean(&angles).unwrap();
         assert!(
             crate::angles::angular_distance(mean, 0.2) > 0.1,
@@ -185,7 +195,7 @@ mod tests {
         let angles = [TAU - 0.1, TAU - 0.05, 0.05, 0.1];
         let median = circular_median(&angles).unwrap();
         assert!(
-            median < 0.2 || median > TAU - 0.2,
+            !(0.2..=TAU - 0.2).contains(&median),
             "median {median} should sit near the wrap point"
         );
         assert!(circular_median(&[]).is_none());

@@ -39,10 +39,16 @@ impl fmt::Display for DirStatsError {
                 write!(f, "invalid value {value} for parameter {name}")
             }
             DirStatsError::NotEnoughSamples { minimum, found } => {
-                write!(f, "estimator needs at least {minimum} samples, found {found}")
+                write!(
+                    f,
+                    "estimator needs at least {minimum} samples, found {found}"
+                )
             }
             DirStatsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths: {left} and {right}")
+                write!(
+                    f,
+                    "paired inputs have different lengths: {left} and {right}"
+                )
             }
             DirStatsError::DegenerateData(what) => write!(f, "degenerate data: {what}"),
         }
@@ -57,13 +63,21 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = DirStatsError::InvalidParameter { name: "kappa", value: -1.0 };
+        let e = DirStatsError::InvalidParameter {
+            name: "kappa",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("kappa"));
-        let e = DirStatsError::NotEnoughSamples { minimum: 2, found: 0 };
+        let e = DirStatsError::NotEnoughSamples {
+            minimum: 2,
+            found: 0,
+        };
         assert!(e.to_string().contains('2'));
         let e = DirStatsError::LengthMismatch { left: 3, right: 4 };
         assert!(e.to_string().contains('3') && e.to_string().contains('4'));
-        assert!(!DirStatsError::DegenerateData("x is constant").to_string().is_empty());
+        assert!(!DirStatsError::DegenerateData("x is constant")
+            .to_string()
+            .is_empty());
     }
 
     #[test]

@@ -33,9 +33,14 @@ impl CircularHistogram {
     /// Returns [`DirStatsError::InvalidParameter`] if `bins == 0`.
     pub fn new(bins: usize) -> Result<Self, DirStatsError> {
         if bins == 0 {
-            return Err(DirStatsError::InvalidParameter { name: "bins", value: 0.0 });
+            return Err(DirStatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
         }
-        Ok(Self { counts: vec![0; bins] })
+        Ok(Self {
+            counts: vec![0; bins],
+        })
     }
 
     /// Number of bins.
@@ -165,7 +170,10 @@ mod tests {
         // Mode near μ = 1.0.
         let mode = (0..32).max_by_key(|&b| h.count(b)).unwrap();
         let center = h.bin_center(mode);
-        assert!(crate::angles::angular_distance(center, 1.0) < 0.5, "mode at {center}");
+        assert!(
+            crate::angles::angular_distance(center, 1.0) < 0.5,
+            "mode at {center}"
+        );
     }
 
     #[test]

@@ -37,10 +37,16 @@ impl Normal {
     /// non-finite or `std_dev < 0`.
     pub fn new(mean: f64, std_dev: f64) -> Result<Self, DirStatsError> {
         if !mean.is_finite() {
-            return Err(DirStatsError::InvalidParameter { name: "mean", value: mean });
+            return Err(DirStatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+            });
         }
         if !std_dev.is_finite() || std_dev < 0.0 {
-            return Err(DirStatsError::InvalidParameter { name: "std_dev", value: std_dev });
+            return Err(DirStatsError::InvalidParameter {
+                name: "std_dev",
+                value: std_dev,
+            });
         }
         Ok(Self { mean, std_dev })
     }
@@ -48,7 +54,10 @@ impl Normal {
     /// The standard normal `N(0, 1)`.
     #[must_use]
     pub fn standard() -> Self {
-        Self { mean: 0.0, std_dev: 1.0 }
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
     }
 
     /// The distribution mean.
@@ -80,7 +89,10 @@ impl Normal {
     /// Panics if the distribution is degenerate (`std_dev == 0`).
     #[must_use]
     pub fn pdf(&self, x: f64) -> f64 {
-        assert!(self.std_dev > 0.0, "density of a degenerate normal is undefined");
+        assert!(
+            self.std_dev > 0.0,
+            "density of a degenerate normal is undefined"
+        );
         let z = (x - self.mean) / self.std_dev;
         (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
     }

@@ -41,7 +41,10 @@ pub struct RayleighTest {
 /// two angles.
 pub fn rayleigh_test(angles: &[f64]) -> Result<RayleighTest, DirStatsError> {
     if angles.len() < 2 {
-        return Err(DirStatsError::NotEnoughSamples { minimum: 2, found: angles.len() });
+        return Err(DirStatsError::NotEnoughSamples {
+            minimum: 2,
+            found: angles.len(),
+        });
     }
     let n = angles.len();
     let nf = n as f64;
@@ -51,7 +54,12 @@ pub fn rayleigh_test(angles: &[f64]) -> Result<RayleighTest, DirStatsError> {
     let p = (-z).exp()
         * (1.0 + (2.0 * z - z * z) / (4.0 * nf)
             - (24.0 * z - 132.0 * z * z + 76.0 * z.powi(3) - 9.0 * z.powi(4)) / (288.0 * nf * nf));
-    Ok(RayleighTest { z, p_value: p.clamp(0.0, 1.0), mean_resultant_length: rbar, n })
+    Ok(RayleighTest {
+        z,
+        p_value: p.clamp(0.0, 1.0),
+        mean_resultant_length: rbar,
+        n,
+    })
 }
 
 #[cfg(test)]

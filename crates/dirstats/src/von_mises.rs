@@ -42,12 +42,21 @@ impl VonMises {
     /// `kappa` is negative or non-finite.
     pub fn new(mu: f64, kappa: f64) -> Result<Self, DirStatsError> {
         if !mu.is_finite() {
-            return Err(DirStatsError::InvalidParameter { name: "mu", value: mu });
+            return Err(DirStatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !kappa.is_finite() || kappa < 0.0 {
-            return Err(DirStatsError::InvalidParameter { name: "kappa", value: kappa });
+            return Err(DirStatsError::InvalidParameter {
+                name: "kappa",
+                value: kappa,
+            });
         }
-        Ok(Self { mu: wrap(mu), kappa })
+        Ok(Self {
+            mu: wrap(mu),
+            kappa,
+        })
     }
 
     /// The mean direction `μ ∈ [0, 2π)`.
@@ -65,8 +74,7 @@ impl VonMises {
     /// The probability density at angle `theta`.
     #[must_use]
     pub fn pdf(&self, theta: f64) -> f64 {
-        (self.kappa * (theta - self.mu).cos()).exp()
-            / (crate::TAU * i0(self.kappa))
+        (self.kappa * (theta - self.mu).cos()).exp() / (crate::TAU * i0(self.kappa))
     }
 
     /// Draws one angle in `[0, 2π)` (Best–Fisher rejection sampling;
@@ -87,7 +95,11 @@ impl VonMises {
             let u2: f64 = rng.random();
             if c * (2.0 - c) - u2 > 0.0 || (c / u2).ln() + 1.0 - c >= 0.0 {
                 let u3: f64 = rng.random();
-                let theta = if u3 > 0.5 { self.mu + f.acos() } else { self.mu - f.acos() };
+                let theta = if u3 > 0.5 {
+                    self.mu + f.acos()
+                } else {
+                    self.mu - f.acos()
+                };
                 return wrap(theta);
             }
         }
@@ -115,9 +127,15 @@ mod tests {
         for kappa in [0.0, 0.5, 2.0, 10.0] {
             let vm = VonMises::new(1.2, kappa).unwrap();
             let n = 100_000;
-            let integral: f64 =
-                (0..n).map(|i| vm.pdf(TAU * i as f64 / n as f64)).sum::<f64>() * TAU / n as f64;
-            assert!((integral - 1.0).abs() < 1e-3, "kappa={kappa} integral={integral}");
+            let integral: f64 = (0..n)
+                .map(|i| vm.pdf(TAU * i as f64 / n as f64))
+                .sum::<f64>()
+                * TAU
+                / n as f64;
+            assert!(
+                (integral - 1.0).abs() < 1e-3,
+                "kappa={kappa} integral={integral}"
+            );
         }
     }
 
@@ -150,7 +168,10 @@ mod tests {
             let xs = vm.sample_n(8_000, &mut r);
             let rbar = mean_resultant_length(&xs).unwrap();
             let expected = crate::bessel::i1(kappa) / crate::bessel::i0(kappa);
-            assert!((rbar - expected).abs() < 0.03, "kappa={kappa} rbar={rbar} want={expected}");
+            assert!(
+                (rbar - expected).abs() < 0.03,
+                "kappa={kappa} rbar={rbar} want={expected}"
+            );
         }
     }
 

@@ -39,10 +39,16 @@ impl WrappedCauchy {
     /// `rho` lies outside `[0, 1)`.
     pub fn new(mu: f64, rho: f64) -> Result<Self, DirStatsError> {
         if !mu.is_finite() {
-            return Err(DirStatsError::InvalidParameter { name: "mu", value: mu });
+            return Err(DirStatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         if !rho.is_finite() || !(0.0..1.0).contains(&rho) {
-            return Err(DirStatsError::InvalidParameter { name: "rho", value: rho });
+            return Err(DirStatsError::InvalidParameter {
+                name: "rho",
+                value: rho,
+            });
         }
         Ok(Self { mu: wrap(mu), rho })
     }
@@ -100,8 +106,11 @@ mod tests {
         for rho in [0.0, 0.3, 0.7, 0.95] {
             let wc = WrappedCauchy::new(2.0, rho).unwrap();
             let n = 200_000;
-            let integral: f64 =
-                (0..n).map(|i| wc.pdf(TAU * i as f64 / n as f64)).sum::<f64>() * TAU / n as f64;
+            let integral: f64 = (0..n)
+                .map(|i| wc.pdf(TAU * i as f64 / n as f64))
+                .sum::<f64>()
+                * TAU
+                / n as f64;
             assert!((integral - 1.0).abs() < 1e-3, "rho={rho}: {integral}");
         }
     }
@@ -130,7 +139,10 @@ mod tests {
         let wc = WrappedCauchy::new(4.0, 0.7).unwrap();
         let xs = wc.sample_n(10_000, &mut r);
         let mean = circular_mean(&xs).unwrap();
-        assert!(crate::angles::angular_distance(mean, 4.0) < 0.05, "mean={mean}");
+        assert!(
+            crate::angles::angular_distance(mean, 4.0) < 0.05,
+            "mean={mean}"
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub fn similarity_profile<B: BasisSet + ?Sized>(basis: &B, reference: usize) -> 
         basis.len()
     );
     let anchor = basis.get(reference);
-    basis.hypervectors().iter().map(|hv| anchor.similarity(hv)).collect()
+    basis
+        .hypervectors()
+        .iter()
+        .map(|hv| anchor.similarity(hv))
+        .collect()
 }
 
 /// The mean absolute deviation between a measured profile and an expected
@@ -107,12 +111,12 @@ mod tests {
         let mut r = rng();
         let basis = RandomBasis::new(8, 10_000, &mut r).unwrap();
         let m = similarity_matrix(&basis);
-        for i in 0..8 {
-            for j in 0..8 {
+        for (i, row) in m.iter().enumerate() {
+            for (j, &value) in row.iter().enumerate() {
                 if i == j {
-                    assert_eq!(m[i][j], 1.0);
+                    assert_eq!(value, 1.0);
                 } else {
-                    assert!((m[i][j] - 0.5).abs() < 0.05);
+                    assert!((value - 0.5).abs() < 0.05);
                 }
             }
         }
@@ -143,7 +147,11 @@ mod tests {
         for k in (antipode + 1)..12 {
             assert!(profile[k] > profile[k - 1] - 0.04);
         }
-        assert!(profile[11] > 0.8, "wrap-around neighbour similar: {}", profile[11]);
+        assert!(
+            profile[11] > 0.8,
+            "wrap-around neighbour similar: {}",
+            profile[11]
+        );
     }
 
     #[test]

@@ -72,12 +72,18 @@ impl CircularBasis {
         crate::validate_basis_params(m, dim, 2)?;
         crate::validate_randomness(r)?;
         if m % 2 == 0 {
-            Ok(Self { hvs: Self::generate_even(m, dim, r, rng), dim })
+            Ok(Self {
+                hvs: Self::generate_even(m, dim, r, rng),
+                dim,
+            })
         } else {
             // Footnote 1 of the paper: an odd set is the subset
             // {C_0, C_2, …, C_{2m−2}} of an even set of size 2m.
             let even = Self::generate_even(2 * m, dim, r, rng);
-            Ok(Self { hvs: even.into_iter().step_by(2).collect(), dim })
+            Ok(Self {
+                hvs: even.into_iter().step_by(2).collect(),
+                dim,
+            })
         }
     }
 
@@ -111,7 +117,11 @@ impl CircularBasis {
     /// Panics if `index >= self.len()`.
     #[must_use]
     pub fn angle(&self, index: usize) -> f64 {
-        assert!(index < self.hvs.len(), "index {index} out of range for {} members", self.hvs.len());
+        assert!(
+            index < self.hvs.len(),
+            "index {index} out of range for {} members",
+            self.hvs.len()
+        );
         2.0 * std::f64::consts::PI * index as f64 / self.hvs.len() as f64
     }
 
@@ -124,7 +134,10 @@ impl CircularBasis {
     #[must_use]
     pub fn expected_distance(&self, i: usize, j: usize) -> f64 {
         let m = self.hvs.len();
-        assert!(i < m && j < m, "indices ({i}, {j}) out of range for {m} members");
+        assert!(
+            i < m && j < m,
+            "indices ({i}, {j}) out of range for {m} members"
+        );
         let diff = i.abs_diff(j);
         diff.min(m - diff) as f64 / m as f64
     }
@@ -264,7 +277,10 @@ mod tests {
             CircularBasis::with_randomness(8, 64, 1.01, &mut r),
             Err(HdcError::InvalidRandomness(_))
         ));
-        assert!(matches!(CircularBasis::new(8, 0, &mut r), Err(HdcError::InvalidDimension(0))));
+        assert!(matches!(
+            CircularBasis::new(8, 0, &mut r),
+            Err(HdcError::InvalidDimension(0))
+        ));
     }
 
     proptest! {

@@ -73,7 +73,10 @@ impl LevelBasis {
     ) -> Result<Self, HdcError> {
         crate::validate_basis_params(m, dim, 2)?;
         crate::validate_randomness(r)?;
-        Ok(Self { hvs: spanned_levels(m, dim, r, rng), dim })
+        Ok(Self {
+            hvs: spanned_levels(m, dim, r, rng),
+            dim,
+        })
     }
 
     /// Creates `m` level-hypervectors with the *legacy* fixed-flip method
@@ -120,7 +123,10 @@ impl LevelBasis {
     #[must_use]
     pub fn expected_distance(&self, i: usize, j: usize) -> f64 {
         let m = self.hvs.len();
-        assert!(i < m && j < m, "level indices ({i}, {j}) out of range for {m} levels");
+        assert!(
+            i < m && j < m,
+            "level indices ({i}, {j}) out of range for {m} levels"
+        );
         i.abs_diff(j) as f64 / (2.0 * (m as f64 - 1.0))
     }
 }
@@ -181,7 +187,11 @@ mod tests {
         for i in 0..m {
             for j in i..m {
                 let expected = (j - i) * 500;
-                assert_eq!(basis.get(i).hamming(basis.get(j)), expected, "pair ({i},{j})");
+                assert_eq!(
+                    basis.get(i).hamming(basis.get(j)),
+                    expected,
+                    "pair ({i},{j})"
+                );
             }
         }
     }
@@ -253,7 +263,10 @@ mod tests {
             LevelBasis::new(1, 64, &mut r),
             Err(HdcError::InvalidBasisSize { minimum: 2, .. })
         ));
-        assert!(matches!(LevelBasis::legacy(0, 64, &mut r), Err(HdcError::InvalidBasisSize { .. })));
+        assert!(matches!(
+            LevelBasis::legacy(0, 64, &mut r),
+            Err(HdcError::InvalidBasisSize { .. })
+        ));
         assert!(matches!(
             LevelBasis::with_randomness(4, 64, 2.0, &mut r),
             Err(HdcError::InvalidRandomness(_))

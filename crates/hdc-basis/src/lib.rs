@@ -154,7 +154,10 @@ pub(crate) fn validate_basis_params(m: usize, dim: usize, minimum: usize) -> Res
         return Err(HdcError::InvalidDimension(dim));
     }
     if m < minimum {
-        return Err(HdcError::InvalidBasisSize { requested: m, minimum });
+        return Err(HdcError::InvalidBasisSize {
+            requested: m,
+            minimum,
+        });
     }
     Ok(())
 }
@@ -192,9 +195,13 @@ mod tests {
     #[test]
     fn basis_kind_rejects_bad_randomness() {
         let mut rng = StdRng::seed_from_u64(0);
-        let err = BasisKind::Level { randomness: 1.5 }.build(4, 64, &mut rng).unwrap_err();
+        let err = BasisKind::Level { randomness: 1.5 }
+            .build(4, 64, &mut rng)
+            .unwrap_err();
         assert_eq!(err, HdcError::InvalidRandomness(1.5));
-        let err = BasisKind::Circular { randomness: -0.1 }.build(4, 64, &mut rng).unwrap_err();
+        let err = BasisKind::Circular { randomness: -0.1 }
+            .build(4, 64, &mut rng)
+            .unwrap_err();
         assert_eq!(err, HdcError::InvalidRandomness(-0.1));
     }
 

@@ -136,7 +136,13 @@ mod tests {
 
     #[test]
     fn recursion_and_tridiagonal_agree() {
-        for (dim, target) in [(64, 16), (256, 100), (1_000, 400), (1_000, 500), (10_000, 2_500)] {
+        for (dim, target) in [
+            (64, 16),
+            (256, 100),
+            (1_000, 400),
+            (1_000, 500),
+            (10_000, 2_500),
+        ] {
             let a = expected_flips(dim, target);
             let b = expected_flips_tridiagonal(dim, target);
             let rel = (a - b).abs() / a.max(1.0);
@@ -153,7 +159,10 @@ mod tests {
         let half = expected_flips(dim, 500);
         assert!(quarter > 250.0);
         assert!(half > 500.0);
-        assert!(half / 500.0 > quarter / 250.0, "nonlinearity: {quarter} vs {half}");
+        assert!(
+            half / 500.0 > quarter / 250.0,
+            "nonlinearity: {quarter} vs {half}"
+        );
     }
 
     #[test]

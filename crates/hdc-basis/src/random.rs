@@ -38,7 +38,12 @@ impl RandomBasis {
     /// [`HdcError::InvalidDimension`] if `dim == 0`.
     pub fn new(m: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
         crate::validate_basis_params(m, dim, 1)?;
-        Ok(Self { hvs: (0..m).map(|_| BinaryHypervector::random(dim, rng)).collect(), dim })
+        Ok(Self {
+            hvs: (0..m)
+                .map(|_| BinaryHypervector::random(dim, rng))
+                .collect(),
+            dim,
+        })
     }
 }
 
@@ -91,7 +96,10 @@ mod tests {
             RandomBasis::new(0, 64, &mut rng),
             Err(HdcError::InvalidBasisSize { .. })
         ));
-        assert!(matches!(RandomBasis::new(4, 0, &mut rng), Err(HdcError::InvalidDimension(0))));
+        assert!(matches!(
+            RandomBasis::new(4, 0, &mut rng),
+            Err(HdcError::InvalidDimension(0))
+        ));
     }
 
     #[test]

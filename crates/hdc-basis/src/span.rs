@@ -33,10 +33,12 @@ pub(crate) fn spanned_levels(
     let span_count = ((m as f64 - 1.0) / n).ceil().max(1.0) as usize;
 
     // Endpoint hypervectors E_0 … E_spans and one filter Φ per span.
-    let endpoints: Vec<BinaryHypervector> =
-        (0..=span_count).map(|_| BinaryHypervector::random(dim, rng)).collect();
-    let filters: Vec<Vec<f64>> =
-        (0..span_count).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+    let endpoints: Vec<BinaryHypervector> = (0..=span_count)
+        .map(|_| BinaryHypervector::random(dim, rng))
+        .collect();
+    let filters: Vec<Vec<f64>> = (0..span_count)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+        .collect();
 
     (0..m)
         .map(|l| {

@@ -154,7 +154,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_bad_shapes() {
-        assert_eq!(solve_tridiagonal(&[], &[], &[], &[]), Err(SolveTridiagonalError::Empty));
+        assert_eq!(
+            solve_tridiagonal(&[], &[], &[], &[]),
+            Err(SolveTridiagonalError::Empty)
+        );
         assert!(matches!(
             solve_tridiagonal(&[1.0], &[1.0, 1.0, 1.0], &[1.0, 1.0], &[0.0, 0.0, 0.0]),
             Err(SolveTridiagonalError::BadShape { .. })
@@ -183,7 +186,10 @@ mod tests {
         for (i, xi) in x.iter().enumerate() {
             let k = (i + 1) as f64;
             let expected = k * (n as f64 - k + 1.0) / 2.0;
-            assert!((xi - expected).abs() < 1e-9, "i={i} got {xi} want {expected}");
+            assert!(
+                (xi - expected).abs() < 1e-9,
+                "i={i} got {xi} want {expected}"
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 //! cost of the hyperdimensional vs classic consistent-hash schemes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hdc_core::{BinaryHypervector, BipolarHypervector};
+use hdc_core::BinaryHypervector;
 use hdc_hash::{ClassicRing, HdcHashRing};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;

@@ -17,12 +17,16 @@ fn bench_generation(c: &mut Criterion) {
                 black_box(RandomBasis::new(m, dim, &mut rng).unwrap())
             });
         });
-        group.bench_with_input(BenchmarkId::new("level_interpolation", m), &m, |bencher, &m| {
-            bencher.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                black_box(LevelBasis::new(m, dim, &mut rng).unwrap())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("level_interpolation", m),
+            &m,
+            |bencher, &m| {
+                bencher.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(LevelBasis::new(m, dim, &mut rng).unwrap())
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("level_legacy", m), &m, |bencher, &m| {
             bencher.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);

@@ -30,9 +30,13 @@ fn bench_train_and_eval(c: &mut Criterion) {
         ("level", BasisKind::Level { randomness: 0.0 }),
         ("circular", BasisKind::Circular { randomness: 0.1 }),
     ] {
-        group.bench_with_input(BenchmarkId::new("jigsaws", name), &kind, |bencher, &kind| {
-            bencher.iter(|| black_box(run_task(&dataset, kind, &config)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("jigsaws", name),
+            &kind,
+            |bencher, &kind| {
+                bencher.iter(|| black_box(run_task(&dataset, kind, &config)));
+            },
+        );
     }
     group.finish();
 }

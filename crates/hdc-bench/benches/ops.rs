@@ -40,16 +40,16 @@ fn bench_similarity_search(c: &mut Criterion) {
     let dim = 10_000;
     let mut group = c.benchmark_group("similarity_search");
     for candidates in [16usize, 128, 1_024] {
-        let items: Vec<BinaryHypervector> =
-            (0..candidates).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let items: Vec<BinaryHypervector> = (0..candidates)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect();
         let query = items[candidates / 2].corrupt(0.2, &mut rng);
         group.bench_with_input(
             BenchmarkId::new("nearest", candidates),
             &candidates,
             |bencher, _| {
-                bencher.iter(|| {
-                    hdc_core::similarity::nearest(black_box(&query), black_box(&items))
-                });
+                bencher
+                    .iter(|| hdc_core::similarity::nearest(black_box(&query), black_box(&items)));
             },
         );
     }

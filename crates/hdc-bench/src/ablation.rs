@@ -30,8 +30,9 @@ pub struct BasisFidelity {
 /// Measures construction fidelity for the three level-set generators.
 #[must_use]
 pub fn basis_fidelity(m: usize, dim: usize, seed: u64) -> Vec<BasisFidelity> {
-    let expected: Vec<f64> =
-        (0..m).map(|j| 1.0 - j as f64 / (2.0 * (m as f64 - 1.0))).collect();
+    let expected: Vec<f64> = (0..m)
+        .map(|j| 1.0 - j as f64 / (2.0 * (m as f64 - 1.0)))
+        .collect();
     let mut rows = Vec::new();
     for (name, basis) in [
         (
@@ -71,13 +72,19 @@ pub struct ModelComparison {
 
 /// Runs the BSC-vs-MAP ablation over a range of noise levels.
 #[must_use]
-pub fn bsc_vs_map(dim: usize, classes: usize, seed: u64, noise_levels: &[f64]) -> Vec<ModelComparison> {
+pub fn bsc_vs_map(
+    dim: usize,
+    classes: usize,
+    seed: u64,
+    noise_levels: &[f64],
+) -> Vec<ModelComparison> {
     noise_levels
         .iter()
         .map(|&noise| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let protos: Vec<BinaryHypervector> =
-                (0..classes).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+            let protos: Vec<BinaryHypervector> = (0..classes)
+                .map(|_| BinaryHypervector::random(dim, &mut rng))
+                .collect();
 
             // Shared observations: bipolar views of the same corrupted bits.
             let train: Vec<(BinaryHypervector, usize)> = (0..classes * 20)
@@ -95,8 +102,7 @@ pub fn bsc_vs_map(dim: usize, classes: usize, seed: u64, noise_levels: &[f64]) -
                 &mut rng,
             )
             .expect("valid parameters");
-            let bsc_correct =
-                test.iter().filter(|(h, l)| bsc.predict(h) == *l).count();
+            let bsc_correct = test.iter().filter(|(h, l)| bsc.predict(h) == *l).count();
 
             // MAP: integer accumulators + cosine.
             let mut accs: Vec<BipolarAccumulator> =
@@ -162,14 +168,17 @@ pub fn factor_sharpening(dim: usize, seed: u64, max_factors: usize) -> Vec<Facto
                     (encode(x), x)
                 })
                 .collect();
-            let model =
-                RegressionModel::fit(pairs.iter().map(|(h, y)| (h, *y)), label, &mut rng)
-                    .expect("non-empty");
-            let preds: Vec<f64> =
-                (0..21).map(|i| model.predict(&encode(i as f64 / 20.0))).collect();
+            let model = RegressionModel::fit(pairs.iter().map(|(h, y)| (h, *y)), label, &mut rng)
+                .expect("non-empty");
+            let preds: Vec<f64> = (0..21)
+                .map(|i| model.predict(&encode(i as f64 / 20.0)))
+                .collect();
             let spread = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max)
                 - preds.iter().copied().fold(f64::INFINITY, f64::min);
-            FactorSharpening { factors, prediction_spread: spread }
+            FactorSharpening {
+                factors,
+                prediction_spread: spread,
+            }
         })
         .collect()
 }
@@ -201,7 +210,9 @@ pub fn hash_robustness(dim: usize, seed: u64) -> Vec<HashRobustness> {
     let mut rows = Vec::new();
 
     let hdc_owners = |ring: &HdcHashRing<String>| -> Vec<String> {
-        keys.iter().map(|k| ring.lookup(k).unwrap().clone()).collect()
+        keys.iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect()
     };
 
     // HDC ring: add a node.
@@ -237,7 +248,9 @@ pub fn hash_robustness(dim: usize, seed: u64) -> Vec<HashRobustness> {
         classic.add_node(n.clone());
     }
     let classic_owners = |ring: &ClassicRing<String>| -> Vec<String> {
-        keys.iter().map(|k| ring.lookup(k).unwrap().clone()).collect()
+        keys.iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect()
     };
     let classic_baseline = classic_owners(&classic);
     classic.add_node("node-new".into());
@@ -253,9 +266,14 @@ pub fn hash_robustness(dim: usize, seed: u64) -> Vec<HashRobustness> {
     });
 
     // Modulo: grow bucket count by one.
-    let before: Vec<String> =
-        keys.iter().map(|k| modulo_assign(k, 8).to_string()).collect();
-    let after: Vec<String> = keys.iter().map(|k| modulo_assign(k, 9).to_string()).collect();
+    let before: Vec<String> = keys
+        .iter()
+        .map(|k| modulo_assign(k, 8).to_string())
+        .collect();
+    let after: Vec<String> = keys
+        .iter()
+        .map(|k| modulo_assign(k, 9).to_string())
+        .collect();
     rows.push(HashRobustness {
         scenario: "modulo: grow 8 -> 9 buckets",
         remapped_fraction: moved_fraction(&before, &after),
@@ -288,8 +306,18 @@ mod tests {
     fn bsc_and_map_are_comparable() {
         let rows = bsc_vs_map(4_096, 5, 3, &[0.1, 0.3]);
         for row in rows {
-            assert!(row.bsc_accuracy > 0.9, "noise {} bsc {}", row.noise, row.bsc_accuracy);
-            assert!(row.map_accuracy > 0.9, "noise {} map {}", row.noise, row.map_accuracy);
+            assert!(
+                row.bsc_accuracy > 0.9,
+                "noise {} bsc {}",
+                row.noise,
+                row.bsc_accuracy
+            );
+            assert!(
+                row.map_accuracy > 0.9,
+                "noise {} map {}",
+                row.noise,
+                row.map_accuracy
+            );
         }
     }
 
@@ -302,7 +330,12 @@ mod tests {
     #[test]
     fn hash_ablation_orders_schemes() {
         let rows = hash_robustness(4_096, 9);
-        let by = |s: &str| rows.iter().find(|r| r.scenario.starts_with(s)).unwrap().remapped_fraction;
+        let by = |s: &str| {
+            rows.iter()
+                .find(|r| r.scenario.starts_with(s))
+                .unwrap()
+                .remapped_fraction
+        };
         assert!(by("modulo") > 0.5, "modulo remaps most keys");
         assert!(by("hdc ring: add node") < 0.4);
         assert!(by("classic ring: add node") < 0.4);
@@ -310,7 +343,11 @@ mod tests {
         // error rate and is tiny for small faults…
         assert!(by("hdc ring: 0.1%") <= by("hdc ring: 1%") + 1e-9);
         assert!(by("hdc ring: 1%") <= by("hdc ring: 5%") + 1e-9);
-        assert!(by("hdc ring: 0.1%") < 0.02, "0.1% corruption: {}", by("hdc ring: 0.1%"));
+        assert!(
+            by("hdc ring: 0.1%") < 0.02,
+            "0.1% corruption: {}",
+            by("hdc ring: 0.1%")
+        );
         // …while a single flipped position bit teleports a classic node.
         assert!(
             by("classic ring: 1 flipped") > by("hdc ring: 1%"),

@@ -32,7 +32,9 @@ fn main() -> ExitCode {
     let command = args.iter().find(|a| !a.starts_with("--")).cloned();
 
     let Some(command) = command else {
-        eprintln!("usage: experiments <table1|table2|fig3|fig4|fig6|fig7|fig8|ablation|all> [--quick]");
+        eprintln!(
+            "usage: experiments <table1|table2|fig3|fig4|fig6|fig7|fig8|ablation|all> [--quick]"
+        );
         return ExitCode::FAILURE;
     };
 
@@ -81,7 +83,10 @@ fn table2_config(quick: bool) -> table2::Table2Config {
 
 fn run_table1(quick: bool) {
     let config = table1_config(quick);
-    println!("\n== Table 1: classification accuracy (circular r = {}) ==", config.circular_randomness);
+    println!(
+        "\n== Table 1: classification accuracy (circular r = {}) ==",
+        config.circular_randomness
+    );
     let rows = table1::run(&config);
     let formatted: Vec<Vec<String>> = rows
         .iter()
@@ -113,7 +118,10 @@ fn run_table1(quick: bool) {
 
 fn run_table2(quick: bool) {
     let config = table2_config(quick);
-    println!("\n== Table 2: regression MSE (circular r = {}) ==", config.circular_randomness);
+    println!(
+        "\n== Table 2: regression MSE (circular r = {}) ==",
+        config.circular_randomness
+    );
     let rows = table2::run(&config);
     print_table2(&rows);
     let csv_rows: Vec<Vec<String>> = rows
@@ -150,7 +158,7 @@ fn print_table2(rows: &[table2::Table2Row]) {
 fn run_fig3(quick: bool) {
     let (m, dim) = if quick { (10, 2_048) } else { (10, 10_000) };
     println!("\n== Figure 3: pairwise similarity of basis sets (m = {m}, d = {dim}) ==");
-    let matrices = fig3::run(m, dim, 0xF16_3);
+    let matrices = fig3::run(m, dim, 0xF163);
     let mut saved = String::new();
     for matrix in &matrices {
         println!("\n-- {} --", matrix.name);
@@ -178,7 +186,10 @@ fn run_fig4(quick: bool) {
             ]
         })
         .collect();
-    let table = report::format_table(&["Δ", "𭟋 (expected flips)", "Δ·d (linear)", "ratio"], &rows);
+    let table = report::format_table(
+        &["Δ", "𭟋 (expected flips)", "Δ·d (linear)", "ratio"],
+        &rows,
+    );
     print!("{table}");
     persist("fig4.txt", &table);
     persist_csv(
@@ -200,7 +211,7 @@ fn run_fig4(quick: bool) {
 fn run_fig6(quick: bool) {
     let dim = if quick { 2_048 } else { 10_000 };
     println!("\n== Figure 6: effect of r on circular similarities (m = 10, d = {dim}) ==");
-    let profiles = fig6::run(10, dim, &[0.0, 0.5, 1.0], 0xF16_6);
+    let profiles = fig6::run(10, dim, &[0.0, 0.5, 1.0], 0xF166);
     let mut rows = Vec::new();
     for node in 0..10 {
         rows.push(vec![
@@ -210,10 +221,7 @@ fn run_fig6(quick: bool) {
             format!("{:.3}", profiles[2].similarities[node]),
         ]);
     }
-    let table = report::format_table(
-        &["node", "r=0 (circular)", "r=0.5", "r=1 (random)"],
-        &rows,
-    );
+    let table = report::format_table(&["node", "r=0 (circular)", "r=0.5", "r=1 (random)"], &rows);
     print!("{table}");
     persist("fig6.txt", &table);
 }
@@ -233,14 +241,17 @@ fn run_fig7(quick: bool) {
             ]
         })
         .collect();
-    let table =
-        report::format_table(&["Dataset", "Random", "Level", "Circular"], &formatted);
+    let table = report::format_table(&["Dataset", "Random", "Level", "Circular"], &formatted);
     print!("{table}");
     persist("fig7.txt", &table);
 }
 
 fn run_fig8(quick: bool) {
-    let config = if quick { fig8::Fig8Config::quick() } else { fig8::Fig8Config::default() };
+    let config = if quick {
+        fig8::Fig8Config::quick()
+    } else {
+        fig8::Fig8Config::default()
+    };
     println!("\n== Figure 8: normalized error vs r (reference: random) ==");
     let series = fig8::run(&config);
     let mut headers: Vec<String> = vec!["r".to_string()];
@@ -257,11 +268,7 @@ fn run_fig8(quick: bool) {
     let table = report::format_table(&header_refs, &rows);
     print!("{table}");
     persist("fig8.txt", &table);
-    persist_csv(
-        "fig8.csv",
-        &headers.join(","),
-        &rows.iter().map(|r| r.clone()).collect::<Vec<_>>(),
-    );
+    persist_csv("fig8.csv", &headers.join(","), &rows);
 }
 
 fn run_ablation(quick: bool) {
@@ -271,7 +278,10 @@ fn run_ablation(quick: bool) {
         .iter()
         .map(|r| vec![r.name.to_string(), format!("{:.4}", r.deviation)])
         .collect();
-    print!("{}", report::format_table(&["construction", "mean |measured - designed|"], &rows));
+    print!(
+        "{}",
+        report::format_table(&["construction", "mean |measured - designed|"], &rows)
+    );
 
     println!("\n== Ablation: BSC vs MAP model ==");
     let rows: Vec<Vec<String>> = ablation::bsc_vs_map(dim / 4, 8, 0xAB2, &[0.40, 0.44, 0.46, 0.48])
@@ -284,19 +294,30 @@ fn run_ablation(quick: bool) {
             ]
         })
         .collect();
-    print!("{}", report::format_table(&["noise", "BSC accuracy", "MAP accuracy"], &rows));
+    print!(
+        "{}",
+        report::format_table(&["noise", "BSC accuracy", "MAP accuracy"], &rows)
+    );
 
     println!("\n== Ablation: regression kernel sharpening by factor count ==");
     let rows: Vec<Vec<String>> = ablation::factor_sharpening(dim, 0xAB3, 3)
         .iter()
         .map(|r| vec![r.factors.to_string(), format!("{:.3}", r.prediction_spread)])
         .collect();
-    print!("{}", report::format_table(&["bound factors", "prediction spread"], &rows));
+    print!(
+        "{}",
+        report::format_table(&["bound factors", "prediction spread"], &rows)
+    );
 
     println!("\n== Ablation: hash-ring remapping ==");
     let rows: Vec<Vec<String>> = ablation::hash_robustness(dim, 0xAB4)
         .iter()
-        .map(|r| vec![r.scenario.to_string(), format!("{:.1}%", 100.0 * r.remapped_fraction)])
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                format!("{:.1}%", 100.0 * r.remapped_fraction),
+            ]
+        })
         .collect();
     let table = report::format_table(&["scenario", "keys remapped"], &rows);
     print!("{table}");

@@ -32,7 +32,9 @@ impl BinnedAngleEncoder {
         rng: &mut impl Rng,
     ) -> Result<Self, HdcError> {
         let basis = kind.build(bins, dim, rng)?;
-        Ok(Self { hvs: basis.hypervectors().to_vec() })
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+        })
     }
 
     /// Number of sectors.
@@ -62,7 +64,10 @@ impl BinnedAngleEncoder {
     /// Panics if `period` is not positive and finite.
     #[must_use]
     pub fn encode_periodic(&self, value: f64, period: f64) -> &BinaryHypervector {
-        assert!(period.is_finite() && period > 0.0, "period {period} must be positive");
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period {period} must be positive"
+        );
         self.encode(value / period * std::f64::consts::TAU)
     }
 }
@@ -100,10 +105,16 @@ mod tests {
     #[test]
     fn circular_kind_wraps_in_hyperspace() {
         let mut rng = StdRng::seed_from_u64(2);
-        let enc =
-            BinnedAngleEncoder::new(BasisKind::Circular { randomness: 0.0 }, 24, 10_000, &mut rng)
-                .unwrap();
-        let wrap = enc.encode_periodic(23.7, 24.0).normalized_hamming(enc.encode_periodic(0.3, 24.0));
+        let enc = BinnedAngleEncoder::new(
+            BasisKind::Circular { randomness: 0.0 },
+            24,
+            10_000,
+            &mut rng,
+        )
+        .unwrap();
+        let wrap = enc
+            .encode_periodic(23.7, 24.0)
+            .normalized_hamming(enc.encode_periodic(0.3, 24.0));
         assert!(wrap < 0.15, "wrap distance {wrap}");
     }
 }

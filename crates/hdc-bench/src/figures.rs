@@ -39,9 +39,18 @@ pub mod fig3 {
         let level = LevelBasis::new(m, dim, &mut rng).expect("valid parameters");
         let circular = CircularBasis::new(m, dim, &mut rng).expect("valid parameters");
         vec![
-            Matrix { name: "Random", values: analysis::similarity_matrix(&random) },
-            Matrix { name: "Level", values: analysis::similarity_matrix(&level) },
-            Matrix { name: "Circular", values: analysis::similarity_matrix(&circular) },
+            Matrix {
+                name: "Random",
+                values: analysis::similarity_matrix(&random),
+            },
+            Matrix {
+                name: "Level",
+                values: analysis::similarity_matrix(&level),
+            },
+            Matrix {
+                name: "Circular",
+                values: analysis::similarity_matrix(&circular),
+            },
         ]
     }
 }
@@ -81,7 +90,11 @@ pub mod fig4 {
                     (flips - tri).abs() / flips.max(1.0) < 1e-6,
                     "recursion and tridiagonal solver disagree at Δ={delta}"
                 );
-                Point { delta, expected_flips: flips, linear_flips: target as f64 }
+                Point {
+                    delta,
+                    expected_flips: flips,
+                    linear_flips: target as f64,
+                }
             })
             .collect()
     }
@@ -109,9 +122,12 @@ pub mod fig6 {
             .iter()
             .map(|&r| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let basis = CircularBasis::with_randomness(m, dim, r, &mut rng)
-                    .expect("valid parameters");
-                Profile { r, similarities: analysis::similarity_profile(&basis, 0) }
+                let basis =
+                    CircularBasis::with_randomness(m, dim, r, &mut rng).expect("valid parameters");
+                Profile {
+                    r,
+                    similarities: analysis::similarity_profile(&basis, 0),
+                }
             })
             .collect()
     }
@@ -172,8 +188,7 @@ pub mod fig8 {
 
         // Regression datasets: normalized MSE.
         let beijing_data = beijing::generate(&config.table2.beijing);
-        let reference =
-            table2::run_beijing(&beijing_data, BasisKind::Random, &config.table2);
+        let reference = table2::run_beijing(&beijing_data, BasisKind::Random, &config.table2);
         series.push(Series {
             dataset: "Beijing",
             points: config
@@ -249,7 +264,11 @@ mod tests {
         let random = &matrices[0].values;
         assert!((random[0][9] - 0.5).abs() < 0.06);
         let circular = &matrices[2].values;
-        assert!(circular[0][9] > 0.8, "circular wrap similarity {}", circular[0][9]);
+        assert!(
+            circular[0][9] > 0.8,
+            "circular wrap similarity {}",
+            circular[0][9]
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    write_row(&mut out, &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    write_row(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -54,7 +57,10 @@ pub fn results_dir() -> PathBuf {
     }
     // CARGO_MANIFEST_DIR = crates/hdc-bench; results live at the repo root.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.ancestors().nth(2).map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
+    manifest
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("results"), |root| root.join("results"))
 }
 
 /// Writes `content` into `results_dir()/name`, creating the directory as

@@ -10,7 +10,9 @@
 
 use hdc_basis::BasisKind;
 use hdc_core::BinaryHypervector;
-use hdc_datasets::jigsaws::{JigsawsConfig, JigsawsDataset, JigsawsSample, JigsawsTask, TRAIN_SURGEON};
+use hdc_datasets::jigsaws::{
+    JigsawsConfig, JigsawsDataset, JigsawsSample, JigsawsTask, TRAIN_SURGEON,
+};
 use hdc_encode::RecordEncoder;
 use hdc_learn::{metrics, CentroidClassifier};
 use rand::{rngs::StdRng, SeedableRng};
@@ -52,7 +54,11 @@ impl Table1Config {
         Self {
             dim: 2_048,
             bins: 24,
-            jigsaws: JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 6, ..JigsawsConfig::default() },
+            jigsaws: JigsawsConfig {
+                trials_per_surgeon: 1,
+                frames_per_trial: 6,
+                ..JigsawsConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -84,7 +90,9 @@ pub fn run(config: &Table1Config) -> Vec<Table1Row> {
                 level: run_task(&dataset, BasisKind::Level { randomness: 0.0 }, config),
                 circular: run_task(
                     &dataset,
-                    BasisKind::Circular { randomness: config.circular_randomness },
+                    BasisKind::Circular {
+                        randomness: config.circular_randomness,
+                    },
                     config,
                 ),
             }
@@ -120,8 +128,10 @@ pub fn run_task(dataset: &JigsawsDataset, kind: BasisKind, config: &Table1Config
     };
 
     let (train, test) = dataset.train_test_split(TRAIN_SURGEON);
-    let encoded_train: Vec<(BinaryHypervector, usize)> =
-        train.iter().map(|s| (encode(s, &mut rng), s.gesture)).collect();
+    let encoded_train: Vec<(BinaryHypervector, usize)> = train
+        .iter()
+        .map(|s| (encode(s, &mut rng), s.gesture))
+        .collect();
     let model = CentroidClassifier::fit(
         encoded_train.iter().map(|(hv, l)| (hv, *l)),
         dataset.gesture_count,
@@ -163,7 +173,10 @@ mod tests {
         ] {
             let acc = run_task(&dataset, kind, &config);
             assert!((0.0..=1.0).contains(&acc));
-            assert!(acc > chance * 1.5, "{kind:?} accuracy {acc} barely above chance");
+            assert!(
+                acc > chance * 1.5,
+                "{kind:?} accuracy {acc} barely above chance"
+            );
         }
     }
 

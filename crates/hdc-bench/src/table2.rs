@@ -78,8 +78,14 @@ impl Table2Config {
             mars_bins: 192,
             // Two years minimum: a 70% temporal split of a single year
             // would leave part of the day-of-year range unseen in training.
-            beijing: beijing::BeijingConfig { years: 2, ..beijing::BeijingConfig::default() },
-            mars: mars::MarsConfig { samples: 400, ..mars::MarsConfig::default() },
+            beijing: beijing::BeijingConfig {
+                years: 2,
+                ..beijing::BeijingConfig::default()
+            },
+            mars: mars::MarsConfig {
+                samples: 400,
+                ..mars::MarsConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -103,7 +109,9 @@ pub struct Table2Row {
 pub fn run(config: &Table2Config) -> Vec<Table2Row> {
     let beijing_data = beijing::generate(&config.beijing);
     let mars_data = mars::generate(&config.mars);
-    let circular = BasisKind::Circular { randomness: config.circular_randomness };
+    let circular = BasisKind::Circular {
+        randomness: config.circular_randomness,
+    };
     vec![
         Table2Row {
             dataset: "Beijing",
@@ -123,23 +131,14 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
 /// Trains and scores one basis kind on the Beijing surrogate; returns the
 /// test MSE. Exposed for the Figure 8 sweep.
 #[must_use]
-pub fn run_beijing(
-    data: &beijing::BeijingDataset,
-    kind: BasisKind,
-    config: &Table2Config,
-) -> f64 {
+pub fn run_beijing(data: &beijing::BeijingDataset, kind: BasisKind, config: &Table2Config) -> f64 {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Year is always level-encoded (macro trend); day and hour switch kind.
     let years_span = config.beijing.years as f64;
-    let year_enc = ScalarEncoder::with_levels(
-        0.0,
-        years_span,
-        config.year_levels,
-        config.dim,
-        &mut rng,
-    )
-    .expect("valid year encoder");
+    let year_enc =
+        ScalarEncoder::with_levels(0.0, years_span, config.year_levels, config.dim, &mut rng)
+            .expect("valid year encoder");
     let day_enc = BinnedAngleEncoder::new(kind, config.day_bins, config.dim, &mut rng)
         .expect("valid day encoder");
     let hour_enc = BinnedAngleEncoder::new(kind, config.hour_bins, config.dim, &mut rng)
@@ -182,8 +181,7 @@ pub fn run_mars(data: &mars::MarsDataset, kind: BasisKind, config: &Table2Config
         ScalarEncoder::with_levels(min_p, max_p, config.label_levels, config.dim, &mut rng)
             .expect("valid label encoder");
 
-    let (train_idx, test_idx) =
-        split::random(data.samples.len(), config.train_fraction, &mut rng);
+    let (train_idx, test_idx) = split::random(data.samples.len(), config.train_fraction, &mut rng);
     let mut trainer = RegressionTrainer::new(label_enc);
     for &i in &train_idx {
         let s = &data.samples[i];
@@ -212,7 +210,10 @@ mod tests {
         let variance = truth.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / truth.len() as f64;
 
         let mse = run_mars(&data, BasisKind::Circular { randomness: 0.01 }, &config);
-        assert!(mse < variance, "circular MSE {mse} must beat variance {variance}");
+        assert!(
+            mse < variance,
+            "circular MSE {mse} must beat variance {variance}"
+        );
     }
 
     #[test]

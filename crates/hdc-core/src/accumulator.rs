@@ -64,7 +64,10 @@ impl MajorityAccumulator {
     #[must_use]
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimension must be at least 1");
-        Self { counts: vec![0; dim], weight: 0 }
+        Self {
+            counts: vec![0; dim],
+            weight: 0,
+        }
     }
 
     /// The dimensionality this accumulator operates on.
@@ -132,16 +135,14 @@ impl MajorityAccumulator {
     /// deterministic tie-break policy.
     #[must_use]
     pub fn finalize(&self, tie: TieBreak) -> BinaryHypervector {
-        BinaryHypervector::from_fn(self.counts.len(), |i| {
-            match self.counts[i].cmp(&0) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => match tie {
-                    TieBreak::Zero => false,
-                    TieBreak::One => true,
-                    TieBreak::Alternate => i % 2 == 0,
-                },
-            }
+        BinaryHypervector::from_fn(self.counts.len(), |i| match self.counts[i].cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match tie {
+                TieBreak::Zero => false,
+                TieBreak::One => true,
+                TieBreak::Alternate => i % 2 == 0,
+            },
         })
     }
 
@@ -234,8 +235,9 @@ mod tests {
     #[test]
     fn bundle_is_similar_to_members() {
         let mut r = rng();
-        let members: Vec<_> =
-            (0..9).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let members: Vec<_> = (0..9)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
         let mut acc = MajorityAccumulator::new(10_000);
         acc.extend(members.iter());
         let bundle = acc.finalize_random(&mut r);
@@ -313,8 +315,9 @@ mod tests {
     #[test]
     fn dot_bipolar_identifies_member() {
         let mut r = rng();
-        let members: Vec<_> =
-            (0..6).map(|_| BinaryHypervector::random(4_096, &mut r)).collect();
+        let members: Vec<_> = (0..6)
+            .map(|_| BinaryHypervector::random(4_096, &mut r))
+            .collect();
         let outsider = BinaryHypervector::random(4_096, &mut r);
         let mut acc = MajorityAccumulator::new(4_096);
         acc.extend(members.iter());

@@ -45,7 +45,10 @@ impl BinaryHypervector {
     #[must_use]
     pub fn zeros(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimension must be at least 1");
-        Self { dim, words: vec![0; dim.div_ceil(WORD_BITS)] }
+        Self {
+            dim,
+            words: vec![0; dim.div_ceil(WORD_BITS)],
+        }
     }
 
     /// Creates the all-ones hypervector of dimensionality `dim`.
@@ -128,7 +131,11 @@ impl BinaryHypervector {
     /// Panics if `index >= self.dim()`.
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.dim, "bit index {index} out of range for dimension {}", self.dim);
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range for dimension {}",
+            self.dim
+        );
         (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
     }
 
@@ -138,7 +145,11 @@ impl BinaryHypervector {
     ///
     /// Panics if `index >= self.dim()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.dim, "bit index {index} out of range for dimension {}", self.dim);
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range for dimension {}",
+            self.dim
+        );
         let mask = 1u64 << (index % WORD_BITS);
         if value {
             self.words[index / WORD_BITS] |= mask;
@@ -153,7 +164,11 @@ impl BinaryHypervector {
     ///
     /// Panics if `index >= self.dim()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.dim, "bit index {index} out of range for dimension {}", self.dim);
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range for dimension {}",
+            self.dim
+        );
         self.words[index / WORD_BITS] ^= 1 << (index % WORD_BITS);
     }
 
@@ -173,8 +188,16 @@ impl BinaryHypervector {
     #[must_use]
     pub fn bind(&self, other: &Self) -> Self {
         self.assert_same_dim(other);
-        let words = self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect();
-        Self { dim: self.dim, words }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Self {
+            dim: self.dim,
+            words,
+        }
     }
 
     /// In-place [`bind`](Self::bind).
@@ -205,7 +228,10 @@ impl BinaryHypervector {
         // result[s..dim) = self[0..dim-s) and result[0..s) = self[dim-s..dim)
         copy_bit_range(&self.words, 0, &mut words, s, self.dim - s);
         copy_bit_range(&self.words, self.dim - s, &mut words, 0, s);
-        Self { dim: self.dim, words }
+        Self {
+            dim: self.dim,
+            words,
+        }
     }
 
     /// Inverse of [`permute`](Self::permute): `hv.permute(k).permute_inverse(k) == hv`.
@@ -324,7 +350,11 @@ impl BinaryHypervector {
     #[cfg(test)]
     fn tail_is_clean(&self) -> bool {
         let rem = self.dim % WORD_BITS;
-        rem == 0 || self.words.last().map_or(true, |w| w & !((1u64 << rem) - 1) == 0)
+        rem == 0
+            || self
+                .words
+                .last()
+                .map_or(true, |w| w & !((1u64 << rem) - 1) == 0)
     }
 }
 
@@ -353,7 +383,11 @@ fn copy_bit_range(src: &[u64], src_start: usize, dst: &mut [u64], dst_start: usi
         let d_off = d_bit % WORD_BITS;
         let chunk = (WORD_BITS - d_off).min(len - copied);
         let bits = read_bits(src, src_start + copied, chunk);
-        let mask = if chunk == WORD_BITS { !0u64 } else { (1u64 << chunk) - 1 } << d_off;
+        let mask = if chunk == WORD_BITS {
+            !0u64
+        } else {
+            (1u64 << chunk) - 1
+        } << d_off;
         dst[d_word] = (dst[d_word] & !mask) | ((bits << d_off) & mask);
         copied += chunk;
     }
@@ -541,7 +575,18 @@ mod tests {
         let mut r = rng();
         for dim in [1usize, 2, 63, 64, 65, 127, 128, 1000] {
             let hv = BinaryHypervector::random(dim, &mut r);
-            for shift in [0isize, 1, -1, 7, 63, 64, 65, -100, dim as isize, 3 * dim as isize + 5] {
+            for shift in [
+                0isize,
+                1,
+                -1,
+                7,
+                63,
+                64,
+                65,
+                -100,
+                dim as isize,
+                3 * dim as isize + 5,
+            ] {
                 let fast = hv.permute(shift);
                 let s = shift.rem_euclid(dim as isize) as usize;
                 let naive = BinaryHypervector::from_fn(dim, |i| hv.get((i + dim - s) % dim));
@@ -558,7 +603,10 @@ mod tests {
         let other = BinaryHypervector::random(10_000, &mut r);
         let p = hv.permute(31);
         assert_eq!(p.permute_inverse(31), hv);
-        assert_eq!(hv.hamming(&other), hv.permute(31).hamming(&other.permute(31)));
+        assert_eq!(
+            hv.hamming(&other),
+            hv.permute(31).hamming(&other.permute(31))
+        );
         // A shifted hypervector is quasi-orthogonal to the original.
         assert!((hv.normalized_hamming(&p) - 0.5).abs() < 0.05);
     }

@@ -45,7 +45,11 @@ impl BipolarHypervector {
     #[must_use]
     pub fn random(dim: usize, rng: &mut impl Rng) -> Self {
         assert!(dim > 0, "hypervector dimension must be at least 1");
-        Self { elems: (0..dim).map(|_| if rng.random_bool(0.5) { 1 } else { -1 }).collect() }
+        Self {
+            elems: (0..dim)
+                .map(|_| if rng.random_bool(0.5) { 1 } else { -1 })
+                .collect(),
+        }
     }
 
     /// Builds a hypervector by evaluating `f` at every index.
@@ -86,7 +90,14 @@ impl BipolarHypervector {
     #[must_use]
     pub fn bind(&self, other: &Self) -> Self {
         self.assert_same_dim(other);
-        Self { elems: self.elems.iter().zip(&other.elems).map(|(a, b)| a * b).collect() }
+        Self {
+            elems: self
+                .elems
+                .iter()
+                .zip(&other.elems)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
     }
 
     /// Cyclic rotation by `shift` positions (`Π^shift`).
@@ -145,7 +156,11 @@ impl BipolarHypervector {
 impl fmt::Debug for BipolarHypervector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const PREVIEW: usize = 16;
-        write!(f, "BipolarHypervector {{ dim: {}, elems: ", self.elems.len())?;
+        write!(
+            f,
+            "BipolarHypervector {{ dim: {}, elems: ",
+            self.elems.len()
+        )?;
         for (i, e) in self.elems.iter().take(PREVIEW).enumerate() {
             if i > 0 {
                 write!(f, ",")?;
@@ -162,7 +177,12 @@ impl fmt::Debug for BipolarHypervector {
 impl fmt::Display for BipolarHypervector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let positives = self.elems.iter().filter(|&&e| e > 0).count();
-        write!(f, "bipolar hypervector(d={}, +1s={})", self.elems.len(), positives)
+        write!(
+            f,
+            "bipolar hypervector(d={}, +1s={})",
+            self.elems.len(),
+            positives
+        )
     }
 }
 
@@ -338,7 +358,9 @@ mod tests {
     #[test]
     fn bundle_similar_to_members() {
         let mut r = rng();
-        let members: Vec<_> = (0..7).map(|_| BipolarHypervector::random(8_192, &mut r)).collect();
+        let members: Vec<_> = (0..7)
+            .map(|_| BipolarHypervector::random(8_192, &mut r))
+            .collect();
         let mut acc = BipolarAccumulator::new(8_192);
         for m in &members {
             acc.push(m);

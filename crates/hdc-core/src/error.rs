@@ -66,7 +66,10 @@ impl fmt::Display for HdcError {
                 write!(f, "randomness hyperparameter {r} is outside [0, 1]")
             }
             HdcError::InvalidInterval { low, high } => {
-                write!(f, "invalid interval [{low}, {high}]; bounds must be finite and low < high")
+                write!(
+                    f,
+                    "invalid interval [{low}, {high}]; bounds must be finite and low < high"
+                )
             }
             HdcError::EmptyInput => write!(f, "operation requires at least one input"),
             HdcError::LabelOutOfRange { label, classes } => {
@@ -85,17 +88,36 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_unpunctuated() {
         let messages = [
-            HdcError::DimensionMismatch { expected: 4, found: 8 }.to_string(),
+            HdcError::DimensionMismatch {
+                expected: 4,
+                found: 8,
+            }
+            .to_string(),
             HdcError::InvalidDimension(0).to_string(),
-            HdcError::InvalidBasisSize { requested: 1, minimum: 2 }.to_string(),
+            HdcError::InvalidBasisSize {
+                requested: 1,
+                minimum: 2,
+            }
+            .to_string(),
             HdcError::InvalidRandomness(1.5).to_string(),
-            HdcError::InvalidInterval { low: 2.0, high: 1.0 }.to_string(),
+            HdcError::InvalidInterval {
+                low: 2.0,
+                high: 1.0,
+            }
+            .to_string(),
             HdcError::EmptyInput.to_string(),
-            HdcError::LabelOutOfRange { label: 9, classes: 3 }.to_string(),
+            HdcError::LabelOutOfRange {
+                label: 9,
+                classes: 3,
+            }
+            .to_string(),
         ];
         for message in messages {
             assert!(!message.is_empty());
-            assert!(!message.ends_with('.'), "no trailing punctuation: {message}");
+            assert!(
+                !message.ends_with('.'),
+                "no trailing punctuation: {message}"
+            );
             assert!(message.chars().next().unwrap().is_lowercase());
         }
     }

@@ -39,7 +39,10 @@ impl<K: Eq + Hash + Clone> ItemMemory<K> {
     /// Creates an empty item memory.
     #[must_use]
     pub fn new() -> Self {
-        Self { entries: Vec::new(), index: HashMap::new() }
+        Self {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// Number of stored items.
@@ -130,7 +133,10 @@ impl<K: fmt::Debug> fmt::Debug for ItemMemory<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ItemMemory")
             .field("len", &self.entries.len())
-            .field("keys", &self.entries.iter().map(|(k, _)| k).collect::<Vec<_>>())
+            .field(
+                "keys",
+                &self.entries.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -194,8 +200,9 @@ mod tests {
     #[test]
     fn from_iterator_and_iter_preserve_order() {
         let mut r = rng();
-        let pairs: Vec<(u8, BinaryHypervector)> =
-            (0..4).map(|i| (i, BinaryHypervector::random(64, &mut r))).collect();
+        let pairs: Vec<(u8, BinaryHypervector)> = (0..4)
+            .map(|i| (i, BinaryHypervector::random(64, &mut r)))
+            .collect();
         let mem: ItemMemory<u8> = pairs.clone().into_iter().collect();
         let keys: Vec<u8> = mem.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, [0, 1, 2, 3]);

@@ -131,7 +131,9 @@ mod tests {
     #[test]
     fn bundle_matches_accumulator() {
         let mut r = rng();
-        let vs: Vec<_> = (0..5).map(|_| BinaryHypervector::random(2_048, &mut r)).collect();
+        let vs: Vec<_> = (0..5)
+            .map(|_| BinaryHypervector::random(2_048, &mut r))
+            .collect();
         // Odd count: no ties, so both paths are deterministic and equal.
         let via_free = bundle(vs.iter(), &mut r.clone()).unwrap();
         let mut acc = MajorityAccumulator::new(2_048);
@@ -155,7 +157,9 @@ mod tests {
     #[test]
     fn bundled_sequence_similar_to_permuted_members() {
         let mut r = rng();
-        let items: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let items: Vec<_> = (0..3)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
         let enc = bundle_sequence(items.iter(), &mut r).unwrap();
         for (i, item) in items.iter().enumerate() {
             let expected = item.permute(i as isize);

@@ -59,7 +59,10 @@ pub fn distances<'a, I>(query: &BinaryHypervector, candidates: I) -> Vec<f64>
 where
     I: IntoIterator<Item = &'a BinaryHypervector>,
 {
-    candidates.into_iter().map(|hv| query.normalized_hamming(hv)).collect()
+    candidates
+        .into_iter()
+        .map(|hv| query.normalized_hamming(hv))
+        .collect()
 }
 
 /// Computes the full pairwise similarity matrix `1 − δ` of a set of
@@ -100,7 +103,9 @@ mod tests {
     #[test]
     fn nearest_finds_exact_match() {
         let mut r = rng();
-        let items: Vec<_> = (0..8).map(|_| BinaryHypervector::random(4_096, &mut r)).collect();
+        let items: Vec<_> = (0..8)
+            .map(|_| BinaryHypervector::random(4_096, &mut r))
+            .collect();
         for (i, item) in items.iter().enumerate() {
             let (found, d) = nearest(item, &items).unwrap();
             assert_eq!(found, i);
@@ -111,7 +116,9 @@ mod tests {
     #[test]
     fn nearest_tolerates_noise() {
         let mut r = rng();
-        let items: Vec<_> = (0..16).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let items: Vec<_> = (0..16)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
         for (i, item) in items.iter().enumerate() {
             let noisy = item.corrupt(0.3, &mut r);
             let (found, _) = nearest(&noisy, &items).unwrap();
@@ -132,7 +139,9 @@ mod tests {
     #[test]
     fn most_similar_complements_nearest() {
         let mut r = rng();
-        let items: Vec<_> = (0..4).map(|_| BinaryHypervector::random(1_024, &mut r)).collect();
+        let items: Vec<_> = (0..4)
+            .map(|_| BinaryHypervector::random(1_024, &mut r))
+            .collect();
         let q = items[1].corrupt(0.1, &mut r);
         let (ni, nd) = nearest(&q, &items).unwrap();
         let (si, ss) = most_similar(&q, &items).unwrap();
@@ -143,7 +152,9 @@ mod tests {
     #[test]
     fn distances_len_matches() {
         let mut r = rng();
-        let items: Vec<_> = (0..5).map(|_| BinaryHypervector::random(256, &mut r)).collect();
+        let items: Vec<_> = (0..5)
+            .map(|_| BinaryHypervector::random(256, &mut r))
+            .collect();
         let q = BinaryHypervector::random(256, &mut r);
         assert_eq!(distances(&q, &items).len(), 5);
     }
@@ -151,14 +162,16 @@ mod tests {
     #[test]
     fn pairwise_similarity_is_symmetric_with_unit_diagonal() {
         let mut r = rng();
-        let items: Vec<_> = (0..6).map(|_| BinaryHypervector::random(2_048, &mut r)).collect();
+        let items: Vec<_> = (0..6)
+            .map(|_| BinaryHypervector::random(2_048, &mut r))
+            .collect();
         let m = pairwise_similarity(&items);
-        for i in 0..6 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..6 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &value) in row.iter().enumerate() {
+                assert!((value - m[j][i]).abs() < 1e-12);
                 if i != j {
-                    assert!((m[i][j] - 0.5).abs() < 0.06);
+                    assert!((value - 0.5).abs() < 0.06);
                 }
             }
         }

@@ -132,7 +132,11 @@ impl BeijingDataset {
     pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
         writeln!(writer, "year,day_of_year,hour,temperature")?;
         for s in &self.samples {
-            writeln!(writer, "{:.4},{:.1},{:.1},{:.3}", s.year, s.day_of_year, s.hour, s.temperature)?;
+            writeln!(
+                writer,
+                "{:.4},{:.1},{:.1},{:.3}",
+                s.year, s.day_of_year, s.hour, s.temperature
+            )?;
         }
         Ok(())
     }
@@ -157,7 +161,8 @@ pub fn generate(config: &BeijingConfig) -> BeijingDataset {
             let day_of_year = ((h / 24) % DAYS_PER_YEAR as usize) as f64;
             let year = h as f64 / (DAYS_PER_YEAR * 24.0);
             // Coldest around January 15 (day 15), warmest mid-July.
-            let annual = -config.annual_amplitude * (TAU * (day_of_year - 15.0) / DAYS_PER_YEAR).cos();
+            let annual =
+                -config.annual_amplitude * (TAU * (day_of_year - 15.0) / DAYS_PER_YEAR).cos();
             // Coldest around 5 am, warmest around 5 pm.
             let diurnal = -config.diurnal_amplitude * (TAU * (hour - 5.0) / 24.0).cos();
             let temperature = config.mean_temperature
@@ -165,7 +170,12 @@ pub fn generate(config: &BeijingConfig) -> BeijingDataset {
                 + annual
                 + diurnal
                 + weather.next_value(&mut rng);
-            BeijingSample { year, day_of_year, hour, temperature }
+            BeijingSample {
+                year,
+                day_of_year,
+                hour,
+                temperature,
+            }
         })
         .collect();
     BeijingDataset { samples }
@@ -177,7 +187,10 @@ mod tests {
     use dirstats::{angles::to_angle, correlation};
 
     fn small() -> BeijingDataset {
-        generate(&BeijingConfig { years: 2, ..Default::default() })
+        generate(&BeijingConfig {
+            years: 2,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -211,14 +224,20 @@ mod tests {
             .map(|s| s.temperature)
             .collect();
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!(mean(&summer) - mean(&winter) > 20.0, "seasonal swing too small");
+        assert!(
+            mean(&summer) - mean(&winter) > 20.0,
+            "seasonal swing too small"
+        );
     }
 
     #[test]
     fn day_of_year_angle_is_circularly_correlated_with_temperature() {
         let data = small();
-        let angles: Vec<f64> =
-            data.samples.iter().map(|s| to_angle(s.day_of_year, 365.0)).collect();
+        let angles: Vec<f64> = data
+            .samples
+            .iter()
+            .map(|s| to_angle(s.day_of_year, 365.0))
+            .collect();
         let temps: Vec<f64> = data.samples.iter().map(|s| s.temperature).collect();
         let r2 = correlation::circular_linear(&angles, &temps).unwrap();
         assert!(r2 > 0.7, "circular-linear R² = {r2}");
@@ -228,8 +247,11 @@ mod tests {
     fn hour_angle_correlates_within_a_day() {
         // Remove the seasonal component by looking at one week.
         let data = small();
-        let week: Vec<&BeijingSample> =
-            data.samples.iter().filter(|s| (100.0..107.0).contains(&s.day_of_year)).collect();
+        let week: Vec<&BeijingSample> = data
+            .samples
+            .iter()
+            .filter(|s| (100.0..107.0).contains(&s.day_of_year))
+            .collect();
         let angles: Vec<f64> = week.iter().map(|s| to_angle(s.hour, 24.0)).collect();
         let temps: Vec<f64> = week.iter().map(|s| s.temperature).collect();
         let r2 = correlation::circular_linear(&angles, &temps).unwrap();
@@ -246,9 +268,8 @@ mod tests {
         });
         let (first, last) = data.temporal_split(0.5);
         // Compare the same calendar windows (all seasons present in both).
-        let mean = |xs: &[&BeijingSample]| {
-            xs.iter().map(|s| s.temperature).sum::<f64>() / xs.len() as f64
-        };
+        let mean =
+            |xs: &[&BeijingSample]| xs.iter().map(|s| s.temperature).sum::<f64>() / xs.len() as f64;
         assert!(mean(&last) - mean(&first) > 1.0, "warming not detected");
     }
 
@@ -271,16 +292,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&BeijingConfig { years: 1, ..Default::default() });
-        let b = generate(&BeijingConfig { years: 1, ..Default::default() });
+        let a = generate(&BeijingConfig {
+            years: 1,
+            ..Default::default()
+        });
+        let b = generate(&BeijingConfig {
+            years: 1,
+            ..Default::default()
+        });
         assert_eq!(a, b);
-        let c = generate(&BeijingConfig { years: 1, seed: 7, ..Default::default() });
+        let c = generate(&BeijingConfig {
+            years: 1,
+            seed: 7,
+            ..Default::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn csv_export_shape() {
-        let data = generate(&BeijingConfig { years: 1, ..Default::default() });
+        let data = generate(&BeijingConfig {
+            years: 1,
+            ..Default::default()
+        });
         let mut buffer = Vec::new();
         data.write_csv(&mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();

@@ -58,8 +58,11 @@ pub enum JigsawsTask {
 
 impl JigsawsTask {
     /// All three tasks, in the order of the paper's Table 1.
-    pub const ALL: [JigsawsTask; 3] =
-        [JigsawsTask::KnotTying, JigsawsTask::NeedlePassing, JigsawsTask::Suturing];
+    pub const ALL: [JigsawsTask; 3] = [
+        JigsawsTask::KnotTying,
+        JigsawsTask::NeedlePassing,
+        JigsawsTask::Suturing,
+    ];
 
     /// Human-readable task name as printed in Table 1.
     #[must_use]
@@ -103,7 +106,9 @@ impl JigsawsTask {
                 offsets: if s == TRAIN_SURGEON {
                     vec![0.0; CHANNELS]
                 } else {
-                    (0..CHANNELS).map(|_| offset_noise.sample(&mut rng)).collect()
+                    (0..CHANNELS)
+                        .map(|_| offset_noise.sample(&mut rng))
+                        .collect()
                 },
             })
             .collect();
@@ -128,13 +133,12 @@ impl JigsawsTask {
                                 vm.sample(&mut rng)
                             })
                             .collect();
-                        let noisy_label = if config.label_noise > 0.0
-                            && rng.random_bool(config.label_noise)
-                        {
-                            rng.random_range(0..vocabulary.len())
-                        } else {
-                            label
-                        };
+                        let noisy_label =
+                            if config.label_noise > 0.0 && rng.random_bool(config.label_noise) {
+                                rng.random_range(0..vocabulary.len())
+                            } else {
+                                label
+                            };
                         samples.push(JigsawsSample {
                             angles,
                             gesture: noisy_label,
@@ -144,7 +148,11 @@ impl JigsawsTask {
                 }
             }
         }
-        JigsawsDataset { task: self, gesture_count: vocabulary.len(), samples }
+        JigsawsDataset {
+            task: self,
+            gesture_count: vocabulary.len(),
+            samples,
+        }
     }
 }
 
@@ -234,7 +242,9 @@ impl JigsawsDataset {
         &self,
         train_surgeon: usize,
     ) -> (Vec<&JigsawsSample>, Vec<&JigsawsSample>) {
-        self.samples.iter().partition(|s| s.surgeon == train_surgeon)
+        self.samples
+            .iter()
+            .partition(|s| s.surgeon == train_surgeon)
     }
 
     /// Writes the corpus as CSV (`gesture,surgeon,angle_0..angle_17`).
@@ -266,8 +276,8 @@ struct Surgeon {
 
 /// Per-gesture, per-channel von Mises parameters.
 struct GestureSignatures {
-    mus: Vec<f64>,     // GESTURES × CHANNELS
-    kappas: Vec<f64>,  // GESTURES × CHANNELS
+    mus: Vec<f64>,    // GESTURES × CHANNELS
+    kappas: Vec<f64>, // GESTURES × CHANNELS
 }
 
 impl GestureSignatures {
@@ -292,8 +302,8 @@ impl GestureSignatures {
         let mut mus = Vec::with_capacity(GESTURES * CHANNELS);
         let mut kappas = Vec::with_capacity(GESTURES * CHANNELS);
         for _gesture in 0..GESTURES {
-            for channel in 0..CHANNELS {
-                mus.push(wrap(anchors[channel] + deviation.sample(rng)));
+            for &anchor in &anchors {
+                mus.push(wrap(anchor + deviation.sample(rng)));
                 kappas.push(rng.random_range(kappa_range.0..kappa_range.1));
             }
         }
@@ -320,7 +330,11 @@ mod tests {
 
     #[test]
     fn generated_sizes_are_consistent() {
-        let config = JigsawsConfig { trials_per_surgeon: 2, frames_per_trial: 5, ..Default::default() };
+        let config = JigsawsConfig {
+            trials_per_surgeon: 2,
+            frames_per_trial: 5,
+            ..Default::default()
+        };
         let data = JigsawsTask::KnotTying.generate(&config);
         assert_eq!(data.gesture_count, 6);
         assert_eq!(data.samples.len(), 6 * SURGEONS * 2 * 5);
@@ -329,19 +343,28 @@ mod tests {
             assert!(s.gesture < 6);
             assert!(s.surgeon < SURGEONS);
             for &a in &s.angles {
-                assert!((0.0..std::f64::consts::TAU).contains(&a), "angle {a} not wrapped");
+                assert!(
+                    (0.0..std::f64::consts::TAU).contains(&a),
+                    "angle {a} not wrapped"
+                );
             }
         }
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let config = JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 3, ..Default::default() };
+        let config = JigsawsConfig {
+            trials_per_surgeon: 1,
+            frames_per_trial: 3,
+            ..Default::default()
+        };
         let a = JigsawsTask::Suturing.generate(&config);
         let b = JigsawsTask::Suturing.generate(&config);
         assert_eq!(a, b);
-        let different =
-            JigsawsTask::Suturing.generate(&JigsawsConfig { seed: 999, ..config });
+        let different = JigsawsTask::Suturing.generate(&JigsawsConfig {
+            seed: 999,
+            ..config
+        });
         assert_ne!(a, different);
     }
 
@@ -402,7 +425,10 @@ mod tests {
             .iter()
             .filter(|s| s.angles[0] < 0.3 || s.angles[0] > std::f64::consts::TAU - 0.3)
             .count();
-        assert!(near_wrap > data.samples.len() / 50, "wrap-straddling mass: {near_wrap}");
+        assert!(
+            near_wrap > data.samples.len() / 50,
+            "wrap-straddling mass: {near_wrap}"
+        );
     }
 
     #[test]
@@ -424,10 +450,15 @@ mod tests {
         // The experienced training surgeon is at least as concentrated as
         // the noisiest novice.
         let expert = concentration(TRAIN_SURGEON);
-        let novices: Vec<f64> =
-            (0..SURGEONS).filter(|&s| s != TRAIN_SURGEON).map(concentration).collect();
+        let novices: Vec<f64> = (0..SURGEONS)
+            .filter(|&s| s != TRAIN_SURGEON)
+            .map(concentration)
+            .collect();
         let min_novice = novices.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(expert >= min_novice - 0.05, "expert {expert} vs min novice {min_novice}");
+        assert!(
+            expert >= min_novice - 0.05,
+            "expert {expert} vs min novice {min_novice}"
+        );
     }
 
     #[test]

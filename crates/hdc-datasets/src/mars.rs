@@ -114,7 +114,10 @@ impl MarsDataset {
             .filter(|s| (from..to).contains(&s.mean_anomaly))
             .map(|s| s.power)
             .collect();
-        assert!(!window.is_empty(), "no samples in anomaly window [{from}, {to})");
+        assert!(
+            !window.is_empty(),
+            "no samples in anomaly window [{from}, {to})"
+        );
         window.iter().sum::<f64>() / window.len() as f64
     }
 
@@ -153,12 +156,15 @@ pub fn generate(config: &MarsConfig) -> MarsDataset {
             let solar = config.solar_reference_power * (mean_radius / r).powi(2);
             // Eclipse seasons: a smooth dip once per orbit, offset from
             // perihelion, plus a weaker second harmonic from thermal load.
-            let eclipse = -config.eclipse_amplitude
-                * (0.5 + 0.5 * (mean_anomaly - 2.1).cos()).powi(3);
+            let eclipse =
+                -config.eclipse_amplitude * (0.5 + 0.5 * (mean_anomaly - 2.1).cos()).powi(3);
             let thermal = config.thermal_amplitude * (2.0 * mean_anomaly + 0.7).cos();
             let dust = -config.dust_amplitude * dust_attenuation(mean_anomaly);
             let power = solar + eclipse + thermal + dust + noise.sample(&mut rng);
-            MarsSample { mean_anomaly, power }
+            MarsSample {
+                mean_anomaly,
+                power,
+            }
         })
         .collect();
     MarsDataset { samples }
@@ -234,7 +240,10 @@ mod tests {
         let data = data();
         let rising = data.mean_power_in(1.8, 2.4);
         let falling = data.mean_power_in(TAU - 2.4, TAU - 1.8);
-        assert!((rising - falling).abs() > 10.0, "rising {rising} vs falling {falling}");
+        assert!(
+            (rising - falling).abs() > 10.0,
+            "rising {rising} vs falling {falling}"
+        );
     }
 
     #[test]
@@ -246,16 +255,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&MarsConfig { samples: 100, ..Default::default() });
-        let b = generate(&MarsConfig { samples: 100, ..Default::default() });
+        let a = generate(&MarsConfig {
+            samples: 100,
+            ..Default::default()
+        });
+        let b = generate(&MarsConfig {
+            samples: 100,
+            ..Default::default()
+        });
         assert_eq!(a, b);
-        let c = generate(&MarsConfig { samples: 100, seed: 1, ..Default::default() });
+        let c = generate(&MarsConfig {
+            samples: 100,
+            seed: 1,
+            ..Default::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn csv_export_shape() {
-        let data = generate(&MarsConfig { samples: 50, ..Default::default() });
+        let data = generate(&MarsConfig {
+            samples: 50,
+            ..Default::default()
+        });
         let mut buffer = Vec::new();
         data.write_csv(&mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();

@@ -39,9 +39,16 @@ impl Ar1 {
     /// `sigma` is invalid.
     pub fn new(rho: f64, sigma: f64) -> Result<Self, dirstats::DirStatsError> {
         if !rho.is_finite() || rho.abs() >= 1.0 {
-            return Err(dirstats::DirStatsError::InvalidParameter { name: "rho", value: rho });
+            return Err(dirstats::DirStatsError::InvalidParameter {
+                name: "rho",
+                value: rho,
+            });
         }
-        Ok(Self { rho, innovation: Normal::new(0.0, sigma)?, state: 0.0 })
+        Ok(Self {
+            rho,
+            innovation: Normal::new(0.0, sigma)?,
+            state: 0.0,
+        })
     }
 
     /// Creates an AR(1) process whose *stationary* standard deviation is

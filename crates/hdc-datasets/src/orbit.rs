@@ -40,7 +40,10 @@ impl Orbit {
             (0.0..1.0).contains(&eccentricity),
             "eccentricity {eccentricity} must lie in [0, 1) for a closed orbit"
         );
-        Self { semi_major_axis, eccentricity }
+        Self {
+            semi_major_axis,
+            eccentricity,
+        }
     }
 
     /// Mars' heliocentric orbit (a = 1.5237 au, e = 0.0934).
@@ -124,7 +127,10 @@ mod tests {
         let mars = Orbit::mars();
         let a = mars.semi_major_axis();
         let e = mars.eccentricity();
-        assert!((mars.radius(0.0) - a * (1.0 - e)).abs() < 1e-9, "perihelion");
+        assert!(
+            (mars.radius(0.0) - a * (1.0 - e)).abs() < 1e-9,
+            "perihelion"
+        );
         assert!((mars.radius(PI) - a * (1.0 + e)).abs() < 1e-9, "aphelion");
     }
 

@@ -44,9 +44,14 @@ impl AngleEncoder {
     /// two members.
     pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
         if basis.len() < 2 {
-            return Err(HdcError::InvalidBasisSize { requested: basis.len(), minimum: 2 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: basis.len(),
+                minimum: 2,
+            });
         }
-        Ok(Self { hvs: basis.hypervectors().to_vec() })
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+        })
     }
 
     /// Creates an encoder backed by a fresh [`CircularBasis`] with `m`
@@ -92,7 +97,11 @@ impl AngleEncoder {
     /// Panics if `index >= self.sectors()`.
     #[must_use]
     pub fn angle_of(&self, index: usize) -> f64 {
-        assert!(index < self.hvs.len(), "sector {index} out of range for {}", self.hvs.len());
+        assert!(
+            index < self.hvs.len(),
+            "sector {index} out of range for {}",
+            self.hvs.len()
+        );
         TAU * index as f64 / self.hvs.len() as f64
     }
 
@@ -110,7 +119,10 @@ impl AngleEncoder {
     /// Panics if `period` is not finite and positive.
     #[must_use]
     pub fn encode_periodic(&self, value: f64, period: f64) -> &BinaryHypervector {
-        assert!(period.is_finite() && period > 0.0, "period {period} must be positive and finite");
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period {period} must be positive and finite"
+        );
         self.encode(value / period * TAU)
     }
 
@@ -197,7 +209,9 @@ mod tests {
         let mut r = rng();
         let basis = LevelBasis::new(24, 10_000, &mut r).unwrap();
         let enc = AngleEncoder::from_basis(&basis).unwrap();
-        let d = enc.encode_periodic(23.0, 24.0).normalized_hamming(enc.encode_periodic(0.0, 24.0));
+        let d = enc
+            .encode_periodic(23.0, 24.0)
+            .normalized_hamming(enc.encode_periodic(0.0, 24.0));
         // δ(L_23, L_0) = 23/(2·23) = 0.5 under the level construction.
         assert!((d - 0.5).abs() < 0.06, "level basis should not wrap: {d}");
     }
@@ -207,7 +221,9 @@ mod tests {
         let mut r = rng();
         let basis = RandomBasis::new(24, 10_000, &mut r).unwrap();
         let enc = AngleEncoder::from_basis(&basis).unwrap();
-        let d = enc.encode_periodic(11.0, 24.0).normalized_hamming(enc.encode_periodic(12.0, 24.0));
+        let d = enc
+            .encode_periodic(11.0, 24.0)
+            .normalized_hamming(enc.encode_periodic(12.0, 24.0));
         assert!((d - 0.5).abs() < 0.06);
     }
 

@@ -34,7 +34,9 @@ impl CategoricalEncoder {
     /// [`HdcError::InvalidDimension`] if `dim == 0`.
     pub fn new(n: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
         let basis = RandomBasis::new(n, dim, rng)?;
-        Ok(Self { hvs: basis.hypervectors().to_vec() })
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+        })
     }
 
     /// Creates an encoder from an existing basis set (cloning its members).
@@ -44,9 +46,14 @@ impl CategoricalEncoder {
     /// Returns [`HdcError::InvalidBasisSize`] if the basis is empty.
     pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
         if basis.is_empty() {
-            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
         }
-        Ok(Self { hvs: basis.hypervectors().to_vec() })
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+        })
     }
 
     /// Number of categories.

@@ -42,9 +42,16 @@ impl RecordEncoder {
             return Err(HdcError::InvalidDimension(dim));
         }
         if fields == 0 {
-            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
         }
-        Ok(Self { keys: (0..fields).map(|_| BinaryHypervector::random(dim, rng)).collect() })
+        Ok(Self {
+            keys: (0..fields)
+                .map(|_| BinaryHypervector::random(dim, rng))
+                .collect(),
+        })
     }
 
     /// Number of fields.
@@ -66,7 +73,11 @@ impl RecordEncoder {
     /// Panics if `field >= self.fields()`.
     #[must_use]
     pub fn key(&self, field: usize) -> &BinaryHypervector {
-        assert!(field < self.keys.len(), "field {field} out of range for {}", self.keys.len());
+        assert!(
+            field < self.keys.len(),
+            "field {field} out of range for {}",
+            self.keys.len()
+        );
         &self.keys[field]
     }
 
@@ -128,8 +139,9 @@ mod tests {
     fn record_similar_to_bound_pairs() {
         let mut r = rng();
         let enc = RecordEncoder::new(5, 10_000, &mut r).unwrap();
-        let values: Vec<BinaryHypervector> =
-            (0..5).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let values: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
         let refs: Vec<&BinaryHypervector> = values.iter().collect();
         let record = enc.encode(&refs, &mut r).unwrap();
         for (i, v) in values.iter().enumerate() {
@@ -167,10 +179,12 @@ mod tests {
     fn different_records_are_dissimilar() {
         let mut r = rng();
         let enc = RecordEncoder::new(4, 10_000, &mut r).unwrap();
-        let a: Vec<BinaryHypervector> =
-            (0..4).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
-        let b: Vec<BinaryHypervector> =
-            (0..4).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
+        let a: Vec<BinaryHypervector> = (0..4)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
+        let b: Vec<BinaryHypervector> = (0..4)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
         let ra = enc.encode(&a.iter().collect::<Vec<_>>(), &mut r).unwrap();
         let rb = enc.encode(&b.iter().collect::<Vec<_>>(), &mut r).unwrap();
         assert!((ra.normalized_hamming(&rb) - 0.5).abs() < 0.06);
@@ -183,7 +197,10 @@ mod tests {
         let v = BinaryHypervector::random(512, &mut r);
         assert!(matches!(
             enc.encode(&[&v], &mut r),
-            Err(HdcError::DimensionMismatch { expected: 3, found: 1 })
+            Err(HdcError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 

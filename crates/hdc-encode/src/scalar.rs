@@ -50,9 +50,16 @@ impl ScalarEncoder {
             return Err(HdcError::InvalidInterval { low, high });
         }
         if basis.len() < 2 {
-            return Err(HdcError::InvalidBasisSize { requested: basis.len(), minimum: 2 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: basis.len(),
+                minimum: 2,
+            });
         }
-        Ok(Self { hvs: basis.hypervectors().to_vec(), low, high })
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+            low,
+            high,
+        })
     }
 
     /// Creates an encoder backed by a fresh interpolation [`LevelBasis`]
@@ -121,7 +128,11 @@ impl ScalarEncoder {
     /// Panics if `index >= self.levels()`.
     #[must_use]
     pub fn value_of(&self, index: usize) -> f64 {
-        assert!(index < self.hvs.len(), "level {index} out of range for {}", self.hvs.len());
+        assert!(
+            index < self.hvs.len(),
+            "level {index} out of range for {}",
+            self.hvs.len()
+        );
         self.low + index as f64 * (self.high - self.low) / (self.hvs.len() as f64 - 1.0)
     }
 
@@ -209,7 +220,10 @@ mod tests {
         for i in 0..100 {
             let x = -1.0 + 2.0 * i as f64 / 99.0;
             let decoded = enc.decode(enc.encode(x));
-            assert!((decoded - x).abs() <= step / 2.0 + 1e-12, "x={x} decoded={decoded}");
+            assert!(
+                (decoded - x).abs() <= step / 2.0 + 1e-12,
+                "x={x} decoded={decoded}"
+            );
         }
     }
 
@@ -249,7 +263,12 @@ mod tests {
     #[test]
     fn rejects_invalid_intervals() {
         let mut r = rng();
-        for (lo, hi) in [(1.0, 1.0), (2.0, 1.0), (f64::NAN, 1.0), (0.0, f64::INFINITY)] {
+        for (lo, hi) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (f64::NAN, 1.0),
+            (0.0, f64::INFINITY),
+        ] {
             assert!(matches!(
                 ScalarEncoder::with_levels(lo, hi, 4, 64, &mut r),
                 Err(HdcError::InvalidInterval { .. })

@@ -36,7 +36,9 @@ impl SequenceEncoder {
     ///
     /// Returns [`HdcError`] if `n == 0` or `dim == 0`.
     pub fn new(n: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
-        Ok(Self { symbols: CategoricalEncoder::new(n, dim, rng)? })
+        Ok(Self {
+            symbols: CategoricalEncoder::new(n, dim, rng)?,
+        })
     }
 
     /// Creates a sequence encoder over an existing symbol encoder.
@@ -74,7 +76,7 @@ impl SequenceEncoder {
     ) -> Result<BinaryHypervector, HdcError> {
         let hvs: Vec<&BinaryHypervector> =
             sequence.iter().map(|&s| self.symbols.encode(s)).collect();
-        ops::bundle_sequence(hvs.into_iter(), rng).ok_or(HdcError::EmptyInput)
+        ops::bundle_sequence(hvs, rng).ok_or(HdcError::EmptyInput)
     }
 
     /// Encodes an n-gram by *binding* position-permuted symbol hypervectors
@@ -90,7 +92,7 @@ impl SequenceEncoder {
     /// Panics if any symbol index is out of range for the alphabet.
     pub fn encode_ngram(&self, ngram: &[usize]) -> Result<BinaryHypervector, HdcError> {
         let hvs: Vec<&BinaryHypervector> = ngram.iter().map(|&s| self.symbols.encode(s)).collect();
-        ops::bind_sequence(hvs.into_iter()).ok_or(HdcError::EmptyInput)
+        ops::bind_sequence(hvs).ok_or(HdcError::EmptyInput)
     }
 
     /// Encodes a long stream as the bundle of all its `n`-grams — a common

@@ -95,7 +95,10 @@ impl<N: Hash + Eq + Clone> HdcHashRing<N> {
         rng: &mut impl Rng,
     ) -> Result<Self, HdcError> {
         if replicas == 0 {
-            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
         }
         Ok(Self {
             basis: CircularBasis::new(positions, dim, rng)?,
@@ -149,7 +152,8 @@ impl<N: Hash + Eq + Clone> HdcHashRing<N> {
         let first = self.replica_position(&node, 0);
         for replica in 0..self.replicas {
             let position = self.replica_position(&node, replica);
-            self.nodes.push((node.clone(), replica, self.basis.get(position).clone()));
+            self.nodes
+                .push((node.clone(), replica, self.basis.get(position).clone()));
         }
         first
     }
@@ -178,12 +182,7 @@ impl<N: Hash + Eq + Clone> HdcHashRing<N> {
     /// # Panics
     ///
     /// Panics if `flip_probability` is not in `[0, 1]`.
-    pub fn corrupt_node(
-        &mut self,
-        node: &N,
-        flip_probability: f64,
-        rng: &mut impl Rng,
-    ) -> bool {
+    pub fn corrupt_node(&mut self, node: &N, flip_probability: f64, rng: &mut impl Rng) -> bool {
         let mut found = false;
         for entry in self.nodes.iter_mut().filter(|(n, _, _)| n == node) {
             entry.2 = entry.2.corrupt(flip_probability, rng);
@@ -196,16 +195,14 @@ impl<N: Hash + Eq + Clone> HdcHashRing<N> {
     /// order).
     pub fn nodes(&self) -> impl Iterator<Item = &N> {
         let mut seen: Vec<&N> = Vec::new();
-        self.nodes
-            .iter()
-            .filter_map(move |(n, _, _)| {
-                if seen.contains(&n) {
-                    None
-                } else {
-                    seen.push(n);
-                    Some(n)
-                }
-            })
+        self.nodes.iter().filter_map(move |(n, _, _)| {
+            if seen.contains(&n) {
+                None
+            } else {
+                seen.push(n);
+                Some(n)
+            }
+        })
     }
 }
 
@@ -221,7 +218,9 @@ impl<N: Hash + Eq + Clone> ClassicRing<N> {
     /// Creates an empty ring.
     #[must_use]
     pub fn new() -> Self {
-        Self { ring: BTreeMap::new() }
+        Self {
+            ring: BTreeMap::new(),
+        }
     }
 
     /// Number of registered nodes.
@@ -335,7 +334,9 @@ mod tests {
         }
         let mut counts = std::collections::HashMap::new();
         for key in keys(4_000) {
-            *counts.entry(ring.lookup(&key).unwrap().clone()).or_insert(0usize) += 1;
+            *counts
+                .entry(ring.lookup(&key).unwrap().clone())
+                .or_insert(0usize) += 1;
         }
         // Every node serves someone; no node serves more than 60% (single
         // hash point per node gives coarse balance, as in classic schemes).
@@ -353,9 +354,15 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(2_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         ring.add_node("node-new".to_string());
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         // All movers must move *to* the new node, and the volume should be
         // about 1/9 of the keys.
@@ -376,9 +383,15 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(2_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         assert!(ring.remove_node(&"node-3".to_string()));
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         for ((key, b), a) in all.iter().zip(&before).zip(&after) {
             if b != "node-3" {
                 assert_eq!(b, a, "key {key} moved although its node survived");
@@ -395,7 +408,10 @@ mod tests {
         let after: Vec<usize> = all.iter().map(|k| modulo_assign(k, 9)).collect();
         let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         let fraction = moved as f64 / all.len() as f64;
-        assert!(fraction > 0.7, "modulo should remap most keys, moved {fraction}");
+        assert!(
+            fraction > 0.7,
+            "modulo should remap most keys, moved {fraction}"
+        );
     }
 
     #[test]
@@ -406,16 +422,25 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(1_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         // 5% of one node's bits flip (a severe memory fault).
         assert!(ring.corrupt_node(&"node-2".to_string(), 0.05, &mut r));
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         let fraction = moved as f64 / all.len() as f64;
         assert!(fraction < 0.10, "corruption moved {fraction} of keys");
         // Re-adding the node repairs it completely.
         ring.add_node("node-2".to_string());
-        let repaired: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let repaired: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         assert_eq!(before, repaired);
     }
 
@@ -440,9 +465,15 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(2_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         ring.add_node("node-new".to_string());
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         for (b, a) in before.iter().zip(&after) {
             if b != a {
                 assert_eq!(a, "node-new");
@@ -464,9 +495,15 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(2_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         assert!(ring.corrupt_node_position(&"node-3".to_string(), 60));
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
         // Flipping a high bit relocates the node across the ring: a large
         // slice of keys changes owner from one bit error.
@@ -505,7 +542,9 @@ mod tests {
             }
             let mut counts = std::collections::HashMap::new();
             for key in keys(3_000) {
-                *counts.entry(ring.lookup(&key).unwrap().clone()).or_insert(0usize) += 1;
+                *counts
+                    .entry(ring.lookup(&key).unwrap().clone())
+                    .or_insert(0usize) += 1;
             }
             let max = *counts.values().max().unwrap() as f64;
             let min = counts.values().copied().min().unwrap_or(0) as f64;
@@ -527,9 +566,15 @@ mod tests {
             ring.add_node(format!("node-{i}"));
         }
         let all = keys(2_000);
-        let before: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let before: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         ring.add_node("node-new".to_string());
-        let after: Vec<String> = all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let after: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         for (b, a) in before.iter().zip(&after) {
             if b != a {
                 assert_eq!(a, "node-new");
@@ -537,8 +582,10 @@ mod tests {
         }
         // Removal of the new node restores the old assignment exactly.
         assert!(ring.remove_node(&"node-new".to_string()));
-        let restored: Vec<String> =
-            all.iter().map(|k| ring.lookup(k).unwrap().clone()).collect();
+        let restored: Vec<String> = all
+            .iter()
+            .map(|k| ring.lookup(k).unwrap().clone())
+            .collect();
         assert_eq!(before, restored);
     }
 

@@ -59,7 +59,9 @@ impl AdaptiveClassifier {
         for (hv, label) in samples {
             trainer.observe(hv, label)?;
         }
-        Ok(Self { accumulators: trainer.into_accumulators() })
+        Ok(Self {
+            accumulators: trainer.into_accumulators(),
+        })
     }
 
     /// Number of classes.
@@ -102,7 +104,10 @@ impl AdaptiveClassifier {
         for _ in 0..epochs {
             last_errors = 0;
             for (hv, label) in iter.clone() {
-                assert!(label < self.accumulators.len(), "label {label} out of range");
+                assert!(
+                    label < self.accumulators.len(),
+                    "label {label} out of range"
+                );
                 let predicted = self.predict(hv);
                 if predicted != label {
                     self.accumulators[label].push(hv);
@@ -122,7 +127,10 @@ impl AdaptiveClassifier {
     #[must_use]
     pub fn finish(&self, rng: &mut impl Rng) -> CentroidClassifier {
         CentroidClassifier::from_class_vectors(
-            self.accumulators.iter().map(|a| a.finalize_random(rng)).collect(),
+            self.accumulators
+                .iter()
+                .map(|a| a.finalize_random(rng))
+                .collect(),
         )
         .expect("at least one class accumulator")
     }
@@ -163,10 +171,7 @@ mod tests {
         let (_, train) = mixture_problem(&mut r);
         let mut model =
             AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
-        let initial_errors: usize = train
-            .iter()
-            .filter(|(h, l)| model.predict(h) != *l)
-            .count();
+        let initial_errors: usize = train.iter().filter(|(h, l)| model.predict(h) != *l).count();
         let final_errors = model.refine(train.iter().map(|(h, l)| (h, *l)), 10);
         assert!(
             final_errors <= initial_errors,
@@ -178,13 +183,9 @@ mod tests {
     fn refinement_beats_plain_centroid_on_mixture() {
         let mut r = rng();
         let (protos, train) = mixture_problem(&mut r);
-        let centroid = crate::CentroidClassifier::fit(
-            train.iter().map(|(h, l)| (h, *l)),
-            3,
-            10_000,
-            &mut r,
-        )
-        .unwrap();
+        let centroid =
+            crate::CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
+                .unwrap();
         let mut adaptive =
             AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
         adaptive.refine(train.iter().map(|(h, l)| (h, *l)), 15);
@@ -211,9 +212,12 @@ mod tests {
     #[test]
     fn perfectly_separable_data_converges_to_zero_errors() {
         let mut r = rng();
-        let protos: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut r)).collect();
-        let train: Vec<(BinaryHypervector, usize)> =
-            (0..30).map(|i| (protos[i % 3].corrupt(0.05, &mut r), i % 3)).collect();
+        let protos: Vec<_> = (0..3)
+            .map(|_| BinaryHypervector::random(10_000, &mut r))
+            .collect();
+        let train: Vec<(BinaryHypervector, usize)> = (0..30)
+            .map(|i| (protos[i % 3].corrupt(0.05, &mut r), i % 3))
+            .collect();
         let mut model =
             AdaptiveClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000).unwrap();
         let errors = model.refine(train.iter().map(|(h, l)| (h, *l)), 20);

@@ -34,13 +34,18 @@ impl CentroidTrainer {
     /// [`HdcError::InvalidDimension`] if `dim == 0`.
     pub fn new(classes: usize, dim: usize) -> Result<Self, HdcError> {
         if classes == 0 {
-            return Err(HdcError::InvalidBasisSize { requested: 0, minimum: 1 });
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
         }
         if dim == 0 {
             return Err(HdcError::InvalidDimension(dim));
         }
         Ok(Self {
-            accumulators: (0..classes).map(|_| MajorityAccumulator::new(dim)).collect(),
+            accumulators: (0..classes)
+                .map(|_| MajorityAccumulator::new(dim))
+                .collect(),
             counts: vec![0; classes],
         })
     }
@@ -89,7 +94,11 @@ impl CentroidTrainer {
     #[must_use]
     pub fn finish(&self, rng: &mut impl Rng) -> CentroidClassifier {
         CentroidClassifier {
-            class_vectors: self.accumulators.iter().map(|a| a.finalize_random(rng)).collect(),
+            class_vectors: self
+                .accumulators
+                .iter()
+                .map(|a| a.finalize_random(rng))
+                .collect(),
         }
     }
 }
@@ -218,8 +227,9 @@ mod tests {
         per_class: usize,
         noise: f64,
     ) -> (Vec<BinaryHypervector>, Vec<(BinaryHypervector, usize)>) {
-        let protos: Vec<_> =
-            (0..classes).map(|_| BinaryHypervector::random(10_000, rng)).collect();
+        let protos: Vec<_> = (0..classes)
+            .map(|_| BinaryHypervector::random(10_000, rng))
+            .collect();
         let samples = (0..classes * per_class)
             .map(|i| {
                 let c = i % classes;
@@ -234,8 +244,7 @@ mod tests {
         let mut r = rng();
         let (protos, train) = noisy_problem(&mut r, 5, 20, 0.25);
         let model =
-            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 5, 10_000, &mut r)
-                .unwrap();
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 5, 10_000, &mut r).unwrap();
         let mut correct = 0;
         let total = 200;
         for i in 0..total {
@@ -245,7 +254,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct as f64 / total as f64 > 0.95, "accuracy {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "accuracy {correct}/{total}"
+        );
     }
 
     #[test]
@@ -253,8 +265,7 @@ mod tests {
         let mut r = rng();
         let (_, train) = noisy_problem(&mut r, 3, 15, 0.2);
         let model =
-            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
-                .unwrap();
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r).unwrap();
         for (hv, label) in &train {
             let own = model.class_vector(*label).normalized_hamming(hv);
             for other in 0..3 {
@@ -270,8 +281,7 @@ mod tests {
         let mut r = rng();
         let (_, train) = noisy_problem(&mut r, 4, 10, 0.2);
         let model =
-            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, 10_000, &mut r)
-                .unwrap();
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, 10_000, &mut r).unwrap();
         let q = &train[0].0;
         let (label, distances) = model.predict_with_distances(q);
         assert_eq!(label, model.predict(q));
@@ -299,7 +309,10 @@ mod tests {
         let hv = BinaryHypervector::random(64, &mut r);
         assert!(matches!(
             trainer.observe(&hv, 2),
-            Err(HdcError::LabelOutOfRange { label: 2, classes: 2 })
+            Err(HdcError::LabelOutOfRange {
+                label: 2,
+                classes: 2
+            })
         ));
     }
 
@@ -315,8 +328,7 @@ mod tests {
         let mut r = rng();
         let (protos, train) = noisy_problem(&mut r, 3, 10, 0.2);
         let model =
-            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
-                .unwrap();
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r).unwrap();
         let queries: Vec<BinaryHypervector> =
             (0..9).map(|i| protos[i % 3].corrupt(0.2, &mut r)).collect();
         let batch = model.predict_batch(&queries);
@@ -333,8 +345,7 @@ mod tests {
         let (protos, train) = noisy_problem(&mut r, 2, 20, 0.2);
         // Train a 3-class model but only feed classes 0 and 1.
         let model =
-            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r)
-                .unwrap();
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r).unwrap();
         let mut correct = 0;
         for i in 0..100 {
             let c = i % 2;
@@ -342,6 +353,9 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct > 95, "accuracy {correct}/100 with an empty class present");
+        assert!(
+            correct > 95,
+            "accuracy {correct}/100 with an empty class present"
+        );
     }
 }

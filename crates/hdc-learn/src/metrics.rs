@@ -21,8 +21,15 @@
 /// Panics if the slices have different lengths or are empty.
 #[must_use]
 pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
-    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth lengths differ"
+    );
+    assert!(
+        !predicted.is_empty(),
+        "cannot score an empty prediction set"
+    );
     let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
     correct as f64 / predicted.len() as f64
 }
@@ -34,10 +41,17 @@ pub fn accuracy(predicted: &[usize], truth: &[usize]) -> f64 {
 /// Panics if the slices have different lengths or any label is `>= classes`.
 #[must_use]
 pub fn confusion_matrix(predicted: &[usize], truth: &[usize], classes: usize) -> Vec<Vec<usize>> {
-    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth lengths differ"
+    );
     let mut matrix = vec![vec![0usize; classes]; classes];
     for (&p, &t) in predicted.iter().zip(truth) {
-        assert!(p < classes && t < classes, "label out of range: predicted {p}, truth {t}");
+        assert!(
+            p < classes && t < classes,
+            "label out of range: predicted {p}, truth {t}"
+        );
         matrix[t][p] += 1;
     }
     matrix
@@ -50,9 +64,20 @@ pub fn confusion_matrix(predicted: &[usize], truth: &[usize], classes: usize) ->
 /// Panics if the slices have different lengths or are empty.
 #[must_use]
 pub fn mse(predicted: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
-    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
-    predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth lengths differ"
+    );
+    assert!(
+        !predicted.is_empty(),
+        "cannot score an empty prediction set"
+    );
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
         / predicted.len() as f64
 }
 
@@ -73,9 +98,21 @@ pub fn rmse(predicted: &[f64], truth: &[f64]) -> f64 {
 /// Panics if the slices have different lengths or are empty.
 #[must_use]
 pub fn mae(predicted: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
-    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
-    predicted.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / predicted.len() as f64
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth lengths differ"
+    );
+    assert!(
+        !predicted.is_empty(),
+        "cannot score an empty prediction set"
+    );
+    predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
 }
 
 /// Coefficient of determination `R² = 1 − SS_res/SS_tot`. Returns negative
@@ -87,11 +124,22 @@ pub fn mae(predicted: &[f64], truth: &[f64]) -> f64 {
 /// Panics if the slices have different lengths or are empty.
 #[must_use]
 pub fn r2(predicted: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), truth.len(), "prediction/truth lengths differ");
-    assert!(!predicted.is_empty(), "cannot score an empty prediction set");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "prediction/truth lengths differ"
+    );
+    assert!(
+        !predicted.is_empty(),
+        "cannot score an empty prediction set"
+    );
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 

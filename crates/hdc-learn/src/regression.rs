@@ -46,7 +46,11 @@ impl RegressionTrainer {
     #[must_use]
     pub fn new(label_encoder: ScalarEncoder) -> Self {
         let dim = label_encoder.dim();
-        Self { accumulator: MajorityAccumulator::new(dim), label_encoder, observed: 0 }
+        Self {
+            accumulator: MajorityAccumulator::new(dim),
+            label_encoder,
+            observed: 0,
+        }
     }
 
     /// Hypervector dimensionality.
@@ -91,7 +95,10 @@ impl RegressionTrainer {
             Readout::Binarized => ModelForm::Binary(self.accumulator.finalize_random(rng)),
             Readout::Integer => ModelForm::Counts(self.accumulator.counts().to_vec()),
         };
-        Ok(RegressionModel { form, label_encoder: self.label_encoder.clone() })
+        Ok(RegressionModel {
+            form,
+            label_encoder: self.label_encoder.clone(),
+        })
     }
 
     /// Finalizes with the default [`Readout::Integer`].
@@ -344,7 +351,12 @@ mod tests {
         }
         assert!(crate::metrics::mae(&preds, &truths) < 0.25);
         assert!(crate::metrics::r2(&preds, &truths) > 0.35);
-        assert!(preds[44] - preds[5] > 0.15, "trend: {} -> {}", preds[5], preds[44]);
+        assert!(
+            preds[44] - preds[5] > 0.15,
+            "trend: {} -> {}",
+            preds[5],
+            preds[44]
+        );
         let interior_err = (model.predict(&enc(0.5)) - 0.5).abs();
         assert!(interior_err < 0.2, "interior error {interior_err}");
     }
@@ -412,9 +424,8 @@ mod tests {
         .unwrap();
         assert_eq!(binarized.readout(), Readout::Binarized);
         assert_eq!(integer.readout(), Readout::Integer);
-        let spread = |m: &RegressionModel| {
-            m.predict(input.encode(0.95)) - m.predict(input.encode(0.05))
-        };
+        let spread =
+            |m: &RegressionModel| m.predict(input.encode(0.95)) - m.predict(input.encode(0.05));
         assert!(
             spread(&integer) > spread(&binarized) + 0.1,
             "integer {} vs binarized {}",
@@ -448,8 +459,8 @@ mod tests {
             &mut r,
         )
         .unwrap();
-        let spread_single = model_single.predict(single.encode(1.0))
-            - model_single.predict(single.encode(0.0));
+        let spread_single =
+            model_single.predict(single.encode(1.0)) - model_single.predict(single.encode(0.0));
 
         let enc = two_factor_encoder(&mut r);
         let label_b = ScalarEncoder::with_levels(0.0, 1.0, 64, 10_000, &mut r).unwrap();
@@ -501,8 +512,9 @@ mod tests {
             &mut r,
         )
         .unwrap();
-        let queries: Vec<BinaryHypervector> =
-            (0..5).map(|i| input.encode(i as f64 / 4.0).clone()).collect();
+        let queries: Vec<BinaryHypervector> = (0..5)
+            .map(|i| input.encode(i as f64 / 4.0).clone())
+            .collect();
         let batch = model.predict_batch(&queries);
         for (q, b) in queries.iter().zip(&batch) {
             assert_eq!(model.predict(q), *b);
@@ -514,12 +526,7 @@ mod tests {
         let mut r = rng();
         let input = ScalarEncoder::with_levels(0.0, 1.0, 8, 1_024, &mut r).unwrap();
         let label = ScalarEncoder::with_levels(0.0, 1.0, 8, 1_024, &mut r).unwrap();
-        let model = RegressionModel::fit(
-            [(input.encode(0.5), 0.5)],
-            label,
-            &mut r,
-        )
-        .unwrap();
+        let model = RegressionModel::fit([(input.encode(0.5), 0.5)], label, &mut r).unwrap();
         assert_eq!(model.readout(), Readout::Integer);
         assert_eq!(model.label_encoder().levels(), 8);
     }

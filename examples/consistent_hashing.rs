@@ -25,7 +25,9 @@ fn main() -> Result<(), HdcError> {
     }
 
     let owners = |ring: &HdcHashRing<String>| -> Vec<String> {
-        keys.iter().map(|k| ring.lookup(k).expect("non-empty").clone()).collect()
+        keys.iter()
+            .map(|k| ring.lookup(k).expect("non-empty").clone())
+            .collect()
     };
     let moved = |a: &[String], b: &[String]| {
         a.iter().zip(b).filter(|(x, y)| x != y).count() as f64 / a.len() as f64
@@ -35,20 +37,33 @@ fn main() -> Result<(), HdcError> {
     let before = owners(&ring);
     ring.add_node("cache-new".into());
     let after = owners(&ring);
-    println!("hdc ring, add node:        {:5.1}% of keys remapped", 100.0 * moved(&before, &after));
+    println!(
+        "hdc ring, add node:        {:5.1}% of keys remapped",
+        100.0 * moved(&before, &after)
+    );
 
-    let classic_before: Vec<String> =
-        keys.iter().map(|k| classic.lookup(k).expect("non-empty").clone()).collect();
+    let classic_before: Vec<String> = keys
+        .iter()
+        .map(|k| classic.lookup(k).expect("non-empty").clone())
+        .collect();
     classic.add_node("cache-new".into());
-    let classic_after: Vec<String> =
-        keys.iter().map(|k| classic.lookup(k).expect("non-empty").clone()).collect();
+    let classic_after: Vec<String> = keys
+        .iter()
+        .map(|k| classic.lookup(k).expect("non-empty").clone())
+        .collect();
     println!(
         "classic ring, add node:    {:5.1}% of keys remapped",
         100.0 * moved(&classic_before, &classic_after)
     );
 
-    let mod_before: Vec<String> = keys.iter().map(|k| modulo_assign(k, 8).to_string()).collect();
-    let mod_after: Vec<String> = keys.iter().map(|k| modulo_assign(k, 9).to_string()).collect();
+    let mod_before: Vec<String> = keys
+        .iter()
+        .map(|k| modulo_assign(k, 8).to_string())
+        .collect();
+    let mod_after: Vec<String> = keys
+        .iter()
+        .map(|k| modulo_assign(k, 9).to_string())
+        .collect();
     println!(
         "modulo, grow 8 -> 9:       {:5.1}% of keys remapped  (the scheme to avoid)",
         100.0 * moved(&mod_before, &mod_after)

@@ -39,8 +39,10 @@ fn main() -> Result<(), HdcError> {
     let model = trainer.finish(&mut rng)?;
 
     let encode = |anomaly: f64| -> &BinaryHypervector { anomaly_enc.encode(anomaly) };
-    let predicted: Vec<f64> =
-        test_idx.iter().map(|&i| model.predict(encode(data.samples[i].mean_anomaly))).collect();
+    let predicted: Vec<f64> = test_idx
+        .iter()
+        .map(|&i| model.predict(encode(data.samples[i].mean_anomaly)))
+        .collect();
     let truth: Vec<f64> = test_idx.iter().map(|&i| data.samples[i].power).collect();
 
     println!("test MSE  = {:.0} W²", metrics::mse(&predicted, &truth));

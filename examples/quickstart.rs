@@ -16,20 +16,35 @@ fn main() -> Result<(), HdcError> {
     println!("== The three HDC operations (d = {dim}) ==");
     let a = BinaryHypervector::random(dim, &mut rng);
     let b = BinaryHypervector::random(dim, &mut rng);
-    println!("δ(a, b)            = {:.3}   (random pair: quasi-orthogonal)", a.normalized_hamming(&b));
+    println!(
+        "δ(a, b)            = {:.3}   (random pair: quasi-orthogonal)",
+        a.normalized_hamming(&b)
+    );
 
     let bound = a.bind(&b);
-    println!("δ(a⊗b, a)          = {:.3}   (binding hides both operands)", bound.normalized_hamming(&a));
-    println!("a⊗b⊗a == b         = {}      (binding is self-inverse)", bound.bind(&a) == b);
+    println!(
+        "δ(a⊗b, a)          = {:.3}   (binding hides both operands)",
+        bound.normalized_hamming(&a)
+    );
+    println!(
+        "a⊗b⊗a == b         = {}      (binding is self-inverse)",
+        bound.bind(&a) == b
+    );
 
     let mut acc = MajorityAccumulator::new(dim);
     acc.push(&a);
     acc.push(&b);
     let bundle = acc.finalize_random(&mut rng);
-    println!("δ(a⊕b, a)          = {:.3}   (bundling stays similar to members)", bundle.normalized_hamming(&a));
+    println!(
+        "δ(a⊕b, a)          = {:.3}   (bundling stays similar to members)",
+        bundle.normalized_hamming(&a)
+    );
 
     let shifted = a.permute(1);
-    println!("δ(Π(a), a)         = {:.3}   (permutation decorrelates)", shifted.normalized_hamming(&a));
+    println!(
+        "δ(Π(a), a)         = {:.3}   (permutation decorrelates)",
+        shifted.normalized_hamming(&a)
+    );
     println!("Π⁻¹(Π(a)) == a     = {}", shifted.permute_inverse(1) == a);
 
     println!("\n== Basis-hypervector sets (m = 12) ==");
@@ -38,7 +53,10 @@ fn main() -> Result<(), HdcError> {
     let circular = CircularBasis::new(12, dim, &mut rng)?;
 
     println!("distances from member 0:");
-    println!("  index:    {}", (0..12).map(|i| format!("{i:5}")).collect::<String>());
+    println!(
+        "  index:    {}",
+        (0..12).map(|i| format!("{i:5}")).collect::<String>()
+    );
     for (name, basis) in [
         ("random", &random as &dyn BasisSet),
         ("level", &level),

@@ -16,7 +16,10 @@ fn main() -> Result<(), HdcError> {
     let dim = hdc::DEFAULT_DIMENSION;
 
     println!("similarity of each node to node 0 in a circular set of {m} (d = {dim}):\n");
-    println!("  node:      {}", (0..m).map(|i| format!("{i:6}")).collect::<String>());
+    println!(
+        "  node:      {}",
+        (0..m).map(|i| format!("{i:6}")).collect::<String>()
+    );
     for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut rng = StdRng::seed_from_u64(606);
         let basis = CircularBasis::with_randomness(m, dim, r, &mut rng)?;

@@ -38,7 +38,11 @@ fn main() -> Result<(), HdcError> {
         BasisKind::Circular { randomness: 0.1 },
     ] {
         let accuracy = evaluate(kind, &data.gesture_count, &train, &test)?;
-        println!("{:<22} accuracy = {:.1}%", format!("{kind:?}"), 100.0 * accuracy);
+        println!(
+            "{:<22} accuracy = {:.1}%",
+            format!("{kind:?}"),
+            100.0 * accuracy
+        );
     }
     Ok(())
 }
@@ -70,8 +74,10 @@ fn evaluate(
         record.encode(&values, rng).expect("arity matches")
     };
 
-    let encoded: Vec<(BinaryHypervector, usize)> =
-        train.iter().map(|s| (encode(s, &mut rng), s.gesture)).collect();
+    let encoded: Vec<(BinaryHypervector, usize)> = train
+        .iter()
+        .map(|s| (encode(s, &mut rng), s.gesture))
+        .collect();
     let model = CentroidClassifier::fit(
         encoded.iter().map(|(hv, l)| (hv, *l)),
         *classes,
@@ -79,7 +85,10 @@ fn evaluate(
         &mut rng,
     )?;
 
-    let predicted: Vec<usize> = test.iter().map(|s| model.predict(&encode(s, &mut rng))).collect();
+    let predicted: Vec<usize> = test
+        .iter()
+        .map(|s| model.predict(&encode(s, &mut rng)))
+        .collect();
     let truth: Vec<usize> = test.iter().map(|s| s.gesture).collect();
     Ok(metrics::accuracy(&predicted, &truth))
 }

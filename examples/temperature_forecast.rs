@@ -22,8 +22,12 @@ fn main() -> Result<(), HdcError> {
     let mut rng = StdRng::seed_from_u64(99);
     let data = beijing::generate(&BeijingConfig::default());
     let (train, test) = data.temporal_split(0.7);
-    println!("Beijing surrogate: {} hourly samples ({} train / {} test)",
-        data.samples.len(), train.len(), test.len());
+    println!(
+        "Beijing surrogate: {} hourly samples ({} train / {} test)",
+        data.samples.len(),
+        train.len(),
+        test.len()
+    );
 
     // Feature encoders: the two circular calendar features wrap correctly.
     let year_enc = ScalarEncoder::with_levels(0.0, 4.0, 8, DIM, &mut rng)?;

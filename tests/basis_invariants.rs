@@ -89,7 +89,10 @@ fn randomness_parameter_interpolates_monotonically() {
     let structured = quarter_similarity(0.0);
     let half = quarter_similarity(0.5);
     let random = quarter_similarity(1.0);
-    assert!((structured - 0.75).abs() < 0.05, "structured = {structured}");
+    assert!(
+        (structured - 0.75).abs() < 0.05,
+        "structured = {structured}"
+    );
     assert!(structured > half + 0.05, "{structured} vs {half}");
     assert!(half > random - 0.05, "{half} vs {random}");
     assert!((random - 0.5).abs() < 0.05);

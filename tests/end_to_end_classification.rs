@@ -13,7 +13,11 @@ const DIM: usize = 2_048;
 const BINS: usize = 16;
 
 fn small_config() -> JigsawsConfig {
-    JigsawsConfig { trials_per_surgeon: 1, frames_per_trial: 6, ..JigsawsConfig::default() }
+    JigsawsConfig {
+        trials_per_surgeon: 1,
+        frames_per_trial: 6,
+        ..JigsawsConfig::default()
+    }
 }
 
 fn encode_all(
@@ -23,7 +27,12 @@ fn encode_all(
 ) -> Vec<(BinaryHypervector, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let encoders: Vec<Vec<BinaryHypervector>> = (0..18)
-        .map(|_| kind.build(BINS, DIM, &mut rng).expect("valid").hypervectors().to_vec())
+        .map(|_| {
+            kind.build(BINS, DIM, &mut rng)
+                .expect("valid")
+                .hypervectors()
+                .to_vec()
+        })
         .collect();
     let record = RecordEncoder::new(18, DIM, &mut rng).expect("valid");
     let tau = std::f64::consts::TAU;
@@ -64,7 +73,10 @@ fn circular_basis_beats_chance_decisively() {
     let truth: Vec<usize> = encoded_test.iter().map(|(_, l)| *l).collect();
     let accuracy = metrics::accuracy(&predicted, &truth);
     let chance = 1.0 / data.gesture_count as f64;
-    assert!(accuracy > 3.0 * chance, "accuracy {accuracy} vs chance {chance}");
+    assert!(
+        accuracy > 3.0 * chance,
+        "accuracy {accuracy} vs chance {chance}"
+    );
 }
 
 #[test]
@@ -84,8 +96,7 @@ fn circular_outperforms_random_on_circular_data() {
             &mut rng,
         )
         .expect("valid");
-        let predicted: Vec<usize> =
-            encoded_test.iter().map(|(h, _)| model.predict(h)).collect();
+        let predicted: Vec<usize> = encoded_test.iter().map(|(h, _)| model.predict(h)).collect();
         let truth: Vec<usize> = encoded_test.iter().map(|(_, l)| *l).collect();
         metrics::accuracy(&predicted, &truth)
     };

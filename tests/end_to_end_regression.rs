@@ -15,7 +15,10 @@ fn beijing_pipeline_beats_mean_baseline() {
     let mut rng = StdRng::seed_from_u64(13);
     // Two years minimum: a 70% temporal split of a single year would leave
     // the autumn/winter day-of-year range entirely unseen in training.
-    let data = beijing::generate(&BeijingConfig { years: 2, ..BeijingConfig::default() });
+    let data = beijing::generate(&BeijingConfig {
+        years: 2,
+        ..BeijingConfig::default()
+    });
     let (train, test) = data.temporal_split(0.7);
 
     let year_enc = ScalarEncoder::with_levels(0.0, 1.0, 4, DIM, &mut rng).expect("valid");
@@ -42,7 +45,10 @@ fn beijing_pipeline_beats_mean_baseline() {
 
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let variance = truth.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / truth.len() as f64;
-    assert!(mse < variance * 0.5, "mse {mse} must clearly beat variance {variance}");
+    assert!(
+        mse < variance * 0.5,
+        "mse {mse} must clearly beat variance {variance}"
+    );
 }
 
 #[test]
@@ -94,8 +100,9 @@ fn integer_readout_dominates_binarized_on_level_encodings() {
     let binarized = fit(Readout::Binarized, &mut rng);
 
     let mse_of = |m: &RegressionModel| {
-        let preds: Vec<f64> =
-            (0..50).map(|i| m.predict(input.encode(i as f64 / 49.0))).collect();
+        let preds: Vec<f64> = (0..50)
+            .map(|i| m.predict(input.encode(i as f64 / 49.0)))
+            .collect();
         let truth: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
         metrics::mse(&preds, &truth)
     };
@@ -106,7 +113,10 @@ fn integer_readout_dominates_binarized_on_level_encodings() {
 fn kepler_substrate_feeds_the_dataset() {
     // The orbital mechanics must agree with the generated telemetry:
     // perihelion side brighter than aphelion side on average.
-    let data = mars::generate(&MarsConfig { noise_std: 1.0, ..MarsConfig::default() });
+    let data = mars::generate(&MarsConfig {
+        noise_std: 1.0,
+        ..MarsConfig::default()
+    });
     let perihelion = data.mean_power_in(0.0, 0.5);
     let aphelion = data.mean_power_in(2.9, 3.4);
     assert!(perihelion > aphelion + 30.0);

@@ -1,7 +1,7 @@
 //! Failure-injection integration tests: HDC's holographic representation
 //! should degrade gracefully under bit errors, across the whole stack.
 
-use hdc::basis::{BasisKind, BasisSet};
+use hdc::basis::BasisKind;
 use hdc::core::BinaryHypervector;
 use hdc::encode::ScalarEncoder;
 use hdc::learn::CentroidClassifier;
@@ -13,10 +13,12 @@ const DIM: usize = 10_000;
 #[test]
 fn classifier_survives_query_corruption() {
     let mut rng = StdRng::seed_from_u64(1);
-    let protos: Vec<BinaryHypervector> =
-        (0..6).map(|_| BinaryHypervector::random(DIM, &mut rng)).collect();
-    let train: Vec<(BinaryHypervector, usize)> =
-        (0..120).map(|i| (protos[i % 6].corrupt(0.1, &mut rng), i % 6)).collect();
+    let protos: Vec<BinaryHypervector> = (0..6)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let train: Vec<(BinaryHypervector, usize)> = (0..120)
+        .map(|i| (protos[i % 6].corrupt(0.1, &mut rng), i % 6))
+        .collect();
     let model =
         CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 6, DIM, &mut rng).unwrap();
 
@@ -41,17 +43,21 @@ fn classifier_survives_query_corruption() {
 #[test]
 fn class_vector_corruption_degrades_gracefully() {
     let mut rng = StdRng::seed_from_u64(2);
-    let protos: Vec<BinaryHypervector> =
-        (0..4).map(|_| BinaryHypervector::random(DIM, &mut rng)).collect();
-    let train: Vec<(BinaryHypervector, usize)> =
-        (0..80).map(|i| (protos[i % 4].corrupt(0.1, &mut rng), i % 4)).collect();
+    let protos: Vec<BinaryHypervector> = (0..4)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let train: Vec<(BinaryHypervector, usize)> = (0..80)
+        .map(|i| (protos[i % 4].corrupt(0.1, &mut rng), i % 4))
+        .collect();
     let model =
         CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, DIM, &mut rng).unwrap();
 
     // Corrupt the stored class vectors themselves (memory faults in a
     // deployed model) and re-evaluate.
     let corrupted = CentroidClassifier::from_class_vectors(
-        (0..4).map(|c| model.class_vector(c).corrupt(0.15, &mut rng)).collect(),
+        (0..4)
+            .map(|c| model.class_vector(c).corrupt(0.15, &mut rng))
+            .collect(),
     )
     .unwrap();
     let correct = (0..200)
@@ -107,9 +113,10 @@ fn all_basis_kinds_decode_under_noise() {
         // have closer neighbours, so allow ±1 index for level/circular.
         for i in 0..8 {
             let noisy = basis.get(i).corrupt(0.1, &mut rng);
-            let (found, _) =
-                hdc::core::similarity::nearest(&noisy, basis.hypervectors()).unwrap();
-            let arc = (found as isize - i as isize).abs().min(8 - (found as isize - i as isize).abs());
+            let (found, _) = hdc::core::similarity::nearest(&noisy, basis.hypervectors()).unwrap();
+            let arc = (found as isize - i as isize)
+                .abs()
+                .min(8 - (found as isize - i as isize).abs());
             assert!(arc <= 1, "{kind:?}: member {i} decoded to {found}");
         }
     }

@@ -1,0 +1,94 @@
+//! Paper-exact-scale statistical checks, opt-in because they are the
+//! heaviest suites in the workspace (full 10k–20k dimensional bases and
+//! exhaustive O(m²) distance sweeps).
+//!
+//! The default `cargo test` run exercises the same invariants at reduced
+//! case counts (see the per-crate unit tests and `basis_invariants.rs`);
+//! this suite re-checks them at the dimensions and set sizes the paper
+//! actually reports, so the tolerances can be tight. Run with:
+//!
+//! ```text
+//! cargo test --release --features expensive-tests --test paper_scale
+//! ```
+#![cfg(feature = "expensive-tests")]
+
+use hdc::basis::{BasisSet, CircularBasis, LevelBasis, RandomBasis};
+use hdc::DEFAULT_DIMENSION;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// §5.1 at paper scale: the full m = 64 circular set at d = 20_000 keeps
+/// every pairwise distance within 3% of the arc-distance law.
+#[test]
+fn circular_distance_law_full_scale() {
+    let m = 64;
+    let mut rng = StdRng::seed_from_u64(0xD6C);
+    let basis = CircularBasis::new(m, 20_000, &mut rng).unwrap();
+    for i in 0..m {
+        for j in 0..m {
+            let expected = basis.expected_distance(i, j);
+            let actual = basis.get(i).normalized_hamming(basis.get(j));
+            assert!(
+                (actual - expected).abs() < 0.03,
+                "i={i} j={j} expected={expected:.4} actual={actual:.4}"
+            );
+        }
+    }
+}
+
+/// Proposition 4.1 at paper scale: m = 32 interpolation levels at
+/// d = 20_000 follow the linear distance law within 2.5%.
+#[test]
+fn level_distance_law_full_scale() {
+    let m = 32;
+    let mut rng = StdRng::seed_from_u64(0x1E7);
+    let basis = LevelBasis::new(m, 20_000, &mut rng).unwrap();
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let expected = basis.expected_distance(i, j);
+            let actual = basis.get(i).normalized_hamming(basis.get(j));
+            assert!(
+                (actual - expected).abs() < 0.025,
+                "i={i} j={j} expected={expected:.4} actual={actual:.4}"
+            );
+        }
+    }
+}
+
+/// §3.1 at paper scale: a large random set at the paper's default
+/// dimension is quasi-orthogonal everywhere, with tight concentration.
+#[test]
+fn random_basis_concentration_full_scale() {
+    let m = 128;
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    let basis = RandomBasis::new(m, DEFAULT_DIMENSION, &mut rng).unwrap();
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = basis.get(i).normalized_hamming(basis.get(j));
+            assert!((d - 0.5).abs() < 0.025, "i={i} j={j} d={d:.4}");
+        }
+    }
+}
+
+/// §5.2 at paper scale: the randomness sweep interpolates circular sets
+/// monotonically towards quasi-orthogonality at the antipode while the
+/// wrap-around neighbour distance grows with r.
+#[test]
+fn randomness_sweep_full_scale() {
+    let m = 16;
+    let mut last_wrap = 0.0;
+    for (step, r) in [0.0, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0x5EED + step as u64);
+        let basis = CircularBasis::with_randomness(m, DEFAULT_DIMENSION, r, &mut rng).unwrap();
+        let wrap = basis.get(0).normalized_hamming(basis.get(m - 1));
+        assert!(
+            wrap + 0.03 >= last_wrap,
+            "wrap distance not monotone in r: r={r} wrap={wrap:.4} previous={last_wrap:.4}"
+        );
+        last_wrap = wrap;
+    }
+    // r = 1 collapses to a fully random set: neighbours quasi-orthogonal.
+    assert!(
+        (last_wrap - 0.5).abs() < 0.05,
+        "r=1 wrap distance {last_wrap:.4}"
+    );
+}

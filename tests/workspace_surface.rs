@@ -1,0 +1,54 @@
+//! Smoke coverage of the workspace surface itself: the facade crate must
+//! re-export every sub-crate under the documented module names, and each
+//! re-export must actually resolve to the sub-crate's key types. A rename
+//! or dropped `pub use` in `src/lib.rs` fails this file at compile time.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn facade_reexports_every_subcrate() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // hdc::core
+    let hv: hdc::core::BinaryHypervector = hdc::core::BinaryHypervector::random(256, &mut rng);
+    assert_eq!(hv.bind(&hv), hdc::core::BinaryHypervector::zeros(256));
+
+    // hdc::basis
+    use hdc::basis::BasisSet as _;
+    let basis = hdc::basis::RandomBasis::new(4, 256, &mut rng).unwrap();
+    assert_eq!(basis.len(), 4);
+
+    // hdc::encode
+    let enc = hdc::encode::ScalarEncoder::with_levels(0.0, 1.0, 5, 256, &mut rng).unwrap();
+    assert_eq!(enc.encode(0.0).dim(), 256);
+
+    // hdc::learn
+    let labelled = [(hv.clone(), 0usize), (hv.clone(), 1)];
+    let model = hdc::learn::CentroidClassifier::fit(
+        labelled.iter().map(|(h, l)| (h, *l)),
+        2,
+        256,
+        &mut rng,
+    )
+    .unwrap();
+    let _ = model.predict(&hv);
+
+    // hdc::datasets (type resolution is the point; generation is covered
+    // by the dataset crate's own tests)
+    let _config: Option<hdc::datasets::beijing::BeijingConfig> = None;
+
+    // hdc::hash
+    let ring: hdc::hash::HdcHashRing<String> =
+        hdc::hash::HdcHashRing::new(16, 256, &mut rng).unwrap();
+    assert_eq!(ring.node_count(), 0);
+
+    // hdc::dirstats
+    let mean = hdc::dirstats::descriptive::circular_mean(&[0.1, 0.2]).unwrap();
+    assert!((mean - 0.15).abs() < 1e-9);
+
+    // Root-level convenience re-exports.
+    let _: usize = hdc::DEFAULT_DIMENSION;
+    let mut acc = hdc::MajorityAccumulator::new(256);
+    acc.push(&hv);
+    let _ = acc.finalize(hdc::TieBreak::Zero);
+}

@@ -1,0 +1,197 @@
+//! Vendored, API-compatible subset of [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no network access to a crates.io mirror, so
+//! this workspace vendors the slice of criterion its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a simple adaptive loop (warm-up, then enough
+//! iterations to cover a fixed measurement window) reporting mean
+//! nanoseconds per iteration — no statistics, plots or baselines. Swapping
+//! back to the registry crate restores all of that without touching the
+//! bench sources.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Conversion into a printable benchmark identifier; lets the same
+/// `bench_function` accept both `&str` and [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.text
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    measured: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean duration per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and a first estimate of the per-iteration cost.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Enough iterations to fill the measurement window, bounded so a
+        // slow workload still finishes promptly.
+        const WINDOW: Duration = Duration::from_millis(50);
+        let iterations = (WINDOW.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / u32::try_from(iterations).unwrap_or(u32::MAX));
+        self.iterations = iterations;
+    }
+}
+
+/// The benchmark driver. Mirror of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored timer sizes its own
+    /// iteration counts, so the value is not used.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id_string()), f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |bencher| f(bencher, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        measured: None,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(per_iter) => {
+            println!(
+                "{id:<56} {:>12.1} ns/iter ({} iters)",
+                per_iter.as_nanos() as f64,
+                bencher.iterations
+            );
+        }
+        None => println!("{id:<56} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function. Reduced
+/// mirror of `criterion::criterion_group!` (plain form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates the benchmark binary's `main`, running each group. Mirror of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
