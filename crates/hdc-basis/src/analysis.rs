@@ -10,17 +10,20 @@
 //! let basis = CircularBasis::new(10, 10_000, &mut rng)?;
 //! let matrix = analysis::similarity_matrix(&basis);
 //! assert_eq!(matrix.len(), 10);
-//! assert_eq!(matrix[0][0], 1.0);
+//! assert_eq!(matrix.get(0, 0), 1.0);
 //! // Opposite members are quasi-orthogonal (similarity ≈ 0.5).
-//! assert!((matrix[0][5] - 0.5).abs() < 0.05);
+//! assert!((matrix.get(0, 5) - 0.5).abs() < 0.05);
 //! # Ok::<(), hdc_basis::HdcError>(())
 //! ```
 
 use crate::BasisSet;
 
-/// The full pairwise similarity matrix `1 − δ` of a basis set (Figure 3).
-pub fn similarity_matrix<B: BasisSet + ?Sized>(basis: &B) -> Vec<Vec<f64>> {
-    hdc_core::similarity::pairwise_similarity(basis.hypervectors())
+pub use hdc_core::similarity::SimilarityMatrix;
+
+/// The full pairwise similarity matrix `1 − δ` of a basis set (Figure 3),
+/// as a single flat row-major allocation.
+pub fn similarity_matrix<B: BasisSet + ?Sized>(basis: &B) -> SimilarityMatrix {
+    hdc_core::similarity::pairwise_similarity_matrix(basis.hypervectors())
 }
 
 /// The similarity of every member to a single `reference` member (the
@@ -68,10 +71,10 @@ pub fn profile_deviation(measured: &[f64], expected: &[f64]) -> f64 {
 /// line, dark-to-light `.:-=+*#%@` ramp (used by the `experiments fig3`
 /// binary to approximate the paper's heatmap figures in a terminal).
 #[must_use]
-pub fn render_heatmap(matrix: &[Vec<f64>]) -> String {
+pub fn render_heatmap(matrix: &SimilarityMatrix) -> String {
     const RAMP: &[u8] = b" .:-=+*#%@";
     let mut out = String::new();
-    for row in matrix {
+    for row in matrix.rows() {
         for &v in row {
             let clamped = v.clamp(0.0, 1.0);
             let idx = ((clamped * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
@@ -86,9 +89,9 @@ pub fn render_heatmap(matrix: &[Vec<f64>]) -> String {
 /// Formats a similarity matrix as an aligned numeric table (two decimal
 /// places), for textual comparison against the paper's figures.
 #[must_use]
-pub fn format_matrix(matrix: &[Vec<f64>]) -> String {
+pub fn format_matrix(matrix: &SimilarityMatrix) -> String {
     let mut out = String::new();
-    for row in matrix {
+    for row in matrix.rows() {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:5.2}")).collect();
         out.push_str(&cells.join(" "));
         out.push('\n');
@@ -111,12 +114,13 @@ mod tests {
         let mut r = rng();
         let basis = RandomBasis::new(8, 10_000, &mut r).unwrap();
         let m = similarity_matrix(&basis);
-        for (i, row) in m.iter().enumerate() {
-            for (j, &value) in row.iter().enumerate() {
+        assert_eq!(m.len(), 8);
+        for i in 0..8 {
+            for j in 0..8 {
                 if i == j {
-                    assert_eq!(value, 1.0);
+                    assert_eq!(m.get(i, j), 1.0);
                 } else {
-                    assert!((value - 0.5).abs() < 0.05);
+                    assert!((m.get(i, j) - 0.5).abs() < 0.05);
                 }
             }
         }
@@ -169,17 +173,19 @@ mod tests {
 
     #[test]
     fn heatmap_dimensions() {
-        let matrix = vec![vec![0.0, 0.5, 1.0], vec![1.0, 0.5, 0.0]];
+        // Hand-built values pin the ramp endpoints exactly: 0.0 renders as
+        // the darkest character (space), 1.0 as the brightest ('@').
+        let matrix = SimilarityMatrix::from_values(2, vec![0.0, 0.5, 1.0, 0.5]);
         let art = render_heatmap(&matrix);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0].len(), 6);
+        assert_eq!(lines[0].len(), 4);
         assert!(art.contains('@') && art.contains(' '));
     }
 
     #[test]
     fn format_matrix_shape() {
-        let matrix = vec![vec![1.0, 0.25], vec![0.25, 1.0]];
+        let matrix = SimilarityMatrix::from_values(2, vec![1.0, 0.25, 0.25, 1.0]);
         let text = format_matrix(&matrix);
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("1.00") && text.contains("0.25"));

@@ -91,10 +91,11 @@ impl CircularBasis {
         debug_assert!(m % 2 == 0 && m >= 2);
         let half = m / 2;
         // Phase 1: a level set over half the circle (m/2 + 1 hypervectors,
-        // endpoints quasi-orthogonal).
+        // endpoints quasi-orthogonal), interpolated on the worker pool.
         let levels = spanned_levels(half + 1, dim, r, rng);
         // Transitions T_k = C_k ⊗ C_{k+1}: the bits flipped between
-        // consecutive levels of phase 1.
+        // consecutive levels of phase 1. A handful of word-wide XORs —
+        // far below the cost of spawning workers, so this stays serial.
         let transitions: Vec<BinaryHypervector> =
             (0..half).map(|k| levels[k].bind(&levels[k + 1])).collect();
 

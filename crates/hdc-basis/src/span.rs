@@ -19,6 +19,11 @@ use rand::Rng;
 /// (paper §5.2); a fresh endpoint pair and a fresh filter `Φ` are drawn per
 /// span so consecutive spans are statistically independent.
 ///
+/// All randomness is drawn up front (endpoints, then filters, in span
+/// order); the per-level interpolation is a pure function of that material,
+/// so the levels are computed on the scoped worker pool and the output is
+/// bit-identical to a serial pass for any thread count.
+///
 /// Assumes `m >= 2`, `dim >= 1` and `r ∈ [0, 1]` (validated by the public
 /// constructors that call this).
 pub(crate) fn spanned_levels(
@@ -40,16 +45,24 @@ pub(crate) fn spanned_levels(
         .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
         .collect();
 
-    (0..m)
-        .map(|l| {
-            let pos = l as f64;
-            let span = ((pos / n).floor() as usize).min(span_count - 1);
-            let within = pos - span as f64 * n;
-            // τ_l = 1 − ((l − 1) mod n)/n in the paper's 1-based indexing.
-            let tau = 1.0 - within / n;
-            interpolate(&endpoints[span], &endpoints[span + 1], &filters[span], tau)
-        })
-        .collect()
+    let level = |l: usize| {
+        let pos = l as f64;
+        let span = ((pos / n).floor() as usize).min(span_count - 1);
+        let within = pos - span as f64 * n;
+        // τ_l = 1 − ((l − 1) mod n)/n in the paper's 1-based indexing.
+        let tau = 1.0 - within / n;
+        interpolate(&endpoints[span], &endpoints[span + 1], &filters[span], tau)
+    };
+    // Interpolation costs O(dim) per level; forking scoped workers costs
+    // tens of microseconds each. Only fan out when the total bit-work
+    // clearly exceeds that overhead — small sets (a typical m=24 encoder
+    // basis) stay serial and large paper-scale sweeps parallelize.
+    const PARALLEL_BIT_WORK: usize = 1 << 21;
+    if m.saturating_mul(dim) < PARALLEL_BIT_WORK {
+        (0..m).map(level).collect()
+    } else {
+        minipool::par_generate(m, level)
+    }
 }
 
 /// One step of Algorithm 1: bit `∂` comes from `first` when

@@ -1,0 +1,135 @@
+//! Batched vs per-sample execution at the paper's dimensionality
+//! (d = 10,000): the headline numbers of the batched execution layer.
+//!
+//! Three comparisons, each `per_sample` (the pre-batch serial loop) against
+//! `batched` (the arena + worker-pool path, bit-identical by construction):
+//!
+//! * **encode** — `ScalarEncoder` per-sample clones vs `Encoder::encode_batch`
+//!   into one contiguous arena,
+//! * **predict** — `CentroidClassifier` serial `predict_batch` loop vs the
+//!   parallel `predict_rows` over the arena,
+//! * **fit** — serial `CentroidClassifier::fit` vs the parallel `fit_batch`.
+//!
+//! The parallel speedup scales with available cores (the acceptance target
+//! is ≥ 4× for `predict` on an 8-core runner); on a single core the batched
+//! path falls back to the caller thread with no spawn overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_core::{BinaryHypervector, HypervectorBatch};
+use hdc_encode::{Encoder, ScalarEncoder};
+use hdc_learn::CentroidClassifier;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+const DIM: usize = 10_000;
+const BATCH: usize = 256;
+const CLASSES: usize = 16;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let encoder = ScalarEncoder::with_levels(0.0, 1.0, 64, DIM, &mut rng).expect("valid");
+    let values: Vec<f64> = (0..BATCH).map(|_| rng.random_range(0.0f64..1.0)).collect();
+
+    let mut group = c.benchmark_group("batch_encode");
+    group.bench_with_input(
+        BenchmarkId::new("per_sample", BATCH),
+        &values,
+        |bencher, values| {
+            bencher.iter(|| {
+                let encoded: Vec<BinaryHypervector> = values
+                    .iter()
+                    .map(|&x| black_box(&encoder).encode(x).clone())
+                    .collect();
+                encoded
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched", BATCH),
+        &values,
+        |bencher, values| {
+            bencher.iter(|| black_box(&encoder).encode_batch(black_box(values)));
+        },
+    );
+    group.finish();
+}
+
+fn setup_classifier(rng: &mut StdRng) -> (CentroidClassifier, Vec<BinaryHypervector>) {
+    let protos: Vec<BinaryHypervector> = (0..CLASSES)
+        .map(|_| BinaryHypervector::random(DIM, rng))
+        .collect();
+    let train: Vec<(BinaryHypervector, usize)> = (0..CLASSES * 8)
+        .map(|i| (protos[i % CLASSES].corrupt(0.25, rng), i % CLASSES))
+        .collect();
+    let model = CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), CLASSES, DIM, rng)
+        .expect("valid training setup");
+    let queries: Vec<BinaryHypervector> = (0..BATCH)
+        .map(|i| protos[i % CLASSES].corrupt(0.25, rng))
+        .collect();
+    (model, queries)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xF17);
+    let (model, queries) = setup_classifier(&mut rng);
+    let arena = HypervectorBatch::from_vectors(&queries).expect("non-empty");
+
+    let mut group = c.benchmark_group("batch_predict");
+    group.bench_with_input(
+        BenchmarkId::new("per_sample", BATCH),
+        &queries,
+        |bencher, queries| {
+            bencher.iter(|| black_box(&model).predict_batch(black_box(queries)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched", BATCH),
+        &arena,
+        |bencher, arena| {
+            bencher.iter(|| black_box(&model).predict_rows(black_box(arena)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x0F17);
+    let samples: Vec<BinaryHypervector> = (0..BATCH)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let labels: Vec<usize> = (0..BATCH).map(|i| i % CLASSES).collect();
+    let arena = HypervectorBatch::from_vectors(&samples).expect("non-empty");
+
+    let mut group = c.benchmark_group("batch_fit");
+    group.bench_with_input(
+        BenchmarkId::new("per_sample", BATCH),
+        &samples,
+        |bencher, samples| {
+            bencher.iter(|| {
+                let mut fit_rng = StdRng::seed_from_u64(7);
+                CentroidClassifier::fit(
+                    samples.iter().zip(labels.iter().copied()),
+                    CLASSES,
+                    DIM,
+                    &mut fit_rng,
+                )
+                .expect("valid")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched", BATCH),
+        &arena,
+        |bencher, arena| {
+            bencher.iter(|| {
+                let mut fit_rng = StdRng::seed_from_u64(7);
+                CentroidClassifier::fit_batch(black_box(arena), &labels, CLASSES, &mut fit_rng)
+                    .expect("valid")
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_predict, bench_fit);
+criterion_main!(benches);

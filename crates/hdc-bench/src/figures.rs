@@ -26,8 +26,8 @@ pub mod fig3 {
     pub struct Matrix {
         /// Basis family name.
         pub name: &'static str,
-        /// The `m × m` pairwise similarity matrix.
-        pub values: Vec<Vec<f64>>,
+        /// The `m × m` pairwise similarity matrix (flat row-major).
+        pub values: analysis::SimilarityMatrix,
     }
 
     /// Computes the three matrices with `m` members of dimensionality `dim`
@@ -257,17 +257,17 @@ mod tests {
         assert_eq!(matrices.len(), 3);
         for m in &matrices {
             assert_eq!(m.values.len(), 10);
-            assert_eq!(m.values[0].len(), 10);
-            assert_eq!(m.values[0][0], 1.0);
+            assert_eq!(m.values.row(0).len(), 10);
+            assert_eq!(m.values.get(0, 0), 1.0);
         }
         // Random ≈ 0.5 off-diagonal; circular wraps.
         let random = &matrices[0].values;
-        assert!((random[0][9] - 0.5).abs() < 0.06);
+        assert!((random.get(0, 9) - 0.5).abs() < 0.06);
         let circular = &matrices[2].values;
         assert!(
-            circular[0][9] > 0.8,
+            circular.get(0, 9) > 0.8,
             "circular wrap similarity {}",
-            circular[0][9]
+            circular.get(0, 9)
         );
     }
 

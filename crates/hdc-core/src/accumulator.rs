@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::BinaryHypervector;
+use crate::{kernels, BinaryHypervector, HvRef};
 
 /// Policy for resolving ties when a [`MajorityAccumulator`] is finalized and
 /// a dimension has seen exactly as many ones as zeros.
@@ -118,31 +118,68 @@ impl MajorityAccumulator {
     ///
     /// Panics if the dimensionalities differ.
     pub fn push_weighted(&mut self, hv: &BinaryHypervector, weight: i32) {
+        self.push_row_weighted(hv.view(), weight);
+    }
+
+    /// Adds a borrowed row view (e.g. one row of a
+    /// [`HypervectorBatch`](crate::HypervectorBatch)) to the bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push_row(&mut self, row: HvRef<'_>) {
+        self.push_row_weighted(row, 1);
+    }
+
+    /// Adds a borrowed row view with an integer weight (negative weights
+    /// subtract). This is the word-slice hot path every other push funnels
+    /// into — see [`kernels::accumulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn push_row_weighted(&mut self, row: HvRef<'_>, weight: i32) {
         assert_eq!(
             self.counts.len(),
-            hv.dim(),
+            row.dim(),
             "dimension mismatch: expected {}, found {}",
             self.counts.len(),
-            hv.dim()
+            row.dim()
         );
-        for (i, bit) in hv.bits().enumerate() {
-            self.counts[i] += if bit { weight } else { -weight };
-        }
+        kernels::accumulate(&mut self.counts, row.as_words(), weight);
         self.weight += i64::from(weight);
+    }
+
+    /// Merges another accumulator into this one by adding its counters —
+    /// the reduction step of parallel bundling. Because integer addition is
+    /// commutative and associative, merging per-chunk partial accumulators
+    /// yields exactly the counters a serial pass would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "dimension mismatch: expected {}, found {}",
+            self.counts.len(),
+            other.counts.len()
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.weight += other.weight;
     }
 
     /// Resolves the majority vote into a binary hypervector using a
     /// deterministic tie-break policy.
     #[must_use]
     pub fn finalize(&self, tie: TieBreak) -> BinaryHypervector {
-        BinaryHypervector::from_fn(self.counts.len(), |i| match self.counts[i].cmp(&0) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => match tie {
-                TieBreak::Zero => false,
-                TieBreak::One => true,
-                TieBreak::Alternate => i % 2 == 0,
-            },
+        self.finalize_with(|i| match tie {
+            TieBreak::Zero => false,
+            TieBreak::One => true,
+            TieBreak::Alternate => i % 2 == 0,
         })
     }
 
@@ -151,11 +188,17 @@ impl MajorityAccumulator {
     /// conventional unbiased choice).
     #[must_use]
     pub fn finalize_random(&self, rng: &mut impl Rng) -> BinaryHypervector {
-        BinaryHypervector::from_fn(self.counts.len(), |i| match self.counts[i].cmp(&0) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => rng.random_bool(0.5),
-        })
+        self.finalize_with(|_| rng.random_bool(0.5))
+    }
+
+    /// Shared finalization path: packs the counter signs into words via
+    /// [`kernels::majority_into`], consulting `tie_bit` only at exact ties
+    /// (in ascending dimension order, which keeps RNG tie-breaking
+    /// reproducible).
+    fn finalize_with(&self, tie_bit: impl FnMut(usize) -> bool) -> BinaryHypervector {
+        let mut words = vec![0u64; self.counts.len().div_ceil(64)];
+        kernels::majority_into(&self.counts, &mut words, tie_bit);
+        BinaryHypervector::from_words(self.counts.len(), words)
     }
 
     /// Signed agreement between the accumulated counters and a query
@@ -171,6 +214,17 @@ impl MajorityAccumulator {
     /// Panics if the dimensionalities differ.
     #[must_use]
     pub fn dot_bipolar(&self, query: &BinaryHypervector) -> i64 {
+        self.dot_bipolar_row(query.view())
+    }
+
+    /// [`dot_bipolar`](Self::dot_bipolar) over a borrowed row view — the
+    /// word-slice form used by batched inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn dot_bipolar_row(&self, query: HvRef<'_>) -> i64 {
         assert_eq!(
             self.counts.len(),
             query.dim(),
@@ -178,12 +232,7 @@ impl MajorityAccumulator {
             self.counts.len(),
             query.dim()
         );
-        let mut total = 0i64;
-        for (i, bit) in query.bits().enumerate() {
-            let c = i64::from(self.counts[i]);
-            total += if bit { c } else { -c };
-        }
-        total
+        kernels::dot_bipolar(&self.counts, query.as_words())
     }
 
     /// Resets all counters to zero.
@@ -331,6 +380,45 @@ mod tests {
     fn push_dimension_mismatch_panics() {
         let mut acc = MajorityAccumulator::new(8);
         acc.push(&BinaryHypervector::zeros(9));
+    }
+
+    #[test]
+    fn merge_matches_serial_accumulation() {
+        let mut r = rng();
+        let vs: Vec<_> = (0..8)
+            .map(|_| BinaryHypervector::random(333, &mut r))
+            .collect();
+        let mut serial = MajorityAccumulator::new(333);
+        serial.extend(vs.iter());
+        serial.subtract(&vs[3]);
+
+        let mut left = MajorityAccumulator::new(333);
+        left.extend(vs[..4].iter());
+        left.subtract(&vs[3]);
+        let mut right = MajorityAccumulator::new(333);
+        right.extend(vs[4..].iter());
+        left.merge(&right);
+        assert_eq!(left, serial);
+        assert_eq!(left.weight(), serial.weight());
+    }
+
+    #[test]
+    fn push_row_matches_push() {
+        let mut r = rng();
+        let hv = BinaryHypervector::random(130, &mut r);
+        let mut by_owned = MajorityAccumulator::new(130);
+        by_owned.push(&hv);
+        let mut by_row = MajorityAccumulator::new(130);
+        by_row.push_row(hv.view());
+        assert_eq!(by_owned, by_row);
+        assert_eq!(by_owned.dot_bipolar(&hv), by_row.dot_bipolar_row(hv.view()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn merge_dimension_mismatch_panics() {
+        let mut a = MajorityAccumulator::new(8);
+        a.merge(&MajorityAccumulator::new(9));
     }
 
     proptest! {

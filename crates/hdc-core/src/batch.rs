@@ -1,0 +1,710 @@
+//! A contiguous arena of equally sized hypervectors — the substrate of the
+//! batched execution layer.
+//!
+//! [`HypervectorBatch`] stores `N` hypervectors of dimensionality `d` in a
+//! **single** `Vec<u64>` (row-major, [`words_per_row`](HypervectorBatch::words_per_row)
+//! words each) instead of `N` separately allocated
+//! [`BinaryHypervector`]s. Rows are accessed as borrowed views —
+//! [`HvRef`] (shared) and [`HvMut`] (exclusive) — that carry no allocation
+//! and hit the same word-slice [`kernels`](crate::kernels) as the owned
+//! type, so batched pipelines encode, bind and compare without a heap
+//! allocation per sample and with cache-friendly sequential access.
+//!
+//! [`HypervectorBatch::chunks_mut`] splits the arena into disjoint
+//! contiguous row blocks, which is what the workspace's parallel helpers
+//! fan out over (each worker owns one block; results are bit-identical to
+//! the serial loop).
+//!
+//! ```
+//! use hdc_core::{BinaryHypervector, HypervectorBatch};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let items: Vec<_> = (0..4).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+//! let batch = HypervectorBatch::from_vectors(&items)?;
+//! assert_eq!(batch.len(), 4);
+//! // Rows are views over the arena, bit-identical to the source vectors.
+//! assert_eq!(batch.row(2).hamming(items[2].view()), 0);
+//! # Ok::<(), hdc_core::HdcError>(())
+//! ```
+
+use crate::{kernels, BinaryHypervector, HdcError};
+
+const WORD_BITS: usize = 64;
+
+/// Every view and row must keep bits at positions `>= dim` zero — the
+/// popcount kernels would otherwise count phantom bits.
+fn assert_tail_clean(dim: usize, words: &[u64]) {
+    let rem = dim % WORD_BITS;
+    if rem != 0 {
+        if let Some(&last) = words.last() {
+            assert!(
+                last & !((1u64 << rem) - 1) == 0,
+                "bits beyond dimension {dim} are set in the final word; \
+                 zero or mask the tail before constructing a view"
+            );
+        }
+    }
+}
+
+/// A borrowed, read-only view of one packed hypervector: a dimensionality
+/// plus the `u64` words backing it (LSB-first, clean tail).
+///
+/// Obtained from [`HypervectorBatch::row`] or
+/// [`BinaryHypervector::view`]; all comparisons funnel into the
+/// word-slice [`kernels`](crate::kernels).
+#[derive(Debug, Clone, Copy)]
+pub struct HvRef<'a> {
+    dim: usize,
+    words: &'a [u64],
+}
+
+impl<'a> HvRef<'a> {
+    /// Creates a view over externally packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `words.len()` is not exactly
+    /// `dim.div_ceil(64)`, or any bit at a position `>= dim` in the final
+    /// word is set (the kernels rely on a clean tail; see
+    /// [`BinaryHypervector::from_words`] for a constructor that masks
+    /// instead).
+    #[must_use]
+    pub fn new(dim: usize, words: &'a [u64]) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        assert_eq!(
+            words.len(),
+            dim.div_ceil(WORD_BITS),
+            "word count does not match dimension {dim}"
+        );
+        assert_tail_clean(dim, words);
+        Self { dim, words }
+    }
+
+    /// The dimensionality `d` of the viewed hypervector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed words backing the view.
+    #[must_use]
+    pub fn as_words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Returns bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range for dimension {}",
+            self.dim
+        );
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Number of one-bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        kernels::count_ones(self.words)
+    }
+
+    /// Hamming distance to another view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn hamming(&self, other: HvRef<'_>) -> usize {
+        assert_eq!(
+            self.dim, other.dim,
+            "dimension mismatch: expected {}, found {}",
+            self.dim, other.dim
+        );
+        kernels::hamming(self.words, other.words)
+    }
+
+    /// Normalized Hamming distance `δ ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn normalized_hamming(&self, other: HvRef<'_>) -> f64 {
+        self.hamming(other) as f64 / self.dim as f64
+    }
+
+    /// Similarity `1 − δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    #[must_use]
+    pub fn similarity(&self, other: HvRef<'_>) -> f64 {
+        1.0 - self.normalized_hamming(other)
+    }
+
+    /// Copies the view into an owned [`BinaryHypervector`].
+    #[must_use]
+    pub fn to_hypervector(&self) -> BinaryHypervector {
+        BinaryHypervector::from_words(self.dim, self.words.to_vec())
+    }
+}
+
+/// A borrowed, exclusive view of one packed hypervector — the write half of
+/// [`HvRef`], handed to in-place encoders
+/// (`Encoder::encode_into` in `hdc-encode`) and batch fillers.
+#[derive(Debug)]
+pub struct HvMut<'a> {
+    dim: usize,
+    words: &'a mut [u64],
+}
+
+impl<'a> HvMut<'a> {
+    /// Creates a mutable view over externally packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `words.len()` is not exactly
+    /// `dim.div_ceil(64)`, or any bit at a position `>= dim` in the final
+    /// word is set — zero the buffer (or mask its tail) before viewing it.
+    #[must_use]
+    pub fn new(dim: usize, words: &'a mut [u64]) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        assert_eq!(
+            words.len(),
+            dim.div_ceil(WORD_BITS),
+            "word count does not match dimension {dim}"
+        );
+        assert_tail_clean(dim, words);
+        Self { dim, words }
+    }
+
+    /// The dimensionality `d` of the viewed hypervector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reborrows as a read-only view.
+    #[must_use]
+    pub fn as_ref(&self) -> HvRef<'_> {
+        HvRef {
+            dim: self.dim,
+            words: self.words,
+        }
+    }
+
+    /// Overwrites this row with the contents of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn copy_from(&mut self, src: HvRef<'_>) {
+        assert_eq!(
+            self.dim,
+            src.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.dim,
+            src.dim()
+        );
+        self.words.copy_from_slice(src.as_words());
+    }
+
+    /// XORs `src` into this row in place (the binding operation `⊗`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn xor_assign(&mut self, src: HvRef<'_>) {
+        assert_eq!(
+            self.dim,
+            src.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.dim,
+            src.dim()
+        );
+        kernels::xor_into(self.words, src.as_words());
+    }
+
+    /// Clears the row to all zeros.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets bit `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(
+            index < self.dim,
+            "bit index {index} out of range for dimension {}",
+            self.dim
+        );
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            self.words[index / WORD_BITS] |= mask;
+        } else {
+            self.words[index / WORD_BITS] &= !mask;
+        }
+    }
+}
+
+/// A contiguous, row-major arena of `N` hypervectors sharing one backing
+/// `Vec<u64>`: one allocation for the whole batch, cache-friendly
+/// sequential rows, and borrowed [`HvRef`]/[`HvMut`] row views instead of
+/// per-sample owned vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypervectorBatch {
+    dim: usize,
+    words_per_row: usize,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl HypervectorBatch {
+    /// Creates an empty batch for hypervectors of dimensionality `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// Creates an empty batch with arena capacity for `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        let words_per_row = dim.div_ceil(WORD_BITS);
+        Self {
+            dim,
+            words_per_row,
+            len: 0,
+            words: Vec::with_capacity(capacity * words_per_row),
+        }
+    }
+
+    /// Creates a batch of `len` all-zero rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    #[must_use]
+    pub fn zeros(dim: usize, len: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        let words_per_row = dim.div_ceil(WORD_BITS);
+        Self {
+            dim,
+            words_per_row,
+            len,
+            words: vec![0; len * words_per_row],
+        }
+    }
+
+    /// Copies a slice of owned hypervectors into a fresh contiguous arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] for an empty slice (the
+    /// dimensionality would be unknown) and
+    /// [`HdcError::DimensionMismatch`] if the members disagree on
+    /// dimensionality.
+    pub fn from_vectors(hvs: &[BinaryHypervector]) -> Result<Self, HdcError> {
+        let first = hvs.first().ok_or(HdcError::EmptyInput)?;
+        let dim = first.dim();
+        let mut batch = Self::with_capacity(dim, hvs.len());
+        for hv in hvs {
+            if hv.dim() != dim {
+                return Err(HdcError::DimensionMismatch {
+                    expected: dim,
+                    found: hv.dim(),
+                });
+            }
+            batch.push(hv);
+        }
+        Ok(batch)
+    }
+
+    /// The dimensionality `d` shared by every row.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of `u64` words per row (`d.div_ceil(64)`).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the batch holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The whole arena as one packed word slice (row-major).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Appends a copy of `hv` as a new row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv.dim()` differs from the batch's dimensionality.
+    pub fn push(&mut self, hv: &BinaryHypervector) {
+        self.push_row(hv.view());
+    }
+
+    /// Appends a copy of the viewed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's dimensionality differs from the batch's.
+    pub fn push_row(&mut self, row: HvRef<'_>) {
+        assert_eq!(
+            self.dim,
+            row.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.dim,
+            row.dim()
+        );
+        self.words.extend_from_slice(row.as_words());
+        self.len += 1;
+    }
+
+    /// Appends an all-zero row and returns a mutable view of it.
+    pub fn push_zero_row(&mut self) -> HvMut<'_> {
+        self.words.resize(self.words.len() + self.words_per_row, 0);
+        self.len += 1;
+        self.row_mut(self.len - 1)
+    }
+
+    /// A read-only view of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn row(&self, index: usize) -> HvRef<'_> {
+        assert!(
+            index < self.len,
+            "row {index} out of range for batch of {}",
+            self.len
+        );
+        let start = index * self.words_per_row;
+        HvRef {
+            dim: self.dim,
+            words: &self.words[start..start + self.words_per_row],
+        }
+    }
+
+    /// A mutable view of row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn row_mut(&mut self, index: usize) -> HvMut<'_> {
+        assert!(
+            index < self.len,
+            "row {index} out of range for batch of {}",
+            self.len
+        );
+        let start = index * self.words_per_row;
+        HvMut {
+            dim: self.dim,
+            words: &mut self.words[start..start + self.words_per_row],
+        }
+    }
+
+    /// Iterates over all rows as read-only views, in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = HvRef<'_>> {
+        let dim = self.dim;
+        self.words
+            .chunks_exact(self.words_per_row)
+            .map(move |words| HvRef { dim, words })
+    }
+
+    /// Copies row `index` out into an owned [`BinaryHypervector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn to_hypervector(&self, index: usize) -> BinaryHypervector {
+        self.row(index).to_hypervector()
+    }
+
+    /// Copies every row out into owned hypervectors (the inverse of
+    /// [`from_vectors`](Self::from_vectors)).
+    #[must_use]
+    pub fn to_vectors(&self) -> Vec<BinaryHypervector> {
+        self.rows().map(|row| row.to_hypervector()).collect()
+    }
+
+    /// Splits the arena into disjoint blocks of at most `rows_per_chunk`
+    /// consecutive rows, each independently mutable — the hand-off point to
+    /// scoped worker threads (every [`BatchChunkMut`] is `Send`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_chunk == 0`.
+    pub fn chunks_mut(&mut self, rows_per_chunk: usize) -> impl Iterator<Item = BatchChunkMut<'_>> {
+        assert!(rows_per_chunk > 0, "rows_per_chunk must be at least 1");
+        let dim = self.dim;
+        let words_per_row = self.words_per_row;
+        self.words
+            .chunks_mut(rows_per_chunk * words_per_row)
+            .enumerate()
+            .map(move |(chunk_index, words)| BatchChunkMut {
+                dim,
+                words_per_row,
+                first_row: chunk_index * rows_per_chunk,
+                words,
+            })
+    }
+
+    /// Runs `f(row_index, row)` over every row, serially and in order.
+    pub fn fill_rows(&mut self, mut f: impl FnMut(usize, HvMut<'_>)) {
+        let dim = self.dim;
+        for (index, words) in self.words.chunks_exact_mut(self.words_per_row).enumerate() {
+            f(index, HvMut { dim, words });
+        }
+    }
+}
+
+/// A block of consecutive rows carved out of a [`HypervectorBatch`] by
+/// [`chunks_mut`](HypervectorBatch::chunks_mut); knows its absolute starting
+/// row so workers can index global inputs.
+#[derive(Debug)]
+pub struct BatchChunkMut<'a> {
+    dim: usize,
+    words_per_row: usize,
+    first_row: usize,
+    words: &'a mut [u64],
+}
+
+impl BatchChunkMut<'_> {
+    /// Absolute index (in the parent batch) of this block's first row.
+    #[must_use]
+    pub fn first_row(&self) -> usize {
+        self.first_row
+    }
+
+    /// Number of rows in this block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len() / self.words_per_row
+    }
+
+    /// `true` if the block holds no rows (never produced by `chunks_mut`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(absolute_row_index, mutable_row_view)` pairs.
+    pub fn rows_mut(&mut self) -> impl Iterator<Item = (usize, HvMut<'_>)> {
+        let dim = self.dim;
+        let first_row = self.first_row;
+        self.words
+            .chunks_exact_mut(self.words_per_row)
+            .enumerate()
+            .map(move |(offset, words)| (first_row + offset, HvMut { dim, words }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBA7C)
+    }
+
+    #[test]
+    fn round_trip_from_and_to_vectors() {
+        let mut r = rng();
+        for dim in [1usize, 63, 64, 65, 1000] {
+            let items: Vec<_> = (0..5)
+                .map(|_| BinaryHypervector::random(dim, &mut r))
+                .collect();
+            let batch = HypervectorBatch::from_vectors(&items).unwrap();
+            assert_eq!(batch.len(), 5);
+            assert_eq!(batch.dim(), dim);
+            assert_eq!(batch.to_vectors(), items);
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(batch.row(i).hamming(item.view()), 0);
+                assert_eq!(batch.to_hypervector(i), *item);
+            }
+        }
+    }
+
+    #[test]
+    fn from_vectors_rejects_empty_and_mismatched() {
+        assert!(matches!(
+            HypervectorBatch::from_vectors(&[]),
+            Err(HdcError::EmptyInput)
+        ));
+        let mut r = rng();
+        let items = vec![
+            BinaryHypervector::random(64, &mut r),
+            BinaryHypervector::random(65, &mut r),
+        ];
+        assert!(matches!(
+            HypervectorBatch::from_vectors(&items),
+            Err(HdcError::DimensionMismatch {
+                expected: 64,
+                found: 65
+            })
+        ));
+    }
+
+    #[test]
+    fn rows_iterate_in_order() {
+        let mut r = rng();
+        let items: Vec<_> = (0..7)
+            .map(|_| BinaryHypervector::random(130, &mut r))
+            .collect();
+        let batch = HypervectorBatch::from_vectors(&items).unwrap();
+        let collected: Vec<BinaryHypervector> =
+            batch.rows().map(|row| row.to_hypervector()).collect();
+        assert_eq!(collected, items);
+        assert_eq!(batch.rows().len(), 7);
+    }
+
+    #[test]
+    fn row_mut_edits_are_visible() {
+        let mut batch = HypervectorBatch::zeros(100, 3);
+        batch.row_mut(1).set(99, true);
+        assert!(batch.row(1).get(99));
+        assert!(!batch.row(0).get(99));
+        assert_eq!(batch.row(1).count_ones(), 1);
+        batch.row_mut(1).clear();
+        assert_eq!(batch.row(1).count_ones(), 0);
+    }
+
+    #[test]
+    fn push_zero_row_extends() {
+        let mut r = rng();
+        let mut batch = HypervectorBatch::new(70);
+        let hv = BinaryHypervector::random(70, &mut r);
+        {
+            let mut row = batch.push_zero_row();
+            row.copy_from(hv.view());
+        }
+        batch.push(&hv);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.row(0).hamming(batch.row(1)), 0);
+    }
+
+    #[test]
+    fn view_operations_match_owned() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(777, &mut r);
+        let b = BinaryHypervector::random(777, &mut r);
+        assert_eq!(a.view().hamming(b.view()), a.hamming(&b));
+        assert_eq!(a.view().count_ones(), a.count_ones());
+        assert_eq!(a.view().similarity(b.view()), a.similarity(&b));
+        let mut bound = a.clone();
+        bound.bind_assign(&b);
+        let mut batch = HypervectorBatch::from_vectors(std::slice::from_ref(&a)).unwrap();
+        batch.row_mut(0).xor_assign(b.view());
+        assert_eq!(batch.to_hypervector(0), bound);
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_once() {
+        let mut r = rng();
+        let items: Vec<_> = (0..11)
+            .map(|_| BinaryHypervector::random(200, &mut r))
+            .collect();
+        let mut batch = HypervectorBatch::zeros(200, 11);
+        let mut visited = [0u32; 11];
+        for mut chunk in batch.chunks_mut(4) {
+            assert!(chunk.len() <= 4 && !chunk.is_empty());
+            for (row_index, mut row) in chunk.rows_mut() {
+                visited[row_index] += 1;
+                row.copy_from(items[row_index].view());
+            }
+        }
+        assert!(visited.iter().all(|&v| v == 1));
+        assert_eq!(batch.to_vectors(), items);
+    }
+
+    #[test]
+    fn fill_rows_visits_in_order() {
+        let mut batch = HypervectorBatch::zeros(65, 4);
+        let mut order = Vec::new();
+        batch.fill_rows(|i, mut row| {
+            order.push(i);
+            row.set(i, true);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        for i in 0..4 {
+            assert!(batch.row(i).get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        let batch = HypervectorBatch::zeros(64, 2);
+        let _ = batch.row(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits beyond dimension")]
+    fn hv_ref_rejects_dirty_tail() {
+        let words = [0u64, 1u64 << 63];
+        let _ = HvRef::new(65, &words);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits beyond dimension")]
+    fn hv_mut_rejects_dirty_tail() {
+        let mut words = [1u64 << 40];
+        let _ = HvMut::new(33, &mut words);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dimension() {
+        let mut r = rng();
+        let mut batch = HypervectorBatch::new(64);
+        batch.push(&BinaryHypervector::random(65, &mut r));
+    }
+
+    #[test]
+    fn send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<HypervectorBatch>();
+        assert_send_sync::<HvRef<'_>>();
+        assert_send::<HvMut<'_>>();
+        assert_send::<BatchChunkMut<'_>>();
+    }
+}

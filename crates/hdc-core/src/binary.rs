@@ -3,6 +3,8 @@ use std::ops::{BitXor, BitXorAssign, Not};
 
 use rand::Rng;
 
+use crate::{kernels, HvRef};
+
 const WORD_BITS: usize = 64;
 
 /// A dense binary hypervector: a point of the hyperspace `H = {0, 1}^d`.
@@ -124,6 +126,33 @@ impl BinaryHypervector {
         &self.words
     }
 
+    /// Builds a hypervector directly from packed words (LSB-first). Bits at
+    /// positions `>= dim` in the final word are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `words.len() != dim.div_ceil(64)`.
+    #[must_use]
+    pub fn from_words(dim: usize, words: Vec<u64>) -> Self {
+        assert!(dim > 0, "hypervector dimension must be at least 1");
+        assert_eq!(
+            words.len(),
+            dim.div_ceil(WORD_BITS),
+            "word count does not match dimension {dim}"
+        );
+        let mut hv = Self { dim, words };
+        hv.mask_tail();
+        hv
+    }
+
+    /// A borrowed [`HvRef`] view of this hypervector — the common currency
+    /// between owned vectors and [`HypervectorBatch`](crate::HypervectorBatch)
+    /// rows.
+    #[must_use]
+    pub fn view(&self) -> HvRef<'_> {
+        HvRef::new(self.dim, &self.words)
+    }
+
     /// Returns bit `index`.
     ///
     /// # Panics
@@ -175,7 +204,7 @@ impl BinaryHypervector {
     /// Number of one-bits.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones(&self.words)
     }
 
     /// Binding `⊗` (element-wise XOR): associates two hypervectors and
@@ -188,12 +217,8 @@ impl BinaryHypervector {
     #[must_use]
     pub fn bind(&self, other: &Self) -> Self {
         self.assert_same_dim(other);
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a ^ b)
-            .collect();
+        let mut words = vec![0u64; self.words.len()];
+        kernels::xor(&self.words, &other.words, &mut words);
         Self {
             dim: self.dim,
             words,
@@ -207,9 +232,7 @@ impl BinaryHypervector {
     /// Panics if the dimensionalities differ.
     pub fn bind_assign(&mut self, other: &Self) {
         self.assert_same_dim(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        kernels::xor_into(&mut self.words, &other.words);
     }
 
     /// The permutation operator `Π^shift`: a cyclic shift that moves bit `i`
@@ -249,11 +272,7 @@ impl BinaryHypervector {
     #[must_use]
     pub fn hamming(&self, other: &Self) -> usize {
         self.assert_same_dim(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        kernels::hamming(&self.words, &other.words)
     }
 
     /// Normalized Hamming distance `δ ∈ [0, 1]` (paper §2): Hamming distance
@@ -649,6 +668,22 @@ mod tests {
     fn send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<BinaryHypervector>();
+    }
+
+    #[test]
+    fn from_words_masks_tail_and_round_trips() {
+        let hv = BinaryHypervector::from_words(65, vec![!0u64, !0u64]);
+        assert_eq!(hv.count_ones(), 65);
+        assert!(hv.tail_is_clean());
+        let back = BinaryHypervector::from_words(65, hv.as_words().to_vec());
+        assert_eq!(back, hv);
+        assert_eq!(hv.view().to_hypervector(), hv);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count does not match")]
+    fn from_words_rejects_wrong_length() {
+        let _ = BinaryHypervector::from_words(65, vec![0u64]);
     }
 
     proptest! {

@@ -38,6 +38,14 @@ pub enum HdcError {
         /// Upper bound of the interval.
         high: f64,
     },
+    /// A batch of encoded samples and a per-sample slice (e.g. labels)
+    /// disagree in length.
+    BatchLengthMismatch {
+        /// Number of rows in the batch.
+        rows: usize,
+        /// Number of per-sample values supplied.
+        labels: usize,
+    },
     /// An operation that needs at least one input received none.
     EmptyInput,
     /// A model was asked to train on a label outside its configured range.
@@ -71,6 +79,10 @@ impl fmt::Display for HdcError {
                     "invalid interval [{low}, {high}]; bounds must be finite and low < high"
                 )
             }
+            HdcError::BatchLengthMismatch { rows, labels } => write!(
+                f,
+                "batch of {rows} rows does not match {labels} per-sample values"
+            ),
             HdcError::EmptyInput => write!(f, "operation requires at least one input"),
             HdcError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
@@ -105,6 +117,7 @@ mod tests {
                 high: 1.0,
             }
             .to_string(),
+            HdcError::BatchLengthMismatch { rows: 4, labels: 3 }.to_string(),
             HdcError::EmptyInput.to_string(),
             HdcError::LabelOutOfRange {
                 label: 9,

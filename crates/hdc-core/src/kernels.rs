@@ -1,0 +1,235 @@
+//! Word-slice kernels: the hot inner loops of the three HDC operations,
+//! expressed over raw `&[u64]` bit-packed words.
+//!
+//! Everything above this module — [`BinaryHypervector`](crate::BinaryHypervector)
+//! methods, [`MajorityAccumulator`](crate::MajorityAccumulator), the
+//! [`similarity`](crate::similarity) helpers and the batched
+//! [`HypervectorBatch`](crate::HypervectorBatch) arena — funnels into these
+//! functions, so owned vectors, borrowed rows of a batch, and externally
+//! packed buffers all hit the same word-parallel code paths. The kernels
+//! assume (and `debug_assert`) equal slice lengths; dimension checking is
+//! the caller's job.
+//!
+//! Bit layout is LSB-first within each `u64`, matching
+//! [`BinaryHypervector::as_words`](crate::BinaryHypervector::as_words), and
+//! callers must keep bits at positions `>= dim` in the final word zero.
+
+/// XORs `src` into `dst` word by word (the binding operation `⊗`).
+#[inline]
+pub fn xor_into(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Writes `a ^ b` into `out` word by word (out-of-place binding).
+#[inline]
+pub fn xor(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert!(a.len() == b.len() && b.len() == out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x ^ y;
+    }
+}
+
+/// Total population count of a packed word slice.
+#[inline]
+#[must_use]
+pub fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Hamming distance between two packed word slices (popcount of the XOR).
+#[inline]
+#[must_use]
+pub fn hamming(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as usize)
+        .sum()
+}
+
+/// Calls `f(bit_index)` for every set bit of the packed slice, in ascending
+/// order — the one implementation of the `trailing_zeros` / `w &= w − 1`
+/// set-bit walk that the sparse kernels (and the regression readout in
+/// `hdc-learn`) share.
+#[inline]
+pub fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
+    for (word_idx, &word) in words.iter().enumerate() {
+        let base = word_idx * 64;
+        let mut w = word;
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            f(base + bit);
+            w &= w - 1;
+        }
+    }
+}
+
+/// Adds a packed hypervector into signed per-dimension counters with the
+/// given weight: `counts[i] += bit_i ? weight : -weight` (majority bundling).
+///
+/// Implemented as a uniform `-weight` over all counters followed by
+/// `+2·weight` at the set bits, so only ~`popcount` positions are touched
+/// individually instead of every bit.
+///
+/// `counts.len()` is the dimensionality `d`; `words` must hold exactly the
+/// packed `d` bits with a clean tail.
+pub fn accumulate(counts: &mut [i32], words: &[u64], weight: i32) {
+    debug_assert_eq!(words.len(), counts.len().div_ceil(64));
+    match weight.checked_mul(2) {
+        Some(twice) => {
+            for c in counts.iter_mut() {
+                *c -= weight;
+            }
+            for_each_set_bit(words, |i| counts[i] += twice);
+        }
+        // |weight| >= 2^30: the doubling shortcut would overflow, so fall
+        // back to one signed add per bit (the exact pre-shortcut formula).
+        None => {
+            for (i, c) in counts.iter_mut().enumerate() {
+                let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
+                *c += if bit { weight } else { -weight };
+            }
+        }
+    }
+}
+
+/// Signed agreement between per-dimension counters and a packed query:
+/// `Σ_i (bit_i ? counts[i] : -counts[i])` — the bipolar dot product used for
+/// integer-readout inference.
+///
+/// Computed as `2·Σ_{set bits} counts[i] − Σ_i counts[i]`, visiting only the
+/// set bits individually.
+#[must_use]
+pub fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
+    debug_assert_eq!(words.len(), counts.len().div_ceil(64));
+    let total: i64 = counts.iter().map(|&c| i64::from(c)).sum();
+    let mut set_sum = 0i64;
+    for_each_set_bit(words, |i| set_sum += i64::from(counts[i]));
+    2 * set_sum - total
+}
+
+/// Resolves signed counters into packed majority bits:
+/// bit `i` is 1 iff `counts[i] > 0`, 0 iff `counts[i] < 0`, and
+/// `tie_bit(i)` on an exact tie. The tail of the final word is left clean.
+pub fn majority_into(counts: &[i32], out: &mut [u64], mut tie_bit: impl FnMut(usize) -> bool) {
+    debug_assert_eq!(out.len(), counts.len().div_ceil(64));
+    out.fill(0);
+    for (i, &c) in counts.iter().enumerate() {
+        let bit = match c.cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => tie_bit(i),
+        };
+        if bit {
+            out[i / 64] |= 1 << (i % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_words(len: usize, rng: &mut StdRng) -> Vec<u64> {
+        (0..len).map(|_| rng.random()).collect()
+    }
+
+    #[test]
+    fn xor_matches_in_place_and_out_of_place() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_words(17, &mut rng);
+        let b = random_words(17, &mut rng);
+        let mut in_place = a.clone();
+        xor_into(&mut in_place, &b);
+        let mut out = vec![0u64; 17];
+        xor(&a, &b, &mut out);
+        assert_eq!(in_place, out);
+        for i in 0..17 {
+            assert_eq!(out[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn hamming_and_count_ones_agree_with_naive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_words(9, &mut rng);
+        let b = random_words(9, &mut rng);
+        let naive: usize = (0..9 * 64)
+            .filter(|&i| (a[i / 64] >> (i % 64)) & 1 != (b[i / 64] >> (i % 64)) & 1)
+            .count();
+        assert_eq!(hamming(&a, &b), naive);
+        let zeros = [0u64; 9];
+        assert_eq!(
+            count_ones(&a) + count_ones(&b),
+            hamming(&a, &zeros) + hamming(&zeros, &b)
+        );
+    }
+
+    #[test]
+    fn accumulate_matches_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dim in [1usize, 63, 64, 65, 200] {
+            let hv = crate::BinaryHypervector::random(dim, &mut rng);
+            let mut fast = vec![0i32; dim];
+            let mut reference = vec![0i32; dim];
+            for weight in [1i32, -1, 3, -2] {
+                accumulate(&mut fast, hv.as_words(), weight);
+                for (i, bit) in hv.bits().enumerate() {
+                    reference[i] += if bit { weight } else { -weight };
+                }
+                assert_eq!(fast, reference, "dim={dim} weight={weight}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_survives_extreme_weights() {
+        // |weight| >= 2^30 would overflow the doubling shortcut; the
+        // fallback path must produce the plain per-bit sums.
+        let mut rng = StdRng::seed_from_u64(5);
+        let hv = crate::BinaryHypervector::random(100, &mut rng);
+        for weight in [1i32 << 30, i32::MIN / 2, i32::MAX] {
+            let mut fast = vec![0i32; 100];
+            accumulate(&mut fast, hv.as_words(), weight);
+            for (i, bit) in hv.bits().enumerate() {
+                let expected = if bit { weight } else { weight.wrapping_neg() };
+                assert_eq!(fast[i], expected, "bit {i} weight {weight}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_bipolar_matches_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dim in [1usize, 64, 65, 130] {
+            let hv = crate::BinaryHypervector::random(dim, &mut rng);
+            let counts: Vec<i32> = (0..dim).map(|_| rng.random_range(-50i32..50)).collect();
+            let reference: i64 = hv
+                .bits()
+                .enumerate()
+                .map(|(i, bit)| {
+                    let c = i64::from(counts[i]);
+                    if bit {
+                        c
+                    } else {
+                        -c
+                    }
+                })
+                .sum();
+            assert_eq!(dot_bipolar(&counts, hv.as_words()), reference, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn majority_resolves_signs_and_ties() {
+        let counts = [3i32, -1, 0, 0, 2];
+        let mut out = vec![0u64; 1];
+        majority_into(&counts, &mut out, |i| i % 2 == 0);
+        // bits: 1 (pos), 0 (neg), 1 (tie, even), 0 (tie, odd), 1 (pos)
+        assert_eq!(out[0], 0b10101);
+    }
+}

@@ -13,7 +13,10 @@
 //! This crate provides the packed binary hypervector type used throughout the
 //! workspace, integer accumulators for exact majority bundling, a bipolar
 //! (±1) model for ablations, similarity search helpers and an associative
-//! item memory.
+//! item memory. For batched pipelines it adds a contiguous
+//! [`HypervectorBatch`] arena whose rows are borrowed [`HvRef`]/[`HvMut`]
+//! views, and the word-slice [`kernels`] that every hot path — owned or
+//! batched — compiles down to.
 //!
 //! # Example
 //!
@@ -44,14 +47,17 @@
 #![warn(missing_docs)]
 
 mod accumulator;
+mod batch;
 mod binary;
 mod bipolar;
 mod error;
+pub mod kernels;
 mod memory;
 pub mod ops;
 pub mod similarity;
 
 pub use accumulator::{MajorityAccumulator, TieBreak};
+pub use batch::{BatchChunkMut, HvMut, HvRef, HypervectorBatch};
 pub use binary::{BinaryHypervector, Bits};
 pub use bipolar::{BipolarAccumulator, BipolarHypervector};
 pub use error::HdcError;

@@ -14,7 +14,7 @@
 //! assert!(distance < 0.3);
 //! ```
 
-use crate::BinaryHypervector;
+use crate::{BinaryHypervector, HvRef};
 
 /// Finds the candidate with the smallest normalized Hamming distance to
 /// `query`, returning its index and that distance. Returns `None` when
@@ -27,9 +27,23 @@ pub fn nearest<'a, I>(query: &BinaryHypervector, candidates: I) -> Option<(usize
 where
     I: IntoIterator<Item = &'a BinaryHypervector>,
 {
+    nearest_to_row(query.view(), candidates)
+}
+
+/// [`nearest`] over a borrowed row view (e.g. one row of a
+/// [`HypervectorBatch`](crate::HypervectorBatch)) — the form batched
+/// inference uses to search without materializing owned queries.
+///
+/// # Panics
+///
+/// Panics if any candidate's dimensionality differs from the query's.
+pub fn nearest_to_row<'a, I>(query: HvRef<'_>, candidates: I) -> Option<(usize, f64)>
+where
+    I: IntoIterator<Item = &'a BinaryHypervector>,
+{
     let mut best: Option<(usize, usize)> = None;
     for (i, hv) in candidates.into_iter().enumerate() {
-        let d = query.hamming(hv);
+        let d = query.hamming(hv.view());
         if best.map_or(true, |(_, bd)| d < bd) {
             best = Some((i, d));
         }
@@ -65,24 +79,142 @@ where
         .collect()
 }
 
+/// A dense symmetric `n × n` similarity matrix stored as a single flat
+/// row-major allocation — the shape the paper's Figure 3 sweep consumes.
+///
+/// Produced by [`pairwise_similarity_matrix`]; one `Vec<f64>` replaces the
+/// `n + 1` allocations of the older nested-`Vec` representation.
+///
+/// ```
+/// use hdc_core::{similarity, BinaryHypervector};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(8);
+/// let items: Vec<_> = (0..3).map(|_| BinaryHypervector::random(10_000, &mut rng)).collect();
+/// let m = similarity::pairwise_similarity_matrix(&items);
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.get(0, 0), 1.0);
+/// assert_eq!(m.get(0, 2), m.get(2, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Builds a matrix directly from flat row-major values (e.g. for tests
+    /// or externally computed similarities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n * n`.
+    #[must_use]
+    pub fn from_values(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            n * n,
+            "expected {} values for an {n} × {n} matrix, found {}",
+            n * n,
+            values.len()
+        );
+        Self { n, values }
+    }
+
+    /// Side length `n` of the matrix.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the 0 × 0 matrix.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The similarity of members `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is `>= self.len()`.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.n && j < self.n,
+            "indices ({i}, {j}) out of range for {n} members",
+            n = self.n
+        );
+        self.values[i * self.n + j]
+    }
+
+    /// Row `i` as a contiguous slice of `n` similarities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(
+            i < self.n,
+            "row {i} out of range for {n} members",
+            n = self.n
+        );
+        &self.values[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Iterates over the rows in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.values.chunks_exact(self.n.max(1)).take(self.n)
+    }
+
+    /// The flat row-major backing storage (`n²` values).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Copies out the legacy nested-`Vec` shape (one allocation per row).
+    #[must_use]
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        self.rows().map(<[f64]>::to_vec).collect()
+    }
+}
+
 /// Computes the full pairwise similarity matrix `1 − δ` of a set of
-/// hypervectors (the quantity plotted in the paper's Figure 3).
+/// hypervectors (the quantity plotted in the paper's Figure 3), each pair
+/// evaluated once and mirrored.
 ///
 /// # Panics
 ///
 /// Panics if the hypervectors do not all share the same dimensionality.
-pub fn pairwise_similarity(hvs: &[BinaryHypervector]) -> Vec<Vec<f64>> {
+#[must_use]
+pub fn pairwise_similarity_matrix(hvs: &[BinaryHypervector]) -> SimilarityMatrix {
     let n = hvs.len();
-    let mut matrix = vec![vec![0.0; n]; n];
+    let mut values = vec![0.0; n * n];
     for i in 0..n {
-        matrix[i][i] = 1.0;
+        values[i * n + i] = 1.0;
         for j in (i + 1)..n {
             let s = hvs[i].similarity(&hvs[j]);
-            matrix[i][j] = s;
-            matrix[j][i] = s;
+            values[i * n + j] = s;
+            values[j * n + i] = s;
         }
     }
-    matrix
+    SimilarityMatrix { n, values }
+}
+
+/// Computes the pairwise similarity matrix in the legacy nested-`Vec`
+/// shape.
+///
+/// # Panics
+///
+/// Panics if the hypervectors do not all share the same dimensionality.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `pairwise_similarity_matrix`, which returns the flat `SimilarityMatrix`"
+)]
+pub fn pairwise_similarity(hvs: &[BinaryHypervector]) -> Vec<Vec<f64>> {
+    pairwise_similarity_matrix(hvs).to_nested()
 }
 
 #[cfg(test)]
@@ -165,15 +297,52 @@ mod tests {
         let items: Vec<_> = (0..6)
             .map(|_| BinaryHypervector::random(2_048, &mut r))
             .collect();
-        let m = pairwise_similarity(&items);
-        for (i, row) in m.iter().enumerate() {
-            assert_eq!(row[i], 1.0);
-            for (j, &value) in row.iter().enumerate() {
-                assert!((value - m[j][i]).abs() < 1e-12);
+        let m = pairwise_similarity_matrix(&items);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert_eq!(m.as_slice().len(), 36);
+        for i in 0..6 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..6 {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
                 if i != j {
-                    assert!((value - 0.5).abs() < 0.06);
+                    assert!((m.get(i, j) - 0.5).abs() < 0.06);
                 }
             }
         }
+    }
+
+    #[test]
+    fn deprecated_nested_shape_matches_flat_matrix() {
+        let mut r = rng();
+        let items: Vec<_> = (0..4)
+            .map(|_| BinaryHypervector::random(512, &mut r))
+            .collect();
+        let flat = pairwise_similarity_matrix(&items);
+        #[allow(deprecated)]
+        let nested = pairwise_similarity(&items);
+        assert_eq!(flat.to_nested(), nested);
+        for (i, row) in flat.rows().enumerate() {
+            assert_eq!(row, flat.row(i));
+            assert_eq!(row, nested[i].as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_well_formed() {
+        let m = pairwise_similarity_matrix(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.rows().count(), 0);
+        assert!(m.to_nested().is_empty());
+    }
+
+    #[test]
+    fn nearest_to_row_matches_nearest() {
+        let mut r = rng();
+        let items: Vec<_> = (0..6)
+            .map(|_| BinaryHypervector::random(1_030, &mut r))
+            .collect();
+        let q = items[4].corrupt(0.2, &mut r);
+        assert_eq!(nearest(&q, &items), nearest_to_row(q.view(), &items));
     }
 }

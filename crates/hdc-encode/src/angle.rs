@@ -1,6 +1,9 @@
 use hdc_basis::{BasisSet, CircularBasis};
-use hdc_core::{BinaryHypervector, HdcError};
+use hdc_core::{BinaryHypervector, HdcError, HvMut};
 use rand::Rng;
+
+use crate::table::HvTable;
+use crate::{Encoder, Radians};
 
 const TAU: f64 = std::f64::consts::TAU;
 
@@ -29,7 +32,7 @@ const TAU: f64 = std::f64::consts::TAU;
 /// ```
 #[derive(Debug, Clone)]
 pub struct AngleEncoder {
-    hvs: Vec<BinaryHypervector>,
+    table: HvTable,
 }
 
 impl AngleEncoder {
@@ -43,14 +46,8 @@ impl AngleEncoder {
     /// Returns [`HdcError::InvalidBasisSize`] if the basis has fewer than
     /// two members.
     pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
-        if basis.len() < 2 {
-            return Err(HdcError::InvalidBasisSize {
-                requested: basis.len(),
-                minimum: 2,
-            });
-        }
         Ok(Self {
-            hvs: basis.hypervectors().to_vec(),
+            table: HvTable::from_basis(basis, 2)?,
         })
     }
 
@@ -73,19 +70,19 @@ impl AngleEncoder {
     /// Number of sectors `m`.
     #[must_use]
     pub fn sectors(&self) -> usize {
-        self.hvs.len()
+        self.table.len()
     }
 
     /// Hypervector dimensionality.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.hvs[0].dim()
+        self.table.dim()
     }
 
     /// The sector whose center is nearest to `angle` (radians; wraps).
     #[must_use]
     pub fn index_of(&self, angle: f64) -> usize {
-        let m = self.hvs.len();
+        let m = self.table.len();
         let w = angle.rem_euclid(TAU);
         ((w / TAU * m as f64).round() as usize) % m
     }
@@ -98,17 +95,17 @@ impl AngleEncoder {
     #[must_use]
     pub fn angle_of(&self, index: usize) -> f64 {
         assert!(
-            index < self.hvs.len(),
+            index < self.table.len(),
             "sector {index} out of range for {}",
-            self.hvs.len()
+            self.table.len()
         );
-        TAU * index as f64 / self.hvs.len() as f64
+        TAU * index as f64 / self.table.len() as f64
     }
 
     /// Encodes an angle in radians (wrapped automatically).
     #[must_use]
     pub fn encode(&self, angle: f64) -> &BinaryHypervector {
-        &self.hvs[self.index_of(angle)]
+        self.table.get(self.index_of(angle))
     }
 
     /// Encodes a value from a periodic domain `[0, period)` — e.g.
@@ -134,15 +131,28 @@ impl AngleEncoder {
     /// Panics if `hv` has a different dimensionality than the encoder.
     #[must_use]
     pub fn decode(&self, hv: &BinaryHypervector) -> f64 {
-        let (idx, _) = hdc_core::similarity::nearest(hv, &self.hvs)
-            .expect("encoder always holds at least two sectors");
-        self.angle_of(idx)
+        self.angle_of(self.table.nearest(hv))
     }
 
     /// The stored sector hypervectors, sector 0 (angle 0) first.
     #[must_use]
     pub fn hypervectors(&self) -> &[BinaryHypervector] {
-        &self.hvs
+        self.table.hypervectors()
+    }
+}
+
+/// The trait input is a [`Radians`] angle (wrapped), as for
+/// [`encode`](AngleEncoder::encode) — a newtype rather than a bare `f64`
+/// so domain values meant for a [`ScalarEncoder`](crate::ScalarEncoder)
+/// cannot be fed to an angle encoder by accident; convert periodic domains
+/// with [`Radians::periodic`].
+impl Encoder<Radians> for AngleEncoder {
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn encode_into(&self, input: &Radians, mut out: HvMut<'_>) {
+        out.copy_from(self.table.get(self.index_of(input.0)).view());
     }
 }
 

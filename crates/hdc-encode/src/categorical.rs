@@ -1,6 +1,9 @@
 use hdc_basis::{BasisSet, RandomBasis};
-use hdc_core::{BinaryHypervector, HdcError};
+use hdc_core::{BinaryHypervector, HdcError, HvMut};
 use rand::Rng;
+
+use crate::table::HvTable;
+use crate::Encoder;
 
 /// Encoder for symbolic/categorical information (paper §3.1): each of `n`
 /// categories gets an independent random hypervector, so distinct categories
@@ -21,7 +24,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CategoricalEncoder {
-    hvs: Vec<BinaryHypervector>,
+    table: HvTable,
 }
 
 impl CategoricalEncoder {
@@ -34,9 +37,7 @@ impl CategoricalEncoder {
     /// [`HdcError::InvalidDimension`] if `dim == 0`.
     pub fn new(n: usize, dim: usize, rng: &mut impl Rng) -> Result<Self, HdcError> {
         let basis = RandomBasis::new(n, dim, rng)?;
-        Ok(Self {
-            hvs: basis.hypervectors().to_vec(),
-        })
+        Self::from_basis(&basis)
     }
 
     /// Creates an encoder from an existing basis set (cloning its members).
@@ -45,27 +46,21 @@ impl CategoricalEncoder {
     ///
     /// Returns [`HdcError::InvalidBasisSize`] if the basis is empty.
     pub fn from_basis<B: BasisSet + ?Sized>(basis: &B) -> Result<Self, HdcError> {
-        if basis.is_empty() {
-            return Err(HdcError::InvalidBasisSize {
-                requested: 0,
-                minimum: 1,
-            });
-        }
         Ok(Self {
-            hvs: basis.hypervectors().to_vec(),
+            table: HvTable::from_basis(basis, 1)?,
         })
     }
 
     /// Number of categories.
     #[must_use]
     pub fn categories(&self) -> usize {
-        self.hvs.len()
+        self.table.len()
     }
 
     /// Hypervector dimensionality.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.hvs[0].dim()
+        self.table.dim()
     }
 
     /// Encodes category `index`.
@@ -76,11 +71,11 @@ impl CategoricalEncoder {
     #[must_use]
     pub fn encode(&self, index: usize) -> &BinaryHypervector {
         assert!(
-            index < self.hvs.len(),
+            index < self.table.len(),
             "category {index} out of range for {} categories",
-            self.hvs.len()
+            self.table.len()
         );
-        &self.hvs[index]
+        self.table.get(index)
     }
 
     /// Decodes a (possibly noisy) hypervector to the most similar category.
@@ -90,15 +85,23 @@ impl CategoricalEncoder {
     /// Panics if `hv` has a different dimensionality than the encoder.
     #[must_use]
     pub fn decode(&self, hv: &BinaryHypervector) -> usize {
-        hdc_core::similarity::nearest(hv, &self.hvs)
-            .expect("encoder always holds at least one category")
-            .0
+        self.table.nearest(hv)
     }
 
     /// The stored category hypervectors.
     #[must_use]
     pub fn hypervectors(&self) -> &[BinaryHypervector] {
-        &self.hvs
+        self.table.hypervectors()
+    }
+}
+
+impl Encoder<usize> for CategoricalEncoder {
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn encode_into(&self, input: &usize, mut out: HvMut<'_>) {
+        out.copy_from(self.encode(*input).view());
     }
 }
 

@@ -17,6 +17,12 @@
 //! * [`SequenceEncoder`] — order-aware sequence and n-gram encodings via
 //!   permutation (paper §3.1).
 //!
+//! All five implement the unifying [`Encoder`] trait, whose
+//! [`encode_into`](Encoder::encode_into) writes directly into a borrowed
+//! packed row and whose [`encode_batch`](Encoder::encode_batch) fills a
+//! contiguous [`HypervectorBatch`](hdc_core::HypervectorBatch) arena in
+//! parallel, bit-identically to the per-sample loop.
+//!
 //! # Example
 //!
 //! ```
@@ -40,12 +46,15 @@
 
 mod angle;
 mod categorical;
+mod encoder;
 mod record;
 mod scalar;
 mod sequence;
+mod table;
 
 pub use angle::AngleEncoder;
 pub use categorical::CategoricalEncoder;
+pub use encoder::{Encoder, Radians};
 pub use hdc_core::HdcError;
 pub use record::RecordEncoder;
 pub use scalar::ScalarEncoder;

@@ -1,5 +1,7 @@
-use hdc_core::{BinaryHypervector, HdcError, MajorityAccumulator};
+use hdc_core::{BinaryHypervector, HdcError, HvMut, MajorityAccumulator, TieBreak};
 use rand::Rng;
+
+use crate::Encoder;
 
 /// Key–value record encoder: `⊕ᵢ Kᵢ ⊗ Vᵢ` (paper §6.1).
 ///
@@ -122,6 +124,35 @@ impl RecordEncoder {
     #[must_use]
     pub fn unbind(&self, record: &BinaryHypervector, field: usize) -> BinaryHypervector {
         self.key(field).bind(record)
+    }
+}
+
+/// The trait form of [`encode`](RecordEncoder::encode): the input is the
+/// slice of field values (one per key, in order) and bundling ties resolve
+/// with the deterministic [`TieBreak::Alternate`] policy instead of a
+/// caller RNG, so batched and per-sample encodings agree bit for bit.
+impl Encoder<[BinaryHypervector]> for RecordEncoder {
+    fn dim(&self) -> usize {
+        self.keys[0].dim()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the number of fields or any
+    /// value has the wrong dimensionality.
+    fn encode_into(&self, input: &[BinaryHypervector], mut out: HvMut<'_>) {
+        assert_eq!(
+            input.len(),
+            self.keys.len(),
+            "record arity mismatch: expected {}, found {}",
+            self.keys.len(),
+            input.len()
+        );
+        let mut acc = MajorityAccumulator::new(self.keys[0].dim());
+        for (key, value) in self.keys.iter().zip(input) {
+            acc.push(&key.bind(value));
+        }
+        out.copy_from(acc.finalize(TieBreak::Alternate).view());
     }
 }
 

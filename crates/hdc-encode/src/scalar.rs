@@ -1,6 +1,9 @@
 use hdc_basis::{BasisKind, BasisSet, LevelBasis};
-use hdc_core::{BinaryHypervector, HdcError};
+use hdc_core::{BinaryHypervector, HdcError, HvMut};
 use rand::Rng;
+
+use crate::table::HvTable;
+use crate::Encoder;
 
 /// Quantizing encoder `φ_L` for real numbers over an interval `[a, b]`
 /// (paper §3.2): `m` points `ξ_1 … ξ_m` are placed evenly over the interval
@@ -26,7 +29,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScalarEncoder {
-    hvs: Vec<BinaryHypervector>,
+    table: HvTable,
     low: f64,
     high: f64,
 }
@@ -49,14 +52,8 @@ impl ScalarEncoder {
         if !low.is_finite() || !high.is_finite() || low >= high {
             return Err(HdcError::InvalidInterval { low, high });
         }
-        if basis.len() < 2 {
-            return Err(HdcError::InvalidBasisSize {
-                requested: basis.len(),
-                minimum: 2,
-            });
-        }
         Ok(Self {
-            hvs: basis.hypervectors().to_vec(),
+            table: HvTable::from_basis(basis, 2)?,
             low,
             high,
         })
@@ -100,13 +97,13 @@ impl ScalarEncoder {
     /// Number of quantization levels `m`.
     #[must_use]
     pub fn levels(&self) -> usize {
-        self.hvs.len()
+        self.table.len()
     }
 
     /// Hypervector dimensionality.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.hvs[0].dim()
+        self.table.dim()
     }
 
     /// Lower bound of the encoded interval.
@@ -129,18 +126,18 @@ impl ScalarEncoder {
     #[must_use]
     pub fn value_of(&self, index: usize) -> f64 {
         assert!(
-            index < self.hvs.len(),
+            index < self.table.len(),
             "level {index} out of range for {}",
-            self.hvs.len()
+            self.table.len()
         );
-        self.low + index as f64 * (self.high - self.low) / (self.hvs.len() as f64 - 1.0)
+        self.low + index as f64 * (self.high - self.low) / (self.table.len() as f64 - 1.0)
     }
 
     /// The level whose grid point is nearest to `x` (clamped to the
     /// interval). NaN maps to the lowest level.
     #[must_use]
     pub fn index_of(&self, x: f64) -> usize {
-        let m = self.hvs.len();
+        let m = self.table.len();
         let clamped = x.clamp(self.low, self.high);
         if clamped.is_nan() {
             return 0;
@@ -152,7 +149,7 @@ impl ScalarEncoder {
     /// Encodes `x` as the hypervector of its nearest level.
     #[must_use]
     pub fn encode(&self, x: f64) -> &BinaryHypervector {
-        &self.hvs[self.index_of(x)]
+        self.table.get(self.index_of(x))
     }
 
     /// Decodes a (possibly noisy) hypervector back to the grid point of the
@@ -163,15 +160,23 @@ impl ScalarEncoder {
     /// Panics if `hv` has a different dimensionality than the encoder.
     #[must_use]
     pub fn decode(&self, hv: &BinaryHypervector) -> f64 {
-        let (idx, _) = hdc_core::similarity::nearest(hv, &self.hvs)
-            .expect("encoder always holds at least two levels");
-        self.value_of(idx)
+        self.value_of(self.table.nearest(hv))
     }
 
     /// The stored level hypervectors, lowest level first.
     #[must_use]
     pub fn hypervectors(&self) -> &[BinaryHypervector] {
-        &self.hvs
+        self.table.hypervectors()
+    }
+}
+
+impl Encoder<f64> for ScalarEncoder {
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn encode_into(&self, input: &f64, mut out: HvMut<'_>) {
+        out.copy_from(self.table.get(self.index_of(*input)).view());
     }
 }
 

@@ -1,7 +1,7 @@
-use hdc_core::{ops, BinaryHypervector, HdcError};
+use hdc_core::{ops, BinaryHypervector, HdcError, HvMut, MajorityAccumulator, TieBreak};
 use rand::Rng;
 
-use crate::CategoricalEncoder;
+use crate::{CategoricalEncoder, Encoder};
 
 /// Order-aware encoder for sequences of symbols (paper §3.1):
 /// `φ(w) = ⊕ᵢ Πⁱ φ_R(αᵢ)` — each symbol's random hypervector is permuted by
@@ -120,6 +120,27 @@ impl SequenceEncoder {
             .map(|w| self.encode_ngram(w).expect("window is non-empty"))
             .collect();
         ops::bundle(grams.iter(), rng).ok_or(HdcError::EmptyInput)
+    }
+}
+
+/// The trait form of [`encode`](SequenceEncoder::encode) with the
+/// deterministic [`TieBreak::Alternate`] policy instead of a caller RNG, so
+/// batched and per-sample encodings agree bit for bit.
+impl Encoder<[usize]> for SequenceEncoder {
+    fn dim(&self) -> usize {
+        self.symbols.dim()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or contains an out-of-range symbol.
+    fn encode_into(&self, input: &[usize], mut out: HvMut<'_>) {
+        assert!(!input.is_empty(), "cannot encode an empty sequence");
+        let mut acc = MajorityAccumulator::new(self.dim());
+        for (i, &symbol) in input.iter().enumerate() {
+            acc.push(&self.symbols.encode(symbol).permute(i as isize));
+        }
+        out.copy_from(acc.finalize(TieBreak::Alternate).view());
     }
 }
 

@@ -1,0 +1,85 @@
+//! Shared storage behind the basis-backed encoders.
+//!
+//! [`ScalarEncoder`](crate::ScalarEncoder), [`AngleEncoder`](crate::AngleEncoder)
+//! and [`CategoricalEncoder`](crate::CategoricalEncoder) are all "look up a
+//! member of a fixed hypervector table" encoders; this module holds the one
+//! implementation of that table (length/dimension accessors, indexed reads,
+//! nearest-member decoding) they previously each carried a copy of.
+
+use hdc_basis::BasisSet;
+use hdc_core::{BinaryHypervector, HdcError, HvRef};
+
+/// An ordered table of equally sized hypervectors cloned out of a basis
+/// set, with nearest-member decoding.
+#[derive(Debug, Clone)]
+pub(crate) struct HvTable {
+    hvs: Vec<BinaryHypervector>,
+}
+
+impl HvTable {
+    /// Clones the members of a basis set, requiring at least `minimum`
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if the basis holds fewer than
+    /// `minimum` members.
+    pub(crate) fn from_basis<B: BasisSet + ?Sized>(
+        basis: &B,
+        minimum: usize,
+    ) -> Result<Self, HdcError> {
+        if basis.len() < minimum {
+            return Err(HdcError::InvalidBasisSize {
+                requested: basis.len(),
+                minimum,
+            });
+        }
+        Ok(Self {
+            hvs: basis.hypervectors().to_vec(),
+        })
+    }
+
+    /// Number of stored hypervectors.
+    pub(crate) fn len(&self) -> usize {
+        self.hvs.len()
+    }
+
+    /// Dimensionality shared by every member.
+    pub(crate) fn dim(&self) -> usize {
+        self.hvs[0].dim()
+    }
+
+    /// The `index`-th member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub(crate) fn get(&self, index: usize) -> &BinaryHypervector {
+        &self.hvs[index]
+    }
+
+    /// All members in order.
+    pub(crate) fn hypervectors(&self) -> &[BinaryHypervector] {
+        &self.hvs
+    }
+
+    /// Index of the member most similar to `hv` (ties to the earliest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv`'s dimensionality differs from the table's.
+    pub(crate) fn nearest(&self, hv: &BinaryHypervector) -> usize {
+        self.nearest_row(hv.view())
+    }
+
+    /// [`nearest`](Self::nearest) over a borrowed row view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's dimensionality differs from the table's.
+    pub(crate) fn nearest_row(&self, row: HvRef<'_>) -> usize {
+        hdc_core::similarity::nearest_to_row(row, &self.hvs)
+            .expect("table always holds at least one member")
+            .0
+    }
+}

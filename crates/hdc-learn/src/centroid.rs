@@ -1,4 +1,4 @@
-use hdc_core::{BinaryHypervector, HdcError, MajorityAccumulator};
+use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, MajorityAccumulator};
 use rand::Rng;
 
 /// Incremental trainer for a [`CentroidClassifier`]: one majority
@@ -76,6 +76,93 @@ impl CentroidTrainer {
         Ok(())
     }
 
+    /// Adds a whole batch of encoded samples in one parallel pass: the rows
+    /// are partitioned across the worker pool, each worker accumulates into
+    /// private per-class partial accumulators, and the partials are merged
+    /// in row order. Because counter addition commutes, the resulting
+    /// accumulator state is **bit-identical** to observing the samples one
+    /// by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `labels.len()` differs
+    /// from `batch.len()` and [`HdcError::LabelOutOfRange`] for an unknown
+    /// label (in which case nothing is accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's dimensionality differs from the trainer's.
+    pub fn observe_batch(
+        &mut self,
+        batch: &HypervectorBatch,
+        labels: &[usize],
+    ) -> Result<(), HdcError> {
+        if batch.len() != labels.len() {
+            return Err(HdcError::BatchLengthMismatch {
+                rows: batch.len(),
+                labels: labels.len(),
+            });
+        }
+        let classes = self.accumulators.len();
+        if let Some(&label) = labels.iter().find(|&&l| l >= classes) {
+            return Err(HdcError::LabelOutOfRange { label, classes });
+        }
+        let dim = self.accumulators[0].dim();
+        assert_eq!(
+            dim,
+            batch.dim(),
+            "dimension mismatch: expected {}, found {}",
+            dim,
+            batch.dim()
+        );
+        // Forking pays a per-worker set of `classes` full accumulators plus
+        // an O(workers · classes · dim) zero-init and merge, so it only
+        // wins when the per-row work clearly exceeds that overhead —
+        // roughly rows > workers · classes. Below that — or with a single
+        // worker — accumulate straight into the trainer (same counter
+        // arithmetic, so still bit-identical).
+        let workers = minipool::max_threads();
+        if workers <= 1 || batch.len() < workers.saturating_mul(classes.max(4)) {
+            for (i, &label) in labels.iter().enumerate() {
+                self.accumulators[label].push_row(batch.row(i));
+                self.counts[label] += 1;
+            }
+            return Ok(());
+        }
+        let partials = minipool::par_fold_ranges(
+            batch.len(),
+            |range| {
+                let mut accumulators: Vec<MajorityAccumulator> = (0..classes)
+                    .map(|_| MajorityAccumulator::new(dim))
+                    .collect();
+                let mut counts = vec![0usize; classes];
+                for i in range {
+                    accumulators[labels[i]].push_row(batch.row(i));
+                    counts[labels[i]] += 1;
+                }
+                (accumulators, counts)
+            },
+            |(mut accumulators, mut counts), (other_accs, other_counts)| {
+                for (a, b) in accumulators.iter_mut().zip(&other_accs) {
+                    a.merge(b);
+                }
+                for (a, b) in counts.iter_mut().zip(&other_counts) {
+                    *a += b;
+                }
+                (accumulators, counts)
+            },
+        );
+        if let Some((accumulators, counts)) = partials {
+            for (dst, src) in self.accumulators.iter_mut().zip(&accumulators) {
+                dst.merge(src);
+            }
+            for (dst, src) in self.counts.iter_mut().zip(&counts) {
+                *dst += src;
+            }
+        }
+        Ok(())
+    }
+
     /// Number of samples observed per class.
     #[must_use]
     pub fn counts(&self) -> &[usize] {
@@ -141,6 +228,25 @@ impl CentroidClassifier {
         Ok(trainer.finish(rng))
     }
 
+    /// Fits a model from a contiguous batch of encoded samples in one
+    /// parallel pass (see [`CentroidTrainer::observe_batch`]). Produces the
+    /// same model as [`fit`](Self::fit) over the same samples and RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for zero classes/dimension, a label count that
+    /// differs from the batch length, or an out-of-range label.
+    pub fn fit_batch(
+        batch: &HypervectorBatch,
+        labels: &[usize],
+        classes: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, HdcError> {
+        let mut trainer = CentroidTrainer::new(classes, batch.dim())?;
+        trainer.observe_batch(batch, labels)?;
+        Ok(trainer.finish(rng))
+    }
+
     /// Creates a classifier directly from externally built class-vectors.
     ///
     /// # Errors
@@ -199,7 +305,9 @@ impl CentroidClassifier {
         (best, distances)
     }
 
-    /// Classifies a batch, returning predicted labels.
+    /// Classifies a batch, returning predicted labels. Serial; prefer
+    /// [`predict_batch_par`](Self::predict_batch_par) or
+    /// [`predict_rows`](Self::predict_rows) for large batches.
     ///
     /// # Panics
     ///
@@ -209,6 +317,42 @@ impl CentroidClassifier {
         I: IntoIterator<Item = &'a BinaryHypervector>,
     {
         queries.into_iter().map(|q| self.predict(q)).collect()
+    }
+
+    /// Classifies a slice of queries in parallel across the worker pool.
+    /// Queries are independent, so the labels are bit-identical to (and in
+    /// the same order as) the serial [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_batch_par(&self, queries: &[BinaryHypervector]) -> Vec<usize> {
+        if queries.len() < minipool::MIN_PARALLEL_ITEMS {
+            return self.predict_batch(queries);
+        }
+        minipool::par_map_indexed(queries, |_, q| self.predict(q))
+    }
+
+    /// Classifies every row of a contiguous [`HypervectorBatch`] in
+    /// parallel — the allocation-free end of the batched inference path
+    /// (rows are compared against the class-vectors through borrowed
+    /// views).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_rows(&self, batch: &HypervectorBatch) -> Vec<usize> {
+        let row_label = |i: usize| {
+            hdc_core::similarity::nearest_to_row(batch.row(i), &self.class_vectors)
+                .expect("classifier always holds at least one class-vector")
+                .0
+        };
+        if batch.len() < minipool::MIN_PARALLEL_ITEMS {
+            return (0..batch.len()).map(row_label).collect();
+        }
+        minipool::par_generate(batch.len(), row_label)
     }
 }
 
@@ -335,6 +479,63 @@ mod tests {
         for (q, b) in queries.iter().zip(&batch) {
             assert_eq!(model.predict(q), *b);
         }
+    }
+
+    #[test]
+    fn fit_batch_is_bit_identical_to_serial_fit() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 4, 12, 0.25);
+        let hvs: Vec<BinaryHypervector> = train.iter().map(|(h, _)| h.clone()).collect();
+        let labels: Vec<usize> = train.iter().map(|(_, l)| *l).collect();
+        let batch = HypervectorBatch::from_vectors(&hvs).unwrap();
+
+        // Same RNG seed on both sides: identical counters mean identical
+        // tie-break draws, so the models must match bit for bit.
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let serial =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 4, 10_000, &mut rng_a)
+                .unwrap();
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let batched = CentroidClassifier::fit_batch(&batch, &labels, 4, &mut rng_b).unwrap();
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial() {
+        let mut r = rng();
+        let (protos, train) = noisy_problem(&mut r, 3, 10, 0.2);
+        let model =
+            CentroidClassifier::fit(train.iter().map(|(h, l)| (h, *l)), 3, 10_000, &mut r).unwrap();
+        let queries: Vec<BinaryHypervector> = (0..23)
+            .map(|i| protos[i % 3].corrupt(0.2, &mut r))
+            .collect();
+        let serial = model.predict_batch(&queries);
+        assert_eq!(model.predict_batch_par(&queries), serial);
+        let batch = HypervectorBatch::from_vectors(&queries).unwrap();
+        assert_eq!(model.predict_rows(&batch), serial);
+    }
+
+    #[test]
+    fn observe_batch_validates_inputs() {
+        let mut r = rng();
+        let mut trainer = CentroidTrainer::new(2, 64).unwrap();
+        let batch =
+            HypervectorBatch::from_vectors(&[BinaryHypervector::random(64, &mut r)]).unwrap();
+        assert!(matches!(
+            trainer.observe_batch(&batch, &[0, 1]),
+            Err(HdcError::BatchLengthMismatch { rows: 1, labels: 2 })
+        ));
+        assert!(matches!(
+            trainer.observe_batch(&batch, &[2]),
+            Err(HdcError::LabelOutOfRange {
+                label: 2,
+                classes: 2
+            })
+        ));
+        // A failed call accumulates nothing.
+        assert_eq!(trainer.counts(), &[0, 0]);
+        trainer.observe_batch(&batch, &[1]).unwrap();
+        assert_eq!(trainer.counts(), &[0, 1]);
     }
 
     #[test]

@@ -234,9 +234,32 @@ impl RegressionModel {
     /// Panics if the query's dimensionality differs from the model's.
     #[must_use]
     pub fn predict(&self, query: &BinaryHypervector) -> f64 {
+        self.predict_row(query.view())
+    }
+
+    /// [`predict`](Self::predict) over a borrowed row view — the
+    /// allocation-light path batched inference uses (no owned copy of the
+    /// query is ever made).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_row(&self, query: hdc_core::HvRef<'_>) -> f64 {
         match &self.form {
             ModelForm::Binary(model) => {
-                let noisy_label = model.bind(query);
+                // M ⊗ φ(x̂), computed word-wise into the single owned
+                // buffer the decode needs anyway.
+                assert_eq!(
+                    model.dim(),
+                    query.dim(),
+                    "dimension mismatch: expected {}, found {}",
+                    model.dim(),
+                    query.dim()
+                );
+                let mut words = model.as_words().to_vec();
+                hdc_core::kernels::xor_into(&mut words, query.as_words());
+                let noisy_label = BinaryHypervector::from_words(model.dim(), words);
                 self.label_encoder.decode(&noisy_label)
             }
             ModelForm::Counts(counts) => {
@@ -248,12 +271,10 @@ impl RegressionModel {
                     query.dim()
                 );
                 // The soft unbinding M ⊗ φ(x̂): XOR with a one-bit inverts
-                // the majority bit, i.e. flips the counter's sign.
-                let mut signed = vec![0i64; counts.len()];
-                for (i, bit) in query.bits().enumerate() {
-                    let c = i64::from(counts[i]);
-                    signed[i] = if bit { -c } else { c };
-                }
+                // the majority bit, i.e. flips the counter's sign. Copy the
+                // counters, then flip only at the query's set bits.
+                let mut signed: Vec<i64> = counts.iter().map(|&c| i64::from(c)).collect();
+                hdc_core::kernels::for_each_set_bit(query.as_words(), |i| signed[i] = -signed[i]);
                 // score(L) = Σ_b signed_b · bipolar(L_b)
                 //          = 2·Σ_{b ∈ ones(L)} signed_b − Σ_b signed_b;
                 // the second term is constant over labels, so rank by the
@@ -265,14 +286,9 @@ impl RegressionModel {
                     .enumerate()
                     .map(|(j, label_hv)| {
                         let mut sum = 0i64;
-                        for (word_idx, &word) in label_hv.as_words().iter().enumerate() {
-                            let mut w = word;
-                            while w != 0 {
-                                let bit = w.trailing_zeros() as usize;
-                                sum += signed[word_idx * 64 + bit];
-                                w &= w - 1;
-                            }
-                        }
+                        hdc_core::kernels::for_each_set_bit(label_hv.as_words(), |i| {
+                            sum += signed[i];
+                        });
                         (j, sum)
                     })
                     .max_by_key(|&(_, score)| score)
@@ -283,7 +299,9 @@ impl RegressionModel {
         }
     }
 
-    /// Predicts a batch of encoded queries.
+    /// Predicts a batch of encoded queries. Serial; prefer
+    /// [`predict_batch_par`](Self::predict_batch_par) or
+    /// [`predict_rows`](Self::predict_rows) for large batches.
     ///
     /// # Panics
     ///
@@ -293,6 +311,36 @@ impl RegressionModel {
         I: IntoIterator<Item = &'a BinaryHypervector>,
     {
         queries.into_iter().map(|q| self.predict(q)).collect()
+    }
+
+    /// Predicts a slice of queries in parallel across the worker pool.
+    /// Queries are independent, so the predictions are bit-identical to
+    /// (and in the same order as) the serial
+    /// [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_batch_par(&self, queries: &[BinaryHypervector]) -> Vec<f64> {
+        if queries.len() < minipool::MIN_PARALLEL_ITEMS {
+            return self.predict_batch(queries);
+        }
+        minipool::par_map_indexed(queries, |_, q| self.predict(q))
+    }
+
+    /// Predicts every row of a contiguous [`HypervectorBatch`](hdc_core::HypervectorBatch)
+    /// in parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_rows(&self, batch: &hdc_core::HypervectorBatch) -> Vec<f64> {
+        if batch.len() < minipool::MIN_PARALLEL_ITEMS {
+            return batch.rows().map(|row| self.predict_row(row)).collect();
+        }
+        minipool::par_generate(batch.len(), |i| self.predict_row(batch.row(i)))
     }
 }
 
@@ -519,6 +567,10 @@ mod tests {
         for (q, b) in queries.iter().zip(&batch) {
             assert_eq!(model.predict(q), *b);
         }
+        // The parallel forms are bit-identical to the serial loop.
+        assert_eq!(model.predict_batch_par(&queries), batch);
+        let arena = hdc_core::HypervectorBatch::from_vectors(&queries).unwrap();
+        assert_eq!(model.predict_rows(&arena), batch);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use hdc_learn as learn;
 pub use dirstats;
 
 pub use hdc_core::{
-    BinaryHypervector, BipolarHypervector, HdcError, ItemMemory, MajorityAccumulator, TieBreak,
-    DEFAULT_DIMENSION,
+    BinaryHypervector, BipolarHypervector, HdcError, HvMut, HvRef, HypervectorBatch, ItemMemory,
+    MajorityAccumulator, TieBreak, DEFAULT_DIMENSION,
 };
+pub use hdc_encode::{Encoder, Radians};

@@ -1,0 +1,166 @@
+//! Property tests for the batched execution layer: every batch API must be
+//! **bit-identical** to the per-sample loop it replaces — including at
+//! dimensionalities that are not multiples of the 64-bit word size, and for
+//! accumulators driven through subtraction-heavy sequences under every
+//! [`TieBreak`] policy.
+
+use hdc::core::similarity;
+use hdc::encode::{Encoder, ScalarEncoder};
+use hdc::learn::{CentroidClassifier, CentroidTrainer, RegressionModel};
+use hdc::{BinaryHypervector, HypervectorBatch, MajorityAccumulator, TieBreak};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+proptest! {
+    /// Batched encoding fills the arena with exactly the per-sample bits,
+    /// for dimensions straddling word boundaries.
+    #[test]
+    fn encode_batch_matches_per_sample(seed in 0u64..200, dim in 1usize..200, n in 0usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = ScalarEncoder::with_levels(0.0, 1.0, 8, dim, &mut rng).unwrap();
+        let values: Vec<f64> = (0..n).map(|_| rng.random_range(-0.2f64..1.2)).collect();
+        let batch = encoder.encode_batch(&values);
+        prop_assert_eq!(batch.len(), n);
+        prop_assert_eq!(batch.dim(), dim);
+        for (row, &x) in batch.rows().zip(&values) {
+            prop_assert_eq!(row.to_hypervector(), encoder.encode(x).clone());
+        }
+    }
+
+    /// The arena round-trips owned hypervectors exactly at any dimension.
+    #[test]
+    fn arena_round_trip_is_lossless(seed in 0u64..200, dim in 1usize..300, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<BinaryHypervector> =
+            (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let batch = HypervectorBatch::from_vectors(&items).unwrap();
+        prop_assert_eq!(batch.to_vectors(), items);
+    }
+
+    /// Parallel classification (slice and arena forms) returns the same
+    /// labels, in the same order, as the serial loop.
+    #[test]
+    fn predict_batch_matches_serial(seed in 0u64..100, dim in 65usize..400, classes in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let protos: Vec<BinaryHypervector> =
+            (0..classes).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let train: Vec<(BinaryHypervector, usize)> = (0..classes * 6)
+            .map(|i| (protos[i % classes].corrupt(0.2, &mut rng), i % classes))
+            .collect();
+        let model = CentroidClassifier::fit(
+            train.iter().map(|(h, l)| (h, *l)), classes, dim, &mut rng).unwrap();
+        let queries: Vec<BinaryHypervector> =
+            (0..17).map(|i| protos[i % classes].corrupt(0.2, &mut rng)).collect();
+
+        let serial: Vec<usize> = queries.iter().map(|q| model.predict(q)).collect();
+        prop_assert_eq!(model.predict_batch_par(&queries), serial.clone());
+        let arena = HypervectorBatch::from_vectors(&queries).unwrap();
+        prop_assert_eq!(model.predict_rows(&arena), serial);
+    }
+
+    /// Parallel batch fitting merges per-worker partial accumulators into
+    /// exactly the serial counters, so with equal RNG streams the finished
+    /// models match bit for bit.
+    #[test]
+    fn fit_batch_matches_serial_fit(seed in 0u64..100, dim in 1usize..300, classes in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<BinaryHypervector> =
+            (0..classes * 5).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let labels: Vec<usize> = (0..samples.len()).map(|i| i % classes).collect();
+        let batch = HypervectorBatch::from_vectors(&samples).unwrap();
+
+        let mut serial = CentroidTrainer::new(classes, dim).unwrap();
+        for (hv, &label) in samples.iter().zip(&labels) {
+            serial.observe(hv, label).unwrap();
+        }
+        let mut batched = CentroidTrainer::new(classes, dim).unwrap();
+        batched.observe_batch(&batch, &labels).unwrap();
+        prop_assert_eq!(batched.counts(), serial.counts());
+
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xAB);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xAB);
+        prop_assert_eq!(batched.finish(&mut rng_a), serial.finish(&mut rng_b));
+    }
+
+    /// Subtraction-heavy accumulator sequences: the word-slice accumulate
+    /// kernel agrees with a naive per-bit reference, and every `TieBreak`
+    /// policy resolves the (frequent) zero counters identically.
+    #[test]
+    fn accumulator_parity_under_subtraction(
+        seed in 0u64..300,
+        dim in 1usize..200,
+        ops in proptest::collection::vec(0usize..4, 1..24),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<BinaryHypervector> =
+            (0..4).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let mut acc = MajorityAccumulator::new(dim);
+        let mut reference = vec![0i64; dim];
+        for (step, &op) in ops.iter().enumerate() {
+            let hv = &pool[step % pool.len()];
+            // Bias towards subtraction so exact ties are common.
+            let weight: i32 = match op {
+                0 => 1,
+                1 => -1,
+                2 => -2,
+                _ => 3,
+            };
+            acc.push_weighted(hv, weight);
+            for (i, bit) in hv.bits().enumerate() {
+                reference[i] += i64::from(if bit { weight } else { -weight });
+            }
+        }
+        for (i, &c) in acc.counts().iter().enumerate() {
+            prop_assert_eq!(i64::from(c), reference[i]);
+        }
+        for tie in [TieBreak::Zero, TieBreak::One, TieBreak::Alternate] {
+            let expected = BinaryHypervector::from_fn(dim, |i| match reference[i].cmp(&0) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => match tie {
+                    TieBreak::Zero => false,
+                    TieBreak::One => true,
+                    TieBreak::Alternate => i % 2 == 0,
+                },
+            });
+            prop_assert_eq!(acc.finalize(tie), expected);
+        }
+    }
+
+    /// The flat `SimilarityMatrix` agrees with the deprecated nested shape.
+    #[test]
+    fn similarity_matrix_matches_deprecated_shim(seed in 0u64..100, n in 0usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items: Vec<BinaryHypervector> =
+            (0..n).map(|_| BinaryHypervector::random(257, &mut rng)).collect();
+        let flat = similarity::pairwise_similarity_matrix(&items);
+        #[allow(deprecated)]
+        let nested = similarity::pairwise_similarity(&items);
+        prop_assert_eq!(flat.to_nested(), nested);
+    }
+}
+
+/// Non-proptest check: parallel regression prediction is bit-identical to
+/// the serial loop on a realistic encoder pipeline.
+#[test]
+fn regression_parallel_prediction_matches_serial() {
+    let mut rng = StdRng::seed_from_u64(0x9E6);
+    let input = ScalarEncoder::with_levels(0.0, 1.0, 32, 4_099, &mut rng).unwrap();
+    let label = ScalarEncoder::with_levels(0.0, 1.0, 32, 4_099, &mut rng).unwrap();
+    let model = RegressionModel::fit(
+        (0..80).map(|i| {
+            let x = i as f64 / 79.0;
+            (input.encode(x), x)
+        }),
+        label,
+        &mut rng,
+    )
+    .unwrap();
+    let queries: Vec<BinaryHypervector> = (0..31)
+        .map(|i| input.encode(i as f64 / 30.0).corrupt(0.05, &mut rng))
+        .collect();
+    let serial: Vec<f64> = queries.iter().map(|q| model.predict(q)).collect();
+    assert_eq!(model.predict_batch_par(&queries), serial);
+    let arena = HypervectorBatch::from_vectors(&queries).unwrap();
+    assert_eq!(model.predict_rows(&arena), serial);
+}

@@ -1,0 +1,253 @@
+//! Minimal scoped data-parallel helpers for the batched execution layer.
+//!
+//! The build environment has no network access to a crates.io mirror, so
+//! instead of `rayon` this workspace vendors the thin slice of data
+//! parallelism its batch APIs need: fork–join over index ranges, slices and
+//! mutable chunks, built directly on [`std::thread::scope`]. There is no
+//! persistent pool, no work stealing and no `unsafe` — each call spawns at
+//! most [`max_threads`] scoped workers over statically partitioned chunks,
+//! which is the right shape for the workspace's embarrassingly parallel
+//! workloads (per-row encoding, per-query similarity search, per-level basis
+//! interpolation) where every chunk costs roughly the same.
+//!
+//! Every helper is **deterministic**: the partitioning depends only on the
+//! input length and thread count, workers write disjoint output slots, and
+//! results are returned in input order — so parallel output is bit-identical
+//! to the serial loop it replaces, regardless of scheduling.
+//!
+//! The worker count comes from [`std::thread::available_parallelism`] and
+//! can be overridden (e.g. pinned to 1 in CI) with the `MINIPOOL_THREADS`
+//! environment variable.
+//!
+//! ```
+//! let squares = minipool::par_map_indexed(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Advisory minimum item count before fanning out when each item costs on
+/// the order of a microsecond (one hypervector row op): below this, thread
+/// spawn/join overhead (tens of microseconds per worker) outweighs the
+/// work, so call sites should run their serial loop instead.
+///
+/// The helpers do **not** apply this automatically — some callers pass a
+/// handful of items that each represent a large chunk of work (e.g. one
+/// arena block per worker), where fanning out 2 items is exactly right.
+pub const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// The number of worker threads the helpers fan out to: the value of the
+/// `MINIPOOL_THREADS` environment variable if set and positive, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unavailable).
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(value) = std::env::var("MINIPOOL_THREADS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `workers` contiguous chunk lengths whose
+/// sum is `len`, front-loading the remainder so lengths differ by at most 1.
+fn chunk_lengths(len: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    (0..workers)
+        .map(|w| base + usize::from(w < extra))
+        .filter(|&l| l > 0)
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, returning results in input order.
+///
+/// `f` is called exactly once per element with `(index, &item)`. The output
+/// is bit-identical to `items.iter().enumerate().map(..).collect()`.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_generate(items.len(), |i| f(i, &items[i]))
+}
+
+/// Builds a `Vec` of length `len` by evaluating `f(index)` in parallel.
+///
+/// Order-preserving and deterministic: slot `i` always holds `f(i)`. Each
+/// worker collects its contiguous range into its own `Vec` and the partial
+/// vectors are concatenated in range order — no intermediate full-size
+/// scratch buffer.
+pub fn par_generate<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_fold_ranges(
+        len,
+        |range| range.map(&f).collect::<Vec<U>>(),
+        |mut acc, mut next| {
+            acc.append(&mut next);
+            acc
+        },
+    )
+    .unwrap_or_default()
+}
+
+/// Runs `f(index, &mut item)` over every element of `data` in parallel,
+/// partitioning the slice into contiguous per-worker chunks.
+pub fn par_fill_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = data.len();
+    let lengths = chunk_lengths(len, max_threads());
+    if len == 0 {
+        return;
+    }
+    if lengths.len() <= 1 {
+        for (i, item) in data.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut start = 0;
+        for length in lengths {
+            let (head, tail) = rest.split_at_mut(length);
+            rest = tail;
+            let base = start;
+            start += length;
+            scope.spawn(move || {
+                for (offset, item) in head.iter_mut().enumerate() {
+                    f(base + offset, item);
+                }
+            });
+        }
+    });
+}
+
+/// Folds a partition of `0..len` in parallel and merges the per-worker
+/// results: each worker runs `fold(range)` on one contiguous range, and the
+/// partial results are `merge`d **in range order**, so any merge that is
+/// associative over concatenated ranges (sums, per-class accumulators,
+/// ordered concatenation) reproduces the serial result exactly.
+pub fn par_fold_ranges<A, F, M>(len: usize, fold: F, mut merge: M) -> Option<A>
+where
+    A: Send,
+    F: Fn(std::ops::Range<usize>) -> A + Sync,
+    M: FnMut(A, A) -> A,
+{
+    let lengths = chunk_lengths(len, max_threads());
+    if len == 0 {
+        return None;
+    }
+    if lengths.len() <= 1 {
+        return Some(fold(0..len));
+    }
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let fold = &fold;
+        let mut handles = Vec::with_capacity(lengths.len());
+        let mut start = 0;
+        for length in lengths {
+            let range = start..start + length;
+            start = range.end;
+            handles.push(scope.spawn(move || fold(range)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("minipool worker panicked"))
+            .collect()
+    });
+    let mut iter = partials.into_iter();
+    let first = iter.next()?;
+    Some(iter.fold(first, &mut merge))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_lengths_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let lengths = chunk_lengths(len, workers);
+                assert_eq!(lengths.iter().sum::<usize>(), len, "len={len} w={workers}");
+                assert!(lengths.iter().all(|&l| l > 0) || len == 0);
+                if len > 0 {
+                    let min = lengths.iter().min().unwrap();
+                    let max = lengths.iter().max().unwrap();
+                    assert!(max - min <= 1, "uneven split for len={len} w={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..997).collect();
+        let doubled = par_map_indexed(&items, |i, &x| {
+            assert_eq!(i, x);
+            2 * x
+        });
+        assert_eq!(doubled, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_generate_matches_serial() {
+        assert_eq!(
+            par_generate(10, |i| i * i),
+            (0..10).map(|i| i * i).collect::<Vec<_>>()
+        );
+        assert!(par_generate(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_fill_visits_every_slot_once() {
+        let mut data = vec![0usize; 313];
+        par_fill_indexed(&mut data, |i, slot| *slot = i + 1);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i + 1);
+        }
+    }
+
+    #[test]
+    fn par_fold_sums_in_order() {
+        let total = par_fold_ranges(
+            1_000,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, Some(499_500));
+        assert_eq!(par_fold_ranges(0, |_| 0u64, |a, b| a + b), None);
+        // Order-sensitive merge (concatenation) still reproduces the serial
+        // result because partials merge in range order.
+        let concat = par_fold_ranges(
+            26,
+            |range| range.map(|i| (b'a' + i as u8) as char).collect::<String>(),
+            |mut a, b| {
+                a.push_str(&b);
+                a
+            },
+        );
+        assert_eq!(concat.as_deref(), Some("abcdefghijklmnopqrstuvwxyz"));
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}
