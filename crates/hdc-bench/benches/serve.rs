@@ -1,0 +1,193 @@
+//! Serving-layer benchmarks: consistent-hash routing, sharded vs unsharded
+//! batched prediction, and the regression integer readout.
+//!
+//! * **serve_route** — grouping a keyed batch by owning shard (the pure
+//!   routing overhead a fleet pays before any prediction runs).
+//! * **serve_predict** — `ShardedModel::predict_batch` (route + per-shard
+//!   sub-batches + per-shard `predict_rows` + merge) against the unsharded
+//!   `predict_rows` baseline, at 1/2/4 shards. Outputs are bit-identical by
+//!   construction; the delta is the cost of the serving indirection.
+//! * **regression_readout** — `RegressionModel` integer-readout prediction.
+//!   Since PR 3 the per-query score is computed by the fused
+//!   `kernels::masked_signed_sum` walk with **zero** per-query heap
+//!   allocations (the old path materialized a `Vec<i64>` of flipped
+//!   counters per query); the bench tracks that hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_core::{BinaryHypervector, HypervectorBatch};
+use hdc_encode::ScalarEncoder;
+use hdc_learn::{CentroidClassifier, RegressionModel};
+use hdc_serve::ShardedModel;
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+const DIM: usize = 10_000;
+const BATCH: usize = 256;
+const CLASSES: usize = 16;
+
+fn setup(rng: &mut StdRng) -> (CentroidClassifier, HypervectorBatch, Vec<String>) {
+    let protos: Vec<BinaryHypervector> = (0..CLASSES)
+        .map(|_| BinaryHypervector::random(DIM, rng))
+        .collect();
+    let classifier = CentroidClassifier::from_class_vectors(protos.clone()).expect("non-empty");
+    let queries: Vec<BinaryHypervector> = (0..BATCH)
+        .map(|i| protos[i % CLASSES].corrupt(0.25, rng))
+        .collect();
+    let arena = HypervectorBatch::from_vectors(&queries).expect("non-empty");
+    let keys: Vec<String> = (0..BATCH).map(|i| format!("session-{i}")).collect();
+    (classifier, arena, keys)
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x5E12);
+    let (classifier, _, keys) = setup(&mut rng);
+    let fleet: ShardedModel<String> = ShardedModel::new(classifier, DIM, 4, 1).expect("valid");
+
+    let mut group = c.benchmark_group("serve_route");
+    group.bench_with_input(BenchmarkId::new("ring_lookup", BATCH), &keys, |b, keys| {
+        b.iter(|| black_box(&fleet).route(black_box(keys)));
+    });
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x5E4E);
+    let (classifier, arena, keys) = setup(&mut rng);
+
+    let mut group = c.benchmark_group("serve_predict");
+    group.bench_with_input(BenchmarkId::new("unsharded", BATCH), &arena, |b, arena| {
+        b.iter(|| classifier.predict_rows(black_box(arena)));
+    });
+    for shards in [1usize, 2, 4] {
+        let fleet: ShardedModel<String> =
+            ShardedModel::new(classifier.clone(), DIM, shards, 1).expect("valid");
+        assert_eq!(
+            fleet.predict_batch(&keys, &arena).expect("routable"),
+            classifier.predict_rows(&arena),
+            "sharded serving must stay bit-identical"
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("sharded_{shards}"), BATCH),
+            &arena,
+            |b, arena| {
+                b.iter(|| {
+                    black_box(&fleet)
+                        .predict_batch(black_box(&keys), black_box(arena))
+                        .expect("routable")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_regression_readout(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x4EAD);
+    let input = ScalarEncoder::with_levels(0.0, 1.0, 64, DIM, &mut rng).expect("valid");
+    let label = ScalarEncoder::with_levels(0.0, 1.0, 64, DIM, &mut rng).expect("valid");
+    let model = RegressionModel::fit(
+        (0..200).map(|i| {
+            let x = i as f64 / 199.0;
+            (input.encode(x), x)
+        }),
+        label,
+        &mut rng,
+    )
+    .expect("valid");
+    let queries: Vec<BinaryHypervector> = (0..64)
+        .map(|i| input.encode(i as f64 / 63.0).corrupt(0.05, &mut rng))
+        .collect();
+    let arena = HypervectorBatch::from_vectors(&queries).expect("non-empty");
+
+    let mut group = c.benchmark_group("regression_readout");
+    group.bench_with_input(
+        BenchmarkId::new("integer_predict_rows", queries.len()),
+        &arena,
+        |b, arena| {
+            b.iter(|| black_box(&model).predict_rows(black_box(arena)));
+        },
+    );
+    group.finish();
+}
+
+/// The readout kernels head to head, outside the model: the pre-PR 3 path
+/// (materialize a flipped `Vec<i64>` per query, then sum it over each
+/// label's set bits) against the PR 3 scheme (per-label counter sums
+/// precomputed once at model build, one `kernels::masked_sum` intersection
+/// walk per label at query time). Same integer scores, zero per-query
+/// allocations, and only the `L ∧ q` bits (≈ d/4) visited per label.
+fn bench_readout_kernels(c: &mut Criterion) {
+    use hdc_core::{kernels, MajorityAccumulator};
+
+    let mut rng = StdRng::seed_from_u64(0x4EA2);
+    let labels: Vec<BinaryHypervector> = (0..64)
+        .map(|_| BinaryHypervector::random(DIM, &mut rng))
+        .collect();
+    let mut acc = MajorityAccumulator::new(DIM);
+    for _ in 0..200 {
+        acc.push(&BinaryHypervector::random(DIM, &mut rng));
+    }
+    let counts = acc.counts().to_vec();
+    let query = BinaryHypervector::random(DIM, &mut rng);
+
+    let flip_then_sum = |query: &BinaryHypervector| -> i64 {
+        let mut signed: Vec<i64> = counts.iter().map(|&c| i64::from(c)).collect();
+        kernels::for_each_set_bit(query.as_words(), |i| signed[i] = -signed[i]);
+        labels
+            .iter()
+            .map(|label| {
+                let mut sum = 0i64;
+                kernels::for_each_set_bit(label.as_words(), |i| sum += signed[i]);
+                sum
+            })
+            .max()
+            .expect("non-empty labels")
+    };
+    // The query-independent half of the score, precomputed exactly as
+    // `RegressionTrainer::finish_with` does.
+    let label_sums: Vec<i64> = labels
+        .iter()
+        .map(|label| {
+            let mut sum = 0i64;
+            kernels::for_each_set_bit(label.as_words(), |i| sum += i64::from(counts[i]));
+            sum
+        })
+        .collect();
+    let intersection_walk = |query: &BinaryHypervector| -> i64 {
+        labels
+            .iter()
+            .zip(&label_sums)
+            .map(|(label, &label_sum)| {
+                label_sum - 2 * kernels::masked_sum(&counts, label.as_words(), query.as_words())
+            })
+            .max()
+            .expect("non-empty labels")
+    };
+    assert_eq!(
+        flip_then_sum(&query),
+        intersection_walk(&query),
+        "kernels must agree"
+    );
+
+    let mut group = c.benchmark_group("readout_kernel");
+    group.bench_with_input(
+        BenchmarkId::new("flip_then_sum", labels.len()),
+        &query,
+        |b, query| b.iter(|| flip_then_sum(black_box(query))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("precomputed_masked_sum", labels.len()),
+        &query,
+        |b, query| b.iter(|| intersection_walk(black_box(query))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_route,
+    bench_predict,
+    bench_regression_readout,
+    bench_readout_kernels
+);
+criterion_main!(benches);

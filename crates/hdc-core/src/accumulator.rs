@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use crate::{kernels, BinaryHypervector, HvRef};
+use crate::{kernels, BinaryHypervector, HvMut, HvRef};
 
 /// Policy for resolving ties when a [`MajorityAccumulator`] is finalized and
 /// a dimension has seen exactly as many ones as zeros.
@@ -19,6 +19,18 @@ pub enum TieBreak {
     /// Alternate `0`/`1` by dimension index (deterministic, unbiased on
     /// average across dimensions).
     Alternate,
+}
+
+impl TieBreak {
+    /// The bit this policy resolves a tie at dimension `index` to.
+    #[must_use]
+    pub fn bit(self, index: usize) -> bool {
+        match self {
+            TieBreak::Zero => false,
+            TieBreak::One => true,
+            TieBreak::Alternate => index % 2 == 0,
+        }
+    }
 }
 
 /// Exact majority bundling `⊕` over any number of hypervectors.
@@ -176,11 +188,19 @@ impl MajorityAccumulator {
     /// deterministic tie-break policy.
     #[must_use]
     pub fn finalize(&self, tie: TieBreak) -> BinaryHypervector {
-        self.finalize_with(|i| match tie {
-            TieBreak::Zero => false,
-            TieBreak::One => true,
-            TieBreak::Alternate => i % 2 == 0,
-        })
+        self.finalize_with(|i| tie.bit(i))
+    }
+
+    /// Resolves the majority vote straight into a borrowed row (e.g. one
+    /// row of a [`HypervectorBatch`](crate::HypervectorBatch) arena) with a
+    /// deterministic tie-break — the allocation-free form of
+    /// [`finalize`](Self::finalize) batched encoders bundle through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality differs from the accumulator's.
+    pub fn finalize_into(&self, tie: TieBreak, out: &mut HvMut<'_>) {
+        out.set_majority(&self.counts, tie);
     }
 
     /// Resolves the majority vote, breaking ties uniformly at random
@@ -336,6 +356,26 @@ mod tests {
         assert_eq!(acc.finalize(TieBreak::One).count_ones(), 2);
         let alt = acc.finalize(TieBreak::Alternate);
         assert!(alt.get(0) && !alt.get(1));
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize() {
+        let mut r = rng();
+        for dim in [1usize, 64, 65, 200] {
+            let mut acc = MajorityAccumulator::new(dim);
+            for _ in 0..4 {
+                acc.push(&BinaryHypervector::random(dim, &mut r));
+            }
+            for tie in [TieBreak::Zero, TieBreak::One, TieBreak::Alternate] {
+                // Start from a dirty row to prove it is fully overwritten.
+                let mut batch = crate::HypervectorBatch::zeros(dim, 1);
+                batch
+                    .row_mut(0)
+                    .copy_from(BinaryHypervector::random(dim, &mut r).view());
+                acc.finalize_into(tie, &mut batch.row_mut(0));
+                assert_eq!(batch.to_hypervector(0), acc.finalize(tie), "dim={dim}");
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! # Ok::<(), hdc_core::HdcError>(())
 //! ```
 
-use crate::{kernels, BinaryHypervector, HdcError};
+use crate::{kernels, BinaryHypervector, HdcError, TieBreak};
 
 const WORD_BITS: usize = 64;
 
@@ -235,6 +235,24 @@ impl<'a> HvMut<'a> {
     /// Clears the row to all zeros.
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+
+    /// Overwrites this row with the majority vote of signed per-dimension
+    /// counters (bit `i` is 1 iff `counts[i] > 0`, ties resolve via `tie` —
+    /// see [`kernels::majority_into`]). The row's tail stays clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the row's dimensionality.
+    pub fn set_majority(&mut self, counts: &[i32], tie: TieBreak) {
+        assert_eq!(
+            self.dim,
+            counts.len(),
+            "dimension mismatch: expected {}, found {}",
+            self.dim,
+            counts.len()
+        );
+        kernels::majority_into(counts, self.words, |i| tie.bit(i));
     }
 
     /// Sets bit `index` to `value`.

@@ -244,13 +244,8 @@ impl BinaryHypervector {
     #[must_use]
     pub fn permute(&self, shift: isize) -> Self {
         let s = shift.rem_euclid(self.dim as isize) as usize;
-        if s == 0 {
-            return self.clone();
-        }
         let mut words = vec![0u64; self.words.len()];
-        // result[s..dim) = self[0..dim-s) and result[0..s) = self[dim-s..dim)
-        copy_bit_range(&self.words, 0, &mut words, s, self.dim - s);
-        copy_bit_range(&self.words, self.dim - s, &mut words, 0, s);
+        kernels::permute_into(&self.words, self.dim, s, &mut words);
         Self {
             dim: self.dim,
             words,
@@ -374,41 +369,6 @@ impl BinaryHypervector {
                 .words
                 .last()
                 .map_or(true, |w| w & !((1u64 << rem) - 1) == 0)
-    }
-}
-
-/// Reads up to 64 bits starting at bit `start` of the packed slice.
-fn read_bits(src: &[u64], start: usize, count: usize) -> u64 {
-    debug_assert!(count <= WORD_BITS);
-    let word = start / WORD_BITS;
-    let off = start % WORD_BITS;
-    let mut value = src[word] >> off;
-    if off != 0 && count > WORD_BITS - off && word + 1 < src.len() {
-        value |= src[word + 1] << (WORD_BITS - off);
-    }
-    if count < WORD_BITS {
-        value &= (1u64 << count) - 1;
-    }
-    value
-}
-
-/// Copies `len` bits from `src` starting at bit `src_start` into `dst`
-/// starting at bit `dst_start`. The ranges are assumed to be in bounds.
-fn copy_bit_range(src: &[u64], src_start: usize, dst: &mut [u64], dst_start: usize, len: usize) {
-    let mut copied = 0;
-    while copied < len {
-        let d_bit = dst_start + copied;
-        let d_word = d_bit / WORD_BITS;
-        let d_off = d_bit % WORD_BITS;
-        let chunk = (WORD_BITS - d_off).min(len - copied);
-        let bits = read_bits(src, src_start + copied, chunk);
-        let mask = if chunk == WORD_BITS {
-            !0u64
-        } else {
-            (1u64 << chunk) - 1
-        } << d_off;
-        dst[d_word] = (dst[d_word] & !mask) | ((bits << d_off) & mask);
-        copied += chunk;
     }
 }
 

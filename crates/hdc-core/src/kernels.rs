@@ -111,6 +111,95 @@ pub fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
     2 * set_sum - total
 }
 
+/// Counter sum over the intersection of two packed masks:
+/// `Σ_{i : a_i = b_i = 1} counts[i]`.
+///
+/// This is the one walk the regression integer readout needs per
+/// (label, query) pair: with the query-independent per-label sums
+/// `Σ_{i ∈ L} counts[i]` precomputed at model build, the sign-flipped score
+/// `Σ_{i ∈ L} (q_i ? -counts[i] : counts[i])` rewrites to
+/// `label_sum − 2·masked_sum(counts, L, q)` — no per-query flipped-counter
+/// buffer, and only the `L ∧ q` bits (≈ d/4 for dense vectors) are visited.
+#[must_use]
+pub fn masked_sum(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
+    debug_assert_eq!(a.len(), counts.len().div_ceil(64));
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0i64;
+    for (word_idx, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let base = word_idx * 64;
+        let mut both = x & y;
+        while both != 0 {
+            sum += i64::from(counts[base + both.trailing_zeros() as usize]);
+            both &= both - 1;
+        }
+    }
+    sum
+}
+
+/// Writes the cyclic rotation `Π^shift` of a packed `dim`-bit hypervector
+/// into `dst`: bit `i` of `src` lands at position `(i + shift) mod dim`.
+///
+/// The shift must already be reduced to `0 <= shift < dim` (callers with
+/// signed shifts reduce via `rem_euclid`). `dst` is fully overwritten and
+/// its tail is left clean. This is the in-place form of
+/// `BinaryHypervector::permute` that batched encoders rotate through a
+/// reusable scratch buffer with, instead of allocating a fresh vector per
+/// permutation.
+pub fn permute_into(src: &[u64], dim: usize, shift: usize, dst: &mut [u64]) {
+    debug_assert_eq!(src.len(), dim.div_ceil(64));
+    debug_assert_eq!(src.len(), dst.len());
+    debug_assert!(shift < dim.max(1));
+    if shift == 0 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    dst.fill(0);
+    // dst[shift..dim) = src[0..dim-shift) and dst[0..shift) = src[dim-shift..dim)
+    copy_bit_range(src, 0, dst, shift, dim - shift);
+    copy_bit_range(src, dim - shift, dst, 0, shift);
+}
+
+/// Reads up to 64 bits starting at bit `start` of the packed slice.
+fn read_bits(src: &[u64], start: usize, count: usize) -> u64 {
+    debug_assert!(count <= 64);
+    let word = start / 64;
+    let off = start % 64;
+    let mut value = src[word] >> off;
+    if off != 0 && count > 64 - off && word + 1 < src.len() {
+        value |= src[word + 1] << (64 - off);
+    }
+    if count < 64 {
+        value &= (1u64 << count) - 1;
+    }
+    value
+}
+
+/// Copies `len` bits from `src` starting at bit `src_start` into `dst`
+/// starting at bit `dst_start`. The ranges are assumed to be in bounds.
+pub(crate) fn copy_bit_range(
+    src: &[u64],
+    src_start: usize,
+    dst: &mut [u64],
+    dst_start: usize,
+    len: usize,
+) {
+    let mut copied = 0;
+    while copied < len {
+        let d_bit = dst_start + copied;
+        let d_word = d_bit / 64;
+        let d_off = d_bit % 64;
+        let chunk = (64 - d_off).min(len - copied);
+        let bits = read_bits(src, src_start + copied, chunk);
+        let mask = if chunk == 64 {
+            !0u64
+        } else {
+            (1u64 << chunk) - 1
+        } << d_off;
+        dst[d_word] = (dst[d_word] & !mask) | ((bits << d_off) & mask);
+        copied += chunk;
+    }
+}
+
 /// Resolves signed counters into packed majority bits:
 /// bit `i` is 1 iff `counts[i] > 0`, 0 iff `counts[i] < 0`, and
 /// `tie_bit(i)` on an exact tie. The tail of the final word is left clean.
@@ -231,5 +320,73 @@ mod tests {
         majority_into(&counts, &mut out, |i| i % 2 == 0);
         // bits: 1 (pos), 0 (neg), 1 (tie, even), 0 (tie, odd), 1 (pos)
         assert_eq!(out[0], 0b10101);
+    }
+
+    #[test]
+    fn masked_sum_matches_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for dim in [1usize, 63, 64, 65, 200] {
+            let a = crate::BinaryHypervector::random(dim, &mut rng);
+            let b = crate::BinaryHypervector::random(dim, &mut rng);
+            let counts: Vec<i32> = (0..dim).map(|_| rng.random_range(-40i32..40)).collect();
+            let reference: i64 = a
+                .bits()
+                .zip(b.bits())
+                .enumerate()
+                .filter(|(_, (x, y))| *x && *y)
+                .map(|(i, _)| i64::from(counts[i]))
+                .sum();
+            assert_eq!(
+                masked_sum(&counts, a.as_words(), b.as_words()),
+                reference,
+                "dim={dim}"
+            );
+            // The sign-flipped readout identity the regression model relies
+            // on: Σ_{i∈a}(b_i ? -c_i : c_i) = Σ_{i∈a} c_i − 2·masked_sum.
+            let masked_total: i64 = a
+                .bits()
+                .enumerate()
+                .filter(|(_, bit)| *bit)
+                .map(|(i, _)| i64::from(counts[i]))
+                .sum();
+            let signed_reference: i64 = a
+                .bits()
+                .zip(b.bits())
+                .enumerate()
+                .filter(|(_, (x, _))| *x)
+                .map(|(i, (_, y))| {
+                    let c = i64::from(counts[i]);
+                    if y {
+                        -c
+                    } else {
+                        c
+                    }
+                })
+                .sum();
+            assert_eq!(
+                masked_total - 2 * masked_sum(&counts, a.as_words(), b.as_words()),
+                signed_reference,
+                "dim={dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn permute_into_matches_owned_permute() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dim in [1usize, 2, 63, 64, 65, 130] {
+            let hv = crate::BinaryHypervector::random(dim, &mut rng);
+            // Scratch starts dirty below the dimension to prove it is fully
+            // overwritten (the tail must stay clean, so only in-range bits).
+            for shift in [0usize, 1 % dim, dim / 2, dim - 1] {
+                let mut dst = vec![0u64; dim.div_ceil(64)];
+                crate::BinaryHypervector::random(dim, &mut rng)
+                    .as_words()
+                    .clone_into(&mut dst);
+                permute_into(hv.as_words(), dim, shift, &mut dst);
+                let expected = hv.permute(shift as isize);
+                assert_eq!(dst, expected.as_words(), "dim={dim} shift={shift}");
+            }
+        }
     }
 }

@@ -81,6 +81,18 @@ impl<K: Eq + Hash + Clone> ItemMemory<K> {
         self.index.contains_key(key)
     }
 
+    /// Removes `key`, returning its hypervector if it was stored. The last
+    /// entry is swapped into the vacated slot, so removal is `O(1)` but the
+    /// insertion order of the remaining items is not preserved.
+    pub fn remove(&mut self, key: &K) -> Option<BinaryHypervector> {
+        let pos = self.index.remove(key)?;
+        let (_, hv) = self.entries.swap_remove(pos);
+        if let Some((moved_key, _)) = self.entries.get(pos) {
+            self.index.insert(moved_key.clone(), pos);
+        }
+        Some(hv)
+    }
+
     /// Noisy lookup: returns the `(key, hypervector, similarity)` of the
     /// stored item most similar to `query`, or `None` if the memory is empty.
     ///
@@ -97,6 +109,14 @@ impl<K: Eq + Hash + Clone> ItemMemory<K> {
     /// Iterates over `(key, hypervector)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &BinaryHypervector)> {
         self.entries.iter().map(|(k, hv)| (k, hv))
+    }
+
+    /// Consumes the memory, returning its owned `(key, hypervector)` pairs
+    /// in insertion order — the move-out path bulk redistribution (e.g.
+    /// shard removal) uses instead of cloning every entry.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(K, BinaryHypervector)> {
+        self.entries
     }
 
     /// Iterates over stored hypervectors in insertion order.
@@ -207,6 +227,27 @@ mod tests {
         let keys: Vec<u8> = mem.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, [0, 1, 2, 3]);
         assert_eq!(mem.hypervectors().count(), 4);
+    }
+
+    #[test]
+    fn remove_drops_only_the_key() {
+        let mut r = rng();
+        let mut mem = ItemMemory::new();
+        let hvs: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(128, &mut r))
+            .collect();
+        for (i, hv) in hvs.iter().enumerate() {
+            mem.insert(i, hv.clone());
+        }
+        assert_eq!(mem.remove(&1), Some(hvs[1].clone()));
+        assert_eq!(mem.remove(&1), None);
+        assert_eq!(mem.len(), 4);
+        // Every surviving key still resolves to its own hypervector
+        // (swap-remove must patch the index of the moved entry).
+        for i in [0usize, 2, 3, 4] {
+            assert_eq!(mem.get(&i), Some(&hvs[i]), "key {i}");
+        }
+        assert!(!mem.contains(&1));
     }
 
     #[test]

@@ -313,15 +313,14 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_nested_shape_matches_flat_matrix() {
+    fn nested_copy_out_matches_flat_matrix() {
         let mut r = rng();
         let items: Vec<_> = (0..4)
             .map(|_| BinaryHypervector::random(512, &mut r))
             .collect();
         let flat = pairwise_similarity_matrix(&items);
-        #[allow(deprecated)]
-        let nested = pairwise_similarity(&items);
-        assert_eq!(flat.to_nested(), nested);
+        let nested = flat.to_nested();
+        assert_eq!(nested.len(), 4);
         for (i, row) in flat.rows().enumerate() {
             assert_eq!(row, flat.row(i));
             assert_eq!(row, nested[i].as_slice());

@@ -14,10 +14,13 @@
 //!   (paper §3.1),
 //! * [`RecordEncoder`] — the key–value superposition `⊕ᵢ Kᵢ ⊗ Vᵢ` used for
 //!   the JIGSAWS feature vectors (paper §6.1),
+//! * [`FeatureRecordEncoder`] — the same superposition over **raw** `f64`
+//!   feature rows, owning one [`FieldSpec`]-driven value encoder per field
+//!   (the one-object form of the §6.1 pipeline),
 //! * [`SequenceEncoder`] — order-aware sequence and n-gram encodings via
 //!   permutation (paper §3.1).
 //!
-//! All five implement the unifying [`Encoder`] trait, whose
+//! All of them implement the unifying [`Encoder`] trait, whose
 //! [`encode_into`](Encoder::encode_into) writes directly into a borrowed
 //! packed row and whose [`encode_batch`](Encoder::encode_batch) fills a
 //! contiguous [`HypervectorBatch`](hdc_core::HypervectorBatch) arena in
@@ -47,14 +50,17 @@
 mod angle;
 mod categorical;
 mod encoder;
+mod feature_record;
 mod record;
 mod scalar;
+mod scratch;
 mod sequence;
 mod table;
 
 pub use angle::AngleEncoder;
 pub use categorical::CategoricalEncoder;
 pub use encoder::{Encoder, Radians};
+pub use feature_record::{FeatureRecordEncoder, FieldSpec};
 pub use hdc_core::HdcError;
 pub use record::RecordEncoder;
 pub use scalar::ScalarEncoder;

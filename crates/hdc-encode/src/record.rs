@@ -1,6 +1,7 @@
-use hdc_core::{BinaryHypervector, HdcError, HvMut, MajorityAccumulator, TieBreak};
+use hdc_core::{kernels, BinaryHypervector, HdcError, HvMut, MajorityAccumulator, TieBreak};
 use rand::Rng;
 
+use crate::scratch::with_bundle_scratch;
 use crate::Encoder;
 
 /// Key–value record encoder: `⊕ᵢ Kᵢ ⊗ Vᵢ` (paper §6.1).
@@ -136,6 +137,10 @@ impl Encoder<[BinaryHypervector]> for RecordEncoder {
         self.keys[0].dim()
     }
 
+    /// Allocation-free: each bound pair `Kᵢ ⊗ Vᵢ` is XORed into a reusable
+    /// per-thread word buffer, accumulated into reusable majority counters,
+    /// and the vote is resolved straight into the output row.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the number of fields or any
@@ -148,11 +153,21 @@ impl Encoder<[BinaryHypervector]> for RecordEncoder {
             self.keys.len(),
             input.len()
         );
-        let mut acc = MajorityAccumulator::new(self.keys[0].dim());
-        for (key, value) in self.keys.iter().zip(input) {
-            acc.push(&key.bind(value));
-        }
-        out.copy_from(acc.finalize(TieBreak::Alternate).view());
+        let dim = self.keys[0].dim();
+        with_bundle_scratch(dim, |counts, bound| {
+            for (key, value) in self.keys.iter().zip(input) {
+                assert_eq!(
+                    dim,
+                    value.dim(),
+                    "dimension mismatch: expected {}, found {}",
+                    dim,
+                    value.dim()
+                );
+                kernels::xor(key.as_words(), value.as_words(), bound);
+                kernels::accumulate(counts, bound, 1);
+            }
+            out.set_majority(counts, TieBreak::Alternate);
+        });
     }
 }
 

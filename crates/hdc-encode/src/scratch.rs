@@ -1,0 +1,63 @@
+//! Per-thread scratch buffers for allocation-free bundling encoders.
+//!
+//! `RecordEncoder`, `SequenceEncoder` and `FeatureRecordEncoder` all encode
+//! a sample as "accumulate a handful of derived hypervectors, then take the
+//! majority". Doing that with owned intermediates costs several heap
+//! allocations per sample (one per bind/permute temporary, one for the
+//! accumulator, one for the finalized vector) — which is exactly the cost
+//! the batched `encode_into` path is supposed to avoid.
+//!
+//! This module keeps one reusable pair of buffers per thread:
+//!
+//! * `counts` — the signed per-dimension majority counters,
+//! * `words` — a packed word buffer the bind/permute temporaries are
+//!   computed into.
+//!
+//! Encoders borrow both for the duration of one sample via
+//! [`with_bundle_scratch`]; after the first sample on a thread, encoding is
+//! allocation-free (the buffers are only re-zeroed). Worker threads of the
+//! parallel `encode_batch` fan-out each get their own scratch, so the
+//! batched path stays data-race-free without locking.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static SCRATCH: RefCell<(Vec<i32>, Vec<u64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f(counts, words)` with this thread's scratch buffers sized for
+/// dimensionality `dim`: `counts` holds `dim` zeroed counters and `words`
+/// holds `dim.div_ceil(64)` zeroed packed words.
+pub(crate) fn with_bundle_scratch<R>(dim: usize, f: impl FnOnce(&mut [i32], &mut [u64]) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (counts, words) = &mut *scratch;
+        counts.clear();
+        counts.resize(dim, 0);
+        words.clear();
+        words.resize(dim.div_ceil(64), 0);
+        f(counts, words)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_and_sized_each_call() {
+        with_bundle_scratch(100, |counts, words| {
+            assert_eq!(counts.len(), 100);
+            assert_eq!(words.len(), 2);
+            counts.fill(7);
+            words.fill(!0);
+        });
+        // A smaller follow-up call must not see the previous contents.
+        with_bundle_scratch(65, |counts, words| {
+            assert_eq!(counts.len(), 65);
+            assert_eq!(words.len(), 2);
+            assert!(counts.iter().all(|&c| c == 0));
+            assert!(words.iter().all(|&w| w == 0));
+        });
+    }
+}

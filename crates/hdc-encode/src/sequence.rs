@@ -1,6 +1,7 @@
-use hdc_core::{ops, BinaryHypervector, HdcError, HvMut, MajorityAccumulator, TieBreak};
+use hdc_core::{kernels, ops, BinaryHypervector, HdcError, HvMut, TieBreak};
 use rand::Rng;
 
+use crate::scratch::with_bundle_scratch;
 use crate::{CategoricalEncoder, Encoder};
 
 /// Order-aware encoder for sequences of symbols (paper §3.1):
@@ -131,16 +132,29 @@ impl Encoder<[usize]> for SequenceEncoder {
         self.symbols.dim()
     }
 
+    /// Allocation-free: each symbol hypervector is rotated into a reusable
+    /// per-thread word buffer (`kernels::permute_into`), accumulated into
+    /// reusable majority counters, and the vote is resolved straight into
+    /// the output row.
+    ///
     /// # Panics
     ///
     /// Panics if the sequence is empty or contains an out-of-range symbol.
     fn encode_into(&self, input: &[usize], mut out: HvMut<'_>) {
         assert!(!input.is_empty(), "cannot encode an empty sequence");
-        let mut acc = MajorityAccumulator::new(self.dim());
-        for (i, &symbol) in input.iter().enumerate() {
-            acc.push(&self.symbols.encode(symbol).permute(i as isize));
-        }
-        out.copy_from(acc.finalize(TieBreak::Alternate).view());
+        let dim = self.dim();
+        with_bundle_scratch(dim, |counts, permuted| {
+            for (i, &symbol) in input.iter().enumerate() {
+                kernels::permute_into(
+                    self.symbols.encode(symbol).as_words(),
+                    dim,
+                    i % dim,
+                    permuted,
+                );
+                kernels::accumulate(counts, permuted, 1);
+            }
+            out.set_majority(counts, TieBreak::Alternate);
+        });
     }
 }
 

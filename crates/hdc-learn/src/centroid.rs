@@ -1,4 +1,4 @@
-use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, MajorityAccumulator};
+use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, MajorityAccumulator, TieBreak};
 use rand::Rng;
 
 /// Incremental trainer for a [`CentroidClassifier`]: one majority
@@ -186,6 +186,17 @@ impl CentroidTrainer {
                 .iter()
                 .map(|a| a.finalize_random(rng))
                 .collect(),
+        }
+    }
+
+    /// Finalizes with a deterministic tie-break policy instead of an RNG:
+    /// the same accumulated counters always yield the same classifier. This
+    /// is what reproducible serving pipelines (`hdc-serve`'s `Model`) use,
+    /// so refitting, resharding and replication cannot drift bit-wise.
+    #[must_use]
+    pub fn finish_deterministic(&self, tie: TieBreak) -> CentroidClassifier {
+        CentroidClassifier {
+            class_vectors: self.accumulators.iter().map(|a| a.finalize(tie)).collect(),
         }
     }
 }
@@ -498,6 +509,24 @@ mod tests {
         let mut rng_b = StdRng::seed_from_u64(77);
         let batched = CentroidClassifier::fit_batch(&batch, &labels, 4, &mut rng_b).unwrap();
         assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn finish_deterministic_is_reproducible_and_matches_counters() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 3, 9, 0.25);
+        let mut trainer = CentroidTrainer::new(3, 10_000).unwrap();
+        for (hv, label) in &train {
+            trainer.observe(hv, *label).unwrap();
+        }
+        let a = trainer.finish_deterministic(TieBreak::Alternate);
+        let b = trainer.finish_deterministic(TieBreak::Alternate);
+        assert_eq!(a, b);
+        // Each class vector is the plain deterministic finalize of its
+        // accumulator — and an odd per-class sample count leaves no ties, so
+        // the random finish agrees too.
+        let c = trainer.finish(&mut r);
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -93,7 +93,25 @@ impl RegressionTrainer {
         }
         let form = match readout {
             Readout::Binarized => ModelForm::Binary(self.accumulator.finalize_random(rng)),
-            Readout::Integer => ModelForm::Counts(self.accumulator.counts().to_vec()),
+            Readout::Integer => {
+                let counts = self.accumulator.counts().to_vec();
+                // Per-label counter sums Σ_{i ∈ ones(L_j)} counts[i] are
+                // query-independent; precomputing them here leaves a single
+                // intersection walk per (label, query) pair at predict time.
+                let label_sums = self
+                    .label_encoder
+                    .hypervectors()
+                    .iter()
+                    .map(|label_hv| {
+                        let mut sum = 0i64;
+                        hdc_core::kernels::for_each_set_bit(label_hv.as_words(), |i| {
+                            sum += i64::from(counts[i]);
+                        });
+                        sum
+                    })
+                    .collect();
+                ModelForm::Counts { counts, label_sums }
+            }
         };
         Ok(RegressionModel {
             form,
@@ -160,7 +178,12 @@ pub struct RegressionModel {
 #[derive(Debug, Clone)]
 enum ModelForm {
     Binary(BinaryHypervector),
-    Counts(Vec<i32>),
+    Counts {
+        counts: Vec<i32>,
+        /// `Σ_{i ∈ ones(L_j)} counts[i]` per label — the query-independent
+        /// half of the integer-readout score, precomputed at finalize time.
+        label_sums: Vec<i64>,
+    },
 }
 
 impl RegressionModel {
@@ -215,7 +238,7 @@ impl RegressionModel {
     pub fn readout(&self) -> Readout {
         match self.form {
             ModelForm::Binary(_) => Readout::Binarized,
-            ModelForm::Counts(_) => Readout::Integer,
+            ModelForm::Counts { .. } => Readout::Integer,
         }
     }
 
@@ -262,7 +285,7 @@ impl RegressionModel {
                 let noisy_label = BinaryHypervector::from_words(model.dim(), words);
                 self.label_encoder.decode(&noisy_label)
             }
-            ModelForm::Counts(counts) => {
+            ModelForm::Counts { counts, label_sums } => {
                 assert_eq!(
                     counts.len(),
                     query.dim(),
@@ -271,25 +294,26 @@ impl RegressionModel {
                     query.dim()
                 );
                 // The soft unbinding M ⊗ φ(x̂): XOR with a one-bit inverts
-                // the majority bit, i.e. flips the counter's sign. Copy the
-                // counters, then flip only at the query's set bits.
-                let mut signed: Vec<i64> = counts.iter().map(|&c| i64::from(c)).collect();
-                hdc_core::kernels::for_each_set_bit(query.as_words(), |i| signed[i] = -signed[i]);
-                // score(L) = Σ_b signed_b · bipolar(L_b)
-                //          = 2·Σ_{b ∈ ones(L)} signed_b − Σ_b signed_b;
-                // the second term is constant over labels, so rank by the
-                // one-bit partial sums.
+                // the majority bit, i.e. flips the counter's sign.
+                // score(L) = Σ_{b ∈ ones(L)} (q_b ? -counts_b : counts_b)
+                //          = Σ_{b ∈ ones(L)} counts_b
+                //            − 2·Σ_{b ∈ ones(L) ∧ ones(q)} counts_b.
+                // The first term is the precomputed `label_sums[j]`, so each
+                // label costs exactly one intersection walk and the query
+                // needs no flipped-counter buffer — allocation-free.
                 let best = self
                     .label_encoder
                     .hypervectors()
                     .iter()
+                    .zip(label_sums)
                     .enumerate()
-                    .map(|(j, label_hv)| {
-                        let mut sum = 0i64;
-                        hdc_core::kernels::for_each_set_bit(label_hv.as_words(), |i| {
-                            sum += signed[i];
-                        });
-                        (j, sum)
+                    .map(|(j, (label_hv, &label_sum))| {
+                        let overlap = hdc_core::kernels::masked_sum(
+                            counts,
+                            label_hv.as_words(),
+                            query.as_words(),
+                        );
+                        (j, label_sum - 2 * overlap)
                     })
                     .max_by_key(|&(_, score)| score)
                     .expect("label encoder holds at least two levels")

@@ -1,0 +1,48 @@
+//! Unified pipeline building and sharded serving for the circular-
+//! hypervector workspace.
+//!
+//! Two layers:
+//!
+//! * [`Pipeline`] / [`Model`] — the typed builder that replaces the
+//!   hand-wired `StdRng → BasisSet → Encoder → CentroidClassifier` glue:
+//!   pick a dimensionality, seed, [`Basis`] family and [`Enc`] encoder
+//!   spec, get one object with `fit`/`fit_batch`/`predict`/`predict_batch`/
+//!   `evaluate`, backed by the workspace's batched parallel paths.
+//! * [`ShardedModel`] — production-shaped serving on top: class vectors
+//!   replicated across shards, per-key item memories partitioned over an
+//!   `hdc-hash` consistent-hash ring, query batches routed per shard
+//!   through `predict_rows` and merged in input order. Bit-identical to
+//!   the unsharded model for any shard count, with graceful `1/n`
+//!   remapping under shard churn — the serving setting circular
+//!   hypervectors were invented for (Heddes et al., DAC 2022).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hdc_serve::{Basis, Enc, Pipeline, Radians};
+//!
+//! let mut model = Pipeline::builder(10_000)
+//!     .seed(42)
+//!     .basis(Basis::Circular { m: 24, r: 0.0 })
+//!     .encoder(Enc::angle())
+//!     .build()?;
+//! let hours: Vec<Radians> = (0..24).map(|h| Radians::periodic(h as f64, 24.0)).collect();
+//! let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+//! model.fit_batch(&hours, &labels)?;
+//! assert_eq!(model.predict(&Radians::periodic(3.0, 24.0)), 0);
+//! # Ok::<(), hdc_serve::HdcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod sharded;
+
+pub use hdc_core::HdcError;
+pub use hdc_encode::{FieldSpec, Radians};
+pub use pipeline::{
+    AngleSpec, Basis, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,
+    PipelineBuilder, RecordSpec, ScalarSpec, SequenceSpec,
+};
+pub use sharded::{RingConfig, ShardedModel};

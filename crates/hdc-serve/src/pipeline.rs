@@ -1,0 +1,825 @@
+//! The unified `Pipeline`/`Model` API: one typed builder over basis, encoder
+//! and learner, one object to fit and serve.
+//!
+//! Before this module, every classification workload hand-wired
+//! `StdRng → BasisSet → Encoder → CentroidClassifier` with per-crate types
+//! in exactly the right order. [`Pipeline::builder`] captures that wiring
+//! once: pick a dimensionality, a seed, a [`Basis`] family and an [`Enc`]
+//! encoder spec, and [`build`](ModelBuilder::build) yields a [`Model`] that
+//! owns the whole stack behind an object-safe encoder seam
+//! ([`DynEncoder`]), while the batched parallel paths from PR 2 keep doing
+//! the work underneath.
+
+use std::fmt;
+
+use hdc_basis::BasisKind;
+use hdc_core::{BinaryHypervector, HdcError, HvMut, HypervectorBatch, TieBreak};
+use hdc_encode::{
+    AngleEncoder, CategoricalEncoder, Encoder, FeatureRecordEncoder, FieldSpec, Radians,
+    ScalarEncoder, SequenceEncoder,
+};
+use hdc_learn::{metrics, CentroidClassifier, CentroidTrainer};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// The basis-hypervector family a pipeline quantizes through, with its size
+/// `m` and (where applicable) the §5.2 randomness hyperparameter `r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Basis {
+    /// Uncorrelated random-hypervectors (paper §3.1).
+    Random {
+        /// Number of basis hypervectors.
+        m: usize,
+    },
+    /// Interpolation-based level-hypervectors (paper §4.3).
+    Level {
+        /// Number of levels.
+        m: usize,
+        /// Randomness `r ∈ [0, 1]`; `0.0` is Algorithm 1.
+        r: f64,
+    },
+    /// Circular-hypervectors (paper §5.1) — the wrap-correct choice for
+    /// angles, hours, seasons and ring positions.
+    Circular {
+        /// Number of sectors.
+        m: usize,
+        /// Randomness `r ∈ [0, 1]`.
+        r: f64,
+    },
+}
+
+impl Basis {
+    /// The [`BasisKind`] selector this maps onto.
+    #[must_use]
+    pub fn kind(self) -> BasisKind {
+        match self {
+            Basis::Random { .. } => BasisKind::Random,
+            Basis::Level { r, .. } => BasisKind::Level { randomness: r },
+            Basis::Circular { r, .. } => BasisKind::Circular { randomness: r },
+        }
+    }
+
+    /// The basis size `m`.
+    #[must_use]
+    pub fn m(self) -> usize {
+        match self {
+            Basis::Random { m } | Basis::Level { m, .. } | Basis::Circular { m, .. } => m,
+        }
+    }
+}
+
+/// Object-safe seam over [`hdc_encode::Encoder`]: the two methods a
+/// [`Model`] needs (`dim`, in-place `encode_into`), without the generic
+/// `encode_batch` that keeps the full trait from being boxed. Every
+/// `Encoder<X> + Send + Sync + Debug` implements it via the blanket impl,
+/// so `Box<dyn DynEncoder<X>>` erases the concrete encoder type while the
+/// batched fan-out is rebuilt on top (see [`Model::encode_batch`]).
+pub trait DynEncoder<X: ?Sized>: Send + Sync + fmt::Debug {
+    /// Dimensionality `d` of the produced hypervectors.
+    fn dim(&self) -> usize;
+
+    /// Encodes `input` into the provided row, overwriting its contents.
+    fn encode_into(&self, input: &X, out: HvMut<'_>);
+}
+
+impl<X: ?Sized, E> DynEncoder<X> for E
+where
+    E: Encoder<X> + Send + Sync + fmt::Debug,
+{
+    fn dim(&self) -> usize {
+        Encoder::dim(self)
+    }
+
+    fn encode_into(&self, input: &X, out: HvMut<'_>) {
+        Encoder::encode_into(self, input, out);
+    }
+}
+
+/// A buildable encoder specification: carries the configuration of one of
+/// the workload encoders plus, at the type level, the input type `Input`
+/// the finished [`Model`] will accept. Obtained from the [`Enc`]
+/// constructors; consumed by [`ModelBuilder::build`].
+pub trait EncoderSpec {
+    /// The input type of the built encoder (and of the resulting model).
+    type Input: ?Sized + Sync;
+
+    /// Builds the encoder behind the [`DynEncoder`] seam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for invalid spec or basis parameters.
+    fn build_encoder(
+        self,
+        dim: usize,
+        basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<Self::Input>>, HdcError>;
+
+    /// The basis family used when the builder's
+    /// [`basis`](PipelineBuilder::basis) was never called: each spec picks
+    /// the family that is correct for its input structure (circular for
+    /// angles, level for linear scalars, …), so a pipeline built with
+    /// defaults never quantizes a linear range through a wrapping basis or
+    /// vice versa.
+    fn default_basis(&self) -> Basis {
+        Basis::Circular { m: 16, r: 0.0 }
+    }
+}
+
+/// Namespace of encoder-spec constructors, mirroring the encoder taxonomy
+/// of `hdc-encode` (Aygun et al.'s survey): pick one per pipeline.
+///
+/// | Constructor | Model input | Backing encoder |
+/// |---|---|---|
+/// | [`Enc::scalar`] | `f64` | [`ScalarEncoder`] |
+/// | [`Enc::angle`] | [`Radians`] | [`AngleEncoder`] |
+/// | [`Enc::categorical`] | `usize` | [`CategoricalEncoder`] |
+/// | [`Enc::sequence`] | `[usize]` | [`SequenceEncoder`] |
+/// | [`Enc::record`] | `[f64]` | [`FeatureRecordEncoder`] |
+pub struct Enc;
+
+impl Enc {
+    /// A scalar pipeline over `[low, high]`, quantized into the basis's `m`
+    /// levels.
+    #[must_use]
+    pub fn scalar(low: f64, high: f64) -> ScalarSpec {
+        ScalarSpec { low, high }
+    }
+
+    /// An angle pipeline over `[0, 2π)`, quantized into the basis's `m`
+    /// sectors (wrap-correct with a circular basis).
+    #[must_use]
+    pub fn angle() -> AngleSpec {
+        AngleSpec
+    }
+
+    /// A categorical pipeline over `n` symbols (always a random basis —
+    /// symbols carry no ordinal structure; the pipeline basis is ignored).
+    #[must_use]
+    pub fn categorical(n: usize) -> CategoricalSpec {
+        CategoricalSpec { n }
+    }
+
+    /// A sequence pipeline over an alphabet of `n` symbols (position-
+    /// permuted random symbol hypervectors; the pipeline basis is ignored).
+    #[must_use]
+    pub fn sequence(n: usize) -> SequenceSpec {
+        SequenceSpec { n }
+    }
+
+    /// A record pipeline over raw `f64` feature rows, one [`FieldSpec`] per
+    /// position; scalar and angle fields quantize through the pipeline
+    /// basis.
+    #[must_use]
+    pub fn record(fields: Vec<FieldSpec>) -> RecordSpec {
+        RecordSpec { fields }
+    }
+}
+
+/// Spec built by [`Enc::scalar`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarSpec {
+    low: f64,
+    high: f64,
+}
+
+impl EncoderSpec for ScalarSpec {
+    type Input = f64;
+
+    fn build_encoder(
+        self,
+        dim: usize,
+        basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<f64>>, HdcError> {
+        Ok(Box::new(ScalarEncoder::with_kind(
+            self.low,
+            self.high,
+            basis.m(),
+            dim,
+            basis.kind(),
+            rng,
+        )?))
+    }
+
+    /// Linear data must not wrap: a level basis, so the interval's ends
+    /// stay quasi-orthogonal.
+    fn default_basis(&self) -> Basis {
+        Basis::Level { m: 16, r: 0.0 }
+    }
+}
+
+/// Spec built by [`Enc::angle`].
+#[derive(Debug, Clone, Copy)]
+pub struct AngleSpec;
+
+impl EncoderSpec for AngleSpec {
+    type Input = Radians;
+
+    fn build_encoder(
+        self,
+        dim: usize,
+        basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<Radians>>, HdcError> {
+        let set = basis.kind().build(basis.m(), dim, rng)?;
+        Ok(Box::new(AngleEncoder::from_basis(set.as_ref())?))
+    }
+}
+
+/// Spec built by [`Enc::categorical`].
+#[derive(Debug, Clone, Copy)]
+pub struct CategoricalSpec {
+    n: usize,
+}
+
+impl EncoderSpec for CategoricalSpec {
+    type Input = usize;
+
+    fn build_encoder(
+        self,
+        dim: usize,
+        _basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<usize>>, HdcError> {
+        Ok(Box::new(CategoricalEncoder::new(self.n, dim, rng)?))
+    }
+}
+
+/// Spec built by [`Enc::sequence`].
+#[derive(Debug, Clone, Copy)]
+pub struct SequenceSpec {
+    n: usize,
+}
+
+impl EncoderSpec for SequenceSpec {
+    type Input = [usize];
+
+    fn build_encoder(
+        self,
+        dim: usize,
+        _basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<[usize]>>, HdcError> {
+        Ok(Box::new(SequenceEncoder::new(self.n, dim, rng)?))
+    }
+}
+
+/// Spec built by [`Enc::record`].
+#[derive(Debug, Clone)]
+pub struct RecordSpec {
+    fields: Vec<FieldSpec>,
+}
+
+impl EncoderSpec for RecordSpec {
+    type Input = [f64];
+
+    fn build_encoder(
+        self,
+        dim: usize,
+        basis: Basis,
+        rng: &mut StdRng,
+    ) -> Result<Box<dyn DynEncoder<[f64]>>, HdcError> {
+        Ok(Box::new(FeatureRecordEncoder::new(
+            &self.fields,
+            basis.m(),
+            dim,
+            basis.kind(),
+            rng,
+        )?))
+    }
+}
+
+/// Entry point of the unified API: [`Pipeline::builder`] starts a typed
+/// builder chain ending in a [`Model`].
+///
+/// ```
+/// use hdc_serve::{Basis, Enc, Pipeline};
+///
+/// let mut model = Pipeline::builder(10_000)
+///     .seed(7)
+///     .classes(2)
+///     .basis(Basis::Circular { m: 24, r: 0.0 })
+///     .encoder(Enc::angle())
+///     .build()?;
+/// // Hours on the daily circle: morning (class 0) vs evening (class 1).
+/// use hdc_serve::Radians;
+/// let hours: Vec<Radians> = (0..24).map(|h| Radians::periodic(h as f64, 24.0)).collect();
+/// let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+/// model.fit_batch(&hours, &labels)?;
+/// assert_eq!(model.predict(&Radians::periodic(9.0, 24.0)), 0);
+/// assert_eq!(model.predict(&Radians::periodic(21.0, 24.0)), 1);
+/// # Ok::<(), hdc_serve::HdcError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Starts a builder for `dim`-bit pipelines. Defaults: seed `0`, two
+    /// classes, and — unless [`basis`](PipelineBuilder::basis) is called —
+    /// the encoder spec's own
+    /// [`default_basis`](EncoderSpec::default_basis) (`m = 16`: level for
+    /// scalars, circular otherwise), so defaults never quantize a linear
+    /// range through a wrapping basis.
+    #[must_use]
+    pub fn builder(dim: usize) -> PipelineBuilder {
+        PipelineBuilder {
+            dim,
+            seed: 0,
+            basis: None,
+            classes: 2,
+        }
+    }
+}
+
+/// The untyped half of the builder: dimensionality, seed, basis family and
+/// class count. Calling [`encoder`](Self::encoder) fixes the input type and
+/// moves to a [`ModelBuilder`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineBuilder {
+    dim: usize,
+    seed: u64,
+    basis: Option<Basis>,
+    classes: usize,
+}
+
+impl PipelineBuilder {
+    /// Seed of the pipeline's deterministic RNG (basis draws, keys).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The basis family scalar/angle/record encoders quantize through
+    /// (overriding the spec's [`default_basis`](EncoderSpec::default_basis)).
+    #[must_use]
+    pub fn basis(mut self, basis: Basis) -> Self {
+        self.basis = Some(basis);
+        self
+    }
+
+    /// Number of classes of the centroid learner.
+    #[must_use]
+    pub fn classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Selects the encoder spec, fixing the model's input type.
+    #[must_use]
+    pub fn encoder<S: EncoderSpec>(self, spec: S) -> ModelBuilder<S> {
+        ModelBuilder { base: self, spec }
+    }
+}
+
+/// The typed half of the builder: everything is configured, only
+/// [`build`](Self::build) is left.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder<S> {
+    base: PipelineBuilder,
+    spec: S,
+}
+
+impl<S: EncoderSpec> ModelBuilder<S> {
+    /// Builds the [`Model`]: seeds the RNG, constructs basis and encoder,
+    /// and initializes an (untrained) centroid learner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for invalid dimension, class count, basis or
+    /// encoder parameters.
+    pub fn build(self) -> Result<Model<S::Input>, HdcError> {
+        let PipelineBuilder {
+            dim,
+            seed,
+            basis,
+            classes,
+        } = self.base;
+        let basis = basis.unwrap_or_else(|| self.spec.default_basis());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = self.spec.build_encoder(dim, basis, &mut rng)?;
+        let trainer = CentroidTrainer::new(classes, dim)?;
+        let classifier = trainer.finish_deterministic(TieBreak::Alternate);
+        Ok(Model {
+            dim,
+            basis,
+            encoder,
+            trainer,
+            classifier,
+        })
+    }
+}
+
+/// A complete HDC classification pipeline behind one object: basis-backed
+/// encoder, centroid trainer and finalized classifier, with per-sample and
+/// batched (parallel, bit-identical) forms of every stage.
+///
+/// Built by [`Pipeline::builder`]. `X` is the input type fixed by the
+/// [`Enc`] spec (`f64`, [`Radians`], `usize`, `[usize]` or `[f64]`).
+///
+/// Training is incremental: every [`fit`](Self::fit)/[`fit_batch`](Self::fit_batch)
+/// folds samples into the per-class accumulators and re-finalizes the
+/// class-vectors with the deterministic
+/// [`TieBreak::Alternate`](hdc_core::TieBreak) policy, so the same samples
+/// always produce bit-identical class-vectors — the property sharded
+/// serving's replicated classifiers rely on.
+pub struct Model<X: ?Sized> {
+    dim: usize,
+    basis: Basis,
+    encoder: Box<dyn DynEncoder<X>>,
+    trainer: CentroidTrainer,
+    classifier: CentroidClassifier,
+}
+
+impl<X: ?Sized> fmt::Debug for Model<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Model")
+            .field("dim", &self.dim)
+            .field("basis", &self.basis)
+            .field("classes", &self.trainer.classes())
+            .field("observed", &self.trainer.counts().iter().sum::<usize>())
+            .field("encoder", &self.encoder)
+            .finish()
+    }
+}
+
+impl<X: ?Sized + Sync> Model<X> {
+    /// Hypervector dimensionality `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.trainer.classes()
+    }
+
+    /// The basis family this pipeline was built with.
+    #[must_use]
+    pub fn basis(&self) -> Basis {
+        self.basis
+    }
+
+    /// Number of training samples observed per class.
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        self.trainer.counts()
+    }
+
+    /// The finalized classifier (the replicated state sharded serving
+    /// copies onto every shard).
+    #[must_use]
+    pub fn classifier(&self) -> &CentroidClassifier {
+        &self.classifier
+    }
+
+    /// Encodes one sample into an owned hypervector.
+    #[must_use]
+    pub fn encode(&self, input: &X) -> BinaryHypervector {
+        let mut words = vec![0u64; self.dim.div_ceil(64)];
+        self.encoder
+            .encode_into(input, HvMut::new(self.dim, &mut words));
+        BinaryHypervector::from_words(self.dim, words)
+    }
+
+    /// Encodes a batch of samples into one contiguous arena, one row per
+    /// input in order, parallelized across the worker pool — bit-identical
+    /// to per-sample [`encode`](Self::encode) (rows are independent).
+    pub fn encode_batch<'a, I>(&self, inputs: I) -> HypervectorBatch
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        let refs: Vec<&X> = inputs.into_iter().collect();
+        self.encode_refs(&refs)
+    }
+
+    /// The shared parallel arena fill behind [`encode_batch`](Self::encode_batch):
+    /// callers that must validate input counts first (against labels)
+    /// collect the refs themselves, so validation failures cost nothing.
+    fn encode_refs(&self, refs: &[&X]) -> HypervectorBatch {
+        let mut batch = HypervectorBatch::zeros(self.dim, refs.len());
+        if refs.is_empty() {
+            return batch;
+        }
+        let rows_per_chunk = if refs.len() < minipool::MIN_PARALLEL_ITEMS {
+            refs.len()
+        } else {
+            refs.len().div_ceil(minipool::max_threads())
+        };
+        let encoder = self.encoder.as_ref();
+        let mut chunks: Vec<_> = batch.chunks_mut(rows_per_chunk).collect();
+        minipool::par_fill_indexed(&mut chunks, |_, chunk| {
+            for (row_index, row) in chunk.rows_mut() {
+                encoder.encode_into(refs[row_index], row);
+            }
+        });
+        batch
+    }
+
+    /// Checks an input count against its per-sample `labels` before any
+    /// encoding work is spent.
+    fn check_labelled(refs: &[&X], labels: &[usize]) -> Result<(), HdcError> {
+        if refs.len() != labels.len() {
+            return Err(HdcError::BatchLengthMismatch {
+                rows: refs.len(),
+                labels: labels.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Folds one labelled sample into the model and re-finalizes the
+    /// class-vectors. For more than a handful of samples prefer
+    /// [`fit_batch`](Self::fit_batch), which finalizes once per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label.
+    pub fn fit(&mut self, input: &X, label: usize) -> Result<(), HdcError> {
+        let hv = self.encode(input);
+        self.trainer.observe(&hv, label)?;
+        self.refresh();
+        Ok(())
+    }
+
+    /// Folds a batch of labelled samples into the model in one parallel
+    /// encode + accumulate pass, then re-finalizes the class-vectors.
+    /// Produces exactly the model repeated [`fit`](Self::fit) calls would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `labels` does not match
+    /// the number of inputs and [`HdcError::LabelOutOfRange`] for an
+    /// unknown label (in which case nothing is accumulated).
+    pub fn fit_batch<'a, I>(&mut self, inputs: I, labels: &[usize]) -> Result<(), HdcError>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        let refs: Vec<&X> = inputs.into_iter().collect();
+        Self::check_labelled(&refs, labels)?;
+        let batch = self.encode_refs(&refs);
+        self.trainer.observe_batch(&batch, labels)?;
+        self.refresh();
+        Ok(())
+    }
+
+    fn refresh(&mut self) {
+        self.classifier = self.trainer.finish_deterministic(TieBreak::Alternate);
+    }
+
+    /// Predicts the label of one sample.
+    #[must_use]
+    pub fn predict(&self, input: &X) -> usize {
+        self.classifier.predict(&self.encode(input))
+    }
+
+    /// Predicts a batch of samples: parallel batched encode into one arena,
+    /// then parallel nearest-class-vector search over its rows.
+    /// Bit-identical to per-sample [`predict`](Self::predict).
+    pub fn predict_batch<'a, I>(&self, inputs: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        self.classifier.predict_rows(&self.encode_batch(inputs))
+    }
+
+    /// Predicts every row of an already encoded arena (the entry point
+    /// sharded serving feeds routed query batches through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_encoded(&self, batch: &HypervectorBatch) -> Vec<usize> {
+        self.classifier.predict_rows(batch)
+    }
+
+    /// Classification accuracy over a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `labels` does not match
+    /// the number of inputs and [`HdcError::EmptyInput`] for an empty set.
+    pub fn evaluate<'a, I>(&self, inputs: I, labels: &[usize]) -> Result<f64, HdcError>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        let refs: Vec<&X> = inputs.into_iter().collect();
+        Self::check_labelled(&refs, labels)?;
+        if refs.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let batch = self.encode_refs(&refs);
+        Ok(metrics::accuracy(
+            &self.classifier.predict_rows(&batch),
+            labels,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn angle_model(seed: u64) -> Model<Radians> {
+        Pipeline::builder(4_096)
+            .seed(seed)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap()
+    }
+
+    fn day_night() -> (Vec<Radians>, Vec<usize>) {
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(i as f64 / 2.0, 24.0))
+            .collect();
+        let labels: Vec<usize> = (0..48).map(|i| usize::from(i >= 24)).collect();
+        (hours, labels)
+    }
+
+    #[test]
+    fn builder_is_deterministic_per_seed() {
+        let (hours, labels) = day_night();
+        let mut a = angle_model(3);
+        let mut b = angle_model(3);
+        a.fit_batch(&hours, &labels).unwrap();
+        b.fit_batch(&hours, &labels).unwrap();
+        assert_eq!(a.classifier(), b.classifier());
+        let mut c = angle_model(4);
+        c.fit_batch(&hours, &labels).unwrap();
+        assert_ne!(a.classifier(), c.classifier());
+    }
+
+    #[test]
+    fn fit_batch_matches_incremental_fit() {
+        let (hours, labels) = day_night();
+        let mut batched = angle_model(1);
+        batched.fit_batch(&hours, &labels).unwrap();
+        let mut incremental = angle_model(1);
+        for (h, &l) in hours.iter().zip(&labels) {
+            incremental.fit(h, l).unwrap();
+        }
+        assert_eq!(batched.classifier(), incremental.classifier());
+        assert_eq!(batched.counts(), &[24, 24]);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample() {
+        let (hours, labels) = day_night();
+        let mut model = angle_model(2);
+        model.fit_batch(&hours, &labels).unwrap();
+        let batched = model.predict_batch(&hours);
+        let serial: Vec<usize> = hours.iter().map(|h| model.predict(h)).collect();
+        assert_eq!(batched, serial);
+        let encoded = model.encode_batch(&hours);
+        assert_eq!(model.predict_encoded(&encoded), serial);
+        let accuracy = model.evaluate(&hours, &labels).unwrap();
+        assert!(accuracy > 0.9, "train accuracy {accuracy}");
+    }
+
+    #[test]
+    fn scalar_and_categorical_and_sequence_pipelines_build() {
+        let mut scalar = Pipeline::builder(2_048)
+            .basis(Basis::Level { m: 16, r: 0.0 })
+            .encoder(Enc::scalar(0.0, 1.0))
+            .build()
+            .unwrap();
+        let xs = [0.1f64, 0.2, 0.8, 0.9];
+        scalar.fit_batch(&xs, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(scalar.predict(&0.15), 0);
+        assert_eq!(scalar.predict(&0.85), 1);
+
+        let mut cat = Pipeline::builder(2_048)
+            .classes(3)
+            .encoder(Enc::categorical(9))
+            .build()
+            .unwrap();
+        let symbols: Vec<usize> = (0..9).collect();
+        let labels: Vec<usize> = symbols.iter().map(|s| s % 3).collect();
+        cat.fit_batch(&symbols, &labels).unwrap();
+        assert_eq!(cat.predict(&4), 1);
+
+        let mut seq = Pipeline::builder(2_048)
+            .encoder(Enc::sequence(5))
+            .build()
+            .unwrap();
+        let seqs: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![0, 2, 1], vec![4, 3, 2], vec![3, 4, 2]];
+        seq.fit_batch(seqs.iter().map(Vec::as_slice), &[0, 0, 1, 1])
+            .unwrap();
+        assert_eq!(seq.predict(&[0usize, 1, 2][..]), 0);
+    }
+
+    #[test]
+    fn default_basis_is_per_spec() {
+        // A scalar pipeline built without .basis() must not quantize its
+        // linear range through a wrapping basis: the interval's ends stay
+        // quasi-orthogonal under the Level default.
+        let model = Pipeline::builder(4_096)
+            .encoder(Enc::scalar(0.0, 100.0))
+            .build()
+            .unwrap();
+        assert_eq!(model.basis(), Basis::Level { m: 16, r: 0.0 });
+        let wrap = model.encode(&0.0).normalized_hamming(&model.encode(&100.0));
+        assert!((wrap - 0.5).abs() < 0.06, "scalar ends wrapped: {wrap}");
+        // Angle pipelines keep the circular default, and an explicit basis
+        // always wins.
+        let angle = Pipeline::builder(1_024)
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        assert_eq!(angle.basis(), Basis::Circular { m: 16, r: 0.0 });
+        let explicit = Pipeline::builder(1_024)
+            .basis(Basis::Random { m: 8 })
+            .encoder(Enc::scalar(0.0, 1.0))
+            .build()
+            .unwrap();
+        assert_eq!(explicit.basis(), Basis::Random { m: 8 });
+    }
+
+    #[test]
+    fn record_pipeline_classifies_feature_rows() {
+        let mut model = Pipeline::builder(4_096)
+            .seed(5)
+            .classes(2)
+            .basis(Basis::Circular { m: 16, r: 0.0 })
+            .encoder(Enc::record(vec![
+                FieldSpec::scalar(0.0, 1.0),
+                FieldSpec::angle(),
+            ]))
+            .build()
+            .unwrap();
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0.1 + 0.01 * i as f64 / 20.0, 0.3]
+                } else {
+                    vec![0.9 - 0.01 * i as f64 / 20.0, 3.1]
+                }
+            })
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        model
+            .fit_batch(rows.iter().map(Vec::as_slice), &labels)
+            .unwrap();
+        assert_eq!(model.predict(&[0.12, 0.25][..]), 0);
+        assert_eq!(model.predict(&[0.88, 3.2][..]), 1);
+        assert!(format!("{model:?}").contains("Model"));
+    }
+
+    #[test]
+    fn build_rejects_invalid_parameters() {
+        assert!(Pipeline::builder(0).encoder(Enc::angle()).build().is_err());
+        assert!(Pipeline::builder(64)
+            .classes(0)
+            .encoder(Enc::angle())
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(64)
+            .basis(Basis::Circular { m: 8, r: 1.5 })
+            .encoder(Enc::angle())
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(64)
+            .encoder(Enc::scalar(1.0, 0.0))
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(64)
+            .encoder(Enc::record(vec![]))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn fit_errors_leave_model_usable() {
+        let (hours, labels) = day_night();
+        let mut model = angle_model(6);
+        model.fit_batch(&hours, &labels).unwrap();
+        let before = model.classifier().clone();
+        assert!(matches!(
+            model.fit_batch(&hours, &labels[..10]),
+            Err(HdcError::BatchLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            model.fit(&hours[0], 7),
+            Err(HdcError::LabelOutOfRange { .. })
+        ));
+        assert_eq!(model.classifier(), &before);
+        assert!(matches!(
+            model.evaluate(&hours[..2], &labels[..3]),
+            Err(HdcError::BatchLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            model.evaluate(&[], &[]),
+            Err(HdcError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,589 @@
+//! Sharded serving over the hyperdimensional consistent-hash ring.
+//!
+//! A [`ShardedModel`] partitions the *stateful* half of a serving fleet —
+//! per-key item memories — across shards placed on an
+//! [`HdcHashRing`], while the *stateless* half — the finalized class
+//! vectors — is replicated onto every shard. Query batches are routed by
+//! key to their owning shards, predicted per shard with the batched
+//! parallel `predict_rows` path, and merged back in input order.
+//!
+//! Because the classifier is replicated and deterministic, predictions are
+//! **bit-identical** to the unsharded [`Model`](crate::Model) for *any*
+//! shard count and any churn history — resharding only moves keys, never
+//! answers. And because the ring's positions are circular hypervectors,
+//! [`add_shard`](ShardedModel::add_shard)/[`remove_shard`](ShardedModel::remove_shard)
+//! remap only the expected `1/n` fraction of keys, degrading gracefully
+//! exactly as in the scheme circular hypervectors were invented for
+//! (Heddes et al., DAC 2022).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, ItemMemory};
+use hdc_hash::HdcHashRing;
+use hdc_learn::CentroidClassifier;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::Model;
+
+/// Ring geometry of a [`ShardedModel`]: how many sectors the consistent-
+/// hash circle is quantized into, the dimensionality of the ring's own
+/// (routing-only) hypervectors, and how many virtual replicas each shard
+/// occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Number of ring sectors (circular basis size).
+    pub positions: usize,
+    /// Dimensionality of the ring's position hypervectors. Independent of
+    /// the model dimensionality — routing only compares ring vectors.
+    pub dim: usize,
+    /// Virtual nodes per shard (more replicas smooth the load).
+    pub replicas: usize,
+}
+
+impl Default for RingConfig {
+    /// 128 sectors of 1,024-bit hypervectors, 4 virtual replicas per shard.
+    fn default() -> Self {
+        Self {
+            positions: 128,
+            dim: 1_024,
+            replicas: 4,
+        }
+    }
+}
+
+/// A serving fleet for one trained classifier: replicated class vectors,
+/// sharded item memories, consistent-hash routing.
+///
+/// `K` is the key type of the sharded item memories (stored per-key
+/// hypervectors, e.g. cached encodings or per-entity profiles); routing
+/// accepts any `Hash` key type.
+///
+/// ```
+/// use hdc_serve::{Basis, Enc, Pipeline, Radians, ShardedModel};
+///
+/// let mut model = Pipeline::builder(4_096)
+///     .seed(11)
+///     .basis(Basis::Circular { m: 24, r: 0.0 })
+///     .encoder(Enc::angle())
+///     .build()?;
+/// let hours: Vec<Radians> = (0..24).map(|h| Radians::periodic(h as f64, 24.0)).collect();
+/// let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+/// model.fit_batch(&hours, &labels)?;
+///
+/// // Serve the same classifier from three shards.
+/// let fleet: ShardedModel<String> = ShardedModel::from_model(&model, 3, 0)?;
+/// let keys: Vec<String> = (0..24).map(|i| format!("sensor-{i}")).collect();
+/// let queries = model.encode_batch(&hours);
+/// let sharded = fleet.predict_batch(&keys, &queries)?;
+/// // Routing never changes answers: bit-identical to the unsharded model.
+/// assert_eq!(sharded, model.predict_encoded(&queries));
+/// # Ok::<(), hdc_serve::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedModel<K: Hash + Eq + Clone = u64> {
+    classifier: CentroidClassifier,
+    dim: usize,
+    ring: HdcHashRing<usize>,
+    shards: Vec<(usize, ItemMemory<K>)>,
+    next_shard_id: usize,
+}
+
+impl<K: Hash + Eq + Clone> ShardedModel<K> {
+    /// Creates a fleet of `shards` shards serving `classifier` over
+    /// `dim`-bit queries, with the default [`RingConfig`]. The ring's
+    /// circular basis is drawn from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `shards == 0` (and
+    /// propagates invalid ring geometry).
+    pub fn new(
+        classifier: CentroidClassifier,
+        dim: usize,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        Self::with_ring(classifier, dim, shards, RingConfig::default(), seed)
+    }
+
+    /// [`new`](Self::new) with an explicit ring geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `shards == 0` or the ring geometry is
+    /// invalid.
+    pub fn with_ring(
+        classifier: CentroidClassifier,
+        dim: usize,
+        shards: usize,
+        config: RingConfig,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if shards == 0 {
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
+        }
+        if dim == 0 {
+            return Err(HdcError::InvalidDimension(dim));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ring =
+            HdcHashRing::with_replicas(config.positions, config.dim, config.replicas, &mut rng)?;
+        let mut shard_memories = Vec::with_capacity(shards);
+        for id in 0..shards {
+            ring.add_node(id);
+            shard_memories.push((id, ItemMemory::new()));
+        }
+        Ok(Self {
+            classifier,
+            dim,
+            ring,
+            shards: shard_memories,
+            next_shard_id: shards,
+        })
+    }
+
+    /// Builds a fleet straight from a trained [`Model`], replicating its
+    /// finalized classifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if `shards == 0`.
+    pub fn from_model<X: ?Sized + Sync>(
+        model: &Model<X>,
+        shards: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        Self::new(model.classifier().clone(), model.dim(), shards, seed)
+    }
+
+    /// Number of live shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ids of the live shards, in creation order.
+    #[must_use]
+    pub fn shard_ids(&self) -> Vec<usize> {
+        self.shards.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Query dimensionality `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes of the replicated classifier.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classifier.classes()
+    }
+
+    /// The replicated classifier.
+    #[must_use]
+    pub fn classifier(&self) -> &CentroidClassifier {
+        &self.classifier
+    }
+
+    /// Total number of stored item-memory entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|(_, memory)| memory.len()).sum()
+    }
+
+    /// `true` if no shard stores any entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries stored on one shard, or `None` for an unknown id.
+    #[must_use]
+    pub fn shard_len(&self, id: usize) -> Option<usize> {
+        self.shards
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, memory)| memory.len())
+    }
+
+    /// The shard a key routes to (most similar ring position).
+    #[must_use]
+    pub fn shard_of<Q: Hash>(&self, key: &Q) -> usize {
+        *self
+            .ring
+            .lookup(key)
+            .expect("a sharded model always keeps at least one shard")
+    }
+
+    /// Adds a shard, rebalancing: every stored entry whose key now routes
+    /// to the new shard migrates there (and nothing else moves — the
+    /// consistent-hashing guarantee). Returns the new shard's id.
+    pub fn add_shard(&mut self) -> usize {
+        let id = self.next_shard_id;
+        self.next_shard_id += 1;
+        self.ring.add_node(id);
+        self.shards.push((id, ItemMemory::new()));
+        self.rebalance();
+        id
+    }
+
+    /// Removes a shard, redistributing its stored entries to their new
+    /// owners. Returns `false` (and does nothing) for an unknown id or if
+    /// this is the last shard — a fleet never drops its only copy of the
+    /// sharded state.
+    pub fn remove_shard(&mut self, id: usize) -> bool {
+        if self.shards.len() <= 1 {
+            return false;
+        }
+        let Some(position) = self.shards.iter().position(|(sid, _)| *sid == id) else {
+            return false;
+        };
+        self.ring.remove_node(&id);
+        let (_, memory) = self.shards.remove(position);
+        for (key, hv) in memory.into_entries() {
+            self.insert(key, hv);
+        }
+        true
+    }
+
+    /// Moves every entry that no longer lives on its owning shard. Called
+    /// by [`add_shard`](Self::add_shard); idempotent.
+    fn rebalance(&mut self) {
+        let mut moves: Vec<(K, BinaryHypervector)> = Vec::new();
+        for index in 0..self.shards.len() {
+            let id = self.shards[index].0;
+            let ring = &self.ring;
+            let misplaced: Vec<K> = self.shards[index]
+                .1
+                .iter()
+                .filter(|(key, _)| ring.lookup(*key) != Some(&id))
+                .map(|(key, _)| key.clone())
+                .collect();
+            for key in misplaced {
+                let hv = self.shards[index]
+                    .1
+                    .remove(&key)
+                    .expect("key was just listed");
+                moves.push((key, hv));
+            }
+        }
+        for (key, hv) in moves {
+            self.insert(key, hv);
+        }
+    }
+
+    /// Stores `hv` under `key` in the owning shard's item memory, returning
+    /// the previous entry if the key was already stored (possibly on a
+    /// different shard — the old copy is dropped from there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv`'s dimensionality differs from the fleet's.
+    pub fn insert(&mut self, key: K, hv: BinaryHypervector) -> Option<BinaryHypervector> {
+        assert_eq!(
+            self.dim,
+            hv.dim(),
+            "dimension mismatch: expected {}, found {}",
+            self.dim,
+            hv.dim()
+        );
+        let owner = self.shard_of(&key);
+        let mut previous = None;
+        for (id, memory) in &mut self.shards {
+            if *id != owner {
+                if let Some(old) = memory.remove(&key) {
+                    previous = Some(old);
+                }
+            }
+        }
+        let (_, memory) = self
+            .shards
+            .iter_mut()
+            .find(|(id, _)| *id == owner)
+            .expect("owner is a live shard");
+        memory.insert(key, hv).or(previous)
+    }
+
+    /// Looks up a stored entry on its owning shard.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&BinaryHypervector> {
+        let owner = self.shard_of(key);
+        self.shards
+            .iter()
+            .find(|(id, _)| *id == owner)
+            .and_then(|(_, memory)| memory.get(key))
+    }
+
+    /// Predicts one encoded query (served by whichever shard — the
+    /// classifier is replicated, so no routing is needed for a single
+    /// stateless prediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality differs from the fleet's.
+    #[must_use]
+    pub fn predict(&self, query: &BinaryHypervector) -> usize {
+        self.classifier.predict(query)
+    }
+
+    /// Routes a keyed batch: for each shard (in creation order) the input
+    /// row indices it serves, in input order. Empty groups are included so
+    /// load imbalance is visible.
+    #[must_use]
+    pub fn route<Q: Hash>(&self, keys: &[Q]) -> Vec<(usize, Vec<usize>)> {
+        let index_of: HashMap<usize, usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, (id, _))| (*id, index))
+            .collect();
+        let mut groups: Vec<(usize, Vec<usize>)> = self
+            .shards
+            .iter()
+            .map(|(id, _)| (*id, Vec::new()))
+            .collect();
+        for (row, key) in keys.iter().enumerate() {
+            let owner = self.shard_of(key);
+            groups[index_of[&owner]].1.push(row);
+        }
+        groups
+    }
+
+    /// Serves a keyed query batch: routes each row to its owning shard,
+    /// runs the batched `predict_rows` path per shard across the worker
+    /// pool, and merges the labels back in input order.
+    ///
+    /// Bit-identical to the unsharded
+    /// [`Model::predict_encoded`](crate::Model::predict_encoded) for any
+    /// shard count: routing decides *where* a query is answered, never
+    /// *what* the answer is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `keys` and `queries`
+    /// disagree in length and [`HdcError::DimensionMismatch`] if the batch
+    /// dimensionality differs from the fleet's.
+    pub fn predict_batch<Q: Hash + Sync>(
+        &self,
+        keys: &[Q],
+        queries: &HypervectorBatch,
+    ) -> Result<Vec<usize>, HdcError> {
+        if keys.len() != queries.len() {
+            return Err(HdcError::BatchLengthMismatch {
+                rows: queries.len(),
+                labels: keys.len(),
+            });
+        }
+        if !queries.is_empty() && queries.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                found: queries.dim(),
+            });
+        }
+        // Route rows to shards, then ship each shard its own contiguous
+        // sub-batch (what a real fleet would put on the wire).
+        let groups = self.route(keys);
+        let sub_batches: Vec<HypervectorBatch> = groups
+            .iter()
+            .map(|(_, rows)| {
+                let mut sub = HypervectorBatch::with_capacity(self.dim, rows.len());
+                for &row in rows {
+                    sub.push_row(queries.row(row));
+                }
+                sub
+            })
+            .collect();
+        // One predict_rows per shard, fanned out across the pool. Workers
+        // write disjoint groups and results merge by input order below, so
+        // the output is deterministic regardless of scheduling.
+        let classifier = &self.classifier;
+        let per_shard: Vec<Vec<usize>> =
+            minipool::par_map_indexed(&sub_batches, |_, sub| classifier.predict_rows(sub));
+        let mut merged = vec![0usize; queries.len()];
+        for ((_, rows), labels) in groups.iter().zip(&per_shard) {
+            for (&row, &label) in rows.iter().zip(labels) {
+                merged[row] = label;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn classifier(rng: &mut StdRng, classes: usize, dim: usize) -> CentroidClassifier {
+        let protos: Vec<BinaryHypervector> = (0..classes)
+            .map(|_| BinaryHypervector::random(dim, rng))
+            .collect();
+        CentroidClassifier::from_class_vectors(protos).unwrap()
+    }
+
+    fn fleet(shards: usize) -> (ShardedModel<String>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let model = ShardedModel::new(classifier(&mut rng, 4, 1_024), 1_024, shards, 9).unwrap();
+        (model, rng)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (fleet, _) = fleet(3);
+        assert_eq!(fleet.shard_count(), 3);
+        assert_eq!(fleet.shard_ids(), vec![0, 1, 2]);
+        assert_eq!(fleet.dim(), 1_024);
+        assert_eq!(fleet.classes(), 4);
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.shard_len(1), Some(0));
+        assert_eq!(fleet.shard_len(9), None);
+        assert!(ShardedModel::<u64>::new(fleet.classifier().clone(), 1_024, 0, 0).is_err());
+        assert!(ShardedModel::<u64>::new(fleet.classifier().clone(), 0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_replicated_classifier() {
+        let (fleet, mut rng) = fleet(4);
+        let queries: Vec<BinaryHypervector> = (0..50)
+            .map(|_| BinaryHypervector::random(1_024, &mut rng))
+            .collect();
+        let keys: Vec<String> = (0..50).map(|i| format!("key-{i}")).collect();
+        let batch = HypervectorBatch::from_vectors(&queries).unwrap();
+        let sharded = fleet.predict_batch(&keys, &batch).unwrap();
+        assert_eq!(sharded, fleet.classifier().predict_rows(&batch));
+        for (query, label) in queries.iter().zip(&sharded) {
+            assert_eq!(fleet.predict(query), *label);
+        }
+    }
+
+    #[test]
+    fn predict_batch_validates_inputs() {
+        let (fleet, mut rng) = fleet(2);
+        let batch =
+            HypervectorBatch::from_vectors(&[BinaryHypervector::random(1_024, &mut rng)]).unwrap();
+        assert!(matches!(
+            fleet.predict_batch(&["a", "b"], &batch),
+            Err(HdcError::BatchLengthMismatch { rows: 1, labels: 2 })
+        ));
+        let wrong =
+            HypervectorBatch::from_vectors(&[BinaryHypervector::random(512, &mut rng)]).unwrap();
+        assert!(matches!(
+            fleet.predict_batch(&["a"], &wrong),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+        let empty = HypervectorBatch::new(1_024);
+        assert_eq!(
+            fleet.predict_batch::<&str>(&[], &empty).unwrap(),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn item_memory_is_sharded_and_rebalances() {
+        let (mut fleet, mut rng) = fleet(3);
+        let entries: Vec<(String, BinaryHypervector)> = (0..60)
+            .map(|i| {
+                (
+                    format!("item-{i}"),
+                    BinaryHypervector::random(1_024, &mut rng),
+                )
+            })
+            .collect();
+        for (key, hv) in &entries {
+            assert!(fleet.insert(key.clone(), hv.clone()).is_none());
+        }
+        assert_eq!(fleet.len(), 60);
+        // Every entry lives exactly on its routed shard.
+        for (key, hv) in &entries {
+            assert_eq!(fleet.get(key), Some(hv));
+            let owner = fleet.shard_of(key);
+            assert!(fleet.shard_len(owner).unwrap() > 0);
+        }
+
+        // Growing the fleet moves only the keys the ring reassigns…
+        let owners_before: Vec<usize> = entries.iter().map(|(k, _)| fleet.shard_of(k)).collect();
+        let new_shard = fleet.add_shard();
+        let mut moved = 0;
+        for ((key, hv), owner_before) in entries.iter().zip(&owners_before) {
+            let owner_after = fleet.shard_of(key);
+            if owner_after != *owner_before {
+                assert_eq!(owner_after, new_shard, "movers must land on the new shard");
+                moved += 1;
+            }
+            // …and no entry is ever lost or stale.
+            assert_eq!(fleet.get(key), Some(hv));
+        }
+        assert!(moved < entries.len(), "a graceful reshard moves a fraction");
+        assert_eq!(fleet.len(), 60);
+
+        // Shrinking redistributes the removed shard's entries.
+        assert!(fleet.remove_shard(new_shard));
+        assert!(!fleet.remove_shard(new_shard));
+        assert_eq!(fleet.len(), 60);
+        for ((key, hv), owner_before) in entries.iter().zip(&owners_before) {
+            assert_eq!(
+                fleet.shard_of(key),
+                *owner_before,
+                "removal restores owners"
+            );
+            assert_eq!(fleet.get(key), Some(hv));
+        }
+    }
+
+    #[test]
+    fn last_shard_cannot_be_removed() {
+        let (mut fleet, mut rng) = fleet(2);
+        fleet.insert(
+            "only".to_string(),
+            BinaryHypervector::random(1_024, &mut rng),
+        );
+        assert!(fleet.remove_shard(0));
+        assert!(!fleet.remove_shard(1), "the last shard must survive");
+        assert_eq!(fleet.shard_count(), 1);
+        assert_eq!(fleet.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_across_shards() {
+        let (mut fleet, mut rng) = fleet(4);
+        let first = BinaryHypervector::random(1_024, &mut rng);
+        let second = BinaryHypervector::random(1_024, &mut rng);
+        fleet.insert("k".to_string(), first.clone());
+        let old = fleet.insert("k".to_string(), second.clone());
+        assert_eq!(old, Some(first));
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.get(&"k".to_string()), Some(&second));
+    }
+
+    #[test]
+    fn route_covers_every_row_once() {
+        let (fleet, _) = fleet(3);
+        let keys: Vec<u32> = (0..40).collect();
+        let groups = fleet.route(&keys);
+        assert_eq!(groups.len(), 3);
+        let mut seen = vec![false; keys.len()];
+        for (id, rows) in &groups {
+            assert!(fleet.shard_ids().contains(id));
+            for &row in rows {
+                assert!(!seen[row], "row {row} routed twice");
+                seen[row] = true;
+                assert_eq!(fleet.shard_of(&keys[row]), *id);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_key_types_route_consistently() {
+        let (fleet, mut rng) = fleet(5);
+        for _ in 0..20 {
+            let key: u64 = rng.random();
+            assert_eq!(fleet.shard_of(&key), fleet.shard_of(&key));
+        }
+    }
+}

@@ -1,12 +1,13 @@
-//! Quickstart: hypervector arithmetic and the three basis-hypervector
-//! families in two minutes.
+//! Quickstart: hypervector arithmetic, the three basis-hypervector
+//! families, and a full classifier through the unified `Pipeline` builder —
+//! all in two minutes.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
 use hdc::basis::{BasisSet, CircularBasis, LevelBasis, RandomBasis};
-use hdc::{BinaryHypervector, HdcError, MajorityAccumulator};
+use hdc::{Basis, BinaryHypervector, Enc, HdcError, MajorityAccumulator, Pipeline, Radians};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() -> Result<(), HdcError> {
@@ -68,5 +69,32 @@ fn main() -> Result<(), HdcError> {
         println!("  {name:<9} {row}");
     }
     println!("\nrandom: flat ≈ 0.5 | level: linear ramp | circular: ramps up then *wraps back*");
+
+    println!("\n== A full classifier through Pipeline::builder (9 lines) ==");
+    // Day vs night over the 24-hour circle — basis, encoder and learner
+    // wired by the builder; no manual RNG/basis/encoder/trainer plumbing.
+    let mut model = Pipeline::builder(dim)
+        .seed(7)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()?;
+    let hours: Vec<Radians> = (0..24)
+        .map(|h| Radians::periodic(f64::from(h), 24.0))
+        .collect();
+    let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+    model.fit_batch(&hours, &labels)?;
+    println!(
+        "3 am  -> class {} (am)",
+        model.predict(&Radians::periodic(3.0, 24.0))
+    );
+    // (end of the 9-line classifier)
+    println!(
+        "9 pm  -> class {} (am=0 / pm=1)",
+        model.predict(&Radians::periodic(21.0, 24.0))
+    );
+    println!(
+        "train accuracy = {:.0}%",
+        100.0 * model.evaluate(&hours, &labels)?
+    );
     Ok(())
 }

@@ -1,0 +1,109 @@
+//! Sharded serving end to end: one `Pipeline`-built model, replicated
+//! class vectors, item memories partitioned over the `hdc-hash` ring, and
+//! batched keyed prediction that stays **bit-identical** under shard churn.
+//!
+//! The demo trains a temperature-band classifier on the Beijing surrogate's
+//! daily circle, then serves a keyed query batch from fleets of 1–8 shards,
+//! verifying every answer against the unsharded model, and finally walks
+//! through the graceful-degradation story: adding and removing shards only
+//! remaps the expected `1/n` slice of keys.
+//!
+//! ```text
+//! cargo run --release --example sharded_serving
+//! ```
+
+use hdc::datasets::beijing::{self, BeijingConfig, DAYS_PER_YEAR};
+use hdc::serve::Radians;
+use hdc::{Basis, Enc, HdcError, Pipeline, ShardedModel};
+
+fn main() -> Result<(), HdcError> {
+    // --- Train one model through the builder. ---------------------------
+    let config = BeijingConfig::default();
+    let data = beijing::generate(&config);
+    let (train, test) = data.temporal_split(0.7);
+    let (min_t, max_t) = data.temperature_range();
+    let band = |t: f64| -> usize {
+        let step = (max_t - min_t) / 3.0;
+        (((t - min_t) / step) as usize).min(2)
+    };
+
+    let mut model = Pipeline::builder(10_000)
+        .seed(42)
+        .classes(3)
+        .basis(Basis::Circular { m: 73, r: 0.01 })
+        .encoder(Enc::angle())
+        .build()?;
+    let encode_day = |day: f64| Radians::periodic(day, DAYS_PER_YEAR);
+    let days: Vec<Radians> = train.iter().map(|s| encode_day(s.day_of_year)).collect();
+    let labels: Vec<usize> = train.iter().map(|s| band(s.temperature)).collect();
+    model.fit_batch(&days, &labels)?;
+
+    let test_days: Vec<Radians> = test.iter().map(|s| encode_day(s.day_of_year)).collect();
+    let test_labels: Vec<usize> = test.iter().map(|s| band(s.temperature)).collect();
+    println!(
+        "temperature-band model: {} train / {} test samples, accuracy = {:.1}%",
+        train.len(),
+        test.len(),
+        100.0 * model.evaluate(&test_days, &test_labels)?
+    );
+
+    // --- Serve the same queries from fleets of different sizes. ---------
+    let queries = model.encode_batch(&test_days);
+    let keys: Vec<String> = (0..test.len()).map(|i| format!("station-{i}")).collect();
+    let unsharded = model.predict_encoded(&queries);
+
+    println!(
+        "\nrouted batched prediction ({} keyed queries):",
+        keys.len()
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let fleet: ShardedModel<String> = ShardedModel::from_model(&model, shards, 7)?;
+        let sharded = fleet.predict_batch(&keys, &queries)?;
+        assert_eq!(sharded, unsharded, "sharding must never change answers");
+        let loads: Vec<usize> = fleet
+            .route(&keys)
+            .into_iter()
+            .map(|(_, rows)| rows.len())
+            .collect();
+        println!("  {shards} shard(s): bit-identical to unsharded; per-shard load {loads:?}");
+    }
+
+    // --- Graceful degradation: churn remaps only a 1/n slice. -----------
+    let mut fleet: ShardedModel<String> = ShardedModel::from_model(&model, 4, 7)?;
+    for (key, row) in keys.iter().zip(queries.rows()) {
+        fleet.insert(key.clone(), row.to_hypervector());
+    }
+    println!(
+        "\nshard churn over {} stored item-memory entries (4 shards):",
+        fleet.len()
+    );
+
+    let owners_before: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+    let new_shard = fleet.add_shard();
+    let moved = keys
+        .iter()
+        .zip(&owners_before)
+        .filter(|(k, before)| fleet.shard_of(*k) != **before)
+        .count();
+    println!(
+        "  add shard #{new_shard}:    {:5.1}% of keys migrated (expected ≈ 1/5 = 20%)",
+        100.0 * moved as f64 / keys.len() as f64
+    );
+    let after_add = fleet.predict_batch(&keys, &queries)?;
+    assert_eq!(after_add, unsharded, "predictions survive shard addition");
+
+    assert!(fleet.remove_shard(new_shard));
+    let restored: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+    assert_eq!(restored, owners_before, "removal restores the assignment");
+    println!("  remove shard #{new_shard}: every key returns to its previous owner");
+
+    let after_remove = fleet.predict_batch(&keys, &queries)?;
+    assert_eq!(after_remove, unsharded, "predictions survive shard removal");
+    assert_eq!(fleet.len(), keys.len(), "no item-memory entry was lost");
+    println!(
+        "  all {} entries intact; all {} answers still bit-identical",
+        fleet.len(),
+        keys.len()
+    );
+    Ok(())
+}

@@ -1,21 +1,17 @@
 //! Surgical gesture classification on the JIGSAWS surrogate — the paper's
 //! Table 1 workload on a single task, comparing the three basis families.
 //!
-//! Each sample is 18 manipulator orientation angles; the sample encoding is
-//! the key–value record `⊕ᵢ Kᵢ ⊗ Vᵢ` and the model is a centroid classifier
-//! trained on the experienced surgeon "D" only.
+//! Each sample is 18 manipulator orientation angles; the whole pipeline
+//! (per-channel angle quantization, key–value record binding, centroid
+//! learning) is wired by `Pipeline::builder` with an `Enc::record` spec of
+//! 18 angle fields — no manual encoder plumbing.
 //!
 //! ```text
 //! cargo run --release --example surgical_gestures
 //! ```
 
-use hdc::basis::BasisKind;
-use hdc::core::BinaryHypervector;
 use hdc::datasets::jigsaws::{JigsawsConfig, JigsawsSample, JigsawsTask, TRAIN_SURGEON};
-use hdc::encode::RecordEncoder;
-use hdc::learn::{metrics, CentroidClassifier};
-use hdc::HdcError;
-use rand::{rngs::StdRng, SeedableRng};
+use hdc::{Basis, Enc, FieldSpec, HdcError, Pipeline};
 
 const DIM: usize = 10_000;
 const BINS: usize = 16;
@@ -32,15 +28,15 @@ fn main() -> Result<(), HdcError> {
         test.len()
     );
 
-    for kind in [
-        BasisKind::Random,
-        BasisKind::Level { randomness: 0.0 },
-        BasisKind::Circular { randomness: 0.1 },
+    for basis in [
+        Basis::Random { m: BINS },
+        Basis::Level { m: BINS, r: 0.0 },
+        Basis::Circular { m: BINS, r: 0.1 },
     ] {
-        let accuracy = evaluate(kind, &data.gesture_count, &train, &test)?;
+        let accuracy = evaluate(basis, data.gesture_count, &train, &test)?;
         println!(
-            "{:<22} accuracy = {:.1}%",
-            format!("{kind:?}"),
+            "{:<28} accuracy = {:.1}%",
+            format!("{basis:?}"),
             100.0 * accuracy
         );
     }
@@ -48,47 +44,25 @@ fn main() -> Result<(), HdcError> {
 }
 
 fn evaluate(
-    kind: BasisKind,
-    classes: &usize,
+    basis: Basis,
+    classes: usize,
     train: &[&JigsawsSample],
     test: &[&JigsawsSample],
 ) -> Result<f64, HdcError> {
-    let mut rng = StdRng::seed_from_u64(7);
+    // 18 circular kinematic channels, quantized through the basis under
+    // test, record-bound and centroid-learned — one builder chain.
+    let mut model = Pipeline::builder(DIM)
+        .seed(7)
+        .classes(classes)
+        .basis(basis)
+        .encoder(Enc::record(vec![FieldSpec::angle(); 18]))
+        .build()?;
 
-    // One angular value encoder per channel, equal-width bins over [0, 2π).
-    let value_encoders: Vec<Vec<BinaryHypervector>> = (0..18)
-        .map(|_| Ok(kind.build(BINS, DIM, &mut rng)?.hypervectors().to_vec()))
-        .collect::<Result<_, HdcError>>()?;
-    let record = RecordEncoder::new(18, DIM, &mut rng)?;
-    let tau = std::f64::consts::TAU;
-    let encode = |sample: &JigsawsSample, rng: &mut StdRng| -> BinaryHypervector {
-        let values: Vec<&BinaryHypervector> = sample
-            .angles
-            .iter()
-            .zip(&value_encoders)
-            .map(|(&angle, hvs)| {
-                let bin = ((angle.rem_euclid(tau) / tau * BINS as f64) as usize).min(BINS - 1);
-                &hvs[bin]
-            })
-            .collect();
-        record.encode(&values, rng).expect("arity matches")
-    };
+    let rows: Vec<&[f64]> = train.iter().map(|s| s.angles.as_slice()).collect();
+    let labels: Vec<usize> = train.iter().map(|s| s.gesture).collect();
+    model.fit_batch(rows.iter().copied(), &labels)?;
 
-    let encoded: Vec<(BinaryHypervector, usize)> = train
-        .iter()
-        .map(|s| (encode(s, &mut rng), s.gesture))
-        .collect();
-    let model = CentroidClassifier::fit(
-        encoded.iter().map(|(hv, l)| (hv, *l)),
-        *classes,
-        DIM,
-        &mut rng,
-    )?;
-
-    let predicted: Vec<usize> = test
-        .iter()
-        .map(|s| model.predict(&encode(s, &mut rng)))
-        .collect();
-    let truth: Vec<usize> = test.iter().map(|s| s.gesture).collect();
-    Ok(metrics::accuracy(&predicted, &truth))
+    let test_rows: Vec<&[f64]> = test.iter().map(|s| s.angles.as_slice()).collect();
+    let test_labels: Vec<usize> = test.iter().map(|s| s.gesture).collect();
+    model.evaluate(test_rows.iter().copied(), &test_labels)
 }

@@ -20,8 +20,30 @@
 //!   evaluation datasets.
 //! * `hash` ([`hdc_hash`]) — hyperdimensional consistent hashing, the original
 //!   application of circular hypervectors.
+//! * `serve` ([`hdc_serve`]) — the unified [`Pipeline`]/[`Model`] builder API
+//!   and [`ShardedModel`] serving over the consistent-hash ring.
 //!
 //! # Quickstart
+//!
+//! A full classifier through the builder — basis, encoder and learner behind
+//! one object:
+//!
+//! ```
+//! use hdc::{Basis, Enc, Pipeline, Radians};
+//!
+//! let mut model = Pipeline::builder(10_000)
+//!     .seed(42)
+//!     .basis(Basis::Circular { m: 24, r: 0.0 })
+//!     .encoder(Enc::angle())
+//!     .build()?;
+//! let hours: Vec<Radians> = (0..24).map(|h| Radians::periodic(h as f64, 24.0)).collect();
+//! let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+//! model.fit_batch(&hours, &labels)?;
+//! assert_eq!(model.predict(&Radians::periodic(3.0, 24.0)), 0);
+//! # Ok::<(), hdc::HdcError>(())
+//! ```
+//!
+//! The underlying pieces stay directly usable, e.g. the basis sets:
 //!
 //! ```
 //! use hdc::basis::{BasisSet, CircularBasis};
@@ -44,6 +66,7 @@ pub use hdc_datasets as datasets;
 pub use hdc_encode as encode;
 pub use hdc_hash as hash;
 pub use hdc_learn as learn;
+pub use hdc_serve as serve;
 
 pub use dirstats;
 
@@ -51,4 +74,5 @@ pub use hdc_core::{
     BinaryHypervector, BipolarHypervector, HdcError, HvMut, HvRef, HypervectorBatch, ItemMemory,
     MajorityAccumulator, TieBreak, DEFAULT_DIMENSION,
 };
-pub use hdc_encode::{Encoder, Radians};
+pub use hdc_encode::{Encoder, FeatureRecordEncoder, FieldSpec, Radians};
+pub use hdc_serve::{Basis, Enc, Model, Pipeline, RingConfig, ShardedModel};

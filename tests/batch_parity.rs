@@ -127,16 +127,26 @@ proptest! {
         }
     }
 
-    /// The flat `SimilarityMatrix` agrees with the deprecated nested shape.
+    /// The flat `SimilarityMatrix` agrees with a naive per-pair reference
+    /// (every entry, both triangles, unit diagonal).
     #[test]
-    fn similarity_matrix_matches_deprecated_shim(seed in 0u64..100, n in 0usize..8) {
+    fn similarity_matrix_matches_naive_reference(seed in 0u64..100, n in 0usize..8) {
         let mut rng = StdRng::seed_from_u64(seed);
         let items: Vec<BinaryHypervector> =
             (0..n).map(|_| BinaryHypervector::random(257, &mut rng)).collect();
         let flat = similarity::pairwise_similarity_matrix(&items);
-        #[allow(deprecated)]
-        let nested = similarity::pairwise_similarity(&items);
-        prop_assert_eq!(flat.to_nested(), nested);
+        prop_assert_eq!(flat.len(), n);
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if i == j { 1.0 } else { items[i].similarity(&items[j]) };
+                prop_assert_eq!(flat.get(i, j), expected);
+            }
+        }
+        // The nested copy-out keeps the exact same values, row for row.
+        let nested = flat.to_nested();
+        for (i, row) in nested.iter().enumerate() {
+            prop_assert_eq!(row.as_slice(), flat.row(i));
+        }
     }
 }
 

@@ -1,0 +1,147 @@
+//! Property tests for the serving layer: sharded prediction must be
+//! **bit-identical** to the unsharded [`Model`] for any shard count, and
+//! shard churn must remap only the expected fraction of keys (the
+//! consistent-hashing guarantees, asserted end-to-end through
+//! `ShardedModel` rather than the raw ring).
+
+use hdc::serve::Radians;
+use hdc::{Basis, BinaryHypervector, Enc, HypervectorBatch, Model, Pipeline, ShardedModel};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A small trained angle pipeline (day/night over the 24-hour circle).
+fn trained_model(dim: usize, seed: u64) -> Model<Radians> {
+    let mut model = Pipeline::builder(dim)
+        .seed(seed)
+        .classes(2)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    let labels: Vec<usize> = (0..48).map(|i| usize::from(i >= 24)).collect();
+    model
+        .fit_batch(&hours, &labels)
+        .expect("valid training set");
+    model
+}
+
+proptest! {
+    /// Acceptance criterion: `ShardedModel::predict_batch` over any shard
+    /// count (including ≥ 2) is bit-identical to the unsharded `Model`.
+    #[test]
+    fn sharded_predictions_match_unsharded_model(
+        seed in 0u64..50,
+        shards in 1usize..7,
+        dim in 200usize..400,
+        queries in 1usize..60,
+    ) {
+        let model = trained_model(dim, seed);
+        let fleet: ShardedModel<String> =
+            ShardedModel::from_model(&model, shards, seed ^ 0xA5).expect("valid fleet");
+        prop_assert_eq!(fleet.shard_count(), shards);
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let inputs: Vec<Radians> = (0..queries)
+            .map(|_| Radians(rng.random_range(0.0f64..7.0)))
+            .collect();
+        let keys: Vec<String> = (0..queries).map(|i| format!("user-{i}")).collect();
+
+        let encoded = model.encode_batch(&inputs);
+        let unsharded = model.predict_encoded(&encoded);
+        prop_assert_eq!(&unsharded, &model.predict_batch(&inputs));
+        let sharded = fleet.predict_batch(&keys, &encoded).expect("routable batch");
+        prop_assert_eq!(&sharded, &unsharded);
+    }
+
+    /// Shard addition remaps only keys that move *to* the new shard, the
+    /// moved fraction stays a minority, and removing the shard restores the
+    /// exact previous assignment.
+    #[test]
+    fn shard_churn_remaps_gracefully(seed in 0u64..50, shards in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classes: Vec<BinaryHypervector> =
+            (0..3).map(|_| BinaryHypervector::random(256, &mut rng)).collect();
+        let classifier =
+            hdc::learn::CentroidClassifier::from_class_vectors(classes).expect("non-empty");
+        let mut fleet: ShardedModel<u64> =
+            ShardedModel::new(classifier, 256, shards, seed).expect("valid fleet");
+
+        let keys: Vec<u64> = (0..500).collect();
+        let before: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+        let new_shard = fleet.add_shard();
+        let after: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                // Movers must land on the new shard.
+                prop_assert_eq!(*a, new_shard);
+                moved += 1;
+            }
+        }
+        let fraction = moved as f64 / keys.len() as f64;
+        prop_assert!(
+            fraction < 0.75,
+            "adding 1 of {} shards moved {fraction}",
+            shards + 1
+        );
+
+        prop_assert!(fleet.remove_shard(new_shard));
+        let restored: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+        prop_assert_eq!(before, restored);
+    }
+
+    /// Removing an original shard remaps exactly the keys it served, and
+    /// stored item-memory entries survive the churn on their new owners.
+    #[test]
+    fn shard_removal_only_remaps_its_keys(seed in 0u64..50, shards in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let classifier = hdc::learn::CentroidClassifier::from_class_vectors(vec![
+            BinaryHypervector::random(256, &mut rng),
+            BinaryHypervector::random(256, &mut rng),
+        ])
+        .expect("non-empty");
+        let mut fleet: ShardedModel<u64> =
+            ShardedModel::new(classifier, 256, shards, seed).expect("valid fleet");
+        let keys: Vec<u64> = (0..300).collect();
+        for &key in &keys {
+            fleet.insert(key, BinaryHypervector::random(256, &mut rng));
+        }
+
+        let before: Vec<usize> = keys.iter().map(|k| fleet.shard_of(k)).collect();
+        let victim = fleet.shard_ids()[usize::try_from(seed).unwrap_or(0) % shards];
+        prop_assert!(fleet.remove_shard(victim));
+        for (key, owner_before) in keys.iter().zip(&before) {
+            let owner_after = fleet.shard_of(key);
+            if *owner_before == victim {
+                prop_assert!(owner_after != victim);
+            } else {
+                // A key whose shard survived must not move.
+                prop_assert_eq!(owner_after, *owner_before);
+            }
+            // No entry is lost by the redistribution.
+            prop_assert!(fleet.get(key).is_some());
+        }
+        prop_assert_eq!(fleet.len(), keys.len());
+    }
+}
+
+/// Non-proptest check: routed sub-batches ship every row exactly once even
+/// when some shards receive nothing.
+#[test]
+fn empty_shard_groups_are_harmless() {
+    let model = trained_model(256, 7);
+    let fleet: ShardedModel<&str> = ShardedModel::from_model(&model, 6, 1).unwrap();
+    // One single query cannot cover 6 shards; 5 groups stay empty.
+    let encoded = model.encode_batch(&[Radians(1.0)]);
+    let sharded = fleet.predict_batch(&["lonely"], &encoded).unwrap();
+    assert_eq!(sharded, model.predict_encoded(&encoded));
+    let empty: HypervectorBatch = HypervectorBatch::new(256);
+    assert_eq!(
+        fleet.predict_batch::<&str>(&[], &empty).unwrap(),
+        Vec::<usize>::new()
+    );
+}

@@ -46,8 +46,24 @@ fn facade_reexports_every_subcrate() {
     let mean = hdc::dirstats::descriptive::circular_mean(&[0.1, 0.2]).unwrap();
     assert!((mean - 0.15).abs() < 1e-9);
 
+    // hdc::serve — the unified builder API and sharded serving.
+    let mut pipeline_model = hdc::serve::Pipeline::builder(256)
+        .seed(1)
+        .basis(hdc::serve::Basis::Circular { m: 8, r: 0.0 })
+        .encoder(hdc::serve::Enc::scalar(0.0, 1.0))
+        .build()
+        .unwrap();
+    pipeline_model.fit_batch(&[0.1f64, 0.9], &[0, 1]).unwrap();
+    let fleet: hdc::ShardedModel<u64> =
+        hdc::ShardedModel::from_model(&pipeline_model, 2, 0).unwrap();
+    assert_eq!(fleet.shard_count(), 2);
+    let _ = fleet.predict(&pipeline_model.encode(&0.1));
+    let _: hdc::serve::RingConfig = hdc::RingConfig::default();
+
     // Root-level convenience re-exports.
     let _: usize = hdc::DEFAULT_DIMENSION;
+    let _: hdc::Basis = hdc::Basis::Random { m: 4 };
+    let _: hdc::FieldSpec = hdc::FieldSpec::angle();
     let mut acc = hdc::MajorityAccumulator::new(256);
     acc.push(&hv);
     let _ = acc.finalize(hdc::TieBreak::Zero);
