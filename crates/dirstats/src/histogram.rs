@@ -131,6 +131,186 @@ impl fmt::Display for CircularHistogram {
     }
 }
 
+/// A histogram over a bounded linear range `[lo, hi]`: `bins` equal-width
+/// intervals, with out-of-range samples clamped into the edge bins.
+///
+/// The linear sibling of [`CircularHistogram`], used by the serving layer's
+/// metrics for batch-size and latency distributions: counting is one
+/// branch-free index computation, percentiles come out of the cumulative
+/// counts, and the fixed bin count keeps the memory footprint constant no
+/// matter how many samples stream through.
+///
+/// # Example
+///
+/// ```
+/// use dirstats::LinearHistogram;
+///
+/// let mut hist = LinearHistogram::new(0.0, 10.0, 5)?;
+/// hist.extend([0.5, 1.0, 3.0, 9.5, 42.0]); // 42 clamps into the last bin
+/// assert_eq!(hist.count(0), 2);
+/// assert_eq!(hist.count(4), 2);
+/// assert_eq!(hist.total(), 5);
+/// assert!(hist.percentile(50.0).unwrap() < 5.0);
+/// # Ok::<(), dirstats::DirStatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl LinearHistogram {
+    /// Creates a histogram of `bins` equal-width intervals over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DirStatsError::InvalidParameter`] if `bins == 0`, either
+    /// bound is not finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DirStatsError> {
+        if bins == 0 {
+            return Err(DirStatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(DirStatsError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower bound of the covered range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the covered range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Adds one sample. Values below `lo` land in the first bin, values
+    /// above `hi` in the last; NaN samples are ignored.
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+    }
+
+    /// The bin a value falls into (edge bins absorb out-of-range values).
+    #[must_use]
+    pub fn bin_index(&self, value: f64) -> usize {
+        let bins = self.counts.len();
+        let fraction = (value - self.lo) / (self.hi - self.lo);
+        if fraction <= 0.0 {
+            return 0;
+        }
+        ((fraction * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// The count of bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.bins()`.
+    #[must_use]
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// All bin counts in order.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The central value of bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= self.bins()`.
+    #[must_use]
+    pub fn bin_center(&self, bin: usize) -> f64 {
+        assert!(bin < self.counts.len(), "bin {bin} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (bin as f64 + 0.5)
+    }
+
+    /// The approximate `p`-th percentile (`0 < p <= 100`): the upper edge of
+    /// the first bin whose cumulative count reaches `ceil(p/100 · total)`.
+    /// Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile {p} outside (0, 100]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (p / 100.0 * total as f64).ceil() as u64;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut cumulative = 0;
+        for (bin, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(self.lo + width * (bin as f64 + 1.0));
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Resets every bin to zero.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+impl Extend<f64> for LinearHistogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for value in iter {
+            self.add(value);
+        }
+    }
+}
+
+impl fmt::Display for LinearHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * 40 / max) as usize);
+            writeln!(f, "[{:>10.3}] {:>6} {bar}", self.bin_center(i), c)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +370,56 @@ mod tests {
         let h = CircularHistogram::new(3).unwrap();
         assert_eq!(h.density(0), 0.0);
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn linear_rejects_degenerate_parameters() {
+        assert!(LinearHistogram::new(0.0, 1.0, 0).is_err());
+        assert!(LinearHistogram::new(1.0, 1.0, 4).is_err());
+        assert!(LinearHistogram::new(2.0, 1.0, 4).is_err());
+        assert!(LinearHistogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn linear_bins_and_clamping() {
+        let mut h = LinearHistogram::new(0.0, 8.0, 4).unwrap();
+        assert_eq!(h.bins(), 4);
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 8.0);
+        h.extend([-3.0, 0.0, 1.9, 2.0, 7.9, 8.0, 100.0, f64::NAN]);
+        // Below-range and boundary values: [-3, 0, 1.9] → bin 0, 2.0 → bin 1,
+        // [7.9, 8.0, 100] → bin 3; NaN ignored.
+        assert_eq!(h.counts(), &[3, 1, 0, 3]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_index(3.99), 1);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(3), 7.0);
+        h.clear();
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn linear_percentiles_walk_the_cumulative_counts() {
+        let mut h = LinearHistogram::new(0.0, 100.0, 100).unwrap();
+        assert!(h.percentile(50.0).is_none());
+        h.extend((0..100).map(f64::from)); // one sample per bin
+        assert_eq!(h.percentile(1.0), Some(1.0));
+        assert_eq!(h.percentile(50.0), Some(50.0));
+        assert_eq!(h.percentile(99.0), Some(99.0));
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        // A spike histogram reports the spike's bin edge for every p.
+        let mut spike = LinearHistogram::new(0.0, 10.0, 10).unwrap();
+        spike.extend(std::iter::repeat(4.5).take(1000));
+        assert_eq!(spike.percentile(1.0), Some(5.0));
+        assert_eq!(spike.percentile(99.9), Some(5.0));
+    }
+
+    #[test]
+    fn linear_display_renders_all_bins() {
+        let mut h = LinearHistogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.5, 0.6, 3.2]);
+        let text = h.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
     }
 }

@@ -17,7 +17,9 @@
 //! * [`correlation`] — circular–linear (Mardia) and circular–circular
 //!   (Jammalamadaka–SenGupta) association measures,
 //! * [`uniformity`] — the Rayleigh test,
-//! * [`CircularHistogram`] — binned summaries of angle samples.
+//! * [`CircularHistogram`] — binned summaries of angle samples,
+//! * [`LinearHistogram`] — its bounded-range linear sibling (batch-size and
+//!   latency distributions in the serving layer's metrics).
 //!
 //! # Example
 //!
@@ -48,7 +50,7 @@ mod von_mises;
 mod wrapped_cauchy;
 
 pub use error::DirStatsError;
-pub use histogram::CircularHistogram;
+pub use histogram::{CircularHistogram, LinearHistogram};
 pub use normal::Normal;
 pub use von_mises::VonMises;
 pub use wrapped_cauchy::WrappedCauchy;

@@ -12,14 +12,20 @@
 //!   `kernels::masked_signed_sum` walk with **zero** per-query heap
 //!   allocations (the old path materialized a `Vec<i64>` of flipped
 //!   counters per query); the bench tracks that hot path.
+//! * **serve_microbatch** — the PR 4 runtime: 256 concurrent-style
+//!   predictions pushed through the ingestion queue at micro-batch sizes
+//!   1/16/256, against the direct `predict_encoded` baseline. The delta at
+//!   size 1 is the full per-request queue+reply overhead; growing the batch
+//!   size amortizes it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdc_core::{BinaryHypervector, HypervectorBatch};
-use hdc_encode::ScalarEncoder;
+use hdc_encode::{Radians, ScalarEncoder};
 use hdc_learn::{CentroidClassifier, RegressionModel};
-use hdc_serve::ShardedModel;
+use hdc_serve::{Basis, BatchPolicy, Enc, Model, Pipeline, Runtime, RuntimeConfig, ShardedModel};
 use rand::{rngs::StdRng, SeedableRng};
 use std::hint::black_box;
+use std::time::Duration;
 
 const DIM: usize = 10_000;
 const BATCH: usize = 256;
@@ -183,11 +189,95 @@ fn bench_readout_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds the trained angle model the runtime bench serves (deterministic
+/// per seed, so every spawned runtime is bit-identical).
+fn runtime_model() -> Model<Radians> {
+    let mut model = Pipeline::builder(DIM)
+        .seed(0x5EBE)
+        .classes(CLASSES)
+        .basis(Basis::Circular { m: 48, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..96)
+        .map(|i| Radians::periodic(i as f64 / 4.0, 24.0))
+        .collect();
+    let labels: Vec<usize> = (0..96).map(|i| i % CLASSES).collect();
+    model
+        .fit_batch(&hours, &labels)
+        .expect("valid training set");
+    model
+}
+
+/// 256 keyed requests through the runtime's ingestion queue at micro-batch
+/// sizes 1/16/256, vs the direct batched predict. Requests/sec =
+/// `BATCH / (ns_per_iter · 1e-9)`.
+fn bench_microbatch(c: &mut Criterion) {
+    let model = runtime_model();
+    let inputs: Vec<Radians> = (0..BATCH)
+        .map(|i| Radians::periodic(i as f64 * 0.173, 24.0))
+        .collect();
+    let arena = model.encode_batch(&inputs);
+    let expected = model.predict_encoded(&arena);
+    let pairs: Vec<(String, BinaryHypervector)> = arena
+        .rows()
+        .enumerate()
+        .map(|(i, row)| (format!("session-{i}"), row.to_hypervector()))
+        .collect();
+
+    let mut group = c.benchmark_group("serve_microbatch");
+    group.bench_with_input(BenchmarkId::new("direct", BATCH), &arena, |b, arena| {
+        b.iter(|| black_box(&model).predict_encoded(black_box(arena)));
+    });
+    let mut runtimes = Vec::new();
+    for max_batch in [1usize, 16, 256] {
+        let runtime = Runtime::spawn(
+            runtime_model(),
+            RuntimeConfig {
+                shards: 4,
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(200),
+                },
+                refresh_every: 0,
+                ..RuntimeConfig::default()
+            },
+        )
+        .expect("valid runtime");
+        let handle = runtime.handle();
+        let served = handle
+            .predict_encoded_many(pairs.clone())
+            .expect("runtime is live");
+        assert_eq!(
+            served.iter().map(|p| p.label).collect::<Vec<_>>(),
+            expected,
+            "the runtime must stay bit-identical to the direct model"
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("queue_{max_batch}"), BATCH),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    black_box(&handle)
+                        .predict_encoded_many(black_box(pairs.clone()))
+                        .expect("runtime is live")
+                });
+            },
+        );
+        runtimes.push(runtime);
+    }
+    group.finish();
+    for runtime in runtimes {
+        runtime.shutdown();
+    }
+}
+
 criterion_group!(
     benches,
     bench_route,
     bench_predict,
     bench_regression_readout,
-    bench_readout_kernels
+    bench_readout_kernels,
+    bench_microbatch
 );
 criterion_main!(benches);

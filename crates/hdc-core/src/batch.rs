@@ -504,6 +504,31 @@ impl HypervectorBatch {
             })
     }
 
+    /// Removes every row while keeping the arena's allocation, so the batch
+    /// can be refilled without touching the allocator — the recycling path
+    /// long-running ingestion loops use between micro-batches.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Resets the batch to exactly `len` all-zero rows, reusing the existing
+    /// allocation where capacity allows. Equivalent to
+    /// [`zeros`](Self::zeros) without the fresh `Vec` — combined with
+    /// [`clear`](Self::clear) this lets one scratch arena serve an unbounded
+    /// stream of differently sized micro-batches.
+    pub fn resize_zeroed(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len * self.words_per_row, 0);
+        self.len = len;
+    }
+
+    /// Number of rows the arena can hold before reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.words.capacity() / self.words_per_row
+    }
+
     /// Runs `f(row_index, row)` over every row, serially and in order.
     pub fn fill_rows(&mut self, mut f: impl FnMut(usize, HvMut<'_>)) {
         let dim = self.dim;
@@ -685,6 +710,39 @@ mod tests {
         for i in 0..4 {
             assert!(batch.row(i).get(i));
         }
+    }
+
+    #[test]
+    fn clear_and_resize_recycle_the_allocation() {
+        let mut r = rng();
+        let items: Vec<_> = (0..6)
+            .map(|_| BinaryHypervector::random(130, &mut r))
+            .collect();
+        let mut batch = HypervectorBatch::from_vectors(&items).unwrap();
+        let capacity = batch.capacity();
+        assert!(capacity >= 6);
+
+        // clear() drops the rows but keeps the arena.
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.capacity(), capacity);
+        for hv in &items[..3] {
+            batch.push(hv);
+        }
+        assert_eq!(batch.to_vectors(), items[..3].to_vec());
+
+        // resize_zeroed() yields exactly `len` clean rows, no stale bits
+        // from the previous occupancy.
+        batch.resize_zeroed(5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.capacity(), capacity);
+        for i in 0..5 {
+            assert_eq!(batch.row(i).count_ones(), 0, "row {i} must be zeroed");
+        }
+        // Growing past the old capacity still works.
+        batch.resize_zeroed(64);
+        assert_eq!(batch.len(), 64);
+        assert!(batch.rows().all(|row| row.count_ones() == 0));
     }
 
     #[test]

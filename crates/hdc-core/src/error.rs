@@ -55,6 +55,9 @@ pub enum HdcError {
         /// The number of classes the model was configured with.
         classes: usize,
     },
+    /// A request was sent to a serving runtime that has already shut down
+    /// (its work queue is closed, so the request can never be answered).
+    ServiceUnavailable,
 }
 
 impl fmt::Display for HdcError {
@@ -86,6 +89,9 @@ impl fmt::Display for HdcError {
             HdcError::EmptyInput => write!(f, "operation requires at least one input"),
             HdcError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
+            }
+            HdcError::ServiceUnavailable => {
+                write!(f, "serving runtime has shut down; request not processed")
             }
         }
     }
@@ -124,6 +130,7 @@ mod tests {
                 classes: 3,
             }
             .to_string(),
+            HdcError::ServiceUnavailable.to_string(),
         ];
         for message in messages {
             assert!(!message.is_empty());

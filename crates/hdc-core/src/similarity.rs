@@ -203,20 +203,6 @@ pub fn pairwise_similarity_matrix(hvs: &[BinaryHypervector]) -> SimilarityMatrix
     SimilarityMatrix { n, values }
 }
 
-/// Computes the pairwise similarity matrix in the legacy nested-`Vec`
-/// shape.
-///
-/// # Panics
-///
-/// Panics if the hypervectors do not all share the same dimensionality.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `pairwise_similarity_matrix`, which returns the flat `SimilarityMatrix`"
-)]
-pub fn pairwise_similarity(hvs: &[BinaryHypervector]) -> Vec<Vec<f64>> {
-    pairwise_similarity_matrix(hvs).to_nested()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,6 @@
-use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, MajorityAccumulator, TieBreak};
+use hdc_core::{
+    BinaryHypervector, HdcError, HvRef, HypervectorBatch, MajorityAccumulator, TieBreak,
+};
 use rand::Rng;
 
 /// Incremental trainer for a [`CentroidClassifier`]: one majority
@@ -66,14 +68,66 @@ impl CentroidTrainer {
     ///
     /// Panics if the sample's dimensionality differs from the trainer's.
     pub fn observe(&mut self, sample: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.observe_row(sample.view(), label)
+    }
+
+    /// Adds an encoded training sample supplied as a borrowed row view (e.g.
+    /// one row of a [`HypervectorBatch`]) — the allocation-free form online
+    /// ingestion loops feed observations through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality differs from the trainer's.
+    pub fn observe_row(&mut self, row: HvRef<'_>, label: usize) -> Result<(), HdcError> {
         let classes = self.accumulators.len();
         let acc = self
             .accumulators
             .get_mut(label)
             .ok_or(HdcError::LabelOutOfRange { label, classes })?;
-        acc.push(sample);
+        acc.push_row(row);
         self.counts[label] += 1;
         Ok(())
+    }
+
+    /// Merges another trainer's accumulated state into this one by adding
+    /// its per-class counters and sample counts — the reduction step of
+    /// versioned online refresh, where a *delta* trainer collects live
+    /// observations off to the side and is periodically folded into the
+    /// base. Counter addition commutes, so the merged state is bit-identical
+    /// to having observed every sample on one trainer, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trainers disagree on class count or dimensionality.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.accumulators.len(),
+            other.accumulators.len(),
+            "class count mismatch: expected {}, found {}",
+            self.accumulators.len(),
+            other.accumulators.len()
+        );
+        for (dst, src) in self.accumulators.iter_mut().zip(&other.accumulators) {
+            dst.merge(src);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
+    /// The accumulator of one class — the raw counter state a versioned
+    /// snapshot is finalized from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= self.classes()`.
+    #[must_use]
+    pub fn accumulator(&self, label: usize) -> &MajorityAccumulator {
+        &self.accumulators[label]
     }
 
     /// Adds a whole batch of encoded samples in one parallel pass: the rows
@@ -542,6 +596,47 @@ mod tests {
         assert_eq!(model.predict_batch_par(&queries), serial);
         let batch = HypervectorBatch::from_vectors(&queries).unwrap();
         assert_eq!(model.predict_rows(&batch), serial);
+    }
+
+    #[test]
+    fn merge_of_split_trainers_matches_one_pass() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 3, 8, 0.25);
+        let mut whole = CentroidTrainer::new(3, 10_000).unwrap();
+        for (hv, label) in &train {
+            whole.observe(hv, *label).unwrap();
+        }
+        // Base sees the first half, a delta trainer collects the rest.
+        let mut base = CentroidTrainer::new(3, 10_000).unwrap();
+        let mut delta = CentroidTrainer::new(3, 10_000).unwrap();
+        let split = train.len() / 2;
+        for (hv, label) in &train[..split] {
+            base.observe_row(hv.view(), *label).unwrap();
+        }
+        for (hv, label) in &train[split..] {
+            delta.observe_row(hv.view(), *label).unwrap();
+        }
+        base.merge(&delta);
+        assert_eq!(base.counts(), whole.counts());
+        for label in 0..3 {
+            assert_eq!(
+                base.accumulator(label).counts(),
+                whole.accumulator(label).counts(),
+                "class {label}"
+            );
+        }
+        assert_eq!(
+            base.finish_deterministic(TieBreak::Alternate),
+            whole.finish_deterministic(TieBreak::Alternate)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "class count mismatch")]
+    fn merge_rejects_class_mismatch() {
+        let mut a = CentroidTrainer::new(2, 64).unwrap();
+        let b = CentroidTrainer::new(3, 64).unwrap();
+        a.merge(&b);
     }
 
     #[test]

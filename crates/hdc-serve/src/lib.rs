@@ -1,7 +1,7 @@
-//! Unified pipeline building and sharded serving for the circular-
-//! hypervector workspace.
+//! Unified pipeline building, sharded serving and a long-running service
+//! runtime for the circular-hypervector workspace.
 //!
-//! Two layers:
+//! Four layers:
 //!
 //! * [`Pipeline`] / [`Model`] — the typed builder that replaces the
 //!   hand-wired `StdRng → BasisSet → Encoder → CentroidClassifier` glue:
@@ -15,6 +15,17 @@
 //!   the unsharded model for any shard count, with graceful `1/n`
 //!   remapping under shard churn — the serving setting circular
 //!   hypervectors were invented for (Heddes et al., DAC 2022).
+//! * [`Runtime`] — the long-running process around the fleet: an MPSC
+//!   ingestion queue micro-batching concurrent keyed predictions by a
+//!   deadline-or-size [`BatchPolicy`], a background trainer publishing
+//!   `Arc`-snapshotted class-vector [`Generation`]s that swap atomically
+//!   across all shards (reads never block on training; every
+//!   [`Prediction`] carries its generation id), and live
+//!   [`metrics`].
+//! * [`Server`] / [`BlockingClient`] — a `std::net` framed-TCP front-end
+//!   over the runtime ([`wire`] documents the protocol), so many processes
+//!   can share one fleet and their traffic coalesces into the same
+//!   micro-batches.
 //!
 //! # Quickstart
 //!
@@ -36,13 +47,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod pipeline;
+mod runtime;
+mod server;
 mod sharded;
+pub mod wire;
 
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pipeline::{
     AngleSpec, Basis, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,
     PipelineBuilder, RecordSpec, ScalarSpec, SequenceSpec,
 };
+pub use runtime::{
+    BatchPolicy, Generation, Prediction, Runtime, RuntimeConfig, RuntimeHandle, RuntimeStats,
+};
+pub use server::{BlockingClient, Server};
 pub use sharded::{RingConfig, ShardedModel};

@@ -571,6 +571,20 @@ impl<X: ?Sized + Sync> Model<X> {
         self.classifier = self.trainer.finish_deterministic(TieBreak::Alternate);
     }
 
+    /// Decomposes the model into the pieces a long-running runtime takes
+    /// ownership of: the boxed encoder, the accumulated trainer state and
+    /// the finalized classifier.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        usize,
+        Box<dyn DynEncoder<X>>,
+        CentroidTrainer,
+        CentroidClassifier,
+    ) {
+        (self.dim, self.encoder, self.trainer, self.classifier)
+    }
+
     /// Predicts the label of one sample.
     #[must_use]
     pub fn predict(&self, input: &X) -> usize {

@@ -1,0 +1,1120 @@
+//! The long-running serving runtime: micro-batching ingestion over an MPSC
+//! work queue, versioned online learning with atomically swapped
+//! class-vector generations, and live [`metrics`](crate::metrics).
+//!
+//! A [`Runtime`] owns two background threads:
+//!
+//! * the **dispatcher** exclusively owns the [`ShardedModel`] and drains the
+//!   work queue, coalescing concurrent keyed predictions into one
+//!   [`HypervectorBatch`] by a deadline-or-size [`BatchPolicy`] — so encode,
+//!   ring routing and the minipool fan-out are paid once per micro-batch
+//!   instead of once per caller;
+//! * the **trainer** folds `fit` observations into per-class
+//!   [`MajorityAccumulator`](hdc_core::MajorityAccumulator)s
+//!   (via [`CentroidTrainer`]) off the serving path and periodically
+//!   publishes an immutable, `Arc`-snapshotted [`Generation`] of finalized
+//!   class-vectors. The dispatcher adopts the newest generation at each
+//!   micro-batch boundary, swapping it across all shards at once — readers
+//!   never block on training, never observe a torn mix of two generations,
+//!   and every [`Prediction`] reports the generation that served it.
+//!
+//! ```
+//! use hdc_serve::{Basis, Enc, Pipeline, Radians, Runtime, RuntimeConfig};
+//!
+//! let mut model = Pipeline::builder(2_048)
+//!     .seed(9)
+//!     .basis(Basis::Circular { m: 24, r: 0.0 })
+//!     .encoder(Enc::angle())
+//!     .build()?;
+//! let hours: Vec<Radians> = (0..24).map(|h| Radians::periodic(h as f64, 24.0)).collect();
+//! let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+//! model.fit_batch(&hours, &labels)?;
+//!
+//! let runtime = Runtime::spawn(model, RuntimeConfig::default())?;
+//! let handle = runtime.handle();
+//! let prediction = handle.predict("sensor-3", &Radians::periodic(3.0, 24.0))?;
+//! assert_eq!(prediction.label, 0);
+//! assert_eq!(prediction.generation, 0);
+//! runtime.shutdown();
+//! # Ok::<(), hdc_serve::HdcError>(())
+//! ```
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, TieBreak};
+use hdc_learn::{CentroidClassifier, CentroidTrainer};
+
+use crate::metrics::ServeMetrics;
+use crate::pipeline::DynEncoder;
+use crate::sharded::RingConfig;
+use crate::{Model, ShardedModel};
+
+/// When a micro-batch closes: at `max_batch` pending predictions, or
+/// `max_wait` after the first one arrived — whichever comes first. A lone
+/// request on an idle queue therefore waits at most `max_wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum predictions coalesced into one batch (`>= 1`; `0` is
+    /// clamped to `1`).
+    pub max_batch: usize,
+    /// Maximum time the dispatcher holds an open batch waiting for more
+    /// requests.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    /// 64 requests or 500 µs, whichever fills first.
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Configuration of a [`Runtime`]: fleet geometry plus ingestion and
+/// online-learning policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of item-memory shards (`>= 1`).
+    pub shards: usize,
+    /// Geometry of the consistent-hash ring.
+    pub ring: RingConfig,
+    /// Seed of the ring's circular routing basis.
+    pub seed: u64,
+    /// Micro-batching policy of the ingestion queue.
+    pub policy: BatchPolicy,
+    /// Observations between automatic generation publishes; `0` publishes
+    /// only on explicit [`RuntimeHandle::refresh`].
+    pub refresh_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    /// One shard, default ring and batch policy, a new generation every 256
+    /// observations.
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            ring: RingConfig::default(),
+            seed: 0,
+            policy: BatchPolicy::default(),
+            refresh_every: 256,
+        }
+    }
+}
+
+/// One served prediction: the label plus the id of the class-vector
+/// [`Generation`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted class label.
+    pub label: usize,
+    /// The generation of class-vectors that answered (monotonically
+    /// increasing across online refreshes; `0` is the classifier the
+    /// runtime was spawned with).
+    pub generation: u64,
+}
+
+/// An immutable snapshot of one class-vector generation: the finalized
+/// classifier behind an `Arc`, tagged with its publish ordinal. Cloning is
+/// a reference-count bump; the class-vectors themselves are never mutated
+/// after publish, so any thread holding a `Generation` sees a complete,
+/// self-consistent classifier.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    id: u64,
+    classifier: Arc<CentroidClassifier>,
+}
+
+impl Generation {
+    /// The publish ordinal (0 = the spawn-time classifier).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The finalized classifier of this generation.
+    #[must_use]
+    pub fn classifier(&self) -> &CentroidClassifier {
+        &self.classifier
+    }
+}
+
+/// The swap point between the trainer (writer) and everyone else (readers):
+/// a single `RwLock<Generation>` held only for the pointer swap — the
+/// expensive finalization happens off-lock, so readers are never blocked on
+/// training work.
+#[derive(Debug)]
+struct GenerationCell {
+    current: RwLock<Generation>,
+}
+
+impl GenerationCell {
+    fn new(classifier: Arc<CentroidClassifier>) -> Self {
+        Self {
+            current: RwLock::new(Generation { id: 0, classifier }),
+        }
+    }
+
+    fn load(&self) -> Generation {
+        self.current
+            .read()
+            .expect("generation lock never poisons")
+            .clone()
+    }
+
+    fn publish(&self, classifier: Arc<CentroidClassifier>) -> u64 {
+        let mut current = self.current.write().expect("generation lock never poisons");
+        current.id += 1;
+        current.classifier = classifier;
+        current.id
+    }
+}
+
+/// A prediction/fit payload: either a raw input (encoded by the dispatcher,
+/// amortized across the whole micro-batch) or an already encoded
+/// hypervector (e.g. arriving over the wire).
+enum Payload<O> {
+    Input(O),
+    Encoded(BinaryHypervector),
+}
+
+struct PredictJob<O> {
+    key: String,
+    payload: Payload<O>,
+    enqueued: Instant,
+    index: usize,
+    reply: Sender<(usize, Prediction)>,
+}
+
+enum Work<O> {
+    Predict(PredictJob<O>),
+    Insert {
+        key: String,
+        hv: BinaryHypervector,
+        reply: Sender<bool>,
+    },
+    Remove {
+        key: String,
+        reply: Sender<bool>,
+    },
+    Fit {
+        payload: Payload<O>,
+        label: usize,
+    },
+    Refresh {
+        reply: Sender<u64>,
+    },
+    AddShard {
+        reply: Sender<usize>,
+    },
+    RemoveShard {
+        id: usize,
+        reply: Sender<bool>,
+    },
+    Stats {
+        reply: Sender<RuntimeStats>,
+    },
+    Shutdown,
+}
+
+enum TrainerMsg {
+    Observe { hv: BinaryHypervector, label: usize },
+    Refresh { reply: Option<Sender<u64>> },
+    Stop,
+}
+
+/// A point-in-time view of the whole runtime, served by the `stats`
+/// operation: generation, fleet shape, per-shard load, remap behaviour and
+/// the ingestion metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// The currently published class-vector generation.
+    pub generation: u64,
+    /// Query dimensionality `d`.
+    pub dim: u64,
+    /// Number of classes of the published classifier.
+    pub classes: u64,
+    /// Per-shard `(shard id, stored entries)` in creation order.
+    pub shard_loads: Vec<(u64, u64)>,
+    /// Total stored item-memory entries.
+    pub keys: u64,
+    /// Fraction of entries moved by the most recent shard churn (`None`
+    /// before any reshard touched data).
+    pub last_remap_fraction: Option<f64>,
+    /// Ingestion counters and distributions.
+    pub metrics: crate::MetricsSnapshot,
+}
+
+/// The long-running serving process: owns the dispatcher and trainer
+/// threads. Obtain cloneable [`RuntimeHandle`]s with
+/// [`handle`](Self::handle); stop (and recover the final fleet and trainer
+/// state) with [`shutdown`](Self::shutdown).
+pub struct Runtime<X: ?Sized + ToOwned> {
+    handle: RuntimeHandle<X>,
+    dispatcher: JoinHandle<ShardedModel<String>>,
+    trainer: JoinHandle<CentroidTrainer>,
+}
+
+impl<X: ?Sized + ToOwned> fmt::Debug for Runtime<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("dim", &self.handle.dim)
+            .field("classes", &self.handle.classes)
+            .finish()
+    }
+}
+
+impl<X> Runtime<X>
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    /// Spawns the runtime around a trained [`Model`]: the model's classifier
+    /// is replicated onto `config.shards` shards (generation 0), its trainer
+    /// state seeds the online trainer, and its encoder moves to the
+    /// dispatcher for batched server-side encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] for an invalid shard count or ring geometry.
+    pub fn spawn(model: Model<X>, config: RuntimeConfig) -> Result<Self, HdcError> {
+        let (dim, encoder, trainer, classifier) = model.into_parts();
+        let classes = trainer.classes();
+        let fleet = ShardedModel::with_ring(
+            classifier.clone(),
+            dim,
+            config.shards,
+            config.ring,
+            config.seed,
+        )?;
+        let policy = BatchPolicy {
+            max_batch: config.policy.max_batch.max(1),
+            max_wait: config.policy.max_wait,
+        };
+        let metrics = Arc::new(ServeMetrics::new(policy.max_batch));
+        let generations = Arc::new(GenerationCell::new(Arc::new(classifier)));
+
+        let (work_tx, work_rx) = mpsc::channel::<Work<X::Owned>>();
+        let (trainer_tx, trainer_rx) = mpsc::channel::<TrainerMsg>();
+
+        let dispatcher = {
+            let metrics = Arc::clone(&metrics);
+            let generations = Arc::clone(&generations);
+            let trainer_tx = trainer_tx.clone();
+            thread::Builder::new()
+                .name("hdc-serve-dispatch".into())
+                .spawn(move || {
+                    dispatcher_loop(
+                        work_rx,
+                        fleet,
+                        encoder,
+                        policy,
+                        metrics,
+                        generations,
+                        trainer_tx,
+                    )
+                })
+                .expect("spawning the dispatcher thread")
+        };
+        let trainer_thread = {
+            let metrics = Arc::clone(&metrics);
+            let generations = Arc::clone(&generations);
+            thread::Builder::new()
+                .name("hdc-serve-train".into())
+                .spawn(move || {
+                    trainer_loop(
+                        trainer_rx,
+                        trainer,
+                        generations,
+                        config.refresh_every,
+                        metrics,
+                    )
+                })
+                .expect("spawning the trainer thread")
+        };
+
+        Ok(Self {
+            handle: RuntimeHandle {
+                work_tx,
+                trainer_tx,
+                generations,
+                metrics,
+                dim,
+                classes,
+            },
+            dispatcher,
+            trainer: trainer_thread,
+        })
+    }
+
+    /// A cloneable ingestion handle. Handles stay valid until
+    /// [`shutdown`](Self::shutdown); afterwards every call returns
+    /// [`HdcError::ServiceUnavailable`].
+    #[must_use]
+    pub fn handle(&self) -> RuntimeHandle<X> {
+        self.handle.clone()
+    }
+
+    /// Stops both threads gracefully — queued work ahead of the shutdown
+    /// marker is still served — and returns the final sharded fleet and the
+    /// accumulated trainer state (for persistence or warm restart); callers
+    /// that only want to stop may ignore them.
+    pub fn shutdown(self) -> (ShardedModel<String>, CentroidTrainer) {
+        let _ = self.handle.work_tx.send(Work::Shutdown);
+        let fleet = self.dispatcher.join().expect("dispatcher thread panicked");
+        let _ = self.handle.trainer_tx.send(TrainerMsg::Stop);
+        let trainer = self.trainer.join().expect("trainer thread panicked");
+        (fleet, trainer)
+    }
+}
+
+/// A cheap, cloneable client of a [`Runtime`]: every method is a blocking
+/// RPC into the work queue (predictions are answered when their micro-batch
+/// is served). Handles are `Send`, so any number of threads — or any number
+/// of TCP connection handlers — can share one runtime.
+pub struct RuntimeHandle<X: ?Sized + ToOwned> {
+    work_tx: Sender<Work<X::Owned>>,
+    trainer_tx: Sender<TrainerMsg>,
+    generations: Arc<GenerationCell>,
+    metrics: Arc<ServeMetrics>,
+    dim: usize,
+    classes: usize,
+}
+
+impl<X: ?Sized + ToOwned> Clone for RuntimeHandle<X> {
+    fn clone(&self) -> Self {
+        Self {
+            work_tx: self.work_tx.clone(),
+            trainer_tx: self.trainer_tx.clone(),
+            generations: Arc::clone(&self.generations),
+            metrics: Arc::clone(&self.metrics),
+            dim: self.dim,
+            classes: self.classes,
+        }
+    }
+}
+
+impl<X: ?Sized + ToOwned> fmt::Debug for RuntimeHandle<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeHandle")
+            .field("dim", &self.dim)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+impl<X> RuntimeHandle<X>
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    /// Query dimensionality `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes the runtime was spawned with.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The currently published class-vector generation (snapshot; cheap).
+    #[must_use]
+    pub fn generation(&self) -> Generation {
+        self.generations.load()
+    }
+
+    /// Predicts one raw input. The input is encoded server-side inside the
+    /// micro-batch's parallel encode pass. Blocks until the batch is
+    /// served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict(&self, key: impl Into<String>, input: &X) -> Result<Prediction, HdcError> {
+        self.submit_predicts(vec![(key.into(), Payload::Input(input.to_owned()))])
+            .map(|mut labels| labels.pop().expect("one prediction per request"))
+    }
+
+    /// Predicts one already encoded query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a wrong-width query and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_encoded(
+        &self,
+        key: impl Into<String>,
+        hv: BinaryHypervector,
+    ) -> Result<Prediction, HdcError> {
+        self.check_dim(hv.dim())?;
+        self.submit_predicts(vec![(key.into(), Payload::Encoded(hv))])
+            .map(|mut labels| labels.pop().expect("one prediction per request"))
+    }
+
+    /// Predicts a set of raw inputs, in order. The requests enter the same
+    /// queue as everyone else's — the dispatcher is free to coalesce them
+    /// with concurrent callers or split them across micro-batches (each
+    /// prediction reports the generation that served it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_many<'a, I>(&self, inputs: I) -> Result<Vec<Prediction>, HdcError>
+    where
+        I: IntoIterator<Item = (String, &'a X)>,
+        X: 'a,
+    {
+        self.submit_predicts(
+            inputs
+                .into_iter()
+                .map(|(key, input)| (key, Payload::Input(input.to_owned())))
+                .collect(),
+        )
+    }
+
+    /// Predicts a set of already encoded queries, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if any query's width differs
+    /// from the runtime's and [`HdcError::ServiceUnavailable`] after
+    /// shutdown.
+    pub fn predict_encoded_many(
+        &self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<Prediction>, HdcError> {
+        for (_, hv) in &pairs {
+            self.check_dim(hv.dim())?;
+        }
+        self.submit_predicts(
+            pairs
+                .into_iter()
+                .map(|(key, hv)| (key, Payload::Encoded(hv)))
+                .collect(),
+        )
+    }
+
+    fn submit_predicts(
+        &self,
+        jobs: Vec<(String, Payload<X::Owned>)>,
+    ) -> Result<Vec<Prediction>, HdcError> {
+        let expected = jobs.len();
+        if expected == 0 {
+            return Ok(Vec::new());
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        for (index, (key, payload)) in jobs.into_iter().enumerate() {
+            self.send_work(Work::Predict(PredictJob {
+                key,
+                payload,
+                enqueued,
+                index,
+                reply: reply_tx.clone(),
+            }))?;
+        }
+        drop(reply_tx);
+        let mut predictions = vec![
+            Prediction {
+                label: 0,
+                generation: 0
+            };
+            expected
+        ];
+        let mut received = 0;
+        while received < expected {
+            let (index, prediction) = reply_rx.recv().map_err(|_| HdcError::ServiceUnavailable)?;
+            predictions[index] = prediction;
+            received += 1;
+        }
+        Ok(predictions)
+    }
+
+    /// Stores an encoded hypervector under `key` on its owning shard.
+    /// Returns `true` if a previous entry was replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] for a wrong-width vector and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn insert(&self, key: impl Into<String>, hv: BinaryHypervector) -> Result<bool, HdcError> {
+        self.check_dim(hv.dim())?;
+        self.rpc(|reply| Work::Insert {
+            key: key.into(),
+            hv,
+            reply,
+        })
+    }
+
+    /// Removes a stored entry. Returns `true` if the key was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn remove(&self, key: impl Into<String>) -> Result<bool, HdcError> {
+        self.rpc(|reply| Work::Remove {
+            key: key.into(),
+            reply,
+        })
+    }
+
+    /// Enqueues one raw training observation. Encoding rides the
+    /// dispatcher's next micro-batch; the observation is then folded into
+    /// the online trainer in the background and becomes visible to
+    /// predictions at the next generation publish. Fire-and-forget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn fit(&self, input: &X, label: usize) -> Result<(), HdcError> {
+        self.check_label(label)?;
+        self.send_work(Work::Fit {
+            payload: Payload::Input(input.to_owned()),
+            label,
+        })
+    }
+
+    /// Enqueues one already encoded training observation, straight to the
+    /// background trainer (no dispatcher hop needed). Fire-and-forget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`]/[`HdcError::LabelOutOfRange`]
+    /// for invalid observations and [`HdcError::ServiceUnavailable`] after
+    /// shutdown.
+    pub fn fit_encoded(&self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.check_dim(hv.dim())?;
+        self.check_label(label)?;
+        self.trainer_tx
+            .send(TrainerMsg::Observe { hv, label })
+            .map_err(|_| HdcError::ServiceUnavailable)
+    }
+
+    /// Forces the trainer to publish a new generation, returning its id.
+    /// The request travels through the same work queue as `fit`, so every
+    /// observation enqueued before `refresh` is included in the published
+    /// generation; the dispatcher adopts it at the next micro-batch
+    /// boundary, so a prediction issued after `refresh` returns reports
+    /// this generation (or a later one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn refresh(&self) -> Result<u64, HdcError> {
+        self.rpc(|reply| Work::Refresh { reply })
+    }
+
+    /// Adds a shard to the fleet (rebalancing stored entries), returning
+    /// its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn add_shard(&self) -> Result<usize, HdcError> {
+        self.rpc(|reply| Work::AddShard { reply })
+    }
+
+    /// Removes a shard (redistributing its entries). Returns `false` for an
+    /// unknown id or the last shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn remove_shard(&self, id: usize) -> Result<bool, HdcError> {
+        self.rpc(|reply| Work::RemoveShard { id, reply })
+    }
+
+    /// Snapshots the runtime's state and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn stats(&self) -> Result<RuntimeStats, HdcError> {
+        self.rpc(|reply| Work::Stats { reply })
+    }
+
+    fn rpc<R>(&self, make: impl FnOnce(Sender<R>) -> Work<X::Owned>) -> Result<R, HdcError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.send_work(make(reply_tx))?;
+        reply_rx.recv().map_err(|_| HdcError::ServiceUnavailable)
+    }
+
+    fn send_work(&self, work: Work<X::Owned>) -> Result<(), HdcError> {
+        // Increment before the send so the dispatcher's matching decrement
+        // (which can only happen after the send) never underflows.
+        self.metrics.enqueued(1);
+        self.work_tx.send(work).map_err(|_| {
+            self.metrics.dequeued(1);
+            HdcError::ServiceUnavailable
+        })
+    }
+
+    fn check_dim(&self, found: usize) -> Result<(), HdcError> {
+        if found != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_label(&self, label: usize) -> Result<(), HdcError> {
+        if label >= self.classes {
+            return Err(HdcError::LabelOutOfRange {
+                label,
+                classes: self.classes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One row of a micro-batch, borrowed from its pending job.
+enum RowSource<'a, X: ?Sized> {
+    Input(&'a X),
+    Encoded(&'a BinaryHypervector),
+}
+
+/// Fills `batch` (already sized to `sources.len()`) from the row sources:
+/// raw inputs are encoded, pre-encoded rows copied — one parallel pass over
+/// disjoint chunks, bit-identical to the serial loop.
+fn fill_batch<X: ?Sized + Sync>(
+    encoder: &dyn DynEncoder<X>,
+    sources: &[RowSource<'_, X>],
+    batch: &mut HypervectorBatch,
+) {
+    if sources.is_empty() {
+        return;
+    }
+    let rows_per_chunk = if sources.len() < minipool::MIN_PARALLEL_ITEMS {
+        sources.len()
+    } else {
+        sources.len().div_ceil(minipool::max_threads())
+    };
+    let mut chunks: Vec<_> = batch.chunks_mut(rows_per_chunk).collect();
+    minipool::par_fill_indexed(&mut chunks, |_, chunk| {
+        for (row_index, mut row) in chunk.rows_mut() {
+            match &sources[row_index] {
+                RowSource::Input(input) => encoder.encode_into(input, row),
+                RowSource::Encoded(hv) => row.copy_from(hv.view()),
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_lines)]
+fn dispatcher_loop<X>(
+    work_rx: Receiver<Work<X::Owned>>,
+    mut fleet: ShardedModel<String>,
+    encoder: Box<dyn DynEncoder<X>>,
+    policy: BatchPolicy,
+    metrics: Arc<ServeMetrics>,
+    generations: Arc<GenerationCell>,
+    trainer_tx: Sender<TrainerMsg>,
+) -> ShardedModel<String>
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    let dim = fleet.dim();
+    // Scratch arenas recycled across micro-batches (`resize_zeroed` keeps
+    // the allocation): one for the predictions, one for fit observations
+    // that ride the same parallel encode pass.
+    let mut predict_scratch = HypervectorBatch::with_capacity(dim, policy.max_batch);
+    let mut fit_scratch = HypervectorBatch::new(dim);
+    let mut adopted = generations.load();
+
+    let mut pending: Vec<PredictJob<X::Owned>> = Vec::new();
+    let mut fits: Vec<(Payload<X::Owned>, usize)> = Vec::new();
+
+    'runtime: loop {
+        let Ok(work) = work_rx.recv() else {
+            break 'runtime;
+        };
+        metrics.dequeued(1);
+        // Anything that is not a prediction is handled immediately; a
+        // prediction opens a micro-batch collection window.
+        let mut stashed: Option<Work<X::Owned>> = None;
+        match work {
+            Work::Shutdown => break 'runtime,
+            Work::Predict(job) => {
+                pending.push(job);
+                let deadline = Instant::now() + policy.max_wait;
+                while pending.len() < policy.max_batch {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match work_rx.recv_timeout(remaining) {
+                        Ok(more) => {
+                            metrics.dequeued(1);
+                            match more {
+                                Work::Predict(job) => pending.push(job),
+                                // Fit observations ride the same encode
+                                // pass as the batch they arrived with.
+                                Work::Fit { payload, label } => fits.push((payload, label)),
+                                // Any other op closes the batch; it is
+                                // served first so queue order is preserved.
+                                other => {
+                                    stashed = Some(other);
+                                    break;
+                                }
+                            }
+                        }
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break
+                        }
+                    }
+                }
+            }
+            Work::Fit { payload, label } => fits.push((payload, label)),
+            other => stashed = Some(other),
+        }
+
+        // --- Serve the collected micro-batch. ---------------------------
+        if !pending.is_empty() || !fits.is_empty() {
+            // Adopt the newest published generation at the batch boundary:
+            // one swap covers every shard, so the whole batch — and every
+            // reply in it — is served by exactly one generation.
+            let published = generations.load();
+            if published.id() != adopted.id() {
+                fleet
+                    .set_classifier(published.classifier().clone())
+                    .expect("published generations share the runtime dimensionality");
+                adopted = published;
+            }
+
+            predict_scratch.resize_zeroed(pending.len());
+            let sources: Vec<RowSource<'_, X>> = pending
+                .iter()
+                .map(|job| match &job.payload {
+                    Payload::Input(input) => RowSource::Input(input.borrow()),
+                    Payload::Encoded(hv) => RowSource::Encoded(hv),
+                })
+                .collect();
+            fill_batch(encoder.as_ref(), &sources, &mut predict_scratch);
+            drop(sources);
+
+            fit_scratch.resize_zeroed(fits.len());
+            let fit_sources: Vec<RowSource<'_, X>> = fits
+                .iter()
+                .map(|(payload, _)| match payload {
+                    Payload::Input(input) => RowSource::Input(input.borrow()),
+                    Payload::Encoded(hv) => RowSource::Encoded(hv),
+                })
+                .collect();
+            fill_batch(encoder.as_ref(), &fit_sources, &mut fit_scratch);
+            drop(fit_sources);
+
+            if !pending.is_empty() {
+                let keys: Vec<&str> = pending.iter().map(|job| job.key.as_str()).collect();
+                let labels = fleet
+                    .predict_batch(&keys, &predict_scratch)
+                    .expect("keys and rows are constructed in lockstep");
+                let generation = adopted.id();
+                let mut latencies = Vec::with_capacity(pending.len());
+                for (job, label) in pending.drain(..).zip(labels) {
+                    latencies.push(job.enqueued.elapsed());
+                    let _ = job
+                        .reply
+                        .send((job.index, Prediction { label, generation }));
+                }
+                metrics.record_batch(latencies.len(), latencies);
+            }
+            for ((_, label), row) in fits.drain(..).zip(fit_scratch.rows()) {
+                let _ = trainer_tx.send(TrainerMsg::Observe {
+                    hv: row.to_hypervector(),
+                    label,
+                });
+            }
+        }
+
+        // --- Then the control operation that closed it, if any. ---------
+        match stashed {
+            None => {}
+            Some(Work::Insert { key, hv, reply }) => {
+                let replaced = fleet.insert(key, hv).is_some();
+                metrics.record_insert();
+                let _ = reply.send(replaced);
+            }
+            Some(Work::Remove { key, reply }) => {
+                let removed = fleet.remove(&key).is_some();
+                metrics.record_remove();
+                let _ = reply.send(removed);
+            }
+            Some(Work::Refresh { reply }) => {
+                // Forwarded over the trainer channel *after* every fit this
+                // dispatcher already relayed, so the published generation
+                // includes them; the trainer answers the caller directly.
+                let _ = trainer_tx.send(TrainerMsg::Refresh { reply: Some(reply) });
+            }
+            Some(Work::AddShard { reply }) => {
+                let _ = reply.send(fleet.add_shard());
+            }
+            Some(Work::RemoveShard { id, reply }) => {
+                let _ = reply.send(fleet.remove_shard(id));
+            }
+            Some(Work::Stats { reply }) => {
+                let _ = reply.send(RuntimeStats {
+                    generation: generations.load().id(),
+                    dim: dim as u64,
+                    classes: adopted.classifier().classes() as u64,
+                    shard_loads: fleet
+                        .shard_loads()
+                        .into_iter()
+                        .map(|(id, len)| (id as u64, len as u64))
+                        .collect(),
+                    keys: fleet.len() as u64,
+                    last_remap_fraction: fleet.last_remap_fraction(),
+                    metrics: metrics.snapshot(),
+                });
+            }
+            Some(Work::Shutdown) => break 'runtime,
+            Some(Work::Predict(_)) | Some(Work::Fit { .. }) => {
+                unreachable!("predictions and fits are collected, never stashed")
+            }
+        }
+    }
+    fleet
+}
+
+fn trainer_loop(
+    rx: Receiver<TrainerMsg>,
+    mut trainer: CentroidTrainer,
+    generations: Arc<GenerationCell>,
+    refresh_every: usize,
+    metrics: Arc<ServeMetrics>,
+) -> CentroidTrainer {
+    let mut since_publish = 0usize;
+    loop {
+        match rx.recv() {
+            Err(_) | Ok(TrainerMsg::Stop) => break,
+            Ok(TrainerMsg::Observe { hv, label }) => {
+                trainer
+                    .observe(&hv, label)
+                    .expect("labels are validated at the handle");
+                metrics.record_fit();
+                since_publish += 1;
+                if refresh_every > 0 && since_publish >= refresh_every {
+                    publish(&trainer, &generations);
+                    since_publish = 0;
+                }
+            }
+            Ok(TrainerMsg::Refresh { reply }) => {
+                let id = publish(&trainer, &generations);
+                since_publish = 0;
+                if let Some(reply) = reply {
+                    let _ = reply.send(id);
+                }
+            }
+        }
+    }
+    trainer
+}
+
+/// Finalizes the trainer's accumulators **off-lock** into an immutable
+/// classifier and swaps it in as the next generation.
+fn publish(trainer: &CentroidTrainer, generations: &GenerationCell) -> u64 {
+    let classifier = Arc::new(trainer.finish_deterministic(TieBreak::Alternate));
+    generations.publish(classifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Basis, Enc, Pipeline};
+    use hdc_encode::Radians;
+
+    fn trained_model(dim: usize, seed: u64) -> Model<Radians> {
+        let mut model = Pipeline::builder(dim)
+            .seed(seed)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+        let labels: Vec<usize> = (0..48).map(|i| usize::from(i >= 24)).collect();
+        model.fit_batch(&hours, &labels).unwrap();
+        model
+    }
+
+    fn config(shards: usize, max_batch: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            shards,
+            policy: BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_micros(200),
+            },
+            refresh_every: 0,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn runtime_predictions_match_the_direct_model() {
+        let model = trained_model(512, 3);
+        let inputs: Vec<Radians> = (0..40)
+            .map(|i| Radians::periodic(f64::from(i) * 0.6, 24.0))
+            .collect();
+        let expected = model.predict_batch(&inputs);
+        let encoded = model.encode_batch(&inputs);
+
+        let runtime = Runtime::spawn(trained_model(512, 3), config(3, 8)).unwrap();
+        let handle = runtime.handle();
+        assert_eq!(handle.dim(), 512);
+        assert_eq!(handle.classes(), 2);
+
+        // Typed single predictions (server-side encode)…
+        for (input, &label) in inputs.iter().zip(&expected) {
+            let p = handle.predict("k", input).unwrap();
+            assert_eq!(p.label, label);
+            assert_eq!(p.generation, 0);
+        }
+        // …typed many (one queue burst, coalesced into micro-batches)…
+        let many = handle
+            .predict_many(inputs.iter().enumerate().map(|(i, x)| (format!("k{i}"), x)))
+            .unwrap();
+        assert_eq!(many.iter().map(|p| p.label).collect::<Vec<_>>(), expected);
+        // …and pre-encoded rows.
+        let pairs: Vec<(String, BinaryHypervector)> = encoded
+            .rows()
+            .enumerate()
+            .map(|(i, row)| (format!("k{i}"), row.to_hypervector()))
+            .collect();
+        let served = handle.predict_encoded_many(pairs).unwrap();
+        assert_eq!(served.iter().map(|p| p.label).collect::<Vec<_>>(), expected);
+
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.dim, 512);
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.shard_loads.len(), 3);
+        assert!(stats.metrics.requests >= 120);
+        assert!(stats.metrics.batches >= 1);
+        assert!(stats.metrics.mean_batch_size >= 1.0);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn inserts_removes_and_shard_churn_round_trip() {
+        let model = trained_model(256, 5);
+        let hv = model.encode(&Radians(1.0));
+        let runtime = Runtime::spawn(model, config(2, 4)).unwrap();
+        let handle = runtime.handle();
+
+        assert!(!handle.insert("profile", hv.clone()).unwrap());
+        assert!(handle.insert("profile", hv.clone()).unwrap());
+        let added = handle.add_shard().unwrap();
+        assert!(handle.remove_shard(added).unwrap());
+        assert!(!handle.remove_shard(999).unwrap());
+        assert!(handle.remove("profile").unwrap());
+        assert!(!handle.remove("profile").unwrap());
+        assert!(matches!(
+            handle.insert("p", BinaryHypervector::zeros(128)),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+
+        let (fleet, _trainer) = runtime.shutdown();
+        assert!(fleet.is_empty());
+        assert!(matches!(
+            handle.remove("profile"),
+            Err(HdcError::ServiceUnavailable)
+        ));
+        assert!(matches!(
+            handle.predict("k", &Radians(0.5)),
+            Err(HdcError::ServiceUnavailable)
+        ));
+        assert!(matches!(handle.stats(), Err(HdcError::ServiceUnavailable)));
+    }
+
+    #[test]
+    fn online_fits_publish_monotonic_generations_that_change_predictions() {
+        // Start from an untrained model; the first generation of online
+        // observations must teach it the day/night split.
+        let blank = Pipeline::builder(512)
+            .seed(7)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let runtime = Runtime::spawn(blank, config(1, 4)).unwrap();
+        let handle = runtime.handle();
+        assert_eq!(handle.generation().id(), 0);
+
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+        for (i, hour) in hours.iter().enumerate() {
+            handle.fit(hour, usize::from(i >= 24)).unwrap();
+        }
+        let generation = handle.refresh().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(handle.generation().id(), 1);
+        assert!(handle.refresh().unwrap() > generation, "ids are monotonic");
+
+        let morning = handle.predict("a", &Radians::periodic(3.0, 24.0)).unwrap();
+        let evening = handle.predict("b", &Radians::periodic(21.0, 24.0)).unwrap();
+        assert_eq!(morning.label, 0);
+        assert_eq!(evening.label, 1);
+        assert_eq!(morning.generation, 2);
+
+        // The recovered trainer saw all 48 observations.
+        let (_, trainer) = runtime.shutdown();
+        assert_eq!(trainer.counts(), &[24, 24]);
+        assert!(matches!(
+            handle.fit(&Radians(0.1), 0),
+            Err(HdcError::ServiceUnavailable)
+        ));
+        assert!(matches!(
+            handle.refresh(),
+            Err(HdcError::ServiceUnavailable)
+        ));
+    }
+
+    #[test]
+    fn handle_validates_before_enqueueing() {
+        let runtime = Runtime::spawn(trained_model(256, 1), config(1, 4)).unwrap();
+        let handle = runtime.handle();
+        assert!(matches!(
+            handle.predict_encoded("k", BinaryHypervector::zeros(64)),
+            Err(HdcError::DimensionMismatch {
+                expected: 256,
+                found: 64
+            })
+        ));
+        assert!(matches!(
+            handle.fit_encoded(BinaryHypervector::zeros(256), 9),
+            Err(HdcError::LabelOutOfRange {
+                label: 9,
+                classes: 2
+            })
+        ));
+        assert!(handle.predict_many(std::iter::empty()).unwrap().is_empty());
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_settles_back_to_zero() {
+        let runtime = Runtime::spawn(trained_model(256, 2), config(1, 16)).unwrap();
+        let handle = runtime.handle();
+        let inputs: Vec<Radians> = (0..64).map(|i| Radians(f64::from(i) * 0.1)).collect();
+        let _ = handle
+            .predict_many(inputs.iter().enumerate().map(|(i, x)| (format!("k{i}"), x)))
+            .unwrap();
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.metrics.queue_depth, 0);
+        assert_eq!(stats.metrics.requests, 64);
+        runtime.shutdown();
+    }
+}

@@ -1,0 +1,468 @@
+//! The framed-TCP service front-end: a [`Server`] that accepts connections
+//! and drives a shared [`RuntimeHandle`], plus the small [`BlockingClient`]
+//! speaking the same [`wire`](crate::wire) protocol.
+//!
+//! Each connection gets its own handler thread, but every handler feeds the
+//! *same* ingestion queue — so predictions from concurrent clients coalesce
+//! into shared micro-batches, which is the whole point of the runtime
+//! layer. The server adds no protocol state of its own: one request frame
+//! in, one response frame out, in order, per connection.
+//!
+//! ```no_run
+//! use hdc_serve::{BlockingClient, Enc, Pipeline, Runtime, RuntimeConfig, Server};
+//!
+//! let model = Pipeline::builder(4_096).encoder(Enc::angle()).build()?;
+//! let runtime = Runtime::spawn(model, RuntimeConfig::default())?;
+//! let server = Server::spawn("127.0.0.1:0", runtime.handle()).expect("bind");
+//! let mut client = BlockingClient::connect(server.local_addr()).expect("connect");
+//! let stats = client.stats().expect("stats");
+//! assert_eq!(stats.dim, 4_096);
+//! server.shutdown();
+//! runtime.shutdown();
+//! # Ok::<(), hdc_serve::HdcError>(())
+//! ```
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use hdc_core::{BinaryHypervector, HdcError};
+
+use crate::runtime::{Prediction, RuntimeHandle, RuntimeStats};
+use crate::wire::{self, Request, Response};
+
+/// A running TCP front-end over one serving runtime.
+///
+/// Dropping the server (or calling [`shutdown`](Self::shutdown)) stops the
+/// accept loop and closes every connection; the runtime itself keeps
+/// running until its own `shutdown`.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts accepting
+    /// connections, each served by its own thread against a clone of
+    /// `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` if the address cannot be bound.
+    pub fn spawn<X>(addr: impl ToSocketAddrs, handle: RuntimeHandle<X>) -> io::Result<Self>
+    where
+        X: ?Sized + ToOwned + Sync + 'static,
+        X::Owned: Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("hdc-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &stop, &handle))
+                .expect("spawning the accept thread")
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, closes every live connection and joins the
+    /// server's threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag. An unspecified bind address
+        // (0.0.0.0 / ::) is not itself connectable everywhere, so aim the
+        // wake-up at the loopback of the same family and port.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<X>(listener: &TcpListener, stop: &Arc<AtomicBool>, handle: &RuntimeHandle<X>)
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    let mut connections: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Reap connections whose handler already returned, so a
+        // long-running server does not accumulate one fd + JoinHandle per
+        // short-lived client.
+        connections.retain(|(_, worker)| !worker.is_finished());
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let handle = handle.clone();
+        let worker = thread::Builder::new()
+            .name("hdc-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &handle);
+            })
+            .expect("spawning a connection thread");
+        connections.push((clone, worker));
+    }
+    // Unblock every in-flight reader, then join the handlers.
+    for (stream, _) in &connections {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    for (_, worker) in connections {
+        let _ = worker.join();
+    }
+}
+
+fn serve_connection<X>(stream: TcpStream, handle: &RuntimeHandle<X>) -> io::Result<()>
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    loop {
+        let request = match wire::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(error) if error.kind() == io::ErrorKind::InvalidData => {
+                // A malformed frame poisons the stream position; answer
+                // and hang up.
+                let _ = wire::write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: error.to_string(),
+                    },
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return Err(error);
+            }
+            Err(error) => return Err(error),
+        };
+        let response = answer(handle, request);
+        wire::write_response(&mut writer, &response)?;
+    }
+}
+
+/// Maps one decoded request onto the runtime handle. Every runtime error
+/// becomes a [`Response::Error`] — the connection survives bad requests.
+fn answer<X>(handle: &RuntimeHandle<X>, request: Request) -> Response
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    fn fail(error: &HdcError) -> Response {
+        Response::Error {
+            message: error.to_string(),
+        }
+    }
+    match request {
+        Request::Predict { key, hv } => match handle.predict_encoded(key, hv) {
+            Ok(prediction) => Response::Label {
+                label: prediction.label as u32,
+                generation: prediction.generation,
+            },
+            Err(error) => fail(&error),
+        },
+        Request::PredictBatch { pairs } => match handle.predict_encoded_many(pairs) {
+            Ok(predictions) => Response::Labels {
+                predictions: predictions
+                    .into_iter()
+                    .map(|p| (p.label as u32, p.generation))
+                    .collect(),
+            },
+            Err(error) => fail(&error),
+        },
+        Request::Insert { key, hv } => match handle.insert(key, hv) {
+            Ok(replaced) => Response::Inserted { replaced },
+            Err(error) => fail(&error),
+        },
+        Request::Remove { key } => match handle.remove(key) {
+            Ok(removed) => Response::Removed { removed },
+            Err(error) => fail(&error),
+        },
+        Request::Fit { label, hv } => match handle.fit_encoded(hv, label as usize) {
+            Ok(()) => Response::FitAck,
+            Err(error) => fail(&error),
+        },
+        Request::Refresh => match handle.refresh() {
+            Ok(generation) => Response::Refreshed { generation },
+            Err(error) => fail(&error),
+        },
+        Request::AddShard => match handle.add_shard() {
+            Ok(id) => Response::ShardAdded { id: id as u32 },
+            Err(error) => fail(&error),
+        },
+        Request::RemoveShard { id } => match handle.remove_shard(id as usize) {
+            Ok(removed) => Response::ShardRemoved { removed },
+            Err(error) => fail(&error),
+        },
+        Request::Stats => match handle.stats() {
+            Ok(stats) => Response::Stats(stats),
+            Err(error) => fail(&error),
+        },
+    }
+}
+
+/// A minimal synchronous client of the framed protocol: one request in
+/// flight at a time, blocking until the response frame arrives.
+#[derive(Debug)]
+pub struct BlockingClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl BlockingClient {
+    /// Connects to a running [`Server`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        wire::write_request(&mut self.writer, request)?;
+        match wire::read_response(&mut self.reader)? {
+            Some(Response::Error { message }) => Err(io::Error::other(message)),
+            Some(response) => Ok(response),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
+    fn unexpected(response: &Response) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response {response:?}"),
+        )
+    }
+
+    /// Predicts one keyed, encoded query.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn predict(&mut self, key: &str, hv: &BinaryHypervector) -> io::Result<Prediction> {
+        let response = self.call(&Request::Predict {
+            key: key.to_owned(),
+            hv: hv.clone(),
+        })?;
+        response
+            .as_prediction()
+            .ok_or_else(|| Self::unexpected(&response))
+    }
+
+    /// Predicts a batch of keyed, encoded queries, answered in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn predict_batch(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> io::Result<Vec<Prediction>> {
+        let response = self.call(&Request::PredictBatch { pairs })?;
+        match response {
+            Response::Labels { predictions } => Ok(predictions
+                .into_iter()
+                .map(|(label, generation)| Prediction {
+                    label: label as usize,
+                    generation,
+                })
+                .collect()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Stores an encoded hypervector under `key`; `true` if an entry was
+    /// replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn insert(&mut self, key: &str, hv: &BinaryHypervector) -> io::Result<bool> {
+        match self.call(&Request::Insert {
+            key: key.to_owned(),
+            hv: hv.clone(),
+        })? {
+            Response::Inserted { replaced } => Ok(replaced),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Removes a stored entry; `true` if the key was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn remove(&mut self, key: &str) -> io::Result<bool> {
+        match self.call(&Request::Remove {
+            key: key.to_owned(),
+        })? {
+            Response::Removed { removed } => Ok(removed),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Enqueues one encoded training observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn fit(&mut self, hv: &BinaryHypervector, label: usize) -> io::Result<()> {
+        match self.call(&Request::Fit {
+            label: u32::try_from(label)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "label exceeds u32"))?,
+            hv: hv.clone(),
+        })? {
+            Response::FitAck => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Forces a new class-vector generation, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn refresh(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Refresh)? {
+            Response::Refreshed { generation } => Ok(generation),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Adds a shard, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn add_shard(&mut self) -> io::Result<usize> {
+        match self.call(&Request::AddShard)? {
+            Response::ShardAdded { id } => Ok(id as usize),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Removes a shard; `false` for an unknown id or the last shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn remove_shard(&mut self, id: usize) -> io::Result<bool> {
+        match self.call(&Request::RemoveShard {
+            id: u32::try_from(id)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "id exceeds u32"))?,
+        })? {
+            Response::ShardRemoved { removed } => Ok(removed),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Snapshots the runtime's statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn stats(&mut self) -> io::Result<RuntimeStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Basis, Enc, Pipeline, Runtime, RuntimeConfig};
+    use hdc_encode::Radians;
+
+    #[test]
+    fn loopback_smoke_predict_insert_stats() {
+        let mut model = Pipeline::builder(256)
+            .seed(2)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let hours: Vec<Radians> = (0..24)
+            .map(|h| Radians::periodic(f64::from(h), 24.0))
+            .collect();
+        let labels: Vec<usize> = (0..24).map(|h| usize::from(h >= 12)).collect();
+        model.fit_batch(&hours, &labels).unwrap();
+        let queries: Vec<BinaryHypervector> = hours.iter().map(|h| model.encode(h)).collect();
+        let expected: Vec<usize> = hours.iter().map(|h| model.predict(h)).collect();
+
+        let runtime = Runtime::spawn(model, RuntimeConfig::default()).unwrap();
+        let server = Server::spawn("127.0.0.1:0", runtime.handle()).unwrap();
+        let mut client = BlockingClient::connect(server.local_addr()).unwrap();
+
+        for (query, &label) in queries.iter().zip(&expected) {
+            assert_eq!(client.predict("station", query).unwrap().label, label);
+        }
+        assert!(!client.insert("station", &queries[0]).unwrap());
+        assert!(client.insert("station", &queries[1]).unwrap());
+        assert!(client.remove("station").unwrap());
+        assert!(!client.remove("station").unwrap());
+        // A bad request gets an error response; the connection survives.
+        let narrow = BinaryHypervector::zeros(64);
+        assert!(client.predict("station", &narrow).is_err());
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.dim, 256);
+        assert_eq!(stats.metrics.requests, 24);
+
+        server.shutdown();
+        runtime.shutdown();
+    }
+}

@@ -87,6 +87,7 @@ pub struct ShardedModel<K: Hash + Eq + Clone = u64> {
     ring: HdcHashRing<usize>,
     shards: Vec<(usize, ItemMemory<K>)>,
     next_shard_id: usize,
+    last_remap: Option<(usize, usize)>,
 }
 
 impl<K: Hash + Eq + Clone> ShardedModel<K> {
@@ -143,6 +144,7 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
             ring,
             shards: shard_memories,
             next_shard_id: shards,
+            last_remap: None,
         })
     }
 
@@ -190,6 +192,52 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
         &self.classifier
     }
 
+    /// Swaps in a new replicated classifier across every shard at once — the
+    /// hook versioned online learning publishes class-vector generations
+    /// through. Because the classifier is replicated (not sharded), one swap
+    /// is atomic for the whole fleet: every query batch served after this
+    /// call sees the new generation, none sees a mix.
+    ///
+    /// The class *count* may change between generations (a new class came
+    /// online); the dimensionality may not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the new class-vectors'
+    /// dimensionality differs from the fleet's.
+    pub fn set_classifier(&mut self, classifier: CentroidClassifier) -> Result<(), HdcError> {
+        let found = classifier.class_vector(0).dim();
+        if found != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                found,
+            });
+        }
+        self.classifier = classifier;
+        Ok(())
+    }
+
+    /// Per-shard entry counts, in creation order — the load signal serving
+    /// metrics export.
+    #[must_use]
+    pub fn shard_loads(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|(id, memory)| (*id, memory.len()))
+            .collect()
+    }
+
+    /// The fraction of stored entries moved by the most recent
+    /// [`add_shard`](Self::add_shard)/[`remove_shard`](Self::remove_shard)
+    /// rebalance, or `None` if the fleet has never resharded (or held no
+    /// entries when it did). Consistent hashing promises this stays near
+    /// `1/n`; metrics surface it so a misbehaving ring is visible.
+    #[must_use]
+    pub fn last_remap_fraction(&self) -> Option<f64> {
+        self.last_remap
+            .map(|(moved, total)| moved as f64 / total.max(1) as f64)
+    }
+
     /// Total number of stored item-memory entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -228,7 +276,11 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
         self.next_shard_id += 1;
         self.ring.add_node(id);
         self.shards.push((id, ItemMemory::new()));
-        self.rebalance();
+        let moved = self.rebalance();
+        let total = self.len();
+        if total > 0 {
+            self.last_remap = Some((moved, total));
+        }
         id
     }
 
@@ -245,15 +297,20 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
         };
         self.ring.remove_node(&id);
         let (_, memory) = self.shards.remove(position);
+        let moved = memory.len();
         for (key, hv) in memory.into_entries() {
             self.insert(key, hv);
+        }
+        let total = self.len();
+        if total > 0 {
+            self.last_remap = Some((moved, total));
         }
         true
     }
 
-    /// Moves every entry that no longer lives on its owning shard. Called
-    /// by [`add_shard`](Self::add_shard); idempotent.
-    fn rebalance(&mut self) {
+    /// Moves every entry that no longer lives on its owning shard, returning
+    /// how many moved. Called by [`add_shard`](Self::add_shard); idempotent.
+    fn rebalance(&mut self) -> usize {
         let mut moves: Vec<(K, BinaryHypervector)> = Vec::new();
         for index in 0..self.shards.len() {
             let id = self.shards[index].0;
@@ -272,9 +329,11 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
                 moves.push((key, hv));
             }
         }
+        let moved = moves.len();
         for (key, hv) in moves {
             self.insert(key, hv);
         }
+        moved
     }
 
     /// Stores `hv` under `key` in the owning shard's item memory, returning
@@ -307,6 +366,16 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
             .find(|(id, _)| *id == owner)
             .expect("owner is a live shard");
         memory.insert(key, hv).or(previous)
+    }
+
+    /// Removes a stored entry from its owning shard, returning it if the
+    /// key was stored.
+    pub fn remove(&mut self, key: &K) -> Option<BinaryHypervector> {
+        let owner = self.shard_of(key);
+        self.shards
+            .iter_mut()
+            .find(|(id, _)| *id == owner)
+            .and_then(|(_, memory)| memory.remove(key))
     }
 
     /// Looks up a stored entry on its owning shard.
@@ -576,6 +645,57 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn set_classifier_swaps_answers_fleet_wide() {
+        let (mut fleet, mut rng) = fleet(3);
+        let query = BinaryHypervector::random(1_024, &mut rng);
+        let before = fleet.predict(&query);
+        // A replacement classifier whose class 0 is exactly the query must
+        // win; the swap changes every shard's answers at once.
+        let mut vectors: Vec<BinaryHypervector> = (0..4)
+            .map(|_| BinaryHypervector::random(1_024, &mut rng))
+            .collect();
+        vectors[0] = query.clone();
+        let replacement = CentroidClassifier::from_class_vectors(vectors).unwrap();
+        fleet.set_classifier(replacement).unwrap();
+        assert_eq!(fleet.predict(&query), 0);
+        let _ = before;
+        // Dimensionality is load-bearing; a mismatched generation is refused.
+        let wrong = classifier(&mut rng, 2, 512);
+        assert!(matches!(
+            fleet.set_classifier(wrong),
+            Err(HdcError::DimensionMismatch {
+                expected: 1_024,
+                found: 512
+            })
+        ));
+    }
+
+    #[test]
+    fn remove_and_loads_and_remap_fraction() {
+        let (mut fleet, mut rng) = fleet(3);
+        assert!(fleet.last_remap_fraction().is_none());
+        let hv = BinaryHypervector::random(1_024, &mut rng);
+        assert!(fleet.remove(&"ghost".to_string()).is_none());
+        fleet.insert("a".to_string(), hv.clone());
+        assert_eq!(fleet.shard_loads().iter().map(|(_, n)| n).sum::<usize>(), 1);
+        assert_eq!(fleet.remove(&"a".to_string()), Some(hv));
+        assert!(fleet.is_empty());
+        // Churn with no entries records no remap fraction…
+        let id = fleet.add_shard();
+        assert!(fleet.last_remap_fraction().is_none());
+        assert!(fleet.remove_shard(id));
+        // …and with entries it stays a proper fraction.
+        for i in 0..50 {
+            fleet.insert(format!("k{i}"), BinaryHypervector::random(1_024, &mut rng));
+        }
+        let id = fleet.add_shard();
+        let fraction = fleet.last_remap_fraction().expect("entries were moved");
+        assert!((0.0..1.0).contains(&fraction), "fraction {fraction}");
+        assert!(fleet.remove_shard(id));
+        assert!(fleet.last_remap_fraction().is_some());
     }
 
     #[test]

@@ -1,0 +1,794 @@
+//! The framed wire protocol of the serving front-end: length-prefixed
+//! frames carrying versioned, op-coded request/response messages over any
+//! `Read`/`Write` transport (in practice a `TcpStream`).
+//!
+//! # Framing
+//!
+//! Every message is one frame. All integers are big-endian.
+//!
+//! ```text
+//! frame    := u32 length, payload[length]
+//! payload  := u8 version (=1), u8 opcode, body
+//! string   := u16 length, utf8 bytes
+//! hv       := u32 dim, u64 words[dim.div_ceil(64)]   (packed LSB-first)
+//! ```
+//!
+//! Requests and responses share the framing; opcodes are listed in
+//! [`Request`] and [`Response`]. Oversized frames (> [`MAX_FRAME_BYTES`]),
+//! unknown versions/opcodes and malformed bodies decode to
+//! `io::ErrorKind::InvalidData` — a server answers those with
+//! [`Response::Error`] rather than dying.
+
+use std::io::{self, Read, Write};
+
+use hdc_core::BinaryHypervector;
+
+use crate::metrics::MetricsSnapshot;
+use crate::runtime::{Prediction, RuntimeStats};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload (16 MiB): a 256-row batch of
+/// 100k-bit queries is ~3 MiB, so real traffic sits far below while a
+/// corrupt length prefix cannot trigger a giant allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// A client → server operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict one keyed, encoded query (opcode 1).
+    Predict {
+        /// Routing key.
+        key: String,
+        /// Encoded query.
+        hv: BinaryHypervector,
+    },
+    /// Predict a batch of keyed, encoded queries (opcode 2).
+    PredictBatch {
+        /// `(routing key, encoded query)` pairs, answered in order.
+        pairs: Vec<(String, BinaryHypervector)>,
+    },
+    /// Store an encoded hypervector under a key (opcode 3).
+    Insert {
+        /// Storage key.
+        key: String,
+        /// Entry to store.
+        hv: BinaryHypervector,
+    },
+    /// Remove a stored entry (opcode 4).
+    Remove {
+        /// Storage key.
+        key: String,
+    },
+    /// Fold one encoded training observation into the online trainer
+    /// (opcode 5).
+    Fit {
+        /// Class label of the observation.
+        label: u32,
+        /// Encoded observation.
+        hv: BinaryHypervector,
+    },
+    /// Force-publish a new class-vector generation (opcode 6).
+    Refresh,
+    /// Add a shard to the fleet (opcode 7).
+    AddShard,
+    /// Remove a shard from the fleet (opcode 8).
+    RemoveShard {
+        /// Shard id to remove.
+        id: u32,
+    },
+    /// Snapshot runtime statistics (opcode 9).
+    Stats,
+}
+
+/// A server → client reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Predict`] (opcode 1).
+    Label {
+        /// Predicted class label.
+        label: u32,
+        /// Class-vector generation that served the prediction.
+        generation: u64,
+    },
+    /// Answer to [`Request::PredictBatch`] (opcode 2): per-query
+    /// `(label, generation)` in request order.
+    Labels {
+        /// One `(label, generation)` per query, in order.
+        predictions: Vec<(u32, u64)>,
+    },
+    /// Answer to [`Request::Insert`] (opcode 3).
+    Inserted {
+        /// `true` if a previous entry was replaced.
+        replaced: bool,
+    },
+    /// Answer to [`Request::Remove`] (opcode 4).
+    Removed {
+        /// `true` if the key was stored.
+        removed: bool,
+    },
+    /// Answer to [`Request::Fit`] (opcode 5): the observation is enqueued.
+    FitAck,
+    /// Answer to [`Request::Refresh`] (opcode 6).
+    Refreshed {
+        /// Id of the newly published generation.
+        generation: u64,
+    },
+    /// Answer to [`Request::AddShard`] (opcode 7).
+    ShardAdded {
+        /// Id of the new shard.
+        id: u32,
+    },
+    /// Answer to [`Request::RemoveShard`] (opcode 8).
+    ShardRemoved {
+        /// `false` for an unknown id or the last shard.
+        removed: bool,
+    },
+    /// Answer to [`Request::Stats`] (opcode 9).
+    Stats(RuntimeStats),
+    /// Any request the server could not serve (opcode 255).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience: the `(label, generation)` pair as a [`Prediction`], if
+    /// this is a `Label` response.
+    #[must_use]
+    pub fn as_prediction(&self) -> Option<Prediction> {
+        match *self {
+            Response::Label { label, generation } => Some(Prediction {
+                label: label as usize,
+                generation,
+            }),
+            _ => None,
+        }
+    }
+}
+
+// --- body writers ------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, value: u16) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, value: f64) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_string(buf: &mut Vec<u8>, value: &str) -> io::Result<()> {
+    let len = u16::try_from(value.len()).map_err(|_| {
+        invalid(format!(
+            "key of {} bytes exceeds the u16 limit",
+            value.len()
+        ))
+    })?;
+    put_u16(buf, len);
+    buf.extend_from_slice(value.as_bytes());
+    Ok(())
+}
+
+fn put_hv(buf: &mut Vec<u8>, hv: &BinaryHypervector) -> io::Result<()> {
+    let dim = u32::try_from(hv.dim()).map_err(|_| invalid("dimension exceeds u32"))?;
+    put_u32(buf, dim);
+    for word in hv.as_words() {
+        put_u64(buf, *word);
+    }
+    Ok(())
+}
+
+// --- body readers ------------------------------------------------------
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or_else(|| invalid("truncated frame body"))?;
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("key is not valid UTF-8"))
+    }
+
+    fn hv(&mut self) -> io::Result<BinaryHypervector> {
+        let dim = self.u32()? as usize;
+        if dim == 0 {
+            return Err(invalid("hypervector dimension 0"));
+        }
+        let words = dim.div_ceil(64);
+        let mut packed = Vec::with_capacity(words);
+        for _ in 0..words {
+            packed.push(self.u64()?);
+        }
+        let rem = dim % 64;
+        if rem != 0 && packed.last().is_some_and(|&last| last >> rem != 0) {
+            return Err(invalid("bits set beyond the hypervector dimension"));
+        }
+        Ok(BinaryHypervector::from_words(dim, packed))
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.at != self.body.len() {
+            return Err(invalid("trailing bytes after frame body"));
+        }
+        Ok(())
+    }
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+// --- framing -----------------------------------------------------------
+
+fn write_frame(writer: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
+    let length = u32::try_from(body.len() + 2).map_err(|_| invalid("frame too large"))?;
+    if length as usize > MAX_FRAME_BYTES {
+        return Err(invalid("frame too large"));
+    }
+    let mut frame = Vec::with_capacity(4 + 2 + body.len());
+    frame.extend_from_slice(&length.to_be_bytes());
+    frame.push(PROTOCOL_VERSION);
+    frame.push(opcode);
+    frame.extend_from_slice(body);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Reads one frame, returning `(opcode, body)` — or `None` on a clean
+/// end-of-stream at a frame boundary (the peer hung up between messages).
+fn read_frame(reader: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(invalid("connection closed mid-frame")),
+            n => filled += n,
+        }
+    }
+    let length = u32::from_be_bytes(header) as usize;
+    if length < 2 {
+        return Err(invalid("frame shorter than its version and opcode"));
+    }
+    if length > MAX_FRAME_BYTES {
+        return Err(invalid(format!("frame of {length} bytes exceeds the cap")));
+    }
+    // Version and opcode are consumed separately so the body lands in its
+    // final buffer directly (no shift of a multi-megabyte frame).
+    let mut meta = [0u8; 2];
+    reader.read_exact(&mut meta)?;
+    if meta[0] != PROTOCOL_VERSION {
+        return Err(invalid(format!("unsupported protocol version {}", meta[0])));
+    }
+    let mut body = vec![0u8; length - 2];
+    reader.read_exact(&mut body)?;
+    Ok(Some((meta[1], body)))
+}
+
+// --- requests ----------------------------------------------------------
+
+/// Writes one request as a frame.
+///
+/// # Errors
+///
+/// Returns `io::Error` on transport failure or an unencodable message
+/// (key over 64 KiB, frame over [`MAX_FRAME_BYTES`]).
+pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<()> {
+    let mut body = Vec::new();
+    let opcode = match request {
+        Request::Predict { key, hv } => {
+            put_string(&mut body, key)?;
+            put_hv(&mut body, hv)?;
+            1
+        }
+        Request::PredictBatch { pairs } => {
+            let n = u16::try_from(pairs.len())
+                .map_err(|_| invalid("batch exceeds the u16 row limit"))?;
+            put_u16(&mut body, n);
+            for (key, hv) in pairs {
+                put_string(&mut body, key)?;
+                put_hv(&mut body, hv)?;
+            }
+            2
+        }
+        Request::Insert { key, hv } => {
+            put_string(&mut body, key)?;
+            put_hv(&mut body, hv)?;
+            3
+        }
+        Request::Remove { key } => {
+            put_string(&mut body, key)?;
+            4
+        }
+        Request::Fit { label, hv } => {
+            put_u32(&mut body, *label);
+            put_hv(&mut body, hv)?;
+            5
+        }
+        Request::Refresh => 6,
+        Request::AddShard => 7,
+        Request::RemoveShard { id } => {
+            put_u32(&mut body, *id);
+            8
+        }
+        Request::Stats => 9,
+    };
+    write_frame(writer, opcode, &body)
+}
+
+/// Reads one request frame; `Ok(None)` means the peer closed the
+/// connection cleanly between frames.
+///
+/// # Errors
+///
+/// Returns `io::Error` on transport failure or a malformed frame.
+pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some((opcode, body)) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor { body: &body, at: 0 };
+    let request = match opcode {
+        1 => Request::Predict {
+            key: cursor.string()?,
+            hv: cursor.hv()?,
+        },
+        2 => {
+            let n = cursor.u16()? as usize;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((cursor.string()?, cursor.hv()?));
+            }
+            Request::PredictBatch { pairs }
+        }
+        3 => Request::Insert {
+            key: cursor.string()?,
+            hv: cursor.hv()?,
+        },
+        4 => Request::Remove {
+            key: cursor.string()?,
+        },
+        5 => Request::Fit {
+            label: cursor.u32()?,
+            hv: cursor.hv()?,
+        },
+        6 => Request::Refresh,
+        7 => Request::AddShard,
+        8 => Request::RemoveShard { id: cursor.u32()? },
+        9 => Request::Stats,
+        other => return Err(invalid(format!("unknown request opcode {other}"))),
+    };
+    cursor.finish()?;
+    Ok(Some(request))
+}
+
+// --- responses ---------------------------------------------------------
+
+/// Writes one response as a frame.
+///
+/// # Errors
+///
+/// Returns `io::Error` on transport failure or an unencodable message.
+pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut body = Vec::new();
+    let opcode = match response {
+        Response::Label { label, generation } => {
+            put_u32(&mut body, *label);
+            put_u64(&mut body, *generation);
+            1
+        }
+        Response::Labels { predictions } => {
+            let n = u16::try_from(predictions.len())
+                .map_err(|_| invalid("batch exceeds the u16 row limit"))?;
+            put_u16(&mut body, n);
+            for (label, generation) in predictions {
+                put_u32(&mut body, *label);
+                put_u64(&mut body, *generation);
+            }
+            2
+        }
+        Response::Inserted { replaced } => {
+            body.push(u8::from(*replaced));
+            3
+        }
+        Response::Removed { removed } => {
+            body.push(u8::from(*removed));
+            4
+        }
+        Response::FitAck => 5,
+        Response::Refreshed { generation } => {
+            put_u64(&mut body, *generation);
+            6
+        }
+        Response::ShardAdded { id } => {
+            put_u32(&mut body, *id);
+            7
+        }
+        Response::ShardRemoved { removed } => {
+            body.push(u8::from(*removed));
+            8
+        }
+        Response::Stats(stats) => {
+            put_stats(&mut body, stats)?;
+            9
+        }
+        Response::Error { message } => {
+            // Truncation keeps the byte length well under put_string's
+            // u16 limit even for 4-byte code points.
+            let truncated: String = message.chars().take(512).collect();
+            put_string(&mut body, &truncated)?;
+            255
+        }
+    };
+    write_frame(writer, opcode, &body)
+}
+
+/// Reads one response frame; `Ok(None)` means the server closed the
+/// connection cleanly between frames.
+///
+/// # Errors
+///
+/// Returns `io::Error` on transport failure or a malformed frame.
+pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
+    let Some((opcode, body)) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let mut cursor = Cursor { body: &body, at: 0 };
+    let response = match opcode {
+        1 => Response::Label {
+            label: cursor.u32()?,
+            generation: cursor.u64()?,
+        },
+        2 => {
+            let n = cursor.u16()? as usize;
+            let mut predictions = Vec::with_capacity(n);
+            for _ in 0..n {
+                predictions.push((cursor.u32()?, cursor.u64()?));
+            }
+            Response::Labels { predictions }
+        }
+        3 => Response::Inserted {
+            replaced: cursor.take(1)?[0] != 0,
+        },
+        4 => Response::Removed {
+            removed: cursor.take(1)?[0] != 0,
+        },
+        5 => Response::FitAck,
+        6 => Response::Refreshed {
+            generation: cursor.u64()?,
+        },
+        7 => Response::ShardAdded { id: cursor.u32()? },
+        8 => Response::ShardRemoved {
+            removed: cursor.take(1)?[0] != 0,
+        },
+        9 => Response::Stats(read_stats(&mut cursor)?),
+        255 => {
+            let len = cursor.u16()? as usize;
+            let bytes = cursor.take(len)?;
+            Response::Error {
+                message: String::from_utf8_lossy(bytes).into_owned(),
+            }
+        }
+        other => return Err(invalid(format!("unknown response opcode {other}"))),
+    };
+    cursor.finish()?;
+    Ok(Some(response))
+}
+
+fn put_stats(body: &mut Vec<u8>, stats: &RuntimeStats) -> io::Result<()> {
+    put_u64(body, stats.generation);
+    put_u64(body, stats.dim);
+    put_u64(body, stats.classes);
+    let shards =
+        u16::try_from(stats.shard_loads.len()).map_err(|_| invalid("shard count exceeds u16"))?;
+    put_u16(body, shards);
+    for (id, len) in &stats.shard_loads {
+        put_u64(body, *id);
+        put_u64(body, *len);
+    }
+    put_u64(body, stats.keys);
+    match stats.last_remap_fraction {
+        Some(fraction) => {
+            body.push(1);
+            put_f64(body, fraction);
+        }
+        None => body.push(0),
+    }
+    let metrics = &stats.metrics;
+    put_u64(body, metrics.queue_depth);
+    put_u64(body, metrics.requests);
+    put_u64(body, metrics.batches);
+    put_u64(body, metrics.inserts);
+    put_u64(body, metrics.removes);
+    put_u64(body, metrics.fits);
+    put_f64(body, metrics.mean_batch_size);
+    let bins = u16::try_from(metrics.batch_sizes.len())
+        .map_err(|_| invalid("histogram bin count exceeds u16"))?;
+    put_u16(body, bins);
+    for count in &metrics.batch_sizes {
+        put_u64(body, *count);
+    }
+    put_f64(body, metrics.latency_us_p50);
+    put_f64(body, metrics.latency_us_p95);
+    put_f64(body, metrics.latency_us_p99);
+    Ok(())
+}
+
+fn read_stats(cursor: &mut Cursor<'_>) -> io::Result<RuntimeStats> {
+    let generation = cursor.u64()?;
+    let dim = cursor.u64()?;
+    let classes = cursor.u64()?;
+    let shards = cursor.u16()? as usize;
+    let mut shard_loads = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        shard_loads.push((cursor.u64()?, cursor.u64()?));
+    }
+    let keys = cursor.u64()?;
+    let last_remap_fraction = match cursor.take(1)?[0] {
+        0 => None,
+        _ => Some(cursor.f64()?),
+    };
+    let queue_depth = cursor.u64()?;
+    let requests = cursor.u64()?;
+    let batches = cursor.u64()?;
+    let inserts = cursor.u64()?;
+    let removes = cursor.u64()?;
+    let fits = cursor.u64()?;
+    let mean_batch_size = cursor.f64()?;
+    let bins = cursor.u16()? as usize;
+    let mut batch_sizes = Vec::with_capacity(bins);
+    for _ in 0..bins {
+        batch_sizes.push(cursor.u64()?);
+    }
+    Ok(RuntimeStats {
+        generation,
+        dim,
+        classes,
+        shard_loads,
+        keys,
+        last_remap_fraction,
+        metrics: MetricsSnapshot {
+            queue_depth,
+            requests,
+            batches,
+            inserts,
+            removes,
+            fits,
+            mean_batch_size,
+            batch_sizes,
+            latency_us_p50: cursor.f64()?,
+            latency_us_p95: cursor.f64()?,
+            latency_us_p99: cursor.f64()?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn hv(dim: usize, seed: u64) -> BinaryHypervector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BinaryHypervector::random(dim, &mut rng)
+    }
+
+    fn round_trip_request(request: Request) {
+        let mut buffer = Vec::new();
+        write_request(&mut buffer, &request).unwrap();
+        let decoded = read_request(&mut buffer.as_slice()).unwrap().unwrap();
+        assert_eq!(decoded, request);
+    }
+
+    fn round_trip_response(response: Response) {
+        let mut buffer = Vec::new();
+        write_response(&mut buffer, &response).unwrap();
+        let decoded = read_response(&mut buffer.as_slice()).unwrap().unwrap();
+        assert_eq!(decoded, response);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::Predict {
+            key: "user-1".into(),
+            hv: hv(100, 1),
+        });
+        round_trip_request(Request::PredictBatch {
+            pairs: (0..5).map(|i| (format!("k{i}"), hv(64, i))).collect(),
+        });
+        round_trip_request(Request::PredictBatch { pairs: Vec::new() });
+        round_trip_request(Request::Insert {
+            key: String::new(),
+            hv: hv(65, 9),
+        });
+        round_trip_request(Request::Remove {
+            key: "κλειδί".into(),
+        });
+        round_trip_request(Request::Fit {
+            label: 3,
+            hv: hv(1, 2),
+        });
+        round_trip_request(Request::Refresh);
+        round_trip_request(Request::AddShard);
+        round_trip_request(Request::RemoveShard { id: 7 });
+        round_trip_request(Request::Stats);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::Label {
+            label: 4,
+            generation: 9,
+        });
+        round_trip_response(Response::Labels {
+            predictions: vec![(0, 1), (3, 1), (2, 2)],
+        });
+        round_trip_response(Response::Inserted { replaced: true });
+        round_trip_response(Response::Removed { removed: false });
+        round_trip_response(Response::FitAck);
+        round_trip_response(Response::Refreshed { generation: 17 });
+        round_trip_response(Response::ShardAdded { id: 5 });
+        round_trip_response(Response::ShardRemoved { removed: true });
+        round_trip_response(Response::Error {
+            message: "dimension mismatch: expected 512, found 64".into(),
+        });
+        round_trip_response(Response::Stats(RuntimeStats {
+            generation: 3,
+            dim: 512,
+            classes: 4,
+            shard_loads: vec![(0, 10), (1, 0), (5, 3)],
+            keys: 13,
+            last_remap_fraction: Some(0.25),
+            metrics: MetricsSnapshot {
+                queue_depth: 2,
+                requests: 100,
+                batches: 9,
+                inserts: 13,
+                removes: 1,
+                fits: 40,
+                mean_batch_size: 100.0 / 9.0,
+                batch_sizes: vec![1, 0, 8],
+                latency_us_p50: 120.0,
+                latency_us_p95: 400.0,
+                latency_us_p99: 900.0,
+            },
+        }));
+        round_trip_response(Response::Stats(RuntimeStats {
+            generation: 0,
+            dim: 64,
+            classes: 2,
+            shard_loads: Vec::new(),
+            keys: 0,
+            last_remap_fraction: None,
+            metrics: MetricsSnapshot {
+                queue_depth: 0,
+                requests: 0,
+                batches: 0,
+                inserts: 0,
+                removes: 0,
+                fits: 0,
+                mean_batch_size: 0.0,
+                batch_sizes: Vec::new(),
+                latency_us_p50: 0.0,
+                latency_us_p95: 0.0,
+                latency_us_p99: 0.0,
+            },
+        }));
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let mut buffer = Vec::new();
+        write_request(&mut buffer, &Request::Stats).unwrap();
+        write_request(&mut buffer, &Request::Remove { key: "x".into() }).unwrap();
+        let mut reader = buffer.as_slice();
+        assert_eq!(read_request(&mut reader).unwrap(), Some(Request::Stats));
+        assert_eq!(
+            read_request(&mut reader).unwrap(),
+            Some(Request::Remove { key: "x".into() })
+        );
+        assert_eq!(read_request(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_trusted() {
+        // Truncated mid-frame.
+        let mut buffer = Vec::new();
+        write_request(
+            &mut buffer,
+            &Request::Predict {
+                key: "k".into(),
+                hv: hv(128, 3),
+            },
+        )
+        .unwrap();
+        buffer.truncate(buffer.len() - 1);
+        assert!(read_request(&mut buffer.as_slice()).is_err());
+
+        // Oversized length prefix.
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        let mut framed = huge.to_vec();
+        framed.extend_from_slice(&[PROTOCOL_VERSION, 1]);
+        assert!(read_request(&mut framed.as_slice()).is_err());
+
+        // Wrong version.
+        let mut wrong = vec![0, 0, 0, 2, 9, 1];
+        assert!(read_request(&mut wrong.as_slice()).is_err());
+        wrong[4] = PROTOCOL_VERSION;
+        wrong[5] = 200; // unknown opcode
+        assert!(read_request(&mut wrong.as_slice()).is_err());
+
+        // Dirty tail bits beyond the dimension.
+        let mut body = Vec::new();
+        put_string(&mut body, "k").unwrap();
+        put_u32(&mut body, 65);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, u64::MAX);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, 1, &body).unwrap();
+        assert!(read_request(&mut framed.as_slice()).is_err());
+
+        // Trailing garbage after a well-formed body.
+        let mut body = Vec::new();
+        put_u32(&mut body, 7);
+        body.push(0xAB);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, 8, &body).unwrap();
+        assert!(read_request(&mut framed.as_slice()).is_err());
+    }
+
+    #[test]
+    fn key_length_is_bounded() {
+        let request = Request::Remove {
+            key: "x".repeat(70_000),
+        };
+        assert!(write_request(&mut Vec::new(), &request).is_err());
+    }
+}

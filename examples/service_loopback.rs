@@ -1,0 +1,144 @@
+//! The serving stack as a process: spawn the micro-batching [`Runtime`]
+//! around a trained model, put the framed-TCP [`Server`] in front of it on
+//! an ephemeral loopback port, and drive predict / insert / online-fit /
+//! stats through the [`BlockingClient`] — verifying every served answer
+//! against the direct `Model`.
+//!
+//! This is the CI smoke test for the service front-end: it exercises the
+//! whole path (client framing → TCP → connection handler → ingestion
+//! queue → micro-batch → sharded predict → reply) and asserts bit-identity
+//! with the in-process model.
+//!
+//! ```text
+//! cargo run --release --example service_loopback
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use hdc::serve::Radians;
+use hdc::{
+    Basis, BinaryHypervector, BlockingClient, Enc, HdcError, Model, Pipeline, Runtime,
+    RuntimeConfig, Server,
+};
+
+fn train(seed: u64) -> Result<Model<Radians>, HdcError> {
+    let mut model = Pipeline::builder(10_000)
+        .seed(seed)
+        .classes(3)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()?;
+    // Three day-phases on the 24-hour circle: night / day / evening.
+    let hours: Vec<Radians> = (0..96)
+        .map(|i| Radians::periodic(f64::from(i) / 4.0, 24.0))
+        .collect();
+    let labels: Vec<usize> = (0..96)
+        .map(|i| match i / 4 {
+            0..=7 => 0,
+            8..=17 => 1,
+            _ => 2,
+        })
+        .collect();
+    model.fit_batch(&hours, &labels)?;
+    Ok(model)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Train once; keep a reference copy for bit-identity checks. -----
+    let reference = train(42)?;
+    let queries: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    let encoded: Vec<BinaryHypervector> = queries.iter().map(|q| reference.encode(q)).collect();
+    let expected: Vec<usize> = queries.iter().map(|q| reference.predict(q)).collect();
+
+    // --- Bring up the runtime (same seed → bit-identical model). --------
+    let runtime = Runtime::spawn(
+        train(42)?,
+        RuntimeConfig {
+            shards: 4,
+            ..RuntimeConfig::default()
+        },
+    )?;
+    let server = Server::spawn("127.0.0.1:0", runtime.handle())?;
+    let addr = server.local_addr();
+    println!("serving 4 shards on {addr}");
+
+    // --- Concurrent clients: micro-batches amortize the fan-out. --------
+    let encoded = Arc::new(encoded);
+    let expected = Arc::new(expected);
+    let start = Instant::now();
+    let clients: Vec<_> = (0..4)
+        .map(|client_id| {
+            let encoded = Arc::clone(&encoded);
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || -> std::io::Result<usize> {
+                let mut client = BlockingClient::connect(addr)?;
+                let mut served = 0;
+                for (i, (hv, &label)) in encoded.iter().zip(expected.iter()).enumerate() {
+                    let prediction = client.predict(&format!("c{client_id}-q{i}"), hv)?;
+                    assert_eq!(
+                        prediction.label, label,
+                        "framed-TCP answer must be bit-identical to the direct model"
+                    );
+                    served += 1;
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+    let served: usize = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread").expect("client io"))
+        .sum();
+    println!(
+        "{served} predictions over TCP in {:.1} ms — all bit-identical to Model::predict",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // --- Item memory + online learning over the wire. -------------------
+    let mut client = BlockingClient::connect(addr)?;
+    assert!(!client.insert("station-7", &encoded[7])?);
+    assert!(client.insert("station-7", &encoded[8])?);
+    client.fit(&encoded[0], expected[0])?;
+    let generation = client.refresh()?;
+    println!("one online observation folded in; published generation {generation}");
+    let after = client.predict("station-7", &encoded[7])?;
+    assert_eq!(
+        after.generation, generation,
+        "predictions report the new generation"
+    );
+    assert!(client.remove("station-7")?);
+
+    // --- Stats: queue/batch/latency metrics and per-shard load. ---------
+    let stats = client.stats()?;
+    println!(
+        "stats: generation {}, {} classes, d = {}, {} requests in {} batches (mean size {:.1})",
+        stats.generation,
+        stats.classes,
+        stats.dim,
+        stats.metrics.requests,
+        stats.metrics.batches,
+        stats.metrics.mean_batch_size,
+    );
+    println!(
+        "latency: p50 {:.0} µs, p95 {:.0} µs, p99 {:.0} µs; shard loads {:?}",
+        stats.metrics.latency_us_p50,
+        stats.metrics.latency_us_p95,
+        stats.metrics.latency_us_p99,
+        stats.shard_loads,
+    );
+    assert_eq!(stats.metrics.requests as usize, served + 1);
+    assert_eq!(stats.metrics.fits, 1);
+
+    server.shutdown();
+    let (fleet, trainer) = runtime.shutdown();
+    println!(
+        "shutdown: fleet holds {} entries, trainer saw {} observations",
+        fleet.len(),
+        trainer.counts().iter().sum::<usize>()
+    );
+    Ok(())
+}

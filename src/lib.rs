@@ -20,8 +20,10 @@
 //!   evaluation datasets.
 //! * `hash` ([`hdc_hash`]) — hyperdimensional consistent hashing, the original
 //!   application of circular hypervectors.
-//! * `serve` ([`hdc_serve`]) — the unified [`Pipeline`]/[`Model`] builder API
-//!   and [`ShardedModel`] serving over the consistent-hash ring.
+//! * `serve` ([`hdc_serve`]) — the unified [`Pipeline`]/[`Model`] builder API,
+//!   [`ShardedModel`] serving over the consistent-hash ring, and the
+//!   long-running [`Runtime`] (micro-batching ingestion, versioned online
+//!   learning) with its framed-TCP [`Server`]/[`BlockingClient`] front-end.
 //!
 //! # Quickstart
 //!
@@ -75,4 +77,7 @@ pub use hdc_core::{
     MajorityAccumulator, TieBreak, DEFAULT_DIMENSION,
 };
 pub use hdc_encode::{Encoder, FeatureRecordEncoder, FieldSpec, Radians};
-pub use hdc_serve::{Basis, Enc, Model, Pipeline, RingConfig, ShardedModel};
+pub use hdc_serve::{
+    Basis, BatchPolicy, BlockingClient, Enc, Model, Pipeline, Prediction, RingConfig, Runtime,
+    RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardedModel,
+};

@@ -5,7 +5,9 @@
 //! `ShardedModel` rather than the raw ring).
 
 use hdc::serve::Radians;
-use hdc::{Basis, BinaryHypervector, Enc, HypervectorBatch, Model, Pipeline, ShardedModel};
+use hdc::{
+    Basis, BinaryHypervector, Enc, HypervectorBatch, ItemMemory, Model, Pipeline, ShardedModel,
+};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -127,6 +129,105 @@ proptest! {
         }
         prop_assert_eq!(fleet.len(), keys.len());
     }
+}
+
+/// `ItemMemory::remove` edge cases: absent keys (on empty and populated
+/// memories), repeated removal, and index integrity after swap-remove
+/// churn.
+#[test]
+fn item_memory_remove_handles_absent_keys_and_churn() {
+    let mut rng = StdRng::seed_from_u64(0x1E4);
+    let mut memory: ItemMemory<u32> = ItemMemory::new();
+    assert!(memory.remove(&7).is_none(), "remove on an empty memory");
+
+    let hvs: Vec<BinaryHypervector> = (0..8)
+        .map(|_| BinaryHypervector::random(128, &mut rng))
+        .collect();
+    for (i, hv) in hvs.iter().enumerate() {
+        memory.insert(u32::try_from(i).unwrap(), hv.clone());
+    }
+    assert!(
+        memory.remove(&99).is_none(),
+        "absent key on a populated memory"
+    );
+    // Interleave removals with absent-key probes; swap-remove must keep
+    // every surviving key resolvable throughout.
+    for victim in [0u32, 7, 3] {
+        assert!(memory.remove(&victim).is_some());
+        assert!(
+            memory.remove(&victim).is_none(),
+            "double remove of {victim}"
+        );
+        for (i, hv) in hvs.iter().enumerate() {
+            let key = u32::try_from(i).unwrap();
+            if memory.contains(&key) {
+                assert_eq!(memory.get(&key), Some(hv), "key {key} after churn");
+            }
+        }
+    }
+    assert_eq!(memory.len(), 5);
+}
+
+/// `ItemMemory::into_entries` edge cases: an empty memory yields nothing,
+/// and a churned memory moves exactly its surviving entries (the path
+/// `remove_shard` redistributes through).
+#[test]
+fn item_memory_into_entries_moves_the_surviving_entries() {
+    let mut rng = StdRng::seed_from_u64(0x1E5);
+    let empty: ItemMemory<String> = ItemMemory::new();
+    assert!(empty.into_entries().is_empty());
+
+    let mut memory: ItemMemory<String> = ItemMemory::new();
+    let first = BinaryHypervector::random(128, &mut rng);
+    let second = BinaryHypervector::random(128, &mut rng);
+    memory.insert("dup".to_string(), first);
+    memory.insert("dup".to_string(), second.clone());
+    memory.insert("gone".to_string(), BinaryHypervector::random(128, &mut rng));
+    memory.insert("kept".to_string(), second.clone());
+    memory.remove(&"gone".to_string());
+    let mut entries = memory.into_entries();
+    entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+    assert_eq!(entries.len(), 2);
+    // The duplicate-key insert survives as its *latest* value.
+    assert_eq!(entries[0], ("dup".to_string(), second.clone()));
+    assert_eq!(entries[1], ("kept".to_string(), second));
+}
+
+/// Fleet-level churn edge cases: shard add/remove with zero stored entries,
+/// removal of absent keys through the routing layer, and duplicate-key
+/// re-inserts surviving a reshard with their latest value.
+#[test]
+fn fleet_churn_on_empty_shards_and_duplicate_keys() {
+    let mut rng = StdRng::seed_from_u64(0x1E6);
+    let classifier = hdc::learn::CentroidClassifier::from_class_vectors(vec![
+        BinaryHypervector::random(256, &mut rng),
+        BinaryHypervector::random(256, &mut rng),
+    ])
+    .expect("non-empty");
+    let mut fleet: ShardedModel<String> =
+        ShardedModel::new(classifier, 256, 2, 3).expect("valid fleet");
+
+    // Churn with no entries at all: nothing to move, nothing recorded.
+    let empty_add = fleet.add_shard();
+    assert!(fleet.remove_shard(empty_add));
+    assert!(fleet.last_remap_fraction().is_none());
+    assert!(fleet.remove(&"absent".to_string()).is_none());
+
+    // A key re-inserted with a new value must survive churn as that value.
+    let stale = BinaryHypervector::random(256, &mut rng);
+    let fresh = BinaryHypervector::random(256, &mut rng);
+    assert!(fleet.insert("profile".to_string(), stale.clone()).is_none());
+    assert_eq!(
+        fleet.insert("profile".to_string(), fresh.clone()),
+        Some(stale)
+    );
+    let added = fleet.add_shard();
+    assert_eq!(fleet.get(&"profile".to_string()), Some(&fresh));
+    assert!(fleet.remove_shard(added));
+    assert_eq!(fleet.get(&"profile".to_string()), Some(&fresh));
+    assert_eq!(fleet.len(), 1);
+    assert_eq!(fleet.remove(&"profile".to_string()), Some(fresh));
+    assert!(fleet.is_empty());
 }
 
 /// Non-proptest check: routed sub-batches ship every row exactly once even
