@@ -158,6 +158,10 @@ pub struct LinearHistogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    /// Running total of recorded samples, maintained by
+    /// [`add`](Self::add)/[`clear`](Self::clear) so [`total`](Self::total)
+    /// is O(1) on the metrics hot path instead of an O(bins) sum.
+    total: u64,
 }
 
 impl LinearHistogram {
@@ -184,6 +188,7 @@ impl LinearHistogram {
             lo,
             hi,
             counts: vec![0; bins],
+            total: 0,
         })
     }
 
@@ -213,6 +218,7 @@ impl LinearHistogram {
         }
         let idx = self.bin_index(value);
         self.counts[idx] += 1;
+        self.total += 1;
     }
 
     /// The bin a value falls into (edge bins absorb out-of-range values).
@@ -242,10 +248,19 @@ impl LinearHistogram {
         &self.counts
     }
 
-    /// Total number of recorded samples.
+    /// Total number of recorded samples. O(1): the total is maintained as
+    /// samples are added rather than summed over the bins per call.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.total
+    }
+
+    /// `true` if no sample has been recorded (or every sample was wiped by
+    /// [`clear`](Self::clear)) — the state in which
+    /// [`percentile`](Self::percentile) has no answer.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
     }
 
     /// The central value of bin `bin`.
@@ -262,11 +277,17 @@ impl LinearHistogram {
 
     /// The approximate `p`-th percentile (`0 < p <= 100`): the upper edge of
     /// the first bin whose cumulative count reaches `ceil(p/100 · total)`.
-    /// Returns `None` for an empty histogram.
+    ///
+    /// An **empty** histogram (no samples recorded yet, or just cleared)
+    /// has no percentiles: the result is `None` for every `p`, never a
+    /// fabricated `lo`/`hi` — callers that report distributions must
+    /// distinguish "no data" from "all data at the bound" (the serving
+    /// metrics map it to an explicit zero).
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `(0, 100]`.
+    /// Panics if `p` is not in `(0, 100]` — including on an empty
+    /// histogram, where the argument is validated before the data.
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<f64> {
         assert!(p > 0.0 && p <= 100.0, "percentile {p} outside (0, 100]");
@@ -286,9 +307,10 @@ impl LinearHistogram {
         Some(self.hi)
     }
 
-    /// Resets every bin to zero.
+    /// Resets every bin (and the running total) to zero.
     pub fn clear(&mut self) {
         self.counts.fill(0);
+        self.total = 0;
     }
 }
 
@@ -412,6 +434,38 @@ mod tests {
         spike.extend(std::iter::repeat(4.5).take(1000));
         assert_eq!(spike.percentile(1.0), Some(5.0));
         assert_eq!(spike.percentile(99.9), Some(5.0));
+    }
+
+    #[test]
+    fn linear_empty_histogram_has_no_percentiles() {
+        // The defined empty-histogram contract: every p yields None — both
+        // before any sample and again after clear() wipes the data — and
+        // the argument is still validated first.
+        let mut h = LinearHistogram::new(0.0, 10.0, 5).unwrap();
+        assert!(h.is_empty());
+        for p in [0.001, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), None, "p = {p}");
+        }
+        h.add(4.0);
+        assert!(!h.is_empty());
+        assert_eq!(h.total(), 1);
+        assert!(h.percentile(50.0).is_some());
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.percentile(50.0), None);
+        // NaN samples never count toward the total, so a NaN-only history
+        // is still empty.
+        h.add(f64::NAN);
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(95.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 100]")]
+    fn linear_percentile_validates_p_even_when_empty() {
+        let h = LinearHistogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.percentile(0.0);
     }
 
     #[test]

@@ -272,12 +272,163 @@ fn bench_microbatch(c: &mut Criterion) {
     }
 }
 
+/// Builds the trained regression model the value-serving and snapshot
+/// benches use (deterministic per seed).
+fn value_model() -> Model<Radians> {
+    let mut model = Pipeline::builder(DIM)
+        .seed(0x5A1E)
+        .regression(0.0, 24.0, 48)
+        .basis(Basis::Circular { m: 48, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..96)
+        .map(|i| Radians::periodic(i as f64 / 4.0, 24.0))
+        .collect();
+    let values: Vec<f64> = (0..96).map(|i| i as f64 / 4.0).collect();
+    model
+        .fit_value_batch(&hours, &values)
+        .expect("valid training set");
+    model
+}
+
+/// The PR 5 regression serving path: 256 keyed `predict_value` requests
+/// through the ingestion queue at micro-batch sizes 1/16/256, vs the
+/// direct batched value predict. Same protocol as `serve_microbatch`, but
+/// every answer is an integer-readout score over the label grid instead of
+/// a nearest-class-vector search.
+fn bench_value_microbatch(c: &mut Criterion) {
+    let model = value_model();
+    let inputs: Vec<Radians> = (0..BATCH)
+        .map(|i| Radians::periodic(i as f64 * 0.173, 24.0))
+        .collect();
+    let arena = model.encode_batch(&inputs);
+    let expected = model.predict_values_encoded(&arena);
+    let pairs: Vec<(String, BinaryHypervector)> = arena
+        .rows()
+        .enumerate()
+        .map(|(i, row)| (format!("station-{i}"), row.to_hypervector()))
+        .collect();
+
+    let mut group = c.benchmark_group("serve_value_microbatch");
+    group.bench_with_input(BenchmarkId::new("direct", BATCH), &arena, |b, arena| {
+        b.iter(|| black_box(&model).predict_values_encoded(black_box(arena)));
+    });
+    let mut runtimes = Vec::new();
+    for max_batch in [1usize, 16, 256] {
+        let runtime = Runtime::spawn(
+            value_model(),
+            RuntimeConfig {
+                shards: 4,
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(200),
+                },
+                refresh_every: 0,
+                ..RuntimeConfig::default()
+            },
+        )
+        .expect("valid runtime");
+        let handle = runtime.handle();
+        let served = handle
+            .predict_value_encoded_many(pairs.clone())
+            .expect("runtime is live");
+        assert_eq!(
+            served.iter().map(|p| p.value).collect::<Vec<_>>(),
+            expected,
+            "the runtime must stay bit-identical to the direct model"
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("queue_{max_batch}"), BATCH),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    black_box(&handle)
+                        .predict_value_encoded_many(black_box(pairs.clone()))
+                        .expect("runtime is live")
+                });
+            },
+        );
+        runtimes.push(runtime);
+    }
+    group.finish();
+    for runtime in runtimes {
+        runtime.shutdown();
+    }
+}
+
+/// Snapshot durability costs: serializing a trained d=10k model to its
+/// compact binary form, parsing it back, and the full
+/// `Pipeline::from_snapshot` rebuild (parse + deterministic encoder
+/// reconstruction + accumulator adoption + head refresh) — for both task
+/// families. This is the price of one warm restart.
+fn bench_snapshot(c: &mut Criterion) {
+    use hdc_serve::Snapshot;
+
+    let classify = runtime_model();
+    let regress = value_model();
+    let classify_snapshot = classify.snapshot();
+    let regress_snapshot = regress.snapshot();
+    let classify_bytes = classify_snapshot.to_bytes();
+    let regress_bytes = regress_snapshot.to_bytes();
+
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_with_input(
+        BenchmarkId::new("save_classify", classify_bytes.len()),
+        &classify,
+        |b, model| b.iter(|| black_box(model).snapshot().to_bytes()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("save_regress", regress_bytes.len()),
+        &regress,
+        |b, model| b.iter(|| black_box(model).snapshot().to_bytes()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("parse_classify", classify_bytes.len()),
+        &classify_bytes,
+        |b, bytes| b.iter(|| Snapshot::from_bytes(black_box(bytes)).expect("valid snapshot")),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("load_classify", classify_bytes.len()),
+        &classify_bytes,
+        |b, bytes| {
+            b.iter(|| {
+                let snapshot = Snapshot::from_bytes(black_box(bytes)).expect("valid snapshot");
+                Pipeline::from_snapshot::<Radians>(&snapshot).expect("valid model")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("load_regress", regress_bytes.len()),
+        &regress_bytes,
+        |b, bytes| {
+            b.iter(|| {
+                let snapshot = Snapshot::from_bytes(black_box(bytes)).expect("valid snapshot");
+                Pipeline::from_snapshot::<Radians>(&snapshot).expect("valid model")
+            });
+        },
+    );
+    group.finish();
+
+    // The loads above must be warm-restart-exact, not just fast.
+    let restored = Pipeline::from_snapshot::<Radians>(&classify_snapshot).expect("valid model");
+    assert_eq!(restored.classifier(), classify.classifier());
+    let restored = Pipeline::from_snapshot::<Radians>(&regress_snapshot).expect("valid model");
+    let probe = Radians::periodic(9.5, 24.0);
+    assert_eq!(
+        restored.predict_value(&probe),
+        regress.predict_value(&probe)
+    );
+}
+
 criterion_group!(
     benches,
     bench_route,
     bench_predict,
     bench_regression_readout,
     bench_readout_kernels,
-    bench_microbatch
+    bench_microbatch,
+    bench_value_microbatch,
+    bench_snapshot
 );
 criterion_main!(benches);

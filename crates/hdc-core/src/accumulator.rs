@@ -82,6 +82,24 @@ impl MajorityAccumulator {
         }
     }
 
+    /// Reconstructs an accumulator from previously captured state — the
+    /// inverse of reading [`counts`](Self::counts) and
+    /// [`weight`](Self::weight), used by snapshot restore to resume
+    /// training exactly where a saved accumulator left off. The counters
+    /// are adopted verbatim, so a `from_parts` round trip is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn from_parts(counts: Vec<i32>, weight: i64) -> Self {
+        assert!(
+            !counts.is_empty(),
+            "hypervector dimension must be at least 1"
+        );
+        Self { counts, weight }
+    }
+
     /// The dimensionality this accumulator operates on.
     #[must_use]
     pub fn dim(&self) -> usize {
@@ -286,6 +304,32 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn from_parts_round_trips_captured_state() {
+        let mut r = rng();
+        let mut acc = MajorityAccumulator::new(777);
+        for _ in 0..5 {
+            acc.push(&BinaryHypervector::random(777, &mut r));
+        }
+        let restored = MajorityAccumulator::from_parts(acc.counts().to_vec(), acc.weight());
+        assert_eq!(restored, acc);
+        // Training resumes identically on both copies.
+        let extra = BinaryHypervector::random(777, &mut r);
+        let mut resumed = restored;
+        acc.push(&extra);
+        resumed.push(&extra);
+        assert_eq!(
+            resumed.finalize(TieBreak::Alternate),
+            acc.finalize(TieBreak::Alternate)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be at least 1")]
+    fn from_parts_rejects_empty_counts() {
+        let _ = MajorityAccumulator::from_parts(Vec::new(), 0);
     }
 
     #[test]

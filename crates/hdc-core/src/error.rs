@@ -58,6 +58,30 @@ pub enum HdcError {
     /// A request was sent to a serving runtime that has already shut down
     /// (its work queue is closed, so the request can never be answered).
     ServiceUnavailable,
+    /// A task-specific operation was invoked on a pipeline configured for
+    /// the other task family (e.g. `predict_value` on a classification
+    /// pipeline, or `fit` with a class label on a regression pipeline).
+    TaskMismatch {
+        /// The task family the operation requires.
+        expected: &'static str,
+        /// The task family the pipeline is configured for.
+        found: &'static str,
+    },
+    /// A pipeline spec's encoder does not produce the input type it was
+    /// asked to build for (e.g. loading an angle-pipeline snapshot as a
+    /// `Model<f64>`).
+    SpecMismatch {
+        /// The encoder spec the input type requires.
+        expected: &'static str,
+        /// The encoder spec that was found.
+        found: &'static str,
+    },
+    /// A snapshot could not be read, written or parsed (I/O failure, bad
+    /// magic/version, truncated or internally inconsistent state).
+    Snapshot(
+        /// Human-readable reason.
+        String,
+    ),
 }
 
 impl fmt::Display for HdcError {
@@ -93,6 +117,19 @@ impl fmt::Display for HdcError {
             HdcError::ServiceUnavailable => {
                 write!(f, "serving runtime has shut down; request not processed")
             }
+            HdcError::TaskMismatch { expected, found } => {
+                write!(
+                    f,
+                    "task mismatch: operation requires a {expected} pipeline, found {found}"
+                )
+            }
+            HdcError::SpecMismatch { expected, found } => {
+                write!(
+                    f,
+                    "spec mismatch: input type requires a {expected} encoder spec, found {found}"
+                )
+            }
+            HdcError::Snapshot(ref reason) => write!(f, "snapshot error: {reason}"),
         }
     }
 }
@@ -131,6 +168,17 @@ mod tests {
             }
             .to_string(),
             HdcError::ServiceUnavailable.to_string(),
+            HdcError::TaskMismatch {
+                expected: "regression",
+                found: "classification",
+            }
+            .to_string(),
+            HdcError::SpecMismatch {
+                expected: "Angle",
+                found: "Scalar",
+            }
+            .to_string(),
+            HdcError::Snapshot("truncated header".into()).to_string(),
         ];
         for message in messages {
             assert!(!message.is_empty());

@@ -52,6 +52,48 @@ impl CentroidTrainer {
         })
     }
 
+    /// Reconstructs a trainer from previously captured per-class
+    /// accumulators and sample counts — the inverse of reading
+    /// [`accumulator`](Self::accumulator) and [`counts`](Self::counts) per
+    /// class, used by snapshot restore. The counters are adopted verbatim,
+    /// so the restored trainer finalizes bit-identically and resumes
+    /// training exactly where the saved one left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidBasisSize`] if no accumulators are
+    /// supplied, [`HdcError::BatchLengthMismatch`] if `counts` does not
+    /// hold one entry per class, and [`HdcError::DimensionMismatch`] if
+    /// the accumulators disagree on dimensionality.
+    pub fn from_parts(
+        accumulators: Vec<MajorityAccumulator>,
+        counts: Vec<usize>,
+    ) -> Result<Self, HdcError> {
+        let Some(first) = accumulators.first() else {
+            return Err(HdcError::InvalidBasisSize {
+                requested: 0,
+                minimum: 1,
+            });
+        };
+        if counts.len() != accumulators.len() {
+            return Err(HdcError::BatchLengthMismatch {
+                rows: accumulators.len(),
+                labels: counts.len(),
+            });
+        }
+        let dim = first.dim();
+        if let Some(other) = accumulators.iter().find(|a| a.dim() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                expected: dim,
+                found: other.dim(),
+            });
+        }
+        Ok(Self {
+            accumulators,
+            counts,
+        })
+    }
+
     /// Number of classes.
     #[must_use]
     pub fn classes(&self) -> usize {
@@ -509,6 +551,44 @@ mod tests {
         trainer.observe(&hv, 2).unwrap();
         trainer.observe(&hv, 2).unwrap();
         assert_eq!(trainer.counts(), &[0, 0, 2]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_trainer_state() {
+        let mut r = rng();
+        let (_, train) = noisy_problem(&mut r, 3, 6, 0.25);
+        let mut trainer = CentroidTrainer::new(3, 10_000).unwrap();
+        for (hv, label) in &train {
+            trainer.observe(hv, *label).unwrap();
+        }
+        let accumulators: Vec<MajorityAccumulator> =
+            (0..3).map(|c| trainer.accumulator(c).clone()).collect();
+        let mut restored =
+            CentroidTrainer::from_parts(accumulators, trainer.counts().to_vec()).unwrap();
+        assert_eq!(restored.counts(), trainer.counts());
+        assert_eq!(
+            restored.finish_deterministic(TieBreak::Alternate),
+            trainer.finish_deterministic(TieBreak::Alternate)
+        );
+        // Training resumes identically on the restored copy.
+        let extra = BinaryHypervector::random(10_000, &mut r);
+        restored.observe(&extra, 1).unwrap();
+        trainer.observe(&extra, 1).unwrap();
+        assert_eq!(
+            restored.finish_deterministic(TieBreak::Alternate),
+            trainer.finish_deterministic(TieBreak::Alternate)
+        );
+
+        // Degenerate reconstructions are refused.
+        assert!(CentroidTrainer::from_parts(vec![], vec![]).is_err());
+        assert!(
+            CentroidTrainer::from_parts(vec![MajorityAccumulator::new(64)], vec![0, 0]).is_err()
+        );
+        assert!(CentroidTrainer::from_parts(
+            vec![MajorityAccumulator::new(64), MajorityAccumulator::new(32)],
+            vec![0, 0]
+        )
+        .is_err());
     }
 
     #[test]

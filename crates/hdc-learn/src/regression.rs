@@ -1,4 +1,6 @@
-use hdc_core::{BinaryHypervector, HdcError, MajorityAccumulator};
+use hdc_core::{
+    kernels, BinaryHypervector, HdcError, HvRef, HypervectorBatch, MajorityAccumulator,
+};
 use hdc_encode::ScalarEncoder;
 use rand::Rng;
 
@@ -39,6 +41,10 @@ pub struct RegressionTrainer {
     accumulator: MajorityAccumulator,
     label_encoder: ScalarEncoder,
     observed: usize,
+    /// Reusable word buffer for the bound vector `φ(x) ⊗ φ_ℓ(y)` — one
+    /// allocation for the trainer's whole lifetime, so the streaming
+    /// [`observe_row`](Self::observe_row) path is allocation-free.
+    scratch: Vec<u64>,
 }
 
 impl RegressionTrainer {
@@ -50,6 +56,7 @@ impl RegressionTrainer {
             accumulator: MajorityAccumulator::new(dim),
             label_encoder,
             observed: 0,
+            scratch: vec![0u64; dim.div_ceil(64)],
         }
     }
 
@@ -65,6 +72,48 @@ impl RegressionTrainer {
         self.observed
     }
 
+    /// Reconstructs a trainer from previously captured state — the inverse
+    /// of reading [`accumulator`](Self::accumulator) and
+    /// [`observed`](Self::observed), used by snapshot restore. The counters
+    /// are adopted verbatim, so the restored trainer finalizes
+    /// bit-identically and resumes training where the saved one left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the accumulator's
+    /// dimensionality differs from the label encoder's.
+    pub fn from_parts(
+        label_encoder: ScalarEncoder,
+        accumulator: MajorityAccumulator,
+        observed: usize,
+    ) -> Result<Self, HdcError> {
+        if accumulator.dim() != label_encoder.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: label_encoder.dim(),
+                found: accumulator.dim(),
+            });
+        }
+        let dim = label_encoder.dim();
+        Ok(Self {
+            accumulator,
+            label_encoder,
+            observed,
+            scratch: vec![0u64; dim.div_ceil(64)],
+        })
+    }
+
+    /// The label encoder `φ_ℓ`.
+    #[must_use]
+    pub fn label_encoder(&self) -> &ScalarEncoder {
+        &self.label_encoder
+    }
+
+    /// The raw bundle accumulator — the counter state a snapshot captures.
+    #[must_use]
+    pub fn accumulator(&self) -> &MajorityAccumulator {
+        &self.accumulator
+    }
+
     /// Adds one `(encoded sample, label)` pair.
     ///
     /// # Panics
@@ -72,9 +121,109 @@ impl RegressionTrainer {
     /// Panics if the sample's dimensionality differs from the label
     /// encoder's.
     pub fn observe(&mut self, sample: &BinaryHypervector, label: f64) {
-        let bound = sample.bind(self.label_encoder.encode(label));
-        self.accumulator.push(&bound);
+        self.observe_row(sample.view(), label);
+    }
+
+    /// Adds one pair supplied as a borrowed row view (e.g. one row of a
+    /// [`HypervectorBatch`]) — the allocation-free form online ingestion
+    /// and batched fitting feed observations through. The bound vector
+    /// `φ(x) ⊗ φ_ℓ(y)` is computed with one word-wise XOR into the
+    /// trainer's reusable scratch buffer, bit-identically to
+    /// [`observe`](Self::observe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's dimensionality differs from the label encoder's.
+    pub fn observe_row(&mut self, sample: HvRef<'_>, label: f64) {
+        let dim = self.label_encoder.dim();
+        assert_eq!(
+            dim,
+            sample.dim(),
+            "dimension mismatch: expected {}, found {}",
+            dim,
+            sample.dim()
+        );
+        self.scratch.copy_from_slice(sample.as_words());
+        kernels::xor_into(
+            &mut self.scratch,
+            self.label_encoder.encode(label).as_words(),
+        );
+        self.accumulator.push_row(HvRef::new(dim, &self.scratch));
         self.observed += 1;
+    }
+
+    /// Adds a whole batch of `(encoded sample, label)` pairs in one parallel
+    /// pass: rows are partitioned across the worker pool, each worker binds
+    /// and accumulates into a private partial accumulator, and the partials
+    /// are merged in row order. Counter addition commutes, so the resulting
+    /// state is **bit-identical** to observing the pairs one by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `labels.len()` differs
+    /// from `batch.len()` (in which case nothing is accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's dimensionality differs from the label
+    /// encoder's (unless the batch is empty).
+    pub fn observe_batch(
+        &mut self,
+        batch: &HypervectorBatch,
+        labels: &[f64],
+    ) -> Result<(), HdcError> {
+        if batch.len() != labels.len() {
+            return Err(HdcError::BatchLengthMismatch {
+                rows: batch.len(),
+                labels: labels.len(),
+            });
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let dim = self.label_encoder.dim();
+        assert_eq!(
+            dim,
+            batch.dim(),
+            "dimension mismatch: expected {}, found {}",
+            dim,
+            batch.dim()
+        );
+        // Forking pays a per-worker accumulator plus an O(workers · dim)
+        // zero-init and merge; below that, binding straight into the
+        // trainer does the same counter arithmetic (still bit-identical).
+        let workers = minipool::max_threads();
+        if workers <= 1 || batch.len() < workers.max(minipool::MIN_PARALLEL_ITEMS) {
+            for (i, &label) in labels.iter().enumerate() {
+                self.observe_row(batch.row(i), label);
+            }
+            return Ok(());
+        }
+        let label_encoder = &self.label_encoder;
+        let partial = minipool::par_fold_ranges(
+            batch.len(),
+            |range| {
+                let mut acc = MajorityAccumulator::new(dim);
+                let mut words = vec![0u64; dim.div_ceil(64)];
+                let mut observed = 0usize;
+                for i in range {
+                    words.copy_from_slice(batch.row(i).as_words());
+                    kernels::xor_into(&mut words, label_encoder.encode(labels[i]).as_words());
+                    acc.push_row(HvRef::new(dim, &words));
+                    observed += 1;
+                }
+                (acc, observed)
+            },
+            |(mut acc, observed), (other_acc, other_observed)| {
+                acc.merge(&other_acc);
+                (acc, observed + other_observed)
+            },
+        );
+        if let Some((acc, observed)) = partial {
+            self.accumulator.merge(&acc);
+            self.observed += observed;
+        }
+        Ok(())
     }
 
     /// Finalizes the bundle into a model with the chosen readout
@@ -126,6 +275,37 @@ impl RegressionTrainer {
     /// Returns [`HdcError::EmptyInput`] if no pairs were observed.
     pub fn finish(&self, rng: &mut impl Rng) -> Result<RegressionModel, HdcError> {
         self.finish_with(Readout::Integer, rng)
+    }
+
+    /// Finalizes the integer readout **deterministically**: no RNG is
+    /// involved (the integer readout never breaks ties bit-wise), so the
+    /// same accumulated counters always yield the same model — the property
+    /// serving pipelines rely on for replication and snapshot restore.
+    ///
+    /// Unlike [`finish`](Self::finish) this also accepts an *empty*
+    /// trainer: with all-zero counters every label scores zero and
+    /// prediction degenerates to a constant grid point, which is the
+    /// defined pre-training behaviour of an online-serving pipeline (the
+    /// classification analogue finalizes all-zero class-vectors).
+    #[must_use]
+    pub fn finish_integer(&self) -> RegressionModel {
+        let counts = self.accumulator.counts().to_vec();
+        let label_sums = self
+            .label_encoder
+            .hypervectors()
+            .iter()
+            .map(|label_hv| {
+                let mut sum = 0i64;
+                kernels::for_each_set_bit(label_hv.as_words(), |i| {
+                    sum += i64::from(counts[i]);
+                });
+                sum
+            })
+            .collect();
+        RegressionModel {
+            form: ModelForm::Counts { counts, label_sums },
+            label_encoder: self.label_encoder.clone(),
+        }
     }
 }
 
@@ -549,6 +729,96 @@ mod tests {
             spread_pair > spread_single + 0.1,
             "two-factor spread {spread_pair} vs single {spread_single}"
         );
+    }
+
+    #[test]
+    fn observe_batch_is_bit_identical_to_serial_observe() {
+        let mut r = rng();
+        let input = ScalarEncoder::with_levels(0.0, 1.0, 32, 4_096, &mut r).unwrap();
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 32, 4_096, &mut r).unwrap();
+        let samples: Vec<BinaryHypervector> = (0..67)
+            .map(|i| input.encode(i as f64 / 66.0).corrupt(0.02, &mut r))
+            .collect();
+        let values: Vec<f64> = (0..67).map(|i| i as f64 / 66.0).collect();
+        let mut serial = RegressionTrainer::new(label.clone());
+        for (hv, &y) in samples.iter().zip(&values) {
+            serial.observe(hv, y);
+        }
+        let mut batched = RegressionTrainer::new(label.clone());
+        let arena = HypervectorBatch::from_vectors(&samples).unwrap();
+        batched.observe_batch(&arena, &values).unwrap();
+        assert_eq!(batched.observed(), serial.observed());
+        assert_eq!(batched.accumulator(), serial.accumulator());
+
+        // A length mismatch accumulates nothing.
+        let mut untouched = RegressionTrainer::new(label);
+        assert!(matches!(
+            untouched.observe_batch(&arena, &values[..10]),
+            Err(HdcError::BatchLengthMismatch { .. })
+        ));
+        assert_eq!(untouched.observed(), 0);
+        assert!(untouched.accumulator().is_empty());
+    }
+
+    #[test]
+    fn finish_integer_is_deterministic_and_matches_finish() {
+        let mut r = rng();
+        let input = ScalarEncoder::with_levels(0.0, 1.0, 16, 2_048, &mut r).unwrap();
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 16, 2_048, &mut r).unwrap();
+        let mut trainer = RegressionTrainer::new(label);
+        for i in 0..40 {
+            let x = i as f64 / 39.0;
+            trainer.observe(input.encode(x), x);
+        }
+        let deterministic = trainer.finish_integer();
+        let random = trainer.finish(&mut r).unwrap();
+        // The integer readout never consults the RNG, so both forms agree
+        // on every query.
+        for i in 0..16 {
+            let q = input.encode(i as f64 / 15.0);
+            assert_eq!(deterministic.predict(q), random.predict(q));
+        }
+        // An empty trainer finalizes to a constant (defined) predictor
+        // instead of erroring — the pre-training state of online serving.
+        let empty =
+            RegressionTrainer::new(ScalarEncoder::with_levels(0.0, 1.0, 8, 512, &mut r).unwrap())
+                .finish_integer();
+        let q = BinaryHypervector::random(512, &mut r);
+        assert!((0.0..=1.0).contains(&empty.predict(&q)));
+        assert_eq!(empty.predict(&q), empty.predict(&q));
+    }
+
+    #[test]
+    fn from_parts_round_trips_trainer_state() {
+        let mut r = rng();
+        let input = ScalarEncoder::with_levels(0.0, 1.0, 16, 1_024, &mut r).unwrap();
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 16, 1_024, &mut r).unwrap();
+        let mut trainer = RegressionTrainer::new(label.clone());
+        for i in 0..20 {
+            let x = i as f64 / 19.0;
+            trainer.observe(input.encode(x), x);
+        }
+        let mut restored = RegressionTrainer::from_parts(
+            trainer.label_encoder().clone(),
+            trainer.accumulator().clone(),
+            trainer.observed(),
+        )
+        .unwrap();
+        assert_eq!(restored.observed(), trainer.observed());
+        // Training resumes identically, and the finalized models agree.
+        restored.observe(input.encode(0.5), 0.5);
+        trainer.observe(input.encode(0.5), 0.5);
+        assert_eq!(restored.accumulator(), trainer.accumulator());
+        let q = input.encode(0.3);
+        assert_eq!(
+            restored.finish_integer().predict(q),
+            trainer.finish_integer().predict(q)
+        );
+        // A dimension mismatch is refused.
+        assert!(matches!(
+            RegressionTrainer::from_parts(label, MajorityAccumulator::new(64), 0),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -47,22 +47,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 pub mod metrics;
 mod pipeline;
 mod runtime;
 mod server;
 mod sharded;
+mod snapshot;
+mod spec;
 pub mod wire;
 
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pipeline::{
-    AngleSpec, Basis, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,
+    AngleSpec, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,
     PipelineBuilder, RecordSpec, ScalarSpec, SequenceSpec,
 };
 pub use runtime::{
-    BatchPolicy, Generation, Prediction, Runtime, RuntimeConfig, RuntimeHandle, RuntimeStats,
+    BatchPolicy, Generation, OnlineLearner, Prediction, Runtime, RuntimeConfig, RuntimeHandle,
+    RuntimeStats, ValuePrediction,
 };
 pub use server::{BlockingClient, Server};
-pub use sharded::{RingConfig, ShardedModel};
+pub use sharded::{Head, RingConfig, ShardedModel};
+pub use snapshot::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use spec::{Basis, EncSpec, PipelineSpec, SpecInput, Task, SPEC_VERSION};

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dirstats::LinearHistogram;
 
@@ -25,6 +25,7 @@ const LATENCY_BINS: usize = 250;
 /// ingestion handles (enqueue side) and the dispatcher (dequeue/serve side).
 #[derive(Debug)]
 pub struct ServeMetrics {
+    started: Instant,
     queue_depth: AtomicU64,
     requests: AtomicU64,
     batches: AtomicU64,
@@ -49,6 +50,7 @@ impl ServeMetrics {
         let top = max_batch.max(1) as f64;
         let bins = max_batch.clamp(1, 256);
         Self {
+            started: Instant::now(),
             queue_depth: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -62,6 +64,15 @@ impl ServeMetrics {
                     .expect("constant range is valid"),
             }),
         }
+    }
+
+    /// Time since these metrics (i.e. their runtime) were created — the
+    /// uptime reported by `stats` and the `ping` health probe, so load
+    /// balancers can tell a fresh runtime from a long-lived one without
+    /// issuing a prediction.
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Records `n` work items entering the ingestion queue.

@@ -1,71 +1,27 @@
-//! The unified `Pipeline`/`Model` API: one typed builder over basis, encoder
-//! and learner, one object to fit and serve.
+//! The unified `Pipeline`/`Model` API: one typed builder over basis,
+//! encoder and learner, one object to fit and serve — for **both** task
+//! families the paper evaluates (classification, Table 1; regression over
+//! circular variables, Table 2).
 //!
-//! Before this module, every classification workload hand-wired
-//! `StdRng → BasisSet → Encoder → CentroidClassifier` with per-crate types
-//! in exactly the right order. [`Pipeline::builder`] captures that wiring
-//! once: pick a dimensionality, a seed, a [`Basis`] family and an [`Enc`]
-//! encoder spec, and [`build`](ModelBuilder::build) yields a [`Model`] that
-//! owns the whole stack behind an object-safe encoder seam
-//! ([`DynEncoder`]), while the batched parallel paths from PR 2 keep doing
-//! the work underneath.
+//! Since PR 5 the builder is a thin fluent layer over the plain-data
+//! [`PipelineSpec`](crate::PipelineSpec): every chain of builder calls
+//! produces a spec value, and [`build`](ModelBuilder::build) hands it to
+//! [`Pipeline::from_spec`], which is also exactly what
+//! [`Pipeline::load`](crate::Pipeline) does when rebuilding a model from a
+//! [`Snapshot`](crate::Snapshot). A pipeline is therefore a *value* you can
+//! construct, inspect, hash and write to disk; the live [`Model`] is just
+//! that value plus trainer state.
 
 use std::fmt;
+use std::path::Path;
 
-use hdc_basis::BasisKind;
 use hdc_core::{BinaryHypervector, HdcError, HvMut, HypervectorBatch, TieBreak};
-use hdc_encode::{
-    AngleEncoder, CategoricalEncoder, Encoder, FeatureRecordEncoder, FieldSpec, Radians,
-    ScalarEncoder, SequenceEncoder,
-};
-use hdc_learn::{metrics, CentroidClassifier, CentroidTrainer};
+use hdc_encode::{Encoder, FieldSpec, Radians};
+use hdc_learn::{metrics, CentroidClassifier, CentroidTrainer, RegressionModel, RegressionTrainer};
 use rand::{rngs::StdRng, SeedableRng};
 
-/// The basis-hypervector family a pipeline quantizes through, with its size
-/// `m` and (where applicable) the §5.2 randomness hyperparameter `r`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Basis {
-    /// Uncorrelated random-hypervectors (paper §3.1).
-    Random {
-        /// Number of basis hypervectors.
-        m: usize,
-    },
-    /// Interpolation-based level-hypervectors (paper §4.3).
-    Level {
-        /// Number of levels.
-        m: usize,
-        /// Randomness `r ∈ [0, 1]`; `0.0` is Algorithm 1.
-        r: f64,
-    },
-    /// Circular-hypervectors (paper §5.1) — the wrap-correct choice for
-    /// angles, hours, seasons and ring positions.
-    Circular {
-        /// Number of sectors.
-        m: usize,
-        /// Randomness `r ∈ [0, 1]`.
-        r: f64,
-    },
-}
-
-impl Basis {
-    /// The [`BasisKind`] selector this maps onto.
-    #[must_use]
-    pub fn kind(self) -> BasisKind {
-        match self {
-            Basis::Random { .. } => BasisKind::Random,
-            Basis::Level { r, .. } => BasisKind::Level { randomness: r },
-            Basis::Circular { r, .. } => BasisKind::Circular { randomness: r },
-        }
-    }
-
-    /// The basis size `m`.
-    #[must_use]
-    pub fn m(self) -> usize {
-        match self {
-            Basis::Random { m } | Basis::Level { m, .. } | Basis::Circular { m, .. } => m,
-        }
-    }
-}
+use crate::snapshot::Snapshot;
+use crate::spec::{Basis, EncSpec, PipelineSpec, SpecInput, Task};
 
 /// Object-safe seam over [`hdc_encode::Encoder`]: the two methods a
 /// [`Model`] needs (`dim`, in-place `encode_into`), without the generic
@@ -94,34 +50,23 @@ where
     }
 }
 
-/// A buildable encoder specification: carries the configuration of one of
-/// the workload encoders plus, at the type level, the input type `Input`
-/// the finished [`Model`] will accept. Obtained from the [`Enc`]
-/// constructors; consumed by [`ModelBuilder::build`].
+/// A buildable encoder specification: carries, at the type level, the input
+/// type `Input` the finished [`Model`] will accept, and degrades to the
+/// plain-data [`EncSpec`] the pipeline spec stores. Obtained from the
+/// [`Enc`] constructors; consumed by [`ModelBuilder::build`].
 pub trait EncoderSpec {
     /// The input type of the built encoder (and of the resulting model).
-    type Input: ?Sized + Sync;
+    type Input: ?Sized + SpecInput;
 
-    /// Builds the encoder behind the [`DynEncoder`] seam.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`HdcError`] for invalid spec or basis parameters.
-    fn build_encoder(
-        self,
-        dim: usize,
-        basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<Self::Input>>, HdcError>;
+    /// The plain-data form of this spec (what [`PipelineSpec`] stores).
+    fn data(&self) -> EncSpec;
 
     /// The basis family used when the builder's
-    /// [`basis`](PipelineBuilder::basis) was never called: each spec picks
-    /// the family that is correct for its input structure (circular for
-    /// angles, level for linear scalars, …), so a pipeline built with
-    /// defaults never quantizes a linear range through a wrapping basis or
-    /// vice versa.
+    /// [`basis`](PipelineBuilder::basis) was never called — delegates to
+    /// [`EncSpec::default_basis`], so defaults never quantize a linear
+    /// range through a wrapping basis or vice versa.
     fn default_basis(&self) -> Basis {
-        Basis::Circular { m: 16, r: 0.0 }
+        self.data().default_basis()
     }
 }
 
@@ -130,11 +75,11 @@ pub trait EncoderSpec {
 ///
 /// | Constructor | Model input | Backing encoder |
 /// |---|---|---|
-/// | [`Enc::scalar`] | `f64` | [`ScalarEncoder`] |
-/// | [`Enc::angle`] | [`Radians`] | [`AngleEncoder`] |
-/// | [`Enc::categorical`] | `usize` | [`CategoricalEncoder`] |
-/// | [`Enc::sequence`] | `[usize]` | [`SequenceEncoder`] |
-/// | [`Enc::record`] | `[f64]` | [`FeatureRecordEncoder`] |
+/// | [`Enc::scalar`] | `f64` | [`hdc_encode::ScalarEncoder`] |
+/// | [`Enc::angle`] | [`Radians`] | [`hdc_encode::AngleEncoder`] |
+/// | [`Enc::categorical`] | `usize` | [`hdc_encode::CategoricalEncoder`] |
+/// | [`Enc::sequence`] | `[usize]` | [`hdc_encode::SequenceEncoder`] |
+/// | [`Enc::record`] | `[f64]` | [`hdc_encode::FeatureRecordEncoder`] |
 pub struct Enc;
 
 impl Enc {
@@ -185,26 +130,11 @@ pub struct ScalarSpec {
 impl EncoderSpec for ScalarSpec {
     type Input = f64;
 
-    fn build_encoder(
-        self,
-        dim: usize,
-        basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<f64>>, HdcError> {
-        Ok(Box::new(ScalarEncoder::with_kind(
-            self.low,
-            self.high,
-            basis.m(),
-            dim,
-            basis.kind(),
-            rng,
-        )?))
-    }
-
-    /// Linear data must not wrap: a level basis, so the interval's ends
-    /// stay quasi-orthogonal.
-    fn default_basis(&self) -> Basis {
-        Basis::Level { m: 16, r: 0.0 }
+    fn data(&self) -> EncSpec {
+        EncSpec::Scalar {
+            low: self.low,
+            high: self.high,
+        }
     }
 }
 
@@ -215,14 +145,8 @@ pub struct AngleSpec;
 impl EncoderSpec for AngleSpec {
     type Input = Radians;
 
-    fn build_encoder(
-        self,
-        dim: usize,
-        basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<Radians>>, HdcError> {
-        let set = basis.kind().build(basis.m(), dim, rng)?;
-        Ok(Box::new(AngleEncoder::from_basis(set.as_ref())?))
+    fn data(&self) -> EncSpec {
+        EncSpec::Angle
     }
 }
 
@@ -235,13 +159,8 @@ pub struct CategoricalSpec {
 impl EncoderSpec for CategoricalSpec {
     type Input = usize;
 
-    fn build_encoder(
-        self,
-        dim: usize,
-        _basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<usize>>, HdcError> {
-        Ok(Box::new(CategoricalEncoder::new(self.n, dim, rng)?))
+    fn data(&self) -> EncSpec {
+        EncSpec::Categorical { n: self.n }
     }
 }
 
@@ -254,13 +173,8 @@ pub struct SequenceSpec {
 impl EncoderSpec for SequenceSpec {
     type Input = [usize];
 
-    fn build_encoder(
-        self,
-        dim: usize,
-        _basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<[usize]>>, HdcError> {
-        Ok(Box::new(SequenceEncoder::new(self.n, dim, rng)?))
+    fn data(&self) -> EncSpec {
+        EncSpec::Sequence { n: self.n }
     }
 }
 
@@ -273,24 +187,17 @@ pub struct RecordSpec {
 impl EncoderSpec for RecordSpec {
     type Input = [f64];
 
-    fn build_encoder(
-        self,
-        dim: usize,
-        basis: Basis,
-        rng: &mut StdRng,
-    ) -> Result<Box<dyn DynEncoder<[f64]>>, HdcError> {
-        Ok(Box::new(FeatureRecordEncoder::new(
-            &self.fields,
-            basis.m(),
-            dim,
-            basis.kind(),
-            rng,
-        )?))
+    fn data(&self) -> EncSpec {
+        EncSpec::Record {
+            fields: self.fields.clone(),
+        }
     }
 }
 
 /// Entry point of the unified API: [`Pipeline::builder`] starts a typed
-/// builder chain ending in a [`Model`].
+/// builder chain ending in a [`Model`]; [`Pipeline::from_spec`] builds the
+/// same model from a plain-data [`PipelineSpec`]; [`Pipeline::load`]
+/// rebuilds a trained model from a [`Snapshot`] on disk.
 ///
 /// ```
 /// use hdc_serve::{Basis, Enc, Pipeline};
@@ -310,36 +217,98 @@ impl EncoderSpec for RecordSpec {
 /// assert_eq!(model.predict(&Radians::periodic(21.0, 24.0)), 1);
 /// # Ok::<(), hdc_serve::HdcError>(())
 /// ```
+///
+/// A regression pipeline differs only in the task:
+///
+/// ```
+/// use hdc_serve::{Enc, Pipeline};
+///
+/// let mut model = Pipeline::builder(4_096)
+///     .seed(3)
+///     .regression(0.0, 1.0, 32)
+///     .encoder(Enc::scalar(0.0, 1.0))
+///     .build()?;
+/// let xs: Vec<f64> = (0..64).map(|i| i as f64 / 63.0).collect();
+/// model.fit_value_batch(&xs, &xs)?;
+/// assert!((model.predict_value(&0.5) - 0.5).abs() < 0.2);
+/// # Ok::<(), hdc_serve::HdcError>(())
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Pipeline;
 
 impl Pipeline {
-    /// Starts a builder for `dim`-bit pipelines. Defaults: seed `0`, two
-    /// classes, and — unless [`basis`](PipelineBuilder::basis) is called —
-    /// the encoder spec's own
-    /// [`default_basis`](EncoderSpec::default_basis) (`m = 16`: level for
-    /// scalars, circular otherwise), so defaults never quantize a linear
-    /// range through a wrapping basis.
+    /// Starts a builder for `dim`-bit pipelines. Defaults: seed `0`,
+    /// two-class classification, and — unless
+    /// [`basis`](PipelineBuilder::basis) is called — the encoder spec's own
+    /// [`default_basis`](EncSpec::default_basis) (`m = 16`: level for
+    /// scalars, circular otherwise).
     #[must_use]
     pub fn builder(dim: usize) -> PipelineBuilder {
         PipelineBuilder {
             dim,
             seed: 0,
             basis: None,
-            classes: 2,
+            task: Task::Classification { classes: 2 },
         }
+    }
+
+    /// Builds a live [`Model`] from a plain-data [`PipelineSpec`] — the
+    /// single construction path the builder, snapshots and warm restarts
+    /// all funnel through. Deterministic: the same spec always yields a
+    /// bit-identical (untrained) model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::SpecMismatch`] if `X` is not the input type of
+    /// the spec's encoder, and [`HdcError`] for invalid dimension, basis,
+    /// encoder or task parameters.
+    pub fn from_spec<X: ?Sized + SpecInput>(spec: PipelineSpec) -> Result<Model<X>, HdcError> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let encoder = X::build_encoder(&spec.encoder, spec.dim, spec.basis, &mut rng)?;
+        let state = TaskState::fresh(&spec, &mut rng)?;
+        Ok(Model {
+            spec,
+            encoder,
+            state,
+        })
+    }
+
+    /// Rebuilds a trained [`Model`] from a [`Snapshot`] value: the spec
+    /// header reconstructs the encoders deterministically, then the saved
+    /// trainer accumulators are adopted verbatim — so the loaded model
+    /// predicts **bit-identically** to the model that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::SpecMismatch`] for a wrong input type and
+    /// [`HdcError::Snapshot`] for internally inconsistent state.
+    pub fn from_snapshot<X: ?Sized + SpecInput>(snapshot: &Snapshot) -> Result<Model<X>, HdcError> {
+        let mut model = Self::from_spec::<X>(snapshot.spec().clone())?;
+        model.restore(snapshot)?;
+        Ok(model)
+    }
+
+    /// Reads a [`Snapshot`] file and rebuilds its model — the warm-restart
+    /// entry point pairing [`Model::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Snapshot`] for I/O failures or a corrupt file,
+    /// and [`HdcError::SpecMismatch`] for a wrong input type.
+    pub fn load<X: ?Sized + SpecInput>(path: impl AsRef<Path>) -> Result<Model<X>, HdcError> {
+        Self::from_snapshot(&Snapshot::read(path)?)
     }
 }
 
 /// The untyped half of the builder: dimensionality, seed, basis family and
-/// class count. Calling [`encoder`](Self::encoder) fixes the input type and
-/// moves to a [`ModelBuilder`].
+/// task. Calling [`encoder`](Self::encoder) fixes the input type and moves
+/// to a [`ModelBuilder`].
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineBuilder {
     dim: usize,
     seed: u64,
     basis: Option<Basis>,
-    classes: usize,
+    task: Task,
 }
 
 impl PipelineBuilder {
@@ -351,17 +320,34 @@ impl PipelineBuilder {
     }
 
     /// The basis family scalar/angle/record encoders quantize through
-    /// (overriding the spec's [`default_basis`](EncoderSpec::default_basis)).
+    /// (overriding the spec's [`default_basis`](EncSpec::default_basis)).
     #[must_use]
     pub fn basis(mut self, basis: Basis) -> Self {
         self.basis = Some(basis);
         self
     }
 
-    /// Number of classes of the centroid learner.
+    /// Classification over `classes` labels (shorthand for
+    /// [`task`](Self::task) with [`Task::Classification`]).
     #[must_use]
     pub fn classes(mut self, classes: usize) -> Self {
-        self.classes = classes;
+        self.task = Task::Classification { classes };
+        self
+    }
+
+    /// Regression over labels in `[low, high]` quantized into `levels`
+    /// grid points (shorthand for [`task`](Self::task) with
+    /// [`Task::Regression`]).
+    #[must_use]
+    pub fn regression(mut self, low: f64, high: f64, levels: usize) -> Self {
+        self.task = Task::Regression { low, high, levels };
+        self
+    }
+
+    /// The task family, as plain data.
+    #[must_use]
+    pub fn task(mut self, task: Task) -> Self {
+        self.task = task;
         self
     }
 
@@ -381,63 +367,140 @@ pub struct ModelBuilder<S> {
 }
 
 impl<S: EncoderSpec> ModelBuilder<S> {
-    /// Builds the [`Model`]: seeds the RNG, constructs basis and encoder,
-    /// and initializes an (untrained) centroid learner.
+    /// The plain-data [`PipelineSpec`] this builder chain describes —
+    /// inspect it, hash it, persist it, or [`build`](Self::build) it.
+    #[must_use]
+    pub fn spec(&self) -> PipelineSpec {
+        let encoder = self.spec.data();
+        let basis = self.base.basis.unwrap_or_else(|| encoder.default_basis());
+        PipelineSpec {
+            dim: self.base.dim,
+            seed: self.base.seed,
+            basis,
+            encoder,
+            task: self.base.task,
+        }
+    }
+
+    /// Builds the [`Model`]: assembles the [`PipelineSpec`] and hands it to
+    /// [`Pipeline::from_spec`].
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError`] for invalid dimension, class count, basis or
-    /// encoder parameters.
+    /// Returns [`HdcError`] for invalid dimension, task, basis or encoder
+    /// parameters.
     pub fn build(self) -> Result<Model<S::Input>, HdcError> {
-        let PipelineBuilder {
-            dim,
-            seed,
-            basis,
-            classes,
-        } = self.base;
-        let basis = basis.unwrap_or_else(|| self.spec.default_basis());
-        let mut rng = StdRng::seed_from_u64(seed);
-        let encoder = self.spec.build_encoder(dim, basis, &mut rng)?;
-        let trainer = CentroidTrainer::new(classes, dim)?;
-        let classifier = trainer.finish_deterministic(TieBreak::Alternate);
-        Ok(Model {
-            dim,
-            basis,
-            encoder,
-            trainer,
-            classifier,
-        })
+        Pipeline::from_spec(self.spec())
     }
 }
 
-/// A complete HDC classification pipeline behind one object: basis-backed
-/// encoder, centroid trainer and finalized classifier, with per-sample and
-/// batched (parallel, bit-identical) forms of every stage.
+/// The task-specific half of a live model: trainer accumulators plus the
+/// finalized head they deterministically refresh into. Shared with the
+/// runtime (which moves it into its background trainer thread) and the
+/// snapshot format (which captures/restores exactly this state).
+pub(crate) enum TaskState {
+    /// Centroid classification: per-class accumulators + finalized
+    /// class-vectors.
+    Classify {
+        /// Accumulated per-class counters.
+        trainer: CentroidTrainer,
+        /// `trainer.finish_deterministic(TieBreak::Alternate)`.
+        classifier: CentroidClassifier,
+    },
+    /// Associative regression: one bound-pair bundle + the finalized
+    /// integer-readout model.
+    Regress {
+        /// Accumulated bundle counters.
+        trainer: RegressionTrainer,
+        /// `trainer.finish_integer()`.
+        model: RegressionModel,
+    },
+}
+
+impl TaskState {
+    /// The untrained state for a spec — also consumes the spec's RNG
+    /// stream deterministically (the regression label table is drawn right
+    /// after the encoder), so `(spec, seed)` fully determines the state.
+    pub(crate) fn fresh(spec: &PipelineSpec, rng: &mut StdRng) -> Result<Self, HdcError> {
+        match spec.task {
+            Task::Classification { classes } => {
+                let trainer = CentroidTrainer::new(classes, spec.dim)?;
+                let classifier = trainer.finish_deterministic(TieBreak::Alternate);
+                Ok(TaskState::Classify {
+                    trainer,
+                    classifier,
+                })
+            }
+            Task::Regression { low, high, levels } => {
+                let label =
+                    hdc_encode::ScalarEncoder::with_levels(low, high, levels, spec.dim, rng)?;
+                let trainer = RegressionTrainer::new(label);
+                let model = trainer.finish_integer();
+                Ok(TaskState::Regress { trainer, model })
+            }
+        }
+    }
+
+    /// The task family this state serves.
+    pub(crate) fn task_name(&self) -> &'static str {
+        match self {
+            TaskState::Classify { .. } => "classification",
+            TaskState::Regress { .. } => "regression",
+        }
+    }
+
+    /// Re-finalizes the head from the trainer accumulators (deterministic).
+    pub(crate) fn refresh(&mut self) {
+        match self {
+            TaskState::Classify {
+                trainer,
+                classifier,
+            } => *classifier = trainer.finish_deterministic(TieBreak::Alternate),
+            TaskState::Regress { trainer, model } => *model = trainer.finish_integer(),
+        }
+    }
+}
+
+/// A complete HDC pipeline behind one object: basis-backed encoder plus the
+/// task's trainer and finalized head, with per-sample and batched
+/// (parallel, bit-identical) forms of every stage.
 ///
-/// Built by [`Pipeline::builder`]. `X` is the input type fixed by the
-/// [`Enc`] spec (`f64`, [`Radians`], `usize`, `[usize]` or `[f64]`).
+/// Built by [`Pipeline::builder`] / [`Pipeline::from_spec`] / loaded from a
+/// [`Snapshot`]. `X` is the input type fixed by the [`Enc`] spec (`f64`,
+/// [`Radians`], `usize`, `[usize]` or `[f64]`); the prediction type is
+/// fixed by the spec's [`Task`]:
 ///
-/// Training is incremental: every [`fit`](Self::fit)/[`fit_batch`](Self::fit_batch)
-/// folds samples into the per-class accumulators and re-finalizes the
-/// class-vectors with the deterministic
-/// [`TieBreak::Alternate`](hdc_core::TieBreak) policy, so the same samples
-/// always produce bit-identical class-vectors — the property sharded
-/// serving's replicated classifiers rely on.
+/// * [`Task::Classification`] — [`fit`](Self::fit)/
+///   [`fit_batch`](Self::fit_batch)/[`predict`](Self::predict)/
+///   [`evaluate`](Self::evaluate) over `usize` labels;
+/// * [`Task::Regression`] — [`fit_value`](Self::fit_value)/
+///   [`fit_value_batch`](Self::fit_value_batch)/
+///   [`predict_value`](Self::predict_value)/
+///   [`evaluate_mae`](Self::evaluate_mae) over `f64` labels.
+///
+/// Fallible mutation through the wrong family returns
+/// [`HdcError::TaskMismatch`]; infallible hot-path reads (`predict*`)
+/// panic, exactly like their dimension checks.
+///
+/// Training is incremental: every fit folds samples into the trainer
+/// accumulators and deterministically re-finalizes the head, so the same
+/// samples always produce a bit-identical model — the property sharded
+/// serving and snapshot restore rely on.
 pub struct Model<X: ?Sized> {
-    dim: usize,
-    basis: Basis,
+    spec: PipelineSpec,
     encoder: Box<dyn DynEncoder<X>>,
-    trainer: CentroidTrainer,
-    classifier: CentroidClassifier,
+    state: TaskState,
 }
 
 impl<X: ?Sized> fmt::Debug for Model<X> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let observed = match &self.state {
+            TaskState::Classify { trainer, .. } => trainer.counts().iter().sum(),
+            TaskState::Regress { trainer, .. } => trainer.observed(),
+        };
         f.debug_struct("Model")
-            .field("dim", &self.dim)
-            .field("basis", &self.basis)
-            .field("classes", &self.trainer.classes())
-            .field("observed", &self.trainer.counts().iter().sum::<usize>())
+            .field("spec", &self.spec)
+            .field("observed", &observed)
             .field("encoder", &self.encoder)
             .finish()
     }
@@ -447,41 +510,113 @@ impl<X: ?Sized + Sync> Model<X> {
     /// Hypervector dimensionality `d`.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.dim
+        self.spec.dim
     }
 
-    /// Number of classes.
+    /// The plain-data spec this model was built from.
     #[must_use]
-    pub fn classes(&self) -> usize {
-        self.trainer.classes()
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The task family (as plain data).
+    #[must_use]
+    pub fn task(&self) -> Task {
+        self.spec.task
     }
 
     /// The basis family this pipeline was built with.
     #[must_use]
     pub fn basis(&self) -> Basis {
-        self.basis
+        self.spec.basis
+    }
+
+    /// Number of classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression pipeline (which has no class set).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        match &self.state {
+            TaskState::Classify { trainer, .. } => trainer.classes(),
+            TaskState::Regress { .. } => {
+                panic!("classes() requires a classification pipeline, found regression")
+            }
+        }
+    }
+
+    /// Total number of training samples observed (either task).
+    #[must_use]
+    pub fn observed(&self) -> usize {
+        match &self.state {
+            TaskState::Classify { trainer, .. } => trainer.counts().iter().sum(),
+            TaskState::Regress { trainer, .. } => trainer.observed(),
+        }
     }
 
     /// Number of training samples observed per class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression pipeline.
     #[must_use]
     pub fn counts(&self) -> &[usize] {
-        self.trainer.counts()
+        match &self.state {
+            TaskState::Classify { trainer, .. } => trainer.counts(),
+            TaskState::Regress { .. } => {
+                panic!("counts() requires a classification pipeline, found regression")
+            }
+        }
     }
 
     /// The finalized classifier (the replicated state sharded serving
     /// copies onto every shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression pipeline — use
+    /// [`regressor`](Self::regressor).
     #[must_use]
     pub fn classifier(&self) -> &CentroidClassifier {
-        &self.classifier
+        match &self.state {
+            TaskState::Classify { classifier, .. } => classifier,
+            TaskState::Regress { .. } => {
+                panic!("classifier() requires a classification pipeline, found regression")
+            }
+        }
+    }
+
+    /// The finalized regression model (integer readout).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a classification pipeline — use
+    /// [`classifier`](Self::classifier).
+    #[must_use]
+    pub fn regressor(&self) -> &RegressionModel {
+        match &self.state {
+            TaskState::Regress { model, .. } => model,
+            TaskState::Classify { .. } => {
+                panic!("regressor() requires a regression pipeline, found classification")
+            }
+        }
+    }
+
+    fn task_mismatch(&self, expected: &'static str) -> HdcError {
+        HdcError::TaskMismatch {
+            expected,
+            found: self.state.task_name(),
+        }
     }
 
     /// Encodes one sample into an owned hypervector.
     #[must_use]
     pub fn encode(&self, input: &X) -> BinaryHypervector {
-        let mut words = vec![0u64; self.dim.div_ceil(64)];
+        let mut words = vec![0u64; self.spec.dim.div_ceil(64)];
         self.encoder
-            .encode_into(input, HvMut::new(self.dim, &mut words));
-        BinaryHypervector::from_words(self.dim, words)
+            .encode_into(input, HvMut::new(self.spec.dim, &mut words));
+        BinaryHypervector::from_words(self.spec.dim, words)
     }
 
     /// Encodes a batch of samples into one contiguous arena, one row per
@@ -500,7 +635,7 @@ impl<X: ?Sized + Sync> Model<X> {
     /// callers that must validate input counts first (against labels)
     /// collect the refs themselves, so validation failures cost nothing.
     fn encode_refs(&self, refs: &[&X]) -> HypervectorBatch {
-        let mut batch = HypervectorBatch::zeros(self.dim, refs.len());
+        let mut batch = HypervectorBatch::zeros(self.spec.dim, refs.len());
         if refs.is_empty() {
             return batch;
         }
@@ -519,17 +654,19 @@ impl<X: ?Sized + Sync> Model<X> {
         batch
     }
 
-    /// Checks an input count against its per-sample `labels` before any
+    /// Checks an input count against its per-sample values before any
     /// encoding work is spent.
-    fn check_labelled(refs: &[&X], labels: &[usize]) -> Result<(), HdcError> {
-        if refs.len() != labels.len() {
+    fn check_paired(refs: usize, values: usize) -> Result<(), HdcError> {
+        if refs != values {
             return Err(HdcError::BatchLengthMismatch {
-                rows: refs.len(),
-                labels: labels.len(),
+                rows: refs,
+                labels: values,
             });
         }
         Ok(())
     }
+
+    // --- classification surface -----------------------------------------
 
     /// Folds one labelled sample into the model and re-finalizes the
     /// class-vectors. For more than a handful of samples prefer
@@ -537,11 +674,18 @@ impl<X: ?Sized + Sync> Model<X> {
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label.
+    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label and
+    /// [`HdcError::TaskMismatch`] on a regression pipeline.
     pub fn fit(&mut self, input: &X, label: usize) -> Result<(), HdcError> {
+        if !matches!(self.state, TaskState::Classify { .. }) {
+            return Err(self.task_mismatch("classification"));
+        }
         let hv = self.encode(input);
-        self.trainer.observe(&hv, label)?;
-        self.refresh();
+        let TaskState::Classify { trainer, .. } = &mut self.state else {
+            unreachable!("task checked above");
+        };
+        trainer.observe(&hv, label)?;
+        self.state.refresh();
         Ok(())
     }
 
@@ -552,54 +696,52 @@ impl<X: ?Sized + Sync> Model<X> {
     /// # Errors
     ///
     /// Returns [`HdcError::BatchLengthMismatch`] if `labels` does not match
-    /// the number of inputs and [`HdcError::LabelOutOfRange`] for an
-    /// unknown label (in which case nothing is accumulated).
+    /// the number of inputs, [`HdcError::LabelOutOfRange`] for an unknown
+    /// label (in which case nothing is accumulated) and
+    /// [`HdcError::TaskMismatch`] on a regression pipeline.
     pub fn fit_batch<'a, I>(&mut self, inputs: I, labels: &[usize]) -> Result<(), HdcError>
     where
         I: IntoIterator<Item = &'a X>,
         X: 'a,
     {
+        if !matches!(self.state, TaskState::Classify { .. }) {
+            return Err(self.task_mismatch("classification"));
+        }
         let refs: Vec<&X> = inputs.into_iter().collect();
-        Self::check_labelled(&refs, labels)?;
+        Self::check_paired(refs.len(), labels.len())?;
         let batch = self.encode_refs(&refs);
-        self.trainer.observe_batch(&batch, labels)?;
-        self.refresh();
+        let TaskState::Classify { trainer, .. } = &mut self.state else {
+            unreachable!("task checked above");
+        };
+        trainer.observe_batch(&batch, labels)?;
+        self.state.refresh();
         Ok(())
     }
 
-    fn refresh(&mut self) {
-        self.classifier = self.trainer.finish_deterministic(TieBreak::Alternate);
-    }
-
-    /// Decomposes the model into the pieces a long-running runtime takes
-    /// ownership of: the boxed encoder, the accumulated trainer state and
-    /// the finalized classifier.
-    pub(crate) fn into_parts(
-        self,
-    ) -> (
-        usize,
-        Box<dyn DynEncoder<X>>,
-        CentroidTrainer,
-        CentroidClassifier,
-    ) {
-        (self.dim, self.encoder, self.trainer, self.classifier)
-    }
-
     /// Predicts the label of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression pipeline — use
+    /// [`predict_value`](Self::predict_value).
     #[must_use]
     pub fn predict(&self, input: &X) -> usize {
-        self.classifier.predict(&self.encode(input))
+        self.classifier().predict(&self.encode(input))
     }
 
     /// Predicts a batch of samples: parallel batched encode into one arena,
     /// then parallel nearest-class-vector search over its rows.
     /// Bit-identical to per-sample [`predict`](Self::predict).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression pipeline.
     pub fn predict_batch<'a, I>(&self, inputs: I) -> Vec<usize>
     where
         I: IntoIterator<Item = &'a X>,
         X: 'a,
     {
-        self.classifier.predict_rows(&self.encode_batch(inputs))
+        self.classifier().predict_rows(&self.encode_batch(inputs))
     }
 
     /// Predicts every row of an already encoded arena (the entry point
@@ -607,10 +749,11 @@ impl<X: ?Sized + Sync> Model<X> {
     ///
     /// # Panics
     ///
-    /// Panics if the batch's dimensionality differs from the model's.
+    /// Panics on a regression pipeline, or if the batch's dimensionality
+    /// differs from the model's.
     #[must_use]
     pub fn predict_encoded(&self, batch: &HypervectorBatch) -> Vec<usize> {
-        self.classifier.predict_rows(batch)
+        self.classifier().predict_rows(batch)
     }
 
     /// Classification accuracy over a labelled evaluation set.
@@ -618,22 +761,180 @@ impl<X: ?Sized + Sync> Model<X> {
     /// # Errors
     ///
     /// Returns [`HdcError::BatchLengthMismatch`] if `labels` does not match
-    /// the number of inputs and [`HdcError::EmptyInput`] for an empty set.
+    /// the number of inputs, [`HdcError::EmptyInput`] for an empty set and
+    /// [`HdcError::TaskMismatch`] on a regression pipeline.
     pub fn evaluate<'a, I>(&self, inputs: I, labels: &[usize]) -> Result<f64, HdcError>
     where
         I: IntoIterator<Item = &'a X>,
         X: 'a,
     {
+        let TaskState::Classify { classifier, .. } = &self.state else {
+            return Err(self.task_mismatch("classification"));
+        };
         let refs: Vec<&X> = inputs.into_iter().collect();
-        Self::check_labelled(&refs, labels)?;
+        Self::check_paired(refs.len(), labels.len())?;
         if refs.is_empty() {
             return Err(HdcError::EmptyInput);
         }
         let batch = self.encode_refs(&refs);
-        Ok(metrics::accuracy(
-            &self.classifier.predict_rows(&batch),
-            labels,
-        ))
+        Ok(metrics::accuracy(&classifier.predict_rows(&batch), labels))
+    }
+
+    // --- regression surface ----------------------------------------------
+
+    /// Folds one `(sample, value)` pair into the regression bundle and
+    /// re-finalizes the integer readout. For more than a handful of
+    /// samples prefer [`fit_value_batch`](Self::fit_value_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification pipeline.
+    pub fn fit_value(&mut self, input: &X, value: f64) -> Result<(), HdcError> {
+        if !matches!(self.state, TaskState::Regress { .. }) {
+            return Err(self.task_mismatch("regression"));
+        }
+        let hv = self.encode(input);
+        let TaskState::Regress { trainer, .. } = &mut self.state else {
+            unreachable!("task checked above");
+        };
+        trainer.observe(&hv, value);
+        self.state.refresh();
+        Ok(())
+    }
+
+    /// Folds a batch of `(sample, value)` pairs into the model in one
+    /// parallel encode + bind + accumulate pass, then re-finalizes the
+    /// readout. Produces exactly the model repeated
+    /// [`fit_value`](Self::fit_value) calls would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `values` does not match
+    /// the number of inputs and [`HdcError::TaskMismatch`] on a
+    /// classification pipeline.
+    pub fn fit_value_batch<'a, I>(&mut self, inputs: I, values: &[f64]) -> Result<(), HdcError>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        if !matches!(self.state, TaskState::Regress { .. }) {
+            return Err(self.task_mismatch("regression"));
+        }
+        let refs: Vec<&X> = inputs.into_iter().collect();
+        Self::check_paired(refs.len(), values.len())?;
+        let batch = self.encode_refs(&refs);
+        let TaskState::Regress { trainer, .. } = &mut self.state else {
+            unreachable!("task checked above");
+        };
+        trainer.observe_batch(&batch, values)?;
+        self.state.refresh();
+        Ok(())
+    }
+
+    /// Predicts the real-valued label of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a classification pipeline — use
+    /// [`predict`](Self::predict).
+    #[must_use]
+    pub fn predict_value(&self, input: &X) -> f64 {
+        self.regressor().predict(&self.encode(input))
+    }
+
+    /// Predicts a batch of samples: parallel batched encode, then parallel
+    /// integer-readout scoring per row. Bit-identical to per-sample
+    /// [`predict_value`](Self::predict_value).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a classification pipeline.
+    pub fn predict_value_batch<'a, I>(&self, inputs: I) -> Vec<f64>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        self.regressor().predict_rows(&self.encode_batch(inputs))
+    }
+
+    /// Predicts every row of an already encoded arena — the entry point
+    /// sharded value serving feeds routed query batches through.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a classification pipeline, or if the batch's
+    /// dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_values_encoded(&self, batch: &HypervectorBatch) -> Vec<f64> {
+        self.regressor().predict_rows(batch)
+    }
+
+    /// Mean absolute error over a labelled evaluation set — the paper's
+    /// Table 2 metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::BatchLengthMismatch`] if `values` does not match
+    /// the number of inputs, [`HdcError::EmptyInput`] for an empty set and
+    /// [`HdcError::TaskMismatch`] on a classification pipeline.
+    pub fn evaluate_mae<'a, I>(&self, inputs: I, values: &[f64]) -> Result<f64, HdcError>
+    where
+        I: IntoIterator<Item = &'a X>,
+        X: 'a,
+    {
+        let TaskState::Regress { model, .. } = &self.state else {
+            return Err(self.task_mismatch("regression"));
+        };
+        let refs: Vec<&X> = inputs.into_iter().collect();
+        Self::check_paired(refs.len(), values.len())?;
+        if refs.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let batch = self.encode_refs(&refs);
+        Ok(metrics::mae(&model.predict_rows(&batch), values))
+    }
+
+    // --- snapshot surface -------------------------------------------------
+
+    /// Captures the model as a self-contained [`Snapshot`] value (spec +
+    /// trainer accumulators; no item memories — those live in the serving
+    /// fleet and are captured by the runtime's snapshot path).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::of_state(self.spec.clone(), &self.state, Vec::new())
+    }
+
+    /// Writes the model's [`snapshot`](Self::snapshot) to a file — the
+    /// durable half of [`Pipeline::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Snapshot`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HdcError> {
+        self.snapshot().write(path)
+    }
+
+    /// Adopts the trainer state of `snapshot` (which must describe the
+    /// same spec), re-finalizing the head — the in-place form of
+    /// [`Pipeline::from_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Snapshot`] if the snapshot's spec differs from
+    /// the model's or its state is internally inconsistent.
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), HdcError> {
+        if *snapshot.spec() != self.spec {
+            return Err(HdcError::Snapshot(
+                "snapshot spec does not match the model's spec".into(),
+            ));
+        }
+        snapshot.restore_into(&mut self.state)
+    }
+
+    /// Decomposes the model into the pieces a long-running runtime takes
+    /// ownership of: the spec, the boxed encoder and the task state.
+    pub(crate) fn into_parts(self) -> (PipelineSpec, Box<dyn DynEncoder<X>>, TaskState) {
+        (self.spec, self.encoder, self.state)
     }
 }
 
@@ -673,6 +974,34 @@ mod tests {
     }
 
     #[test]
+    fn builder_chain_is_a_spec_value() {
+        let chain = Pipeline::builder(2_048)
+            .seed(11)
+            .basis(Basis::Circular { m: 24, r: 0.5 })
+            .classes(3)
+            .encoder(Enc::angle());
+        let spec = chain.spec();
+        assert_eq!(
+            spec,
+            PipelineSpec {
+                dim: 2_048,
+                seed: 11,
+                basis: Basis::Circular { m: 24, r: 0.5 },
+                encoder: EncSpec::Angle,
+                task: Task::Classification { classes: 3 },
+            }
+        );
+        // Building through the builder and through the spec is the same
+        // construction: bit-identical encoders.
+        let (hours, labels) = day_night();
+        let mut from_builder = chain.build().unwrap();
+        let mut from_spec = Pipeline::from_spec::<Radians>(spec).unwrap();
+        from_builder.fit_batch(&hours, &labels).unwrap();
+        from_spec.fit_batch(&hours, &labels).unwrap();
+        assert_eq!(from_builder.classifier(), from_spec.classifier());
+    }
+
+    #[test]
     fn fit_batch_matches_incremental_fit() {
         let (hours, labels) = day_night();
         let mut batched = angle_model(1);
@@ -683,6 +1012,7 @@ mod tests {
         }
         assert_eq!(batched.classifier(), incremental.classifier());
         assert_eq!(batched.counts(), &[24, 24]);
+        assert_eq!(batched.observed(), 48);
     }
 
     #[test]
@@ -810,6 +1140,18 @@ mod tests {
             .encoder(Enc::record(vec![]))
             .build()
             .is_err());
+        // Degenerate regression tasks are refused too (inverted label
+        // range; fewer than two levels).
+        assert!(Pipeline::builder(64)
+            .regression(1.0, 0.0, 8)
+            .encoder(Enc::angle())
+            .build()
+            .is_err());
+        assert!(Pipeline::builder(64)
+            .regression(0.0, 1.0, 1)
+            .encoder(Enc::angle())
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -835,5 +1177,125 @@ mod tests {
             model.evaluate(&[], &[]),
             Err(HdcError::EmptyInput)
         ));
+    }
+
+    #[test]
+    fn regression_pipeline_learns_and_batches_bit_identically() {
+        let mut model = Pipeline::builder(8_192)
+            .seed(17)
+            .regression(0.0, 1.0, 32)
+            .encoder(Enc::record(vec![
+                FieldSpec::scalar(0.0, 1.0),
+                FieldSpec::angle(),
+            ]))
+            .build()
+            .unwrap();
+        assert!(model.task().is_regression());
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let x = i as f64 / 119.0;
+                vec![x, x * std::f64::consts::TAU]
+            })
+            .collect();
+        let values: Vec<f64> = (0..120).map(|i| i as f64 / 119.0).collect();
+        model
+            .fit_value_batch(rows.iter().map(Vec::as_slice), &values)
+            .unwrap();
+        assert_eq!(model.observed(), 120);
+
+        // Batched predictions are bit-identical to per-sample ones.
+        let batched = model.predict_value_batch(rows.iter().map(Vec::as_slice));
+        let serial: Vec<f64> = rows.iter().map(|r| model.predict_value(&r[..])).collect();
+        assert_eq!(batched, serial);
+        let encoded = model.encode_batch(rows.iter().map(Vec::as_slice));
+        assert_eq!(model.predict_values_encoded(&encoded), serial);
+
+        // The two-factor (scalar ⊗ angle) encoding tracks the identity.
+        let mae = model
+            .evaluate_mae(rows.iter().map(Vec::as_slice), &values)
+            .unwrap();
+        assert!(mae < 0.2, "train mae {mae}");
+
+        // Batch fitting matches incremental fitting bit for bit.
+        let mut incremental = Pipeline::builder(8_192)
+            .seed(17)
+            .regression(0.0, 1.0, 32)
+            .encoder(Enc::record(vec![
+                FieldSpec::scalar(0.0, 1.0),
+                FieldSpec::angle(),
+            ]))
+            .build()
+            .unwrap();
+        for (row, &y) in rows.iter().zip(&values) {
+            incremental.fit_value(&row[..], y).unwrap();
+        }
+        assert_eq!(
+            incremental.predict_value_batch(rows.iter().map(Vec::as_slice)),
+            batched
+        );
+    }
+
+    #[test]
+    fn task_mismatch_is_reported_not_misanswered() {
+        let (hours, labels) = day_night();
+        let mut classify = angle_model(8);
+        classify.fit_batch(&hours, &labels).unwrap();
+        assert!(matches!(
+            classify.fit_value(&hours[0], 0.5),
+            Err(HdcError::TaskMismatch {
+                expected: "regression",
+                found: "classification"
+            })
+        ));
+        assert!(matches!(
+            classify.fit_value_batch(&hours, &[0.0; 48]),
+            Err(HdcError::TaskMismatch { .. })
+        ));
+        assert!(matches!(
+            classify.evaluate_mae(&hours, &[0.0; 48]),
+            Err(HdcError::TaskMismatch { .. })
+        ));
+
+        let mut regress = Pipeline::builder(1_024)
+            .regression(0.0, 24.0, 24)
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            regress.fit(&hours[0], 0),
+            Err(HdcError::TaskMismatch {
+                expected: "classification",
+                found: "regression"
+            })
+        ));
+        assert!(matches!(
+            regress.fit_batch(&hours, &labels),
+            Err(HdcError::TaskMismatch { .. })
+        ));
+        assert!(matches!(
+            regress.evaluate(&hours, &labels),
+            Err(HdcError::TaskMismatch { .. })
+        ));
+        // Fallible paths reported the mismatch without corrupting state.
+        regress.fit_value(&hours[0], 12.0).unwrap();
+        assert_eq!(regress.observed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a regression pipeline")]
+    fn predict_value_panics_on_classification() {
+        let model = angle_model(9);
+        let _ = model.predict_value(&Radians(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a classification pipeline")]
+    fn predict_panics_on_regression() {
+        let model = Pipeline::builder(512)
+            .regression(0.0, 1.0, 8)
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let _ = model.predict(&Radians(0.1));
     }
 }

@@ -1,22 +1,32 @@
 //! The long-running serving runtime: micro-batching ingestion over an MPSC
 //! work queue, versioned online learning with atomically swapped
-//! class-vector generations, and live [`metrics`](crate::metrics).
+//! generations, live [`metrics`](crate::metrics) — and, since PR 5, both
+//! task families behind one queue plus durable warm restarts.
 //!
 //! A [`Runtime`] owns two background threads:
 //!
 //! * the **dispatcher** exclusively owns the [`ShardedModel`] and drains the
-//!   work queue, coalescing concurrent keyed predictions into one
-//!   [`HypervectorBatch`] by a deadline-or-size [`BatchPolicy`] — so encode,
-//!   ring routing and the minipool fan-out are paid once per micro-batch
-//!   instead of once per caller;
-//! * the **trainer** folds `fit` observations into per-class
-//!   [`MajorityAccumulator`](hdc_core::MajorityAccumulator)s
-//!   (via [`CentroidTrainer`]) off the serving path and periodically
-//!   publishes an immutable, `Arc`-snapshotted [`Generation`] of finalized
-//!   class-vectors. The dispatcher adopts the newest generation at each
-//!   micro-batch boundary, swapping it across all shards at once — readers
-//!   never block on training, never observe a torn mix of two generations,
-//!   and every [`Prediction`] reports the generation that served it.
+//!   work queue, coalescing concurrent keyed predictions (label *and* value
+//!   predictions alike) into one [`HypervectorBatch`] by a deadline-or-size
+//!   [`BatchPolicy`] — so encode, ring routing and the minipool fan-out are
+//!   paid once per micro-batch instead of once per caller;
+//! * the **trainer** folds `fit`/`fit_value` observations into the task's
+//!   accumulators ([`CentroidTrainer`] or
+//!   [`RegressionTrainer`](hdc_learn::RegressionTrainer)) off the serving
+//!   path and periodically publishes an immutable, `Arc`-snapshotted
+//!   [`Generation`] of the finalized [`Head`]. The dispatcher adopts the
+//!   newest generation at each micro-batch boundary, swapping it across all
+//!   shards at once — readers never block on training, never observe a torn
+//!   mix of two generations, and every [`Prediction`]/[`ValuePrediction`]
+//!   reports the generation that served it.
+//!
+//! # Warm restarts
+//!
+//! With [`RuntimeConfig::snapshot_on_shutdown`] set, [`Runtime::shutdown`]
+//! writes a [`Snapshot`] (spec + trainer accumulators + item memories);
+//! with [`RuntimeConfig::load_snapshot`] set, [`Runtime::spawn`] restores
+//! that state before serving — so the restarted process answers
+//! bit-identically to the one that shut down.
 //!
 //! ```
 //! use hdc_serve::{Basis, Enc, Pipeline, Radians, Runtime, RuntimeConfig};
@@ -41,17 +51,21 @@
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, TieBreak};
-use hdc_learn::{CentroidClassifier, CentroidTrainer};
+use hdc_learn::{CentroidClassifier, CentroidTrainer, RegressionTrainer};
 
 use crate::metrics::ServeMetrics;
-use crate::pipeline::DynEncoder;
-use crate::sharded::RingConfig;
+use crate::pipeline::{DynEncoder, TaskState};
+use crate::sharded::{Head, RingConfig};
+use crate::snapshot::Snapshot;
+use crate::spec::{PipelineSpec, Task};
 use crate::{Model, ShardedModel};
 
 /// When a micro-batch closes: at `max_batch` pending predictions, or
@@ -77,9 +91,10 @@ impl Default for BatchPolicy {
     }
 }
 
-/// Configuration of a [`Runtime`]: fleet geometry plus ingestion and
-/// online-learning policy.
-#[derive(Debug, Clone, Copy)]
+/// Configuration of a [`Runtime`]: fleet geometry, ingestion and
+/// online-learning policy, plus the durability hooks. (`Clone`, not
+/// `Copy`, since PR 5 — the snapshot paths own heap data.)
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of item-memory shards (`>= 1`).
     pub shards: usize,
@@ -92,11 +107,20 @@ pub struct RuntimeConfig {
     /// Observations between automatic generation publishes; `0` publishes
     /// only on explicit [`RuntimeHandle::refresh`].
     pub refresh_every: usize,
+    /// Write a [`Snapshot`] (spec + trainer accumulators + item memories)
+    /// to this path on [`Runtime::shutdown`]. Best-effort: a write failure
+    /// is reported on stderr, never a panic mid-shutdown.
+    pub snapshot_on_shutdown: Option<PathBuf>,
+    /// Restore a previously written [`Snapshot`] from this path on
+    /// [`Runtime::spawn`], making the restart warm. A missing file is a
+    /// cold start (not an error); a present-but-incompatible snapshot
+    /// (different spec) is an error.
+    pub load_snapshot: Option<PathBuf>,
 }
 
 impl Default for RuntimeConfig {
     /// One shard, default ring and batch policy, a new generation every 256
-    /// observations.
+    /// observations, no durability hooks.
     fn default() -> Self {
         Self {
             shards: 1,
@@ -104,44 +128,74 @@ impl Default for RuntimeConfig {
             seed: 0,
             policy: BatchPolicy::default(),
             refresh_every: 256,
+            snapshot_on_shutdown: None,
+            load_snapshot: None,
         }
     }
 }
 
-/// One served prediction: the label plus the id of the class-vector
-/// [`Generation`] that produced it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One served classification prediction: the label plus the id of the
+/// [`Generation`] that produced it. (`Default` is the all-zero
+/// placeholder reply collection seeds slots with before the dispatcher
+/// answers.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Prediction {
     /// The predicted class label.
     pub label: usize,
-    /// The generation of class-vectors that answered (monotonically
-    /// increasing across online refreshes; `0` is the classifier the
-    /// runtime was spawned with).
+    /// The generation that answered (monotonically increasing across
+    /// online refreshes; `0` is the head the runtime was spawned with).
     pub generation: u64,
 }
 
-/// An immutable snapshot of one class-vector generation: the finalized
-/// classifier behind an `Arc`, tagged with its publish ordinal. Cloning is
-/// a reference-count bump; the class-vectors themselves are never mutated
-/// after publish, so any thread holding a `Generation` sees a complete,
-/// self-consistent classifier.
+/// One served regression prediction: the real-valued label plus the id of
+/// the [`Generation`] that produced it. (`Default` is the all-zero
+/// placeholder reply collection seeds slots with before the dispatcher
+/// answers.)
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ValuePrediction {
+    /// The predicted value (a grid point of the spec's label range).
+    pub value: f64,
+    /// The generation that answered.
+    pub generation: u64,
+}
+
+/// An immutable snapshot of one published generation: the finalized
+/// [`Head`] behind an `Arc`, tagged with its publish ordinal. Cloning is a
+/// reference-count bump; the head is never mutated after publish, so any
+/// thread holding a `Generation` sees a complete, self-consistent model.
 #[derive(Debug, Clone)]
 pub struct Generation {
     id: u64,
-    classifier: Arc<CentroidClassifier>,
+    head: Arc<Head>,
 }
 
 impl Generation {
-    /// The publish ordinal (0 = the spawn-time classifier).
+    /// The publish ordinal (0 = the spawn-time head).
     #[must_use]
     pub fn id(&self) -> u64 {
         self.id
     }
 
+    /// The finalized head of this generation.
+    #[must_use]
+    pub fn head(&self) -> &Head {
+        &self.head
+    }
+
     /// The finalized classifier of this generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression runtime's generation — use
+    /// [`head`](Self::head).
     #[must_use]
     pub fn classifier(&self) -> &CentroidClassifier {
-        &self.classifier
+        match self.head.as_ref() {
+            Head::Classes(classifier) => classifier,
+            Head::Values(_) => {
+                panic!("classifier() requires a classification generation, found regression")
+            }
+        }
     }
 }
 
@@ -155,9 +209,9 @@ struct GenerationCell {
 }
 
 impl GenerationCell {
-    fn new(classifier: Arc<CentroidClassifier>) -> Self {
+    fn new(head: Arc<Head>) -> Self {
         Self {
-            current: RwLock::new(Generation { id: 0, classifier }),
+            current: RwLock::new(Generation { id: 0, head }),
         }
     }
 
@@ -168,11 +222,62 @@ impl GenerationCell {
             .clone()
     }
 
-    fn publish(&self, classifier: Arc<CentroidClassifier>) -> u64 {
+    fn publish(&self, head: Arc<Head>) -> u64 {
         let mut current = self.current.write().expect("generation lock never poisons");
         current.id += 1;
-        current.classifier = classifier;
+        current.head = head;
         current.id
+    }
+}
+
+/// The online trainer state a runtime hands back on
+/// [`shutdown`](Runtime::shutdown): the task's accumulators, for
+/// persistence, inspection or warm restart.
+#[derive(Debug, Clone)]
+pub enum OnlineLearner {
+    /// Classification accumulators.
+    Classify(CentroidTrainer),
+    /// Regression accumulators.
+    Regress(RegressionTrainer),
+}
+
+impl OnlineLearner {
+    /// The classification trainer, if this is a classification runtime.
+    #[must_use]
+    pub fn as_classify(&self) -> Option<&CentroidTrainer> {
+        match self {
+            OnlineLearner::Classify(trainer) => Some(trainer),
+            OnlineLearner::Regress(_) => None,
+        }
+    }
+
+    /// The regression trainer, if this is a regression runtime.
+    #[must_use]
+    pub fn as_regress(&self) -> Option<&RegressionTrainer> {
+        match self {
+            OnlineLearner::Regress(trainer) => Some(trainer),
+            OnlineLearner::Classify(_) => None,
+        }
+    }
+
+    /// Total observations folded in.
+    #[must_use]
+    pub fn observed(&self) -> usize {
+        match self {
+            OnlineLearner::Classify(trainer) => trainer.counts().iter().sum(),
+            OnlineLearner::Regress(trainer) => trainer.observed(),
+        }
+    }
+
+    /// Finalizes the current accumulators into a publishable [`Head`]
+    /// (deterministic for both tasks).
+    fn finish(&self) -> Head {
+        match self {
+            OnlineLearner::Classify(trainer) => {
+                Head::Classes(trainer.finish_deterministic(TieBreak::Alternate))
+            }
+            OnlineLearner::Regress(trainer) => Head::Values(trainer.finish_integer()),
+        }
     }
 }
 
@@ -184,16 +289,17 @@ enum Payload<O> {
     Encoded(BinaryHypervector),
 }
 
-struct PredictJob<O> {
+struct PredictJob<O, R> {
     key: String,
     payload: Payload<O>,
     enqueued: Instant,
     index: usize,
-    reply: Sender<(usize, Prediction)>,
+    reply: Sender<(usize, R)>,
 }
 
 enum Work<O> {
-    Predict(PredictJob<O>),
+    Predict(PredictJob<O, Prediction>),
+    PredictValue(PredictJob<O, ValuePrediction>),
     Insert {
         key: String,
         hv: BinaryHypervector,
@@ -206,6 +312,10 @@ enum Work<O> {
     Fit {
         payload: Payload<O>,
         label: usize,
+    },
+    FitValue {
+        payload: Payload<O>,
+        value: f64,
     },
     Refresh {
         reply: Sender<u64>,
@@ -225,20 +335,26 @@ enum Work<O> {
 
 enum TrainerMsg {
     Observe { hv: BinaryHypervector, label: usize },
+    ObserveValue { hv: BinaryHypervector, value: f64 },
     Refresh { reply: Option<Sender<u64>> },
     Stop,
 }
 
 /// A point-in-time view of the whole runtime, served by the `stats`
-/// operation: generation, fleet shape, per-shard load, remap behaviour and
-/// the ingestion metrics.
+/// operation: generation, uptime, fleet shape, per-shard load, remap
+/// behaviour and the ingestion metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeStats {
-    /// The currently published class-vector generation.
+    /// The currently published generation.
     pub generation: u64,
+    /// Microseconds since the runtime spawned — so a load balancer can
+    /// tell a fresh (cold-cache) runtime from a long-lived one without
+    /// issuing a prediction.
+    pub uptime_us: u64,
     /// Query dimensionality `d`.
     pub dim: u64,
-    /// Number of classes of the published classifier.
+    /// Number of classes of the published head (`0` for a regression
+    /// runtime, whose head has a label grid instead of a class set).
     pub classes: u64,
     /// Per-shard `(shard id, stored entries)` in creation order.
     pub shard_loads: Vec<(u64, u64)>,
@@ -257,16 +373,15 @@ pub struct RuntimeStats {
 /// state) with [`shutdown`](Self::shutdown).
 pub struct Runtime<X: ?Sized + ToOwned> {
     handle: RuntimeHandle<X>,
+    spec: PipelineSpec,
+    snapshot_on_shutdown: Option<PathBuf>,
     dispatcher: JoinHandle<ShardedModel<String>>,
-    trainer: JoinHandle<CentroidTrainer>,
+    trainer: JoinHandle<OnlineLearner>,
 }
 
 impl<X: ?Sized + ToOwned> fmt::Debug for Runtime<X> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Runtime")
-            .field("dim", &self.handle.dim)
-            .field("classes", &self.handle.classes)
-            .finish()
+        f.debug_struct("Runtime").field("spec", &self.spec).finish()
     }
 }
 
@@ -275,30 +390,70 @@ where
     X: ?Sized + ToOwned + Sync + 'static,
     X::Owned: Send + 'static,
 {
-    /// Spawns the runtime around a trained [`Model`]: the model's classifier
-    /// is replicated onto `config.shards` shards (generation 0), its trainer
-    /// state seeds the online trainer, and its encoder moves to the
-    /// dispatcher for batched server-side encoding.
+    /// Spawns the runtime around a trained [`Model`]: the model's finalized
+    /// head is replicated onto `config.shards` shards (generation 0), its
+    /// trainer state seeds the online trainer, and its encoder moves to
+    /// the dispatcher for batched server-side encoding.
+    ///
+    /// With [`RuntimeConfig::load_snapshot`] set and the file present, the
+    /// snapshot's trainer state and item memories are restored first (the
+    /// snapshot must describe the model's spec), so the runtime resumes
+    /// bit-identically where the snapshotting process stopped.
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError`] for an invalid shard count or ring geometry.
-    pub fn spawn(model: Model<X>, config: RuntimeConfig) -> Result<Self, HdcError> {
-        let (dim, encoder, trainer, classifier) = model.into_parts();
-        let classes = trainer.classes();
-        let fleet = ShardedModel::with_ring(
-            classifier.clone(),
-            dim,
+    /// Returns [`HdcError`] for an invalid shard count or ring geometry,
+    /// and [`HdcError::Snapshot`] for a present-but-incompatible snapshot.
+    pub fn spawn(mut model: Model<X>, config: RuntimeConfig) -> Result<Self, HdcError> {
+        let mut restored_items = Vec::new();
+        if let Some(path) = &config.load_snapshot {
+            // Only a *missing* file is a cold start. Any other read failure
+            // (permissions, broken mount) must be loud: silently serving an
+            // untrained model — and then overwriting the snapshot with its
+            // blank state on shutdown — would destroy the saved training.
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    let mut snapshot = Snapshot::from_bytes(&bytes)?;
+                    restored_items = snapshot.take_items();
+                    model.restore(&snapshot)?;
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+                Err(error) => {
+                    return Err(HdcError::Snapshot(format!(
+                        "reading {}: {error}",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        let (spec, encoder, state) = model.into_parts();
+        let task = spec.task;
+        let (head, learner) = match state {
+            TaskState::Classify {
+                trainer,
+                classifier,
+            } => (Head::Classes(classifier), OnlineLearner::Classify(trainer)),
+            TaskState::Regress { trainer, model } => {
+                (Head::Values(model), OnlineLearner::Regress(trainer))
+            }
+        };
+        let mut fleet = ShardedModel::with_head(
+            head.clone(),
+            spec.dim,
             config.shards,
             config.ring,
             config.seed,
         )?;
+        for (key, hv) in restored_items {
+            fleet.insert(key, hv);
+        }
         let policy = BatchPolicy {
             max_batch: config.policy.max_batch.max(1),
             max_wait: config.policy.max_wait,
         };
         let metrics = Arc::new(ServeMetrics::new(policy.max_batch));
-        let generations = Arc::new(GenerationCell::new(Arc::new(classifier)));
+        let generations = Arc::new(GenerationCell::new(Arc::new(head)));
+        let alive = Arc::new(AtomicBool::new(true));
 
         let (work_tx, work_rx) = mpsc::channel::<Work<X::Owned>>();
         let (trainer_tx, trainer_rx) = mpsc::channel::<TrainerMsg>();
@@ -307,9 +462,14 @@ where
             let metrics = Arc::clone(&metrics);
             let generations = Arc::clone(&generations);
             let trainer_tx = trainer_tx.clone();
+            let alive = Arc::clone(&alive);
             thread::Builder::new()
                 .name("hdc-serve-dispatch".into())
                 .spawn(move || {
+                    // Drop guard: the liveness flag goes false the moment
+                    // the dispatcher exits — graceful shutdown *or* panic —
+                    // so health probes stop reporting a dead queue healthy.
+                    let _alive = AliveGuard(alive);
                     dispatcher_loop(
                         work_rx,
                         fleet,
@@ -330,7 +490,7 @@ where
                 .spawn(move || {
                     trainer_loop(
                         trainer_rx,
-                        trainer,
+                        learner,
                         generations,
                         config.refresh_every,
                         metrics,
@@ -345,9 +505,12 @@ where
                 trainer_tx,
                 generations,
                 metrics,
-                dim,
-                classes,
+                alive,
+                dim: spec.dim,
+                task,
             },
+            spec,
+            snapshot_on_shutdown: config.snapshot_on_shutdown,
             dispatcher,
             trainer: trainer_thread,
         })
@@ -361,16 +524,47 @@ where
         self.handle.clone()
     }
 
+    /// The spec of the pipeline this runtime serves.
+    #[must_use]
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
     /// Stops both threads gracefully — queued work ahead of the shutdown
     /// marker is still served — and returns the final sharded fleet and the
     /// accumulated trainer state (for persistence or warm restart); callers
     /// that only want to stop may ignore them.
-    pub fn shutdown(self) -> (ShardedModel<String>, CentroidTrainer) {
+    ///
+    /// With [`RuntimeConfig::snapshot_on_shutdown`] set, the final state
+    /// (spec + trainer accumulators + item memories) is written there
+    /// before returning — best-effort: a write failure is reported on
+    /// stderr so shutdown always completes.
+    pub fn shutdown(self) -> (ShardedModel<String>, OnlineLearner) {
         let _ = self.handle.work_tx.send(Work::Shutdown);
         let fleet = self.dispatcher.join().expect("dispatcher thread panicked");
         let _ = self.handle.trainer_tx.send(TrainerMsg::Stop);
-        let trainer = self.trainer.join().expect("trainer thread panicked");
-        (fleet, trainer)
+        let learner = self.trainer.join().expect("trainer thread panicked");
+        if let Some(path) = &self.snapshot_on_shutdown {
+            let items: Vec<(String, BinaryHypervector)> = fleet
+                .entries()
+                .map(|(key, hv)| (key.clone(), hv.clone()))
+                .collect();
+            let snapshot = match &learner {
+                OnlineLearner::Classify(trainer) => {
+                    Snapshot::of_classify(self.spec.clone(), trainer, items)
+                }
+                OnlineLearner::Regress(trainer) => {
+                    Snapshot::of_regress(self.spec.clone(), trainer, items)
+                }
+            };
+            if let Err(error) = snapshot.write(path) {
+                eprintln!(
+                    "hdc-serve: shutdown snapshot to {} failed: {error}",
+                    path.display()
+                );
+            }
+        }
+        (fleet, learner)
     }
 }
 
@@ -383,8 +577,20 @@ pub struct RuntimeHandle<X: ?Sized + ToOwned> {
     trainer_tx: Sender<TrainerMsg>,
     generations: Arc<GenerationCell>,
     metrics: Arc<ServeMetrics>,
+    alive: Arc<AtomicBool>,
     dim: usize,
-    classes: usize,
+    task: Task,
+}
+
+/// Flips the runtime's liveness flag to `false` when dropped — installed
+/// on the dispatcher thread so the flag falls on graceful exit *and* on a
+/// dispatcher panic alike.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
 }
 
 impl<X: ?Sized + ToOwned> Clone for RuntimeHandle<X> {
@@ -394,8 +600,9 @@ impl<X: ?Sized + ToOwned> Clone for RuntimeHandle<X> {
             trainer_tx: self.trainer_tx.clone(),
             generations: Arc::clone(&self.generations),
             metrics: Arc::clone(&self.metrics),
+            alive: Arc::clone(&self.alive),
             dim: self.dim,
-            classes: self.classes,
+            task: self.task,
         }
     }
 }
@@ -404,7 +611,7 @@ impl<X: ?Sized + ToOwned> fmt::Debug for RuntimeHandle<X> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RuntimeHandle")
             .field("dim", &self.dim)
-            .field("classes", &self.classes)
+            .field("task", &self.task)
             .finish()
     }
 }
@@ -420,16 +627,68 @@ where
         self.dim
     }
 
-    /// Number of classes the runtime was spawned with.
+    /// The task family this runtime serves.
     #[must_use]
-    pub fn classes(&self) -> usize {
-        self.classes
+    pub fn task(&self) -> Task {
+        self.task
     }
 
-    /// The currently published class-vector generation (snapshot; cheap).
+    /// Number of classes the runtime was spawned with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression runtime (which has no class set).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        match self.task {
+            Task::Classification { classes } => classes,
+            Task::Regression { .. } => {
+                panic!("classes() requires a classification runtime, found regression")
+            }
+        }
+    }
+
+    /// Time since the runtime spawned — the probe field `ping` serves.
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.metrics.uptime()
+    }
+
+    /// `true` while the dispatcher is draining the work queue. Falls on
+    /// [`Runtime::shutdown`] *and* if the dispatcher thread dies — the
+    /// signal the `ping` health probe reports, so a load balancer never
+    /// keeps a dead backend in rotation on generation/uptime reads alone.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// The currently published generation (snapshot; cheap).
     #[must_use]
     pub fn generation(&self) -> Generation {
         self.generations.load()
+    }
+
+    fn check_classification(&self) -> Result<(), HdcError> {
+        if self.task.is_classification() {
+            Ok(())
+        } else {
+            Err(HdcError::TaskMismatch {
+                expected: "classification",
+                found: self.task.name(),
+            })
+        }
+    }
+
+    fn check_regression(&self) -> Result<(), HdcError> {
+        if self.task.is_regression() {
+            Ok(())
+        } else {
+            Err(HdcError::TaskMismatch {
+                expected: "regression",
+                found: self.task.name(),
+            })
+        }
     }
 
     /// Predicts one raw input. The input is encoded server-side inside the
@@ -438,26 +697,33 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn predict(&self, key: impl Into<String>, input: &X) -> Result<Prediction, HdcError> {
-        self.submit_predicts(vec![(key.into(), Payload::Input(input.to_owned()))])
-            .map(|mut labels| labels.pop().expect("one prediction per request"))
+        self.check_classification()?;
+        self.submit_jobs(
+            vec![(key.into(), Payload::Input(input.to_owned()))],
+            Work::Predict,
+        )
+        .map(|mut replies| replies.pop().expect("one prediction per request"))
     }
 
     /// Predicts one already encoded query.
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::DimensionMismatch`] for a wrong-width query and
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime,
+    /// [`HdcError::DimensionMismatch`] for a wrong-width query and
     /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn predict_encoded(
         &self,
         key: impl Into<String>,
         hv: BinaryHypervector,
     ) -> Result<Prediction, HdcError> {
+        self.check_classification()?;
         self.check_dim(hv.dim())?;
-        self.submit_predicts(vec![(key.into(), Payload::Encoded(hv))])
-            .map(|mut labels| labels.pop().expect("one prediction per request"))
+        self.submit_jobs(vec![(key.into(), Payload::Encoded(hv))], Work::Predict)
+            .map(|mut replies| replies.pop().expect("one prediction per request"))
     }
 
     /// Predicts a set of raw inputs, in order. The requests enter the same
@@ -467,17 +733,20 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn predict_many<'a, I>(&self, inputs: I) -> Result<Vec<Prediction>, HdcError>
     where
         I: IntoIterator<Item = (String, &'a X)>,
         X: 'a,
     {
-        self.submit_predicts(
+        self.check_classification()?;
+        self.submit_jobs(
             inputs
                 .into_iter()
                 .map(|(key, input)| (key, Payload::Input(input.to_owned())))
                 .collect(),
+            Work::Predict,
         )
     }
 
@@ -485,28 +754,117 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::DimensionMismatch`] if any query's width differs
-    /// from the runtime's and [`HdcError::ServiceUnavailable`] after
-    /// shutdown.
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime,
+    /// [`HdcError::DimensionMismatch`] if any query's width differs from
+    /// the runtime's and [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn predict_encoded_many(
         &self,
         pairs: Vec<(String, BinaryHypervector)>,
     ) -> Result<Vec<Prediction>, HdcError> {
+        self.check_classification()?;
         for (_, hv) in &pairs {
             self.check_dim(hv.dim())?;
         }
-        self.submit_predicts(
+        self.submit_jobs(
             pairs
                 .into_iter()
                 .map(|(key, hv)| (key, Payload::Encoded(hv)))
                 .collect(),
+            Work::Predict,
         )
     }
 
-    fn submit_predicts(
+    /// Predicts one raw input's real-valued label — the regression twin of
+    /// [`predict`](Self::predict), riding the same micro-batched queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_value(
+        &self,
+        key: impl Into<String>,
+        input: &X,
+    ) -> Result<ValuePrediction, HdcError> {
+        self.check_regression()?;
+        self.submit_jobs(
+            vec![(key.into(), Payload::Input(input.to_owned()))],
+            Work::PredictValue,
+        )
+        .map(|mut replies| replies.pop().expect("one prediction per request"))
+    }
+
+    /// Predicts one already encoded query's real-valued label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime,
+    /// [`HdcError::DimensionMismatch`] for a wrong-width query and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_value_encoded(
+        &self,
+        key: impl Into<String>,
+        hv: BinaryHypervector,
+    ) -> Result<ValuePrediction, HdcError> {
+        self.check_regression()?;
+        self.check_dim(hv.dim())?;
+        self.submit_jobs(vec![(key.into(), Payload::Encoded(hv))], Work::PredictValue)
+            .map(|mut replies| replies.pop().expect("one prediction per request"))
+    }
+
+    /// Predicts a set of raw inputs' values, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_value_many<'a, I>(&self, inputs: I) -> Result<Vec<ValuePrediction>, HdcError>
+    where
+        I: IntoIterator<Item = (String, &'a X)>,
+        X: 'a,
+    {
+        self.check_regression()?;
+        self.submit_jobs(
+            inputs
+                .into_iter()
+                .map(|(key, input)| (key, Payload::Input(input.to_owned())))
+                .collect(),
+            Work::PredictValue,
+        )
+    }
+
+    /// Predicts a set of already encoded queries' values, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime,
+    /// [`HdcError::DimensionMismatch`] if any query's width differs from
+    /// the runtime's and [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn predict_value_encoded_many(
+        &self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<ValuePrediction>, HdcError> {
+        self.check_regression()?;
+        for (_, hv) in &pairs {
+            self.check_dim(hv.dim())?;
+        }
+        self.submit_jobs(
+            pairs
+                .into_iter()
+                .map(|(key, hv)| (key, Payload::Encoded(hv)))
+                .collect(),
+            Work::PredictValue,
+        )
+    }
+
+    /// The shared submit-and-collect path behind every prediction form:
+    /// enqueue one job per input (all sharing a reply channel and an
+    /// enqueue timestamp), then collect replies by index.
+    fn submit_jobs<R: Clone + Default>(
         &self,
         jobs: Vec<(String, Payload<X::Owned>)>,
-    ) -> Result<Vec<Prediction>, HdcError> {
+        wrap: impl Fn(PredictJob<X::Owned, R>) -> Work<X::Owned>,
+    ) -> Result<Vec<R>, HdcError> {
         let expected = jobs.len();
         if expected == 0 {
             return Ok(Vec::new());
@@ -514,7 +872,7 @@ where
         let (reply_tx, reply_rx) = mpsc::channel();
         let enqueued = Instant::now();
         for (index, (key, payload)) in jobs.into_iter().enumerate() {
-            self.send_work(Work::Predict(PredictJob {
+            self.send_work(wrap(PredictJob {
                 key,
                 payload,
                 enqueued,
@@ -523,20 +881,14 @@ where
             }))?;
         }
         drop(reply_tx);
-        let mut predictions = vec![
-            Prediction {
-                label: 0,
-                generation: 0
-            };
-            expected
-        ];
+        let mut replies = vec![R::default(); expected];
         let mut received = 0;
         while received < expected {
-            let (index, prediction) = reply_rx.recv().map_err(|_| HdcError::ServiceUnavailable)?;
-            predictions[index] = prediction;
+            let (index, reply) = reply_rx.recv().map_err(|_| HdcError::ServiceUnavailable)?;
+            replies[index] = reply;
             received += 1;
         }
-        Ok(predictions)
+        Ok(replies)
     }
 
     /// Stores an encoded hypervector under `key` on its owning shard.
@@ -574,7 +926,8 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::LabelOutOfRange`] for an unknown label and
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime,
+    /// [`HdcError::LabelOutOfRange`] for an unknown label and
     /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn fit(&self, input: &X, label: usize) -> Result<(), HdcError> {
         self.check_label(label)?;
@@ -589,14 +942,46 @@ where
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::DimensionMismatch`]/[`HdcError::LabelOutOfRange`]
-    /// for invalid observations and [`HdcError::ServiceUnavailable`] after
+    /// Returns [`HdcError::TaskMismatch`] on a regression runtime,
+    /// [`HdcError::DimensionMismatch`]/[`HdcError::LabelOutOfRange`] for
+    /// invalid observations and [`HdcError::ServiceUnavailable`] after
     /// shutdown.
     pub fn fit_encoded(&self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
         self.check_dim(hv.dim())?;
         self.check_label(label)?;
         self.trainer_tx
             .send(TrainerMsg::Observe { hv, label })
+            .map_err(|_| HdcError::ServiceUnavailable)
+    }
+
+    /// Enqueues one raw `(input, value)` training observation — the
+    /// regression twin of [`fit`](Self::fit). Fire-and-forget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn fit_value(&self, input: &X, value: f64) -> Result<(), HdcError> {
+        self.check_regression()?;
+        self.send_work(Work::FitValue {
+            payload: Payload::Input(input.to_owned()),
+            value,
+        })
+    }
+
+    /// Enqueues one already encoded `(query, value)` training observation,
+    /// straight to the background trainer. Fire-and-forget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification runtime,
+    /// [`HdcError::DimensionMismatch`] for a wrong-width vector and
+    /// [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn fit_value_encoded(&self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
+        self.check_regression()?;
+        self.check_dim(hv.dim())?;
+        self.trainer_tx
+            .send(TrainerMsg::ObserveValue { hv, value })
             .map_err(|_| HdcError::ServiceUnavailable)
     }
 
@@ -670,11 +1055,14 @@ where
     }
 
     fn check_label(&self, label: usize) -> Result<(), HdcError> {
-        if label >= self.classes {
-            return Err(HdcError::LabelOutOfRange {
-                label,
-                classes: self.classes,
+        let Task::Classification { classes } = self.task else {
+            return Err(HdcError::TaskMismatch {
+                expected: "classification",
+                found: self.task.name(),
             });
+        };
+        if label >= classes {
+            return Err(HdcError::LabelOutOfRange { label, classes });
         }
         Ok(())
     }
@@ -684,6 +1072,15 @@ where
 enum RowSource<'a, X: ?Sized> {
     Input(&'a X),
     Encoded(&'a BinaryHypervector),
+}
+
+impl<'a, X: ?Sized> RowSource<'a, X> {
+    fn of<O: Borrow<X>>(payload: &'a Payload<O>) -> Self {
+        match payload {
+            Payload::Input(input) => RowSource::Input(input.borrow()),
+            Payload::Encoded(hv) => RowSource::Encoded(hv),
+        }
+    }
 }
 
 /// Fills `batch` (already sized to `sources.len()`) from the row sources:
@@ -729,111 +1126,155 @@ where
 {
     let dim = fleet.dim();
     // Scratch arenas recycled across micro-batches (`resize_zeroed` keeps
-    // the allocation): one for the predictions, one for fit observations
-    // that ride the same parallel encode pass.
-    let mut predict_scratch = HypervectorBatch::with_capacity(dim, policy.max_batch);
+    // the allocation): one for label predictions, one for value
+    // predictions, one for fit observations — all riding the same parallel
+    // encode pass. The task is fixed at spawn, so only the head's own
+    // prediction arena is preallocated to a full micro-batch; the other
+    // kind of prediction can never arrive (handles reject it up front).
+    let (predict_rows, value_rows) = match fleet.head() {
+        Head::Classes(_) => (policy.max_batch, 0),
+        Head::Values(_) => (0, policy.max_batch),
+    };
+    let mut predict_scratch = HypervectorBatch::with_capacity(dim, predict_rows);
+    let mut value_scratch = HypervectorBatch::with_capacity(dim, value_rows);
     let mut fit_scratch = HypervectorBatch::new(dim);
     let mut adopted = generations.load();
 
-    let mut pending: Vec<PredictJob<X::Owned>> = Vec::new();
+    let mut pending: Vec<PredictJob<X::Owned, Prediction>> = Vec::new();
+    let mut pending_values: Vec<PredictJob<X::Owned, ValuePrediction>> = Vec::new();
     let mut fits: Vec<(Payload<X::Owned>, usize)> = Vec::new();
+    let mut value_fits: Vec<(Payload<X::Owned>, f64)> = Vec::new();
 
     'runtime: loop {
         let Ok(work) = work_rx.recv() else {
             break 'runtime;
         };
         metrics.dequeued(1);
-        // Anything that is not a prediction is handled immediately; a
-        // prediction opens a micro-batch collection window.
+        // Anything that is not a prediction or fit is handled immediately;
+        // a prediction opens a micro-batch collection window.
         let mut stashed: Option<Work<X::Owned>> = None;
         match work {
             Work::Shutdown => break 'runtime,
-            Work::Predict(job) => {
-                pending.push(job);
-                let deadline = Instant::now() + policy.max_wait;
-                while pending.len() < policy.max_batch {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    match work_rx.recv_timeout(remaining) {
-                        Ok(more) => {
-                            metrics.dequeued(1);
-                            match more {
-                                Work::Predict(job) => pending.push(job),
-                                // Fit observations ride the same encode
-                                // pass as the batch they arrived with.
-                                Work::Fit { payload, label } => fits.push((payload, label)),
-                                // Any other op closes the batch; it is
-                                // served first so queue order is preserved.
-                                other => {
-                                    stashed = Some(other);
-                                    break;
-                                }
+            Work::Predict(job) => pending.push(job),
+            Work::PredictValue(job) => pending_values.push(job),
+            Work::Fit { payload, label } => fits.push((payload, label)),
+            Work::FitValue { payload, value } => value_fits.push((payload, value)),
+            other => stashed = Some(other),
+        }
+        if stashed.is_none() && !(pending.is_empty() && pending_values.is_empty()) {
+            let deadline = Instant::now() + policy.max_wait;
+            while pending.len() + pending_values.len() < policy.max_batch {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match work_rx.recv_timeout(remaining) {
+                    Ok(more) => {
+                        metrics.dequeued(1);
+                        match more {
+                            Work::Predict(job) => pending.push(job),
+                            Work::PredictValue(job) => pending_values.push(job),
+                            // Fit observations ride the same encode pass
+                            // as the batch they arrived with.
+                            Work::Fit { payload, label } => fits.push((payload, label)),
+                            Work::FitValue { payload, value } => value_fits.push((payload, value)),
+                            // Any other op closes the batch; it is served
+                            // first so queue order is preserved.
+                            other => {
+                                stashed = Some(other);
+                                break;
                             }
                         }
-                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                            break
-                        }
                     }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            Work::Fit { payload, label } => fits.push((payload, label)),
-            other => stashed = Some(other),
         }
 
         // --- Serve the collected micro-batch. ---------------------------
-        if !pending.is_empty() || !fits.is_empty() {
+        let batch_size = pending.len() + pending_values.len();
+        if batch_size > 0 || !fits.is_empty() || !value_fits.is_empty() {
             // Adopt the newest published generation at the batch boundary:
             // one swap covers every shard, so the whole batch — and every
             // reply in it — is served by exactly one generation.
             let published = generations.load();
             if published.id() != adopted.id() {
                 fleet
-                    .set_classifier(published.classifier().clone())
+                    .set_head(published.head().clone())
                     .expect("published generations share the runtime dimensionality");
                 adopted = published;
             }
-
-            predict_scratch.resize_zeroed(pending.len());
-            let sources: Vec<RowSource<'_, X>> = pending
-                .iter()
-                .map(|job| match &job.payload {
-                    Payload::Input(input) => RowSource::Input(input.borrow()),
-                    Payload::Encoded(hv) => RowSource::Encoded(hv),
-                })
-                .collect();
-            fill_batch(encoder.as_ref(), &sources, &mut predict_scratch);
-            drop(sources);
-
-            fit_scratch.resize_zeroed(fits.len());
-            let fit_sources: Vec<RowSource<'_, X>> = fits
-                .iter()
-                .map(|(payload, _)| match payload {
-                    Payload::Input(input) => RowSource::Input(input.borrow()),
-                    Payload::Encoded(hv) => RowSource::Encoded(hv),
-                })
-                .collect();
-            fill_batch(encoder.as_ref(), &fit_sources, &mut fit_scratch);
-            drop(fit_sources);
+            let generation = adopted.id();
+            let mut latencies = Vec::with_capacity(batch_size);
 
             if !pending.is_empty() {
+                predict_scratch.resize_zeroed(pending.len());
+                let sources: Vec<RowSource<'_, X>> = pending
+                    .iter()
+                    .map(|job| RowSource::of(&job.payload))
+                    .collect();
+                fill_batch(encoder.as_ref(), &sources, &mut predict_scratch);
+                drop(sources);
                 let keys: Vec<&str> = pending.iter().map(|job| job.key.as_str()).collect();
                 let labels = fleet
                     .predict_batch(&keys, &predict_scratch)
-                    .expect("keys and rows are constructed in lockstep");
-                let generation = adopted.id();
-                let mut latencies = Vec::with_capacity(pending.len());
+                    .expect("keys and rows are constructed in lockstep on a classification fleet");
                 for (job, label) in pending.drain(..).zip(labels) {
                     latencies.push(job.enqueued.elapsed());
                     let _ = job
                         .reply
                         .send((job.index, Prediction { label, generation }));
                 }
-                metrics.record_batch(latencies.len(), latencies);
             }
-            for ((_, label), row) in fits.drain(..).zip(fit_scratch.rows()) {
-                let _ = trainer_tx.send(TrainerMsg::Observe {
-                    hv: row.to_hypervector(),
-                    label,
-                });
+            if !pending_values.is_empty() {
+                value_scratch.resize_zeroed(pending_values.len());
+                let sources: Vec<RowSource<'_, X>> = pending_values
+                    .iter()
+                    .map(|job| RowSource::of(&job.payload))
+                    .collect();
+                fill_batch(encoder.as_ref(), &sources, &mut value_scratch);
+                drop(sources);
+                let keys: Vec<&str> = pending_values.iter().map(|job| job.key.as_str()).collect();
+                let values = fleet
+                    .predict_values(&keys, &value_scratch)
+                    .expect("keys and rows are constructed in lockstep on a regression fleet");
+                for (job, value) in pending_values.drain(..).zip(values) {
+                    latencies.push(job.enqueued.elapsed());
+                    let _ = job
+                        .reply
+                        .send((job.index, ValuePrediction { value, generation }));
+                }
+            }
+            if batch_size > 0 {
+                metrics.record_batch(batch_size, latencies);
+            }
+
+            if !fits.is_empty() {
+                fit_scratch.resize_zeroed(fits.len());
+                let sources: Vec<RowSource<'_, X>> = fits
+                    .iter()
+                    .map(|(payload, _)| RowSource::of(payload))
+                    .collect();
+                fill_batch(encoder.as_ref(), &sources, &mut fit_scratch);
+                drop(sources);
+                for ((_, label), row) in fits.drain(..).zip(fit_scratch.rows()) {
+                    let _ = trainer_tx.send(TrainerMsg::Observe {
+                        hv: row.to_hypervector(),
+                        label,
+                    });
+                }
+            }
+            if !value_fits.is_empty() {
+                fit_scratch.resize_zeroed(value_fits.len());
+                let sources: Vec<RowSource<'_, X>> = value_fits
+                    .iter()
+                    .map(|(payload, _)| RowSource::of(payload))
+                    .collect();
+                fill_batch(encoder.as_ref(), &sources, &mut fit_scratch);
+                drop(sources);
+                for ((_, value), row) in value_fits.drain(..).zip(fit_scratch.rows()) {
+                    let _ = trainer_tx.send(TrainerMsg::ObserveValue {
+                        hv: row.to_hypervector(),
+                        value,
+                    });
+                }
             }
         }
 
@@ -863,10 +1304,15 @@ where
                 let _ = reply.send(fleet.remove_shard(id));
             }
             Some(Work::Stats { reply }) => {
+                let classes = match fleet.head() {
+                    Head::Classes(classifier) => classifier.classes() as u64,
+                    Head::Values(_) => 0,
+                };
                 let _ = reply.send(RuntimeStats {
                     generation: generations.load().id(),
+                    uptime_us: metrics.uptime().as_micros() as u64,
                     dim: dim as u64,
-                    classes: adopted.classifier().classes() as u64,
+                    classes,
                     shard_loads: fleet
                         .shard_loads()
                         .into_iter()
@@ -878,7 +1324,10 @@ where
                 });
             }
             Some(Work::Shutdown) => break 'runtime,
-            Some(Work::Predict(_)) | Some(Work::Fit { .. }) => {
+            Some(Work::Predict(_))
+            | Some(Work::PredictValue(_))
+            | Some(Work::Fit { .. })
+            | Some(Work::FitValue { .. }) => {
                 unreachable!("predictions and fits are collected, never stashed")
             }
         }
@@ -888,28 +1337,43 @@ where
 
 fn trainer_loop(
     rx: Receiver<TrainerMsg>,
-    mut trainer: CentroidTrainer,
+    mut learner: OnlineLearner,
     generations: Arc<GenerationCell>,
     refresh_every: usize,
     metrics: Arc<ServeMetrics>,
-) -> CentroidTrainer {
+) -> OnlineLearner {
     let mut since_publish = 0usize;
     loop {
         match rx.recv() {
             Err(_) | Ok(TrainerMsg::Stop) => break,
             Ok(TrainerMsg::Observe { hv, label }) => {
+                let OnlineLearner::Classify(trainer) = &mut learner else {
+                    unreachable!("labelled observations are validated at the handle");
+                };
                 trainer
                     .observe(&hv, label)
                     .expect("labels are validated at the handle");
                 metrics.record_fit();
                 since_publish += 1;
                 if refresh_every > 0 && since_publish >= refresh_every {
-                    publish(&trainer, &generations);
+                    publish(&learner, &generations);
+                    since_publish = 0;
+                }
+            }
+            Ok(TrainerMsg::ObserveValue { hv, value }) => {
+                let OnlineLearner::Regress(trainer) = &mut learner else {
+                    unreachable!("value observations are validated at the handle");
+                };
+                trainer.observe(&hv, value);
+                metrics.record_fit();
+                since_publish += 1;
+                if refresh_every > 0 && since_publish >= refresh_every {
+                    publish(&learner, &generations);
                     since_publish = 0;
                 }
             }
             Ok(TrainerMsg::Refresh { reply }) => {
-                let id = publish(&trainer, &generations);
+                let id = publish(&learner, &generations);
                 since_publish = 0;
                 if let Some(reply) = reply {
                     let _ = reply.send(id);
@@ -917,14 +1381,13 @@ fn trainer_loop(
             }
         }
     }
-    trainer
+    learner
 }
 
-/// Finalizes the trainer's accumulators **off-lock** into an immutable
-/// classifier and swaps it in as the next generation.
-fn publish(trainer: &CentroidTrainer, generations: &GenerationCell) -> u64 {
-    let classifier = Arc::new(trainer.finish_deterministic(TieBreak::Alternate));
-    generations.publish(classifier)
+/// Finalizes the learner's accumulators **off-lock** into an immutable
+/// head and swaps it in as the next generation.
+fn publish(learner: &OnlineLearner, generations: &GenerationCell) -> u64 {
+    generations.publish(Arc::new(learner.finish()))
 }
 
 #[cfg(test)]
@@ -946,6 +1409,22 @@ mod tests {
             .collect();
         let labels: Vec<usize> = (0..48).map(|i| usize::from(i >= 24)).collect();
         model.fit_batch(&hours, &labels).unwrap();
+        model
+    }
+
+    fn trained_value_model(dim: usize, seed: u64) -> Model<Radians> {
+        let mut model = Pipeline::builder(dim)
+            .seed(seed)
+            .regression(0.0, 24.0, 24)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+        let values: Vec<f64> = (0..48).map(|i| f64::from(i) / 2.0).collect();
+        model.fit_value_batch(&hours, &values).unwrap();
         model
     }
 
@@ -974,6 +1453,8 @@ mod tests {
         let handle = runtime.handle();
         assert_eq!(handle.dim(), 512);
         assert_eq!(handle.classes(), 2);
+        assert!(handle.task().is_classification());
+        assert!(runtime.spec().task.is_classification());
 
         // Typed single predictions (server-side encode)…
         for (input, &label) in inputs.iter().zip(&expected) {
@@ -1006,6 +1487,100 @@ mod tests {
     }
 
     #[test]
+    fn regression_runtime_serves_values_bit_identically() {
+        let model = trained_value_model(512, 7);
+        let inputs: Vec<Radians> = (0..40)
+            .map(|i| Radians::periodic(f64::from(i) * 0.6, 24.0))
+            .collect();
+        let expected = model.predict_value_batch(&inputs);
+        let encoded = model.encode_batch(&inputs);
+
+        let runtime = Runtime::spawn(trained_value_model(512, 7), config(3, 8)).unwrap();
+        let handle = runtime.handle();
+        assert!(handle.task().is_regression());
+
+        for (input, &value) in inputs.iter().zip(&expected) {
+            let p = handle.predict_value("k", input).unwrap();
+            assert_eq!(p.value, value);
+            assert_eq!(p.generation, 0);
+        }
+        let many = handle
+            .predict_value_many(inputs.iter().enumerate().map(|(i, x)| (format!("k{i}"), x)))
+            .unwrap();
+        assert_eq!(many.iter().map(|p| p.value).collect::<Vec<_>>(), expected);
+        let pairs: Vec<(String, BinaryHypervector)> = encoded
+            .rows()
+            .enumerate()
+            .map(|(i, row)| (format!("k{i}"), row.to_hypervector()))
+            .collect();
+        let served = handle.predict_value_encoded_many(pairs).unwrap();
+        assert_eq!(served.iter().map(|p| p.value).collect::<Vec<_>>(), expected);
+
+        // Stats report the regression shape: no class set, live uptime.
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.classes, 0);
+        assert_eq!(stats.dim, 512);
+        assert!(stats.metrics.requests >= 120);
+
+        // The classification surface reports the mismatch without
+        // enqueueing anything.
+        assert!(matches!(
+            handle.predict("k", &inputs[0]),
+            Err(HdcError::TaskMismatch {
+                expected: "classification",
+                found: "regression"
+            })
+        ));
+        assert!(matches!(
+            handle.fit(&inputs[0], 0),
+            Err(HdcError::TaskMismatch { .. })
+        ));
+        let (_, learner) = runtime.shutdown();
+        assert!(learner.as_regress().is_some());
+        assert_eq!(learner.observed(), 48);
+    }
+
+    #[test]
+    fn online_value_fits_publish_generations_that_change_predictions() {
+        // Start from an untrained regression model; online observations
+        // must teach it the hour-of-day identity.
+        let blank = Pipeline::builder(512)
+            .seed(11)
+            .regression(0.0, 24.0, 24)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let reference = trained_value_model(512, 11);
+        let runtime = Runtime::spawn(blank, config(1, 4)).unwrap();
+        let handle = runtime.handle();
+        assert_eq!(handle.generation().id(), 0);
+
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+        for (i, hour) in hours.iter().enumerate() {
+            handle.fit_value(hour, f64::from(i as u32) / 2.0).unwrap();
+        }
+        let generation = handle.refresh().unwrap();
+        assert_eq!(generation, 1);
+
+        // After the publish the served values equal the reference model
+        // trained on the same 48 observations.
+        for hour in &hours {
+            let p = handle.predict_value("probe", hour).unwrap();
+            assert_eq!(p.value, reference.predict_value(hour));
+            assert_eq!(p.generation, 1);
+        }
+        let (_, learner) = runtime.shutdown();
+        assert_eq!(learner.observed(), 48);
+        assert!(matches!(
+            handle.fit_value(&hours[0], 0.0),
+            Err(HdcError::ServiceUnavailable)
+        ));
+    }
+
+    #[test]
     fn inserts_removes_and_shard_churn_round_trip() {
         let model = trained_model(256, 5);
         let hv = model.encode(&Radians(1.0));
@@ -1024,8 +1599,10 @@ mod tests {
             Err(HdcError::DimensionMismatch { .. })
         ));
 
-        let (fleet, _trainer) = runtime.shutdown();
+        assert!(handle.is_alive());
+        let (fleet, _learner) = runtime.shutdown();
         assert!(fleet.is_empty());
+        assert!(!handle.is_alive(), "liveness falls with the dispatcher");
         assert!(matches!(
             handle.remove("profile"),
             Err(HdcError::ServiceUnavailable)
@@ -1070,8 +1647,8 @@ mod tests {
         assert_eq!(morning.generation, 2);
 
         // The recovered trainer saw all 48 observations.
-        let (_, trainer) = runtime.shutdown();
-        assert_eq!(trainer.counts(), &[24, 24]);
+        let (_, learner) = runtime.shutdown();
+        assert_eq!(learner.as_classify().unwrap().counts(), &[24, 24]);
         assert!(matches!(
             handle.fit(&Radians(0.1), 0),
             Err(HdcError::ServiceUnavailable)
@@ -1100,12 +1677,24 @@ mod tests {
                 classes: 2
             })
         ));
+        // Regression ops on a classification runtime are refused up front.
+        assert!(matches!(
+            handle.predict_value("k", &Radians(0.1)),
+            Err(HdcError::TaskMismatch {
+                expected: "regression",
+                found: "classification"
+            })
+        ));
+        assert!(matches!(
+            handle.fit_value_encoded(BinaryHypervector::zeros(256), 0.5),
+            Err(HdcError::TaskMismatch { .. })
+        ));
         assert!(handle.predict_many(std::iter::empty()).unwrap().is_empty());
         runtime.shutdown();
     }
 
     #[test]
-    fn queue_depth_settles_back_to_zero() {
+    fn queue_depth_settles_back_to_zero_and_uptime_advances() {
         let runtime = Runtime::spawn(trained_model(256, 2), config(1, 16)).unwrap();
         let handle = runtime.handle();
         let inputs: Vec<Radians> = (0..64).map(|i| Radians(f64::from(i) * 0.1)).collect();
@@ -1115,6 +1704,84 @@ mod tests {
         let stats = handle.stats().unwrap();
         assert_eq!(stats.metrics.queue_depth, 0);
         assert_eq!(stats.metrics.requests, 64);
+        assert!(stats.uptime_us > 0);
+        assert!(handle.uptime().as_micros() >= u128::from(stats.uptime_us));
         runtime.shutdown();
+    }
+
+    #[test]
+    fn snapshot_on_shutdown_makes_the_next_spawn_warm() {
+        let path =
+            std::env::temp_dir().join(format!("hdc-runtime-snapshot-{}.hdcs", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // First life: train online, store an item, snapshot on shutdown.
+        let blank = Pipeline::builder(256)
+            .seed(21)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let mut first_config = config(2, 4);
+        first_config.snapshot_on_shutdown = Some(path.clone());
+        // A missing load path is a cold start, not an error.
+        first_config.load_snapshot = Some(path.clone());
+        let runtime = Runtime::spawn(blank, first_config).unwrap();
+        let handle = runtime.handle();
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+        for (i, hour) in hours.iter().enumerate() {
+            handle.fit(hour, usize::from(i >= 24)).unwrap();
+        }
+        handle.refresh().unwrap();
+        let profile = BinaryHypervector::zeros(256);
+        handle.insert("profile", profile.clone()).unwrap();
+        let first_answers: Vec<usize> = hours
+            .iter()
+            .map(|h| handle.predict("k", h).unwrap().label)
+            .collect();
+        runtime.shutdown();
+        assert!(path.exists(), "shutdown must write the snapshot");
+
+        // Second life: same blank model + load_snapshot → warm restart.
+        let blank = Pipeline::builder(256)
+            .seed(21)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let mut second_config = config(2, 4);
+        second_config.load_snapshot = Some(path.clone());
+        let runtime = Runtime::spawn(blank, second_config).unwrap();
+        let handle = runtime.handle();
+        // Item memory survived…
+        assert!(handle.insert("profile", profile).unwrap(), "entry restored");
+        // …and the trained state answers bit-identically without any fit.
+        let warm_answers: Vec<usize> = hours
+            .iter()
+            .map(|h| handle.predict("k", h).unwrap().label)
+            .collect();
+        assert_eq!(warm_answers, first_answers);
+        let (_, learner) = runtime.shutdown();
+        assert_eq!(learner.as_classify().unwrap().counts(), &[24, 24]);
+
+        // A mismatched model spec is refused at spawn.
+        let other = Pipeline::builder(256)
+            .seed(22)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap();
+        let mut bad_config = config(1, 4);
+        bad_config.load_snapshot = Some(path.clone());
+        assert!(matches!(
+            Runtime::spawn(other, bad_config),
+            Err(HdcError::Snapshot(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -32,7 +32,7 @@ use std::thread::{self, JoinHandle};
 
 use hdc_core::{BinaryHypervector, HdcError};
 
-use crate::runtime::{Prediction, RuntimeHandle, RuntimeStats};
+use crate::runtime::{Prediction, RuntimeHandle, RuntimeStats, ValuePrediction};
 use crate::wire::{self, Request, Response};
 
 /// A running TCP front-end over one serving runtime.
@@ -241,6 +241,32 @@ where
             Ok(stats) => Response::Stats(stats),
             Err(error) => fail(&error),
         },
+        Request::PredictValue { key, hv } => match handle.predict_value_encoded(key, hv) {
+            Ok(prediction) => Response::Value {
+                value: prediction.value,
+                generation: prediction.generation,
+            },
+            Err(error) => fail(&error),
+        },
+        Request::FitValue { value, hv } => match handle.fit_value_encoded(hv, value) {
+            Ok(()) => Response::FitAck,
+            Err(error) => fail(&error),
+        },
+        // The health probe never touches the dispatcher queue: liveness,
+        // generation and uptime are read straight off the handle's shared
+        // state, so a load balancer can poll at any rate without
+        // perturbing micro-batching — but a dead dispatcher (shutdown or
+        // panic) answers unhealthy, never a stale Pong.
+        Request::Ping => {
+            if handle.is_alive() {
+                Response::Pong {
+                    generation: handle.generation().id(),
+                    uptime_us: handle.uptime().as_micros() as u64,
+                }
+            } else {
+                fail(&HdcError::ServiceUnavailable)
+            }
+        }
     }
 }
 
@@ -419,6 +445,62 @@ impl BlockingClient {
             other => Err(Self::unexpected(&other)),
         }
     }
+
+    /// Predicts one keyed, encoded query's real-valued label — the
+    /// regression twin of [`predict`](Self::predict).
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error
+    /// (including a task mismatch on a classification runtime).
+    pub fn predict_value(
+        &mut self,
+        key: &str,
+        hv: &BinaryHypervector,
+    ) -> io::Result<ValuePrediction> {
+        let response = self.call(&Request::PredictValue {
+            key: key.to_owned(),
+            hv: hv.clone(),
+        })?;
+        response
+            .as_value_prediction()
+            .ok_or_else(|| Self::unexpected(&response))
+    }
+
+    /// Enqueues one encoded `(query, value)` training observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn fit_value(&mut self, hv: &BinaryHypervector, value: f64) -> io::Result<()> {
+        match self.call(&Request::FitValue {
+            value,
+            hv: hv.clone(),
+        })? {
+            Response::FitAck => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Probes liveness without issuing a prediction: returns
+    /// `(generation, uptime_us)` straight from the connection handler —
+    /// nothing enters the dispatcher queue, so load balancers can poll
+    /// this at any rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure, or a server-side error
+    /// once the runtime behind the server has shut down (or its
+    /// dispatcher died) — the unhealthy signal the probe exists for.
+    pub fn ping(&mut self) -> io::Result<(u64, u64)> {
+        match self.call(&Request::Ping)? {
+            Response::Pong {
+                generation,
+                uptime_us,
+            } => Ok((generation, uptime_us)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -462,7 +544,15 @@ mod tests {
         assert_eq!(stats.dim, 256);
         assert_eq!(stats.metrics.requests, 24);
 
-        server.shutdown();
+        // The health probe answers while the runtime lives…
+        let (generation, uptime_us) = client.ping().unwrap();
+        assert_eq!(generation, 0);
+        assert!(uptime_us > 0);
+        // …and turns unhealthy the moment the runtime is gone, even though
+        // the server (and its Arc'd generation/uptime state) is still up —
+        // a load balancer must never keep a dead backend in rotation.
         runtime.shutdown();
+        assert!(client.ping().is_err(), "ping must fail after shutdown");
+        server.shutdown();
     }
 }

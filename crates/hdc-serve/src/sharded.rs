@@ -21,10 +21,45 @@ use std::hash::Hash;
 
 use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, ItemMemory};
 use hdc_hash::HdcHashRing;
-use hdc_learn::CentroidClassifier;
+use hdc_learn::{CentroidClassifier, RegressionModel};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::Model;
+
+/// The replicated, task-specific half of a serving fleet: the finalized
+/// model every shard answers queries with. Classification fleets replicate
+/// a [`CentroidClassifier`]; regression fleets replicate a
+/// [`RegressionModel`] (integer readout). Either way the head is
+/// *stateless* at serving time — swapping it (online-learning generation
+/// publishes) is one fleet-wide assignment, and routing only ever decides
+/// *where* a query is answered, never *what* the answer is.
+#[derive(Debug, Clone)]
+pub enum Head {
+    /// Nearest-class-vector classification.
+    Classes(CentroidClassifier),
+    /// Integer-readout associative regression.
+    Values(RegressionModel),
+}
+
+impl Head {
+    /// Query dimensionality `d` this head answers.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            Head::Classes(classifier) => classifier.class_vector(0).dim(),
+            Head::Values(model) => model.label_encoder().dim(),
+        }
+    }
+
+    /// The task family name, for diagnostics.
+    #[must_use]
+    pub fn task_name(&self) -> &'static str {
+        match self {
+            Head::Classes(_) => "classification",
+            Head::Values(_) => "regression",
+        }
+    }
+}
 
 /// Ring geometry of a [`ShardedModel`]: how many sectors the consistent-
 /// hash circle is quantized into, the dimensionality of the ring's own
@@ -82,7 +117,7 @@ impl Default for RingConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ShardedModel<K: Hash + Eq + Clone = u64> {
-    classifier: CentroidClassifier,
+    head: Head,
     dim: usize,
     ring: HdcHashRing<usize>,
     shards: Vec<(usize, ItemMemory<K>)>,
@@ -91,9 +126,9 @@ pub struct ShardedModel<K: Hash + Eq + Clone = u64> {
 }
 
 impl<K: Hash + Eq + Clone> ShardedModel<K> {
-    /// Creates a fleet of `shards` shards serving `classifier` over
-    /// `dim`-bit queries, with the default [`RingConfig`]. The ring's
-    /// circular basis is drawn from `seed`.
+    /// Creates a classification fleet of `shards` shards serving
+    /// `classifier` over `dim`-bit queries, with the default
+    /// [`RingConfig`]. The ring's circular basis is drawn from `seed`.
     ///
     /// # Errors
     ///
@@ -105,7 +140,13 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
         shards: usize,
         seed: u64,
     ) -> Result<Self, HdcError> {
-        Self::with_ring(classifier, dim, shards, RingConfig::default(), seed)
+        Self::with_head(
+            Head::Classes(classifier),
+            dim,
+            shards,
+            RingConfig::default(),
+            seed,
+        )
     }
 
     /// [`new`](Self::new) with an explicit ring geometry.
@@ -116,6 +157,24 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
     /// invalid.
     pub fn with_ring(
         classifier: CentroidClassifier,
+        dim: usize,
+        shards: usize,
+        config: RingConfig,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        Self::with_head(Head::Classes(classifier), dim, shards, config, seed)
+    }
+
+    /// The task-polymorphic constructor every other constructor funnels
+    /// into: a fleet serving any [`Head`] (classification *or* regression)
+    /// over `dim`-bit queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError`] if `shards == 0`, `dim == 0` or the ring
+    /// geometry is invalid.
+    pub fn with_head(
+        head: Head,
         dim: usize,
         shards: usize,
         config: RingConfig,
@@ -139,7 +198,7 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
             shard_memories.push((id, ItemMemory::new()));
         }
         Ok(Self {
-            classifier,
+            head,
             dim,
             ring,
             shards: shard_memories,
@@ -149,7 +208,7 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
     }
 
     /// Builds a fleet straight from a trained [`Model`], replicating its
-    /// finalized classifier.
+    /// finalized head (classifier or regressor, per the model's task).
     ///
     /// # Errors
     ///
@@ -159,7 +218,12 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
         shards: usize,
         seed: u64,
     ) -> Result<Self, HdcError> {
-        Self::new(model.classifier().clone(), model.dim(), shards, seed)
+        let head = if model.task().is_classification() {
+            Head::Classes(model.classifier().clone())
+        } else {
+            Head::Values(model.regressor().clone())
+        };
+        Self::with_head(head, model.dim(), shards, RingConfig::default(), seed)
     }
 
     /// Number of live shards.
@@ -181,40 +245,92 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
     }
 
     /// Number of classes of the replicated classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression fleet (which has no class set).
     #[must_use]
     pub fn classes(&self) -> usize {
-        self.classifier.classes()
+        self.classifier().classes()
+    }
+
+    /// The replicated head (classifier or regressor).
+    #[must_use]
+    pub fn head(&self) -> &Head {
+        &self.head
     }
 
     /// The replicated classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a regression fleet — use [`regressor`](Self::regressor).
     #[must_use]
     pub fn classifier(&self) -> &CentroidClassifier {
-        &self.classifier
+        match &self.head {
+            Head::Classes(classifier) => classifier,
+            Head::Values(_) => {
+                panic!("classifier() requires a classification fleet, found regression")
+            }
+        }
     }
 
-    /// Swaps in a new replicated classifier across every shard at once — the
-    /// hook versioned online learning publishes class-vector generations
-    /// through. Because the classifier is replicated (not sharded), one swap
-    /// is atomic for the whole fleet: every query batch served after this
-    /// call sees the new generation, none sees a mix.
+    /// The replicated regression model.
     ///
-    /// The class *count* may change between generations (a new class came
-    /// online); the dimensionality may not.
+    /// # Panics
+    ///
+    /// Panics on a classification fleet — use
+    /// [`classifier`](Self::classifier).
+    #[must_use]
+    pub fn regressor(&self) -> &RegressionModel {
+        match &self.head {
+            Head::Values(model) => model,
+            Head::Classes(_) => {
+                panic!("regressor() requires a regression fleet, found classification")
+            }
+        }
+    }
+
+    /// Swaps in a new replicated head across every shard at once — the hook
+    /// versioned online learning publishes generations through. Because the
+    /// head is replicated (not sharded), one swap is atomic for the whole
+    /// fleet: every query batch served after this call sees the new
+    /// generation, none sees a mix.
+    ///
+    /// The class *count* (or label table) may change between generations;
+    /// the dimensionality may not.
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::DimensionMismatch`] if the new class-vectors'
+    /// Returns [`HdcError::DimensionMismatch`] if the new head's
     /// dimensionality differs from the fleet's.
-    pub fn set_classifier(&mut self, classifier: CentroidClassifier) -> Result<(), HdcError> {
-        let found = classifier.class_vector(0).dim();
+    pub fn set_head(&mut self, head: Head) -> Result<(), HdcError> {
+        let found = head.dim();
         if found != self.dim {
             return Err(HdcError::DimensionMismatch {
                 expected: self.dim,
                 found,
             });
         }
-        self.classifier = classifier;
+        self.head = head;
         Ok(())
+    }
+
+    /// [`set_head`](Self::set_head) for a classification generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the new class-vectors'
+    /// dimensionality differs from the fleet's.
+    pub fn set_classifier(&mut self, classifier: CentroidClassifier) -> Result<(), HdcError> {
+        self.set_head(Head::Classes(classifier))
+    }
+
+    /// All stored `(key, hypervector)` entries across every shard, in
+    /// shard-creation order — what a runtime snapshot captures before
+    /// shutdown.
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &BinaryHypervector)> {
+        self.shards.iter().flat_map(|(_, memory)| memory.iter())
     }
 
     /// Per-shard entry counts, in creation order — the load signal serving
@@ -388,16 +504,28 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
             .and_then(|(_, memory)| memory.get(key))
     }
 
-    /// Predicts one encoded query (served by whichever shard — the
-    /// classifier is replicated, so no routing is needed for a single
-    /// stateless prediction).
+    /// Predicts one encoded query (served by whichever shard — the head is
+    /// replicated, so no routing is needed for a single stateless
+    /// prediction).
     ///
     /// # Panics
     ///
-    /// Panics if the query's dimensionality differs from the fleet's.
+    /// Panics on a regression fleet, or if the query's dimensionality
+    /// differs from the fleet's.
     #[must_use]
     pub fn predict(&self, query: &BinaryHypervector) -> usize {
-        self.classifier.predict(query)
+        self.classifier().predict(query)
+    }
+
+    /// Predicts one encoded query's real-valued label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a classification fleet, or if the query's dimensionality
+    /// differs from the fleet's.
+    #[must_use]
+    pub fn predict_value(&self, query: &BinaryHypervector) -> f64 {
+        self.regressor().predict(query)
     }
 
     /// Routes a keyed batch: for each shard (in creation order) the input
@@ -434,14 +562,63 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
     ///
     /// # Errors
     ///
-    /// Returns [`HdcError::BatchLengthMismatch`] if `keys` and `queries`
-    /// disagree in length and [`HdcError::DimensionMismatch`] if the batch
+    /// Returns [`HdcError::TaskMismatch`] on a regression fleet,
+    /// [`HdcError::BatchLengthMismatch`] if `keys` and `queries` disagree
+    /// in length and [`HdcError::DimensionMismatch`] if the batch
     /// dimensionality differs from the fleet's.
     pub fn predict_batch<Q: Hash + Sync>(
         &self,
         keys: &[Q],
         queries: &HypervectorBatch,
     ) -> Result<Vec<usize>, HdcError> {
+        let Head::Classes(classifier) = &self.head else {
+            return Err(HdcError::TaskMismatch {
+                expected: "classification",
+                found: self.head.task_name(),
+            });
+        };
+        self.predict_routed(keys, queries, |sub| classifier.predict_rows(sub))
+    }
+
+    /// Serves a keyed **value** query batch — the regression twin of
+    /// [`predict_batch`](Self::predict_batch): route per shard, batched
+    /// integer-readout `predict_rows` per shard on the worker pool, merge
+    /// in input order. Bit-identical to the unsharded
+    /// [`Model::predict_values_encoded`](crate::Model::predict_values_encoded)
+    /// for any shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::TaskMismatch`] on a classification fleet,
+    /// [`HdcError::BatchLengthMismatch`] if `keys` and `queries` disagree
+    /// in length and [`HdcError::DimensionMismatch`] if the batch
+    /// dimensionality differs from the fleet's.
+    pub fn predict_values<Q: Hash + Sync>(
+        &self,
+        keys: &[Q],
+        queries: &HypervectorBatch,
+    ) -> Result<Vec<f64>, HdcError> {
+        let Head::Values(model) = &self.head else {
+            return Err(HdcError::TaskMismatch {
+                expected: "regression",
+                found: self.head.task_name(),
+            });
+        };
+        self.predict_routed(keys, queries, |sub| model.predict_rows(sub))
+    }
+
+    /// The shared routed-serving path behind both prediction types: route
+    /// rows to shards, ship each shard its own contiguous sub-batch (what a
+    /// real fleet would put on the wire), run the head's batched predictor
+    /// per shard fanned out across the pool, and merge the answers back in
+    /// input order. Workers write disjoint groups and the merge is by input
+    /// order, so the output is deterministic regardless of scheduling.
+    fn predict_routed<Q: Hash + Sync, T: Default + Clone + Send>(
+        &self,
+        keys: &[Q],
+        queries: &HypervectorBatch,
+        predict: impl Fn(&HypervectorBatch) -> Vec<T> + Sync,
+    ) -> Result<Vec<T>, HdcError> {
         if keys.len() != queries.len() {
             return Err(HdcError::BatchLengthMismatch {
                 rows: queries.len(),
@@ -454,8 +631,6 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
                 found: queries.dim(),
             });
         }
-        // Route rows to shards, then ship each shard its own contiguous
-        // sub-batch (what a real fleet would put on the wire).
         let groups = self.route(keys);
         let sub_batches: Vec<HypervectorBatch> = groups
             .iter()
@@ -467,16 +642,11 @@ impl<K: Hash + Eq + Clone> ShardedModel<K> {
                 sub
             })
             .collect();
-        // One predict_rows per shard, fanned out across the pool. Workers
-        // write disjoint groups and results merge by input order below, so
-        // the output is deterministic regardless of scheduling.
-        let classifier = &self.classifier;
-        let per_shard: Vec<Vec<usize>> =
-            minipool::par_map_indexed(&sub_batches, |_, sub| classifier.predict_rows(sub));
-        let mut merged = vec![0usize; queries.len()];
-        for ((_, rows), labels) in groups.iter().zip(&per_shard) {
-            for (&row, &label) in rows.iter().zip(labels) {
-                merged[row] = label;
+        let per_shard: Vec<Vec<T>> = minipool::par_map_indexed(&sub_batches, |_, sub| predict(sub));
+        let mut merged = vec![T::default(); queries.len()];
+        for ((_, rows), answers) in groups.iter().zip(&per_shard) {
+            for (&row, answer) in rows.iter().zip(answers) {
+                merged[row] = answer.clone();
             }
         }
         Ok(merged)
@@ -696,6 +866,58 @@ mod tests {
         assert!((0.0..1.0).contains(&fraction), "fraction {fraction}");
         assert!(fleet.remove_shard(id));
         assert!(fleet.last_remap_fraction().is_some());
+    }
+
+    #[test]
+    fn regression_fleet_is_bit_identical_to_the_unsharded_model() {
+        use crate::{Enc, Pipeline};
+
+        let mut model = Pipeline::builder(2_048)
+            .seed(13)
+            .regression(0.0, 1.0, 32)
+            .encoder(Enc::scalar(0.0, 1.0))
+            .build()
+            .unwrap();
+        let xs: Vec<f64> = (0..80).map(|i| i as f64 / 79.0).collect();
+        model.fit_value_batch(&xs, &xs).unwrap();
+        let queries = model.encode_batch(&xs);
+        let expected = model.predict_values_encoded(&queries);
+
+        for shards in [1usize, 2, 5] {
+            let fleet: ShardedModel<String> = ShardedModel::from_model(&model, shards, 3).unwrap();
+            assert!(matches!(fleet.head(), Head::Values(_)));
+            assert_eq!(fleet.head().task_name(), "regression");
+            let keys: Vec<String> = (0..xs.len()).map(|i| format!("s{i}")).collect();
+            assert_eq!(
+                fleet.predict_values(&keys, &queries).unwrap(),
+                expected,
+                "{shards} shards"
+            );
+            // Single-query form agrees row by row.
+            assert_eq!(
+                fleet.predict_value(&queries.row(7).to_hypervector()),
+                expected[7]
+            );
+            // The classification surface reports the task mismatch.
+            assert!(matches!(
+                fleet.predict_batch(&keys, &queries),
+                Err(HdcError::TaskMismatch {
+                    expected: "classification",
+                    found: "regression"
+                })
+            ));
+        }
+        // And the other direction: a classification fleet refuses values.
+        let (fleet, mut rng) = fleet(2);
+        let batch =
+            HypervectorBatch::from_vectors(&[BinaryHypervector::random(1_024, &mut rng)]).unwrap();
+        assert!(matches!(
+            fleet.predict_values(&["a"], &batch),
+            Err(HdcError::TaskMismatch {
+                expected: "regression",
+                found: "classification"
+            })
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! frame    := u32 length, payload[length]
-//! payload  := u8 version (=1), u8 opcode, body
+//! payload  := u8 version (=2), u8 opcode, body
 //! string   := u16 length, utf8 bytes
 //! hv       := u32 dim, u64 words[dim.div_ceil(64)]   (packed LSB-first)
 //! ```
@@ -18,16 +18,21 @@
 //! unknown versions/opcodes and malformed bodies decode to
 //! `io::ErrorKind::InvalidData` — a server answers those with
 //! [`Response::Error`] rather than dying.
+//!
+//! Protocol version 2 (PR 5) added the regression operations
+//! (`predict_value`/`fit_value`), the `ping` health probe, and the
+//! `uptime_us` field in `stats`.
 
 use std::io::{self, Read, Write};
 
 use hdc_core::BinaryHypervector;
 
+use crate::codec::{invalid, put_f64, put_hv, put_string, put_u16, put_u32, put_u64, Cursor};
 use crate::metrics::MetricsSnapshot;
-use crate::runtime::{Prediction, RuntimeStats};
+use crate::runtime::{Prediction, RuntimeStats, ValuePrediction};
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload (16 MiB): a 256-row batch of
 /// 100k-bit queries is ~3 MiB, so real traffic sits far below while a
@@ -69,7 +74,7 @@ pub enum Request {
         /// Encoded observation.
         hv: BinaryHypervector,
     },
-    /// Force-publish a new class-vector generation (opcode 6).
+    /// Force-publish a new generation (opcode 6).
     Refresh,
     /// Add a shard to the fleet (opcode 7).
     AddShard,
@@ -80,6 +85,26 @@ pub enum Request {
     },
     /// Snapshot runtime statistics (opcode 9).
     Stats,
+    /// Predict one keyed, encoded query's real-valued label (opcode 10) —
+    /// the regression twin of `Predict`.
+    PredictValue {
+        /// Routing key.
+        key: String,
+        /// Encoded query.
+        hv: BinaryHypervector,
+    },
+    /// Fold one encoded `(query, value)` training observation into the
+    /// online regression trainer (opcode 11).
+    FitValue {
+        /// Real-valued label of the observation.
+        value: f64,
+        /// Encoded observation.
+        hv: BinaryHypervector,
+    },
+    /// Liveness/health probe (opcode 12): answered directly by the
+    /// connection handler — no prediction is issued and nothing enters the
+    /// dispatcher queue, so load balancers can poll it at any rate.
+    Ping,
 }
 
 /// A server → client reply.
@@ -89,7 +114,7 @@ pub enum Response {
     Label {
         /// Predicted class label.
         label: u32,
-        /// Class-vector generation that served the prediction.
+        /// Generation that served the prediction.
         generation: u64,
     },
     /// Answer to [`Request::PredictBatch`] (opcode 2): per-query
@@ -108,7 +133,8 @@ pub enum Response {
         /// `true` if the key was stored.
         removed: bool,
     },
-    /// Answer to [`Request::Fit`] (opcode 5): the observation is enqueued.
+    /// Answer to [`Request::Fit`] and [`Request::FitValue`] (opcode 5):
+    /// the observation is enqueued.
     FitAck,
     /// Answer to [`Request::Refresh`] (opcode 6).
     Refreshed {
@@ -127,6 +153,20 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`] (opcode 9).
     Stats(RuntimeStats),
+    /// Answer to [`Request::PredictValue`] (opcode 10).
+    Value {
+        /// Predicted real-valued label.
+        value: f64,
+        /// Generation that served the prediction.
+        generation: u64,
+    },
+    /// Answer to [`Request::Ping`] (opcode 12).
+    Pong {
+        /// Currently published generation.
+        generation: u64,
+        /// Microseconds since the runtime spawned.
+        uptime_us: u64,
+    },
     /// Any request the server could not serve (opcode 255).
     Error {
         /// Human-readable reason.
@@ -147,123 +187,16 @@ impl Response {
             _ => None,
         }
     }
-}
 
-// --- body writers ------------------------------------------------------
-
-fn put_u16(buf: &mut Vec<u8>, value: u16) {
-    buf.extend_from_slice(&value.to_be_bytes());
-}
-
-fn put_u32(buf: &mut Vec<u8>, value: u32) {
-    buf.extend_from_slice(&value.to_be_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, value: u64) {
-    buf.extend_from_slice(&value.to_be_bytes());
-}
-
-fn put_f64(buf: &mut Vec<u8>, value: f64) {
-    buf.extend_from_slice(&value.to_be_bytes());
-}
-
-fn put_string(buf: &mut Vec<u8>, value: &str) -> io::Result<()> {
-    let len = u16::try_from(value.len()).map_err(|_| {
-        invalid(format!(
-            "key of {} bytes exceeds the u16 limit",
-            value.len()
-        ))
-    })?;
-    put_u16(buf, len);
-    buf.extend_from_slice(value.as_bytes());
-    Ok(())
-}
-
-fn put_hv(buf: &mut Vec<u8>, hv: &BinaryHypervector) -> io::Result<()> {
-    let dim = u32::try_from(hv.dim()).map_err(|_| invalid("dimension exceeds u32"))?;
-    put_u32(buf, dim);
-    for word in hv.as_words() {
-        put_u64(buf, *word);
-    }
-    Ok(())
-}
-
-// --- body readers ------------------------------------------------------
-
-struct Cursor<'a> {
-    body: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
-        let end = self
-            .at
-            .checked_add(n)
-            .filter(|&end| end <= self.body.len())
-            .ok_or_else(|| invalid("truncated frame body"))?;
-        let slice = &self.body[self.at..end];
-        self.at = end;
-        Ok(slice)
-    }
-
-    fn u16(&mut self) -> io::Result<u16> {
-        Ok(u16::from_be_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
-    }
-
-    fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_be_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn f64(&mut self) -> io::Result<f64> {
-        Ok(f64::from_be_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    fn string(&mut self) -> io::Result<String> {
-        let len = self.u16()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("key is not valid UTF-8"))
-    }
-
-    fn hv(&mut self) -> io::Result<BinaryHypervector> {
-        let dim = self.u32()? as usize;
-        if dim == 0 {
-            return Err(invalid("hypervector dimension 0"));
+    /// Convenience: the `(value, generation)` pair as a
+    /// [`ValuePrediction`], if this is a `Value` response.
+    #[must_use]
+    pub fn as_value_prediction(&self) -> Option<ValuePrediction> {
+        match *self {
+            Response::Value { value, generation } => Some(ValuePrediction { value, generation }),
+            _ => None,
         }
-        let words = dim.div_ceil(64);
-        let mut packed = Vec::with_capacity(words);
-        for _ in 0..words {
-            packed.push(self.u64()?);
-        }
-        let rem = dim % 64;
-        if rem != 0 && packed.last().is_some_and(|&last| last >> rem != 0) {
-            return Err(invalid("bits set beyond the hypervector dimension"));
-        }
-        Ok(BinaryHypervector::from_words(dim, packed))
     }
-
-    fn finish(self) -> io::Result<()> {
-        if self.at != self.body.len() {
-            return Err(invalid("trailing bytes after frame body"));
-        }
-        Ok(())
-    }
-}
-
-fn invalid(message: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
 // --- framing -----------------------------------------------------------
@@ -360,6 +293,17 @@ pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<(
             8
         }
         Request::Stats => 9,
+        Request::PredictValue { key, hv } => {
+            put_string(&mut body, key)?;
+            put_hv(&mut body, hv)?;
+            10
+        }
+        Request::FitValue { value, hv } => {
+            put_f64(&mut body, *value);
+            put_hv(&mut body, hv)?;
+            11
+        }
+        Request::Ping => 12,
     };
     write_frame(writer, opcode, &body)
 }
@@ -374,7 +318,7 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
     let Some((opcode, body)) = read_frame(reader)? else {
         return Ok(None);
     };
-    let mut cursor = Cursor { body: &body, at: 0 };
+    let mut cursor = Cursor::new(&body);
     let request = match opcode {
         1 => Request::Predict {
             key: cursor.string()?,
@@ -403,6 +347,15 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
         7 => Request::AddShard,
         8 => Request::RemoveShard { id: cursor.u32()? },
         9 => Request::Stats,
+        10 => Request::PredictValue {
+            key: cursor.string()?,
+            hv: cursor.hv()?,
+        },
+        11 => Request::FitValue {
+            value: cursor.f64()?,
+            hv: cursor.hv()?,
+        },
+        12 => Request::Ping,
         other => return Err(invalid(format!("unknown request opcode {other}"))),
     };
     cursor.finish()?;
@@ -459,6 +412,19 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
             put_stats(&mut body, stats)?;
             9
         }
+        Response::Value { value, generation } => {
+            put_f64(&mut body, *value);
+            put_u64(&mut body, *generation);
+            10
+        }
+        Response::Pong {
+            generation,
+            uptime_us,
+        } => {
+            put_u64(&mut body, *generation);
+            put_u64(&mut body, *uptime_us);
+            12
+        }
         Response::Error { message } => {
             // Truncation keeps the byte length well under put_string's
             // u16 limit even for 4-byte code points.
@@ -480,7 +446,7 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
     let Some((opcode, body)) = read_frame(reader)? else {
         return Ok(None);
     };
-    let mut cursor = Cursor { body: &body, at: 0 };
+    let mut cursor = Cursor::new(&body);
     let response = match opcode {
         1 => Response::Label {
             label: cursor.u32()?,
@@ -509,6 +475,14 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
             removed: cursor.take(1)?[0] != 0,
         },
         9 => Response::Stats(read_stats(&mut cursor)?),
+        10 => Response::Value {
+            value: cursor.f64()?,
+            generation: cursor.u64()?,
+        },
+        12 => Response::Pong {
+            generation: cursor.u64()?,
+            uptime_us: cursor.u64()?,
+        },
         255 => {
             let len = cursor.u16()? as usize;
             let bytes = cursor.take(len)?;
@@ -524,6 +498,7 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
 
 fn put_stats(body: &mut Vec<u8>, stats: &RuntimeStats) -> io::Result<()> {
     put_u64(body, stats.generation);
+    put_u64(body, stats.uptime_us);
     put_u64(body, stats.dim);
     put_u64(body, stats.classes);
     let shards =
@@ -563,6 +538,7 @@ fn put_stats(body: &mut Vec<u8>, stats: &RuntimeStats) -> io::Result<()> {
 
 fn read_stats(cursor: &mut Cursor<'_>) -> io::Result<RuntimeStats> {
     let generation = cursor.u64()?;
+    let uptime_us = cursor.u64()?;
     let dim = cursor.u64()?;
     let classes = cursor.u64()?;
     let shards = cursor.u16()? as usize;
@@ -589,6 +565,7 @@ fn read_stats(cursor: &mut Cursor<'_>) -> io::Result<RuntimeStats> {
     }
     Ok(RuntimeStats {
         generation,
+        uptime_us,
         dim,
         classes,
         shard_loads,
@@ -659,6 +636,15 @@ mod tests {
         round_trip_request(Request::AddShard);
         round_trip_request(Request::RemoveShard { id: 7 });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::PredictValue {
+            key: "station-7".into(),
+            hv: hv(100, 4),
+        });
+        round_trip_request(Request::FitValue {
+            value: -12.75,
+            hv: hv(129, 5),
+        });
+        round_trip_request(Request::Ping);
     }
 
     #[test]
@@ -676,11 +662,20 @@ mod tests {
         round_trip_response(Response::Refreshed { generation: 17 });
         round_trip_response(Response::ShardAdded { id: 5 });
         round_trip_response(Response::ShardRemoved { removed: true });
+        round_trip_response(Response::Value {
+            value: 23.5,
+            generation: 3,
+        });
+        round_trip_response(Response::Pong {
+            generation: 12,
+            uptime_us: 9_876_543,
+        });
         round_trip_response(Response::Error {
             message: "dimension mismatch: expected 512, found 64".into(),
         });
         round_trip_response(Response::Stats(RuntimeStats {
             generation: 3,
+            uptime_us: 120_000,
             dim: 512,
             classes: 4,
             shard_loads: vec![(0, 10), (1, 0), (5, 3)],
@@ -702,6 +697,7 @@ mod tests {
         }));
         round_trip_response(Response::Stats(RuntimeStats {
             generation: 0,
+            uptime_us: 0,
             dim: 64,
             classes: 2,
             shard_loads: Vec::new(),
@@ -758,8 +754,8 @@ mod tests {
         framed.extend_from_slice(&[PROTOCOL_VERSION, 1]);
         assert!(read_request(&mut framed.as_slice()).is_err());
 
-        // Wrong version.
-        let mut wrong = vec![0, 0, 0, 2, 9, 1];
+        // Wrong version (the old v1 framing is refused, not misread).
+        let mut wrong = vec![0, 0, 0, 2, 1, 1];
         assert!(read_request(&mut wrong.as_slice()).is_err());
         wrong[4] = PROTOCOL_VERSION;
         wrong[5] = 200; // unknown opcode

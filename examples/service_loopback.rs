@@ -134,11 +134,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.metrics.fits, 1);
 
     server.shutdown();
-    let (fleet, trainer) = runtime.shutdown();
+    let (fleet, learner) = runtime.shutdown();
     println!(
         "shutdown: fleet holds {} entries, trainer saw {} observations",
         fleet.len(),
-        trainer.counts().iter().sum::<usize>()
+        learner.observed()
     );
     Ok(())
 }

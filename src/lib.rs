@@ -78,6 +78,7 @@ pub use hdc_core::{
 };
 pub use hdc_encode::{Encoder, FeatureRecordEncoder, FieldSpec, Radians};
 pub use hdc_serve::{
-    Basis, BatchPolicy, BlockingClient, Enc, Model, Pipeline, Prediction, RingConfig, Runtime,
-    RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardedModel,
+    Basis, BatchPolicy, BlockingClient, Enc, EncSpec, Model, Pipeline, PipelineSpec, Prediction,
+    RingConfig, Runtime, RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardedModel,
+    Snapshot, Task, ValuePrediction,
 };

@@ -195,8 +195,160 @@ fn online_fit_over_the_wire_publishes_new_generations() {
     assert_eq!(stats.metrics.fits, 48);
 
     server.shutdown();
-    let (_, trainer) = runtime.shutdown();
-    assert_eq!(trainer.counts(), &[24, 24]);
+    let (_, learner) = runtime.shutdown();
+    assert_eq!(learner.as_classify().unwrap().counts(), &[24, 24]);
+}
+
+/// A small trained regression pipeline over the same daily circle
+/// (hour-of-day as the real-valued label). Deterministic per seed.
+fn trained_value_model(dim: usize, seed: u64) -> Model<Radians> {
+    let mut model = Pipeline::builder(dim)
+        .seed(seed)
+        .regression(0.0, 24.0, 24)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    let values: Vec<f64> = (0..48).map(|i| f64::from(i) / 2.0).collect();
+    model
+        .fit_value_batch(&hours, &values)
+        .expect("valid training set");
+    model
+}
+
+/// Acceptance criterion (PR 5): `predict_value` over framed TCP matches
+/// direct `Model::predict_value` **exactly** (bit-identical f64s), for
+/// single clients and for concurrent clients whose requests coalesce into
+/// shared micro-batches — and the `ping` probe answers without issuing a
+/// prediction.
+#[test]
+fn framed_tcp_value_predictions_are_bit_identical_to_the_direct_model() {
+    let model = trained_value_model(512, 19);
+    let inputs: Vec<Radians> = (0..60).map(|i| Radians(f64::from(i) * 0.11)).collect();
+    let queries = model.encode_batch(&inputs);
+    let expected = model.predict_values_encoded(&queries);
+    let keys: Vec<String> = (0..inputs.len()).map(|i| format!("station-{i}")).collect();
+    // The sharded fleet agrees with the model, and the service must agree
+    // with both.
+    let fleet: ShardedModel<String> = ShardedModel::from_model(&model, 3, 0).expect("valid fleet");
+    assert_eq!(
+        fleet.predict_values(&keys, &queries).expect("routable"),
+        expected
+    );
+
+    let runtime =
+        Runtime::spawn(trained_value_model(512, 19), serving_config(3, 16)).expect("valid runtime");
+    let server = Server::spawn("127.0.0.1:0", runtime.handle()).expect("ephemeral port");
+    let addr = server.local_addr();
+
+    // One client, one request frame per query.
+    let mut client = BlockingClient::connect(addr).expect("loopback connect");
+    for ((key, row), &value) in keys.iter().zip(queries.rows()).zip(&expected) {
+        let prediction = client
+            .predict_value(key, &row.to_hypervector())
+            .expect("served value");
+        assert_eq!(prediction.value, value, "key {key}");
+        assert_eq!(prediction.generation, 0);
+    }
+
+    // The ping probe reports liveness without touching the queue: the
+    // request counter must not move.
+    let before = client.stats().expect("stats").metrics.requests;
+    let (generation, uptime_us) = client.ping().expect("pong");
+    assert_eq!(generation, 0);
+    assert!(uptime_us > 0);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.metrics.requests, before, "ping issued no prediction");
+    assert_eq!(stats.classes, 0, "regression stats carry no class set");
+    assert!(stats.uptime_us >= uptime_us);
+
+    // Four concurrent clients: interleaved value frames coalesce into
+    // shared micro-batches; answers must not change.
+    let pairs: Vec<(String, BinaryHypervector)> = keys
+        .iter()
+        .cloned()
+        .zip(queries.rows().map(|row| row.to_hypervector()))
+        .collect();
+    let pairs = Arc::new(pairs);
+    let expected = Arc::new(expected);
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let pairs = Arc::clone(&pairs);
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || {
+                let mut client = BlockingClient::connect(addr).expect("loopback connect");
+                for ((key, hv), &value) in pairs.iter().zip(expected.iter()) {
+                    let prediction = client.predict_value(key, hv).expect("served value");
+                    assert_eq!(prediction.value, value, "key {key}");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // A classification frame against a regression runtime is answered
+    // in-band with an error; the connection survives.
+    assert!(client.predict("station-0", &pairs[0].1).is_err());
+    let (generation, _) = client.ping().expect("connection survived");
+    assert_eq!(generation, 0);
+
+    server.shutdown();
+    let (_, learner) = runtime.shutdown();
+    assert_eq!(learner.observed(), 48);
+}
+
+/// Online regression learning over the wire: `fit_value` + `refresh`
+/// publish a generation whose served values equal the reference model
+/// trained on the same observations.
+#[test]
+fn online_value_fit_over_the_wire_publishes_new_generations() {
+    let blank = Pipeline::builder(512)
+        .seed(23)
+        .regression(0.0, 24.0, 24)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let reference = trained_value_model(512, 23);
+
+    let runtime = Runtime::spawn(blank, serving_config(1, 8)).expect("valid runtime");
+    let server = Server::spawn("127.0.0.1:0", runtime.handle()).expect("ephemeral port");
+    let mut client = BlockingClient::connect(server.local_addr()).expect("connect");
+
+    let hours: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    for (i, hour) in hours.iter().enumerate() {
+        client
+            .fit_value(&reference.encode(hour), f64::from(i as u32) / 2.0)
+            .expect("fit ack");
+    }
+    let generation = client.refresh().expect("refresh");
+    assert_eq!(generation, 1);
+
+    for hour in &hours {
+        let prediction = client
+            .predict_value("probe", &reference.encode(hour))
+            .expect("served value");
+        assert_eq!(prediction.value, reference.predict_value(hour));
+        assert_eq!(prediction.generation, 1);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.metrics.fits, 48);
+    let (generation, _) = client.ping().expect("pong");
+    assert_eq!(generation, 1);
+
+    server.shutdown();
+    let (_, learner) = runtime.shutdown();
+    assert_eq!(
+        learner.as_regress().expect("regression learner").observed(),
+        48
+    );
 }
 
 proptest! {

@@ -1,0 +1,193 @@
+//! Acceptance tests of the spec-as-data + snapshot redesign:
+//! `Pipeline::load` must reproduce the pre-snapshot model **bit-identically**
+//! for both task families, across the whole spec space (dimensionality,
+//! seed, basis family, encoder, task parameters) — and the spec's own
+//! canonical encoding must round-trip and hash stably.
+
+use hdc::serve::Radians;
+use hdc::{Basis, EncSpec, FieldSpec, Model, Pipeline, PipelineSpec, Snapshot, Task};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random basis of each family, sized to keep cases fast.
+fn sample_basis(rng: &mut StdRng) -> Basis {
+    let m = rng.random_range(3usize..24);
+    let r = f64::from(rng.random_range(0u32..100)) / 100.0;
+    match rng.random_range(0u8..3) {
+        0 => Basis::Random { m },
+        1 => Basis::Level { m, r },
+        _ => Basis::Circular { m, r },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Spec encodings are canonical: to_bytes → from_bytes is the
+    /// identity, hashes are stable, and a one-field change is visible in
+    /// both.
+    #[test]
+    fn spec_bytes_and_hash_are_canonical(seed in 0u64..10_000, dim in 64usize..512) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = PipelineSpec {
+            dim,
+            seed: rng.random_range(0u64..1 << 40),
+            basis: sample_basis(&mut rng),
+            encoder: EncSpec::Record {
+                fields: vec![
+                    FieldSpec::scalar(-5.0, 5.0),
+                    FieldSpec::angle(),
+                    FieldSpec::categorical(rng.random_range(2usize..9)),
+                ],
+            },
+            task: Task::Regression {
+                low: 0.0,
+                high: 10.0,
+                levels: rng.random_range(2usize..33),
+            },
+        };
+        let bytes = spec.to_bytes();
+        let decoded = PipelineSpec::from_bytes(&bytes).expect("canonical bytes parse");
+        prop_assert_eq!(&decoded, &spec);
+        prop_assert_eq!(decoded.hash64(), spec.hash64());
+        let mut tweaked = spec.clone();
+        tweaked.seed ^= 1;
+        prop_assert!(tweaked.hash64() != spec.hash64());
+    }
+
+    /// Classification: build over a random spec, train, snapshot, reload —
+    /// the loaded model's classifier and every prediction are
+    /// bit-identical, and training resumes identically on both copies.
+    #[test]
+    fn classification_load_is_bit_identical_over_spec_space(
+        seed in 0u64..10_000,
+        dim in 64usize..400,
+        classes in 2usize..5,
+        samples in 4usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A55);
+        let spec = PipelineSpec {
+            dim,
+            seed,
+            basis: sample_basis(&mut rng),
+            encoder: EncSpec::Angle,
+            task: Task::Classification { classes },
+        };
+        let mut model: Model<Radians> =
+            Pipeline::from_spec(spec.clone()).expect("valid spec builds");
+        let inputs: Vec<Radians> =
+            (0..samples).map(|_| Radians(rng.random_range(0.0..7.0))).collect();
+        let labels: Vec<usize> = (0..samples).map(|i| i % classes).collect();
+        model.fit_batch(&inputs, &labels).expect("valid training set");
+
+        let snapshot = Snapshot::from_bytes(&model.snapshot().to_bytes())
+            .expect("snapshot bytes parse");
+        prop_assert_eq!(snapshot.spec(), model.spec());
+        prop_assert_eq!(snapshot.observed() as usize, samples);
+        let restored: Model<Radians> =
+            Pipeline::from_snapshot(&snapshot).expect("snapshot rebuilds");
+        prop_assert_eq!(restored.classifier(), model.classifier());
+        let probes: Vec<Radians> =
+            (0..16).map(|_| Radians(rng.random_range(0.0..7.0))).collect();
+        prop_assert_eq!(restored.predict_batch(&probes), model.predict_batch(&probes));
+
+        // Resumed training stays in lockstep: the snapshot captured the
+        // accumulators, not just the finalized head.
+        let mut resumed = restored;
+        let extra = Radians(rng.random_range(0.0..7.0));
+        resumed.fit(&extra, 0).expect("valid label");
+        model.fit(&extra, 0).expect("valid label");
+        prop_assert_eq!(resumed.classifier(), model.classifier());
+    }
+
+    /// Regression: the same bit-identity guarantee for `predict_value`
+    /// over a random record-encoder spec (exact f64 equality — the loaded
+    /// model computes the identical integer readout).
+    #[test]
+    fn regression_load_is_bit_identical_over_spec_space(
+        seed in 0u64..10_000,
+        dim in 64usize..400,
+        levels in 2usize..24,
+        samples in 4usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E64E);
+        let spec = PipelineSpec {
+            dim,
+            seed,
+            basis: sample_basis(&mut rng),
+            encoder: EncSpec::Record {
+                fields: vec![FieldSpec::scalar(0.0, 1.0), FieldSpec::angle()],
+            },
+            task: Task::Regression { low: 0.0, high: 1.0, levels },
+        };
+        let mut model: Model<[f64]> =
+            Pipeline::from_spec(spec.clone()).expect("valid spec builds");
+        let rows: Vec<Vec<f64>> = (0..samples)
+            .map(|_| vec![rng.random_range(0.0..1.0), rng.random_range(0.0..7.0)])
+            .collect();
+        let values: Vec<f64> = (0..samples).map(|_| rng.random_range(0.0..1.0)).collect();
+        model
+            .fit_value_batch(rows.iter().map(Vec::as_slice), &values)
+            .expect("valid training set");
+
+        let snapshot = Snapshot::from_bytes(&model.snapshot().to_bytes())
+            .expect("snapshot bytes parse");
+        let restored: Model<[f64]> =
+            Pipeline::from_snapshot(&snapshot).expect("snapshot rebuilds");
+        let probes: Vec<Vec<f64>> = (0..16)
+            .map(|_| vec![rng.random_range(0.0..1.0), rng.random_range(0.0..7.0)])
+            .collect();
+        for probe in &probes {
+            // Exact equality, not tolerance: both models walk the same
+            // counters through the same integer readout.
+            prop_assert_eq!(
+                restored.predict_value(&probe[..]),
+                model.predict_value(&probe[..])
+            );
+        }
+        prop_assert_eq!(restored.observed(), model.observed());
+    }
+}
+
+/// File-level round trip: `Model::save` → `Pipeline::load`, plus the
+/// spec-mismatch and corrupt-file rejections a warm-restart path relies
+/// on.
+#[test]
+fn save_load_file_round_trip_and_rejections() {
+    let path = std::env::temp_dir().join(format!(
+        "hdc-snapshot-acceptance-{}.hdcs",
+        std::process::id()
+    ));
+    let mut model: Model<f64> = Pipeline::builder(300)
+        .seed(77)
+        .regression(0.0, 100.0, 21)
+        .encoder(hdc::Enc::scalar(0.0, 100.0))
+        .build()
+        .expect("valid pipeline");
+    let xs: Vec<f64> = (0..60).map(|i| f64::from(i) * 100.0 / 59.0).collect();
+    model.fit_value_batch(&xs, &xs).expect("valid training set");
+    model.save(&path).expect("snapshot written");
+
+    let restored: Model<f64> = Pipeline::load(&path).expect("snapshot loads");
+    for x in &xs {
+        assert_eq!(restored.predict_value(x), model.predict_value(x));
+    }
+    // Loading under the wrong input type is a spec mismatch, not garbage.
+    assert!(matches!(
+        Pipeline::load::<Radians>(&path),
+        Err(hdc::HdcError::SpecMismatch {
+            expected: "Angle",
+            found: "Scalar"
+        })
+    ));
+    // A flipped byte in the trainer state fails parsing loudly.
+    let mut bytes = std::fs::read(&path).expect("file readable");
+    let len = bytes.len();
+    bytes.truncate(len - 3);
+    std::fs::write(&path, bytes).expect("file writable");
+    assert!(matches!(
+        Pipeline::load::<f64>(&path),
+        Err(hdc::HdcError::Snapshot(_))
+    ));
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -1,0 +1,245 @@
+//! Property tests of the framed wire protocol: every opcode — including
+//! the PR 5 `predict_value`/`fit_value`/`ping` additions — round-trips
+//! bit-exactly through its frame encoding, and malformed frames
+//! (truncated anywhere, oversized length prefix, wrong version) are
+//! rejected rather than trusted.
+
+use hdc::serve::wire::{
+    read_request, read_response, write_request, write_response, Request, Response, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use hdc::serve::{MetricsSnapshot, RuntimeStats};
+use hdc::BinaryHypervector;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn hv(dim: usize, rng: &mut StdRng) -> BinaryHypervector {
+    BinaryHypervector::random(dim, rng)
+}
+
+fn key(rng: &mut StdRng) -> String {
+    let len = rng.random_range(0usize..24);
+    (0..len)
+        .map(|_| char::from(rng.random_range(b'a'..=b'z')))
+        .collect()
+}
+
+/// Every request variant, with randomized payloads drawn from `rng`.
+fn sample_requests(dim: usize, rng: &mut StdRng) -> Vec<Request> {
+    vec![
+        Request::Predict {
+            key: key(rng),
+            hv: hv(dim, rng),
+        },
+        Request::PredictBatch {
+            pairs: (0..rng.random_range(0usize..5))
+                .map(|_| (key(rng), hv(dim, rng)))
+                .collect(),
+        },
+        Request::Insert {
+            key: key(rng),
+            hv: hv(dim, rng),
+        },
+        Request::Remove { key: key(rng) },
+        Request::Fit {
+            label: rng.random_range(0u32..1000),
+            hv: hv(dim, rng),
+        },
+        Request::Refresh,
+        Request::AddShard,
+        Request::RemoveShard {
+            id: rng.random_range(0u32..1000),
+        },
+        Request::Stats,
+        Request::PredictValue {
+            key: key(rng),
+            hv: hv(dim, rng),
+        },
+        Request::FitValue {
+            value: rng.random_range(-1e6..1e6),
+            hv: hv(dim, rng),
+        },
+        Request::Ping,
+    ]
+}
+
+/// Every response variant, with randomized payloads drawn from `rng`.
+fn sample_responses(rng: &mut StdRng) -> Vec<Response> {
+    vec![
+        Response::Label {
+            label: rng.random_range(0u32..1000),
+            generation: rng.random_range(0u64..1 << 40),
+        },
+        Response::Labels {
+            predictions: (0..rng.random_range(0usize..6))
+                .map(|_| (rng.random_range(0u32..100), rng.random_range(0u64..100)))
+                .collect(),
+        },
+        Response::Inserted {
+            replaced: rng.random_bool(0.5),
+        },
+        Response::Removed {
+            removed: rng.random_bool(0.5),
+        },
+        Response::FitAck,
+        Response::Refreshed {
+            generation: rng.random_range(0u64..1 << 40),
+        },
+        Response::ShardAdded {
+            id: rng.random_range(0u32..1000),
+        },
+        Response::ShardRemoved {
+            removed: rng.random_bool(0.5),
+        },
+        Response::Stats(RuntimeStats {
+            generation: rng.random_range(0u64..1 << 30),
+            uptime_us: rng.random_range(0u64..1 << 50),
+            dim: rng.random_range(1u64..1 << 20),
+            classes: rng.random_range(0u64..64),
+            shard_loads: (0..rng.random_range(0usize..5))
+                .map(|_| (rng.random_range(0u64..16), rng.random_range(0u64..1000)))
+                .collect(),
+            keys: rng.random_range(0u64..1000),
+            last_remap_fraction: if rng.random_bool(0.5) {
+                Some(rng.random_range(0.0..1.0))
+            } else {
+                None
+            },
+            metrics: MetricsSnapshot {
+                queue_depth: rng.random_range(0u64..100),
+                requests: rng.random_range(0u64..1 << 30),
+                batches: rng.random_range(0u64..1 << 20),
+                inserts: rng.random_range(0u64..1000),
+                removes: rng.random_range(0u64..1000),
+                fits: rng.random_range(0u64..1000),
+                mean_batch_size: rng.random_range(0.0..256.0),
+                batch_sizes: (0..rng.random_range(0usize..8))
+                    .map(|_| rng.random_range(0u64..1000))
+                    .collect(),
+                latency_us_p50: rng.random_range(0.0..1e5),
+                latency_us_p95: rng.random_range(0.0..1e5),
+                latency_us_p99: rng.random_range(0.0..1e5),
+            },
+        }),
+        Response::Value {
+            value: rng.random_range(-1e9..1e9),
+            generation: rng.random_range(0u64..1 << 40),
+        },
+        Response::Pong {
+            generation: rng.random_range(0u64..1 << 40),
+            uptime_us: rng.random_range(0u64..1 << 50),
+        },
+        Response::Error { message: key(rng) },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every request opcode round-trips bit-exactly at a random payload
+    /// and dimensionality (including non-multiples of 64).
+    #[test]
+    fn every_request_opcode_round_trips(seed in 0u64..10_000, dim in 1usize..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for request in sample_requests(dim, &mut rng) {
+            let mut buffer = Vec::new();
+            write_request(&mut buffer, &request).expect("encodable request");
+            let decoded = read_request(&mut buffer.as_slice())
+                .expect("decodable frame")
+                .expect("one frame present");
+            prop_assert_eq!(decoded, request);
+        }
+    }
+
+    /// Every response opcode round-trips bit-exactly — f64 payloads
+    /// (values, stats percentiles) included.
+    #[test]
+    fn every_response_opcode_round_trips(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for response in sample_responses(&mut rng) {
+            let mut buffer = Vec::new();
+            write_response(&mut buffer, &response).expect("encodable response");
+            let decoded = read_response(&mut buffer.as_slice())
+                .expect("decodable frame")
+                .expect("one frame present");
+            prop_assert_eq!(decoded, response);
+        }
+    }
+
+    /// A frame truncated at *any* interior byte is rejected (or, for a cut
+    /// before the first payload byte, reported as clean end-of-stream) —
+    /// never misparsed into a different message. Exercised for the PR 5
+    /// opcodes whose bodies mix strings, f64s and hypervectors.
+    #[test]
+    fn truncated_new_op_frames_are_rejected(seed in 0u64..10_000, dim in 1usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = [
+            Request::PredictValue { key: key(&mut rng), hv: hv(dim, &mut rng) },
+            Request::FitValue {
+                value: rng.random_range(-1e6..1e6),
+                hv: hv(dim, &mut rng),
+            },
+            Request::Ping,
+        ];
+        for request in requests {
+            let mut buffer = Vec::new();
+            write_request(&mut buffer, &request).expect("encodable request");
+            for cut in 1..buffer.len() {
+                let result = read_request(&mut buffer[..cut].as_ref());
+                prop_assert!(
+                    result.is_err(),
+                    "cut at {cut}/{} must not parse: {result:?}",
+                    buffer.len()
+                );
+            }
+        }
+    }
+
+    /// Appending garbage to a well-formed new-op frame is rejected by the
+    /// trailing-bytes check, and a response cut mid-body never parses.
+    #[test]
+    fn trailing_garbage_on_new_ops_is_rejected(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let responses = [
+            Response::Value {
+                value: rng.random_range(-1e6..1e6),
+                generation: rng.random_range(0u64..1000),
+            },
+            Response::Pong {
+                generation: rng.random_range(0u64..1000),
+                uptime_us: rng.random_range(0u64..1 << 40),
+            },
+        ];
+        for response in responses {
+            let mut buffer = Vec::new();
+            write_response(&mut buffer, &response).expect("encodable response");
+            // Grow the declared length and append a byte: the cursor's
+            // finish() must reject the smuggled tail.
+            let mut padded = buffer.clone();
+            let declared = u32::from_be_bytes(padded[..4].try_into().unwrap());
+            padded[..4].copy_from_slice(&(declared + 1).to_be_bytes());
+            padded.push(0xEE);
+            prop_assert!(read_response(&mut padded.as_slice()).is_err());
+            for cut in 1..buffer.len() {
+                prop_assert!(read_response(&mut buffer[..cut].as_ref()).is_err());
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_and_wrong_version_frames_are_rejected_for_new_ops() {
+    // Oversized length prefix on a predict_value opcode.
+    let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+    let mut framed = huge.to_vec();
+    framed.extend_from_slice(&[PROTOCOL_VERSION, 10]);
+    assert!(read_request(&mut framed.as_slice()).is_err());
+
+    // A v1 frame carrying the (v2-only) ping opcode is refused by the
+    // version check before the opcode is even looked at.
+    let v1_ping = [0u8, 0, 0, 2, 1, 12];
+    assert!(read_request(&mut v1_ping.as_slice()).is_err());
+
+    // An empty stream is a clean EOF, not an error.
+    assert_eq!(read_request(&mut [].as_slice()).unwrap(), None);
+}
