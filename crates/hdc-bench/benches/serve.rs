@@ -17,6 +17,13 @@
 //!   1/16/256, against the direct `predict_encoded` baseline. The delta at
 //!   size 1 is the full per-request queue+reply overhead; growing the batch
 //!   size amortizes it.
+//! * **serve_cluster** — the PR 6 multi-process tier: a 256-row keyed
+//!   batch served by the direct model, the in-process 3-shard
+//!   `ShardedModel`, a `ClusterRouter` over three in-process runtimes
+//!   (`LocalShard`, queue cost but no wire), and a `ClusterRouter` over
+//!   three loopback-TCP shard servers (`RemoteShard`, full wire frames).
+//!   All four are bit-identical by construction; the deltas price the
+//!   runtime queue and the TCP hop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdc_core::{BinaryHypervector, HypervectorBatch};
@@ -357,6 +364,136 @@ fn bench_value_microbatch(c: &mut Criterion) {
     }
 }
 
+/// The multi-process cluster tier against its in-process baselines: the
+/// same 256-row keyed batch through the direct model, the in-process
+/// 3-shard fleet, a router over three local runtimes, and a router over
+/// three loopback-TCP shard servers. Every path must stay bit-identical —
+/// the benchmark prices the routing indirection, never a different answer.
+fn bench_cluster(c: &mut Criterion) {
+    use hdc_serve::{ClusterRouter, LocalShard, RemoteShard, RingConfig, Server, ShardBackend};
+
+    const SHARDS: usize = 3;
+    let model = runtime_model();
+    let inputs: Vec<Radians> = (0..BATCH)
+        .map(|i| Radians::periodic(i as f64 * 0.173, 24.0))
+        .collect();
+    let arena = model.encode_batch(&inputs);
+    let expected = model.predict_encoded(&arena);
+    let keys: Vec<String> = (0..BATCH).map(|i| format!("session-{i}")).collect();
+    let pairs: Vec<(String, BinaryHypervector)> = keys
+        .iter()
+        .cloned()
+        .zip(arena.rows().map(|row| row.to_hypervector()))
+        .collect();
+
+    let mut group = c.benchmark_group("serve_cluster");
+    group.bench_with_input(BenchmarkId::new("direct", BATCH), &arena, |b, arena| {
+        b.iter(|| black_box(&model).predict_encoded(black_box(arena)));
+    });
+
+    let fleet: ShardedModel<String> =
+        ShardedModel::from_model(&model, SHARDS, 0).expect("valid fleet");
+    assert_eq!(
+        fleet.predict_batch(&keys, &arena).expect("routable"),
+        expected,
+        "the in-process fleet must stay bit-identical"
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("sharded_inproc_{SHARDS}"), BATCH),
+        &arena,
+        |b, arena| {
+            b.iter(|| {
+                black_box(&fleet)
+                    .predict_batch(black_box(&keys), black_box(arena))
+                    .expect("routable")
+            });
+        },
+    );
+
+    // Router over in-process runtimes: queue cost, no wire.
+    let local_runtimes: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            Runtime::spawn(
+                runtime_model(),
+                RuntimeConfig {
+                    name: format!("local-{i}"),
+                    refresh_every: 0,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .expect("valid runtime")
+        })
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = local_runtimes
+        .iter()
+        .map(|runtime| Box::new(LocalShard::new(runtime.handle())) as Box<dyn ShardBackend>)
+        .collect();
+    let mut router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    let served = router.predict_batch(&pairs).expect("routable");
+    assert_eq!(
+        served.iter().map(|p| p.label).collect::<Vec<_>>(),
+        expected,
+        "the local-shard cluster must stay bit-identical"
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("router_local_{SHARDS}"), BATCH),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| router.predict_batch(black_box(pairs)).expect("routable"));
+        },
+    );
+    drop(router);
+
+    // Router over loopback-TCP shard servers: full wire frames per hop.
+    let remote_shards: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            let runtime = Runtime::spawn(
+                runtime_model(),
+                RuntimeConfig {
+                    name: format!("remote-{i}"),
+                    refresh_every: 0,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .expect("valid runtime");
+            let server = Server::spawn("127.0.0.1:0", runtime.handle()).expect("ephemeral port");
+            (runtime, server)
+        })
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = remote_shards
+        .iter()
+        .map(|(_, server)| {
+            let shard =
+                RemoteShard::connect(&server.local_addr().to_string()).expect("loopback connect");
+            Box::new(shard) as Box<dyn ShardBackend>
+        })
+        .collect();
+    let mut router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    let served = router.predict_batch(&pairs).expect("routable");
+    assert_eq!(
+        served.iter().map(|p| p.label).collect::<Vec<_>>(),
+        expected,
+        "the TCP cluster must stay bit-identical"
+    );
+    group.bench_with_input(
+        BenchmarkId::new(format!("router_remote_{SHARDS}"), BATCH),
+        &pairs,
+        |b, pairs| {
+            b.iter(|| router.predict_batch(black_box(pairs)).expect("routable"));
+        },
+    );
+    group.finish();
+
+    drop(router);
+    for runtime in local_runtimes {
+        runtime.shutdown();
+    }
+    for (runtime, server) in remote_shards {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
 /// Snapshot durability costs: serializing a trained d=10k model to its
 /// compact binary form, parsing it back, and the full
 /// `Pipeline::from_snapshot` rebuild (parse + deterministic encoder
@@ -429,6 +566,7 @@ criterion_group!(
     bench_readout_kernels,
     bench_microbatch,
     bench_value_microbatch,
+    bench_cluster,
     bench_snapshot
 );
 criterion_main!(benches);

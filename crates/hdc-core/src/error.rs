@@ -82,6 +82,19 @@ pub enum HdcError {
         /// Human-readable reason.
         String,
     ),
+    /// A network operation against a remote serving process exceeded its
+    /// configured deadline (connect, read or write timeout).
+    Timeout {
+        /// The operation that timed out (e.g. `"connect"`, `"predict"`).
+        operation: &'static str,
+    },
+    /// A transport-level failure talking to a remote serving process:
+    /// connection refused or reset, a malformed frame, or a server-side
+    /// error relayed over the wire.
+    Transport(
+        /// Human-readable reason.
+        String,
+    ),
 }
 
 impl fmt::Display for HdcError {
@@ -130,6 +143,10 @@ impl fmt::Display for HdcError {
                 )
             }
             HdcError::Snapshot(ref reason) => write!(f, "snapshot error: {reason}"),
+            HdcError::Timeout { operation } => {
+                write!(f, "timed out waiting for {operation} on a remote shard")
+            }
+            HdcError::Transport(ref reason) => write!(f, "transport error: {reason}"),
         }
     }
 }
@@ -179,6 +196,11 @@ mod tests {
             }
             .to_string(),
             HdcError::Snapshot("truncated header".into()).to_string(),
+            HdcError::Timeout {
+                operation: "connect",
+            }
+            .to_string(),
+            HdcError::Transport("connection reset by peer".into()).to_string(),
         ];
         for message in messages {
             assert!(!message.is_empty());

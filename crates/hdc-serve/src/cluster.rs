@@ -1,0 +1,1181 @@
+//! Multi-process shard clusters: a routing front-end over shard `Runtime`
+//! processes, with warm joins via snapshot streaming.
+//!
+//! # Topology
+//!
+//! ```text
+//!                         ┌────────────────┐
+//!   clients ── wire v3 ──▶│  ClusterRouter │ (optionally behind a
+//!                         │  (ring lookup) │  ClusterServer front-end)
+//!                         └───┬────┬────┬──┘
+//!              keyed ops ──────┘    │    └────── replicated ops
+//!            (predict/insert/      │           (fit/refresh → all)
+//!             remove → owner)      │
+//!                 ┌────────────┬───┴────────┐
+//!                 ▼            ▼            ▼
+//!           ┌──────────┐ ┌──────────┐ ┌──────────┐
+//!           │ shard 0  │ │ shard 1  │ │ shard 2  │   each a Runtime +
+//!           │ Runtime  │ │ Runtime  │ │ Runtime  │   Server process
+//!           └──────────┘ └──────────┘ └──────────┘
+//! ```
+//!
+//! The split mirrors [`ShardedModel`](crate::ShardedModel): the finalized
+//! head (class vectors or regression readout) is tiny and **replicated**
+//! onto every shard, while the keyed item memories — the state that
+//! actually grows with users — are **partitioned** over the same
+//! `hdc-hash` consistent ring the in-process fleet routes by. Because the
+//! router builds its ring with the exact recipe `ShardedModel` uses
+//! (same [`RingConfig`], same seed, shard ids assigned in join order),
+//! and because training observations are replicated to every shard,
+//! a cluster of N shard processes answers **bit-identically** to the
+//! single-process `ShardedModel` — routing decides *where* a query is
+//! answered, never *what* the answer is.
+//!
+//! # Backends
+//!
+//! The [`ShardBackend`] trait is the transport seam: a shard can live in
+//! this process ([`LocalShard`] wrapping a [`RuntimeHandle`]) or in
+//! another one ([`RemoteShard`] speaking the framed wire protocol over a
+//! [`BlockingClient`]); the router cannot tell the difference.
+//!
+//! # Warm joins
+//!
+//! A fresh shard process joins **warm**: the router snapshots a donor
+//! peer (any peer — replicated training makes their trainer states
+//! identical), computes which item-memory entries the grown ring now
+//! assigns to the newcomer, streams the donor's trainer state plus those
+//! entries to the new shard as a [`Snapshot`], and only then removes the
+//! moved entries from their old owners. Consistent hashing keeps the
+//! moved fraction near `1/n`. [`ClusterRouter::leave`] is the inverse:
+//! the departing shard's entries are drained back through the ring.
+
+use std::fmt;
+use std::hash::Hash;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use hdc_core::{BinaryHypervector, HdcError};
+use hdc_hash::HdcHashRing;
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::metrics::MetricsSnapshot;
+use crate::runtime::{Prediction, RuntimeHandle, RuntimeStats, ValuePrediction};
+use crate::server::{BlockingClient, ClientConfig};
+use crate::sharded::RingConfig;
+use crate::snapshot::Snapshot;
+use crate::wire::{self, Request, Response};
+
+/// Rows per `predict_batch` frame a [`RemoteShard`] sends at once — far
+/// below the wire's `u16` row cap, keeping every frame well under
+/// [`MAX_FRAME_BYTES`](crate::wire::MAX_FRAME_BYTES) at any realistic
+/// dimensionality.
+const REMOTE_BATCH_ROWS: usize = 1024;
+
+/// One shard of a cluster, behind any transport: the router speaks this
+/// seam only, so in-process shards ([`LocalShard`]) and remote shard
+/// processes ([`RemoteShard`]) are interchangeable.
+///
+/// All operations take encoded queries — encoding happens either at the
+/// caller or inside each shard's runtime, never at the router.
+pub trait ShardBackend: Send {
+    /// Human-readable address/identity for diagnostics.
+    fn describe(&self) -> String;
+
+    /// Predicts a batch of keyed, encoded queries, answered in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn predict_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<Prediction>, HdcError>;
+
+    /// Predicts a batch of keyed, encoded queries' real-valued labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn predict_value_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<ValuePrediction>, HdcError>;
+
+    /// Stores an encoded hypervector under `key`; `true` if replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn insert(&mut self, key: String, hv: BinaryHypervector) -> Result<bool, HdcError>;
+
+    /// Removes a stored entry; `true` if the key was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn remove(&mut self, key: &str) -> Result<bool, HdcError>;
+
+    /// Folds one encoded training observation into the shard's online
+    /// trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn fit_encoded(&mut self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError>;
+
+    /// Folds one encoded `(query, value)` observation into the shard's
+    /// online regression trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn fit_value_encoded(&mut self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError>;
+
+    /// Publishes a new generation from the shard's accumulated
+    /// observations, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn refresh(&mut self) -> Result<u64, HdcError>;
+
+    /// The shard's runtime statistics (including its identity section).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn stats(&mut self) -> Result<RuntimeStats, HdcError>;
+
+    /// Liveness probe: `(generation, uptime_us)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or [`HdcError::ServiceUnavailable`] for a dead runtime.
+    fn ping(&mut self) -> Result<(u64, u64), HdcError>;
+
+    /// Streams the shard's full state (spec, trainer accumulators, item
+    /// memories) — the donor half of a warm join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error.
+    fn snapshot(&mut self) -> Result<Snapshot, HdcError>;
+
+    /// Adopts a streamed snapshot (trainer state replaced, items merged),
+    /// returning the published generation — the receiving half of a warm
+    /// join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] on transport
+    /// failure, or the shard's own error (including a spec mismatch).
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<u64, HdcError>;
+}
+
+/// An in-process shard: a [`RuntimeHandle`] behind the [`ShardBackend`]
+/// seam, so a cluster can mix in-process and remote shards (or be tested
+/// entirely in one process).
+pub struct LocalShard<X: ?Sized + ToOwned> {
+    handle: RuntimeHandle<X>,
+}
+
+impl<X: ?Sized + ToOwned> LocalShard<X> {
+    /// Wraps a runtime handle as a cluster shard.
+    pub fn new(handle: RuntimeHandle<X>) -> Self {
+        Self { handle }
+    }
+}
+
+impl<X: ?Sized + ToOwned> fmt::Debug for LocalShard<X> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalShard").finish_non_exhaustive()
+    }
+}
+
+impl<X> ShardBackend for LocalShard<X>
+where
+    X: ?Sized + ToOwned + Sync + 'static,
+    X::Owned: Send + 'static,
+{
+    fn describe(&self) -> String {
+        "local".into()
+    }
+
+    fn predict_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<Prediction>, HdcError> {
+        self.handle.predict_encoded_many(pairs)
+    }
+
+    fn predict_value_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<ValuePrediction>, HdcError> {
+        self.handle.predict_value_encoded_many(pairs)
+    }
+
+    fn insert(&mut self, key: String, hv: BinaryHypervector) -> Result<bool, HdcError> {
+        self.handle.insert(key, hv)
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, HdcError> {
+        self.handle.remove(key)
+    }
+
+    fn fit_encoded(&mut self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.handle.fit_encoded(hv, label)
+    }
+
+    fn fit_value_encoded(&mut self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
+        self.handle.fit_value_encoded(hv, value)
+    }
+
+    fn refresh(&mut self) -> Result<u64, HdcError> {
+        self.handle.refresh()
+    }
+
+    fn stats(&mut self) -> Result<RuntimeStats, HdcError> {
+        self.handle.stats()
+    }
+
+    fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        if self.handle.is_alive() {
+            Ok((
+                self.handle.generation().id(),
+                self.handle.uptime().as_micros() as u64,
+            ))
+        } else {
+            Err(HdcError::ServiceUnavailable)
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<Snapshot, HdcError> {
+        self.handle.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<u64, HdcError> {
+        self.handle.restore(snapshot.clone())
+    }
+}
+
+/// A shard process reached over the framed wire protocol: a
+/// [`BlockingClient`] (with its bounded timeouts and connect retries)
+/// behind the [`ShardBackend`] seam.
+#[derive(Debug)]
+pub struct RemoteShard {
+    addr: String,
+    client: BlockingClient,
+}
+
+impl RemoteShard {
+    /// Connects to the shard process listening at `addr` with the default
+    /// [`ClientConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] if no
+    /// connection can be established within the configured attempts.
+    pub fn connect(addr: &str) -> Result<Self, HdcError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with explicit deadlines and retry
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Timeout`]/[`HdcError::Transport`] if no
+    /// connection can be established within the configured attempts.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Self, HdcError> {
+        let client =
+            BlockingClient::connect_with(addr, config).map_err(|e| transport("connect", &e))?;
+        Ok(Self {
+            addr: addr.to_owned(),
+            client,
+        })
+    }
+
+    /// The address this shard was connected at.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+/// Maps a client-side `io::Error` onto the serving error taxonomy:
+/// expired deadlines become [`HdcError::Timeout`], everything else
+/// (refused/reset connections, malformed frames, relayed server errors)
+/// becomes [`HdcError::Transport`].
+fn transport(operation: &'static str, error: &io::Error) -> HdcError {
+    match error.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => HdcError::Timeout { operation },
+        _ => HdcError::Transport(format!("{operation}: {error}")),
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn describe(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn predict_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<Prediction>, HdcError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut rest = pairs;
+        while !rest.is_empty() {
+            let chunk: Vec<_> = rest.drain(..rest.len().min(REMOTE_BATCH_ROWS)).collect();
+            out.extend(
+                self.client
+                    .predict_batch(chunk)
+                    .map_err(|e| transport("predict", &e))?,
+            );
+        }
+        Ok(out)
+    }
+
+    fn predict_value_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<ValuePrediction>, HdcError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut rest = pairs;
+        while !rest.is_empty() {
+            let chunk: Vec<_> = rest.drain(..rest.len().min(REMOTE_BATCH_ROWS)).collect();
+            out.extend(
+                self.client
+                    .predict_value_batch(chunk)
+                    .map_err(|e| transport("predict_value", &e))?,
+            );
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, key: String, hv: BinaryHypervector) -> Result<bool, HdcError> {
+        self.client
+            .insert(&key, &hv)
+            .map_err(|e| transport("insert", &e))
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, HdcError> {
+        self.client.remove(key).map_err(|e| transport("remove", &e))
+    }
+
+    fn fit_encoded(&mut self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.client
+            .fit(&hv, label)
+            .map_err(|e| transport("fit", &e))
+    }
+
+    fn fit_value_encoded(&mut self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
+        self.client
+            .fit_value(&hv, value)
+            .map_err(|e| transport("fit_value", &e))
+    }
+
+    fn refresh(&mut self) -> Result<u64, HdcError> {
+        self.client.refresh().map_err(|e| transport("refresh", &e))
+    }
+
+    fn stats(&mut self) -> Result<RuntimeStats, HdcError> {
+        self.client.stats().map_err(|e| transport("stats", &e))
+    }
+
+    fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        self.client.ping().map_err(|e| transport("ping", &e))
+    }
+
+    fn snapshot(&mut self) -> Result<Snapshot, HdcError> {
+        self.client
+            .snapshot()
+            .map_err(|e| transport("snapshot", &e))
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<u64, HdcError> {
+        self.client
+            .restore(snapshot)
+            .map_err(|e| transport("restore", &e))
+    }
+}
+
+/// The routing front-end of a shard cluster: maps keys to shard processes
+/// over the same consistent-hash ring an in-process
+/// [`ShardedModel`](crate::ShardedModel) routes by, fans keyed operations
+/// out to their owners, replicates training and refreshes to every shard,
+/// and merges responses in input order.
+///
+/// For the same `(RingConfig, seed)` and shard count, key→shard
+/// assignment is identical to `ShardedModel`'s — which, together with
+/// replicated heads, makes cluster predictions bit-identical to the
+/// in-process fleet's for any shard count.
+pub struct ClusterRouter {
+    ring: HdcHashRing<usize>,
+    shards: Vec<(usize, Box<dyn ShardBackend>)>,
+    next_id: usize,
+    config: RingConfig,
+    dim: usize,
+}
+
+impl fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("shards", &self.shard_ids())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+impl ClusterRouter {
+    /// Builds a router over an initial fleet of shard backends, assigning
+    /// ids `0..backends.len()` in order — the exact ring an in-process
+    /// `ShardedModel::with_head(head, dim, n, config, seed)` routes by.
+    ///
+    /// Every backend is probed for its `stats` once, to learn and
+    /// cross-check the fleet's dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] for an empty fleet, a transport
+    /// error if a backend is unreachable, and
+    /// [`HdcError::DimensionMismatch`] if the shards disagree on `d`.
+    pub fn new(
+        backends: Vec<Box<dyn ShardBackend>>,
+        config: RingConfig,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if backends.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ring =
+            HdcHashRing::with_replicas(config.positions, config.dim, config.replicas, &mut rng)?;
+        let mut shards = Vec::with_capacity(backends.len());
+        let mut dim = 0usize;
+        for (id, mut backend) in backends.into_iter().enumerate() {
+            ring.add_node(id);
+            let stats = backend.stats()?;
+            let found = stats.dim as usize;
+            if id == 0 {
+                dim = found;
+            } else if found != dim {
+                return Err(HdcError::DimensionMismatch {
+                    expected: dim,
+                    found,
+                });
+            }
+            shards.push((id, backend));
+        }
+        Ok(Self {
+            ring,
+            next_id: shards.len(),
+            shards,
+            config,
+            dim,
+        })
+    }
+
+    /// Number of live shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The ids of the live shards, in join order.
+    #[must_use]
+    pub fn shard_ids(&self) -> Vec<usize> {
+        self.shards.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Query dimensionality `d` (learned from the shards at construction).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The shard id a key routes to — identical to
+    /// [`ShardedModel::shard_of`](crate::ShardedModel::shard_of) for the
+    /// same ring geometry, seed and shard history.
+    #[must_use]
+    pub fn shard_of<Q: Hash>(&self, key: &Q) -> usize {
+        *self
+            .ring
+            .lookup(key)
+            .expect("a cluster router always keeps at least one shard")
+    }
+
+    fn position_of<Q: Hash>(&self, key: &Q) -> usize {
+        let owner = self.shard_of(key);
+        self.shards
+            .iter()
+            .position(|(id, _)| *id == owner)
+            .expect("every ring node has a backend")
+    }
+
+    fn check_dim(&self, found: usize) -> Result<(), HdcError> {
+        if found != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Predicts one keyed, encoded query on its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable owner, or the shard's
+    /// own error.
+    pub fn predict(&mut self, key: &str, hv: &BinaryHypervector) -> Result<Prediction, HdcError> {
+        self.check_dim(hv.dim())?;
+        let position = self.position_of(&key);
+        let mut replies = self.shards[position]
+            .1
+            .predict_encoded_many(vec![(key.to_owned(), hv.clone())])?;
+        replies
+            .pop()
+            .ok_or_else(|| HdcError::Transport("shard answered an empty batch".into()))
+    }
+
+    /// Predicts a batch of keyed, encoded queries: grouped per owning
+    /// shard, fanned out, merged back **in input order** — the same
+    /// route/merge contract as
+    /// [`ShardedModel::predict_batch`](crate::ShardedModel::predict_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable shard, or a shard's
+    /// own error.
+    pub fn predict_batch(
+        &mut self,
+        pairs: &[(String, BinaryHypervector)],
+    ) -> Result<Vec<Prediction>, HdcError> {
+        self.fan_out(pairs, Prediction::default(), |shard, sub| {
+            shard.predict_encoded_many(sub)
+        })
+    }
+
+    /// Predicts one keyed, encoded query's real-valued label on its
+    /// owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable owner, or the shard's
+    /// own error.
+    pub fn predict_value(
+        &mut self,
+        key: &str,
+        hv: &BinaryHypervector,
+    ) -> Result<ValuePrediction, HdcError> {
+        self.check_dim(hv.dim())?;
+        let position = self.position_of(&key);
+        let mut replies = self.shards[position]
+            .1
+            .predict_value_encoded_many(vec![(key.to_owned(), hv.clone())])?;
+        replies
+            .pop()
+            .ok_or_else(|| HdcError::Transport("shard answered an empty batch".into()))
+    }
+
+    /// Predicts a batch of keyed, encoded queries' real-valued labels,
+    /// merged in input order — the regression twin of
+    /// [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable shard, or a shard's
+    /// own error.
+    pub fn predict_value_batch(
+        &mut self,
+        pairs: &[(String, BinaryHypervector)],
+    ) -> Result<Vec<ValuePrediction>, HdcError> {
+        self.fan_out(pairs, ValuePrediction::default(), |shard, sub| {
+            shard.predict_value_encoded_many(sub)
+        })
+    }
+
+    /// The shared route → fan out → merge path behind both batch forms.
+    fn fan_out<R: Clone>(
+        &mut self,
+        pairs: &[(String, BinaryHypervector)],
+        placeholder: R,
+        call: impl Fn(
+            &mut dyn ShardBackend,
+            Vec<(String, BinaryHypervector)>,
+        ) -> Result<Vec<R>, HdcError>,
+    ) -> Result<Vec<R>, HdcError> {
+        for (_, hv) in pairs {
+            self.check_dim(hv.dim())?;
+        }
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (index, (key, _)) in pairs.iter().enumerate() {
+            routed[self.position_of(key)].push(index);
+        }
+        let mut merged = vec![placeholder; pairs.len()];
+        for (position, indices) in routed.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let sub: Vec<(String, BinaryHypervector)> =
+                indices.iter().map(|&index| pairs[index].clone()).collect();
+            let replies = call(self.shards[position].1.as_mut(), sub)?;
+            if replies.len() != indices.len() {
+                return Err(HdcError::Transport(format!(
+                    "shard {} answered {} of {} queries",
+                    self.shards[position].0,
+                    replies.len(),
+                    indices.len()
+                )));
+            }
+            for (index, reply) in indices.into_iter().zip(replies) {
+                merged[index] = reply;
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Stores an encoded hypervector on the owning shard; `true` if an
+    /// entry was replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable owner, or the shard's
+    /// own error.
+    pub fn insert(&mut self, key: &str, hv: &BinaryHypervector) -> Result<bool, HdcError> {
+        self.check_dim(hv.dim())?;
+        let position = self.position_of(&key);
+        self.shards[position].1.insert(key.to_owned(), hv.clone())
+    }
+
+    /// Removes a stored entry from the owning shard; `true` if the key
+    /// was stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error for an unreachable owner, or the shard's
+    /// own error.
+    pub fn remove(&mut self, key: &str) -> Result<bool, HdcError> {
+        let position = self.position_of(&key);
+        self.shards[position].1.remove(key)
+    }
+
+    /// Replicates one encoded training observation to **every** shard —
+    /// the invariant that keeps the per-shard trainer states (and
+    /// therefore the published heads) identical across the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's error; observations already replicated
+    /// to earlier shards stand.
+    pub fn fit_encoded(&mut self, hv: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.check_dim(hv.dim())?;
+        for (_, shard) in &mut self.shards {
+            shard.fit_encoded(hv.clone(), label)?;
+        }
+        Ok(())
+    }
+
+    /// Replicates one encoded `(query, value)` observation to every shard
+    /// — the regression twin of [`fit_encoded`](Self::fit_encoded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's error; observations already replicated
+    /// to earlier shards stand.
+    pub fn fit_value_encoded(
+        &mut self,
+        hv: &BinaryHypervector,
+        value: f64,
+    ) -> Result<(), HdcError> {
+        self.check_dim(hv.dim())?;
+        for (_, shard) in &mut self.shards {
+            shard.fit_value_encoded(hv.clone(), value)?;
+        }
+        Ok(())
+    }
+
+    /// Replicates a generation refresh to every shard, returning the
+    /// highest published generation id. Because observations are
+    /// replicated in arrival order and the accumulators are commutative
+    /// counters, every shard finalizes the **same** head — ids may drift
+    /// (e.g. after a warm join), the weights never do.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shard's error.
+    pub fn refresh(&mut self) -> Result<u64, HdcError> {
+        let mut latest = 0;
+        for (_, shard) in &mut self.shards {
+            latest = latest.max(shard.refresh()?);
+        }
+        Ok(latest)
+    }
+
+    /// Probes every shard, returning `(highest generation, smallest
+    /// uptime_us)` — a cluster is only as warm as its youngest shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unreachable/dead shard's error: one dead shard
+    /// makes the cluster probe unhealthy.
+    pub fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        let mut generation = 0;
+        let mut uptime = u64::MAX;
+        for (_, shard) in &mut self.shards {
+            let (shard_generation, shard_uptime) = shard.ping()?;
+            generation = generation.max(shard_generation);
+            uptime = uptime.min(shard_uptime);
+        }
+        Ok((generation, uptime))
+    }
+
+    /// Per-shard `(cluster shard id, runtime stats)` — each entry carries
+    /// the shard's own identity section (`name`, `ring_positions`,
+    /// `keys`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unreachable shard's error.
+    pub fn shard_stats(&mut self) -> Result<Vec<(usize, RuntimeStats)>, HdcError> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for (id, shard) in &mut self.shards {
+            out.push((*id, shard.stats()?));
+        }
+        Ok(out)
+    }
+
+    /// One aggregate [`RuntimeStats`] for the whole cluster: counters are
+    /// summed, `shard_loads` lists each cluster shard's key count, the
+    /// generation is the highest and the uptime the smallest across
+    /// shards. Latency percentiles and batch-size histograms are not
+    /// aggregatable across processes and are reported zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unreachable shard's error.
+    pub fn cluster_stats(&mut self) -> Result<RuntimeStats, HdcError> {
+        let per_shard = self.shard_stats()?;
+        let mut aggregate = RuntimeStats {
+            generation: 0,
+            uptime_us: u64::MAX,
+            name: format!("cluster({})", per_shard.len()),
+            ring_positions: self.config.positions as u64,
+            dim: self.dim as u64,
+            classes: per_shard.first().map_or(0, |(_, s)| s.classes),
+            shard_loads: Vec::with_capacity(per_shard.len()),
+            keys: 0,
+            last_remap_fraction: None,
+            metrics: MetricsSnapshot {
+                queue_depth: 0,
+                requests: 0,
+                batches: 0,
+                inserts: 0,
+                removes: 0,
+                fits: 0,
+                mean_batch_size: 0.0,
+                batch_sizes: Vec::new(),
+                latency_us_p50: 0.0,
+                latency_us_p95: 0.0,
+                latency_us_p99: 0.0,
+            },
+        };
+        for (id, stats) in per_shard {
+            aggregate.generation = aggregate.generation.max(stats.generation);
+            aggregate.uptime_us = aggregate.uptime_us.min(stats.uptime_us);
+            aggregate.shard_loads.push((id as u64, stats.keys));
+            aggregate.keys += stats.keys;
+            aggregate.metrics.queue_depth += stats.metrics.queue_depth;
+            aggregate.metrics.requests += stats.metrics.requests;
+            aggregate.metrics.batches += stats.metrics.batches;
+            aggregate.metrics.inserts += stats.metrics.inserts;
+            aggregate.metrics.removes += stats.metrics.removes;
+            aggregate.metrics.fits += stats.metrics.fits;
+        }
+        if aggregate.uptime_us == u64::MAX {
+            aggregate.uptime_us = 0;
+        }
+        if aggregate.metrics.batches > 0 {
+            aggregate.metrics.mean_batch_size =
+                aggregate.metrics.requests as f64 / aggregate.metrics.batches as f64;
+        }
+        Ok(aggregate)
+    }
+
+    /// Warm-joins a fresh shard: a donor peer's trainer state plus the
+    /// item-memory entries the grown ring assigns to the newcomer are
+    /// streamed to it as one [`Snapshot`], then removed from their old
+    /// owners. Returns `(assigned id, entries moved)`.
+    ///
+    /// The joining shard may be completely blank (same spec, zero
+    /// observations) — after the join it answers bit-identically to its
+    /// peers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error if a peer or the newcomer is
+    /// unreachable, or [`HdcError::Snapshot`] if the newcomer's spec
+    /// differs; the ring is rolled back, so a failed join leaves the
+    /// cluster unchanged.
+    pub fn join(&mut self, mut backend: Box<dyn ShardBackend>) -> Result<(usize, u64), HdcError> {
+        let id = self.next_id;
+        self.ring.add_node(id);
+        // Gather, per peer, the entries the grown ring now assigns to the
+        // newcomer — and a donor trainer state (any peer: replicated
+        // training keeps them identical).
+        let result = (|| {
+            let mut donor: Option<Snapshot> = None;
+            let mut movers: Vec<(String, BinaryHypervector)> = Vec::new();
+            let mut moved_keys: Vec<Vec<String>> = Vec::with_capacity(self.shards.len());
+            for (_, shard) in &mut self.shards {
+                let mut snapshot = shard.snapshot()?;
+                let items = snapshot.take_items();
+                let mut mine = Vec::new();
+                for (key, hv) in items {
+                    if self.ring.lookup(&key) == Some(&id) {
+                        mine.push(key.clone());
+                        movers.push((key, hv));
+                    }
+                }
+                moved_keys.push(mine);
+                if donor.is_none() {
+                    donor = Some(snapshot);
+                }
+            }
+            let mut stream = donor.expect("a router always keeps at least one shard");
+            let moved = movers.len() as u64;
+            stream.replace_items(movers);
+            backend.restore(&stream)?;
+            Ok((moved, moved_keys))
+        })();
+        match result {
+            Ok((moved, moved_keys)) => {
+                // Only after the newcomer holds the entries are they
+                // dropped from their old owners.
+                for ((_, shard), keys) in self.shards.iter_mut().zip(moved_keys) {
+                    for key in keys {
+                        shard.remove(&key)?;
+                    }
+                }
+                self.next_id += 1;
+                self.shards.push((id, backend));
+                Ok((id, moved))
+            }
+            Err(error) => {
+                self.ring.remove_node(&id);
+                Err(error)
+            }
+        }
+    }
+
+    /// Drains and drops shard `id`: its item-memory entries are streamed
+    /// out and re-inserted through the ring onto the remaining shards,
+    /// then the shard leaves the ring. Returns `(removed, entries
+    /// drained)` — `(false, 0)` for an unknown id or the last shard.
+    ///
+    /// The shard *process* keeps running (and keeps its replicated head);
+    /// only the router stops routing to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error if the leaver or a receiving shard is
+    /// unreachable.
+    pub fn leave(&mut self, id: usize) -> Result<(bool, u64), HdcError> {
+        if self.shards.len() <= 1 {
+            return Ok((false, 0));
+        }
+        let Some(position) = self.shards.iter().position(|(sid, _)| *sid == id) else {
+            return Ok((false, 0));
+        };
+        let mut snapshot = self.shards[position].1.snapshot()?;
+        let items = snapshot.take_items();
+        self.ring.remove_node(&id);
+        self.shards.remove(position);
+        let drained = items.len() as u64;
+        for (key, hv) in items {
+            self.insert(&key, &hv)?;
+        }
+        Ok((true, drained))
+    }
+}
+
+/// A framed-TCP front-end over a [`ClusterRouter`], speaking the same
+/// wire protocol as a single-shard [`Server`](crate::Server) — so a
+/// client cannot tell a cluster from one big runtime. Additionally
+/// answers the cluster-membership opcodes (`shard_join`/`shard_leave`)
+/// that shard runtimes refuse.
+#[derive(Debug)]
+pub struct ClusterServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    router: Arc<Mutex<ClusterRouter>>,
+}
+
+impl ClusterServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against the router. `clients` is the
+    /// [`ClientConfig`] used to connect to shards named in `shard_join`
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` if the address cannot be bound.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        router: ClusterRouter,
+        clients: ClientConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(Mutex::new(router));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let router = Arc::clone(&router);
+            thread::Builder::new()
+                .name("hdc-cluster-accept".into())
+                .spawn(move || accept_loop(&listener, &stop, &router, clients))
+                .expect("spawning the cluster accept thread")
+        };
+        Ok(Self {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            router,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs `with` against the router behind the front-end (e.g. to join
+    /// a shard programmatically while the server keeps accepting).
+    pub fn with_router<T>(&self, with: impl FnOnce(&mut ClusterRouter) -> T) -> T {
+        let mut router = self.router.lock().expect("cluster router lock");
+        with(&mut router)
+    }
+
+    /// Stops accepting, closes every live connection and joins the
+    /// server's threads, handing the router back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection handler panicked while holding the router.
+    #[must_use]
+    pub fn shutdown(mut self) -> ClusterRouter {
+        self.stop_and_join();
+        let router = Arc::clone(&self.router);
+        drop(self);
+        let router = Arc::try_unwrap(router)
+            .unwrap_or_else(|_| panic!("all router references are joined at shutdown"));
+        router.into_inner().expect("cluster router lock")
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ClusterServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    router: &Arc<Mutex<ClusterRouter>>,
+    clients: ClientConfig,
+) {
+    let mut connections: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        connections.retain(|(_, worker)| !worker.is_finished());
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let router = Arc::clone(router);
+        let worker = thread::Builder::new()
+            .name("hdc-cluster-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &router, clients);
+            })
+            .expect("spawning a cluster connection thread");
+        connections.push((clone, worker));
+    }
+    for (stream, _) in &connections {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    for (_, worker) in connections {
+        let _ = worker.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    router: &Mutex<ClusterRouter>,
+    clients: ClientConfig,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    loop {
+        let request = match wire::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return Ok(()),
+            Err(error) if error.kind() == io::ErrorKind::InvalidData => {
+                let _ = wire::write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: error.to_string(),
+                    },
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return Err(error);
+            }
+            Err(error) => return Err(error),
+        };
+        let response = {
+            let mut router = router.lock().expect("cluster router lock");
+            answer(&mut router, clients, request)
+        };
+        wire::write_response(&mut writer, &response)?;
+    }
+}
+
+/// Maps one decoded request onto the router. Every error becomes a
+/// [`Response::Error`] — the connection survives bad requests and dead
+/// shards alike.
+fn answer(router: &mut ClusterRouter, clients: ClientConfig, request: Request) -> Response {
+    fn fail(error: &HdcError) -> Response {
+        Response::Error {
+            message: error.to_string(),
+        }
+    }
+    match request {
+        Request::Predict { key, hv } => match router.predict(&key, &hv) {
+            Ok(prediction) => Response::Label {
+                label: prediction.label as u32,
+                generation: prediction.generation,
+            },
+            Err(error) => fail(&error),
+        },
+        Request::PredictBatch { pairs } => match router.predict_batch(&pairs) {
+            Ok(predictions) => Response::Labels {
+                predictions: predictions
+                    .into_iter()
+                    .map(|p| (p.label as u32, p.generation))
+                    .collect(),
+            },
+            Err(error) => fail(&error),
+        },
+        Request::PredictValue { key, hv } => match router.predict_value(&key, &hv) {
+            Ok(prediction) => Response::Value {
+                value: prediction.value,
+                generation: prediction.generation,
+            },
+            Err(error) => fail(&error),
+        },
+        Request::PredictValueBatch { pairs } => match router.predict_value_batch(&pairs) {
+            Ok(predictions) => Response::Values {
+                predictions: predictions
+                    .into_iter()
+                    .map(|p| (p.value, p.generation))
+                    .collect(),
+            },
+            Err(error) => fail(&error),
+        },
+        Request::Insert { key, hv } => match router.insert(&key, &hv) {
+            Ok(replaced) => Response::Inserted { replaced },
+            Err(error) => fail(&error),
+        },
+        Request::Remove { key } => match router.remove(&key) {
+            Ok(removed) => Response::Removed { removed },
+            Err(error) => fail(&error),
+        },
+        Request::Fit { label, hv } => match router.fit_encoded(&hv, label as usize) {
+            Ok(()) => Response::FitAck,
+            Err(error) => fail(&error),
+        },
+        Request::FitValue { value, hv } => match router.fit_value_encoded(&hv, value) {
+            Ok(()) => Response::FitAck,
+            Err(error) => fail(&error),
+        },
+        Request::Refresh => match router.refresh() {
+            Ok(generation) => Response::Refreshed { generation },
+            Err(error) => fail(&error),
+        },
+        Request::Stats => match router.cluster_stats() {
+            Ok(stats) => Response::Stats(stats),
+            Err(error) => fail(&error),
+        },
+        Request::Ping => match router.ping() {
+            Ok((generation, uptime_us)) => Response::Pong {
+                generation,
+                uptime_us,
+            },
+            Err(error) => fail(&error),
+        },
+        Request::ShardJoin { addr } => {
+            match RemoteShard::connect_with(&addr, clients)
+                .and_then(|shard| router.join(Box::new(shard)))
+            {
+                Ok((id, moved)) => Response::ShardJoined {
+                    id: id as u32,
+                    moved,
+                },
+                Err(error) => fail(&error),
+            }
+        }
+        Request::ShardLeave { id } => match router.leave(id as usize) {
+            Ok((removed, drained)) => Response::ShardLeft { removed, drained },
+            Err(error) => fail(&error),
+        },
+        Request::AddShard | Request::RemoveShard { .. } => Response::Error {
+            message: "cluster membership changes via shard_join/shard_leave, \
+                      not add_shard/remove_shard"
+                .into(),
+        },
+        Request::Snapshot | Request::Restore { .. } => Response::Error {
+            message: "snapshot streaming is served by shard runtimes, not the router".into(),
+        },
+    }
+}

@@ -56,6 +56,20 @@ pub(crate) fn put_long_string(buf: &mut Vec<u8>, value: &str) {
     buf.extend_from_slice(value.as_bytes());
 }
 
+/// Writes an opaque byte blob with a `u32` length prefix — the wire
+/// carrier for embedded formats with their own framing (snapshot bytes).
+pub(crate) fn put_bytes(buf: &mut Vec<u8>, value: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(value.len()).map_err(|_| {
+        invalid(format!(
+            "blob of {} bytes exceeds the u32 limit",
+            value.len()
+        ))
+    })?;
+    put_u32(buf, len);
+    buf.extend_from_slice(value);
+    Ok(())
+}
+
 pub(crate) fn put_hv(buf: &mut Vec<u8>, hv: &BinaryHypervector) -> io::Result<()> {
     let dim = u32::try_from(hv.dim()).map_err(|_| invalid("dimension exceeds u32"))?;
     put_u32(buf, dim);
@@ -148,6 +162,12 @@ impl<'a> Cursor<'a> {
         let len = usize::try_from(len).map_err(|_| invalid("string length exceeds usize"))?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| invalid("key is not valid UTF-8"))
+    }
+
+    /// Reads a `u32`-length-prefixed byte blob (see [`put_bytes`]).
+    pub(crate) fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
     }
 
     pub(crate) fn hv(&mut self) -> io::Result<BinaryHypervector> {

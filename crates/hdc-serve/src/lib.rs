@@ -26,6 +26,13 @@
 //!   over the runtime ([`wire`] documents the protocol), so many processes
 //!   can share one fleet and their traffic coalesces into the same
 //!   micro-batches.
+//! * [`ClusterRouter`] / [`ClusterServer`] — the multi-process form of the
+//!   fleet: shard `Runtime`s run as separate processes, the router maps
+//!   keys to them over the same consistent ring `ShardedModel` routes by
+//!   (behind the transport-agnostic [`ShardBackend`] seam), replicates
+//!   training to every shard, and warm-joins fresh shards by streaming
+//!   [`Snapshot`]s — bit-identical to the in-process fleet for any shard
+//!   count.
 //!
 //! # Quickstart
 //!
@@ -47,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod codec;
 pub mod metrics;
 mod pipeline;
@@ -57,6 +65,7 @@ mod snapshot;
 mod spec;
 pub mod wire;
 
+pub use cluster::{ClusterRouter, ClusterServer, LocalShard, RemoteShard, ShardBackend};
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
@@ -68,7 +77,7 @@ pub use runtime::{
     BatchPolicy, Generation, OnlineLearner, Prediction, Runtime, RuntimeConfig, RuntimeHandle,
     RuntimeStats, ValuePrediction,
 };
-pub use server::{BlockingClient, Server};
+pub use server::{BlockingClient, ClientConfig, Server};
 pub use sharded::{Head, RingConfig, ShardedModel};
 pub use snapshot::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use spec::{Basis, EncSpec, PipelineSpec, SpecInput, Task, SPEC_VERSION};

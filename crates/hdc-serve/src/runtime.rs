@@ -96,6 +96,10 @@ impl Default for BatchPolicy {
 /// `Copy`, since PR 5 — the snapshot paths own heap data.)
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
+    /// Human-readable identity of this runtime, reported in the `stats`
+    /// shard-identity section so a cluster router (or an operator) can
+    /// tell shard processes apart. Empty by default.
+    pub name: String,
     /// Number of item-memory shards (`>= 1`).
     pub shards: usize,
     /// Geometry of the consistent-hash ring.
@@ -123,6 +127,7 @@ impl Default for RuntimeConfig {
     /// observations, no durability hooks.
     fn default() -> Self {
         Self {
+            name: String::new(),
             shards: 1,
             ring: RingConfig::default(),
             seed: 0,
@@ -330,13 +335,42 @@ enum Work<O> {
     Stats {
         reply: Sender<RuntimeStats>,
     },
+    Snapshot {
+        spec: PipelineSpec,
+        reply: Sender<Snapshot>,
+    },
+    Restore {
+        snapshot: Snapshot,
+        reply: Sender<Result<u64, HdcError>>,
+    },
     Shutdown,
 }
 
 enum TrainerMsg {
-    Observe { hv: BinaryHypervector, label: usize },
-    ObserveValue { hv: BinaryHypervector, value: f64 },
-    Refresh { reply: Option<Sender<u64>> },
+    Observe {
+        hv: BinaryHypervector,
+        label: usize,
+    },
+    ObserveValue {
+        hv: BinaryHypervector,
+        value: f64,
+    },
+    Refresh {
+        reply: Option<Sender<u64>>,
+    },
+    /// Capture the trainer's accumulators (the dispatcher has already
+    /// collected `items` from the fleet) into one consistent [`Snapshot`].
+    Snapshot {
+        spec: PipelineSpec,
+        items: Vec<(String, BinaryHypervector)>,
+        reply: Sender<Snapshot>,
+    },
+    /// Adopt a snapshot's accumulators and publish the rebuilt head as a
+    /// new generation (the dispatcher has already adopted the items).
+    Restore {
+        snapshot: Snapshot,
+        reply: Sender<Result<u64, HdcError>>,
+    },
     Stop,
 }
 
@@ -351,6 +385,14 @@ pub struct RuntimeStats {
     /// tell a fresh (cold-cache) runtime from a long-lived one without
     /// issuing a prediction.
     pub uptime_us: u64,
+    /// The runtime's configured identity ([`RuntimeConfig::name`]; empty
+    /// by default) — the shard-identity field a cluster router uses to
+    /// tell shard processes apart.
+    pub name: String,
+    /// Number of ring positions each shard occupies on the consistent-hash
+    /// ring ([`RingConfig::positions`]) — the rest of the shard-identity
+    /// section (the item-memory key count is [`keys`](Self::keys)).
+    pub ring_positions: u64,
     /// Query dimensionality `d`.
     pub dim: u64,
     /// Number of classes of the published head (`0` for a regression
@@ -458,6 +500,10 @@ where
         let (work_tx, work_rx) = mpsc::channel::<Work<X::Owned>>();
         let (trainer_tx, trainer_rx) = mpsc::channel::<TrainerMsg>();
 
+        let identity = ShardIdentity {
+            name: config.name.clone(),
+            ring_positions: config.ring.positions as u64,
+        };
         let dispatcher = {
             let metrics = Arc::clone(&metrics);
             let generations = Arc::clone(&generations);
@@ -478,6 +524,7 @@ where
                         metrics,
                         generations,
                         trainer_tx,
+                        identity,
                     )
                 })
                 .expect("spawning the dispatcher thread")
@@ -508,6 +555,7 @@ where
                 alive,
                 dim: spec.dim,
                 task,
+                spec: Arc::new(spec.clone()),
             },
             spec,
             snapshot_on_shutdown: config.snapshot_on_shutdown,
@@ -580,6 +628,14 @@ pub struct RuntimeHandle<X: ?Sized + ToOwned> {
     alive: Arc<AtomicBool>,
     dim: usize,
     task: Task,
+    spec: Arc<PipelineSpec>,
+}
+
+/// The identity fields of the `stats` reply — fixed at spawn, owned by the
+/// dispatcher.
+struct ShardIdentity {
+    name: String,
+    ring_positions: u64,
 }
 
 /// Flips the runtime's liveness flag to `false` when dropped — installed
@@ -603,6 +659,7 @@ impl<X: ?Sized + ToOwned> Clone for RuntimeHandle<X> {
             alive: Arc::clone(&self.alive),
             dim: self.dim,
             task: self.task,
+            spec: Arc::clone(&self.spec),
         }
     }
 }
@@ -1028,6 +1085,48 @@ where
         self.rpc(|reply| Work::Stats { reply })
     }
 
+    /// The spec of the pipeline this runtime serves.
+    #[must_use]
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Captures a live [`Snapshot`] of the runtime — spec, trainer
+    /// accumulators and item memories — without stopping it. The capture
+    /// is consistent: the dispatcher collects the items at a micro-batch
+    /// boundary and the trainer folds its accumulators in after every
+    /// observation relayed before the call, so the snapshot a cluster
+    /// router streams to a warm-joining shard is a coherent point in time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn snapshot(&self) -> Result<Snapshot, HdcError> {
+        let spec = (*self.spec).clone();
+        self.rpc(|reply| Work::Snapshot { spec, reply })
+    }
+
+    /// Adopts a [`Snapshot`]'s state into the live runtime: its trainer
+    /// accumulators replace the online trainer's, the rebuilt head is
+    /// published as a new generation, and its items are merged
+    /// (upsert-style) into the fleet. This is how a fresh shard process
+    /// joins a cluster warm — a peer's streamed snapshot makes it answer
+    /// bit-identically to the shard state it inherits. Returns the id of
+    /// the published generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Snapshot`] if the snapshot's spec differs from
+    /// the runtime's, and [`HdcError::ServiceUnavailable`] after shutdown.
+    pub fn restore(&self, snapshot: Snapshot) -> Result<u64, HdcError> {
+        if snapshot.spec() != &*self.spec {
+            return Err(HdcError::Snapshot(
+                "snapshot spec does not match the runtime's spec".into(),
+            ));
+        }
+        self.rpc(|reply| Work::Restore { snapshot, reply })?
+    }
+
     fn rpc<R>(&self, make: impl FnOnce(Sender<R>) -> Work<X::Owned>) -> Result<R, HdcError> {
         let (reply_tx, reply_rx) = mpsc::channel();
         self.send_work(make(reply_tx))?;
@@ -1110,7 +1209,7 @@ fn fill_batch<X: ?Sized + Sync>(
     });
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn dispatcher_loop<X>(
     work_rx: Receiver<Work<X::Owned>>,
     mut fleet: ShardedModel<String>,
@@ -1119,6 +1218,7 @@ fn dispatcher_loop<X>(
     metrics: Arc<ServeMetrics>,
     generations: Arc<GenerationCell>,
     trainer_tx: Sender<TrainerMsg>,
+    identity: ShardIdentity,
 ) -> ShardedModel<String>
 where
     X: ?Sized + ToOwned + Sync + 'static,
@@ -1311,6 +1411,8 @@ where
                 let _ = reply.send(RuntimeStats {
                     generation: generations.load().id(),
                     uptime_us: metrics.uptime().as_micros() as u64,
+                    name: identity.name.clone(),
+                    ring_positions: identity.ring_positions,
                     dim: dim as u64,
                     classes,
                     shard_loads: fleet
@@ -1322,6 +1424,31 @@ where
                     last_remap_fraction: fleet.last_remap_fraction(),
                     metrics: metrics.snapshot(),
                 });
+            }
+            Some(Work::Snapshot { spec, reply }) => {
+                // The dispatcher owns the items; the trainer owns the
+                // accumulators. Collecting here and capturing there keeps
+                // the snapshot consistent: every fit this dispatcher
+                // relayed before the call precedes the capture in the
+                // trainer's queue.
+                let items: Vec<(String, BinaryHypervector)> = fleet
+                    .entries()
+                    .map(|(key, hv)| (key.clone(), hv.clone()))
+                    .collect();
+                let _ = trainer_tx.send(TrainerMsg::Snapshot { spec, items, reply });
+            }
+            Some(Work::Restore {
+                mut snapshot,
+                reply,
+            }) => {
+                // Items merge into the fleet first (upsert), then the
+                // trainer adopts the accumulators and publishes — so by
+                // the time the caller sees the reply, both halves of the
+                // snapshot are live.
+                for (key, hv) in snapshot.take_items() {
+                    fleet.insert(key, hv);
+                }
+                let _ = trainer_tx.send(TrainerMsg::Restore { snapshot, reply });
             }
             Some(Work::Shutdown) => break 'runtime,
             Some(Work::Predict(_))
@@ -1378,6 +1505,23 @@ fn trainer_loop(
                 if let Some(reply) = reply {
                     let _ = reply.send(id);
                 }
+            }
+            Ok(TrainerMsg::Snapshot { spec, items, reply }) => {
+                let snapshot = match &learner {
+                    OnlineLearner::Classify(trainer) => Snapshot::of_classify(spec, trainer, items),
+                    OnlineLearner::Regress(trainer) => Snapshot::of_regress(spec, trainer, items),
+                };
+                let _ = reply.send(snapshot);
+            }
+            Ok(TrainerMsg::Restore { snapshot, reply }) => {
+                let restored = match &mut learner {
+                    OnlineLearner::Classify(trainer) => snapshot.restore_classify_trainer(trainer),
+                    OnlineLearner::Regress(trainer) => snapshot.restore_regress_trainer(trainer),
+                };
+                let _ = reply.send(restored.map(|()| {
+                    since_publish = 0;
+                    publish(&learner, &generations)
+                }));
             }
         }
     }

@@ -30,9 +30,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use std::time::Duration;
+
 use hdc_core::{BinaryHypervector, HdcError};
 
 use crate::runtime::{Prediction, RuntimeHandle, RuntimeStats, ValuePrediction};
+use crate::snapshot::Snapshot;
 use crate::wire::{self, Request, Response};
 
 /// A running TCP front-end over one serving runtime.
@@ -252,6 +255,33 @@ where
             Ok(()) => Response::FitAck,
             Err(error) => fail(&error),
         },
+        Request::PredictValueBatch { pairs } => match handle.predict_value_encoded_many(pairs) {
+            Ok(predictions) => Response::Values {
+                predictions: predictions
+                    .into_iter()
+                    .map(|p| (p.value, p.generation))
+                    .collect(),
+            },
+            Err(error) => fail(&error),
+        },
+        Request::Snapshot => match handle.snapshot() {
+            Ok(snapshot) => Response::Snapshot {
+                bytes: snapshot.to_bytes(),
+            },
+            Err(error) => fail(&error),
+        },
+        Request::Restore { snapshot } => {
+            match Snapshot::from_bytes(&snapshot).and_then(|snapshot| handle.restore(snapshot)) {
+                Ok(generation) => Response::Restored { generation },
+                Err(error) => fail(&error),
+            }
+        }
+        // Cluster membership is a router decision: a shard runtime cannot
+        // rewire the ring its peers route by, so these ops are answered
+        // only by a cluster front-end (see `ClusterServer`).
+        Request::ShardJoin { .. } | Request::ShardLeave { .. } => Response::Error {
+            message: "shard join/leave is answered by a cluster router, not a shard runtime".into(),
+        },
         // The health probe never touches the dispatcher queue: liveness,
         // generation and uptime are read straight off the handle's shared
         // state, so a load balancer can poll at any rate without
@@ -270,8 +300,40 @@ where
     }
 }
 
+/// Deadlines and connect-retry policy of a [`BlockingClient`] — so a
+/// router (or a test) never hangs on a dead shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt connection deadline.
+    pub connect_timeout: Duration,
+    /// Deadline for each response read (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each request write (`None` blocks forever).
+    pub write_timeout: Option<Duration>,
+    /// Extra connection attempts after the first failure.
+    pub connect_retries: u32,
+    /// Sleep before the first retry; doubles per subsequent attempt.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    /// 2 s to connect (3 retries, 25 ms doubling backoff), 10 s per read
+    /// and write — generous enough for loaded CI machines, bounded enough
+    /// that a dead shard is reported instead of hanging the caller.
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            connect_retries: 3,
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
 /// A minimal synchronous client of the framed protocol: one request in
-/// flight at a time, blocking until the response frame arrives.
+/// flight at a time, blocking until the response frame arrives (bounded by
+/// the [`ClientConfig`] deadlines).
 #[derive(Debug)]
 pub struct BlockingClient {
     reader: BufReader<TcpStream>,
@@ -279,18 +341,61 @@ pub struct BlockingClient {
 }
 
 impl BlockingClient {
-    /// Connects to a running [`Server`].
+    /// Connects to a running [`Server`] with the default [`ClientConfig`]
+    /// (bounded timeouts and connect retries).
     ///
     /// # Errors
     ///
-    /// Returns `io::Error` if the connection cannot be established.
+    /// Returns `io::Error` if the connection cannot be established within
+    /// the configured attempts.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Self {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit deadlines and retry policy: each attempt
+    /// tries every resolved address under `connect_timeout`, failed
+    /// attempts back off starting at `retry_backoff` and doubling, and the
+    /// established stream carries the read/write deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's `io::Error` once `1 + connect_retries`
+    /// attempts have failed (`TimedOut` if the deadline expired).
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let mut backoff = config.retry_backoff;
+        let mut last_error = None;
+        for attempt in 0..=config.connect_retries {
+            if attempt > 0 {
+                thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match Self::try_connect(&addr, &config) {
+                Ok(client) => return Ok(client),
+                Err(error) => last_error = Some(error),
+            }
+        }
+        Err(last_error
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved")))
+    }
+
+    fn try_connect(addr: &impl ToSocketAddrs, config: &ClientConfig) -> io::Result<Self> {
+        let mut last_error = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(config.read_timeout)?;
+                    stream.set_write_timeout(config.write_timeout)?;
+                    return Ok(Self {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: BufWriter::new(stream),
+                    });
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        Err(last_error
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved")))
     }
 
     fn call(&mut self, request: &Request) -> io::Result<Response> {
@@ -498,6 +603,91 @@ impl BlockingClient {
                 generation,
                 uptime_us,
             } => Ok((generation, uptime_us)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Predicts a batch of keyed, encoded queries' real-valued labels,
+    /// answered in order — the regression twin of
+    /// [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn predict_value_batch(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> io::Result<Vec<ValuePrediction>> {
+        let response = self.call(&Request::PredictValueBatch { pairs })?;
+        match response {
+            Response::Values { predictions } => Ok(predictions
+                .into_iter()
+                .map(|(value, generation)| ValuePrediction { value, generation })
+                .collect()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Streams the serving process's full state as a [`Snapshot`] — the
+    /// donor half of a warm shard join.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure, a server-side error or an
+    /// undecodable snapshot stream.
+    pub fn snapshot(&mut self) -> io::Result<Snapshot> {
+        match self.call(&Request::Snapshot)? {
+            Response::Snapshot { bytes } => Snapshot::from_bytes(&bytes)
+                .map_err(|error| io::Error::new(io::ErrorKind::InvalidData, error.to_string())),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Streams a [`Snapshot`] into the serving process (trainer state
+    /// adopted, items merged), returning the id of the generation
+    /// published from it — the receiving half of a warm shard join.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error
+    /// (including a spec mismatch).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> io::Result<u64> {
+        match self.call(&Request::Restore {
+            snapshot: snapshot.to_bytes(),
+        })? {
+            Response::Restored { generation } => Ok(generation),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks a cluster router to warm-join the shard process at `addr`,
+    /// returning `(assigned id, items moved onto it)`. Shard runtimes
+    /// refuse this op.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn shard_join(&mut self, addr: &str) -> io::Result<(usize, u64)> {
+        match self.call(&Request::ShardJoin {
+            addr: addr.to_owned(),
+        })? {
+            Response::ShardJoined { id, moved } => Ok((id as usize, moved)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Asks a cluster router to drain and drop shard `id`, returning
+    /// `(removed, items re-inserted through the ring)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::Error` on transport failure or a server-side error.
+    pub fn shard_leave(&mut self, id: usize) -> io::Result<(bool, u64)> {
+        match self.call(&Request::ShardLeave {
+            id: u32::try_from(id)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "id exceeds u32"))?,
+        })? {
+            Response::ShardLeft { removed, drained } => Ok((removed, drained)),
             other => Err(Self::unexpected(&other)),
         }
     }

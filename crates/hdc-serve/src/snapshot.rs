@@ -172,78 +172,102 @@ impl Snapshot {
         std::mem::take(&mut self.items)
     }
 
+    /// Swaps the captured item-memory entries for `items` — the cluster
+    /// router streams a donor's trainer state with a *different* item
+    /// partition to a warm-joining shard.
+    pub(crate) fn replace_items(&mut self, items: Vec<(String, BinaryHypervector)>) {
+        self.items = items;
+    }
+
+    /// Adopts this snapshot's counters into an already built (same-spec)
+    /// classification trainer.
+    pub(crate) fn restore_classify_trainer(
+        &self,
+        trainer: &mut CentroidTrainer,
+    ) -> Result<(), HdcError> {
+        let StateSnapshot::Classify {
+            counts,
+            accumulators,
+        } = &self.state
+        else {
+            return Err(HdcError::Snapshot(
+                "snapshot task does not match the spec's task".into(),
+            ));
+        };
+        if accumulators.len() != trainer.classes() || counts.len() != trainer.classes() {
+            return Err(HdcError::Snapshot(format!(
+                "snapshot holds {} classes, spec expects {}",
+                accumulators.len(),
+                trainer.classes()
+            )));
+        }
+        let dim = self.spec.dim;
+        let rebuilt: Vec<MajorityAccumulator> = accumulators
+            .iter()
+            .map(|(class_counts, weight)| {
+                if class_counts.len() != dim {
+                    return Err(HdcError::Snapshot(format!(
+                        "class counter table of {} entries does not match dim {dim}",
+                        class_counts.len()
+                    )));
+                }
+                Ok(MajorityAccumulator::from_parts(
+                    class_counts.clone(),
+                    *weight,
+                ))
+            })
+            .collect::<Result<_, _>>()?;
+        let sample_counts = counts
+            .iter()
+            .map(|&c| {
+                usize::try_from(c)
+                    .map_err(|_| HdcError::Snapshot(format!("count {c} exceeds usize")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        *trainer = CentroidTrainer::from_parts(rebuilt, sample_counts)?;
+        Ok(())
+    }
+
+    /// Adopts this snapshot's counters into an already built (same-spec)
+    /// regression trainer.
+    pub(crate) fn restore_regress_trainer(
+        &self,
+        trainer: &mut RegressionTrainer,
+    ) -> Result<(), HdcError> {
+        let StateSnapshot::Regress {
+            observed,
+            counts,
+            weight,
+        } = &self.state
+        else {
+            return Err(HdcError::Snapshot(
+                "snapshot task does not match the spec's task".into(),
+            ));
+        };
+        if counts.len() != self.spec.dim {
+            return Err(HdcError::Snapshot(format!(
+                "bundle counter table of {} entries does not match dim {}",
+                counts.len(),
+                self.spec.dim
+            )));
+        }
+        let observed = usize::try_from(*observed).map_err(|_| {
+            HdcError::Snapshot(format!("observation count {observed} exceeds usize"))
+        })?;
+        *trainer = RegressionTrainer::from_parts(
+            trainer.label_encoder().clone(),
+            MajorityAccumulator::from_parts(counts.clone(), *weight),
+            observed,
+        )?;
+        Ok(())
+    }
+
     /// Adopts this snapshot's trainer counters into an already built
     /// (same-spec) task state and re-finalizes the head.
     pub(crate) fn restore_into(&self, state: &mut TaskState) -> Result<(), HdcError> {
-        match (&self.state, &mut *state) {
-            (
-                StateSnapshot::Classify {
-                    counts,
-                    accumulators,
-                },
-                TaskState::Classify { trainer, .. },
-            ) => {
-                if accumulators.len() != trainer.classes() || counts.len() != trainer.classes() {
-                    return Err(HdcError::Snapshot(format!(
-                        "snapshot holds {} classes, spec expects {}",
-                        accumulators.len(),
-                        trainer.classes()
-                    )));
-                }
-                let dim = self.spec.dim;
-                let rebuilt: Vec<MajorityAccumulator> = accumulators
-                    .iter()
-                    .map(|(class_counts, weight)| {
-                        if class_counts.len() != dim {
-                            return Err(HdcError::Snapshot(format!(
-                                "class counter table of {} entries does not match dim {dim}",
-                                class_counts.len()
-                            )));
-                        }
-                        Ok(MajorityAccumulator::from_parts(
-                            class_counts.clone(),
-                            *weight,
-                        ))
-                    })
-                    .collect::<Result<_, _>>()?;
-                let sample_counts = counts
-                    .iter()
-                    .map(|&c| {
-                        usize::try_from(c)
-                            .map_err(|_| HdcError::Snapshot(format!("count {c} exceeds usize")))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                *trainer = CentroidTrainer::from_parts(rebuilt, sample_counts)?;
-            }
-            (
-                StateSnapshot::Regress {
-                    observed,
-                    counts,
-                    weight,
-                },
-                TaskState::Regress { trainer, .. },
-            ) => {
-                if counts.len() != self.spec.dim {
-                    return Err(HdcError::Snapshot(format!(
-                        "bundle counter table of {} entries does not match dim {}",
-                        counts.len(),
-                        self.spec.dim
-                    )));
-                }
-                let observed = usize::try_from(*observed).map_err(|_| {
-                    HdcError::Snapshot(format!("observation count {observed} exceeds usize"))
-                })?;
-                *trainer = RegressionTrainer::from_parts(
-                    trainer.label_encoder().clone(),
-                    MajorityAccumulator::from_parts(counts.clone(), *weight),
-                    observed,
-                )?;
-            }
-            _ => {
-                return Err(HdcError::Snapshot(
-                    "snapshot task does not match the spec's task".into(),
-                ))
-            }
+        match &mut *state {
+            TaskState::Classify { trainer, .. } => self.restore_classify_trainer(trainer)?,
+            TaskState::Regress { trainer, .. } => self.restore_regress_trainer(trainer)?,
         }
         state.refresh();
         Ok(())

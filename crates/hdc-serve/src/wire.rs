@@ -8,8 +8,9 @@
 //!
 //! ```text
 //! frame    := u32 length, payload[length]
-//! payload  := u8 version (=2), u8 opcode, body
+//! payload  := u8 version (=3), u8 opcode, body
 //! string   := u16 length, utf8 bytes
+//! bytes    := u32 length, raw bytes
 //! hv       := u32 dim, u64 words[dim.div_ceil(64)]   (packed LSB-first)
 //! ```
 //!
@@ -22,17 +23,28 @@
 //! Protocol version 2 (PR 5) added the regression operations
 //! (`predict_value`/`fit_value`), the `ping` health probe, and the
 //! `uptime_us` field in `stats`.
+//!
+//! Protocol version 3 (PR 6) adds the shard-cluster surface: the batched
+//! regression predict (`predict_value_batch`), the shard-lifecycle
+//! operations (`snapshot`/`restore` streaming the
+//! [`Snapshot`](crate::Snapshot) codec over the wire so a fresh shard
+//! process joins warm, `shard_join`/`shard_leave` answered by a cluster
+//! router), and the shard-identity section (`name`, `ring_positions`) in
+//! `stats`. Snapshot streams ride a single frame, so a shard's state must
+//! fit [`MAX_FRAME_BYTES`].
 
 use std::io::{self, Read, Write};
 
 use hdc_core::BinaryHypervector;
 
-use crate::codec::{invalid, put_f64, put_hv, put_string, put_u16, put_u32, put_u64, Cursor};
+use crate::codec::{
+    invalid, put_bytes, put_f64, put_hv, put_string, put_u16, put_u32, put_u64, Cursor,
+};
 use crate::metrics::MetricsSnapshot;
 use crate::runtime::{Prediction, RuntimeStats, ValuePrediction};
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on one frame's payload (16 MiB): a 256-row batch of
 /// 100k-bit queries is ~3 MiB, so real traffic sits far below while a
@@ -105,6 +117,38 @@ pub enum Request {
     /// connection handler — no prediction is issued and nothing enters the
     /// dispatcher queue, so load balancers can poll it at any rate.
     Ping,
+    /// Predict a batch of keyed, encoded queries' real-valued labels
+    /// (opcode 13) — the regression twin of `PredictBatch`.
+    PredictValueBatch {
+        /// `(routing key, encoded query)` pairs, answered in order.
+        pairs: Vec<(String, BinaryHypervector)>,
+    },
+    /// Stream the serving process's full state — spec, trainer
+    /// accumulators, item memories — as [`Snapshot`](crate::Snapshot)
+    /// bytes (opcode 14). A cluster router issues this against a donor
+    /// shard to warm-join a fresh one.
+    Snapshot,
+    /// Adopt a streamed [`Snapshot`](crate::Snapshot) into the live
+    /// runtime (opcode 15): trainer accumulators replace the online
+    /// trainer's and items merge into the fleet — the receiving half of a
+    /// warm shard join.
+    Restore {
+        /// The snapshot's canonical byte encoding.
+        snapshot: Vec<u8>,
+    },
+    /// Ask a cluster router to warm-join the shard process listening at
+    /// `addr` (opcode 16). Shard runtimes refuse this op — membership is
+    /// the router's job.
+    ShardJoin {
+        /// Address of the new shard process (`host:port`).
+        addr: String,
+    },
+    /// Ask a cluster router to drain and drop shard `id` (opcode 17): its
+    /// items are re-inserted through the ring before it is removed.
+    ShardLeave {
+        /// Cluster-assigned shard id to remove.
+        id: u32,
+    },
 }
 
 /// A server → client reply.
@@ -166,6 +210,36 @@ pub enum Response {
         generation: u64,
         /// Microseconds since the runtime spawned.
         uptime_us: u64,
+    },
+    /// Answer to [`Request::PredictValueBatch`] (opcode 13): per-query
+    /// `(value, generation)` in request order.
+    Values {
+        /// One `(value, generation)` per query, in order.
+        predictions: Vec<(f64, u64)>,
+    },
+    /// Answer to [`Request::Snapshot`] (opcode 14).
+    Snapshot {
+        /// The [`Snapshot`](crate::Snapshot) canonical byte encoding.
+        bytes: Vec<u8>,
+    },
+    /// Answer to [`Request::Restore`] (opcode 15).
+    Restored {
+        /// Id of the generation published from the adopted state.
+        generation: u64,
+    },
+    /// Answer to [`Request::ShardJoin`] (opcode 16).
+    ShardJoined {
+        /// Cluster-assigned id of the new shard.
+        id: u32,
+        /// Item-memory entries streamed onto the new shard.
+        moved: u64,
+    },
+    /// Answer to [`Request::ShardLeave`] (opcode 17).
+    ShardLeft {
+        /// `false` for an unknown id or the last shard.
+        removed: bool,
+        /// Item-memory entries re-inserted through the ring.
+        drained: u64,
     },
     /// Any request the server could not serve (opcode 255).
     Error {
@@ -304,6 +378,29 @@ pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<(
             11
         }
         Request::Ping => 12,
+        Request::PredictValueBatch { pairs } => {
+            let n = u16::try_from(pairs.len())
+                .map_err(|_| invalid("batch exceeds the u16 row limit"))?;
+            put_u16(&mut body, n);
+            for (key, hv) in pairs {
+                put_string(&mut body, key)?;
+                put_hv(&mut body, hv)?;
+            }
+            13
+        }
+        Request::Snapshot => 14,
+        Request::Restore { snapshot } => {
+            put_bytes(&mut body, snapshot)?;
+            15
+        }
+        Request::ShardJoin { addr } => {
+            put_string(&mut body, addr)?;
+            16
+        }
+        Request::ShardLeave { id } => {
+            put_u32(&mut body, *id);
+            17
+        }
     };
     write_frame(writer, opcode, &body)
 }
@@ -356,6 +453,22 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
             hv: cursor.hv()?,
         },
         12 => Request::Ping,
+        13 => {
+            let n = cursor.u16()? as usize;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((cursor.string()?, cursor.hv()?));
+            }
+            Request::PredictValueBatch { pairs }
+        }
+        14 => Request::Snapshot,
+        15 => Request::Restore {
+            snapshot: cursor.bytes()?,
+        },
+        16 => Request::ShardJoin {
+            addr: cursor.string()?,
+        },
+        17 => Request::ShardLeave { id: cursor.u32()? },
         other => return Err(invalid(format!("unknown request opcode {other}"))),
     };
     cursor.finish()?;
@@ -425,6 +538,34 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
             put_u64(&mut body, *uptime_us);
             12
         }
+        Response::Values { predictions } => {
+            let n = u16::try_from(predictions.len())
+                .map_err(|_| invalid("batch exceeds the u16 row limit"))?;
+            put_u16(&mut body, n);
+            for (value, generation) in predictions {
+                put_f64(&mut body, *value);
+                put_u64(&mut body, *generation);
+            }
+            13
+        }
+        Response::Snapshot { bytes } => {
+            put_bytes(&mut body, bytes)?;
+            14
+        }
+        Response::Restored { generation } => {
+            put_u64(&mut body, *generation);
+            15
+        }
+        Response::ShardJoined { id, moved } => {
+            put_u32(&mut body, *id);
+            put_u64(&mut body, *moved);
+            16
+        }
+        Response::ShardLeft { removed, drained } => {
+            body.push(u8::from(*removed));
+            put_u64(&mut body, *drained);
+            17
+        }
         Response::Error { message } => {
             // Truncation keeps the byte length well under put_string's
             // u16 limit even for 4-byte code points.
@@ -483,6 +624,28 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
             generation: cursor.u64()?,
             uptime_us: cursor.u64()?,
         },
+        13 => {
+            let n = cursor.u16()? as usize;
+            let mut predictions = Vec::with_capacity(n);
+            for _ in 0..n {
+                predictions.push((cursor.f64()?, cursor.u64()?));
+            }
+            Response::Values { predictions }
+        }
+        14 => Response::Snapshot {
+            bytes: cursor.bytes()?,
+        },
+        15 => Response::Restored {
+            generation: cursor.u64()?,
+        },
+        16 => Response::ShardJoined {
+            id: cursor.u32()?,
+            moved: cursor.u64()?,
+        },
+        17 => Response::ShardLeft {
+            removed: cursor.take(1)?[0] != 0,
+            drained: cursor.u64()?,
+        },
         255 => {
             let len = cursor.u16()? as usize;
             let bytes = cursor.take(len)?;
@@ -499,6 +662,9 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
 fn put_stats(body: &mut Vec<u8>, stats: &RuntimeStats) -> io::Result<()> {
     put_u64(body, stats.generation);
     put_u64(body, stats.uptime_us);
+    // Shard identity (v3): configured name + ring position count.
+    put_string(body, &stats.name)?;
+    put_u64(body, stats.ring_positions);
     put_u64(body, stats.dim);
     put_u64(body, stats.classes);
     let shards =
@@ -539,6 +705,8 @@ fn put_stats(body: &mut Vec<u8>, stats: &RuntimeStats) -> io::Result<()> {
 fn read_stats(cursor: &mut Cursor<'_>) -> io::Result<RuntimeStats> {
     let generation = cursor.u64()?;
     let uptime_us = cursor.u64()?;
+    let name = cursor.string()?;
+    let ring_positions = cursor.u64()?;
     let dim = cursor.u64()?;
     let classes = cursor.u64()?;
     let shards = cursor.u16()? as usize;
@@ -566,6 +734,8 @@ fn read_stats(cursor: &mut Cursor<'_>) -> io::Result<RuntimeStats> {
     Ok(RuntimeStats {
         generation,
         uptime_us,
+        name,
+        ring_positions,
         dim,
         classes,
         shard_loads,
@@ -645,6 +815,21 @@ mod tests {
             hv: hv(129, 5),
         });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::PredictValueBatch {
+            pairs: (0..5).map(|i| (format!("s{i}"), hv(64, i))).collect(),
+        });
+        round_trip_request(Request::PredictValueBatch { pairs: Vec::new() });
+        round_trip_request(Request::Snapshot);
+        round_trip_request(Request::Restore {
+            snapshot: vec![0x48, 0x44, 0x43, 0x53, 0xFF],
+        });
+        round_trip_request(Request::Restore {
+            snapshot: Vec::new(),
+        });
+        round_trip_request(Request::ShardJoin {
+            addr: "127.0.0.1:7117".into(),
+        });
+        round_trip_request(Request::ShardLeave { id: 2 });
     }
 
     #[test]
@@ -670,12 +855,26 @@ mod tests {
             generation: 12,
             uptime_us: 9_876_543,
         });
+        round_trip_response(Response::Values {
+            predictions: vec![(0.5, 1), (-3.25, 1), (12.0, 2)],
+        });
+        round_trip_response(Response::Snapshot {
+            bytes: vec![0x48, 0x44, 0x43, 0x53, 0x00, 0x01],
+        });
+        round_trip_response(Response::Restored { generation: 4 });
+        round_trip_response(Response::ShardJoined { id: 3, moved: 17 });
+        round_trip_response(Response::ShardLeft {
+            removed: true,
+            drained: 9,
+        });
         round_trip_response(Response::Error {
             message: "dimension mismatch: expected 512, found 64".into(),
         });
         round_trip_response(Response::Stats(RuntimeStats {
             generation: 3,
             uptime_us: 120_000,
+            name: "shard-1".into(),
+            ring_positions: 128,
             dim: 512,
             classes: 4,
             shard_loads: vec![(0, 10), (1, 0), (5, 3)],
@@ -698,6 +897,8 @@ mod tests {
         round_trip_response(Response::Stats(RuntimeStats {
             generation: 0,
             uptime_us: 0,
+            name: String::new(),
+            ring_positions: 0,
             dim: 64,
             classes: 2,
             shard_loads: Vec::new(),

@@ -21,9 +21,12 @@
 //! * `hash` ([`hdc_hash`]) — hyperdimensional consistent hashing, the original
 //!   application of circular hypervectors.
 //! * `serve` ([`hdc_serve`]) — the unified [`Pipeline`]/[`Model`] builder API,
-//!   [`ShardedModel`] serving over the consistent-hash ring, and the
+//!   [`ShardedModel`] serving over the consistent-hash ring, the
 //!   long-running [`Runtime`] (micro-batching ingestion, versioned online
-//!   learning) with its framed-TCP [`Server`]/[`BlockingClient`] front-end.
+//!   learning) with its framed-TCP [`Server`]/[`BlockingClient`] front-end,
+//!   and the multi-process [`ClusterRouter`]/[`ClusterServer`] that routes
+//!   keys across shard processes and warm-joins fresh shards by streaming
+//!   [`Snapshot`]s.
 //!
 //! # Quickstart
 //!
@@ -78,7 +81,8 @@ pub use hdc_core::{
 };
 pub use hdc_encode::{Encoder, FeatureRecordEncoder, FieldSpec, Radians};
 pub use hdc_serve::{
-    Basis, BatchPolicy, BlockingClient, Enc, EncSpec, Model, Pipeline, PipelineSpec, Prediction,
-    RingConfig, Runtime, RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardedModel,
-    Snapshot, Task, ValuePrediction,
+    Basis, BatchPolicy, BlockingClient, ClientConfig, ClusterRouter, ClusterServer, Enc, EncSpec,
+    LocalShard, Model, Pipeline, PipelineSpec, Prediction, RemoteShard, RingConfig, Runtime,
+    RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardBackend, ShardedModel, Snapshot, Task,
+    ValuePrediction,
 };

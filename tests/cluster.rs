@@ -1,0 +1,527 @@
+//! End-to-end tests of the multi-process shard cluster (PR 6).
+//!
+//! Acceptance criteria covered here:
+//!
+//! * **Cluster bit-identity** — N shard `Runtime` processes behind a
+//!   [`ClusterRouter`] (loopback TCP, real wire frames) answer
+//!   bit-identically to the unsharded `Model` *and* the in-process
+//!   `ShardedModel`, for classification and regression, for any shard
+//!   count — and key→shard routing matches `ShardedModel::shard_of`
+//!   exactly.
+//! * **Warm joins under churn** — after one shard leaves and a blank
+//!   replacement joins warm via snapshot streaming, predictions are
+//!   still bit-identical and every stored item survived, even with
+//!   concurrent client traffic throughout.
+//! * **Bounded timeouts** — a dead or unresponsive shard surfaces as
+//!   `HdcError::Timeout`/`HdcError::Transport` instead of hanging the
+//!   router.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use hdc::serve::Radians;
+use hdc::{
+    Basis, BatchPolicy, BinaryHypervector, BlockingClient, ClientConfig, ClusterRouter,
+    ClusterServer, Enc, HdcError, Model, Pipeline, RemoteShard, RingConfig, Runtime, RuntimeConfig,
+    Server, ShardBackend, ShardedModel,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 256;
+
+/// A small trained angle pipeline (day/night over the 24-hour circle).
+/// Deterministic per seed, so every call yields a bit-identical model —
+/// which is how each shard process gets the same replicated head.
+fn trained_model(seed: u64) -> Model<Radians> {
+    let mut model = Pipeline::builder(DIM)
+        .seed(seed)
+        .classes(2)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    let labels: Vec<usize> = (0..48).map(|i| usize::from(i >= 24)).collect();
+    model
+        .fit_batch(&hours, &labels)
+        .expect("valid training set");
+    model
+}
+
+/// The regression twin: hour-of-day as the real-valued label.
+fn trained_value_model(seed: u64) -> Model<Radians> {
+    let mut model = Pipeline::builder(DIM)
+        .seed(seed)
+        .regression(0.0, 24.0, 24)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let hours: Vec<Radians> = (0..48)
+        .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+        .collect();
+    let values: Vec<f64> = (0..48).map(|i| f64::from(i) / 2.0).collect();
+    model
+        .fit_value_batch(&hours, &values)
+        .expect("valid training set");
+    model
+}
+
+fn shard_config(name: &str) -> RuntimeConfig {
+    RuntimeConfig {
+        name: name.to_owned(),
+        shards: 1,
+        policy: BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        },
+        refresh_every: 0,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Spawns one shard *process* stand-in: a runtime with its own framed-TCP
+/// server on an ephemeral loopback port.
+fn spawn_shard(model: Model<Radians>, name: &str) -> (Runtime<Radians>, Server) {
+    let runtime = Runtime::spawn(model, shard_config(name)).expect("valid runtime");
+    let server = Server::spawn("127.0.0.1:0", runtime.handle()).expect("ephemeral port");
+    (runtime, server)
+}
+
+/// Fast-failing client deadlines for tests: a hung shard must surface in
+/// milliseconds, not the default 10 s.
+fn test_client_config() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Some(Duration::from_secs(5)),
+        write_timeout: Some(Duration::from_secs(5)),
+        connect_retries: 2,
+        retry_backoff: Duration::from_millis(10),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Acceptance criterion: a cluster of N shard runtimes behind the
+    /// router — loopback TCP, real wire frames — answers bit-identically
+    /// to the unsharded model and the in-process `ShardedModel`, and
+    /// routes every key to the same shard id `ShardedModel::shard_of`
+    /// picks.
+    #[test]
+    fn cluster_predictions_are_bit_identical_to_the_sharded_model(
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        ring_seed in 0u64..100,
+    ) {
+        let model = trained_model(seed);
+        let inputs: Vec<Radians> = (0..40).map(|i| Radians(f64::from(i) * 0.17)).collect();
+        let queries = model.encode_batch(&inputs);
+        let expected = model.predict_encoded(&queries);
+        let keys: Vec<String> = (0..inputs.len()).map(|i| format!("user-{i}")).collect();
+        let fleet: ShardedModel<String> =
+            ShardedModel::from_model(&model, shards, ring_seed).expect("valid fleet");
+        prop_assert_eq!(&fleet.predict_batch(&keys, &queries).expect("routable"), &expected);
+
+        // Same seed + training → every shard process owns a bit-identical
+        // replicated head.
+        let fleet_procs: Vec<(Runtime<Radians>, Server)> = (0..shards)
+            .map(|i| spawn_shard(trained_model(seed), &format!("shard-{i}")))
+            .collect();
+        let backends: Vec<Box<dyn ShardBackend>> = fleet_procs
+            .iter()
+            .map(|(_, server)| {
+                let addr = server.local_addr().to_string();
+                let shard = RemoteShard::connect_with(&addr, test_client_config())
+                    .expect("loopback connect");
+                Box::new(shard) as Box<dyn ShardBackend>
+            })
+            .collect();
+        let mut router = ClusterRouter::new(backends, RingConfig::default(), ring_seed)
+            .expect("valid cluster");
+        prop_assert_eq!(router.shard_count(), shards);
+        prop_assert_eq!(router.dim(), DIM);
+
+        // Routing parity: the router's ring is the fleet's ring.
+        for key in &keys {
+            prop_assert_eq!(router.shard_of(key), fleet.shard_of(key));
+        }
+
+        // Prediction parity: batch and single paths.
+        let pairs: Vec<(String, BinaryHypervector)> = keys
+            .iter()
+            .cloned()
+            .zip(queries.rows().map(|row| row.to_hypervector()))
+            .collect();
+        let batched = router.predict_batch(&pairs).expect("routable");
+        prop_assert_eq!(
+            batched.iter().map(|p| p.label).collect::<Vec<_>>(),
+            expected.clone()
+        );
+        for ((key, hv), &label) in pairs.iter().zip(&expected) {
+            let prediction = router.predict(key, hv).expect("routable");
+            prop_assert_eq!(prediction.label, label);
+        }
+
+        for (runtime, server) in fleet_procs {
+            server.shutdown();
+            runtime.shutdown();
+        }
+    }
+
+    /// The regression twin: served f64 values over the cluster are
+    /// bit-identical to the unsharded model's and the in-process fleet's.
+    #[test]
+    fn cluster_value_predictions_are_bit_identical_to_the_sharded_model(
+        seed in 0u64..1_000,
+        shards in 1usize..4,
+    ) {
+        let model = trained_value_model(seed);
+        let inputs: Vec<Radians> = (0..30).map(|i| Radians(f64::from(i) * 0.21)).collect();
+        let queries = model.encode_batch(&inputs);
+        let expected = model.predict_values_encoded(&queries);
+        let keys: Vec<String> = (0..inputs.len()).map(|i| format!("station-{i}")).collect();
+        let fleet: ShardedModel<String> =
+            ShardedModel::from_model(&model, shards, 0).expect("valid fleet");
+        prop_assert_eq!(&fleet.predict_values(&keys, &queries).expect("routable"), &expected);
+
+        let fleet_procs: Vec<(Runtime<Radians>, Server)> = (0..shards)
+            .map(|i| spawn_shard(trained_value_model(seed), &format!("shard-{i}")))
+            .collect();
+        let backends: Vec<Box<dyn ShardBackend>> = fleet_procs
+            .iter()
+            .map(|(_, server)| {
+                let addr = server.local_addr().to_string();
+                let shard = RemoteShard::connect_with(&addr, test_client_config())
+                    .expect("loopback connect");
+                Box::new(shard) as Box<dyn ShardBackend>
+            })
+            .collect();
+        let mut router =
+            ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+
+        let pairs: Vec<(String, BinaryHypervector)> = keys
+            .iter()
+            .cloned()
+            .zip(queries.rows().map(|row| row.to_hypervector()))
+            .collect();
+        let served = router.predict_value_batch(&pairs).expect("routable");
+        prop_assert_eq!(
+            served.iter().map(|p| p.value).collect::<Vec<_>>(),
+            expected
+        );
+
+        for (runtime, server) in fleet_procs {
+            server.shutdown();
+            runtime.shutdown();
+        }
+    }
+}
+
+/// Acceptance criterion: shard leave + warm join under live traffic. A
+/// cluster front-end serves concurrent clients while one shard leaves and
+/// a **blank** replacement joins warm via snapshot streaming; predictions
+/// stay bit-identical throughout, the replacement answers with the
+/// trained head it never saw trained, and every stored item survives the
+/// churn.
+#[test]
+fn warm_join_and_leave_under_live_traffic_keep_bit_identity() {
+    let seed = 77;
+    let model = trained_model(seed);
+    let inputs: Vec<Radians> = (0..40).map(|i| Radians(f64::from(i) * 0.13)).collect();
+    let queries = model.encode_batch(&inputs);
+    let expected = Arc::new(model.predict_encoded(&queries));
+    let keys: Vec<String> = (0..inputs.len()).map(|i| format!("user-{i}")).collect();
+    let pairs: Arc<Vec<(String, BinaryHypervector)>> = Arc::new(
+        keys.iter()
+            .cloned()
+            .zip(queries.rows().map(|row| row.to_hypervector()))
+            .collect(),
+    );
+
+    // Three shard processes, a router over them, and a cluster front-end.
+    let mut fleet_procs: Vec<(Runtime<Radians>, Server)> = (0..3)
+        .map(|i| spawn_shard(trained_model(seed), &format!("shard-{i}")))
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = fleet_procs
+        .iter()
+        .map(|(_, server)| {
+            let addr = server.local_addr().to_string();
+            let shard =
+                RemoteShard::connect_with(&addr, test_client_config()).expect("loopback connect");
+            Box::new(shard) as Box<dyn ShardBackend>
+        })
+        .collect();
+    let router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    let front =
+        ClusterServer::spawn("127.0.0.1:0", router, test_client_config()).expect("ephemeral port");
+    let front_addr = front.local_addr();
+
+    // Store every key's hypervector through the front-end.
+    let mut client = BlockingClient::connect(front_addr).expect("connect");
+    for (key, hv) in pairs.iter() {
+        assert!(!client.insert(key, hv).expect("insert"));
+    }
+
+    // The cluster's aggregate stats see all shards and all keys.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.keys, 40);
+    assert_eq!(stats.shard_loads.len(), 3);
+    assert_eq!(stats.name, "cluster(3)");
+    assert_eq!(stats.ring_positions, 128);
+
+    // Live traffic: two clients hammer predictions through the churn,
+    // asserting bit-identity on every answer.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let pairs = Arc::clone(&pairs);
+            let expected = Arc::clone(&expected);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = BlockingClient::connect(front_addr).expect("connect");
+                let mut answered = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for ((key, hv), &label) in pairs.iter().zip(expected.iter()) {
+                        let prediction = client.predict(key, hv).expect("served prediction");
+                        assert_eq!(prediction.label, label, "key {key}");
+                        answered += 1;
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Shard 1 leaves: its stored entries drain onto the survivors.
+    let (removed, drained) = client.shard_leave(1).expect("leave");
+    assert!(removed);
+    let (_, leaver_server) = fleet_procs.remove(1);
+    leaver_server.shutdown();
+
+    // A *blank* shard process (same spec, zero observations) joins warm:
+    // the router streams it a donor trainer state plus the item-memory
+    // entries the grown ring assigns to it.
+    let blank = Pipeline::builder(DIM)
+        .seed(seed)
+        .classes(2)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let (new_runtime, new_server) = spawn_shard(blank, "shard-3");
+    let (joined_id, moved) = client
+        .shard_join(&new_server.local_addr().to_string())
+        .expect("warm join");
+    assert_eq!(joined_id, 3, "ids keep counting like ShardedModel's");
+    fleet_procs.push((new_runtime, new_server));
+
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        assert!(worker.join().expect("client thread") > 0);
+    }
+
+    // The ring after churn matches an in-process fleet with the same
+    // history (remove shard 1, add a shard), and predictions are still
+    // bit-identical — including on keys now owned by the warm-joined
+    // blank shard.
+    let mut fleet: ShardedModel<String> =
+        ShardedModel::from_model(&model, 3, 0).expect("valid fleet");
+    assert!(fleet.remove_shard(1));
+    assert_eq!(fleet.add_shard(), 3);
+    front.with_router(|router| {
+        assert_eq!(router.shard_ids(), vec![0, 2, 3]);
+        for key in &keys {
+            assert_eq!(router.shard_of(key), fleet.shard_of(key), "key {key}");
+        }
+    });
+    let batched = client.predict_batch(pairs.as_ref().clone()).expect("batch");
+    assert_eq!(
+        batched.iter().map(|p| p.label).collect::<Vec<_>>(),
+        *expected
+    );
+
+    // No item was lost in the churn: drained entries were re-inserted,
+    // moved entries live on the new shard, and the total stands.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.keys, 40, "drained {drained}, moved {moved}");
+    assert_eq!(stats.shard_loads.len(), 3);
+    let on_new_shard = stats
+        .shard_loads
+        .iter()
+        .find(|(id, _)| *id == 3)
+        .map(|(_, keys)| *keys)
+        .expect("joined shard reports a load");
+    assert_eq!(on_new_shard, moved);
+
+    drop(client);
+    let router = front.shutdown();
+    assert!(router.shard_count() >= 1);
+    for (runtime, server) in fleet_procs {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
+/// Regression cluster churn: after a leave and a warm join of a blank
+/// regression shard, served values are still bit-identical to the
+/// unsharded model's.
+#[test]
+fn regression_cluster_survives_warm_join() {
+    let seed = 31;
+    let model = trained_value_model(seed);
+    let inputs: Vec<Radians> = (0..24).map(|i| Radians(f64::from(i) * 0.25)).collect();
+    let queries = model.encode_batch(&inputs);
+    let expected = model.predict_values_encoded(&queries);
+    let keys: Vec<String> = (0..inputs.len()).map(|i| format!("station-{i}")).collect();
+    let pairs: Vec<(String, BinaryHypervector)> = keys
+        .iter()
+        .cloned()
+        .zip(queries.rows().map(|row| row.to_hypervector()))
+        .collect();
+
+    let mut fleet_procs: Vec<(Runtime<Radians>, Server)> = (0..2)
+        .map(|i| spawn_shard(trained_value_model(seed), &format!("shard-{i}")))
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = fleet_procs
+        .iter()
+        .map(|(_, server)| {
+            let addr = server.local_addr().to_string();
+            let shard =
+                RemoteShard::connect_with(&addr, test_client_config()).expect("loopback connect");
+            Box::new(shard) as Box<dyn ShardBackend>
+        })
+        .collect();
+    let mut router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    for (key, hv) in &pairs {
+        assert!(!router.insert(key, hv).expect("insert"));
+    }
+
+    // Leave shard 0, then warm-join a blank regression shard.
+    let (removed, _) = router.leave(0).expect("leave");
+    assert!(removed);
+    let (_, old_server) = fleet_procs.remove(0);
+    old_server.shutdown();
+    let blank = Pipeline::builder(DIM)
+        .seed(seed)
+        .regression(0.0, 24.0, 24)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let (new_runtime, new_server) = spawn_shard(blank, "shard-2");
+    let shard =
+        RemoteShard::connect_with(&new_server.local_addr().to_string(), test_client_config())
+            .expect("loopback connect");
+    let (id, _) = router.join(Box::new(shard)).expect("warm join");
+    assert_eq!(id, 2);
+    fleet_procs.push((new_runtime, new_server));
+
+    let served = router.predict_value_batch(&pairs).expect("routable");
+    assert_eq!(served.iter().map(|p| p.value).collect::<Vec<_>>(), expected);
+    let stats = router.cluster_stats().expect("stats");
+    assert_eq!(stats.keys as usize, pairs.len());
+
+    for (runtime, server) in fleet_procs {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
+/// An accepted-but-mute shard must surface as `HdcError::Timeout` within
+/// the configured read deadline — the router never hangs on a dead shard.
+#[test]
+fn unresponsive_shard_times_out_instead_of_hanging() {
+    // A listener that accepts connections and then never answers.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("bound").to_string();
+    let mute = thread::spawn(move || {
+        // Hold the one connection open without ever writing a byte.
+        let held = listener.accept();
+        thread::sleep(Duration::from_millis(300));
+        drop(held);
+    });
+
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Some(Duration::from_millis(50)),
+        write_timeout: Some(Duration::from_millis(500)),
+        connect_retries: 0,
+        retry_backoff: Duration::from_millis(5),
+    };
+    let mut shard = RemoteShard::connect_with(&addr, config).expect("accepting socket");
+    let error = shard.ping().expect_err("mute shard must not answer");
+    assert!(
+        matches!(error, HdcError::Timeout { .. }),
+        "expected a timeout, got {error:?}"
+    );
+    // The error's message names the stalled operation.
+    assert!(error.to_string().contains("timed out"), "{error}");
+    mute.join().expect("mute listener thread");
+}
+
+/// A connection-refused shard surfaces as `HdcError::Transport` after the
+/// bounded retries — and quickly, because the backoff is bounded too.
+#[test]
+fn refused_connections_fail_bounded() {
+    // Bind-then-drop: the port is now (very likely) refusing connections.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        listener.local_addr().expect("bound").to_string()
+    };
+    let config = ClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        read_timeout: Some(Duration::from_millis(200)),
+        write_timeout: Some(Duration::from_millis(200)),
+        connect_retries: 2,
+        retry_backoff: Duration::from_millis(5),
+    };
+    let error = RemoteShard::connect_with(&addr, config).expect_err("refused port");
+    assert!(
+        matches!(error, HdcError::Transport(_) | HdcError::Timeout { .. }),
+        "expected a transport error, got {error:?}"
+    );
+}
+
+/// Membership opcodes are answered by the right tier: a shard runtime
+/// refuses `shard_join`, and the cluster front-end refuses raw
+/// `snapshot`/`add_shard` (those belong to shards).
+#[test]
+fn membership_opcodes_are_tier_checked() {
+    let (runtime, server) = spawn_shard(trained_model(5), "solo");
+    let mut shard_client = BlockingClient::connect(server.local_addr()).expect("connect");
+    assert!(
+        shard_client.shard_join("127.0.0.1:1").is_err(),
+        "a shard runtime does not answer cluster membership"
+    );
+
+    let shard = RemoteShard::connect_with(&server.local_addr().to_string(), test_client_config())
+        .expect("loopback connect");
+    let router =
+        ClusterRouter::new(vec![Box::new(shard)], RingConfig::default(), 0).expect("valid cluster");
+    let front =
+        ClusterServer::spawn("127.0.0.1:0", router, test_client_config()).expect("ephemeral port");
+    let mut cluster_client = BlockingClient::connect(front.local_addr()).expect("connect");
+    assert!(
+        cluster_client.snapshot().is_err(),
+        "snapshot streaming is shard-tier, not router-tier"
+    );
+    assert!(
+        cluster_client.add_shard().is_err(),
+        "in-process shard ops are not cluster membership ops"
+    );
+    // The last shard refuses to leave: the cluster stays serveable.
+    assert_eq!(cluster_client.shard_leave(0).expect("answered"), (false, 0));
+    let (generation, _) = cluster_client.ping().expect("cluster ping");
+    assert_eq!(generation, 0);
+
+    drop(cluster_client);
+    let _router = front.shutdown();
+    server.shutdown();
+    runtime.shutdown();
+}

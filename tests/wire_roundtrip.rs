@@ -1,8 +1,8 @@
 //! Property tests of the framed wire protocol: every opcode — including
-//! the PR 5 `predict_value`/`fit_value`/`ping` additions — round-trips
-//! bit-exactly through its frame encoding, and malformed frames
-//! (truncated anywhere, oversized length prefix, wrong version) are
-//! rejected rather than trusted.
+//! the PR 6 cluster additions (`predict_value_batch`, snapshot streaming,
+//! `shard_join`/`shard_leave`) — round-trips bit-exactly through its
+//! frame encoding, and malformed frames (truncated anywhere, oversized
+//! length prefix, wrong version) are rejected rather than trusted.
 
 use hdc::serve::wire::{
     read_request, read_response, write_request, write_response, Request, Response, MAX_FRAME_BYTES,
@@ -60,6 +60,21 @@ fn sample_requests(dim: usize, rng: &mut StdRng) -> Vec<Request> {
             hv: hv(dim, rng),
         },
         Request::Ping,
+        Request::PredictValueBatch {
+            pairs: (0..rng.random_range(0usize..5))
+                .map(|_| (key(rng), hv(dim, rng)))
+                .collect(),
+        },
+        Request::Snapshot,
+        Request::Restore {
+            snapshot: (0..rng.random_range(0usize..64))
+                .map(|_| rng.random_range(0u8..=255))
+                .collect(),
+        },
+        Request::ShardJoin { addr: key(rng) },
+        Request::ShardLeave {
+            id: rng.random_range(0u32..1000),
+        },
     ]
 }
 
@@ -94,6 +109,8 @@ fn sample_responses(rng: &mut StdRng) -> Vec<Response> {
         Response::Stats(RuntimeStats {
             generation: rng.random_range(0u64..1 << 30),
             uptime_us: rng.random_range(0u64..1 << 50),
+            name: key(rng),
+            ring_positions: rng.random_range(0u64..1 << 16),
             dim: rng.random_range(1u64..1 << 20),
             classes: rng.random_range(0u64..64),
             shard_loads: (0..rng.random_range(0usize..5))
@@ -130,6 +147,27 @@ fn sample_responses(rng: &mut StdRng) -> Vec<Response> {
             uptime_us: rng.random_range(0u64..1 << 50),
         },
         Response::Error { message: key(rng) },
+        Response::Values {
+            predictions: (0..rng.random_range(0usize..6))
+                .map(|_| (rng.random_range(-1e6..1e6), rng.random_range(0u64..100)))
+                .collect(),
+        },
+        Response::Snapshot {
+            bytes: (0..rng.random_range(0usize..64))
+                .map(|_| rng.random_range(0u8..=255))
+                .collect(),
+        },
+        Response::Restored {
+            generation: rng.random_range(0u64..1 << 40),
+        },
+        Response::ShardJoined {
+            id: rng.random_range(0u32..1000),
+            moved: rng.random_range(0u64..1 << 30),
+        },
+        Response::ShardLeft {
+            removed: rng.random_bool(0.5),
+            drained: rng.random_range(0u64..1 << 30),
+        },
     ]
 }
 
@@ -168,8 +206,9 @@ proptest! {
 
     /// A frame truncated at *any* interior byte is rejected (or, for a cut
     /// before the first payload byte, reported as clean end-of-stream) —
-    /// never misparsed into a different message. Exercised for the PR 5
-    /// opcodes whose bodies mix strings, f64s and hypervectors.
+    /// never misparsed into a different message. Exercised for every PR 5
+    /// and PR 6 opcode whose body mixes strings, f64s, raw byte blobs and
+    /// hypervectors.
     #[test]
     fn truncated_new_op_frames_are_rejected(seed in 0u64..10_000, dim in 1usize..200) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -180,6 +219,19 @@ proptest! {
                 hv: hv(dim, &mut rng),
             },
             Request::Ping,
+            Request::PredictValueBatch {
+                pairs: (0..rng.random_range(1usize..4))
+                    .map(|_| (key(&mut rng), hv(dim, &mut rng)))
+                    .collect(),
+            },
+            Request::Snapshot,
+            Request::Restore {
+                snapshot: (0..rng.random_range(1usize..32))
+                    .map(|_| rng.random_range(0u8..=255))
+                    .collect(),
+            },
+            Request::ShardJoin { addr: format!("{}:7117", key(&mut rng)) },
+            Request::ShardLeave { id: rng.random_range(0u32..1000) },
         ];
         for request in requests {
             let mut buffer = Vec::new();
@@ -208,6 +260,25 @@ proptest! {
             Response::Pong {
                 generation: rng.random_range(0u64..1000),
                 uptime_us: rng.random_range(0u64..1 << 40),
+            },
+            Response::Values {
+                predictions: (0..rng.random_range(1usize..4))
+                    .map(|_| (rng.random_range(-1e6..1e6), rng.random_range(0u64..100)))
+                    .collect(),
+            },
+            Response::Snapshot {
+                bytes: (0..rng.random_range(1usize..32))
+                    .map(|_| rng.random_range(0u8..=255))
+                    .collect(),
+            },
+            Response::Restored { generation: rng.random_range(0u64..1000) },
+            Response::ShardJoined {
+                id: rng.random_range(0u32..1000),
+                moved: rng.random_range(0u64..1000),
+            },
+            Response::ShardLeft {
+                removed: rng.random_bool(0.5),
+                drained: rng.random_range(0u64..1000),
             },
         ];
         for response in responses {
@@ -239,6 +310,14 @@ fn oversized_and_wrong_version_frames_are_rejected_for_new_ops() {
     // version check before the opcode is even looked at.
     let v1_ping = [0u8, 0, 0, 2, 1, 12];
     assert!(read_request(&mut v1_ping.as_slice()).is_err());
+
+    // Same for a v2 frame carrying a v3-only opcode (shard_leave).
+    let v2_leave = [0u8, 0, 0, 6, 2, 17, 0, 0, 0, 3];
+    assert!(read_request(&mut v2_leave.as_slice()).is_err());
+
+    // An unknown opcode under the current version is refused too.
+    let unknown = [0u8, 0, 0, 2, PROTOCOL_VERSION, 200];
+    assert!(read_request(&mut unknown.as_slice()).is_err());
 
     // An empty stream is a clean EOF, not an error.
     assert_eq!(read_request(&mut [].as_slice()).unwrap(), None);
