@@ -49,6 +49,7 @@
 //! moved fraction near `1/n`. [`ClusterRouter::leave`] is the inverse:
 //! the departing shard's entries are drained back through the ring.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::hash::Hash;
 use std::io::{self, BufReader, BufWriter};
@@ -431,6 +432,18 @@ pub struct ClusterRouter {
     next_id: usize,
     config: RingConfig,
     dim: usize,
+    /// Shards whose online trainer missed a replicated observation (the
+    /// transport failed mid-fan-out). They stop receiving replicated
+    /// observations and are healed from a healthy peer's trainer snapshot
+    /// before the next refresh or membership change publishes anything
+    /// derived from trainer state — so served heads never diverge.
+    lagging: BTreeSet<usize>,
+    /// Item-memory entries that moved to a new owner but could not be
+    /// dropped from their old one. The ring no longer routes to these
+    /// copies, so until the removal is retried (before the next
+    /// membership change) they cost only key-count drift in
+    /// [`cluster_stats`](Self::cluster_stats).
+    pending_removals: Vec<(usize, String)>,
 }
 
 impl fmt::Debug for ClusterRouter {
@@ -488,6 +501,8 @@ impl ClusterRouter {
             shards,
             config,
             dim,
+            lagging: BTreeSet::new(),
+            pending_removals: Vec::new(),
         })
     }
 
@@ -681,33 +696,155 @@ impl ClusterRouter {
     /// the invariant that keeps the per-shard trainer states (and
     /// therefore the published heads) identical across the cluster.
     ///
+    /// If a shard's transport fails mid-fan-out, the observation is still
+    /// applied to the reachable shards and the failed ones are marked
+    /// **lagging** (see [`lagging_shards`](Self::lagging_shards)): they
+    /// stop receiving replicated observations and adopt a healthy peer's
+    /// trainer state wholesale before the next [`refresh`](Self::refresh)
+    /// or membership change — so a partial failure never becomes a
+    /// permanent divergence, and retrying a failed call never
+    /// double-fits.
+    ///
     /// # Errors
     ///
-    /// Returns the first shard's error; observations already replicated
-    /// to earlier shards stand.
+    /// Returns the first shard's error only if **no** shard accepted the
+    /// observation; the cluster is then unchanged and the call is safe to
+    /// retry.
     pub fn fit_encoded(&mut self, hv: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
         self.check_dim(hv.dim())?;
-        for (_, shard) in &mut self.shards {
-            shard.fit_encoded(hv.clone(), label)?;
-        }
-        Ok(())
+        self.replicate(|shard| shard.fit_encoded(hv.clone(), label))
     }
 
     /// Replicates one encoded `(query, value)` observation to every shard
-    /// — the regression twin of [`fit_encoded`](Self::fit_encoded).
+    /// — the regression twin of [`fit_encoded`](Self::fit_encoded), with
+    /// the same partial-failure recovery.
     ///
     /// # Errors
     ///
-    /// Returns the first shard's error; observations already replicated
-    /// to earlier shards stand.
+    /// Returns the first shard's error only if **no** shard accepted the
+    /// observation; the cluster is then unchanged and the call is safe to
+    /// retry.
     pub fn fit_value_encoded(
         &mut self,
         hv: &BinaryHypervector,
         value: f64,
     ) -> Result<(), HdcError> {
         self.check_dim(hv.dim())?;
-        for (_, shard) in &mut self.shards {
-            shard.fit_value_encoded(hv.clone(), value)?;
+        self.replicate(|shard| shard.fit_value_encoded(hv.clone(), value))
+    }
+
+    /// Fans one training observation out to every non-lagging shard.
+    /// Shards that fail are marked lagging, to be healed by
+    /// [`resync_lagging`](Self::resync_lagging) — unless **every**
+    /// reachable shard failed, in which case nothing was applied anywhere
+    /// and the first error is returned so the caller can retry without
+    /// double-fitting.
+    fn replicate(
+        &mut self,
+        mut apply: impl FnMut(&mut dyn ShardBackend) -> Result<(), HdcError>,
+    ) -> Result<(), HdcError> {
+        let mut failed: Vec<usize> = Vec::new();
+        let mut first_error = None;
+        let mut applied = 0usize;
+        for (id, shard) in &mut self.shards {
+            if self.lagging.contains(id) {
+                continue;
+            }
+            match apply(shard.as_mut()) {
+                Ok(()) => applied += 1,
+                Err(error) => {
+                    failed.push(*id);
+                    if first_error.is_none() {
+                        first_error = Some(error);
+                    }
+                }
+            }
+        }
+        if applied == 0 {
+            // No shard holds the observation, so nobody diverged: report
+            // the failure instead of marking the whole cluster lagging.
+            return Err(first_error.unwrap_or(HdcError::ServiceUnavailable));
+        }
+        self.lagging.extend(failed);
+        Ok(())
+    }
+
+    /// Shards currently lagging the replicated trainer state (a fit
+    /// fan-out failed against them). Until healed they are skipped by
+    /// further fits and keep serving the last published head; the next
+    /// [`refresh`](Self::refresh), [`join`](Self::join) or
+    /// [`leave`](Self::leave) heals them from a healthy peer's snapshot
+    /// first.
+    #[must_use]
+    pub fn lagging_shards(&self) -> Vec<usize> {
+        self.lagging.iter().copied().collect()
+    }
+
+    /// Item-memory entries whose move to a new owner succeeded but whose
+    /// removal from the old owner is still deferred (the old owner was
+    /// unreachable). The ring no longer routes to these copies; they are
+    /// flushed before the next membership change.
+    #[must_use]
+    pub fn deferred_cleanup(&self) -> usize {
+        self.pending_removals.len()
+    }
+
+    /// Heals lagging shards: a healthy peer's trainer state (items
+    /// stripped) is streamed to each lagging shard, which adopts it
+    /// wholesale — replicated training makes the donor's accumulators
+    /// exactly the state the lagging shard missed. Returns whether any
+    /// shard was healed. No-op when nothing lags.
+    fn resync_lagging(&mut self) -> Result<bool, HdcError> {
+        if self.lagging.is_empty() {
+            return Ok(false);
+        }
+        let donor = self
+            .shards
+            .iter()
+            .position(|(id, _)| !self.lagging.contains(id))
+            .ok_or(HdcError::ServiceUnavailable)?;
+        let mut stream = self.shards[donor].1.snapshot()?;
+        stream.replace_items(Vec::new());
+        let ids: Vec<usize> = self.lagging.iter().copied().collect();
+        for id in ids {
+            let Some(position) = self.shards.iter().position(|(sid, _)| *sid == id) else {
+                self.lagging.remove(&id);
+                continue;
+            };
+            self.shards[position].1.restore(&stream)?;
+            self.lagging.remove(&id);
+        }
+        Ok(true)
+    }
+
+    /// Retries the deferred removals of entries whose move to a new owner
+    /// committed but whose cleanup on the old owner failed.
+    fn flush_pending_removals(&mut self) -> Result<(), HdcError> {
+        let pending = std::mem::take(&mut self.pending_removals);
+        let mut first_error = None;
+        for (id, key) in pending {
+            let Some(position) = self.shards.iter().position(|(sid, _)| *sid == id) else {
+                // The stale holder itself left the cluster: nothing to do.
+                continue;
+            };
+            if let Err(error) = self.shards[position].1.remove(&key) {
+                self.pending_removals.push((id, key));
+                if first_error.is_none() {
+                    first_error = Some(error);
+                }
+            }
+        }
+        first_error.map_or(Ok(()), Err)
+    }
+
+    /// Brings the cluster back to its fully-consistent resting state
+    /// before a membership change: deferred removals are flushed and
+    /// lagging trainers healed (followed by a full refresh so every
+    /// served head reflects the same trainer state again).
+    fn repair(&mut self) -> Result<(), HdcError> {
+        self.flush_pending_removals()?;
+        if self.resync_lagging()? {
+            self.refresh_all()?;
         }
         Ok(())
     }
@@ -718,10 +855,21 @@ impl ClusterRouter {
     /// counters, every shard finalizes the **same** head — ids may drift
     /// (e.g. after a warm join), the weights never do.
     ///
+    /// Lagging shards are healed from a healthy peer's trainer snapshot
+    /// before anything publishes, so the refreshed heads are identical
+    /// across the cluster even after a partial fit failure.
+    ///
     /// # Errors
     ///
-    /// Returns the first shard's error.
+    /// Returns the first shard's error. A refresh that failed partway is
+    /// safe to retry: trainer states are identical across shards, so a
+    /// repeated refresh republishes the same weights everywhere.
     pub fn refresh(&mut self) -> Result<u64, HdcError> {
+        self.resync_lagging()?;
+        self.refresh_all()
+    }
+
+    fn refresh_all(&mut self) -> Result<u64, HdcError> {
         let mut latest = 0;
         for (_, shard) in &mut self.shards {
             latest = latest.max(shard.refresh()?);
@@ -828,13 +976,28 @@ impl ClusterRouter {
     /// observations) — after the join it answers bit-identically to its
     /// peers.
     ///
+    /// The join **commits** the moment the newcomer has adopted the
+    /// streamed snapshot. Any failure before that point rolls the ring
+    /// back and leaves the cluster unchanged. After that point the
+    /// newcomer is a full member even if dropping a moved entry from its
+    /// old owner fails: the ring already routes those keys to the
+    /// newcomer, so such stale copies are unreachable — they are retried
+    /// before the next membership change and until then cost only
+    /// key-count drift in [`cluster_stats`](Self::cluster_stats) (see
+    /// [`deferred_cleanup`](Self::deferred_cleanup)).
+    ///
     /// # Errors
     ///
     /// Returns a transport error if a peer or the newcomer is
-    /// unreachable, or [`HdcError::Snapshot`] if the newcomer's spec
-    /// differs; the ring is rolled back, so a failed join leaves the
-    /// cluster unchanged.
+    /// unreachable, [`HdcError::Snapshot`] if the newcomer's spec
+    /// differs, or the error of a pending repair (deferred cleanup /
+    /// lagging-trainer heal) that could not complete first. In every
+    /// error case the cluster routes exactly as before the call.
     pub fn join(&mut self, mut backend: Box<dyn ShardBackend>) -> Result<(usize, u64), HdcError> {
+        // Settle earlier partial failures first: stale copies must be
+        // gone before peers donate their item partitions, and the donor
+        // trainer state must not be lagging.
+        self.repair()?;
         let id = self.next_id;
         self.ring.add_node(id);
         // Gather, per peer, the entries the grown ring now assigns to the
@@ -867,15 +1030,26 @@ impl ClusterRouter {
         })();
         match result {
             Ok((moved, moved_keys)) => {
-                // Only after the newcomer holds the entries are they
-                // dropped from their old owners.
-                for ((_, shard), keys) in self.shards.iter_mut().zip(moved_keys) {
-                    for key in keys {
-                        shard.remove(&key)?;
-                    }
-                }
+                // The newcomer holds every moved entry: commit membership
+                // *before* the cleanup, so the ring/backend invariant
+                // holds even if a peer dies mid-removal.
                 self.next_id += 1;
                 self.shards.push((id, backend));
+                for (index, keys) in moved_keys.into_iter().enumerate() {
+                    let peer = self.shards[index].0;
+                    let mut keys = keys.into_iter();
+                    for key in keys.by_ref() {
+                        if self.shards[index].1.remove(&key).is_err() {
+                            // The peer is unreachable: defer its cleanup
+                            // instead of failing a join that has already
+                            // taken effect.
+                            self.pending_removals.push((peer, key));
+                            break;
+                        }
+                    }
+                    self.pending_removals
+                        .extend(keys.map(|key| (peer, key)));
+                }
                 Ok((id, moved))
             }
             Err(error) => {
@@ -885,10 +1059,12 @@ impl ClusterRouter {
         }
     }
 
-    /// Drains and drops shard `id`: its item-memory entries are streamed
-    /// out and re-inserted through the ring onto the remaining shards,
-    /// then the shard leaves the ring. Returns `(removed, entries
-    /// drained)` — `(false, 0)` for an unknown id or the last shard.
+    /// Drains and drops shard `id`: its item-memory entries are re-routed
+    /// through the shrunk ring onto the remaining shards **before** the
+    /// shard is dropped — if any transfer fails, the ring rolls back and
+    /// the leaver keeps serving, so a failed leave never strands an
+    /// entry. Returns `(removed, entries drained)` — `(false, 0)` for an
+    /// unknown id or the last shard.
     ///
     /// The shard *process* keeps running (and keeps its replicated head);
     /// only the router stops routing to it.
@@ -896,7 +1072,10 @@ impl ClusterRouter {
     /// # Errors
     ///
     /// Returns a transport error if the leaver or a receiving shard is
-    /// unreachable.
+    /// unreachable, or the error of a pending repair (deferred cleanup /
+    /// lagging-trainer heal) that could not complete first. In every
+    /// error case the cluster routes exactly as before the call and the
+    /// leaver still holds all of its entries.
     pub fn leave(&mut self, id: usize) -> Result<(bool, u64), HdcError> {
         if self.shards.len() <= 1 {
             return Ok((false, 0));
@@ -904,14 +1083,43 @@ impl ClusterRouter {
         let Some(position) = self.shards.iter().position(|(sid, _)| *sid == id) else {
             return Ok((false, 0));
         };
+        // Settle earlier partial failures first — in particular, stale
+        // copies must be flushed before the drain re-inserts entries, or
+        // a deferred removal could later delete a freshly drained entry.
+        self.repair()?;
         let mut snapshot = self.shards[position].1.snapshot()?;
         let items = snapshot.take_items();
-        self.ring.remove_node(&id);
-        self.shards.remove(position);
         let drained = items.len() as u64;
+        // Shrink the ring first so the drained entries route to their new
+        // owners — but keep the leaver's backend until every transfer
+        // lands, so a failure can roll straight back.
+        self.ring.remove_node(&id);
+        let mut transferred: Vec<(usize, String)> = Vec::with_capacity(items.len());
         for (key, hv) in items {
-            self.insert(&key, &hv)?;
+            let owner = self.shard_of(&key);
+            let target = self
+                .shards
+                .iter()
+                .position(|(sid, _)| *sid == owner)
+                .expect("every ring node has a backend");
+            match self.shards[target].1.insert(key.clone(), hv) {
+                Ok(_) => transferred.push((owner, key)),
+                Err(error) => {
+                    // Roll back: the leaver re-enters the ring (its node
+                    // hypervectors are a pure function of its id, so
+                    // routing is restored exactly) and still holds every
+                    // entry. Copies already transferred — including the
+                    // possibly half-applied failing one — are now
+                    // unreachable and queued for deferred removal.
+                    self.ring.add_node(id);
+                    transferred.push((owner, key));
+                    self.pending_removals.extend(transferred);
+                    return Err(error);
+                }
+            }
         }
+        self.shards.remove(position);
+        self.lagging.remove(&id);
         Ok((true, drained))
     }
 }
@@ -921,6 +1129,19 @@ impl ClusterRouter {
 /// client cannot tell a cluster from one big runtime. Additionally
 /// answers the cluster-membership opcodes (`shard_join`/`shard_leave`)
 /// that shard runtimes refuse.
+///
+/// # Consistency vs. availability
+///
+/// Every request is serialized through one router lock — including
+/// membership changes, which hold it for their full duration (peer
+/// snapshots plus the snapshot stream to the newcomer, each call bounded
+/// by the configured [`ClientConfig`] deadlines). Client traffic
+/// therefore **stalls for the length of a join or leave**. That stall is
+/// the single-writer consistency model: no request can ever observe a
+/// half-moved ring, which is what keeps answers bit-identical through
+/// churn. Splitting membership changes from the serving path (e.g. a
+/// copy-on-write shard table) is a possible follow-up if join-time
+/// stalls become a problem at scale.
 #[derive(Debug)]
 pub struct ClusterServer {
     local_addr: SocketAddr,

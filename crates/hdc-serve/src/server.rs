@@ -265,9 +265,24 @@ where
             Err(error) => fail(&error),
         },
         Request::Snapshot => match handle.snapshot() {
-            Ok(snapshot) => Response::Snapshot {
-                bytes: snapshot.to_bytes(),
-            },
+            Ok(snapshot) => {
+                let bytes = snapshot.to_bytes();
+                if bytes.len() > wire::MAX_SNAPSHOT_BYTES {
+                    // An unencodable frame would kill the connection and
+                    // leave the client staring at an EOF; answer with the
+                    // reason instead.
+                    Response::Error {
+                        message: format!(
+                            "snapshot of {} bytes exceeds the {}-byte frame cap; \
+                             the shard state is too large to stream in one frame",
+                            bytes.len(),
+                            wire::MAX_FRAME_BYTES,
+                        ),
+                    }
+                } else {
+                    Response::Snapshot { bytes }
+                }
+            }
             Err(error) => fail(&error),
         },
         Request::Restore { snapshot } => {

@@ -31,7 +31,10 @@
 //! process joins warm, `shard_join`/`shard_leave` answered by a cluster
 //! router), and the shard-identity section (`name`, `ring_positions`) in
 //! `stats`. Snapshot streams ride a single frame, so a shard's state must
-//! fit [`MAX_FRAME_BYTES`].
+//! fit [`MAX_SNAPSHOT_BYTES`]; a server whose state has outgrown the cap
+//! answers `snapshot` with an explanatory [`Response::Error`] instead of
+//! an unencodable frame (which would drop the connection and leave the
+//! client staring at an EOF).
 
 use std::io::{self, Read, Write};
 
@@ -50,6 +53,14 @@ pub const PROTOCOL_VERSION: u8 = 3;
 /// 100k-bit queries is ~3 MiB, so real traffic sits far below while a
 /// corrupt length prefix cannot trigger a giant allocation.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Largest [`Snapshot`](crate::Snapshot) byte stream that fits one
+/// `snapshot`/`restore` frame: the frame's length covers the version and
+/// opcode bytes, and the stream rides behind a u32 byte-length prefix.
+/// Servers check against this before encoding a snapshot reply, so an
+/// oversized shard state surfaces as a [`Response::Error`] rather than a
+/// dropped connection.
+pub const MAX_SNAPSHOT_BYTES: usize = MAX_FRAME_BYTES - 6;
 
 /// A client → server operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -979,6 +990,28 @@ mod tests {
         let mut framed = Vec::new();
         write_frame(&mut framed, 8, &body).unwrap();
         assert!(read_request(&mut framed.as_slice()).is_err());
+    }
+
+    /// Pins the [`MAX_SNAPSHOT_BYTES`] arithmetic: a snapshot stream at
+    /// exactly the cap still encodes as one frame, one byte more does
+    /// not — which is why servers must check the cap *before* encoding
+    /// (an encode failure here would drop the connection).
+    #[test]
+    fn snapshot_frame_cap_is_exact() {
+        let at_cap = Response::Snapshot {
+            bytes: vec![0u8; MAX_SNAPSHOT_BYTES],
+        };
+        let mut buffer = Vec::new();
+        write_response(&mut buffer, &at_cap).unwrap();
+        assert!(matches!(
+            read_response(&mut buffer.as_slice()).unwrap().unwrap(),
+            Response::Snapshot { bytes } if bytes.len() == MAX_SNAPSHOT_BYTES
+        ));
+
+        let over_cap = Response::Snapshot {
+            bytes: vec![0u8; MAX_SNAPSHOT_BYTES + 1],
+        };
+        assert!(write_response(&mut Vec::new(), &over_cap).is_err());
     }
 
     #[test]

@@ -488,6 +488,321 @@ fn refused_connections_fail_bounded() {
     );
 }
 
+/// A [`ShardBackend`] wrapper whose `insert`/`remove`/`fit` paths can be
+/// switched to fail on demand — the transport-fault injection behind the
+/// partial-failure recovery tests. Snapshot/restore/predict always pass
+/// through, mimicking a peer that is reachable but flaking on specific
+/// operations (or a transient blip the router must absorb).
+struct FlakyShard {
+    inner: Box<dyn ShardBackend>,
+    fail_insert: Arc<AtomicBool>,
+    fail_remove: Arc<AtomicBool>,
+    fail_fit: Arc<AtomicBool>,
+}
+
+impl FlakyShard {
+    fn new(inner: Box<dyn ShardBackend>) -> (Self, Arc<AtomicBool>, Arc<AtomicBool>, Arc<AtomicBool>) {
+        let fail_insert = Arc::new(AtomicBool::new(false));
+        let fail_remove = Arc::new(AtomicBool::new(false));
+        let fail_fit = Arc::new(AtomicBool::new(false));
+        let shard = Self {
+            inner,
+            fail_insert: Arc::clone(&fail_insert),
+            fail_remove: Arc::clone(&fail_remove),
+            fail_fit: Arc::clone(&fail_fit),
+        };
+        (shard, fail_insert, fail_remove, fail_fit)
+    }
+
+    fn injected(flag: &AtomicBool) -> Result<(), HdcError> {
+        if flag.load(Ordering::Relaxed) {
+            Err(HdcError::Transport("injected fault".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl ShardBackend for FlakyShard {
+    fn describe(&self) -> String {
+        format!("flaky({})", self.inner.describe())
+    }
+
+    fn predict_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<hdc::Prediction>, HdcError> {
+        self.inner.predict_encoded_many(pairs)
+    }
+
+    fn predict_value_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<hdc::ValuePrediction>, HdcError> {
+        self.inner.predict_value_encoded_many(pairs)
+    }
+
+    fn insert(&mut self, key: String, hv: BinaryHypervector) -> Result<bool, HdcError> {
+        Self::injected(&self.fail_insert)?;
+        self.inner.insert(key, hv)
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, HdcError> {
+        Self::injected(&self.fail_remove)?;
+        self.inner.remove(key)
+    }
+
+    fn fit_encoded(&mut self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        Self::injected(&self.fail_fit)?;
+        self.inner.fit_encoded(hv, label)
+    }
+
+    fn fit_value_encoded(&mut self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
+        Self::injected(&self.fail_fit)?;
+        self.inner.fit_value_encoded(hv, value)
+    }
+
+    fn refresh(&mut self) -> Result<u64, HdcError> {
+        self.inner.refresh()
+    }
+
+    fn stats(&mut self) -> Result<hdc::RuntimeStats, HdcError> {
+        self.inner.stats()
+    }
+
+    fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        self.inner.ping()
+    }
+
+    fn snapshot(&mut self) -> Result<hdc::Snapshot, HdcError> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &hdc::Snapshot) -> Result<u64, HdcError> {
+        self.inner.restore(snapshot)
+    }
+}
+
+/// The test cluster the fault-injection tests share: `shards` flaky
+/// backends over real shard processes, the keyed entries inserted, and
+/// the expected (bit-identical) predictions.
+#[allow(clippy::type_complexity)]
+fn flaky_cluster(
+    seed: u64,
+    shards: usize,
+) -> (
+    ClusterRouter,
+    Vec<(Runtime<Radians>, Server)>,
+    Vec<(Arc<AtomicBool>, Arc<AtomicBool>, Arc<AtomicBool>)>,
+    Vec<(String, BinaryHypervector)>,
+    Vec<usize>,
+    Model<Radians>,
+) {
+    let model = trained_model(seed);
+    let inputs: Vec<Radians> = (0..40).map(|i| Radians(f64::from(i) * 0.19)).collect();
+    let queries = model.encode_batch(&inputs);
+    let expected = model.predict_encoded(&queries);
+    let pairs: Vec<(String, BinaryHypervector)> = (0..inputs.len())
+        .map(|i| format!("user-{i}"))
+        .zip(queries.rows().map(|row| row.to_hypervector()))
+        .collect();
+
+    let fleet_procs: Vec<(Runtime<Radians>, Server)> = (0..shards)
+        .map(|i| spawn_shard(trained_model(seed), &format!("shard-{i}")))
+        .collect();
+    let mut flags = Vec::new();
+    let backends: Vec<Box<dyn ShardBackend>> = fleet_procs
+        .iter()
+        .map(|(_, server)| {
+            let addr = server.local_addr().to_string();
+            let shard =
+                RemoteShard::connect_with(&addr, test_client_config()).expect("loopback connect");
+            let (flaky, fail_insert, fail_remove, fail_fit) = FlakyShard::new(Box::new(shard));
+            flags.push((fail_insert, fail_remove, fail_fit));
+            Box::new(flaky) as Box<dyn ShardBackend>
+        })
+        .collect();
+    let mut router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    for (key, hv) in &pairs {
+        assert!(!router.insert(key, hv).expect("insert"));
+    }
+    (router, fleet_procs, flags, pairs, expected, model)
+}
+
+fn assert_bit_identical(router: &mut ClusterRouter, pairs: &[(String, BinaryHypervector)], expected: &[usize]) {
+    let served = router.predict_batch(pairs).expect("routable");
+    assert_eq!(
+        served.iter().map(|p| p.label).collect::<Vec<_>>(),
+        expected,
+        "cluster answers must stay bit-identical"
+    );
+}
+
+/// REVIEW regression (high): a join whose post-restore cleanup fails must
+/// stay **committed** — the newcomer holds the moved entries and the ring
+/// routes to it, so the router must keep serving (previously the ring
+/// kept a node with no backend and the next lookup panicked, poisoning
+/// the front-end's router mutex). The skipped removals are deferred and
+/// flushed before the next membership change.
+#[test]
+fn join_commits_even_when_cleanup_removals_fail() {
+    let (mut router, mut fleet_procs, flags, pairs, expected, model) = flaky_cluster(11, 2);
+
+    // Every peer refuses `remove`: the cleanup after the snapshot stream
+    // cannot land.
+    for (_, fail_remove, _) in &flags {
+        fail_remove.store(true, Ordering::Relaxed);
+    }
+
+    let blank = Pipeline::builder(DIM)
+        .seed(11)
+        .classes(2)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid pipeline");
+    let (new_runtime, new_server) = spawn_shard(blank, "shard-2");
+    let newcomer =
+        RemoteShard::connect_with(&new_server.local_addr().to_string(), test_client_config())
+            .expect("loopback connect");
+    let (id, moved) = router
+        .join(Box::new(newcomer))
+        .expect("the join committed once the newcomer adopted the snapshot");
+    fleet_procs.push((new_runtime, new_server));
+    assert_eq!(id, 2);
+    assert!(moved > 0, "this seed moves entries to the newcomer");
+    assert_eq!(router.shard_ids(), vec![0, 1, 2]);
+
+    // Routing still works for every key — including the moved ones, now
+    // answered by the newcomer. Stale copies are unreachable garbage.
+    assert_bit_identical(&mut router, &pairs, &expected);
+    assert_eq!(router.deferred_cleanup() as u64, moved);
+    let stats = router.cluster_stats().expect("stats");
+    assert_eq!(
+        stats.keys as usize,
+        pairs.len() + moved as usize,
+        "stale copies show up only as key-count drift"
+    );
+
+    // The transport heals; the next membership change flushes the
+    // deferred cleanup before doing anything else.
+    for (_, fail_remove, _) in &flags {
+        fail_remove.store(false, Ordering::Relaxed);
+    }
+    let (removed, _) = router.leave(2).expect("leave after heal");
+    assert!(removed);
+    assert_eq!(router.deferred_cleanup(), 0);
+    let stats = router.cluster_stats().expect("stats");
+    assert_eq!(stats.keys as usize, pairs.len(), "no entry lost, no stale copy left");
+    assert_bit_identical(&mut router, &pairs, &expected);
+
+    drop(model);
+    for (runtime, server) in fleet_procs {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
+/// REVIEW regression (medium): a leave whose drain fails partway must
+/// roll back — the leaver re-enters the ring with its entries intact and
+/// nothing is stranded (previously the remaining items were silently
+/// dropped with the leaver already out of the ring).
+#[test]
+fn failed_leave_drain_rolls_back_and_loses_nothing() {
+    let (mut router, fleet_procs, flags, pairs, expected, model) = flaky_cluster(23, 3);
+
+    // Every potential receiver refuses `insert`: the drain cannot land.
+    for (fail_insert, _, _) in &flags {
+        fail_insert.store(true, Ordering::Relaxed);
+    }
+    let error = router.leave(1).expect_err("the drain cannot land anywhere");
+    assert!(
+        matches!(error, HdcError::Transport(_)),
+        "expected the injected transport error, got {error:?}"
+    );
+
+    // Rolled back: the leaver is still a routable member and every
+    // prediction still lands (inject faults only hit writes).
+    assert_eq!(router.shard_ids(), vec![0, 1, 2]);
+    assert_bit_identical(&mut router, &pairs, &expected);
+
+    // Heal and retry: the leave now completes, the deferred duplicates
+    // are flushed first, and no entry was lost in the round trip.
+    for (fail_insert, _, _) in &flags {
+        fail_insert.store(false, Ordering::Relaxed);
+    }
+    let (removed, drained) = router.leave(1).expect("leave after heal");
+    assert!(removed);
+    assert_eq!(router.shard_ids(), vec![0, 2]);
+    assert_eq!(router.deferred_cleanup(), 0);
+    let stats = router.cluster_stats().expect("stats");
+    assert_eq!(
+        stats.keys as usize,
+        pairs.len(),
+        "drained {drained} entries all survived"
+    );
+    assert_bit_identical(&mut router, &pairs, &expected);
+
+    drop(model);
+    for (runtime, server) in fleet_procs {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
+/// REVIEW regression (medium): a replicated fit that fails on one shard
+/// must not silently break the bit-identity invariant. The failed shard
+/// is marked lagging, skipped by further fits, and healed from a healthy
+/// peer's trainer snapshot before the next refresh publishes — after
+/// which the cluster answers bit-identically to an unsharded model that
+/// saw the same observations. A fit no shard accepted is reported and
+/// safe to retry.
+#[test]
+fn partial_fit_failure_marks_lagging_and_heals_before_refresh() {
+    let seed = 37;
+    let (mut router, fleet_procs, flags, pairs, _, model) = flaky_cluster(seed, 2);
+
+    // Two extra observations arrive while shard 1 is flaking on fit.
+    let extra_inputs = [Radians::periodic(3.0, 24.0), Radians::periodic(21.0, 24.0)];
+    let extra_labels = [0usize, 1usize];
+    flags[1].2.store(true, Ordering::Relaxed);
+    for (input, &label) in extra_inputs.iter().zip(&extra_labels) {
+        let hv = model.encode(input);
+        router
+            .fit_encoded(&hv, label)
+            .expect("the reachable shard accepted the observation");
+    }
+    assert_eq!(router.lagging_shards(), vec![1]);
+
+    // A fit **no** shard accepts is an error and marks nothing: the
+    // cluster is unchanged, so the caller can retry without double-fits.
+    flags[0].2.store(true, Ordering::Relaxed);
+    let hv = model.encode(&extra_inputs[0]);
+    assert!(router.fit_encoded(&hv, 0).is_err());
+    assert_eq!(router.lagging_shards(), vec![1], "nothing newly marked");
+    flags[0].2.store(false, Ordering::Relaxed);
+
+    // Refresh heals the laggard from the healthy donor's trainer
+    // snapshot, then publishes everywhere.
+    router.refresh().expect("resync + publish");
+    assert!(router.lagging_shards().is_empty());
+
+    // Reference: the unsharded model after the same two observations.
+    let mut reference = trained_model(seed);
+    reference
+        .fit_batch(&extra_inputs, &extra_labels)
+        .expect("valid observations");
+    let inputs: Vec<Radians> = (0..pairs.len()).map(|i| Radians(i as f64 * 0.19)).collect();
+    let queries = reference.encode_batch(&inputs);
+    let expected = reference.predict_encoded(&queries);
+    assert_bit_identical(&mut router, &pairs, &expected);
+
+    for (runtime, server) in fleet_procs {
+        server.shutdown();
+        runtime.shutdown();
+    }
+}
+
 /// Membership opcodes are answered by the right tier: a shard runtime
 /// refuses `shard_join`, and the cluster front-end refuses raw
 /// `snapshot`/`add_shard` (those belong to shards).
