@@ -1,0 +1,107 @@
+//! Dispatched SIMD kernel backends head to head against the scalar
+//! reference (PR 7).
+//!
+//! Every backend the running CPU supports is benched through its
+//! function-pointer table — the same tables `kernels::dispatch::selected`
+//! publishes — so the numbers price exactly what the dispatch layer
+//! swaps in. Outputs are bit-identical across backends (enforced by the
+//! `kernel_dispatch` proptest suite and re-asserted here on one input);
+//! the bench prices the ISA, never a different answer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_core::kernels::dispatch::{available, table, KernelTable};
+use hdc_core::BinaryHypervector;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+/// One packed operand pair plus a counter slice, with clean tail words.
+fn inputs(dim: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<i32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = BinaryHypervector::random(dim, &mut rng).as_words().to_vec();
+    let b = BinaryHypervector::random(dim, &mut rng).as_words().to_vec();
+    let counts: Vec<i32> = (0..dim)
+        .map(|_| rng.random_range(-10_000..10_000))
+        .collect();
+    (a, b, counts)
+}
+
+fn bench_kernels_simd_vs_scalar(c: &mut Criterion) {
+    let scalar = table(hdc_core::kernels::dispatch::Backend::Scalar).expect("scalar table");
+    let backends: Vec<&'static KernelTable> = available()
+        .into_iter()
+        .map(|backend| table(backend).expect("available backend has a table"))
+        .collect();
+
+    let mut group = c.benchmark_group("kernels_simd_vs_scalar");
+    for dim in [10_000usize, 65_536] {
+        let (a, b, counts) = inputs(dim, 0x51AD);
+        // One-shot agreement check so a parity regression fails the bench
+        // run loudly instead of producing misleading numbers.
+        for t in &backends {
+            assert_eq!((t.hamming)(&a, &b), (scalar.hamming)(&a, &b));
+            assert_eq!(
+                (t.masked_sum)(&counts, &a, &b),
+                (scalar.masked_sum)(&counts, &a, &b)
+            );
+        }
+
+        for t in &backends {
+            let name = t.backend.name();
+            group.bench_with_input(
+                BenchmarkId::new(format!("xor_into_{name}"), dim),
+                &dim,
+                |bencher, _| {
+                    let mut dst = a.clone();
+                    bencher.iter(|| (t.xor_into)(black_box(&mut dst), black_box(&b)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("count_ones_{name}"), dim),
+                &dim,
+                |bencher, _| bencher.iter(|| (t.count_ones)(black_box(&a))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("hamming_{name}"), dim),
+                &dim,
+                |bencher, _| bencher.iter(|| (t.hamming)(black_box(&a), black_box(&b))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("accumulate_{name}"), dim),
+                &dim,
+                |bencher, _| {
+                    let mut acc = counts.clone();
+                    bencher.iter(|| (t.accumulate)(black_box(&mut acc), black_box(&a), 3));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("dot_bipolar_{name}"), dim),
+                &dim,
+                |bencher, _| bencher.iter(|| (t.dot_bipolar)(black_box(&counts), black_box(&a))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("masked_sum_{name}"), dim),
+                &dim,
+                |bencher, _| {
+                    bencher
+                        .iter(|| (t.masked_sum)(black_box(&counts), black_box(&a), black_box(&b)));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("majority_into_{name}"), dim),
+                &dim,
+                |bencher, _| {
+                    let mut out = vec![0u64; dim.div_ceil(64)];
+                    bencher.iter(|| {
+                        (t.majority_into)(black_box(&counts), black_box(&mut out), &mut |i| {
+                            i % 2 == 0
+                        });
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels_simd_vs_scalar);
+criterion_main!(benches);

@@ -196,6 +196,68 @@ fn bench_readout_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR 7 coarse-to-fine value readout against the exhaustive
+/// per-label walk it replaces. Both paths are bit-identical (asserted
+/// below and property-tested in `end_to_end_regression`); the pruned
+/// path pays one coarse prefix pass over every label, then either a
+/// margin-certified shortlist walk or one chain-incremental sweep of the
+/// tail — instead of `levels` full masked-sum walks per query.
+fn bench_value_readout_pruned(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x9A0E);
+    let input = ScalarEncoder::with_levels(0.0, 1.0, 64, DIM, &mut rng).expect("valid");
+    let label = ScalarEncoder::with_levels(0.0, 1.0, 64, DIM, &mut rng).expect("valid");
+    let model = RegressionModel::fit(
+        (0..200).map(|i| {
+            let x = i as f64 / 199.0;
+            (input.encode(x), x)
+        }),
+        label,
+        &mut rng,
+    )
+    .expect("valid");
+    assert!(
+        model.is_pruned(),
+        "a d=10k, 64-level model must clear the pruning gate"
+    );
+    let queries: Vec<BinaryHypervector> = (0..64)
+        .map(|i| input.encode(i as f64 / 63.0).corrupt(0.05, &mut rng))
+        .collect();
+    for query in &queries {
+        assert_eq!(
+            model.predict(query),
+            model.predict_row_full(query.view()),
+            "pruned readout must stay bit-identical"
+        );
+    }
+
+    let mut group = c.benchmark_group("value_readout_pruned");
+    group.bench_with_input(
+        BenchmarkId::new("full_walk", queries.len()),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| black_box(&model).predict_row_full(black_box(q).view()))
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("coarse_to_fine", queries.len()),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| black_box(&model).predict(black_box(q)))
+                    .sum::<f64>()
+            });
+        },
+    );
+    group.finish();
+}
+
 /// Builds the trained angle model the runtime bench serves (deterministic
 /// per seed, so every spawned runtime is bit-identical).
 fn runtime_model() -> Model<Radians> {
@@ -494,6 +556,73 @@ fn bench_cluster(c: &mut Criterion) {
     }
 }
 
+/// The PR 7 concurrent router fan-out against the serial mode it
+/// replaces as the default: the same 256-row keyed batch through a
+/// 3-`LocalShard` router with `FanOut::Serial` and `FanOut::Concurrent`.
+/// Answers are bit-identical in both modes (asserted); the delta is the
+/// overlap of the per-shard queue waits. On a single-core runner the
+/// win is bounded by how much of each shard call is genuine waiting —
+/// the loopback-TCP and multi-core cases are where it widens.
+fn bench_router_concurrent(c: &mut Criterion) {
+    use hdc_serve::{ClusterRouter, FanOut, LocalShard, RingConfig, ShardBackend};
+
+    const SHARDS: usize = 3;
+    let model = runtime_model();
+    let inputs: Vec<Radians> = (0..BATCH)
+        .map(|i| Radians::periodic(i as f64 * 0.173, 24.0))
+        .collect();
+    let arena = model.encode_batch(&inputs);
+    let expected = model.predict_encoded(&arena);
+    let pairs: Vec<(String, BinaryHypervector)> = arena
+        .rows()
+        .enumerate()
+        .map(|(i, row)| (format!("session-{i}"), row.to_hypervector()))
+        .collect();
+
+    let runtimes: Vec<_> = (0..SHARDS)
+        .map(|i| {
+            Runtime::spawn(
+                runtime_model(),
+                RuntimeConfig {
+                    name: format!("fanout-{i}"),
+                    refresh_every: 0,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .expect("valid runtime")
+        })
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = runtimes
+        .iter()
+        .map(|runtime| Box::new(LocalShard::new(runtime.handle())) as Box<dyn ShardBackend>)
+        .collect();
+    let mut router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+
+    let mut group = c.benchmark_group("router_concurrent");
+    for mode in [FanOut::Serial, FanOut::Concurrent] {
+        router.set_fan_out(mode);
+        let served = router.predict_batch(&pairs).expect("routable");
+        assert_eq!(
+            served.iter().map(|p| p.label).collect::<Vec<_>>(),
+            expected,
+            "fan-out mode must never change an answer"
+        );
+        let name = match mode {
+            FanOut::Serial => "serial",
+            FanOut::Concurrent => "concurrent",
+        };
+        group.bench_with_input(BenchmarkId::new(name, BATCH), &pairs, |b, pairs| {
+            b.iter(|| router.predict_batch(black_box(pairs)).expect("routable"));
+        });
+    }
+    group.finish();
+
+    drop(router);
+    for runtime in runtimes {
+        runtime.shutdown();
+    }
+}
+
 /// Snapshot durability costs: serializing a trained d=10k model to its
 /// compact binary form, parsing it back, and the full
 /// `Pipeline::from_snapshot` rebuild (parse + deterministic encoder
@@ -564,9 +693,11 @@ criterion_group!(
     bench_predict,
     bench_regression_readout,
     bench_readout_kernels,
+    bench_value_readout_pruned,
     bench_microbatch,
     bench_value_microbatch,
     bench_cluster,
+    bench_router_concurrent,
     bench_snapshot
 );
 criterion_main!(benches);

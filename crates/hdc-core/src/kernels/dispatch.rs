@@ -1,0 +1,307 @@
+//! Runtime ISA dispatch for the word-slice kernels.
+//!
+//! The six hot kernels (`xor`/`xor_into`, `count_ones`/`hamming`,
+//! `accumulate`, `dot_bipolar`, `masked_sum`, `majority_into`) are
+//! published as a [`KernelTable`] of plain function pointers. At first
+//! use, [`selected`] probes the CPU once (`is_x86_feature_detected!` /
+//! `is_aarch64_feature_detected!`), caches the fastest available table in
+//! a `OnceLock`, and every call through the public `kernels::*` functions
+//! goes through that table — one predictable indirect call in front of an
+//! `O(d/64)` loop.
+//!
+//! # Backends
+//!
+//! * [`Backend::Scalar`] — portable word loops, compiled everywhere,
+//!   always selectable. The bit-exact reference.
+//! * [`Backend::Avx2`] — `x86_64` with AVX2 + POPCNT: 256-bit XOR,
+//!   `vpshufb` nibble-LUT popcounts, and 8-lane `i32` counter kernels
+//!   that widen to `i64` lanes before summing (exact arithmetic, just
+//!   reordered).
+//! * [`Backend::Neon`] — `aarch64` with NEON: 128-bit XOR and
+//!   `vcnt`-based popcounts; the counter kernels currently reuse scalar
+//!   (see `kernels/neon.rs`).
+//!
+//! AVX-512 (`avx512vpopcntdq`) is *detected* and reported by
+//! [`detected_features`] for bench provenance, but maps onto the AVX2
+//! table for now: the AVX-512 intrinsics only stabilized after this
+//! workspace's MSRV (1.75), so a dedicated backend waits on an MSRV bump.
+//!
+//! # Forcing a backend
+//!
+//! Set `HDC_KERNEL=scalar|avx2|neon` before the first kernel call to pin
+//! the table — `HDC_KERNEL=scalar` is how CI proves the fallback stays
+//! green, and how a bisection can rule SIMD in or out. A backend name
+//! that is unknown or unavailable on the running CPU falls back to
+//! `scalar` (never to a faster-but-unsupported path). The choice is
+//! cached for the process lifetime.
+//!
+//! # Bit-identity
+//!
+//! Every backend must agree with [`Backend::Scalar`] **bit for bit** for
+//! any dimensionality, including non-multiples of 64 and ragged tail
+//! words — property-tested across all available backends in
+//! `tests/kernel_dispatch.rs`. The kernels reorder exact integer
+//! arithmetic only; the single caveat is `accumulate` under counter
+//! overflow, where all backends agree modulo 2³² but debug-build scalar
+//! panics first.
+
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "aarch64")]
+use super::neon;
+use super::scalar;
+#[cfg(target_arch = "x86_64")]
+use super::x86;
+
+/// A kernel implementation family, selected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable word-at-a-time loops (always available).
+    Scalar,
+    /// 256-bit AVX2 (+POPCNT) kernels on `x86_64`.
+    Avx2,
+    /// 128-bit NEON kernels on `aarch64`.
+    Neon,
+}
+
+impl Backend {
+    /// The backend's stable lowercase name — the same token
+    /// `HDC_KERNEL` accepts, and the one bench provenance records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Signature of the majority-resolution kernel: counters in, packed words
+/// out, with a caller-supplied tie-break predicate per dimension.
+pub type MajorityIntoFn = fn(&[i32], &mut [u64], &mut dyn FnMut(usize) -> bool);
+
+/// One resolved set of kernel entry points. All six dispatched kernels
+/// are plain `fn` pointers, so a table can mix backends per kernel (NEON
+/// does) and tests/benches can call any available backend directly.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelTable {
+    /// Which backend family this table belongs to.
+    pub backend: Backend,
+    /// In-place XOR bind.
+    pub xor_into: fn(&mut [u64], &[u64]),
+    /// Out-of-place XOR bind.
+    pub xor: fn(&[u64], &[u64], &mut [u64]),
+    /// Total popcount.
+    pub count_ones: fn(&[u64]) -> usize,
+    /// Popcount of the XOR.
+    pub hamming: fn(&[u64], &[u64]) -> usize,
+    /// Signed counter bundling.
+    pub accumulate: fn(&mut [i32], &[u64], i32),
+    /// Signed counter/query agreement.
+    pub dot_bipolar: fn(&[i32], &[u64]) -> i64,
+    /// Counter sum over a mask intersection.
+    pub masked_sum: fn(&[i32], &[u64], &[u64]) -> i64,
+    /// Counter sign resolution with tie-break.
+    pub majority_into: MajorityIntoFn,
+}
+
+static SCALAR: KernelTable = KernelTable {
+    backend: Backend::Scalar,
+    xor_into: scalar::xor_into,
+    xor: scalar::xor,
+    count_ones: scalar::count_ones,
+    hamming: scalar::hamming,
+    accumulate: scalar::accumulate,
+    dot_bipolar: scalar::dot_bipolar,
+    masked_sum: scalar::masked_sum,
+    majority_into: scalar::majority_into,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: KernelTable = KernelTable {
+    backend: Backend::Avx2,
+    xor_into: x86::xor_into,
+    xor: x86::xor,
+    count_ones: x86::count_ones,
+    hamming: x86::hamming,
+    accumulate: x86::accumulate,
+    dot_bipolar: x86::dot_bipolar,
+    masked_sum: x86::masked_sum,
+    majority_into: x86::majority_into,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON: KernelTable = KernelTable {
+    backend: Backend::Neon,
+    xor_into: neon::xor_into,
+    xor: neon::xor,
+    count_ones: neon::count_ones,
+    hamming: neon::hamming,
+    // The i32-lane kernels stay scalar on aarch64 for now (see
+    // kernels/neon.rs); mixing is fine because every entry is
+    // bit-identical to scalar.
+    accumulate: scalar::accumulate,
+    dot_bipolar: scalar::dot_bipolar,
+    masked_sum: scalar::masked_sum,
+    majority_into: scalar::majority_into,
+};
+
+/// The table for `backend`, if that backend is compiled in **and** the
+/// running CPU supports it. `Scalar` always resolves.
+#[must_use]
+pub fn table(backend: Backend) -> Option<&'static KernelTable> {
+    match backend {
+        Backend::Scalar => Some(&SCALAR),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt")
+            {
+                Some(&AVX2)
+            } else {
+                None
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                Some(&NEON)
+            } else {
+                None
+            }
+        }
+        #[allow(unreachable_patterns)]
+        _ => None,
+    }
+}
+
+/// Every backend usable on this machine, scalar first — what the parity
+/// proptests iterate over.
+#[must_use]
+pub fn available() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Avx2, Backend::Neon]
+        .into_iter()
+        .filter(|&b| table(b).is_some())
+        .collect()
+}
+
+/// Parses an `HDC_KERNEL` override. Unknown names map to `None` (and the
+/// selection falls back to scalar — never silently to a faster path).
+fn parse_override(name: &str) -> Option<Backend> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "scalar" => Some(Backend::Scalar),
+        "avx2" => Some(Backend::Avx2),
+        "neon" => Some(Backend::Neon),
+        _ => None,
+    }
+}
+
+/// Picks the fastest table available on this CPU (no override): AVX2 on
+/// `x86_64`, NEON on `aarch64`, scalar otherwise.
+fn fastest() -> &'static KernelTable {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(t) = table(Backend::Avx2) {
+        return t;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if let Some(t) = table(Backend::Neon) {
+        return t;
+    }
+    &SCALAR
+}
+
+/// The process-wide kernel table: resolved once (honouring `HDC_KERNEL`),
+/// then cached. Every public `kernels::*` entry point calls through this.
+#[must_use]
+pub fn selected() -> &'static KernelTable {
+    static SELECTED: OnceLock<&'static KernelTable> = OnceLock::new();
+    SELECTED.get_or_init(|| match std::env::var("HDC_KERNEL") {
+        Ok(name) => parse_override(&name).and_then(table).unwrap_or(&SCALAR),
+        Err(_) => fastest(),
+    })
+}
+
+/// The backend family [`selected`] resolved to — recorded by bench
+/// provenance headers so SIMD numbers are comparable across runners.
+#[must_use]
+pub fn selected_backend() -> Backend {
+    selected().backend
+}
+
+/// The ISA features detected on this CPU that are relevant to kernel
+/// selection, in a stable order — bench provenance for `BENCH_*.json`
+/// host headers. Detection is reported even for features (AVX-512) that
+/// do not yet have their own backend.
+#[must_use]
+pub fn detected_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, detected) in [
+            ("sse2", std::arch::is_x86_feature_detected!("sse2")),
+            ("ssse3", std::arch::is_x86_feature_detected!("ssse3")),
+            ("popcnt", std::arch::is_x86_feature_detected!("popcnt")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            (
+                "avx512vpopcntdq",
+                std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+            ),
+        ] {
+            if detected {
+                features.push(name);
+            }
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            features.push("neon");
+        }
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(available().contains(&Backend::Scalar));
+        assert_eq!(table(Backend::Scalar).unwrap().backend, Backend::Scalar);
+    }
+
+    #[test]
+    fn selected_is_available_and_stable() {
+        let first = selected_backend();
+        assert!(available().contains(&first));
+        // The OnceLock caches: repeated queries agree.
+        assert_eq!(selected_backend(), first);
+        assert_eq!(selected().backend, first);
+    }
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_override(" Scalar "), Some(Backend::Scalar));
+        assert_eq!(parse_override("AVX2"), Some(Backend::Avx2));
+        assert_eq!(parse_override("neon"), Some(Backend::Neon));
+        assert_eq!(parse_override("avx512"), None);
+        assert_eq!(parse_override(""), None);
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            assert_eq!(parse_override(backend.name()), Some(backend));
+            assert_eq!(backend.to_string(), backend.name());
+        }
+    }
+}

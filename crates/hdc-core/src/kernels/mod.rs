@@ -10,33 +10,47 @@
 //! assume (and `debug_assert`) equal slice lengths; dimension checking is
 //! the caller's job.
 //!
+//! The six hot entry points (`xor`/`xor_into`, `count_ones`/`hamming`,
+//! `accumulate`, `dot_bipolar`, `masked_sum`, `majority_into`) route
+//! through [`dispatch`]: a per-process function-pointer table resolved
+//! once from runtime ISA detection (AVX2 on `x86_64`, NEON on `aarch64`,
+//! scalar everywhere), overridable with `HDC_KERNEL=scalar|avx2|neon`.
+//! Every backend is bit-identical to the scalar reference (the private
+//! `scalar` module) — see the [`dispatch`] docs for the contract. The bit-copy
+//! helpers (`for_each_set_bit`, `permute_into`) stay scalar: they are
+//! either already sparse walks or memmove-shaped.
+//!
 //! Bit layout is LSB-first within each `u64`, matching
 //! [`BinaryHypervector::as_words`](crate::BinaryHypervector::as_words), and
 //! callers must keep bits at positions `>= dim` in the final word zero.
+
+pub mod dispatch;
+mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
 
 /// XORs `src` into `dst` word by word (the binding operation `⊗`).
 #[inline]
 pub fn xor_into(dst: &mut [u64], src: &[u64]) {
     debug_assert_eq!(dst.len(), src.len());
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    (dispatch::selected().xor_into)(dst, src);
 }
 
 /// Writes `a ^ b` into `out` word by word (out-of-place binding).
 #[inline]
 pub fn xor(a: &[u64], b: &[u64], out: &mut [u64]) {
     debug_assert!(a.len() == b.len() && b.len() == out.len());
-    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
-        *o = x ^ y;
-    }
+    (dispatch::selected().xor)(a, b, out);
 }
 
 /// Total population count of a packed word slice.
 #[inline]
 #[must_use]
 pub fn count_ones(words: &[u64]) -> usize {
-    words.iter().map(|w| w.count_ones() as usize).sum()
+    (dispatch::selected().count_ones)(words)
 }
 
 /// Hamming distance between two packed word slices (popcount of the XOR).
@@ -44,10 +58,7 @@ pub fn count_ones(words: &[u64]) -> usize {
 #[must_use]
 pub fn hamming(a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x ^ y).count_ones() as usize)
-        .sum()
+    (dispatch::selected().hamming)(a, b)
 }
 
 /// Calls `f(bit_index)` for every set bit of the packed slice, in ascending
@@ -70,45 +81,29 @@ pub fn for_each_set_bit(words: &[u64], mut f: impl FnMut(usize)) {
 /// Adds a packed hypervector into signed per-dimension counters with the
 /// given weight: `counts[i] += bit_i ? weight : -weight` (majority bundling).
 ///
-/// Implemented as a uniform `-weight` over all counters followed by
-/// `+2·weight` at the set bits, so only ~`popcount` positions are touched
-/// individually instead of every bit.
+/// Implemented (in the scalar backend) as a uniform `-weight` over all
+/// counters followed by `+2·weight` at the set bits, so only ~`popcount`
+/// positions are touched individually instead of every bit; the AVX2
+/// backend selects `±weight` per 8-lane group instead. Both produce the
+/// same counters.
 ///
 /// `counts.len()` is the dimensionality `d`; `words` must hold exactly the
 /// packed `d` bits with a clean tail.
 pub fn accumulate(counts: &mut [i32], words: &[u64], weight: i32) {
     debug_assert_eq!(words.len(), counts.len().div_ceil(64));
-    match weight.checked_mul(2) {
-        Some(twice) => {
-            for c in counts.iter_mut() {
-                *c -= weight;
-            }
-            for_each_set_bit(words, |i| counts[i] += twice);
-        }
-        // |weight| >= 2^30: the doubling shortcut would overflow, so fall
-        // back to one signed add per bit (the exact pre-shortcut formula).
-        None => {
-            for (i, c) in counts.iter_mut().enumerate() {
-                let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
-                *c += if bit { weight } else { -weight };
-            }
-        }
-    }
+    (dispatch::selected().accumulate)(counts, words, weight);
 }
 
 /// Signed agreement between per-dimension counters and a packed query:
 /// `Σ_i (bit_i ? counts[i] : -counts[i])` — the bipolar dot product used for
 /// integer-readout inference.
 ///
-/// Computed as `2·Σ_{set bits} counts[i] − Σ_i counts[i]`, visiting only the
-/// set bits individually.
+/// Computed as `2·Σ_{set bits} counts[i] − Σ_i counts[i]` in exact `i64`
+/// arithmetic, so every backend returns the identical value.
 #[must_use]
 pub fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
     debug_assert_eq!(words.len(), counts.len().div_ceil(64));
-    let total: i64 = counts.iter().map(|&c| i64::from(c)).sum();
-    let mut set_sum = 0i64;
-    for_each_set_bit(words, |i| set_sum += i64::from(counts[i]));
-    2 * set_sum - total
+    (dispatch::selected().dot_bipolar)(counts, words)
 }
 
 /// Counter sum over the intersection of two packed masks:
@@ -124,16 +119,7 @@ pub fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
 pub fn masked_sum(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
     debug_assert_eq!(a.len(), counts.len().div_ceil(64));
     debug_assert_eq!(a.len(), b.len());
-    let mut sum = 0i64;
-    for (word_idx, (&x, &y)) in a.iter().zip(b).enumerate() {
-        let base = word_idx * 64;
-        let mut both = x & y;
-        while both != 0 {
-            sum += i64::from(counts[base + both.trailing_zeros() as usize]);
-            both &= both - 1;
-        }
-    }
-    sum
+    (dispatch::selected().masked_sum)(counts, a, b)
 }
 
 /// Writes the cyclic rotation `Π^shift` of a packed `dim`-bit hypervector
@@ -202,20 +188,11 @@ pub(crate) fn copy_bit_range(
 
 /// Resolves signed counters into packed majority bits:
 /// bit `i` is 1 iff `counts[i] > 0`, 0 iff `counts[i] < 0`, and
-/// `tie_bit(i)` on an exact tie. The tail of the final word is left clean.
+/// `tie_bit(i)` on an exact tie. Ties are consulted in ascending index
+/// order on every backend. The tail of the final word is left clean.
 pub fn majority_into(counts: &[i32], out: &mut [u64], mut tie_bit: impl FnMut(usize) -> bool) {
     debug_assert_eq!(out.len(), counts.len().div_ceil(64));
-    out.fill(0);
-    for (i, &c) in counts.iter().enumerate() {
-        let bit = match c.cmp(&0) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => tie_bit(i),
-        };
-        if bit {
-            out[i / 64] |= 1 << (i % 64);
-        }
-    }
+    (dispatch::selected().majority_into)(counts, out, &mut tie_bit);
 }
 
 #[cfg(test)]

@@ -1,0 +1,102 @@
+//! NEON kernel backend for `aarch64`.
+//!
+//! Every function here is a safe wrapper around a `#[target_feature]`
+//! implementation; the wrappers are only ever published through the
+//! dispatch table after `is_aarch64_feature_detected!("neon")` succeeded,
+//! which is the safety contract that makes the inner `unsafe` calls
+//! sound.
+//!
+//! The NEON table accelerates the four word-wise kernels (XOR bind and
+//! `vcnt`-based popcounts); the `i32`-counter kernels (`accumulate`,
+//! `dot_bipolar`, `masked_sum`, `majority_into`) deliberately reuse the
+//! scalar implementations until an aarch64 runner exists to measure (and
+//! CI to exercise) wider ports — dispatch mixes backends per kernel, so
+//! the table stays bit-identical to scalar either way.
+#![allow(unsafe_code)]
+
+use std::arch::aarch64::{
+    vaddvq_u8, vcntq_u8, veorq_u64, vld1q_u64, vreinterpretq_u8_u64, vst1q_u64,
+};
+
+pub(crate) fn xor_into(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: published by `dispatch` only after NEON was detected.
+    unsafe { xor_into_neon(dst, src) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn xor_into_neon(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(2);
+    let mut s = src.chunks_exact(2);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let v = veorq_u64(vld1q_u64(dw.as_ptr()), vld1q_u64(sw.as_ptr()));
+        vst1q_u64(dw.as_mut_ptr(), v);
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw ^= *sw;
+    }
+}
+
+pub(crate) fn xor(a: &[u64], b: &[u64], out: &mut [u64]) {
+    // SAFETY: published by `dispatch` only after NEON was detected.
+    unsafe { xor_neon(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn xor_neon(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let mut o = out.chunks_exact_mut(2);
+    let mut x = a.chunks_exact(2);
+    let mut y = b.chunks_exact(2);
+    for ((ow, xw), yw) in (&mut o).zip(&mut x).zip(&mut y) {
+        let v = veorq_u64(vld1q_u64(xw.as_ptr()), vld1q_u64(yw.as_ptr()));
+        vst1q_u64(ow.as_mut_ptr(), v);
+    }
+    for ((ow, xw), yw) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(x.remainder())
+        .zip(y.remainder())
+    {
+        *ow = *xw ^ *yw;
+    }
+}
+
+pub(crate) fn count_ones(words: &[u64]) -> usize {
+    // SAFETY: published by `dispatch` only after NEON was detected.
+    unsafe { count_ones_neon(words) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn count_ones_neon(words: &[u64]) -> usize {
+    let mut total = 0usize;
+    let mut chunks = words.chunks_exact(2);
+    for ch in &mut chunks {
+        // 16 byte popcounts sum to at most 128, which fits the `u8`
+        // horizontal add.
+        let cnt = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(ch.as_ptr())));
+        total += usize::from(vaddvq_u8(cnt));
+    }
+    for &w in chunks.remainder() {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+pub(crate) fn hamming(a: &[u64], b: &[u64]) -> usize {
+    // SAFETY: published by `dispatch` only after NEON was detected.
+    unsafe { hamming_neon(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn hamming_neon(a: &[u64], b: &[u64]) -> usize {
+    let mut total = 0usize;
+    let mut x = a.chunks_exact(2);
+    let mut y = b.chunks_exact(2);
+    for (xw, yw) in (&mut x).zip(&mut y) {
+        let v = veorq_u64(vld1q_u64(xw.as_ptr()), vld1q_u64(yw.as_ptr()));
+        total += usize::from(vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v))));
+    }
+    for (xw, yw) in x.remainder().iter().zip(y.remainder()) {
+        total += (xw ^ yw).count_ones() as usize;
+    }
+    total
+}

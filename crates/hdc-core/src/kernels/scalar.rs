@@ -1,0 +1,98 @@
+//! The portable scalar backend: plain word-at-a-time loops, compiled on
+//! every architecture and always selectable (`HDC_KERNEL=scalar`).
+//!
+//! These are the reference implementations every SIMD backend must match
+//! **bit for bit** (see `tests/kernel_dispatch.rs`): the dispatched
+//! kernels only reorder exact integer arithmetic, never approximate it.
+
+/// XORs `src` into `dst` word by word.
+pub(crate) fn xor_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Writes `a ^ b` into `out` word by word.
+pub(crate) fn xor(a: &[u64], b: &[u64], out: &mut [u64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x ^ y;
+    }
+}
+
+/// Total population count of a packed word slice.
+pub(crate) fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Hamming distance between two packed word slices.
+pub(crate) fn hamming(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as usize)
+        .sum()
+}
+
+/// `counts[i] += bit_i ? weight : -weight`, implemented as a uniform
+/// `-weight` pass plus `+2·weight` at the set bits (only ~popcount
+/// positions touched individually).
+pub(crate) fn accumulate(counts: &mut [i32], words: &[u64], weight: i32) {
+    match weight.checked_mul(2) {
+        Some(twice) => {
+            for c in counts.iter_mut() {
+                *c -= weight;
+            }
+            super::for_each_set_bit(words, |i| counts[i] += twice);
+        }
+        // |weight| >= 2^30: the doubling shortcut would overflow, so fall
+        // back to one signed add per bit (the exact pre-shortcut formula).
+        None => {
+            for (i, c) in counts.iter_mut().enumerate() {
+                let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
+                *c += if bit { weight } else { -weight };
+            }
+        }
+    }
+}
+
+/// `Σ_i (bit_i ? counts[i] : -counts[i])`, computed as
+/// `2·Σ_{set bits} counts[i] − Σ_i counts[i]` in exact `i64` arithmetic.
+pub(crate) fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
+    let total: i64 = counts.iter().map(|&c| i64::from(c)).sum();
+    let mut set_sum = 0i64;
+    super::for_each_set_bit(words, |i| set_sum += i64::from(counts[i]));
+    2 * set_sum - total
+}
+
+/// `Σ_{i : a_i = b_i = 1} counts[i]` via a sparse set-bit walk of `a ∧ b`.
+pub(crate) fn masked_sum(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
+    let mut sum = 0i64;
+    for (word_idx, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let base = word_idx * 64;
+        let mut both = x & y;
+        while both != 0 {
+            sum += i64::from(counts[base + both.trailing_zeros() as usize]);
+            both &= both - 1;
+        }
+    }
+    sum
+}
+
+/// Resolves signed counters into packed majority bits; exact ties consult
+/// `tie_bit` in ascending index order.
+pub(crate) fn majority_into(
+    counts: &[i32],
+    out: &mut [u64],
+    tie_bit: &mut dyn FnMut(usize) -> bool,
+) {
+    out.fill(0);
+    for (i, &c) in counts.iter().enumerate() {
+        let bit = match c.cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => tie_bit(i),
+        };
+        if bit {
+            out[i / 64] |= 1 << (i % 64);
+        }
+    }
+}

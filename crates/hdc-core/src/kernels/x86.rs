@@ -1,0 +1,313 @@
+//! AVX2 kernel backend for `x86_64`.
+//!
+//! Every function here is a safe wrapper around a `#[target_feature]`
+//! implementation; the wrappers are only ever published through the
+//! dispatch table after `is_x86_feature_detected!("avx2")` (and
+//! `"popcnt"`) succeeded, which is the safety contract that makes the
+//! inner `unsafe` calls sound.
+//!
+//! The SIMD paths only **reorder exact integer arithmetic** relative to
+//! the scalar backend — XOR/popcount are bitwise, and the `i32`-counter
+//! kernels widen to `i64` lanes *before* summing or negating, so every
+//! result (including `i32::MIN` counters) is bit-identical to scalar.
+//! Non-64-multiple dimensions are handled by scalar tail loops over the
+//! ragged remainder.
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256,
+    _mm256_blendv_epi8, _mm256_castsi256_ps, _mm256_castsi256_si128, _mm256_cmpeq_epi32,
+    _mm256_cmpgt_epi32, _mm256_cvtepi32_epi64, _mm256_extracti128_si256, _mm256_loadu_si256,
+    _mm256_movemask_ps, _mm256_sad_epu8, _mm256_set1_epi32, _mm256_set1_epi8, _mm256_setr_epi32,
+    _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi16,
+    _mm256_storeu_si256, _mm256_xor_si256, _mm_add_epi64, _mm_extract_epi64,
+};
+
+/// Lane selector for expanding one mask byte into 8 × i32 lanes: lane `k`
+/// holds `1 << k`, so `byte & (1 << k)` decides lane `k`'s bit.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_bits() -> __m256i {
+    _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128)
+}
+
+/// All-ones (set) / all-zeros (clear) 32-bit lane masks for the 8 bits of
+/// `byte` (bit `k` of the packed word group → lane `k`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn byte_lane_mask(byte: i32) -> __m256i {
+    let bits = lane_bits();
+    _mm256_cmpeq_epi32(_mm256_and_si256(_mm256_set1_epi32(byte), bits), bits)
+}
+
+/// Horizontal sum of 4 × i64 lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi64(v: __m256i) -> i64 {
+    let lo: __m128i = _mm256_castsi256_si128(v);
+    let hi: __m128i = _mm256_extracti128_si256(v, 1);
+    let s = _mm_add_epi64(lo, hi);
+    _mm_extract_epi64(s, 0).wrapping_add(_mm_extract_epi64(s, 1))
+}
+
+/// Per-64-bit-lane popcounts via the classic nibble-LUT `vpshufb` scheme
+/// (Muła): byte popcounts from a 16-entry table, summed into the four u64
+/// lanes with `vpsadbw`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcnt_epu64(v: __m256i) -> __m256i {
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low);
+    let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+}
+
+pub(crate) fn xor_into(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { xor_into_avx2(dst, src) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn xor_into_avx2(dst: &mut [u64], src: &[u64]) {
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dw, sw) in (&mut d).zip(&mut s) {
+        let v = _mm256_xor_si256(
+            _mm256_loadu_si256(dw.as_ptr().cast()),
+            _mm256_loadu_si256(sw.as_ptr().cast()),
+        );
+        _mm256_storeu_si256(dw.as_mut_ptr().cast(), v);
+    }
+    for (dw, sw) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dw ^= *sw;
+    }
+}
+
+pub(crate) fn xor(a: &[u64], b: &[u64], out: &mut [u64]) {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { xor_avx2(a, b, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn xor_avx2(a: &[u64], b: &[u64], out: &mut [u64]) {
+    let mut o = out.chunks_exact_mut(4);
+    let mut x = a.chunks_exact(4);
+    let mut y = b.chunks_exact(4);
+    for ((ow, xw), yw) in (&mut o).zip(&mut x).zip(&mut y) {
+        let v = _mm256_xor_si256(
+            _mm256_loadu_si256(xw.as_ptr().cast()),
+            _mm256_loadu_si256(yw.as_ptr().cast()),
+        );
+        _mm256_storeu_si256(ow.as_mut_ptr().cast(), v);
+    }
+    for ((ow, xw), yw) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(x.remainder())
+        .zip(y.remainder())
+    {
+        *ow = *xw ^ *yw;
+    }
+}
+
+pub(crate) fn count_ones(words: &[u64]) -> usize {
+    // SAFETY: published by `dispatch` only after AVX2+POPCNT were detected.
+    unsafe { count_ones_avx2(words) }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn count_ones_avx2(words: &[u64]) -> usize {
+    let mut acc = _mm256_setzero_si256();
+    let mut chunks = words.chunks_exact(4);
+    for ch in &mut chunks {
+        acc = _mm256_add_epi64(acc, popcnt_epu64(_mm256_loadu_si256(ch.as_ptr().cast())));
+    }
+    let mut total = hsum_epi64(acc) as usize;
+    for &w in chunks.remainder() {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+pub(crate) fn hamming(a: &[u64], b: &[u64]) -> usize {
+    // SAFETY: published by `dispatch` only after AVX2+POPCNT were detected.
+    unsafe { hamming_avx2(a, b) }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn hamming_avx2(a: &[u64], b: &[u64]) -> usize {
+    let mut acc = _mm256_setzero_si256();
+    let mut x = a.chunks_exact(4);
+    let mut y = b.chunks_exact(4);
+    for (xw, yw) in (&mut x).zip(&mut y) {
+        let v = _mm256_xor_si256(
+            _mm256_loadu_si256(xw.as_ptr().cast()),
+            _mm256_loadu_si256(yw.as_ptr().cast()),
+        );
+        acc = _mm256_add_epi64(acc, popcnt_epu64(v));
+    }
+    let mut total = hsum_epi64(acc) as usize;
+    for (xw, yw) in x.remainder().iter().zip(y.remainder()) {
+        total += (xw ^ yw).count_ones() as usize;
+    }
+    total
+}
+
+pub(crate) fn accumulate(counts: &mut [i32], words: &[u64], weight: i32) {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { accumulate_avx2(counts, words, weight) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(counts: &mut [i32], words: &[u64], weight: i32) {
+    let pos = _mm256_set1_epi32(weight);
+    let neg = _mm256_set1_epi32(weight.wrapping_neg());
+    let mut groups = counts.chunks_exact_mut(8);
+    let mut idx = 0usize;
+    for group in &mut groups {
+        let byte = ((words[idx / 8] >> ((idx % 8) * 8)) & 0xff) as i32;
+        let add = _mm256_blendv_epi8(neg, pos, byte_lane_mask(byte));
+        let p = group.as_mut_ptr().cast();
+        _mm256_storeu_si256(p, _mm256_add_epi32(_mm256_loadu_si256(p), add));
+        idx += 1;
+    }
+    let base = idx * 8;
+    for (k, c) in groups.into_remainder().iter_mut().enumerate() {
+        let i = base + k;
+        let bit = (words[i / 64] >> (i % 64)) & 1 == 1;
+        *c = c.wrapping_add(if bit { weight } else { weight.wrapping_neg() });
+    }
+}
+
+pub(crate) fn dot_bipolar(counts: &[i32], words: &[u64]) -> i64 {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { dot_bipolar_avx2(counts, words) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_bipolar_avx2(counts: &[i32], words: &[u64]) -> i64 {
+    // Same identity as scalar: 2·Σ_{set} c − Σ c, with both sums carried
+    // in i64 lanes (widen *before* masking, so i32::MIN never negates in
+    // 32 bits).
+    let mut acc_all = _mm256_setzero_si256();
+    let mut acc_set = _mm256_setzero_si256();
+    let mut groups = counts.chunks_exact(8);
+    let mut idx = 0usize;
+    for group in &mut groups {
+        let c = _mm256_loadu_si256(group.as_ptr().cast());
+        let m = byte_lane_mask(((words[idx / 8] >> ((idx % 8) * 8)) & 0xff) as i32);
+        let c_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(c));
+        let c_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(c, 1));
+        let m_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m));
+        let m_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m, 1));
+        acc_all = _mm256_add_epi64(acc_all, _mm256_add_epi64(c_lo, c_hi));
+        acc_set = _mm256_add_epi64(acc_set, _mm256_and_si256(c_lo, m_lo));
+        acc_set = _mm256_add_epi64(acc_set, _mm256_and_si256(c_hi, m_hi));
+        idx += 1;
+    }
+    let mut total = hsum_epi64(acc_all);
+    let mut set_sum = hsum_epi64(acc_set);
+    let base = idx * 8;
+    for (k, &c) in groups.remainder().iter().enumerate() {
+        let i = base + k;
+        total += i64::from(c);
+        if (words[i / 64] >> (i % 64)) & 1 == 1 {
+            set_sum += i64::from(c);
+        }
+    }
+    2 * set_sum - total
+}
+
+pub(crate) fn masked_sum(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { masked_sum_avx2(counts, a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn masked_sum_avx2(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
+    let mut acc = _mm256_setzero_si256();
+    let mut groups = counts.chunks_exact(8);
+    let mut idx = 0usize;
+    for group in &mut groups {
+        let both = a[idx / 8] & b[idx / 8];
+        let byte = ((both >> ((idx % 8) * 8)) & 0xff) as i32;
+        idx += 1;
+        if byte == 0 {
+            continue;
+        }
+        let c = _mm256_loadu_si256(group.as_ptr().cast());
+        let m = byte_lane_mask(byte);
+        let c_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(c));
+        let c_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(c, 1));
+        let m_lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m));
+        let m_hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m, 1));
+        acc = _mm256_add_epi64(acc, _mm256_and_si256(c_lo, m_lo));
+        acc = _mm256_add_epi64(acc, _mm256_and_si256(c_hi, m_hi));
+    }
+    let mut sum = hsum_epi64(acc);
+    let base = idx * 8;
+    for (k, &c) in groups.remainder().iter().enumerate() {
+        let i = base + k;
+        if (a[i / 64] & b[i / 64]) >> (i % 64) & 1 == 1 {
+            sum += i64::from(c);
+        }
+    }
+    sum
+}
+
+pub(crate) fn majority_into(
+    counts: &[i32],
+    out: &mut [u64],
+    tie_bit: &mut dyn FnMut(usize) -> bool,
+) {
+    // SAFETY: published by `dispatch` only after AVX2 was detected.
+    unsafe { majority_into_avx2(counts, out, tie_bit) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn majority_into_avx2(
+    counts: &[i32],
+    out: &mut [u64],
+    tie_bit: &mut dyn FnMut(usize) -> bool,
+) {
+    out.fill(0);
+    let zero = _mm256_setzero_si256();
+    let mut groups = counts.chunks_exact(8);
+    let mut idx = 0usize;
+    for group in &mut groups {
+        let c = _mm256_loadu_si256(group.as_ptr().cast());
+        let gt = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(c, zero))) as u32;
+        let eq = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(c, zero))) as u32;
+        let mut bits = u64::from(gt & 0xff);
+        // Exact ties consult the tie-break closure in ascending index
+        // order, exactly like the scalar loop.
+        let mut ties = eq & 0xff;
+        while ties != 0 {
+            let lane = ties.trailing_zeros() as usize;
+            if tie_bit(idx * 8 + lane) {
+                bits |= 1 << lane;
+            }
+            ties &= ties - 1;
+        }
+        out[idx / 8] |= bits << ((idx % 8) * 8);
+        idx += 1;
+    }
+    let base = idx * 8;
+    for (k, &c) in groups.remainder().iter().enumerate() {
+        let i = base + k;
+        let bit = match c.cmp(&0) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => tie_bit(i),
+        };
+        if bit {
+            out[i / 64] |= 1 << (i % 64);
+        }
+    }
+}

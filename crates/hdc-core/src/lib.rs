@@ -43,7 +43,12 @@
 //! assert!(sum.normalized_hamming(&a) < 0.3);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernel backends in
+// `kernels::{x86, neon}` opt back in with a module-level
+// `#![allow(unsafe_code)]` for `target_feature` intrinsics behind safe
+// wrappers (the dispatch layer's detection is the safety contract).
+// Everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accumulator;

@@ -3,6 +3,7 @@ use hdc_core::{
 };
 use hdc_encode::ScalarEncoder;
 use rand::Rng;
+use std::ops::Range;
 
 /// How a [`RegressionModel`] stores and scores its bundled associations.
 ///
@@ -243,23 +244,7 @@ impl RegressionTrainer {
         let form = match readout {
             Readout::Binarized => ModelForm::Binary(self.accumulator.finalize_random(rng)),
             Readout::Integer => {
-                let counts = self.accumulator.counts().to_vec();
-                // Per-label counter sums Σ_{i ∈ ones(L_j)} counts[i] are
-                // query-independent; precomputing them here leaves a single
-                // intersection walk per (label, query) pair at predict time.
-                let label_sums = self
-                    .label_encoder
-                    .hypervectors()
-                    .iter()
-                    .map(|label_hv| {
-                        let mut sum = 0i64;
-                        hdc_core::kernels::for_each_set_bit(label_hv.as_words(), |i| {
-                            sum += i64::from(counts[i]);
-                        });
-                        sum
-                    })
-                    .collect();
-                ModelForm::Counts { counts, label_sums }
+                ModelForm::counts_form(&self.label_encoder, self.accumulator.counts().to_vec())
             }
         };
         Ok(RegressionModel {
@@ -289,21 +274,8 @@ impl RegressionTrainer {
     /// classification analogue finalizes all-zero class-vectors).
     #[must_use]
     pub fn finish_integer(&self) -> RegressionModel {
-        let counts = self.accumulator.counts().to_vec();
-        let label_sums = self
-            .label_encoder
-            .hypervectors()
-            .iter()
-            .map(|label_hv| {
-                let mut sum = 0i64;
-                kernels::for_each_set_bit(label_hv.as_words(), |i| {
-                    sum += i64::from(counts[i]);
-                });
-                sum
-            })
-            .collect();
         RegressionModel {
-            form: ModelForm::Counts { counts, label_sums },
+            form: ModelForm::counts_form(&self.label_encoder, self.accumulator.counts().to_vec()),
             label_encoder: self.label_encoder.clone(),
         }
     }
@@ -363,7 +335,231 @@ enum ModelForm {
         /// `Σ_{i ∈ ones(L_j)} counts[i]` per label — the query-independent
         /// half of the integer-readout score, precomputed at finalize time.
         label_sums: Vec<i64>,
+        /// Coarse-to-fine acceleration tables; `None` below the size gate,
+        /// in which case prediction always takes the full per-label walk.
+        /// Boxed: the table is several `Vec`s wide and would otherwise
+        /// dominate the enum's inline size.
+        prune: Option<Box<PruneTable>>,
     },
+}
+
+impl ModelForm {
+    /// Builds the integer-readout form: counters, per-label sums, and (when
+    /// the model clears the size gate) the coarse-to-fine tables.
+    fn counts_form(label_encoder: &ScalarEncoder, counts: Vec<i32>) -> Self {
+        let label_sums: Vec<i64> = label_encoder
+            .hypervectors()
+            .iter()
+            .map(|label_hv| {
+                let mut sum = 0i64;
+                kernels::for_each_set_bit(label_hv.as_words(), |i| {
+                    sum += i64::from(counts[i]);
+                });
+                sum
+            })
+            .collect();
+        let prune = PruneTable::build(label_encoder, &counts, &label_sums).map(Box::new);
+        ModelForm::Counts {
+            counts,
+            label_sums,
+            prune,
+        }
+    }
+}
+
+/// Don't build prune tables below this many packed words (= 1024 bits):
+/// tiny models fit in cache and the full walk is already cheap.
+const PRUNE_MIN_WORDS: usize = 16;
+/// Don't build prune tables below this many label levels: the coarse pass
+/// only pays when it can rule out many labels.
+const PRUNE_MIN_LEVELS: usize = 4;
+/// Shortlists up to this size pay individual exact tail walks; anything
+/// larger (an inconclusive margin) falls back to the full-walk path, which
+/// scores *every* level exactly via the flip chain.
+const PRUNE_SHORTLIST_WALK_MAX: usize = 3;
+
+/// Precomputed, query-independent tables for the coarse-to-fine integer
+/// readout (built once at finalize time).
+///
+/// The exact score of level `j` for query `q` is
+/// `score_j = Σ_{i ∈ ones(L_j)} (q_i ? −counts_i : counts_i)`. Splitting the
+/// dimensions at word `prefix_words` (`split = prefix_words·64`) gives
+/// `score_j = partial_j + tail_j` with
+///
+/// * `partial_j = prefix_label_sums[j] − 2·masked_sum(counts[..split],
+///   L_j[..wc], q[..wc])` — **exact**, one cheap walk over the prefix
+///   (1/8 of the vector) per label;
+/// * `tail_j = tail_label_sums[j] − 2·tail_masked_j`, which satisfies
+///   `|tail_j| ≤ tail_abs_bounds[j] = Σ_{i ∈ tail ones(L_j)} |counts_i|`
+///   for **every** query (the bound is the all-signs-align worst case).
+///
+/// So `score_j ∈ [partial_j − bound_j, partial_j + bound_j]` with certainty,
+/// and any level whose upper end sits below `max_k (partial_k − bound_k)`
+/// cannot win — the shortlist keeps exactly the levels that still can. The
+/// winner is therefore always found among the shortlist, and the selection
+/// (including the last-max tie-break of the full walk) is bit-identical.
+///
+/// When the margin is inconclusive (most models: the worst-case bound is
+/// loose), the fallback full walk is itself restructured: level encoders
+/// produce label *chains* in which each bit flips only O(1) times from
+/// `L_0` to `L_{m−1}`, so the tail masked sums of all `m` levels are
+/// reproduced exactly from one full walk of `L_0`'s tail plus the
+/// per-transition flip lists (`tail_flips`) — `O(d)` total instead of
+/// `O(m·d)`. Integer addition is associative, so the reordered sums are the
+/// same exact values the per-label walks produce.
+#[derive(Debug, Clone)]
+struct PruneTable {
+    /// Number of packed words in the coarse prefix (`split = 64·prefix_words`).
+    prefix_words: usize,
+    /// `Σ_{i ∈ prefix ones(L_j)} counts[i]` per label.
+    prefix_label_sums: Vec<i64>,
+    /// `Σ_{i ∈ tail ones(L_j)} counts[i]` per label.
+    tail_label_sums: Vec<i64>,
+    /// `Σ_{i ∈ tail ones(L_j)} |counts[i]|` per label — the worst-case
+    /// margin bound on the tail term.
+    tail_abs_bounds: Vec<i64>,
+    /// Flip events of the label chain within the prefix, grouped per
+    /// transition by `prefix_flip_offsets`. The coarse partials are
+    /// themselves computed chain-incrementally — one dense masked walk
+    /// for `L_0`'s prefix, then these events. Exact i64 sums in a
+    /// different association order, so the same integers.
+    prefix_flips: SparseWalk,
+    /// `prefix_flip_offsets[j]` = end of transition `j → j+1` in
+    /// [`prefix_flips`](Self::prefix_flips) (one entry per transition).
+    prefix_flip_offsets: Vec<u32>,
+    /// Flip events of the label chain within the tail, grouped per
+    /// transition by `tail_flip_offsets`.
+    tail_flips: SparseWalk,
+    /// `tail_flip_offsets[j]` = end of transition `j → j+1` in
+    /// [`tail_flips`](Self::tail_flips) (one entry per transition).
+    tail_flip_offsets: Vec<u32>,
+}
+
+/// A sparse list of bit positions paired with the exact signed counter
+/// contribution each adds to the running masked overlap when the query
+/// has that bit set: `+counts[idx]` for a 0→1 flip, `−counts[idx]` for a
+/// 1→0 flip. Counters are frozen when the table is built, so baking them
+/// in here turns the query-time walk into a branchless multiply-accumulate
+/// over sequential 8-byte entries. (`build` rejects a counter of
+/// `i32::MIN`, whose negation does not fit back in an `i32` — any other
+/// value round-trips exactly.)
+#[derive(Debug, Clone, Default)]
+struct SparseWalk {
+    /// Absolute bit indices into the query.
+    idx: Vec<u32>,
+    /// The signed contribution of each index (`±counts[idx]`).
+    signed: Vec<i32>,
+}
+
+impl SparseWalk {
+    fn push(&mut self, idx: u32, signed: i32) {
+        self.idx.push(idx);
+        self.signed.push(signed);
+    }
+
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Adds `Σ signed[k] · q[idx[k]]` over `entries` to `overlap` — the
+    /// exact (branchless) replay of one chain segment against the query.
+    #[inline]
+    fn apply(&self, entries: Range<usize>, overlap: &mut i64, qw: &[u64]) {
+        for (&i, &s) in self.idx[entries.clone()].iter().zip(&self.signed[entries]) {
+            let bit = (qw[(i >> 6) as usize] >> (i & 63)) & 1;
+            *overlap += bit as i64 * i64::from(s);
+        }
+    }
+}
+
+/// Collects the flip events of a label chain over the word range
+/// `[word_lo, word_hi)`, grouped per transition (one offsets entry per
+/// transition), with their signed counter contributions baked in.
+fn chain_flips(
+    labels: &[BinaryHypervector],
+    counts: &[i32],
+    word_lo: usize,
+    word_hi: usize,
+) -> (SparseWalk, Vec<u32>) {
+    let mut flips = SparseWalk::default();
+    let mut offsets = Vec::with_capacity(labels.len().saturating_sub(1));
+    for j in 1..labels.len() {
+        let prev = labels[j - 1].as_words();
+        let cur = labels[j].as_words();
+        for w in word_lo..word_hi {
+            let mut diff = prev[w] ^ cur[w];
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                let idx = w * 64 + bit;
+                let c = counts[idx];
+                let signed = if (cur[w] >> bit) & 1 == 1 { c } else { -c };
+                flips.push(idx as u32, signed);
+                diff &= diff - 1;
+            }
+        }
+        offsets.push(flips.len() as u32);
+    }
+    (flips, offsets)
+}
+
+impl PruneTable {
+    fn build(label_encoder: &ScalarEncoder, counts: &[i32], label_sums: &[i64]) -> Option<Self> {
+        let labels = label_encoder.hypervectors();
+        let levels = labels.len();
+        let dim = counts.len();
+        let words = dim.div_ceil(64);
+        if words < PRUNE_MIN_WORDS || levels < PRUNE_MIN_LEVELS {
+            return None;
+        }
+        // A counter of i32::MIN cannot be negated exactly in the packed
+        // flip entries; unreachable from real training (counts move by ±1
+        // per observation), but a restored snapshot could hold anything.
+        if counts.contains(&i32::MIN) {
+            return None;
+        }
+        let prefix_words = words / 8;
+        let split = prefix_words * 64;
+        // The flip chain only pays if the labels really are chain-like
+        // (level/circular sets flip each bit O(1) times end to end; arbitrary
+        // label sets would cost O(m·d) again).
+        let mut total_flips = 0usize;
+        for j in 1..levels {
+            total_flips += kernels::hamming(labels[j - 1].as_words(), labels[j].as_words());
+            if total_flips > 2 * dim {
+                return None;
+            }
+        }
+        let mut prefix_label_sums = Vec::with_capacity(levels);
+        let mut tail_abs_bounds = Vec::with_capacity(levels);
+        for label_hv in labels {
+            let lw = label_hv.as_words();
+            let mut pre = 0i64;
+            kernels::for_each_set_bit(&lw[..prefix_words], |i| pre += i64::from(counts[i]));
+            let mut bound = 0i64;
+            kernels::for_each_set_bit(&lw[prefix_words..], |i| {
+                bound += i64::from(counts[split + i].unsigned_abs());
+            });
+            prefix_label_sums.push(pre);
+            tail_abs_bounds.push(bound);
+        }
+        let tail_label_sums: Vec<i64> = label_sums
+            .iter()
+            .zip(&prefix_label_sums)
+            .map(|(&total, &pre)| total - pre)
+            .collect();
+        let (prefix_flips, prefix_flip_offsets) = chain_flips(labels, counts, 0, prefix_words);
+        let (tail_flips, tail_flip_offsets) = chain_flips(labels, counts, prefix_words, words);
+        Some(Self {
+            prefix_words,
+            prefix_label_sums,
+            tail_label_sums,
+            tail_abs_bounds,
+            prefix_flips,
+            prefix_flip_offsets,
+            tail_flips,
+            tail_flip_offsets,
+        })
+    }
 }
 
 impl RegressionModel {
@@ -465,7 +661,11 @@ impl RegressionModel {
                 let noisy_label = BinaryHypervector::from_words(model.dim(), words);
                 self.label_encoder.decode(&noisy_label)
             }
-            ModelForm::Counts { counts, label_sums } => {
+            ModelForm::Counts {
+                counts,
+                label_sums,
+                prune,
+            } => {
                 assert_eq!(
                     counts.len(),
                     query.dim(),
@@ -473,33 +673,183 @@ impl RegressionModel {
                     counts.len(),
                     query.dim()
                 );
-                // The soft unbinding M ⊗ φ(x̂): XOR with a one-bit inverts
-                // the majority bit, i.e. flips the counter's sign.
-                // score(L) = Σ_{b ∈ ones(L)} (q_b ? -counts_b : counts_b)
-                //          = Σ_{b ∈ ones(L)} counts_b
-                //            − 2·Σ_{b ∈ ones(L) ∧ ones(q)} counts_b.
-                // The first term is the precomputed `label_sums[j]`, so each
-                // label costs exactly one intersection walk and the query
-                // needs no flipped-counter buffer — allocation-free.
-                let best = self
-                    .label_encoder
-                    .hypervectors()
-                    .iter()
-                    .zip(label_sums)
-                    .enumerate()
-                    .map(|(j, (label_hv, &label_sum))| {
-                        let overlap = hdc_core::kernels::masked_sum(
-                            counts,
-                            label_hv.as_words(),
-                            query.as_words(),
-                        );
-                        (j, label_sum - 2 * overlap)
-                    })
-                    .max_by_key(|&(_, score)| score)
-                    .expect("label encoder holds at least two levels")
-                    .0;
+                let best = match prune {
+                    Some(table) => Self::best_level_pruned(
+                        self.label_encoder.hypervectors(),
+                        table,
+                        counts,
+                        query,
+                    ),
+                    None => Self::best_level_full(
+                        self.label_encoder.hypervectors(),
+                        counts,
+                        label_sums,
+                        query,
+                    ),
+                };
                 self.label_encoder.value_of(best)
             }
+        }
+    }
+
+    /// [`predict_row`](Self::predict_row) via the unaccelerated full
+    /// per-label walk, ignoring any prune tables — the reference path the
+    /// coarse-to-fine readout is proptest-compared against, and the
+    /// "before" side of the readout benchmarks. Bit-identical to
+    /// [`predict_row`](Self::predict_row) by construction (and by test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view's dimensionality differs from the model's.
+    #[must_use]
+    pub fn predict_row_full(&self, query: hdc_core::HvRef<'_>) -> f64 {
+        match &self.form {
+            ModelForm::Binary(_) => self.predict_row(query),
+            ModelForm::Counts {
+                counts, label_sums, ..
+            } => {
+                assert_eq!(
+                    counts.len(),
+                    query.dim(),
+                    "dimension mismatch: expected {}, found {}",
+                    counts.len(),
+                    query.dim()
+                );
+                let best = Self::best_level_full(
+                    self.label_encoder.hypervectors(),
+                    counts,
+                    label_sums,
+                    query,
+                );
+                self.label_encoder.value_of(best)
+            }
+        }
+    }
+
+    /// Whether the integer readout carries coarse-to-fine prune tables
+    /// (models below the size gate, and binarized models, do not).
+    #[must_use]
+    pub fn is_pruned(&self) -> bool {
+        matches!(&self.form, ModelForm::Counts { prune: Some(_), .. })
+    }
+
+    /// The original integer readout: one full intersection walk per label.
+    ///
+    /// The soft unbinding M ⊗ φ(x̂): XOR with a one-bit inverts the
+    /// majority bit, i.e. flips the counter's sign.
+    /// score(L) = Σ_{b ∈ ones(L)} (q_b ? -counts_b : counts_b)
+    ///          = Σ_{b ∈ ones(L)} counts_b
+    ///            − 2·Σ_{b ∈ ones(L) ∧ ones(q)} counts_b.
+    /// The first term is the precomputed `label_sums[j]`, so each label
+    /// costs exactly one intersection walk and the query needs no
+    /// flipped-counter buffer — allocation-free.
+    fn best_level_full(
+        labels: &[BinaryHypervector],
+        counts: &[i32],
+        label_sums: &[i64],
+        query: hdc_core::HvRef<'_>,
+    ) -> usize {
+        labels
+            .iter()
+            .zip(label_sums)
+            .enumerate()
+            .map(|(j, (label_hv, &label_sum))| {
+                let overlap =
+                    hdc_core::kernels::masked_sum(counts, label_hv.as_words(), query.as_words());
+                (j, label_sum - 2 * overlap)
+            })
+            .max_by_key(|&(_, score)| score)
+            .expect("label encoder holds at least two levels")
+            .0
+    }
+
+    /// The coarse-to-fine integer readout; returns the same level index as
+    /// [`best_level_full`](Self::best_level_full) for every query.
+    ///
+    /// Coarse pass: exact partial scores over the prefix words for every
+    /// label. The precomputed worst-case tail bounds turn each partial into
+    /// a certain score interval; levels whose upper end is below the best
+    /// lower end cannot win and are pruned. A small surviving shortlist
+    /// pays individual exact tail walks; an inconclusive margin falls back
+    /// to exact tail sums for *all* levels via the flip chain (see
+    /// [`PruneTable`]). Ties resolve to the highest level index in both
+    /// paths, exactly like the full walk's `max_by_key`.
+    fn best_level_pruned(
+        labels: &[BinaryHypervector],
+        table: &PruneTable,
+        counts: &[i32],
+        query: hdc_core::HvRef<'_>,
+    ) -> usize {
+        let levels = labels.len();
+        let qw = query.as_words();
+        let wc = table.prefix_words;
+        let split = wc * 64;
+        // Coarse pass: exact prefix partials for every label, computed
+        // chain-incrementally — L_0's prefix overlap once, then each
+        // transition's few flip events, instead of one masked walk per
+        // label. Exact i64 sums in a different association order: the
+        // same integers a per-label walk produces.
+        let mut partials = Vec::with_capacity(levels);
+        // `L_0`'s base overlap pays one dense masked walk (the dispatched
+        // kernel); every other level is a few chain deltas away.
+        let mut prefix_overlap =
+            kernels::masked_sum(&counts[..split], &labels[0].as_words()[..wc], &qw[..wc]);
+        partials.push(table.prefix_label_sums[0] - 2 * prefix_overlap);
+        let mut start = 0usize;
+        for j in 1..levels {
+            let end = table.prefix_flip_offsets[j - 1] as usize;
+            table
+                .prefix_flips
+                .apply(start..end, &mut prefix_overlap, qw);
+            start = end;
+            partials.push(table.prefix_label_sums[j] - 2 * prefix_overlap);
+        }
+        let best_lower = partials
+            .iter()
+            .zip(&table.tail_abs_bounds)
+            .map(|(&p, &b)| p - b)
+            .max()
+            .expect("label encoder holds at least two levels");
+        let shortlist: Vec<usize> = (0..levels)
+            .filter(|&j| partials[j] + table.tail_abs_bounds[j] >= best_lower)
+            .collect();
+        if shortlist.len() <= PRUNE_SHORTLIST_WALK_MAX {
+            // Fine pass: only the shortlist pays an exact tail walk. Every
+            // level that could possibly win is in the shortlist (excluded
+            // levels sit strictly below some included level's exact score),
+            // so the last-max scan over it reproduces the full argmax.
+            let mut best_j = shortlist[0];
+            let mut best = i64::MIN;
+            for &j in &shortlist {
+                let tail_overlap =
+                    kernels::masked_sum(&counts[split..], &labels[j].as_words()[wc..], &qw[wc..]);
+                let exact = partials[j] + table.tail_label_sums[j] - 2 * tail_overlap;
+                if exact >= best {
+                    best = exact;
+                    best_j = j;
+                }
+            }
+            best_j
+        } else {
+            // Inconclusive margin: fall back to the full walk, restructured
+            // as one exact tail walk of L_0 plus chain deltas — every
+            // level's score is computed exactly, none skipped.
+            let mut tail_overlap =
+                kernels::masked_sum(&counts[split..], &labels[0].as_words()[wc..], &qw[wc..]);
+            let mut best = partials[0] + table.tail_label_sums[0] - 2 * tail_overlap;
+            let mut best_j = 0;
+            let mut start = 0usize;
+            for (j, &partial) in partials.iter().enumerate().skip(1) {
+                let end = table.tail_flip_offsets[j - 1] as usize;
+                table.tail_flips.apply(start..end, &mut tail_overlap, qw);
+                start = end;
+                let exact = partial + table.tail_label_sums[j] - 2 * tail_overlap;
+                if exact >= best {
+                    best = exact;
+                    best_j = j;
+                }
+            }
+            best_j
         }
     }
 
@@ -865,6 +1215,117 @@ mod tests {
         assert_eq!(model.predict_batch_par(&queries), batch);
         let arena = hdc_core::HypervectorBatch::from_vectors(&queries).unwrap();
         assert_eq!(model.predict_rows(&arena), batch);
+    }
+
+    #[test]
+    fn pruned_readout_is_bit_identical_to_full_walk() {
+        // Trained models across dimensionalities straddling the prune gate
+        // and word boundaries: predict_row must equal predict_row_full on
+        // every query, bit for bit.
+        let mut r = rng();
+        for dim in [1_000usize, 1_024, 2_050, 4_096] {
+            let input = ScalarEncoder::with_levels(0.0, 1.0, 32, dim, &mut r).unwrap();
+            let label = ScalarEncoder::with_levels(0.0, 1.0, 24, dim, &mut r).unwrap();
+            let mut trainer = RegressionTrainer::new(label);
+            for i in 0..80 {
+                let x = i as f64 / 79.0;
+                trainer.observe(&input.encode(x).corrupt(0.05, &mut r), x);
+            }
+            let model = trainer.finish_integer();
+            assert!(model.is_pruned(), "dim={dim} should clear the gate");
+            for i in 0..40 {
+                let q = input.encode(i as f64 / 39.0).corrupt(0.1, &mut r);
+                assert_eq!(
+                    model.predict(&q),
+                    model.predict_row_full(q.view()),
+                    "dim={dim} query {i}"
+                );
+            }
+        }
+        // Below the gate no tables are built and both paths are the same code.
+        let input = ScalarEncoder::with_levels(0.0, 1.0, 8, 512, &mut r).unwrap();
+        let small =
+            RegressionModel::fit([(input.encode(0.5), 0.5)], input.clone(), &mut r).unwrap();
+        assert!(!small.is_pruned());
+        let q = input.encode(0.3);
+        assert_eq!(small.predict(q), small.predict_row_full(q.view()));
+    }
+
+    #[test]
+    fn inconclusive_margin_falls_back_to_exact_full_walk() {
+        // All-zero prefix counters make every coarse partial identical, so
+        // no level can be ruled out: the margin is inconclusive and the
+        // chain fallback must score every level exactly.
+        let mut r = rng();
+        let dim = 2_048usize;
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 16, dim, &mut r).unwrap();
+        let mut counts_acc = MajorityAccumulator::new(dim);
+        let probe = BinaryHypervector::random(dim, &mut r);
+        counts_acc.push(&probe);
+        counts_acc.push(&BinaryHypervector::random(dim, &mut r));
+        counts_acc.push(&BinaryHypervector::random(dim, &mut r));
+        let trainer = RegressionTrainer::from_parts(label.clone(), counts_acc, 3).unwrap();
+        let model = trainer.finish_integer();
+        assert!(model.is_pruned());
+        for i in 0..24 {
+            let q = BinaryHypervector::random(dim, &mut r);
+            assert_eq!(model.predict(&q), model.predict_row_full(q.view()), "q {i}");
+        }
+        assert_eq!(model.predict(&probe), model.predict_row_full(probe.view()));
+        // Now a genuinely flat-prefix model: the bundled vector is zero on
+        // the whole prefix region, so every coarse partial ties exactly and
+        // the shortlist is all levels — the chain fallback carries alone.
+        let words = dim / 64;
+        let wc = words / 8;
+        let mut tail_only = vec![0u64; words];
+        for w in tail_only.iter_mut().skip(wc) {
+            *w = 0xA5A5_5A5A_0FF0_F00F;
+        }
+        let mut acc = MajorityAccumulator::new(dim);
+        acc.push(&BinaryHypervector::from_words(dim, tail_only));
+        let model_flat = RegressionTrainer::from_parts(label, acc, 1)
+            .unwrap()
+            .finish_integer();
+        assert!(model_flat.is_pruned());
+        for i in 0..24 {
+            let q = BinaryHypervector::random(dim, &mut r);
+            assert_eq!(
+                model_flat.predict(&q),
+                model_flat.predict_row_full(q.view()),
+                "flat q {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn conclusive_margin_takes_the_shortlist_path() {
+        // Zero tail counters give zero margin bounds, so the coarse pass
+        // alone decides: the shortlist collapses to the exact leaders and
+        // the tie-break must still match the full walk's last-max rule.
+        let mut r = rng();
+        let dim = 2_048usize;
+        let label = ScalarEncoder::with_levels(0.0, 1.0, 16, dim, &mut r).unwrap();
+        let words = dim / 64;
+        let wc = words / 8;
+        let mut prefix_only = vec![0u64; words];
+        for w in prefix_only.iter_mut().take(wc) {
+            *w = 0x3C3C_C3C3_1E1E_E1E1;
+        }
+        let mut acc = MajorityAccumulator::new(dim);
+        acc.push(&BinaryHypervector::from_words(dim, prefix_only));
+        let model = RegressionTrainer::from_parts(label, acc, 1)
+            .unwrap()
+            .finish_integer();
+        assert!(model.is_pruned());
+        for i in 0..32 {
+            let q = BinaryHypervector::random(dim, &mut r);
+            assert_eq!(model.predict(&q), model.predict_row_full(q.view()), "q {i}");
+        }
+        // The all-zeros query exercises pure ties: every masked_sum is 0 and
+        // scores reduce to the label sums; both paths must pick the same
+        // (last-max) level.
+        let zero = BinaryHypervector::zeros(dim);
+        assert_eq!(model.predict(&zero), model.predict_row_full(zero.view()));
     }
 
     #[test]

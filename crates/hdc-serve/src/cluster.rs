@@ -416,6 +416,75 @@ impl ShardBackend for RemoteShard {
     }
 }
 
+/// How the router pays its per-shard sub-requests.
+///
+/// Routed batches, replicated fits, refreshes and stats probes all touch
+/// several shards per call; this chooses whether those shard calls run
+/// one at a time or overlapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FanOut {
+    /// One shard at a time, in shard order — the pre-concurrency
+    /// behaviour, kept selectable for benchmarking and debugging.
+    Serial,
+    /// One scoped thread per involved shard, one in-flight request each
+    /// (default). Shard calls are mostly transport waits, so overlapping
+    /// them helps even on a single core; responses are still merged in
+    /// input order and errors reported in shard order, so results are
+    /// identical to [`FanOut::Serial`] in every outcome.
+    #[default]
+    Concurrent,
+}
+
+/// Applies `op` to every shard not in `skip` — serially, or overlapped
+/// with one scoped thread per shard — returning one slot per shard **in
+/// shard order** (`None` for skipped shards). Shard-order results are
+/// what keeps error reporting identical between the two modes. A panic
+/// inside `op` is resumed on the caller.
+fn par_each<R: Send>(
+    shards: &mut [(usize, Box<dyn ShardBackend>)],
+    skip: &BTreeSet<usize>,
+    concurrent: bool,
+    op: impl Fn(&mut dyn ShardBackend) -> Result<R, HdcError> + Sync,
+) -> Vec<Option<Result<R, HdcError>>> {
+    let involved = shards.iter().filter(|(id, _)| !skip.contains(id)).count();
+    if concurrent && involved > 1 {
+        thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|(id, shard)| {
+                    if skip.contains(id) {
+                        None
+                    } else {
+                        let op = &op;
+                        Some(scope.spawn(move || op(shard.as_mut())))
+                    }
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.map(|handle| {
+                        handle
+                            .join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
+                })
+                .collect()
+        })
+    } else {
+        shards
+            .iter_mut()
+            .map(|(id, shard)| {
+                if skip.contains(id) {
+                    None
+                } else {
+                    Some(op(shard.as_mut()))
+                }
+            })
+            .collect()
+    }
+}
+
 /// The routing front-end of a shard cluster: maps keys to shard processes
 /// over the same consistent-hash ring an in-process
 /// [`ShardedModel`](crate::ShardedModel) routes by, fans keyed operations
@@ -426,12 +495,17 @@ impl ShardBackend for RemoteShard {
 /// assignment is identical to `ShardedModel`'s — which, together with
 /// replicated heads, makes cluster predictions bit-identical to the
 /// in-process fleet's for any shard count.
+///
+/// Multi-shard operations (batch predicts, replicated fits, refresh,
+/// stats, ping) pay their per-shard calls **concurrently** by default —
+/// see [`FanOut`] and [`set_fan_out`](Self::set_fan_out).
 pub struct ClusterRouter {
     ring: HdcHashRing<usize>,
     shards: Vec<(usize, Box<dyn ShardBackend>)>,
     next_id: usize,
     config: RingConfig,
     dim: usize,
+    fan_out_mode: FanOut,
     /// Shards whose online trainer missed a replicated observation (the
     /// transport failed mid-fan-out). They stop receiving replicated
     /// observations and are healed from a healthy peer's trainer snapshot
@@ -503,6 +577,7 @@ impl ClusterRouter {
             dim,
             lagging: BTreeSet::new(),
             pending_removals: Vec::new(),
+            fan_out_mode: FanOut::default(),
         })
     }
 
@@ -510,6 +585,20 @@ impl ClusterRouter {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// How multi-shard operations pay their per-shard calls (see
+    /// [`FanOut`]).
+    #[must_use]
+    pub fn fan_out_mode(&self) -> FanOut {
+        self.fan_out_mode
+    }
+
+    /// Selects serial or concurrent shard fan-out. Both modes produce
+    /// identical results — [`FanOut::Serial`] exists for benchmarking the
+    /// overlap and for debugging with deterministic shard call order.
+    pub fn set_fan_out(&mut self, mode: FanOut) {
+        self.fan_out_mode = mode;
     }
 
     /// The ids of the live shards, in join order.
@@ -628,14 +717,18 @@ impl ClusterRouter {
     }
 
     /// The shared route → fan out → merge path behind both batch forms.
-    fn fan_out<R: Clone>(
+    ///
+    /// Each involved shard receives its owned sub-batch on its own scoped
+    /// thread (under [`FanOut::Concurrent`]; serially otherwise), keeping
+    /// exactly one in-flight request per shard. Replies are merged back in
+    /// input order and a failure reports the first error **in shard
+    /// order**, so both modes are observationally identical.
+    fn fan_out<R: Clone + Send>(
         &mut self,
         pairs: &[(String, BinaryHypervector)],
         placeholder: R,
-        call: impl Fn(
-            &mut dyn ShardBackend,
-            Vec<(String, BinaryHypervector)>,
-        ) -> Result<Vec<R>, HdcError>,
+        call: impl Fn(&mut dyn ShardBackend, Vec<(String, BinaryHypervector)>) -> Result<Vec<R>, HdcError>
+            + Sync,
     ) -> Result<Vec<R>, HdcError> {
         for (_, hv) in pairs {
             self.check_dim(hv.dim())?;
@@ -644,23 +737,66 @@ impl ClusterRouter {
         for (index, (key, _)) in pairs.iter().enumerate() {
             routed[self.position_of(key)].push(index);
         }
+        // Owned per-shard sub-batches, so each scoped thread borrows
+        // nothing from its siblings.
+        let subs: Vec<Option<Vec<(String, BinaryHypervector)>>> = routed
+            .iter()
+            .map(|indices| {
+                if indices.is_empty() {
+                    None
+                } else {
+                    Some(indices.iter().map(|&index| pairs[index].clone()).collect())
+                }
+            })
+            .collect();
+        let involved = subs.iter().filter(|sub| sub.is_some()).count();
+        let replies: Vec<Option<Result<Vec<R>, HdcError>>> =
+            if self.fan_out_mode == FanOut::Concurrent && involved > 1 {
+                thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(subs)
+                        .map(|((_, shard), sub)| {
+                            sub.map(|sub| {
+                                let call = &call;
+                                scope.spawn(move || call(shard.as_mut(), sub))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|handle| {
+                            handle.map(|handle| {
+                                handle
+                                    .join()
+                                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                            })
+                        })
+                        .collect()
+                })
+            } else {
+                self.shards
+                    .iter_mut()
+                    .zip(subs)
+                    .map(|((_, shard), sub)| sub.map(|sub| call(shard.as_mut(), sub)))
+                    .collect()
+            };
         let mut merged = vec![placeholder; pairs.len()];
-        for (position, indices) in routed.into_iter().enumerate() {
-            if indices.is_empty() {
+        for ((position, indices), reply) in routed.into_iter().enumerate().zip(replies) {
+            let Some(reply) = reply else {
                 continue;
-            }
-            let sub: Vec<(String, BinaryHypervector)> =
-                indices.iter().map(|&index| pairs[index].clone()).collect();
-            let replies = call(self.shards[position].1.as_mut(), sub)?;
-            if replies.len() != indices.len() {
+            };
+            let shard_replies = reply?;
+            if shard_replies.len() != indices.len() {
                 return Err(HdcError::Transport(format!(
                     "shard {} answered {} of {} queries",
                     self.shards[position].0,
-                    replies.len(),
+                    shard_replies.len(),
                     indices.len()
                 )));
             }
-            for (index, reply) in indices.into_iter().zip(replies) {
+            for (index, reply) in indices.into_iter().zip(shard_replies) {
                 merged[index] = reply;
             }
         }
@@ -741,18 +877,18 @@ impl ClusterRouter {
     /// double-fitting.
     fn replicate(
         &mut self,
-        mut apply: impl FnMut(&mut dyn ShardBackend) -> Result<(), HdcError>,
+        apply: impl Fn(&mut dyn ShardBackend) -> Result<(), HdcError> + Sync,
     ) -> Result<(), HdcError> {
+        let concurrent = self.fan_out_mode == FanOut::Concurrent;
+        let outcomes = par_each(&mut self.shards, &self.lagging, concurrent, apply);
         let mut failed: Vec<usize> = Vec::new();
         let mut first_error = None;
         let mut applied = 0usize;
-        for (id, shard) in &mut self.shards {
-            if self.lagging.contains(id) {
-                continue;
-            }
-            match apply(shard.as_mut()) {
-                Ok(()) => applied += 1,
-                Err(error) => {
+        for ((id, _), outcome) in self.shards.iter().zip(outcomes) {
+            match outcome {
+                None => {} // lagging, skipped
+                Some(Ok(())) => applied += 1,
+                Some(Err(error)) => {
                     failed.push(*id);
                     if first_error.is_none() {
                         first_error = Some(error);
@@ -870,9 +1006,13 @@ impl ClusterRouter {
     }
 
     fn refresh_all(&mut self) -> Result<u64, HdcError> {
+        let concurrent = self.fan_out_mode == FanOut::Concurrent;
+        let outcomes = par_each(&mut self.shards, &BTreeSet::new(), concurrent, |shard| {
+            shard.refresh()
+        });
         let mut latest = 0;
-        for (_, shard) in &mut self.shards {
-            latest = latest.max(shard.refresh()?);
+        for outcome in outcomes.into_iter().flatten() {
+            latest = latest.max(outcome?);
         }
         Ok(latest)
     }
@@ -885,10 +1025,14 @@ impl ClusterRouter {
     /// Returns the first unreachable/dead shard's error: one dead shard
     /// makes the cluster probe unhealthy.
     pub fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        let concurrent = self.fan_out_mode == FanOut::Concurrent;
+        let outcomes = par_each(&mut self.shards, &BTreeSet::new(), concurrent, |shard| {
+            shard.ping()
+        });
         let mut generation = 0;
         let mut uptime = u64::MAX;
-        for (_, shard) in &mut self.shards {
-            let (shard_generation, shard_uptime) = shard.ping()?;
+        for outcome in outcomes.into_iter().flatten() {
+            let (shard_generation, shard_uptime) = outcome?;
             generation = generation.max(shard_generation);
             uptime = uptime.min(shard_uptime);
         }
@@ -903,9 +1047,16 @@ impl ClusterRouter {
     ///
     /// Returns the first unreachable shard's error.
     pub fn shard_stats(&mut self) -> Result<Vec<(usize, RuntimeStats)>, HdcError> {
+        let concurrent = self.fan_out_mode == FanOut::Concurrent;
+        let outcomes = par_each(&mut self.shards, &BTreeSet::new(), concurrent, |shard| {
+            shard.stats()
+        });
         let mut out = Vec::with_capacity(self.shards.len());
-        for (id, shard) in &mut self.shards {
-            out.push((*id, shard.stats()?));
+        for ((id, _), outcome) in self.shards.iter().zip(outcomes) {
+            let Some(stats) = outcome.transpose()? else {
+                continue;
+            };
+            out.push((*id, stats));
         }
         Ok(out)
     }
@@ -1047,8 +1198,7 @@ impl ClusterRouter {
                             break;
                         }
                     }
-                    self.pending_removals
-                        .extend(keys.map(|key| (peer, key)));
+                    self.pending_removals.extend(keys.map(|key| (peer, key)));
                 }
                 Ok((id, moved))
             }

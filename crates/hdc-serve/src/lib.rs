@@ -65,7 +65,7 @@ mod snapshot;
 mod spec;
 pub mod wire;
 
-pub use cluster::{ClusterRouter, ClusterServer, LocalShard, RemoteShard, ShardBackend};
+pub use cluster::{ClusterRouter, ClusterServer, FanOut, LocalShard, RemoteShard, ShardBackend};
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
 pub use metrics::{MetricsSnapshot, ServeMetrics};

@@ -82,7 +82,7 @@ pub use hdc_core::{
 pub use hdc_encode::{Encoder, FeatureRecordEncoder, FieldSpec, Radians};
 pub use hdc_serve::{
     Basis, BatchPolicy, BlockingClient, ClientConfig, ClusterRouter, ClusterServer, Enc, EncSpec,
-    LocalShard, Model, Pipeline, PipelineSpec, Prediction, RemoteShard, RingConfig, Runtime,
-    RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardBackend, ShardedModel, Snapshot, Task,
-    ValuePrediction,
+    FanOut, LocalShard, Model, Pipeline, PipelineSpec, Prediction, RemoteShard, RingConfig,
+    Runtime, RuntimeConfig, RuntimeHandle, RuntimeStats, Server, ShardBackend, ShardedModel,
+    Snapshot, Task, ValuePrediction,
 };

@@ -25,8 +25,8 @@ use std::time::Duration;
 use hdc::serve::Radians;
 use hdc::{
     Basis, BatchPolicy, BinaryHypervector, BlockingClient, ClientConfig, ClusterRouter,
-    ClusterServer, Enc, HdcError, Model, Pipeline, RemoteShard, RingConfig, Runtime, RuntimeConfig,
-    Server, ShardBackend, ShardedModel,
+    ClusterServer, Enc, FanOut, HdcError, LocalShard, Model, Pipeline, RemoteShard, RingConfig,
+    Runtime, RuntimeConfig, Server, ShardBackend, ShardedModel,
 };
 use proptest::prelude::*;
 
@@ -501,7 +501,9 @@ struct FlakyShard {
 }
 
 impl FlakyShard {
-    fn new(inner: Box<dyn ShardBackend>) -> (Self, Arc<AtomicBool>, Arc<AtomicBool>, Arc<AtomicBool>) {
+    fn new(
+        inner: Box<dyn ShardBackend>,
+    ) -> (Self, Arc<AtomicBool>, Arc<AtomicBool>, Arc<AtomicBool>) {
         let fail_insert = Arc::new(AtomicBool::new(false));
         let fail_remove = Arc::new(AtomicBool::new(false));
         let fail_fit = Arc::new(AtomicBool::new(false));
@@ -629,7 +631,11 @@ fn flaky_cluster(
     (router, fleet_procs, flags, pairs, expected, model)
 }
 
-fn assert_bit_identical(router: &mut ClusterRouter, pairs: &[(String, BinaryHypervector)], expected: &[usize]) {
+fn assert_bit_identical(
+    router: &mut ClusterRouter,
+    pairs: &[(String, BinaryHypervector)],
+    expected: &[usize],
+) {
     let served = router.predict_batch(pairs).expect("routable");
     assert_eq!(
         served.iter().map(|p| p.label).collect::<Vec<_>>(),
@@ -693,7 +699,11 @@ fn join_commits_even_when_cleanup_removals_fail() {
     assert!(removed);
     assert_eq!(router.deferred_cleanup(), 0);
     let stats = router.cluster_stats().expect("stats");
-    assert_eq!(stats.keys as usize, pairs.len(), "no entry lost, no stale copy left");
+    assert_eq!(
+        stats.keys as usize,
+        pairs.len(),
+        "no entry lost, no stale copy left"
+    );
     assert_bit_identical(&mut router, &pairs, &expected);
 
     drop(model);
@@ -839,4 +849,245 @@ fn membership_opcodes_are_tier_checked() {
     let _router = front.shutdown();
     server.shutdown();
     runtime.shutdown();
+}
+
+/// A [`ShardBackend`] decorator that sleeps before every query, fit,
+/// stats and ping call — a stand-in for a shard one slow network hop
+/// away. The sleeps are what let the tests below *measure* whether the
+/// router overlaps its per-shard waits.
+struct SlowShard {
+    inner: Box<dyn ShardBackend>,
+    delay: Duration,
+}
+
+impl SlowShard {
+    fn pause(&self) {
+        if !self.delay.is_zero() {
+            thread::sleep(self.delay);
+        }
+    }
+}
+
+impl ShardBackend for SlowShard {
+    fn describe(&self) -> String {
+        format!("slow({})", self.inner.describe())
+    }
+
+    fn predict_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<hdc::Prediction>, HdcError> {
+        self.pause();
+        self.inner.predict_encoded_many(pairs)
+    }
+
+    fn predict_value_encoded_many(
+        &mut self,
+        pairs: Vec<(String, BinaryHypervector)>,
+    ) -> Result<Vec<hdc::ValuePrediction>, HdcError> {
+        self.pause();
+        self.inner.predict_value_encoded_many(pairs)
+    }
+
+    fn insert(&mut self, key: String, hv: BinaryHypervector) -> Result<bool, HdcError> {
+        self.inner.insert(key, hv)
+    }
+
+    fn remove(&mut self, key: &str) -> Result<bool, HdcError> {
+        self.inner.remove(key)
+    }
+
+    fn fit_encoded(&mut self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.pause();
+        self.inner.fit_encoded(hv, label)
+    }
+
+    fn fit_value_encoded(&mut self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
+        self.pause();
+        self.inner.fit_value_encoded(hv, value)
+    }
+
+    fn refresh(&mut self) -> Result<u64, HdcError> {
+        self.inner.refresh()
+    }
+
+    fn stats(&mut self) -> Result<hdc::RuntimeStats, HdcError> {
+        self.pause();
+        self.inner.stats()
+    }
+
+    fn ping(&mut self) -> Result<(u64, u64), HdcError> {
+        self.pause();
+        self.inner.ping()
+    }
+
+    fn snapshot(&mut self) -> Result<hdc::Snapshot, HdcError> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &hdc::Snapshot) -> Result<u64, HdcError> {
+        self.inner.restore(snapshot)
+    }
+}
+
+/// A 3-shard cluster of in-process runtimes behind [`SlowShard`]
+/// decorators, plus a query batch guaranteed to involve all three shards
+/// and the unsharded model's (bit-exact) expected labels.
+#[allow(clippy::type_complexity)]
+fn slow_cluster(
+    delay: Duration,
+) -> (
+    ClusterRouter,
+    Vec<Runtime<Radians>>,
+    Vec<(String, BinaryHypervector)>,
+    Vec<usize>,
+) {
+    let model = trained_model(5);
+    let inputs: Vec<Radians> = (0..24).map(|i| Radians(f64::from(i) * 0.26)).collect();
+    let queries = model.encode_batch(&inputs);
+    let expected = model.predict_encoded(&queries);
+    let pairs: Vec<(String, BinaryHypervector)> = (0..inputs.len())
+        .map(|i| format!("slow-key-{i}"))
+        .zip(queries.rows().map(|row| row.to_hypervector()))
+        .collect();
+
+    let runtimes: Vec<Runtime<Radians>> = (0..3)
+        .map(|i| {
+            Runtime::spawn(trained_model(5), shard_config(&format!("slow-{i}")))
+                .expect("valid runtime")
+        })
+        .collect();
+    let backends: Vec<Box<dyn ShardBackend>> = runtimes
+        .iter()
+        .map(|runtime| {
+            Box::new(SlowShard {
+                inner: Box::new(LocalShard::new(runtime.handle())),
+                delay,
+            }) as Box<dyn ShardBackend>
+        })
+        .collect();
+    let router = ClusterRouter::new(backends, RingConfig::default(), 0).expect("valid cluster");
+    let involved: std::collections::BTreeSet<usize> =
+        pairs.iter().map(|(key, _)| router.shard_of(key)).collect();
+    assert_eq!(involved.len(), 3, "batch must span all three shards");
+    (router, runtimes, pairs, expected)
+}
+
+/// Tentpole acceptance: with one slow hop per shard, the concurrent
+/// router pays the slowest shard's wait once — not the sum — for batch
+/// predicts, replicated fits, stats and ping alike, while the serial
+/// mode provably pays the sum. (Sleeps overlap even on one core, which
+/// is exactly the transport-bound regime the fan-out targets.)
+#[test]
+fn concurrent_fan_out_overlaps_shard_waits() {
+    let delay = Duration::from_millis(60);
+    let budget = 3 * delay; // what serial necessarily pays per call
+    let (mut router, runtimes, pairs, expected) = slow_cluster(delay);
+
+    router.set_fan_out(FanOut::Serial);
+    let serial_start = std::time::Instant::now();
+    assert_bit_identical(&mut router, &pairs, &expected);
+    let serial_elapsed = serial_start.elapsed();
+    assert!(
+        serial_elapsed >= budget,
+        "serial fan-out must pay every shard's wait: {serial_elapsed:?} < {budget:?}"
+    );
+
+    router.set_fan_out(FanOut::Concurrent);
+    let concurrent_start = std::time::Instant::now();
+    assert_bit_identical(&mut router, &pairs, &expected);
+    let concurrent_elapsed = concurrent_start.elapsed();
+    assert!(
+        concurrent_elapsed < budget,
+        "concurrent fan-out must overlap shard waits: {concurrent_elapsed:?} >= {budget:?}"
+    );
+
+    // Replicated fits fan out to all three shards concurrently too.
+    let fit_start = std::time::Instant::now();
+    router.fit_encoded(&pairs[0].1, 1).expect("replicated fit");
+    assert!(
+        fit_start.elapsed() < budget,
+        "concurrent replicate must overlap shard waits"
+    );
+
+    // Stats and ping probes reuse the same concurrent path.
+    let stats_start = std::time::Instant::now();
+    let per_shard = router.shard_stats().expect("stats");
+    assert_eq!(per_shard.len(), 3);
+    assert!(
+        stats_start.elapsed() < budget,
+        "concurrent stats must overlap shard waits"
+    );
+    let ping_start = std::time::Instant::now();
+    router.ping().expect("ping");
+    assert!(
+        ping_start.elapsed() < budget,
+        "concurrent ping must overlap shard waits"
+    );
+
+    drop(router);
+    for runtime in runtimes {
+        runtime.shutdown();
+    }
+}
+
+/// Serial and concurrent fan-out are observationally identical: same
+/// predictions (both equal to the unsharded model's), same per-shard
+/// stats identities, same ping generation — including after replicated
+/// fits performed in either mode.
+#[test]
+fn serial_and_concurrent_fan_out_are_bit_identical() {
+    let (mut serial_router, serial_runtimes, pairs, expected) = slow_cluster(Duration::ZERO);
+    let (mut concurrent_router, concurrent_runtimes, _, _) = slow_cluster(Duration::ZERO);
+    serial_router.set_fan_out(FanOut::Serial);
+    assert_eq!(serial_router.fan_out_mode(), FanOut::Serial);
+    assert_eq!(concurrent_router.fan_out_mode(), FanOut::Concurrent);
+
+    assert_bit_identical(&mut serial_router, &pairs, &expected);
+    assert_bit_identical(&mut concurrent_router, &pairs, &expected);
+
+    // One replicated fit per mode, then a refresh: the twin clusters must
+    // still answer identically query for query.
+    for (hv, label) in [(&pairs[0].1, 0usize), (&pairs[1].1, 1usize)] {
+        serial_router.fit_encoded(hv, label).expect("serial fit");
+        concurrent_router
+            .fit_encoded(hv, label)
+            .expect("concurrent fit");
+    }
+    let serial_generation = serial_router.refresh().expect("refresh");
+    let concurrent_generation = concurrent_router.refresh().expect("refresh");
+    assert_eq!(serial_generation, concurrent_generation);
+    let serial_answers = serial_router.predict_batch(&pairs).expect("predict");
+    let concurrent_answers = concurrent_router.predict_batch(&pairs).expect("predict");
+    assert_eq!(
+        serial_answers.iter().map(|p| p.label).collect::<Vec<_>>(),
+        concurrent_answers
+            .iter()
+            .map(|p| p.label)
+            .collect::<Vec<_>>(),
+        "fan-out mode must never change an answer"
+    );
+
+    // Stats agree on everything that is not a wall clock.
+    let serial_stats = serial_router.shard_stats().expect("stats");
+    let concurrent_stats = concurrent_router.shard_stats().expect("stats");
+    assert_eq!(serial_stats.len(), concurrent_stats.len());
+    for ((serial_id, serial), (concurrent_id, concurrent)) in
+        serial_stats.iter().zip(&concurrent_stats)
+    {
+        assert_eq!(serial_id, concurrent_id);
+        assert_eq!(serial.generation, concurrent.generation);
+        assert_eq!(serial.keys, concurrent.keys);
+        assert_eq!(serial.dim, concurrent.dim);
+        assert_eq!(serial.classes, concurrent.classes);
+    }
+    let (serial_ping, _) = serial_router.ping().expect("ping");
+    let (concurrent_ping, _) = concurrent_router.ping().expect("ping");
+    assert_eq!(serial_ping, concurrent_ping);
+
+    drop(serial_router);
+    drop(concurrent_router);
+    for runtime in serial_runtimes.into_iter().chain(concurrent_runtimes) {
+        runtime.shutdown();
+    }
 }

@@ -121,3 +121,44 @@ fn kepler_substrate_feeds_the_dataset() {
     let aphelion = data.mean_power_in(2.9, 3.4);
     assert!(perihelion > aphelion + 30.0);
 }
+
+mod pruned_readout {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The coarse-to-fine integer readout is bit-identical to the full
+        /// per-label walk on arbitrary trained models and arbitrary
+        /// (including corrupted and purely random) queries — every branch
+        /// of the prune logic must agree with `predict_row_full`.
+        #[test]
+        fn pruned_predict_matches_full_walk(
+            seed in 0u64..10_000,
+            dim in 1_024usize..3_000,
+            levels in 4usize..40,
+            samples in 1usize..60,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let input = ScalarEncoder::with_levels(0.0, 1.0, 32, dim, &mut rng).unwrap();
+            let label = ScalarEncoder::with_levels(0.0, 1.0, levels, dim, &mut rng).unwrap();
+            let mut trainer = RegressionTrainer::new(label);
+            for i in 0..samples {
+                let x = i as f64 / samples as f64;
+                trainer.observe(&input.encode(x).corrupt(0.05, &mut rng), x);
+            }
+            let model = trainer.finish_integer();
+            prop_assert!(model.is_pruned(), "dim={} clears the prune gate", dim);
+            for _ in 0..8 {
+                let q = if rng.random_bool(0.5) {
+                    input.encode(rng.random_range(0.0..1.0)).corrupt(0.1, &mut rng)
+                } else {
+                    BinaryHypervector::random(dim, &mut rng)
+                };
+                prop_assert_eq!(model.predict(&q), model.predict_row_full(q.view()));
+            }
+        }
+    }
+}

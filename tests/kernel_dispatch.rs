@@ -1,0 +1,179 @@
+//! Bit-identity of every dispatched kernel backend against the scalar
+//! reference.
+//!
+//! The dispatch layer (`hdc::core::kernels::dispatch`) publishes each
+//! backend as a table of plain function pointers, so this suite can call
+//! every backend the running CPU supports — not just the selected one —
+//! and assert it produces **exactly** the scalar result: same bits, same
+//! sums, same tie-break consultations. Dimensions deliberately sweep
+//! non-multiples of 64 so ragged tail words (the part SIMD kernels
+//! handle with scalar remainders) are always exercised.
+
+use hdc::core::kernels::dispatch::{available, table, Backend};
+use hdc::BinaryHypervector;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A packed hypervector with a clean tail plus a matching counter slice.
+fn inputs(dim: usize, seed: u64) -> (Vec<u64>, Vec<u64>, Vec<i32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = BinaryHypervector::random(dim, &mut rng).as_words().to_vec();
+    let b = BinaryHypervector::random(dim, &mut rng).as_words().to_vec();
+    let counts: Vec<i32> = (0..dim)
+        .map(|_| rng.random_range(-10_000..10_000))
+        .collect();
+    (a, b, counts)
+}
+
+fn simd_backends() -> Vec<Backend> {
+    available()
+        .into_iter()
+        .filter(|&b| b != Backend::Scalar)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `xor` and `xor_into` agree with scalar word for word.
+    #[test]
+    fn xor_parity(dim in 1usize..=4096, seed in 0u64..1000) {
+        let scalar = table(Backend::Scalar).unwrap();
+        let (a, b, _) = inputs(dim, seed);
+        let mut expected = vec![0u64; a.len()];
+        (scalar.xor)(&a, &b, &mut expected);
+        let mut expected_into = a.clone();
+        (scalar.xor_into)(&mut expected_into, &b);
+        prop_assert_eq!(&expected, &expected_into);
+        for backend in simd_backends() {
+            let t = table(backend).unwrap();
+            let mut out = vec![0u64; a.len()];
+            (t.xor)(&a, &b, &mut out);
+            prop_assert_eq!(&out, &expected, "xor backend={}", backend);
+            let mut into = a.clone();
+            (t.xor_into)(&mut into, &b);
+            prop_assert_eq!(&into, &expected, "xor_into backend={}", backend);
+        }
+    }
+
+    /// Popcount and hamming agree with scalar exactly.
+    #[test]
+    fn popcount_parity(dim in 1usize..=4096, seed in 0u64..1000) {
+        let scalar = table(Backend::Scalar).unwrap();
+        let (a, b, _) = inputs(dim, seed);
+        let expected_ones = (scalar.count_ones)(&a);
+        let expected_ham = (scalar.hamming)(&a, &b);
+        for backend in simd_backends() {
+            let t = table(backend).unwrap();
+            prop_assert_eq!((t.count_ones)(&a), expected_ones, "count_ones backend={}", backend);
+            prop_assert_eq!((t.hamming)(&a, &b), expected_ham, "hamming backend={}", backend);
+        }
+    }
+
+    /// `accumulate` produces identical counters for ordinary weights,
+    /// including negatives, from an arbitrary starting counter state.
+    #[test]
+    fn accumulate_parity(
+        dim in 1usize..=4096,
+        seed in 0u64..1000,
+        weight in -5000i32..=5000,
+    ) {
+        let (a, _, counts) = inputs(dim, seed);
+        let scalar = table(Backend::Scalar).unwrap();
+        let mut expected = counts.clone();
+        (scalar.accumulate)(&mut expected, &a, weight);
+        for backend in simd_backends() {
+            let t = table(backend).unwrap();
+            let mut got = counts.clone();
+            (t.accumulate)(&mut got, &a, weight);
+            prop_assert_eq!(&got, &expected, "accumulate backend={}", backend);
+        }
+    }
+
+    /// `accumulate` with extreme weights (the scalar doubling-shortcut
+    /// fallback) also matches: i32::MIN and i32::MAX stress the widened
+    /// SIMD adds.
+    #[test]
+    fn accumulate_extreme_weight_parity(dim in 1usize..=512, seed in 0u64..1000) {
+        let (a, _, _) = inputs(dim, seed);
+        // Extreme weights only avoid counter overflow (a caller-side
+        // contract) when starting from zeroed counters.
+        let counts = vec![0i32; dim];
+        let scalar = table(Backend::Scalar).unwrap();
+        for weight in [1i32 << 30, -(1i32 << 30), i32::MAX, i32::MIN + 1] {
+            let mut expected = counts.clone();
+            (scalar.accumulate)(&mut expected, &a, weight);
+            for backend in simd_backends() {
+                let t = table(backend).unwrap();
+                let mut got = counts.clone();
+                (t.accumulate)(&mut got, &a, weight);
+                prop_assert_eq!(&got, &expected, "backend={} weight={}", backend, weight);
+            }
+        }
+    }
+
+    /// The two summation kernels return the identical `i64`, including at
+    /// counter extremes where a 32-bit reassociation would overflow.
+    #[test]
+    fn sum_kernel_parity(dim in 1usize..=4096, seed in 0u64..1000) {
+        let (a, b, mut counts) = inputs(dim, seed);
+        // Plant extremes at fixed positions so ragged tails see them too.
+        counts[0] = i32::MIN;
+        if dim > 1 {
+            counts[dim - 1] = i32::MAX;
+        }
+        let scalar = table(Backend::Scalar).unwrap();
+        let expected_dot = (scalar.dot_bipolar)(&counts, &a);
+        let expected_masked = (scalar.masked_sum)(&counts, &a, &b);
+        for backend in simd_backends() {
+            let t = table(backend).unwrap();
+            prop_assert_eq!((t.dot_bipolar)(&counts, &a), expected_dot,
+                "dot_bipolar backend={}", backend);
+            prop_assert_eq!((t.masked_sum)(&counts, &a, &b), expected_masked,
+                "masked_sum backend={}", backend);
+        }
+    }
+
+    /// `majority_into` resolves every sign identically AND consults the
+    /// tie-break closure for the same indices in the same (ascending)
+    /// order on every backend.
+    #[test]
+    fn majority_parity(dim in 1usize..=4096, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Narrow counter range so exact zeros (ties) are common.
+        let counts: Vec<i32> = (0..dim).map(|_| rng.random_range(-2i32..=2)).collect();
+        let scalar = table(Backend::Scalar).unwrap();
+        let mut expected = vec![0u64; dim.div_ceil(64)];
+        let mut expected_ties = Vec::new();
+        (scalar.majority_into)(&counts, &mut expected, &mut |i| {
+            expected_ties.push(i);
+            i % 3 == 0
+        });
+        for backend in simd_backends() {
+            let t = table(backend).unwrap();
+            let mut got = vec![!0u64; dim.div_ceil(64)]; // dirty scratch
+            let mut ties = Vec::new();
+            (t.majority_into)(&counts, &mut got, &mut |i| {
+                ties.push(i);
+                i % 3 == 0
+            });
+            prop_assert_eq!(&got, &expected, "majority bits backend={}", backend);
+            prop_assert_eq!(&ties, &expected_ties, "tie order backend={}", backend);
+        }
+    }
+}
+
+/// The selected table is one of the available ones, and the public
+/// `kernels::*` wrappers agree with calling its pointers directly.
+#[test]
+fn public_wrappers_route_through_selected_table() {
+    use hdc::core::kernels;
+    let selected = kernels::dispatch::selected();
+    assert!(available().contains(&selected.backend));
+    let (a, b, counts) = inputs(777, 42);
+    assert_eq!(kernels::hamming(&a, &b), (selected.hamming)(&a, &b));
+    assert_eq!(
+        kernels::masked_sum(&counts, &a, &b),
+        (selected.masked_sum)(&counts, &a, &b)
+    );
+}

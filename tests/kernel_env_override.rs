@@ -1,0 +1,20 @@
+//! Regression test: `HDC_KERNEL=scalar` must force the scalar fallback.
+//!
+//! The dispatch table is resolved once per process and cached, so this
+//! lives in its own integration-test binary: the env var is set before
+//! any kernel call, making this process's first (and only) resolution see
+//! it. Running it alongside other tests in the same binary would race the
+//! `OnceLock`.
+
+use hdc::core::kernels::dispatch::{selected_backend, Backend};
+
+#[test]
+fn hdc_kernel_scalar_forces_fallback() {
+    // Set before the first dispatch::selected() call in this process, so
+    // the one-time resolution observes it.
+    std::env::set_var("HDC_KERNEL", "scalar");
+    assert_eq!(selected_backend(), Backend::Scalar);
+    // Cached: clearing the variable afterwards must not flip the table.
+    std::env::remove_var("HDC_KERNEL");
+    assert_eq!(selected_backend(), Backend::Scalar);
+}
