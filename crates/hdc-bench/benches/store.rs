@@ -1,0 +1,174 @@
+//! Storage-layer benchmarks: what durability costs on the fit path, and
+//! what paging costs on the item-memory read path.
+//!
+//! * **store_fit_path** — one online `fit` through the running
+//!   [`Runtime`], d=10_000. The `volatile` row is the PR 4 contract: a
+//!   fire-and-forget enqueue to the trainer, no acknowledgement. The
+//!   `wal_*` rows are the durable contract: the call returns only after
+//!   the record is in the write-ahead log under the named
+//!   [`SyncPolicy`] — `never` prices the dispatcher round-trip plus the
+//!   buffered append, `batch` adds one `fsync` per micro-batch (the
+//!   default), `always` one `fsync` per record. The spread between
+//!   `never` and `batch`/`always` is almost entirely the disk flush.
+//! * **store_paged_get** — item-memory reads at hot/cold key ratios:
+//!   the in-RAM [`ResidentStore`] baseline vs a [`PagedStore`] holding
+//!   2048 keys on a 256-entry cache budget (8× oversubscribed). `hot`
+//!   cycles a working set that fits the cache (hit path: one HashMap
+//!   probe + LRU tick), `cold` cycles uniformly over all keys (miss
+//!   path: seek + read + decode + evict), `mix_90_10` blends them at
+//!   the ratio a serving hot set actually sees.
+//!
+//! Both planes return bit-identical hypervectors — `tests/durability.rs`
+//! proptests that equivalence; these benches price it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc_core::BinaryHypervector;
+use hdc_encode::Radians;
+use hdc_serve::{Basis, Enc, Model, Pipeline, Runtime, RuntimeConfig};
+use hdc_store::{DurabilityConfig, ItemStore, PagedStore, ResidentStore, SyncPolicy};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const DIM: usize = 10_000;
+const CLASSES: usize = 16;
+
+fn blank() -> Model<Radians> {
+    Pipeline::builder(DIM)
+        .seed(7)
+        .classes(CLASSES)
+        .basis(Basis::Circular { m: 24, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+        .expect("valid spec")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdc-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn hours() -> Vec<Radians> {
+    (0..256)
+        .map(|i| Radians::periodic(f64::from(i) / 256.0 * 24.0, 24.0))
+        .collect()
+}
+
+fn bench_fit_path(c: &mut Criterion) {
+    let observations = hours();
+    let mut group = c.benchmark_group("store_fit_path");
+
+    {
+        let runtime = Runtime::spawn(blank(), RuntimeConfig::default()).expect("spawn");
+        let handle = runtime.handle();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("fit", "volatile"), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                handle
+                    .fit(black_box(&observations[i % 256]), i % CLASSES)
+                    .expect("fit");
+            });
+        });
+        runtime.shutdown();
+    }
+
+    for (name, sync) in [
+        ("wal_never", SyncPolicy::Never),
+        ("wal_batch", SyncPolicy::EveryBatch),
+        ("wal_always", SyncPolicy::Always),
+    ] {
+        let dir = scratch(name);
+        let config = RuntimeConfig {
+            durability: Some(DurabilityConfig {
+                sync,
+                snapshot_every: 0,
+                segment_bytes: 64 << 20,
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..RuntimeConfig::default()
+        };
+        let runtime = Runtime::spawn(blank(), config).expect("spawn");
+        let handle = runtime.handle();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("fit", name), &(), |b, ()| {
+            b.iter(|| {
+                i += 1;
+                handle
+                    .fit(black_box(&observations[i % 256]), i % CLASSES)
+                    .expect("durable fit");
+            });
+        });
+        runtime.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_paged_get(c: &mut Criterion) {
+    const KEYS: usize = 2048;
+    const BUDGET: usize = 256;
+    const HOT: usize = 128;
+
+    let mut rng = StdRng::seed_from_u64(0xB00C);
+    let dir = scratch("paged");
+    let mut paged = PagedStore::open(dir.join("items"), DIM, BUDGET).expect("open");
+    let mut resident = ResidentStore::new();
+    let keys: Vec<String> = (0..KEYS).map(|i| format!("user-{i:05}")).collect();
+    for key in &keys {
+        let hv = BinaryHypervector::random(DIM, &mut rng);
+        paged.insert(key, &hv).expect("insert");
+        resident.insert(key, &hv).expect("insert");
+    }
+    // A fixed shuffled visit order so `cold` touches keys uniformly but
+    // reproducibly, defeating both the LRU cache and the branch predictor.
+    let cold_order: Vec<usize> = {
+        let mut order: Vec<usize> = (0..KEYS).collect();
+        for i in (1..KEYS).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        order
+    };
+
+    let mut group = c.benchmark_group("store_paged_get");
+    let mut i = 0usize;
+    group.bench_with_input(BenchmarkId::new("get", "resident"), &(), |b, ()| {
+        b.iter(|| {
+            i += 1;
+            black_box(resident.get(&keys[cold_order[i % KEYS]]).expect("get"));
+        });
+    });
+    let mut i = 0usize;
+    group.bench_with_input(BenchmarkId::new("get", "paged_hot"), &(), |b, ()| {
+        b.iter(|| {
+            i += 1;
+            black_box(paged.get(&keys[i % HOT]).expect("get"));
+        });
+    });
+    let mut i = 0usize;
+    group.bench_with_input(BenchmarkId::new("get", "paged_cold"), &(), |b, ()| {
+        b.iter(|| {
+            i += 1;
+            black_box(paged.get(&keys[cold_order[i % KEYS]]).expect("get"));
+        });
+    });
+    let mut i = 0usize;
+    group.bench_with_input(BenchmarkId::new("get", "paged_mix_90_10"), &(), |b, ()| {
+        b.iter(|| {
+            i += 1;
+            let key = if i % 10 == 0 {
+                &keys[cold_order[i % KEYS]]
+            } else {
+                &keys[i % HOT]
+            };
+            black_box(paged.get(key).expect("get"));
+        });
+    });
+    group.finish();
+    drop(paged);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fit_path, bench_paged_get);
+criterion_main!(benches);

@@ -82,6 +82,14 @@ pub enum HdcError {
         /// Human-readable reason.
         String,
     ),
+    /// Durable storage (write-ahead log, snapshot manifest or paged item
+    /// memory) could not be read or written: I/O failure, bad magic or
+    /// version, a CRC mismatch in a sealed segment, or a spec digest that
+    /// does not match the recovering model.
+    Storage(
+        /// Human-readable reason.
+        String,
+    ),
     /// A network operation against a remote serving process exceeded its
     /// configured deadline (connect, read or write timeout).
     Timeout {
@@ -143,6 +151,7 @@ impl fmt::Display for HdcError {
                 )
             }
             HdcError::Snapshot(ref reason) => write!(f, "snapshot error: {reason}"),
+            HdcError::Storage(ref reason) => write!(f, "storage error: {reason}"),
             HdcError::Timeout { operation } => {
                 write!(f, "timed out waiting for {operation} on a remote shard")
             }
@@ -196,6 +205,7 @@ mod tests {
             }
             .to_string(),
             HdcError::Snapshot("truncated header".into()).to_string(),
+            HdcError::Storage("torn segment header".into()).to_string(),
             HdcError::Timeout {
                 operation: "connect",
             }

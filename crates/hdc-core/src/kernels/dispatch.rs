@@ -235,6 +235,29 @@ pub fn selected_backend() -> Backend {
     selected().backend
 }
 
+/// Whether the dense SIMD `masked_sum` kernel should handle a call whose
+/// mask intersection has `intersection_ones` set bits out of `dim`
+/// counters — the density-aware dispatch policy the AVX2 backend applies
+/// per call.
+///
+/// The dense kernel streams every counter group (fixed `O(d)` cost); the
+/// scalar set-bit walk touches only `popcount(a ∧ b)` counters. Measured
+/// on the BENCH_PR7 host, the walk costs ~3× a dense counter group per
+/// visited bit at readout-typical dimensions, so the walk wins below ~1/3
+/// density — but its per-bit cost degrades once the counter array
+/// outgrows cache, which is why dense AVX2 crossed over at d = 65_536
+/// despite the same ~25% density. Above 32k counters the policy therefore
+/// hands the dense kernel everything denser than 1/5.
+///
+/// Pure so tests can pin the boundary; both sides are bit-identical
+/// (proptested in `tests/kernel_dispatch.rs`), the policy is only ever a
+/// performance choice.
+#[must_use]
+pub fn masked_sum_prefers_dense(intersection_ones: usize, dim: usize) -> bool {
+    let walk_cost_factor = if dim >= 32_768 { 5 } else { 3 };
+    intersection_ones.saturating_mul(walk_cost_factor) > dim
+}
+
 /// The ISA features detected on this CPU that are relevant to kernel
 /// selection, in a stable order — bench provenance for `BENCH_*.json`
 /// host headers. Detection is reported even for features (AVX-512) that
@@ -295,6 +318,25 @@ mod tests {
         assert_eq!(parse_override("neon"), Some(Backend::Neon));
         assert_eq!(parse_override("avx512"), None);
         assert_eq!(parse_override(""), None);
+    }
+
+    #[test]
+    fn masked_sum_density_policy_matches_the_measured_crossovers() {
+        // Sparse intersections always walk, regardless of dimension.
+        assert!(!masked_sum_prefers_dense(0, 10_000));
+        assert!(!masked_sum_prefers_dense(100, 10_000));
+        assert!(!masked_sum_prefers_dense(10_000, 1_000_000));
+        // The BENCH_PR7 data points: ~25% density loses to the walk at
+        // d = 10_000 but crosses over to dense at d = 65_536.
+        assert!(!masked_sum_prefers_dense(2_500, 10_000));
+        assert!(masked_sum_prefers_dense(16_384, 65_536));
+        // Dense intersections stream at any size.
+        assert!(masked_sum_prefers_dense(5_000, 10_000));
+        assert!(masked_sum_prefers_dense(32_768, 65_536));
+        // Boundary exactness: strictly-greater comparison, no overflow.
+        assert!(!masked_sum_prefers_dense(3_333, 10_000));
+        assert!(masked_sum_prefers_dense(3_334, 10_000));
+        assert!(!masked_sum_prefers_dense(usize::MAX, usize::MAX));
     }
 
     #[test]

@@ -225,8 +225,40 @@ unsafe fn dot_bipolar_avx2(counts: &[i32], words: &[u64]) -> i64 {
 }
 
 pub(crate) fn masked_sum(counts: &[i32], a: &[u64], b: &[u64]) -> i64 {
-    // SAFETY: published by `dispatch` only after AVX2 was detected.
-    unsafe { masked_sum_avx2(counts, a, b) }
+    // Density-aware dispatch: the dense AVX2 kernel streams every counter
+    // group, so its cost is fixed at O(d) while the scalar set-bit walk
+    // costs O(popcount(a ∧ b)). A strided popcount sample of the
+    // intersection estimates which wins — see
+    // `dispatch::masked_sum_prefers_dense` for the measured crossover.
+    // The choice is performance-only (both branches are bit-identical),
+    // so an estimate off by a stride's worth of bits near the boundary
+    // is harmless.
+    // SAFETY: published by `dispatch` only after AVX2 + POPCNT were
+    // detected.
+    let ones = unsafe { estimated_intersection_ones(a, b) };
+    if super::dispatch::masked_sum_prefers_dense(ones, counts.len()) {
+        unsafe { masked_sum_avx2(counts, a, b) }
+    } else {
+        super::scalar::masked_sum(counts, a, b)
+    }
+}
+
+/// Estimated `popcount(a ∧ b)`: exact up to 64 words, an evenly strided
+/// 64-word sample scaled back to the full length above that.
+#[target_feature(enable = "popcnt")]
+unsafe fn estimated_intersection_ones(a: &[u64], b: &[u64]) -> usize {
+    const SAMPLE_WORDS: usize = 64;
+    let len = a.len();
+    let step = len.div_ceil(SAMPLE_WORDS).max(1);
+    let mut ones = 0usize;
+    let mut sampled = 0usize;
+    let mut i = 0;
+    while i < len {
+        ones += (a[i] & b[i]).count_ones() as usize;
+        sampled += 1;
+        i += step;
+    }
+    ones * len / sampled.max(1)
 }
 
 #[target_feature(enable = "avx2")]

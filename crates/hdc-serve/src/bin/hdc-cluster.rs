@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! hdc-cluster shard  --listen ADDR --snapshot PATH [--name NAME]
+//!                    [--data-dir DIR] [--segment-bytes N] [--snapshot-every N]
+//!                    [--fsync always|batch|never] [--page-cache N]
 //! hdc-cluster router --listen ADDR --shard ADDR [--shard ADDR ...] [--seed N]
 //! ```
 //!
@@ -16,6 +18,20 @@
 //! with; defaults to 0) and serves the same wire protocol — plus the
 //! `shard_join` / `shard_leave` membership opcodes, so fresh shard
 //! processes can join warm while the cluster serves.
+//!
+//! # Durability
+//!
+//! `--data-dir DIR` turns on the shard's write-ahead log and periodic
+//! background snapshotting under `DIR`: every acknowledged fit, insert and
+//! remove survives a crash, and the restarted shard recovers
+//! bit-identically from its own log — `--snapshot` then only seeds the
+//! model spec on the *first* boot; afterwards the store's recovery wins.
+//! `--segment-bytes` and `--snapshot-every` tune log rotation and snapshot
+//! cadence, `--fsync` picks the flush policy (`batch` by default: one
+//! `fsync` per micro-batch, before its acks), and `--page-cache N` moves
+//! the item memory to the paged file-backed store with at most `N`
+//! hypervectors resident. Warm joins still stream the full item set: a
+//! live snapshot reads the paged store around its cache.
 //!
 //! Typical bring-up, one trained snapshot shared by every shard:
 //!
@@ -31,14 +47,17 @@ use std::thread;
 
 use hdc_encode::Radians;
 use hdc_serve::{
-    ClientConfig, ClusterRouter, ClusterServer, EncSpec, HdcError, Pipeline, RemoteShard,
-    RingConfig, Runtime, RuntimeConfig, Server, ShardBackend, Snapshot, SpecInput,
+    ClientConfig, ClusterRouter, ClusterServer, DurabilityConfig, EncSpec, HdcError, Pipeline,
+    RemoteShard, RingConfig, Runtime, RuntimeConfig, Server, ShardBackend, Snapshot, SpecInput,
+    SyncPolicy,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         hdc-cluster shard  --listen ADDR --snapshot PATH [--name NAME]\n  \
+         hdc-cluster shard  --listen ADDR --snapshot PATH [--name NAME]\n    \
+         [--data-dir DIR] [--segment-bytes N] [--snapshot-every N]\n    \
+         [--fsync always|batch|never] [--page-cache N]\n  \
          hdc-cluster router --listen ADDR --shard ADDR [--shard ADDR ...] [--seed N]"
     );
     ExitCode::FAILURE
@@ -104,23 +123,85 @@ fn one_flag<'a>(rest: &'a [String], flag: &str) -> Result<&'a str, ParseError> {
     }
 }
 
+/// Parses an optional `--flag N` integer, erroring loudly on garbage.
+fn numeric_flag(rest: &[String], flag: &str) -> Result<Option<u64>, ParseError> {
+    match flag_values(rest, flag)?.as_slice() {
+        [] => Ok(None),
+        [value] => value
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| ParseError::Runtime(format!("invalid {flag} {value:?}"))),
+        _ => Err(ParseError::Usage),
+    }
+}
+
+/// Builds the shard's [`DurabilityConfig`] from the command line; `None`
+/// without `--data-dir` (the tuning flags then must not appear).
+fn durability_flags(rest: &[String]) -> Result<Option<DurabilityConfig>, ParseError> {
+    let dir = match flag_values(rest, "--data-dir")?.as_slice() {
+        [] => {
+            for flag in [
+                "--segment-bytes",
+                "--snapshot-every",
+                "--fsync",
+                "--page-cache",
+            ] {
+                if !flag_values(rest, flag)?.is_empty() {
+                    return Err(ParseError::Runtime(format!("{flag} requires --data-dir")));
+                }
+            }
+            return Ok(None);
+        }
+        [dir] => *dir,
+        _ => return Err(ParseError::Usage),
+    };
+    let mut config = DurabilityConfig::new(dir);
+    if let Some(bytes) = numeric_flag(rest, "--segment-bytes")? {
+        config.segment_bytes = bytes;
+    }
+    if let Some(every) = numeric_flag(rest, "--snapshot-every")? {
+        config.snapshot_every = every;
+    }
+    if let Some(budget) = numeric_flag(rest, "--page-cache")? {
+        config.page_cache = Some(budget as usize);
+    }
+    config.sync = match flag_values(rest, "--fsync")?.as_slice() {
+        [] | ["batch"] => SyncPolicy::EveryBatch,
+        ["always"] => SyncPolicy::Always,
+        ["never"] => SyncPolicy::Never,
+        [value] => {
+            return Err(ParseError::Runtime(format!(
+                "invalid --fsync {value:?}; expected always, batch or never"
+            )))
+        }
+        _ => return Err(ParseError::Usage),
+    };
+    Ok(Some(config))
+}
+
 fn run_shard_command(rest: &[String]) -> Result<(), ParseError> {
     let listen = one_flag(rest, "--listen")?;
     let path = one_flag(rest, "--snapshot")?;
     let name = flag_values(rest, "--name")?.first().copied().unwrap_or("");
+    let durability = durability_flags(rest)?;
     let snapshot = Snapshot::read(path)?;
     // The snapshot's spec names the encoder input type; dispatch to the
     // matching monomorphization of the runtime.
     match snapshot.spec().encoder {
-        EncSpec::Scalar { .. } => serve_shard::<f64>(&snapshot, listen, name),
-        EncSpec::Angle => serve_shard::<Radians>(&snapshot, listen, name),
-        EncSpec::Categorical { .. } => serve_shard::<usize>(&snapshot, listen, name),
-        EncSpec::Sequence { .. } => serve_shard::<[usize]>(&snapshot, listen, name),
-        EncSpec::Record { .. } => serve_shard::<[f64]>(&snapshot, listen, name),
+        EncSpec::Scalar { .. } => serve_shard::<f64>(&snapshot, listen, name, durability),
+        EncSpec::Angle => serve_shard::<Radians>(&snapshot, listen, name, durability),
+        EncSpec::Categorical { .. } => serve_shard::<usize>(&snapshot, listen, name, durability),
+        EncSpec::Sequence { .. } => serve_shard::<[usize]>(&snapshot, listen, name, durability),
+        EncSpec::Record { .. } => serve_shard::<[f64]>(&snapshot, listen, name, durability),
     }
 }
 
-fn serve_shard<X>(snapshot: &Snapshot, listen: &str, name: &str) -> Result<(), ParseError>
+fn serve_shard<X>(
+    snapshot: &Snapshot,
+    listen: &str,
+    name: &str,
+    durability: Option<DurabilityConfig>,
+) -> Result<(), ParseError>
 where
     X: ?Sized + SpecInput + ToOwned + Sync + 'static,
     X::Owned: Send + 'static,
@@ -128,6 +209,7 @@ where
     let model = Pipeline::from_snapshot::<X>(snapshot)?;
     let config = RuntimeConfig {
         name: name.to_owned(),
+        durability,
         ..RuntimeConfig::default()
     };
     let runtime = Runtime::spawn(model, config)?;

@@ -1,7 +1,7 @@
 //! Unified pipeline building, sharded serving and a long-running service
 //! runtime for the circular-hypervector workspace.
 //!
-//! Four layers:
+//! The layers:
 //!
 //! * [`Pipeline`] / [`Model`] — the typed builder that replaces the
 //!   hand-wired `StdRng → BasisSet → Encoder → CentroidClassifier` glue:
@@ -33,6 +33,15 @@
 //!   training to every shard, and warm-joins fresh shards by streaming
 //!   [`Snapshot`]s — bit-identical to the in-process fleet for any shard
 //!   count.
+//! * [`DurabilityConfig`] — the storage layer under the runtime
+//!   (re-exported from `hdc-store`): a CRC-framed segmented write-ahead
+//!   log on the fit/insert/remove path (acks released only after the
+//!   configured [`SyncPolicy`] flush), periodic background snapshots
+//!   installed atomically off the serving threads, and an optional paged
+//!   file-backed item memory ([`PagedStore`] behind the [`ItemStore`]
+//!   seam) bounding resident memory by an LRU cache budget. A durable
+//!   runtime recovers **bit-identically** to its last acknowledged state
+//!   from snapshot + log replay after a crash.
 //!
 //! # Quickstart
 //!
@@ -68,6 +77,7 @@ pub mod wire;
 pub use cluster::{ClusterRouter, ClusterServer, FanOut, LocalShard, RemoteShard, ShardBackend};
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
+pub use hdc_store::{DurabilityConfig, ItemStore, PagedStore, ResidentStore, SyncPolicy};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pipeline::{
     AngleSpec, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,

@@ -60,6 +60,9 @@ use std::time::{Duration, Instant};
 
 use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, TieBreak};
 use hdc_learn::{CentroidClassifier, CentroidTrainer, RegressionTrainer};
+use hdc_store::{
+    DurabilityConfig, ItemStore, PagedStore, SnapshotInstaller, Store, Wal, WalRecord,
+};
 
 use crate::metrics::ServeMetrics;
 use crate::pipeline::{DynEncoder, TaskState};
@@ -120,6 +123,19 @@ pub struct RuntimeConfig {
     /// cold start (not an error); a present-but-incompatible snapshot
     /// (different spec) is an error.
     pub load_snapshot: Option<PathBuf>,
+    /// Continuous durability (PR 8): a [`DurabilityConfig`] turns on the
+    /// write-ahead log, periodic background snapshotting, and (when its
+    /// `page_cache` is set) the paged file-backed item memory. At spawn the
+    /// runtime recovers **bit-identically** to its last acknowledged state
+    /// from the installed snapshot plus WAL replay — this composes with
+    /// [`load_snapshot`](Self::load_snapshot), which seeds the model before
+    /// the store's own recovery is applied on top. When durable,
+    /// `fit`/`fit_value` (and `insert`/`remove`) acknowledge only after
+    /// their log record is flushed per [`SyncPolicy`](hdc_store::SyncPolicy),
+    /// and a storage
+    /// failure on the logging path is fail-stop: the dispatcher panics
+    /// rather than acknowledge a write it cannot recover.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -135,6 +151,7 @@ impl Default for RuntimeConfig {
             refresh_every: 256,
             snapshot_on_shutdown: None,
             load_snapshot: None,
+            durability: None,
         }
     }
 }
@@ -317,10 +334,15 @@ enum Work<O> {
     Fit {
         payload: Payload<O>,
         label: usize,
+        /// `Some` on a durable runtime: the dispatcher acknowledges after
+        /// the observation's WAL record is flushed, `None` keeps the
+        /// fire-and-forget fast path.
+        ack: Option<Sender<()>>,
     },
     FitValue {
         payload: Payload<O>,
         value: f64,
+        ack: Option<Sender<()>>,
     },
     Refresh {
         reply: Sender<u64>,
@@ -419,6 +441,7 @@ pub struct Runtime<X: ?Sized + ToOwned> {
     snapshot_on_shutdown: Option<PathBuf>,
     dispatcher: JoinHandle<ShardedModel<String>>,
     trainer: JoinHandle<OnlineLearner>,
+    snapshotter: Option<JoinHandle<()>>,
 }
 
 impl<X: ?Sized + ToOwned> fmt::Debug for Runtime<X> {
@@ -468,9 +491,26 @@ where
                 }
             }
         }
+        // Durable recovery composes on top of the (optional) seed snapshot:
+        // the installed background snapshot restores first, then the WAL
+        // tail replays over it. The spec digest in every segment header
+        // guarantees the log belongs to this model's spec.
+        let mut replay = Vec::new();
+        let mut durable_parts = None;
+        if let Some(dcfg) = &config.durability {
+            let digest = model.spec().hash64();
+            let (store, recovery) = Store::open(&dcfg.dir, digest, dcfg.segment_bytes, dcfg.sync)?;
+            if let Some(blob) = &recovery.snapshot {
+                let mut snapshot = Snapshot::from_bytes(blob)?;
+                restored_items.extend(snapshot.take_items());
+                model.restore(&snapshot)?;
+            }
+            replay = recovery.records;
+            durable_parts = Some(store.into_parts());
+        }
         let (spec, encoder, state) = model.into_parts();
         let task = spec.task;
-        let (head, learner) = match state {
+        let (mut head, mut learner) = match state {
             TaskState::Classify {
                 trainer,
                 classifier,
@@ -479,6 +519,64 @@ where
                 (Head::Values(model), OnlineLearner::Regress(trainer))
             }
         };
+        // Replay the WAL tail: fits fold into the trainer accumulators
+        // (commutative integer addition, so the result is bit-identical to
+        // the pre-crash fold order); item mutations are applied to the item
+        // plane below, in log order.
+        let mut item_replay = Vec::new();
+        let mut replayed_fits = 0usize;
+        for record in replay {
+            match record {
+                WalRecord::Fit { hv, label } => {
+                    let OnlineLearner::Classify(trainer) = &mut learner else {
+                        return Err(HdcError::Storage(
+                            "log holds classification fits, model is regression".into(),
+                        ));
+                    };
+                    if hv.dim() != spec.dim {
+                        return Err(HdcError::Storage(format!(
+                            "logged fit has dimension {}, model expects {}",
+                            hv.dim(),
+                            spec.dim
+                        )));
+                    }
+                    let label = usize::try_from(label).ok().filter(
+                        |&l| matches!(task, Task::Classification { classes } if l < classes),
+                    );
+                    let Some(label) = label else {
+                        return Err(HdcError::Storage(
+                            "logged fit label out of range for the model".into(),
+                        ));
+                    };
+                    trainer
+                        .observe(&hv, label)
+                        .map_err(|e| HdcError::Storage(format!("replaying fit: {e}")))?;
+                    replayed_fits += 1;
+                }
+                WalRecord::FitValue { hv, value } => {
+                    let OnlineLearner::Regress(trainer) = &mut learner else {
+                        return Err(HdcError::Storage(
+                            "log holds regression fits, model is classification".into(),
+                        ));
+                    };
+                    if hv.dim() != spec.dim {
+                        return Err(HdcError::Storage(format!(
+                            "logged fit has dimension {}, model expects {}",
+                            hv.dim(),
+                            spec.dim
+                        )));
+                    }
+                    trainer.observe(&hv, value);
+                    replayed_fits += 1;
+                }
+                record @ (WalRecord::Insert { .. } | WalRecord::Remove { .. }) => {
+                    item_replay.push(record);
+                }
+            }
+        }
+        if replayed_fits > 0 {
+            head = learner.finish();
+        }
         let mut fleet = ShardedModel::with_head(
             head.clone(),
             spec.dim,
@@ -486,8 +584,74 @@ where
             config.ring,
             config.seed,
         )?;
-        for (key, hv) in restored_items {
-            fleet.insert(key, hv);
+        // The item plane: by default items live in the fleet's in-RAM
+        // shard maps; with a page-cache budget they live in the file-backed
+        // paged store instead (bounded resident memory), and the fleet only
+        // routes keys.
+        let mut plane: Option<PagedStore> = match &config.durability {
+            Some(dcfg) => match dcfg.page_cache {
+                Some(budget) => Some(PagedStore::open(dcfg.dir.join("items"), spec.dim, budget)?),
+                None => None,
+            },
+            None => None,
+        };
+        match plane.as_mut() {
+            Some(store) => {
+                for (key, hv) in restored_items {
+                    if hv.dim() != spec.dim {
+                        return Err(HdcError::Storage(format!(
+                            "restored item has dimension {}, model expects {}",
+                            hv.dim(),
+                            spec.dim
+                        )));
+                    }
+                    store.insert(&key, &hv)?;
+                }
+            }
+            None => {
+                for (key, hv) in restored_items {
+                    if hv.dim() != spec.dim {
+                        return Err(HdcError::Storage(format!(
+                            "restored item has dimension {}, model expects {}",
+                            hv.dim(),
+                            spec.dim
+                        )));
+                    }
+                    fleet.insert(key, hv);
+                }
+            }
+        }
+        for record in item_replay {
+            match record {
+                WalRecord::Insert { key, hv } => {
+                    if hv.dim() != spec.dim {
+                        return Err(HdcError::Storage(format!(
+                            "logged insert has dimension {}, model expects {}",
+                            hv.dim(),
+                            spec.dim
+                        )));
+                    }
+                    match plane.as_mut() {
+                        Some(store) => {
+                            store.insert(&key, &hv)?;
+                        }
+                        None => {
+                            fleet.insert(key, hv);
+                        }
+                    }
+                }
+                WalRecord::Remove { key } => match plane.as_mut() {
+                    Some(store) => {
+                        store.remove(&key)?;
+                    }
+                    None => {
+                        fleet.remove(&key);
+                    }
+                },
+                WalRecord::Fit { .. } | WalRecord::FitValue { .. } => {
+                    unreachable!("fits are folded above, never deferred")
+                }
+            }
         }
         let policy = BatchPolicy {
             max_batch: config.policy.max_batch.max(1),
@@ -503,6 +667,30 @@ where
         let identity = ShardIdentity {
             name: config.name.clone(),
             ring_positions: config.ring.positions as u64,
+        };
+        // The durable halves: the dispatcher owns the append half (Wal);
+        // the snapshotter thread owns the install half, receiving one job
+        // per triggered snapshot so installation and segment GC never block
+        // serving or training.
+        let mut snapshotter = None;
+        let durability = match (config.durability.as_ref(), durable_parts) {
+            (Some(dcfg), Some((wal, installer))) => {
+                let (snap_tx, snap_rx) = mpsc::channel::<SnapJob>();
+                snapshotter = Some(
+                    thread::Builder::new()
+                        .name("hdc-serve-snap".into())
+                        .spawn(move || snapshot_loop(snap_rx, installer))
+                        .expect("spawning the snapshotter thread"),
+                );
+                Some(Durability {
+                    wal,
+                    spec: spec.clone(),
+                    snapshot_every: dcfg.snapshot_every,
+                    appended: 0,
+                    snap_tx,
+                })
+            }
+            _ => None,
         };
         let dispatcher = {
             let metrics = Arc::clone(&metrics);
@@ -525,6 +713,8 @@ where
                         generations,
                         trainer_tx,
                         identity,
+                        durability,
+                        plane,
                     )
                 })
                 .expect("spawning the dispatcher thread")
@@ -556,11 +746,13 @@ where
                 dim: spec.dim,
                 task,
                 spec: Arc::new(spec.clone()),
+                durable: config.durability.is_some(),
             },
             spec,
             snapshot_on_shutdown: config.snapshot_on_shutdown,
             dispatcher,
             trainer: trainer_thread,
+            snapshotter,
         })
     }
 
@@ -592,6 +784,12 @@ where
         let fleet = self.dispatcher.join().expect("dispatcher thread panicked");
         let _ = self.handle.trainer_tx.send(TrainerMsg::Stop);
         let learner = self.trainer.join().expect("trainer thread panicked");
+        // The dispatcher's exit dropped the snapshot-job sender, and the
+        // trainer answered every capture queued before Stop — so this join
+        // waits only for in-flight installations to land.
+        if let Some(snapshotter) = self.snapshotter {
+            let _ = snapshotter.join();
+        }
         if let Some(path) = &self.snapshot_on_shutdown {
             let items: Vec<(String, BinaryHypervector)> = fleet
                 .entries()
@@ -629,6 +827,7 @@ pub struct RuntimeHandle<X: ?Sized + ToOwned> {
     dim: usize,
     task: Task,
     spec: Arc<PipelineSpec>,
+    durable: bool,
 }
 
 /// The identity fields of the `stats` reply — fixed at spawn, owned by the
@@ -660,6 +859,7 @@ impl<X: ?Sized + ToOwned> Clone for RuntimeHandle<X> {
             dim: self.dim,
             task: self.task,
             spec: Arc::clone(&self.spec),
+            durable: self.durable,
         }
     }
 }
@@ -979,7 +1179,10 @@ where
     /// Enqueues one raw training observation. Encoding rides the
     /// dispatcher's next micro-batch; the observation is then folded into
     /// the online trainer in the background and becomes visible to
-    /// predictions at the next generation publish. Fire-and-forget.
+    /// predictions at the next generation publish. Fire-and-forget on an
+    /// in-RAM runtime; on a durable runtime this blocks until the
+    /// observation's write-ahead-log record is flushed — an `Ok` return is
+    /// a durability acknowledgement, and the observation survives a crash.
     ///
     /// # Errors
     ///
@@ -988,14 +1191,25 @@ where
     /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn fit(&self, input: &X, label: usize) -> Result<(), HdcError> {
         self.check_label(label)?;
+        if self.durable {
+            return self.rpc(|ack| Work::Fit {
+                payload: Payload::Input(input.to_owned()),
+                label,
+                ack: Some(ack),
+            });
+        }
         self.send_work(Work::Fit {
             payload: Payload::Input(input.to_owned()),
             label,
+            ack: None,
         })
     }
 
-    /// Enqueues one already encoded training observation, straight to the
-    /// background trainer (no dispatcher hop needed). Fire-and-forget.
+    /// Enqueues one already encoded training observation. On an in-RAM
+    /// runtime it goes straight to the background trainer (no dispatcher
+    /// hop) and is fire-and-forget; on a durable runtime it rides the work
+    /// queue so the dispatcher can log it, and blocks until the record is
+    /// flushed.
     ///
     /// # Errors
     ///
@@ -1006,13 +1220,21 @@ where
     pub fn fit_encoded(&self, hv: BinaryHypervector, label: usize) -> Result<(), HdcError> {
         self.check_dim(hv.dim())?;
         self.check_label(label)?;
+        if self.durable {
+            return self.rpc(|ack| Work::Fit {
+                payload: Payload::Encoded(hv),
+                label,
+                ack: Some(ack),
+            });
+        }
         self.trainer_tx
             .send(TrainerMsg::Observe { hv, label })
             .map_err(|_| HdcError::ServiceUnavailable)
     }
 
     /// Enqueues one raw `(input, value)` training observation — the
-    /// regression twin of [`fit`](Self::fit). Fire-and-forget.
+    /// regression twin of [`fit`](Self::fit). Fire-and-forget in RAM,
+    /// acknowledged-after-flush when durable.
     ///
     /// # Errors
     ///
@@ -1020,14 +1242,23 @@ where
     /// [`HdcError::ServiceUnavailable`] after shutdown.
     pub fn fit_value(&self, input: &X, value: f64) -> Result<(), HdcError> {
         self.check_regression()?;
+        if self.durable {
+            return self.rpc(|ack| Work::FitValue {
+                payload: Payload::Input(input.to_owned()),
+                value,
+                ack: Some(ack),
+            });
+        }
         self.send_work(Work::FitValue {
             payload: Payload::Input(input.to_owned()),
             value,
+            ack: None,
         })
     }
 
-    /// Enqueues one already encoded `(query, value)` training observation,
-    /// straight to the background trainer. Fire-and-forget.
+    /// Enqueues one already encoded `(query, value)` training observation.
+    /// Fire-and-forget straight to the background trainer in RAM;
+    /// acknowledged-after-flush through the work queue when durable.
     ///
     /// # Errors
     ///
@@ -1037,6 +1268,13 @@ where
     pub fn fit_value_encoded(&self, hv: BinaryHypervector, value: f64) -> Result<(), HdcError> {
         self.check_regression()?;
         self.check_dim(hv.dim())?;
+        if self.durable {
+            return self.rpc(|ack| Work::FitValue {
+                payload: Payload::Encoded(hv),
+                value,
+                ack: Some(ack),
+            });
+        }
         self.trainer_tx
             .send(TrainerMsg::ObserveValue { hv, value })
             .map_err(|_| HdcError::ServiceUnavailable)
@@ -1209,6 +1447,123 @@ fn fill_batch<X: ?Sized + Sync>(
     });
 }
 
+/// One background-snapshot installation job: the trainer's capture arrives
+/// on `snapshot_rx` (queued behind every observation it must include), and
+/// `upto` is the log sequence number the installed snapshot covers — replay
+/// after installation starts there.
+struct SnapJob {
+    snapshot_rx: Receiver<Snapshot>,
+    upto: u64,
+}
+
+/// The dispatcher-owned durability state: the WAL append half, the spec
+/// (re-sent with every snapshot capture), and the snapshot cadence.
+struct Durability {
+    wal: Wal,
+    spec: PipelineSpec,
+    snapshot_every: u64,
+    /// Records appended since the last triggered snapshot.
+    appended: u64,
+    snap_tx: Sender<SnapJob>,
+}
+
+impl Durability {
+    /// Appends one record. Fail-stop on a storage error: the dispatcher
+    /// must never acknowledge a write it cannot recover, and exiting flips
+    /// the liveness flag so health probes drop this runtime.
+    fn append(&mut self, record: &WalRecord) {
+        self.wal
+            .append(record)
+            .expect("write-ahead log append failed; refusing to acknowledge non-durable writes");
+        self.appended += 1;
+    }
+
+    /// Flushes the log per the configured
+    /// [`SyncPolicy`](hdc_store::SyncPolicy) — called once per micro-batch,
+    /// before any acknowledgement in it is sent.
+    fn sync(&mut self) {
+        self.wal
+            .sync()
+            .expect("write-ahead log fsync failed; refusing to acknowledge non-durable writes");
+    }
+
+    fn snapshot_due(&self) -> bool {
+        self.snapshot_every > 0 && self.appended >= self.snapshot_every
+    }
+}
+
+/// Runs on the `hdc-serve-snap` thread: waits for each triggered capture to
+/// arrive from the trainer, then installs it (tmp+rename + manifest) and
+/// garbage-collects the WAL segments it retires. Install failures are
+/// reported, never fatal — the log still covers everything.
+fn snapshot_loop(snap_rx: Receiver<SnapJob>, installer: SnapshotInstaller) {
+    while let Ok(job) = snap_rx.recv() {
+        let Ok(snapshot) = job.snapshot_rx.recv() else {
+            continue;
+        };
+        if let Err(error) = installer.install(&snapshot.to_bytes(), job.upto) {
+            eprintln!("hdc-serve: background snapshot installation failed: {error}");
+        }
+    }
+}
+
+/// Collects the item plane's full contents for a snapshot capture. With the
+/// paged plane the items are *not* copied into the snapshot — the paged
+/// files are themselves durable, so the store is flushed instead and the
+/// snapshot carries only the trainer state.
+fn snapshot_items(
+    plane: &mut Option<PagedStore>,
+    fleet: &ShardedModel<String>,
+) -> Result<Vec<(String, BinaryHypervector)>, HdcError> {
+    match plane.as_mut() {
+        Some(store) => {
+            store.flush()?;
+            Ok(Vec::new())
+        }
+        None => Ok(fleet
+            .entries()
+            .map(|(key, hv)| (key.clone(), hv.clone()))
+            .collect()),
+    }
+}
+
+/// Triggers one background snapshot: flush/collect the items, mark the
+/// cover point, and wire the trainer's capture (queued behind every
+/// observation relayed so far) to the snapshotter thread.
+fn trigger_snapshot(
+    dur: &mut Durability,
+    plane: &mut Option<PagedStore>,
+    fleet: &ShardedModel<String>,
+    trainer_tx: &Sender<TrainerMsg>,
+) {
+    let items = match snapshot_items(plane, fleet) {
+        Ok(items) => items,
+        Err(error) => {
+            eprintln!("hdc-serve: background snapshot skipped: {error}");
+            return;
+        }
+    };
+    let upto = dur.wal.next_seq();
+    let (reply, snapshot_rx) = mpsc::channel();
+    if trainer_tx
+        .send(TrainerMsg::Snapshot {
+            spec: dur.spec.clone(),
+            items,
+            reply,
+        })
+        .is_err()
+    {
+        return;
+    }
+    let _ = dur.snap_tx.send(SnapJob { snapshot_rx, upto });
+    dur.appended = 0;
+}
+
+/// A fit queued in the current micro-batch: the observation payload, its
+/// target (label or value), and the ack channel a durable caller is
+/// blocked on until the WAL flush — `None` for fire-and-forget fits.
+type PendingFit<O, T> = (Payload<O>, T, Option<Sender<()>>);
+
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn dispatcher_loop<X>(
     work_rx: Receiver<Work<X::Owned>>,
@@ -1219,6 +1574,8 @@ fn dispatcher_loop<X>(
     generations: Arc<GenerationCell>,
     trainer_tx: Sender<TrainerMsg>,
     identity: ShardIdentity,
+    mut durability: Option<Durability>,
+    mut plane: Option<PagedStore>,
 ) -> ShardedModel<String>
 where
     X: ?Sized + ToOwned + Sync + 'static,
@@ -1242,8 +1599,9 @@ where
 
     let mut pending: Vec<PredictJob<X::Owned, Prediction>> = Vec::new();
     let mut pending_values: Vec<PredictJob<X::Owned, ValuePrediction>> = Vec::new();
-    let mut fits: Vec<(Payload<X::Owned>, usize)> = Vec::new();
-    let mut value_fits: Vec<(Payload<X::Owned>, f64)> = Vec::new();
+    let mut fits: Vec<PendingFit<X::Owned, usize>> = Vec::new();
+    let mut value_fits: Vec<PendingFit<X::Owned, f64>> = Vec::new();
+    let mut fit_acks: Vec<Sender<()>> = Vec::new();
 
     'runtime: loop {
         let Ok(work) = work_rx.recv() else {
@@ -1257,8 +1615,16 @@ where
             Work::Shutdown => break 'runtime,
             Work::Predict(job) => pending.push(job),
             Work::PredictValue(job) => pending_values.push(job),
-            Work::Fit { payload, label } => fits.push((payload, label)),
-            Work::FitValue { payload, value } => value_fits.push((payload, value)),
+            Work::Fit {
+                payload,
+                label,
+                ack,
+            } => fits.push((payload, label, ack)),
+            Work::FitValue {
+                payload,
+                value,
+                ack,
+            } => value_fits.push((payload, value, ack)),
             other => stashed = Some(other),
         }
         if stashed.is_none() && !(pending.is_empty() && pending_values.is_empty()) {
@@ -1273,8 +1639,16 @@ where
                             Work::PredictValue(job) => pending_values.push(job),
                             // Fit observations ride the same encode pass
                             // as the batch they arrived with.
-                            Work::Fit { payload, label } => fits.push((payload, label)),
-                            Work::FitValue { payload, value } => value_fits.push((payload, value)),
+                            Work::Fit {
+                                payload,
+                                label,
+                                ack,
+                            } => fits.push((payload, label, ack)),
+                            Work::FitValue {
+                                payload,
+                                value,
+                                ack,
+                            } => value_fits.push((payload, value, ack)),
                             // Any other op closes the batch; it is served
                             // first so queue order is preserved.
                             other => {
@@ -1350,31 +1724,50 @@ where
                 fit_scratch.resize_zeroed(fits.len());
                 let sources: Vec<RowSource<'_, X>> = fits
                     .iter()
-                    .map(|(payload, _)| RowSource::of(payload))
+                    .map(|(payload, _, _)| RowSource::of(payload))
                     .collect();
                 fill_batch(encoder.as_ref(), &sources, &mut fit_scratch);
                 drop(sources);
-                for ((_, label), row) in fits.drain(..).zip(fit_scratch.rows()) {
-                    let _ = trainer_tx.send(TrainerMsg::Observe {
-                        hv: row.to_hypervector(),
-                        label,
-                    });
+                for ((_, label, ack), row) in fits.drain(..).zip(fit_scratch.rows()) {
+                    let hv = row.to_hypervector();
+                    if let Some(dur) = durability.as_mut() {
+                        dur.append(&WalRecord::Fit {
+                            hv: hv.clone(),
+                            label: label as u64,
+                        });
+                    }
+                    let _ = trainer_tx.send(TrainerMsg::Observe { hv, label });
+                    fit_acks.extend(ack);
                 }
             }
             if !value_fits.is_empty() {
                 fit_scratch.resize_zeroed(value_fits.len());
                 let sources: Vec<RowSource<'_, X>> = value_fits
                     .iter()
-                    .map(|(payload, _)| RowSource::of(payload))
+                    .map(|(payload, _, _)| RowSource::of(payload))
                     .collect();
                 fill_batch(encoder.as_ref(), &sources, &mut fit_scratch);
                 drop(sources);
-                for ((_, value), row) in value_fits.drain(..).zip(fit_scratch.rows()) {
-                    let _ = trainer_tx.send(TrainerMsg::ObserveValue {
-                        hv: row.to_hypervector(),
-                        value,
-                    });
+                for ((_, value, ack), row) in value_fits.drain(..).zip(fit_scratch.rows()) {
+                    let hv = row.to_hypervector();
+                    if let Some(dur) = durability.as_mut() {
+                        dur.append(&WalRecord::FitValue {
+                            hv: hv.clone(),
+                            value,
+                        });
+                    }
+                    let _ = trainer_tx.send(TrainerMsg::ObserveValue { hv, value });
+                    fit_acks.extend(ack);
                 }
+            }
+            // One flush covers every record in the micro-batch; only then
+            // are the durability acknowledgements released — an acked fit
+            // is on stable storage (per the configured sync policy).
+            if let Some(dur) = durability.as_mut() {
+                dur.sync();
+            }
+            for ack in fit_acks.drain(..) {
+                let _ = ack.send(());
             }
         }
 
@@ -1382,12 +1775,36 @@ where
         match stashed {
             None => {}
             Some(Work::Insert { key, hv, reply }) => {
-                let replaced = fleet.insert(key, hv).is_some();
+                // Log-then-apply: the record is flushed before the caller
+                // sees the reply, so an acknowledged insert survives a
+                // crash (replay re-applies it, idempotently).
+                if let Some(dur) = durability.as_mut() {
+                    dur.append(&WalRecord::Insert {
+                        key: key.clone(),
+                        hv: hv.clone(),
+                    });
+                    dur.sync();
+                }
+                let replaced = match plane.as_mut() {
+                    Some(store) => store
+                        .insert(&key, &hv)
+                        .expect("paged item store write failed; refusing to acknowledge"),
+                    None => fleet.insert(key, hv).is_some(),
+                };
                 metrics.record_insert();
                 let _ = reply.send(replaced);
             }
             Some(Work::Remove { key, reply }) => {
-                let removed = fleet.remove(&key).is_some();
+                if let Some(dur) = durability.as_mut() {
+                    dur.append(&WalRecord::Remove { key: key.clone() });
+                    dur.sync();
+                }
+                let removed = match plane.as_mut() {
+                    Some(store) => store
+                        .remove(&key)
+                        .expect("paged item store write failed; refusing to acknowledge"),
+                    None => fleet.remove(&key).is_some(),
+                };
                 metrics.record_remove();
                 let _ = reply.send(removed);
             }
@@ -1408,6 +1825,13 @@ where
                     Head::Classes(classifier) => classifier.classes() as u64,
                     Head::Values(_) => 0,
                 };
+                // With the paged plane the fleet's shard maps are empty —
+                // keys live in the store, so the key count comes from it
+                // (and per-shard loads report the routing fleet, i.e. 0).
+                let keys = match plane.as_ref() {
+                    Some(store) => store.len() as u64,
+                    None => fleet.len() as u64,
+                };
                 let _ = reply.send(RuntimeStats {
                     generation: generations.load().id(),
                     uptime_us: metrics.uptime().as_micros() as u64,
@@ -1420,7 +1844,7 @@ where
                         .into_iter()
                         .map(|(id, len)| (id as u64, len as u64))
                         .collect(),
-                    keys: fleet.len() as u64,
+                    keys,
                     last_remap_fraction: fleet.last_remap_fraction(),
                     metrics: metrics.snapshot(),
                 });
@@ -1430,25 +1854,47 @@ where
                 // accumulators. Collecting here and capturing there keeps
                 // the snapshot consistent: every fit this dispatcher
                 // relayed before the call precedes the capture in the
-                // trainer's queue.
-                let items: Vec<(String, BinaryHypervector)> = fleet
-                    .entries()
-                    .map(|(key, hv)| (key.clone(), hv.clone()))
-                    .collect();
+                // trainer's queue. A caller-facing snapshot (warm-join
+                // streaming) always carries the items — even from the
+                // paged plane, whose full scan bypasses its hot cache.
+                let items: Vec<(String, BinaryHypervector)> = match plane.as_mut() {
+                    Some(store) => store
+                        .entries()
+                        .expect("paged item store scan failed during snapshot"),
+                    None => fleet
+                        .entries()
+                        .map(|(key, hv)| (key.clone(), hv.clone()))
+                        .collect(),
+                };
                 let _ = trainer_tx.send(TrainerMsg::Snapshot { spec, items, reply });
             }
             Some(Work::Restore {
                 mut snapshot,
                 reply,
             }) => {
-                // Items merge into the fleet first (upsert), then the
+                // Items merge into the item plane first (upsert), then the
                 // trainer adopts the accumulators and publishes — so by
                 // the time the caller sees the reply, both halves of the
                 // snapshot are live.
                 for (key, hv) in snapshot.take_items() {
-                    fleet.insert(key, hv);
+                    match plane.as_mut() {
+                        Some(store) => {
+                            store
+                                .insert(&key, &hv)
+                                .expect("paged item store write failed during restore");
+                        }
+                        None => {
+                            fleet.insert(key, hv);
+                        }
+                    }
                 }
                 let _ = trainer_tx.send(TrainerMsg::Restore { snapshot, reply });
+                // Restored state arrived out-of-band of the WAL, so force a
+                // background snapshot to cover it — the capture is queued
+                // behind the restore, so it sees the adopted accumulators.
+                if let Some(dur) = durability.as_mut() {
+                    trigger_snapshot(dur, &mut plane, &fleet, &trainer_tx);
+                }
             }
             Some(Work::Shutdown) => break 'runtime,
             Some(Work::Predict(_))
@@ -1457,6 +1903,26 @@ where
             | Some(Work::FitValue { .. }) => {
                 unreachable!("predictions and fits are collected, never stashed")
             }
+        }
+
+        // Periodic background snapshotting: once enough records have been
+        // logged since the last snapshot, capture one off-thread so replay
+        // stays short and retired segments can be collected.
+        if durability.as_ref().is_some_and(Durability::snapshot_due) {
+            let dur = durability.as_mut().expect("checked above");
+            trigger_snapshot(dur, &mut plane, &fleet, &trainer_tx);
+        }
+    }
+    // Graceful exit: flush whatever the sync policy deferred. Best-effort —
+    // every acknowledgement already implied its own flush.
+    if let Some(dur) = durability.as_mut() {
+        if let Err(error) = dur.wal.sync() {
+            eprintln!("hdc-serve: final WAL flush failed: {error}");
+        }
+    }
+    if let Some(store) = plane.as_mut() {
+        if let Err(error) = store.flush() {
+            eprintln!("hdc-serve: final item-store flush failed: {error}");
         }
     }
     fleet
@@ -1927,5 +2393,146 @@ mod tests {
             Err(HdcError::Snapshot(_))
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn blank_classify(dim: usize, seed: u64) -> Model<Radians> {
+        Pipeline::builder(dim)
+            .seed(seed)
+            .classes(2)
+            .basis(Basis::Circular { m: 24, r: 0.0 })
+            .encoder(Enc::angle())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn durable_runtime_replays_the_log_across_lives() {
+        let dir = std::env::temp_dir().join(format!("hdc-runtime-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let hours: Vec<Radians> = (0..48)
+            .map(|i| Radians::periodic(f64::from(i) / 2.0, 24.0))
+            .collect();
+
+        let durable = |snapshot_every| {
+            let mut cfg = config(2, 4);
+            cfg.durability = Some(DurabilityConfig {
+                snapshot_every,
+                ..DurabilityConfig::new(&dir)
+            });
+            cfg
+        };
+
+        // First life: every fit/insert below is acknowledged as durable —
+        // and nothing here writes a shutdown snapshot, so the *only* way
+        // the second life can answer identically is WAL replay.
+        let runtime = Runtime::spawn(blank_classify(256, 31), durable(0)).unwrap();
+        let handle = runtime.handle();
+        for (i, hour) in hours.iter().enumerate() {
+            handle.fit(hour, usize::from(i >= 24)).unwrap();
+        }
+        handle
+            .insert("profile", BinaryHypervector::zeros(256))
+            .unwrap();
+        handle
+            .insert("gone", BinaryHypervector::zeros(256))
+            .unwrap();
+        assert!(handle.remove("gone").unwrap());
+        handle.refresh().unwrap();
+        let first_answers: Vec<usize> = hours
+            .iter()
+            .map(|h| handle.predict("k", h).unwrap().label)
+            .collect();
+        runtime.shutdown();
+
+        // Second life: same blank seed model, recovery from the store.
+        // A small snapshot cadence also exercises background installation
+        // and segment GC while this life appends more records.
+        let runtime = Runtime::spawn(blank_classify(256, 31), durable(8)).unwrap();
+        let handle = runtime.handle();
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.keys, 1, "insert and remove both replayed");
+        let recovered: Vec<usize> = hours
+            .iter()
+            .map(|h| handle.predict("k", h).unwrap().label)
+            .collect();
+        assert_eq!(recovered, first_answers, "recovery is bit-identical");
+        let (_, learner) = runtime.shutdown();
+        assert_eq!(learner.as_classify().unwrap().counts(), &[24, 24]);
+
+        // Third life: recovery now composes installed snapshot + log tail.
+        let runtime = Runtime::spawn(blank_classify(256, 31), durable(8)).unwrap();
+        let handle = runtime.handle();
+        let third: Vec<usize> = hours
+            .iter()
+            .map(|h| handle.predict("k", h).unwrap().label)
+            .collect();
+        assert_eq!(third, first_answers);
+        let (_, learner) = runtime.shutdown();
+        assert_eq!(learner.as_classify().unwrap().counts(), &[24, 24]);
+
+        // A different spec must be refused by the store's digest check.
+        assert!(matches!(
+            Runtime::spawn(blank_classify(256, 99), durable(0)),
+            Err(HdcError::Storage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paged_item_plane_bounds_residency_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("hdc-runtime-paged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = || {
+            let mut cfg = config(1, 4);
+            cfg.durability = Some(DurabilityConfig {
+                page_cache: Some(4),
+                ..DurabilityConfig::new(&dir)
+            });
+            cfg
+        };
+
+        // Serve a key set 10× the cache budget.
+        let runtime = Runtime::spawn(trained_model(256, 5), durable()).unwrap();
+        let handle = runtime.handle();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let entries: Vec<(String, BinaryHypervector)> = (0..40)
+            .map(|i| {
+                (
+                    format!("user-{i}"),
+                    BinaryHypervector::random(256, &mut rng),
+                )
+            })
+            .collect();
+        for (key, hv) in &entries {
+            assert!(!handle.insert(key.clone(), hv.clone()).unwrap());
+        }
+        assert!(handle.remove("user-7").unwrap());
+        assert_eq!(handle.stats().unwrap().keys, 39);
+        // A live snapshot streams every item out of the paged store.
+        let snapshot = handle.snapshot().unwrap();
+        assert_eq!(snapshot.items().len(), 39);
+        let streamed: std::collections::HashMap<&str, &BinaryHypervector> = snapshot
+            .items()
+            .iter()
+            .map(|(key, hv)| (key.as_str(), hv))
+            .collect();
+        for (key, hv) in &entries {
+            if key == "user-7" {
+                assert!(!streamed.contains_key(key.as_str()));
+            } else {
+                assert_eq!(streamed[key.as_str()], hv, "bit-identical to in-RAM");
+            }
+        }
+        runtime.shutdown();
+
+        // Second life: the paged files plus the log tail restore the keys.
+        let runtime = Runtime::spawn(trained_model(256, 5), durable()).unwrap();
+        let handle = runtime.handle();
+        assert_eq!(handle.stats().unwrap().keys, 39);
+        assert!(handle.insert("user-3", entries[3].1.clone()).unwrap());
+        assert!(!handle.insert("user-7", entries[7].1.clone()).unwrap());
+        runtime.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

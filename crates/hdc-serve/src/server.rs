@@ -329,12 +329,16 @@ pub struct ClientConfig {
     pub connect_retries: u32,
     /// Sleep before the first retry; doubles per subsequent attempt.
     pub retry_backoff: Duration,
+    /// Ceiling on the doubled backoff — with many retries configured the
+    /// schedule plateaus here instead of growing without bound.
+    pub max_backoff: Duration,
 }
 
 impl Default for ClientConfig {
-    /// 2 s to connect (3 retries, 25 ms doubling backoff), 10 s per read
-    /// and write — generous enough for loaded CI machines, bounded enough
-    /// that a dead shard is reported instead of hanging the caller.
+    /// 2 s to connect (3 retries, 25 ms doubling backoff capped at 1 s),
+    /// 10 s per read and write — generous enough for loaded CI machines,
+    /// bounded enough that a dead shard is reported instead of hanging
+    /// the caller.
     fn default() -> Self {
         Self {
             connect_timeout: Duration::from_secs(2),
@@ -342,8 +346,48 @@ impl Default for ClientConfig {
             write_timeout: Some(Duration::from_secs(10)),
             connect_retries: 3,
             retry_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
         }
     }
+}
+
+impl ClientConfig {
+    /// The sleep before retry `attempt` (1-based): `retry_backoff`
+    /// doubled per attempt, capped at [`max_backoff`](Self::max_backoff),
+    /// then jittered into the upper half of that window —
+    /// `[capped/2, capped]` — by a deterministic hash of `(seed,
+    /// attempt)`.
+    ///
+    /// Deterministic jitter keeps the schedule reproducible (and
+    /// unit-testable) for a fixed seed while still decorrelating a fleet
+    /// of clients that reconnect to the same revived shard at once:
+    /// [`BlockingClient::connect_with`] seeds with the process id, so
+    /// every process walks a different — but stable — schedule.
+    #[must_use]
+    pub fn backoff_delay(&self, attempt: u32, seed: u64) -> Duration {
+        // 2^(attempt-1), shift-bounded so huge retry counts saturate
+        // instead of overflowing; the cap below makes the value moot
+        // long before 2^30.
+        let exponent = attempt.saturating_sub(1).min(30);
+        let doubled = self.retry_backoff.saturating_mul(1u32 << exponent);
+        let capped = doubled.min(self.max_backoff);
+        let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let half = nanos / 2;
+        let jitter = splitmix64(seed ^ (u64::from(attempt) << 32)) % (nanos - half + 1);
+        Duration::from_nanos(half + jitter)
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed stateless hash for the
+/// backoff jitter (no `rand` dependency on the connect path).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A minimal synchronous client of the framed protocol: one request in
@@ -369,20 +413,20 @@ impl BlockingClient {
 
     /// Connects with explicit deadlines and retry policy: each attempt
     /// tries every resolved address under `connect_timeout`, failed
-    /// attempts back off starting at `retry_backoff` and doubling, and the
-    /// established stream carries the read/write deadlines.
+    /// attempts sleep per [`ClientConfig::backoff_delay`] (doubling from
+    /// `retry_backoff`, capped at `max_backoff`, jittered per process),
+    /// and the established stream carries the read/write deadlines.
     ///
     /// # Errors
     ///
     /// Returns the last attempt's `io::Error` once `1 + connect_retries`
     /// attempts have failed (`TimedOut` if the deadline expired).
     pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
-        let mut backoff = config.retry_backoff;
+        let seed = u64::from(std::process::id());
         let mut last_error = None;
         for attempt in 0..=config.connect_retries {
             if attempt > 0 {
-                thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                thread::sleep(config.backoff_delay(attempt, seed));
             }
             match Self::try_connect(&addr, &config) {
                 Ok(client) => return Ok(client),
@@ -759,5 +803,51 @@ mod tests {
         runtime.shutdown();
         assert!(client.ping().is_err(), "ping must fail after shutdown");
         server.shutdown();
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_caps_and_jitters_deterministically() {
+        let config = ClientConfig {
+            retry_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(200),
+            ..ClientConfig::default()
+        };
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+            for attempt in 1u32..=64 {
+                let uncapped = Duration::from_millis(25)
+                    .saturating_mul(1u32 << attempt.saturating_sub(1).min(30));
+                let window = uncapped.min(config.max_backoff);
+                let delay = config.backoff_delay(attempt, seed);
+                // Jitter lands in the upper half of the capped window…
+                assert!(delay <= window, "attempt {attempt}: {delay:?} > {window:?}");
+                assert!(
+                    delay >= window / 2,
+                    "attempt {attempt}: {delay:?} < {:?}",
+                    window / 2
+                );
+                // …and is a pure function of (config, attempt, seed).
+                assert_eq!(delay, config.backoff_delay(attempt, seed));
+            }
+        }
+        // From attempt 4 on (25 → 50 → 100 → 200) the cap holds the
+        // window flat: every later delay stays within [100ms, 200ms].
+        for attempt in 4u32..=1000 {
+            let delay = config.backoff_delay(attempt, 3);
+            assert!(delay >= Duration::from_millis(100) && delay <= Duration::from_millis(200));
+        }
+        // Different seeds decorrelate: across a few attempts at least one
+        // delay must differ between two processes.
+        let schedules: Vec<Vec<Duration>> = [11u64, 22]
+            .iter()
+            .map(|&seed| (1..=6).map(|a| config.backoff_delay(a, seed)).collect())
+            .collect();
+        assert_ne!(schedules[0], schedules[1], "jitter must depend on the seed");
+        // Degenerate configs stay sane.
+        let zero = ClientConfig {
+            retry_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..ClientConfig::default()
+        };
+        assert_eq!(zero.backoff_delay(1, 9), Duration::ZERO);
     }
 }

@@ -1,0 +1,131 @@
+//! Binary encode/decode primitives for the store's durable formats — the
+//! same conventions as the serving crate's codec (big-endian integers,
+//! length-prefixed UTF-8 strings, `u32`-dimension hypervectors with
+//! clean-tail validation), duplicated here because the helpers are private
+//! to each crate: the on-disk formats are the contract, the helpers are
+//! not.
+
+use std::io;
+
+use hdc_core::BinaryHypervector;
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, value: f64) {
+    buf.extend_from_slice(&value.to_be_bytes());
+}
+
+/// Writes a string with a `u64` length prefix — keys are unbounded in the
+/// item-memory API, so the log format must carry any length the snapshot
+/// format carries.
+pub(crate) fn put_long_string(buf: &mut Vec<u8>, value: &str) {
+    put_u64(buf, value.len() as u64);
+    buf.extend_from_slice(value.as_bytes());
+}
+
+pub(crate) fn put_hv(buf: &mut Vec<u8>, hv: &BinaryHypervector) -> io::Result<()> {
+    let dim = u32::try_from(hv.dim()).map_err(|_| invalid("dimension exceeds u32"))?;
+    put_u32(buf, dim);
+    for word in hv.as_words() {
+        put_u64(buf, *word);
+    }
+    Ok(())
+}
+
+pub(crate) fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// A bounds-checked reader over one decoded body: every `take` validates
+/// the remaining length, and [`finish`](Cursor::finish) rejects trailing
+/// garbage so a well-formed prefix cannot smuggle extra bytes.
+pub(crate) struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(body: &'a [u8]) -> Self {
+        Self { body, at: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or_else(|| invalid("truncated frame body"))?;
+        let slice = &self.body[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Bytes left unread — the bound every length-driven preallocation
+    /// must respect, so a corrupt declared count cannot trigger a giant
+    /// reservation before the first failed read.
+    pub(crate) fn remaining(&self) -> usize {
+        self.body.len() - self.at
+    }
+
+    /// Reads a `u64`-length-prefixed string (see [`put_long_string`]).
+    pub(crate) fn long_string(&mut self) -> io::Result<String> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| invalid("string length exceeds usize"))?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| invalid("key is not valid UTF-8"))
+    }
+
+    pub(crate) fn hv(&mut self) -> io::Result<BinaryHypervector> {
+        let dim = self.u32()? as usize;
+        if dim == 0 {
+            return Err(invalid("hypervector dimension 0"));
+        }
+        let words = dim.div_ceil(64);
+        // Capacity clamped by the bytes actually present: a corrupt dim
+        // fails on the first missing word instead of reserving gigabytes.
+        let mut packed = Vec::with_capacity(words.min(self.remaining() / 8 + 1));
+        for _ in 0..words {
+            packed.push(self.u64()?);
+        }
+        let rem = dim % 64;
+        if rem != 0 && packed.last().is_some_and(|&last| last >> rem != 0) {
+            return Err(invalid("bits set beyond the hypervector dimension"));
+        }
+        Ok(BinaryHypervector::from_words(dim, packed))
+    }
+
+    pub(crate) fn finish(self) -> io::Result<()> {
+        if self.at != self.body.len() {
+            return Err(invalid("trailing bytes after frame body"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,204 @@
+//! Crash recovery, the hard way: **SIGKILL a durable shard mid-fit and
+//! prove the restart is bit-identical for everything it acknowledged.**
+//!
+//! The example re-executes itself. The parent process spawns
+//! `current_exe() --child DIR`, which runs a durable [`Runtime`]
+//! (write-ahead log under `DIR`) and streams acknowledged fits to stdout
+//! — one `ack N` line *after* each `fit` call returns, i.e. after the
+//! WAL record is fsynced. Once the parent has seen enough acks it sends
+//! SIGKILL (`Child::kill`), so the child dies with no destructors, no
+//! shutdown snapshot, and very likely a torn record at the log tail.
+//!
+//! The parent then recovers in-process from the same directory and checks
+//! the durability contract:
+//!
+//! * every **acknowledged** fit survived (the recovered trainer has
+//!   observed at least that many examples — unacked tail records may
+//!   legitimately also survive, torn ones are truncated away);
+//! * the recovered state is **bit-identical** to a reference model fed
+//!   exactly the observations the log retained — every prediction over a
+//!   probe grid matches;
+//! * the item memory writes acknowledged before the kill are all present
+//!   and bit-identical.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use hdc::{
+    Basis, BinaryHypervector, DurabilityConfig, Enc, HdcError, Model, Pipeline, Radians, Runtime,
+    RuntimeConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 1024;
+const SEED: u64 = 42;
+/// Acks the parent waits for before pulling the trigger.
+const ACKS_BEFORE_KILL: usize = 25;
+/// Item-memory keys the child registers (and acks) before fitting.
+const ITEMS: usize = 4;
+
+/// The untrained pipeline every life starts from: hour-of-day
+/// classification over the daily circle.
+fn blank() -> Result<Model<Radians>, HdcError> {
+    Pipeline::builder(DIM)
+        .seed(SEED)
+        .classes(2)
+        .basis(Basis::Circular { m: 48, r: 0.0 })
+        .encoder(Enc::angle())
+        .build()
+}
+
+fn durable(dir: &Path) -> RuntimeConfig {
+    RuntimeConfig {
+        durability: Some(DurabilityConfig::new(dir)),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Deterministic training stream: any prefix is reconstructible from its
+/// length alone, which is what lets the parent rebuild a reference model
+/// for exactly the records the log retained.
+fn observation(i: usize) -> (Radians, usize) {
+    let step = i % 96;
+    (
+        Radians::periodic(step as f64 / 4.0, 24.0),
+        usize::from(step >= 48),
+    )
+}
+
+/// The item memories the child inserts, reproducible in the parent.
+fn item_memories() -> Vec<(String, BinaryHypervector)> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..ITEMS)
+        .map(|i| {
+            (
+                format!("sensor-{i}"),
+                BinaryHypervector::random(DIM, &mut rng),
+            )
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("--child") => {
+            let dir = PathBuf::from(args.next().ok_or("--child needs a data dir")?);
+            child(&dir)
+        }
+        _ => parent(),
+    }
+}
+
+/// The victim: a durable runtime that acks every write to stdout and
+/// keeps fitting until it is killed from outside.
+fn child(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let runtime = Runtime::spawn(blank()?, durable(dir))?;
+    let handle = runtime.handle();
+    let mut out = std::io::stdout().lock();
+    for (key, hv) in item_memories() {
+        handle.insert(key, hv)?;
+    }
+    writeln!(out, "items {ITEMS}")?;
+    out.flush()?;
+    for i in 0..1_000_000 {
+        let (hour, label) = observation(i);
+        // Durable path: this call returns only after the WAL record for
+        // the fit is flushed, so printing the ack is an honest promise.
+        handle.fit(&hour, label)?;
+        writeln!(out, "ack {i}")?;
+        out.flush()?;
+    }
+    Err("child was never killed".into())
+}
+
+fn parent() -> Result<(), Box<dyn std::error::Error>> {
+    let started = Instant::now();
+    let dir = std::env::temp_dir().join(format!("hdc-crash-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- First life: spawn the child and SIGKILL it mid-fit. ---
+    let mut victim = Command::new(std::env::current_exe()?)
+        .arg("--child")
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .spawn()?;
+    let stdout = victim.stdout.take().ok_or("child stdout missing")?;
+    let mut acked = 0usize;
+    for line in BufReader::new(stdout).lines() {
+        let line = line?;
+        if line.starts_with("ack ") {
+            acked += 1;
+        }
+        if acked >= ACKS_BEFORE_KILL {
+            break;
+        }
+    }
+    if acked < ACKS_BEFORE_KILL {
+        return Err(format!("child exited after only {acked} acks").into());
+    }
+    victim.kill()?; // SIGKILL: no drop glue, no shutdown snapshot.
+    victim.wait()?;
+    println!("killed the shard after {acked} acknowledged fits");
+
+    // --- Second life: recover from the log alone. ---
+    let runtime = Runtime::spawn(blank()?, durable(&dir))?;
+    let handle = runtime.handle();
+
+    // Item memories acked before the kill are all there, bit-identical.
+    let recovered_items = handle.snapshot()?;
+    for (key, expected) in item_memories() {
+        let found = recovered_items
+            .items()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, hv)| hv);
+        assert_eq!(found, Some(&expected), "item {key} must survive the kill");
+    }
+
+    let probes: Vec<Radians> = (0..96)
+        .map(|i| Radians::periodic(i as f64 / 4.0, 24.0))
+        .collect();
+    let recovered: Vec<usize> = probes
+        .iter()
+        .map(|hour| Ok::<_, HdcError>(handle.predict("probe", hour)?.label))
+        .collect::<Result<_, _>>()?;
+    let (_, learner) = runtime.shutdown();
+    let survived = learner.observed();
+    assert!(
+        survived >= acked,
+        "log retained {survived} fits but {acked} were acknowledged"
+    );
+
+    // The recovered state must equal a model fed exactly the retained
+    // prefix of the (deterministic) training stream — no more, no less.
+    let mut reference = blank()?;
+    for i in 0..survived {
+        let (hour, label) = observation(i);
+        reference.fit(&hour, label)?;
+    }
+    let expected: Vec<usize> = probes.iter().map(|hour| reference.predict(hour)).collect();
+    assert_eq!(
+        recovered, expected,
+        "recovered predictions must be bit-identical to the retained prefix"
+    );
+
+    println!(
+        "recovered {survived} fits ({} unacked tail records also survived)",
+        survived - acked
+    );
+    println!(
+        "bit-identical on all {} probes in {:.2?}",
+        probes.len(),
+        started.elapsed()
+    );
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

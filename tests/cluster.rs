@@ -102,6 +102,7 @@ fn test_client_config() -> ClientConfig {
         write_timeout: Some(Duration::from_secs(5)),
         connect_retries: 2,
         retry_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(40),
     }
 }
 
@@ -453,6 +454,7 @@ fn unresponsive_shard_times_out_instead_of_hanging() {
         write_timeout: Some(Duration::from_millis(500)),
         connect_retries: 0,
         retry_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
     };
     let mut shard = RemoteShard::connect_with(&addr, config).expect("accepting socket");
     let error = shard.ping().expect_err("mute shard must not answer");
@@ -480,6 +482,7 @@ fn refused_connections_fail_bounded() {
         write_timeout: Some(Duration::from_millis(200)),
         connect_retries: 2,
         retry_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
     };
     let error = RemoteShard::connect_with(&addr, config).expect_err("refused port");
     assert!(

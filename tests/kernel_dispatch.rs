@@ -134,6 +134,41 @@ proptest! {
         }
     }
 
+    /// `masked_sum` parity across the density spectrum: the AVX2 table
+    /// entry picks dense-SIMD or the sparse walk per call from the
+    /// intersection popcount (`dispatch::masked_sum_prefers_dense`), so
+    /// this sweep drives masks from near-empty to near-full across
+    /// dimensions on both sides of the 32k policy boundary — both
+    /// branches must return the identical `i64`.
+    #[test]
+    fn masked_sum_density_sweep_parity(seed in 0u64..1000, sparsity in 0usize..4) {
+        let scalar = table(Backend::Scalar).unwrap();
+        for dim in [96usize, 10_000, 33_000] {
+            let mut rng = StdRng::seed_from_u64(seed ^ dim as u64);
+            // AND-fold `sparsity` extra vectors to thin the masks toward
+            // density 2^-(sparsity+1); sparsity 0 leaves them ~50% dense.
+            let thin = |rng: &mut StdRng| {
+                let mut words = BinaryHypervector::random(dim, rng).as_words().to_vec();
+                for _ in 0..sparsity {
+                    let other = BinaryHypervector::random(dim, rng);
+                    for (w, o) in words.iter_mut().zip(other.as_words()) {
+                        *w &= o;
+                    }
+                }
+                words
+            };
+            let a = thin(&mut rng);
+            let b = thin(&mut rng);
+            let counts: Vec<i32> = (0..dim).map(|_| rng.random_range(-10_000..10_000)).collect();
+            let expected = (scalar.masked_sum)(&counts, &a, &b);
+            for backend in simd_backends() {
+                let t = table(backend).unwrap();
+                prop_assert_eq!((t.masked_sum)(&counts, &a, &b), expected,
+                    "masked_sum backend={} dim={} sparsity={}", backend, dim, sparsity);
+            }
+        }
+    }
+
     /// `majority_into` resolves every sign identically AND consults the
     /// tie-break closure for the same indices in the same (ascending)
     /// order on every backend.
