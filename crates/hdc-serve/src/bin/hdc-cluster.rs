@@ -6,6 +6,8 @@
 //! hdc-cluster shard  --listen ADDR --snapshot PATH [--name NAME]
 //!                    [--data-dir DIR] [--segment-bytes N] [--snapshot-every N]
 //!                    [--fsync always|batch|never] [--page-cache N]
+//!                    [--group-commit-us N] [--group-commit-max N]
+//!                    [--wal-codec raw|adaptive]
 //! hdc-cluster router --listen ADDR --shard ADDR [--shard ADDR ...] [--seed N]
 //! ```
 //!
@@ -33,6 +35,15 @@
 //! hypervectors resident. Warm joins still stream the full item set: a
 //! live snapshot reads the paged store around its cache.
 //!
+//! `--group-commit-us N` sets the group-commit collection window in
+//! microseconds (default 200; `0` disables the flusher thread and flushes
+//! inline per micro-batch — the classic schedule), `--group-commit-max N`
+//! caps how many commit tickets one flush may coalesce (default 256), and
+//! `--wal-codec raw|adaptive` picks the log record codec (`adaptive` by
+//! default: per record, the smallest of sparse/delta/run-length against a
+//! rolling dictionary, falling back to raw — never more than one byte
+//! larger than raw).
+//!
 //! Typical bring-up, one trained snapshot shared by every shard:
 //!
 //! ```text
@@ -44,12 +55,13 @@
 
 use std::process::ExitCode;
 use std::thread;
+use std::time::Duration;
 
 use hdc_encode::Radians;
 use hdc_serve::{
     ClientConfig, ClusterRouter, ClusterServer, DurabilityConfig, EncSpec, HdcError, Pipeline,
     RemoteShard, RingConfig, Runtime, RuntimeConfig, Server, ShardBackend, Snapshot, SpecInput,
-    SyncPolicy,
+    SyncPolicy, WalCodec,
 };
 
 fn usage() -> ExitCode {
@@ -57,7 +69,8 @@ fn usage() -> ExitCode {
         "usage:\n  \
          hdc-cluster shard  --listen ADDR --snapshot PATH [--name NAME]\n    \
          [--data-dir DIR] [--segment-bytes N] [--snapshot-every N]\n    \
-         [--fsync always|batch|never] [--page-cache N]\n  \
+         [--fsync always|batch|never] [--page-cache N]\n    \
+         [--group-commit-us N] [--group-commit-max N] [--wal-codec raw|adaptive]\n  \
          hdc-cluster router --listen ADDR --shard ADDR [--shard ADDR ...] [--seed N]"
     );
     ExitCode::FAILURE
@@ -145,6 +158,9 @@ fn durability_flags(rest: &[String]) -> Result<Option<DurabilityConfig>, ParseEr
                 "--snapshot-every",
                 "--fsync",
                 "--page-cache",
+                "--group-commit-us",
+                "--group-commit-max",
+                "--wal-codec",
             ] {
                 if !flag_values(rest, flag)?.is_empty() {
                     return Err(ParseError::Runtime(format!("{flag} requires --data-dir")));
@@ -165,6 +181,12 @@ fn durability_flags(rest: &[String]) -> Result<Option<DurabilityConfig>, ParseEr
     if let Some(budget) = numeric_flag(rest, "--page-cache")? {
         config.page_cache = Some(budget as usize);
     }
+    if let Some(micros) = numeric_flag(rest, "--group-commit-us")? {
+        config.group_commit_window = Duration::from_micros(micros);
+    }
+    if let Some(cap) = numeric_flag(rest, "--group-commit-max")? {
+        config.group_commit_max = cap as usize;
+    }
     config.sync = match flag_values(rest, "--fsync")?.as_slice() {
         [] | ["batch"] => SyncPolicy::EveryBatch,
         ["always"] => SyncPolicy::Always,
@@ -172,6 +194,16 @@ fn durability_flags(rest: &[String]) -> Result<Option<DurabilityConfig>, ParseEr
         [value] => {
             return Err(ParseError::Runtime(format!(
                 "invalid --fsync {value:?}; expected always, batch or never"
+            )))
+        }
+        _ => return Err(ParseError::Usage),
+    };
+    config.codec = match flag_values(rest, "--wal-codec")?.as_slice() {
+        [] | ["adaptive"] => WalCodec::Adaptive,
+        ["raw"] => WalCodec::Raw,
+        [value] => {
+            return Err(ParseError::Runtime(format!(
+                "invalid --wal-codec {value:?}; expected raw or adaptive"
             )))
         }
         _ => return Err(ParseError::Usage),

@@ -77,7 +77,9 @@ pub mod wire;
 pub use cluster::{ClusterRouter, ClusterServer, FanOut, LocalShard, RemoteShard, ShardBackend};
 pub use hdc_core::HdcError;
 pub use hdc_encode::{FieldSpec, Radians};
-pub use hdc_store::{DurabilityConfig, ItemStore, PagedStore, ResidentStore, SyncPolicy};
+pub use hdc_store::{
+    DurabilityConfig, GroupCommitConfig, ItemStore, PagedStore, ResidentStore, SyncPolicy, WalCodec,
+};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use pipeline::{
     AngleSpec, CategoricalSpec, DynEncoder, Enc, EncoderSpec, Model, ModelBuilder, Pipeline,

@@ -61,7 +61,8 @@ use std::time::{Duration, Instant};
 use hdc_core::{BinaryHypervector, HdcError, HypervectorBatch, TieBreak};
 use hdc_learn::{CentroidClassifier, CentroidTrainer, RegressionTrainer};
 use hdc_store::{
-    DurabilityConfig, ItemStore, PagedStore, SnapshotInstaller, Store, Wal, WalRecord,
+    DurabilityConfig, GroupAck, GroupCommitWal, ItemStore, PagedStore, SnapshotInstaller, Store,
+    SyncPolicy, WalRecord,
 };
 
 use crate::metrics::ServeMetrics;
@@ -499,7 +500,7 @@ where
         let mut durable_parts = None;
         if let Some(dcfg) = &config.durability {
             let digest = model.spec().hash64();
-            let (store, recovery) = Store::open(&dcfg.dir, digest, dcfg.segment_bytes, dcfg.sync)?;
+            let (store, recovery) = Store::open(&dcfg.dir, digest, dcfg.wal_config())?;
             if let Some(blob) = &recovery.snapshot {
                 let mut snapshot = Snapshot::from_bytes(blob)?;
                 restored_items.extend(snapshot.take_items());
@@ -668,10 +669,11 @@ where
             name: config.name.clone(),
             ring_positions: config.ring.positions as u64,
         };
-        // The durable halves: the dispatcher owns the append half (Wal);
-        // the snapshotter thread owns the install half, receiving one job
-        // per triggered snapshot so installation and segment GC never block
-        // serving or training.
+        // The durable halves: the dispatcher owns the append half (the
+        // WAL behind its group-commit flush scheduler); the snapshotter
+        // thread owns the install half, receiving one job per triggered
+        // snapshot so installation and segment GC never block serving or
+        // training.
         let mut snapshotter = None;
         let durability = match (config.durability.as_ref(), durable_parts) {
             (Some(dcfg), Some((wal, installer))) => {
@@ -682,12 +684,15 @@ where
                         .spawn(move || snapshot_loop(snap_rx, installer))
                         .expect("spawning the snapshotter thread"),
                 );
+                let last_seq = wal.next_seq();
                 Some(Durability {
-                    wal,
+                    wal: GroupCommitWal::new(wal, dcfg.group_commit_config()),
                     spec: spec.clone(),
                     snapshot_every: dcfg.snapshot_every,
                     appended: 0,
                     snap_tx,
+                    sync: dcfg.sync,
+                    last_seq,
                 })
             }
             _ => None,
@@ -1456,15 +1461,23 @@ struct SnapJob {
     upto: u64,
 }
 
-/// The dispatcher-owned durability state: the WAL append half, the spec
-/// (re-sent with every snapshot capture), and the snapshot cadence.
+/// The dispatcher-owned durability state: the WAL append half (behind the
+/// group-commit flush scheduler), the spec (re-sent with every snapshot
+/// capture), and the snapshot cadence.
 struct Durability {
-    wal: Wal,
+    wal: GroupCommitWal,
     spec: PipelineSpec,
     snapshot_every: u64,
     /// Records appended since the last triggered snapshot.
     appended: u64,
     snap_tx: Sender<SnapJob>,
+    /// The configured flush policy — the dispatcher consults it to decide
+    /// whether the paged item plane needs its own fsync at each commit
+    /// boundary.
+    sync: SyncPolicy,
+    /// Sequence of the last appended record: the ticket the next
+    /// [`commit`](Durability::commit) parks on.
+    last_seq: u64,
 }
 
 impl Durability {
@@ -1472,19 +1485,21 @@ impl Durability {
     /// must never acknowledge a write it cannot recover, and exiting flips
     /// the liveness flag so health probes drop this runtime.
     fn append(&mut self, record: &WalRecord) {
-        self.wal
+        self.last_seq = self
+            .wal
             .append(record)
             .expect("write-ahead log append failed; refusing to acknowledge non-durable writes");
         self.appended += 1;
     }
 
-    /// Flushes the log per the configured
-    /// [`SyncPolicy`](hdc_store::SyncPolicy) — called once per micro-batch,
-    /// before any acknowledgement in it is sent.
-    fn sync(&mut self) {
+    /// Parks this micro-batch's acknowledgements on the flush scheduler:
+    /// they fire when the group's single `fdatasync` retires everything
+    /// appended so far (inline, for a zero window or
+    /// [`SyncPolicy::Never`]). Fail-stop like [`append`](Durability::append).
+    fn commit(&mut self, acks: Vec<GroupAck>) {
         self.wal
-            .sync()
-            .expect("write-ahead log fsync failed; refusing to acknowledge non-durable writes");
+            .commit(self.last_seq, acks)
+            .expect("write-ahead log flush failed; refusing to acknowledge non-durable writes");
     }
 
     fn snapshot_due(&self) -> bool {
@@ -1543,7 +1558,13 @@ fn trigger_snapshot(
             return;
         }
     };
-    let upto = dur.wal.next_seq();
+    let upto = match dur.wal.next_seq() {
+        Ok(seq) => seq,
+        Err(error) => {
+            eprintln!("hdc-serve: background snapshot skipped: {error}");
+            return;
+        }
+    };
     let (reply, snapshot_rx) = mpsc::channel();
     if trainer_tx
         .send(TrainerMsg::Snapshot {
@@ -1720,6 +1741,7 @@ where
                 metrics.record_batch(batch_size, latencies);
             }
 
+            let fit_count = fits.len() + value_fits.len();
             if !fits.is_empty() {
                 fit_scratch.resize_zeroed(fits.len());
                 let sources: Vec<RowSource<'_, X>> = fits
@@ -1760,14 +1782,28 @@ where
                     fit_acks.extend(ack);
                 }
             }
-            // One flush covers every record in the micro-batch; only then
-            // are the durability acknowledgements released — an acked fit
-            // is on stable storage (per the configured sync policy).
-            if let Some(dur) = durability.as_mut() {
-                dur.sync();
-            }
-            for ack in fit_acks.drain(..) {
-                let _ = ack.send(());
+            // The micro-batch's acknowledgements park on the flush
+            // scheduler as one group ticket: they release when a single
+            // `fdatasync` covers every record appended above (possibly
+            // shared with neighbouring micro-batches), so an acked fit is
+            // on stable storage (per the configured sync policy).
+            match durability.as_mut() {
+                Some(dur) if fit_count > 0 => {
+                    let acks: Vec<GroupAck> = fit_acks
+                        .drain(..)
+                        .map(|ack| -> GroupAck {
+                            Box::new(move || {
+                                let _ = ack.send(());
+                            })
+                        })
+                        .collect();
+                    dur.commit(acks);
+                }
+                _ => {
+                    for ack in fit_acks.drain(..) {
+                        let _ = ack.send(());
+                    }
+                }
             }
         }
 
@@ -1775,38 +1811,77 @@ where
         match stashed {
             None => {}
             Some(Work::Insert { key, hv, reply }) => {
-                // Log-then-apply: the record is flushed before the caller
-                // sees the reply, so an acknowledged insert survives a
-                // crash (replay re-applies it, idempotently).
+                // Log-then-apply: the record parks on the group commit and
+                // the caller sees the reply only after its flush retires,
+                // so an acknowledged insert survives a crash (replay
+                // re-applies it, idempotently).
                 if let Some(dur) = durability.as_mut() {
                     dur.append(&WalRecord::Insert {
                         key: key.clone(),
                         hv: hv.clone(),
                     });
-                    dur.sync();
                 }
                 let replaced = match plane.as_mut() {
-                    Some(store) => store
-                        .insert(&key, &hv)
-                        .expect("paged item store write failed; refusing to acknowledge"),
+                    Some(store) => {
+                        let replaced = store
+                            .insert(&key, &hv)
+                            .expect("paged item store write failed; refusing to acknowledge");
+                        // The paged files share the WAL's commit boundary:
+                        // under `Always` they are fsynced before the reply
+                        // parks, so the acked binding is durable in both
+                        // planes (not just replayable).
+                        if durability
+                            .as_ref()
+                            .is_some_and(|dur| matches!(dur.sync, SyncPolicy::Always))
+                        {
+                            store
+                                .sync_files()
+                                .expect("paged item store fsync failed; refusing to acknowledge");
+                        }
+                        replaced
+                    }
                     None => fleet.insert(key, hv).is_some(),
                 };
                 metrics.record_insert();
-                let _ = reply.send(replaced);
+                match durability.as_mut() {
+                    Some(dur) => dur.commit(vec![Box::new(move || {
+                        let _ = reply.send(replaced);
+                    })]),
+                    None => {
+                        let _ = reply.send(replaced);
+                    }
+                }
             }
             Some(Work::Remove { key, reply }) => {
                 if let Some(dur) = durability.as_mut() {
                     dur.append(&WalRecord::Remove { key: key.clone() });
-                    dur.sync();
                 }
                 let removed = match plane.as_mut() {
-                    Some(store) => store
-                        .remove(&key)
-                        .expect("paged item store write failed; refusing to acknowledge"),
+                    Some(store) => {
+                        let removed = store
+                            .remove(&key)
+                            .expect("paged item store write failed; refusing to acknowledge");
+                        if durability
+                            .as_ref()
+                            .is_some_and(|dur| matches!(dur.sync, SyncPolicy::Always))
+                        {
+                            store
+                                .sync_files()
+                                .expect("paged item store fsync failed; refusing to acknowledge");
+                        }
+                        removed
+                    }
                     None => fleet.remove(&key).is_some(),
                 };
                 metrics.record_remove();
-                let _ = reply.send(removed);
+                match durability.as_mut() {
+                    Some(dur) => dur.commit(vec![Box::new(move || {
+                        let _ = reply.send(removed);
+                    })]),
+                    None => {
+                        let _ = reply.send(removed);
+                    }
+                }
             }
             Some(Work::Refresh { reply }) => {
                 // Forwarded over the trainer channel *after* every fit this
@@ -1916,7 +1991,7 @@ where
     // Graceful exit: flush whatever the sync policy deferred. Best-effort —
     // every acknowledgement already implied its own flush.
     if let Some(dur) = durability.as_mut() {
-        if let Err(error) = dur.wal.sync() {
+        if let Err(error) = dur.wal.sync_now() {
             eprintln!("hdc-serve: final WAL flush failed: {error}");
         }
     }

@@ -38,6 +38,20 @@ pub(crate) fn put_hv(buf: &mut Vec<u8>, hv: &BinaryHypervector) -> io::Result<()
     Ok(())
 }
 
+/// Writes an LEB128 varint — the compressed record codec's integer
+/// format, where gap-encoded bit indices are usually one byte.
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
 pub(crate) fn invalid(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
@@ -93,6 +107,20 @@ impl<'a> Cursor<'a> {
     /// reservation before the first failed read.
     pub(crate) fn remaining(&self) -> usize {
         self.body.len() - self.at
+    }
+
+    /// Reads an LEB128 varint (see [`put_varint`]); rejects encodings
+    /// longer than a `u64` can hold.
+    pub(crate) fn varint(&mut self) -> io::Result<u64> {
+        let mut value = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(invalid("varint exceeds u64"))
     }
 
     /// Reads a `u64`-length-prefixed string (see [`put_long_string`]).

@@ -1,0 +1,555 @@
+//! The group-commit flush scheduler: a dedicated flusher thread owns the
+//! WAL tail, concurrent durable writers append records and park an ack
+//! ticket, and the flusher coalesces every ticket that arrives within a
+//! bounded window into **one** `fdatasync` — then releases the whole
+//! group. The per-write durability *guarantee* is unchanged (an ack still
+//! means the record is on stable storage per the configured
+//! [`SyncPolicy`]); only the flush *count* is amortized.
+//!
+//! # Flow
+//!
+//! ```text
+//! writer:   append(record) ──► ticket (seq)
+//!           commit(seq, ack) ──► parked
+//! flusher:  wake ── linger ≤ window − last fsync cost (or max_group) ──►
+//!           one fdatasync covering every parked seq ──►
+//!           release every ack in the group
+//! ```
+//!
+//! The `fdatasync` itself runs on a duplicated file handle **off** the
+//! WAL lock, so appends for the *next* group proceed while the platters
+//! spin — that pipelining, not the window alone, is what lets sixteen
+//! concurrent writers share one flush.
+//!
+//! The collection linger is **adaptive**: the flusher deducts the
+//! measured duration of the previous `fdatasync` from the window. On
+//! storage where the flush itself is slower than the window the flusher
+//! therefore flushes eagerly — the in-flight `fdatasync` is already a
+//! better collection window than any timer, and a lone writer sees no
+//! added latency. On storage that flushes faster than the window, the
+//! flusher lingers the remainder so sparse committers still coalesce.
+//! Either way `window` bounds the extra latency coalescing may add on
+//! top of the flush itself.
+//!
+//! # Degeneration
+//!
+//! A zero window disables the flusher entirely: `commit` flushes inline
+//! on the caller's thread and releases its acks before returning —
+//! byte-for-byte and `fsync`-for-`fsync` the pre-group-commit
+//! one-flush-per-micro-batch schedule (under [`SyncPolicy::Always`],
+//! appends keep their inline per-record `fsync` too). Under
+//! [`SyncPolicy::Never`] acks always release immediately; there is no
+//! flush to wait for.
+//!
+//! # Failure
+//!
+//! The scheduler is fail-stop, like the dispatcher it serves: if a flush
+//! fails, the parked acks are **dropped** (their callers' reply channels
+//! close, so no caller ever mistakes a failed flush for durability) and
+//! every later `append`/`commit` returns the stored error.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hdc_core::HdcError;
+
+use crate::record::WalRecord;
+use crate::wal::Wal;
+use crate::SyncPolicy;
+
+/// Tuning of the [`GroupCommitWal`] flusher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Upper bound on the extra latency coalescing may add: after
+    /// waking, the flusher lingers at most `window` **minus the
+    /// measured duration of the previous `fdatasync`** before issuing
+    /// the group's flush (an in-flight flush already collects tickets,
+    /// so slow storage gets eager flushes and natural batching; fast
+    /// storage lingers the remainder). Zero disables the flusher
+    /// entirely (inline per-commit flushes — the classic schedule).
+    pub window: Duration,
+    /// Ticket cap per group: collection stops early at this many parked
+    /// commits, bounding ack latency under sustained load.
+    pub max_group: usize,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_micros(200),
+            max_group: 256,
+        }
+    }
+}
+
+/// A parked acknowledgement: invoked exactly once, after the records it
+/// covers are durable. Dropped without invocation if the flush fails —
+/// the caller's reply channel closing is the fail-stop signal.
+pub type GroupAck = Box<dyn FnOnce() + Send + 'static>;
+
+struct FlushState {
+    /// Parked tickets: the last sequence each ack covers, and the ack.
+    pending: Vec<(u64, GroupAck)>,
+    /// Every sequence `< synced` is on stable storage.
+    synced: u64,
+    /// The stored fail-stop error, if a flush ever failed.
+    failed: Option<String>,
+    shutdown: bool,
+}
+
+struct Shared {
+    wal: Mutex<Wal>,
+    state: Mutex<FlushState>,
+    /// Wakes the flusher on new tickets and shutdown.
+    tickets: Condvar,
+    window: Duration,
+    max_group: usize,
+}
+
+/// The WAL behind a group-commit flush scheduler — the shape the serving
+/// dispatcher owns on a durable runtime. `append` takes the WAL lock
+/// briefly (a buffered write); `commit` parks the acks on the flusher,
+/// which retires whole groups with one `fdatasync` each.
+pub struct GroupCommitWal {
+    shared: Arc<Shared>,
+    flusher: Option<JoinHandle<()>>,
+    /// `true` when a flusher thread is running (non-zero window and a
+    /// policy that flushes at all).
+    grouped: bool,
+}
+
+impl std::fmt::Debug for GroupCommitWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommitWal")
+            .field("grouped", &self.grouped)
+            .field("window", &self.shared.window)
+            .field("max_group", &self.shared.max_group)
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>, what: &str) -> Result<MutexGuard<'a, T>, HdcError> {
+    mutex
+        .lock()
+        .map_err(|_| HdcError::Storage(format!("{what} lock poisoned by a panicked thread")))
+}
+
+impl GroupCommitWal {
+    /// Wraps an opened [`Wal`], spawning the flusher thread when the
+    /// window is non-zero (and the policy flushes at all).
+    #[must_use]
+    pub fn new(wal: Wal, config: GroupCommitConfig) -> Self {
+        let policy = wal.sync_policy();
+        let synced = wal.next_seq();
+        let grouped = !config.window.is_zero() && !matches!(policy, SyncPolicy::Never);
+        let shared = Arc::new(Shared {
+            wal: Mutex::new(wal),
+            state: Mutex::new(FlushState {
+                pending: Vec::new(),
+                synced,
+                failed: None,
+                shutdown: false,
+            }),
+            tickets: Condvar::new(),
+            window: config.window,
+            max_group: config.max_group.max(1),
+        });
+        let flusher = grouped.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdc-wal-flush".into())
+                .spawn(move || flusher_loop(&shared))
+                .expect("spawning the WAL flusher thread")
+        });
+        Self {
+            shared,
+            flusher,
+            grouped,
+        }
+    }
+
+    /// Appends one record, returning its sequence number — the ticket a
+    /// later [`commit`](Self::commit) parks on. With the flusher running,
+    /// the append is deferred (no inline `fsync`, whatever the policy);
+    /// without it, [`SyncPolicy::Always`] keeps its per-record `fsync`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] on I/O failure or after a failed
+    /// flush (fail-stop).
+    pub fn append(&self, record: &WalRecord) -> Result<u64, HdcError> {
+        self.check_failed()?;
+        let mut wal = lock(&self.shared.wal, "WAL")?;
+        if self.grouped {
+            wal.append_deferred(record)
+        } else {
+            wal.append(record)
+        }
+    }
+
+    /// Parks `acks` until every record up to and including `upto` is
+    /// durable, then fires them. With the flusher running this returns
+    /// immediately (acks release with the group); with a zero window it
+    /// flushes inline and fires the acks before returning — the classic
+    /// one-flush-per-batch schedule. Under [`SyncPolicy::Never`] acks
+    /// fire immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] on I/O failure or after a failed
+    /// flush (fail-stop); the acks are dropped unfired in that case.
+    pub fn commit(&self, upto: u64, acks: Vec<GroupAck>) -> Result<(), HdcError> {
+        if !self.grouped {
+            // Inline schedule: one flush per commit boundary (a no-op
+            // under `Never` and for `Always`'s already-synced appends).
+            lock(&self.shared.wal, "WAL")?.sync()?;
+            for ack in acks {
+                ack();
+            }
+            return Ok(());
+        }
+        let mut state = lock(&self.shared.state, "flush scheduler")?;
+        if let Some(reason) = &state.failed {
+            return Err(HdcError::Storage(reason.clone()));
+        }
+        if upto < state.synced {
+            // Already covered by an earlier group's flush.
+            drop(state);
+            for ack in acks {
+                ack();
+            }
+            return Ok(());
+        }
+        state
+            .pending
+            .extend(acks.into_iter().map(|ack| (upto, ack)));
+        drop(state);
+        // The flusher is the condvar's only waiter.
+        self.shared.tickets.notify_one();
+        Ok(())
+    }
+
+    /// The sequence number the next appended record will carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] if the WAL lock is poisoned.
+    pub fn next_seq(&self) -> Result<u64, HdcError> {
+        Ok(lock(&self.shared.wal, "WAL")?.next_seq())
+    }
+
+    /// Data `fsync`s issued since open (see [`Wal::sync_count`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] if the WAL lock is poisoned.
+    pub fn sync_count(&self) -> Result<u64, HdcError> {
+        Ok(lock(&self.shared.wal, "WAL")?.sync_count())
+    }
+
+    /// Frame bytes appended since open (see [`Wal::bytes_appended`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] if the WAL lock is poisoned.
+    pub fn bytes_appended(&self) -> Result<u64, HdcError> {
+        Ok(lock(&self.shared.wal, "WAL")?.bytes_appended())
+    }
+
+    /// Flushes everything appended so far, inline — the graceful-shutdown
+    /// call after the work queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] on I/O failure.
+    pub fn sync_now(&self) -> Result<(), HdcError> {
+        lock(&self.shared.wal, "WAL")?.sync()
+    }
+
+    fn check_failed(&self) -> Result<(), HdcError> {
+        let state = lock(&self.shared.state, "flush scheduler")?;
+        match &state.failed {
+            Some(reason) => Err(HdcError::Storage(reason.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for GroupCommitWal {
+    /// Drains parked tickets (their groups still flush and ack) and joins
+    /// the flusher.
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.tickets.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn flusher_loop(shared: &Shared) {
+    // Seeded to the window so the very first flush is eager — no linger
+    // until a measured fsync proves the storage is faster than the
+    // window.
+    let mut last_fsync = shared.window;
+    loop {
+        let Ok(mut state) = shared.state.lock() else {
+            return;
+        };
+        while state.pending.is_empty() && !state.shutdown {
+            state = match shared.tickets.wait(state) {
+                Ok(guard) => guard,
+                Err(_) => return,
+            };
+        }
+        if state.pending.is_empty() && state.shutdown {
+            return;
+        }
+        // Adaptive collection linger: the previous flush's duration is
+        // deducted from the window, because an in-flight fdatasync is
+        // itself a collection window — tickets park while it runs. Slow
+        // storage therefore flushes eagerly (lone writers see no added
+        // latency); fast storage lingers the remainder to coalesce
+        // sparse committers.
+        let deadline = Instant::now() + shared.window.saturating_sub(last_fsync);
+        while state.pending.len() < shared.max_group && !state.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let Ok((guard, timeout)) = shared.tickets.wait_timeout(state, deadline - now) else {
+                return;
+            };
+            state = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let group = std::mem::take(&mut state.pending);
+        drop(state);
+        // One fdatasync for the whole group, issued on a duplicated
+        // handle off the WAL lock so appends keep flowing meanwhile.
+        let begun = match shared.wal.lock() {
+            Ok(mut wal) => wal.begin_group_sync(),
+            Err(_) => Err(HdcError::Storage("WAL lock poisoned".into())),
+        };
+        let synced = begun.and_then(|(file, covered)| {
+            let flush_started = Instant::now();
+            file.sync_data()
+                .map_err(|e| HdcError::Storage(format!("group fdatasync failed: {e}")))?;
+            last_fsync = flush_started.elapsed();
+            Ok(covered)
+        });
+        match synced {
+            Ok(covered) => {
+                if let Ok(mut wal) = shared.wal.lock() {
+                    wal.finish_group_sync(covered);
+                }
+                if let Ok(mut state) = shared.state.lock() {
+                    state.synced = state.synced.max(covered);
+                }
+                for (_, ack) in group {
+                    ack();
+                }
+            }
+            Err(error) => {
+                // Fail-stop: drop the group's acks unfired and poison
+                // every later append/commit with the stored error.
+                if let Ok(mut state) = shared.state.lock() {
+                    state.failed = Some(format!(
+                        "write-ahead log group flush failed; refusing to acknowledge \
+                         non-durable writes: {error}"
+                    ));
+                    state.shutdown = true;
+                }
+                drop(group);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{WalCodec, WalConfig};
+    use hdc_core::BinaryHypervector;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::path::PathBuf;
+    use std::sync::mpsc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdc-group-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &PathBuf, sync: SyncPolicy) -> Wal {
+        let config = WalConfig {
+            segment_bytes: u64::MAX,
+            sync,
+            codec: WalCodec::Adaptive,
+        };
+        Wal::open(dir, 9, config, 0).unwrap().0
+    }
+
+    fn records(n: usize) -> Vec<WalRecord> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|i| WalRecord::Fit {
+                hv: BinaryHypervector::random(256, &mut rng),
+                label: i as u64,
+            })
+            .collect()
+    }
+
+    fn ack_pair() -> (GroupAck, mpsc::Receiver<()>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Box::new(move || {
+                let _ = tx.send(());
+            }),
+            rx,
+        )
+    }
+
+    /// The satellite contract: a zero window degenerates exactly to the
+    /// classic schedule — one inline flush per commit boundary, acks
+    /// released synchronously before `commit` returns.
+    #[test]
+    fn zero_window_is_exactly_the_per_batch_schedule() {
+        let dir = tmp_dir("degenerate");
+        let wal = open(&dir, SyncPolicy::EveryBatch);
+        let group = GroupCommitWal::new(
+            wal,
+            GroupCommitConfig {
+                window: Duration::ZERO,
+                max_group: 256,
+            },
+        );
+        let batches: Vec<Vec<WalRecord>> = records(7).chunks(2).map(<[_]>::to_vec).collect();
+        let n_batches = batches.len() as u64;
+        for batch in batches {
+            let mut upto = 0;
+            for record in &batch {
+                upto = group.append(record).unwrap();
+            }
+            let (ack, rx) = ack_pair();
+            group.commit(upto, vec![ack]).unwrap();
+            // Inline release: the ack fired before commit returned.
+            rx.try_recv().expect("zero-window commit acks inline");
+        }
+        // Exactly one fsync per micro-batch, like the pre-group-commit
+        // dispatcher issued.
+        assert_eq!(group.sync_count().unwrap(), n_batches);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_window_always_keeps_per_record_fsyncs() {
+        let dir = tmp_dir("degenerate-always");
+        let wal = open(&dir, SyncPolicy::Always);
+        let group = GroupCommitWal::new(
+            wal,
+            GroupCommitConfig {
+                window: Duration::ZERO,
+                max_group: 256,
+            },
+        );
+        let all = records(5);
+        for record in &all {
+            let upto = group.append(record).unwrap();
+            let (ack, rx) = ack_pair();
+            group.commit(upto, vec![ack]).unwrap();
+            rx.try_recv().unwrap();
+        }
+        // Always + no flusher: the classic one fsync per appended record
+        // (the commit's own sync is a no-op on a clean segment).
+        assert_eq!(group.sync_count().unwrap(), all.len() as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grouped_commits_coalesce_into_fewer_fsyncs() {
+        let dir = tmp_dir("coalesce");
+        let wal = open(&dir, SyncPolicy::Always);
+        let group = GroupCommitWal::new(
+            wal,
+            GroupCommitConfig {
+                window: Duration::from_millis(50),
+                max_group: 256,
+            },
+        );
+        let all = records(16);
+        let mut receivers = Vec::new();
+        for record in &all {
+            let upto = group.append(record).unwrap();
+            let (ack, rx) = ack_pair();
+            group.commit(upto, vec![ack]).unwrap();
+            receivers.push(rx);
+        }
+        for rx in receivers {
+            rx.recv_timeout(Duration::from_secs(5))
+                .expect("every parked ack fires");
+        }
+        let syncs = group.sync_count().unwrap();
+        assert!(
+            syncs < all.len() as u64 / 2,
+            "16 commits inside one window must share flushes, saw {syncs}"
+        );
+        drop(group);
+        // Everything acked is on disk and replays bit-identically.
+        let (_, replayed) = Wal::open(
+            &dir,
+            9,
+            WalConfig {
+                segment_bytes: u64::MAX,
+                sync: SyncPolicy::Always,
+                codec: WalCodec::Adaptive,
+            },
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            replayed.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+            all
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_drains_parked_tickets() {
+        let dir = tmp_dir("drain");
+        let wal = open(&dir, SyncPolicy::EveryBatch);
+        let group = GroupCommitWal::new(
+            wal,
+            GroupCommitConfig {
+                window: Duration::from_millis(200),
+                max_group: 256,
+            },
+        );
+        let upto = group.append(&records(1)[0]).unwrap();
+        let (ack, rx) = ack_pair();
+        group.commit(upto, vec![ack]).unwrap();
+        drop(group); // shutdown before the window elapses
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("drop flushes and fires parked acks");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn never_policy_acks_immediately() {
+        let dir = tmp_dir("never");
+        let wal = open(&dir, SyncPolicy::Never);
+        let group = GroupCommitWal::new(wal, GroupCommitConfig::default());
+        let upto = group.append(&records(1)[0]).unwrap();
+        let (ack, rx) = ack_pair();
+        group.commit(upto, vec![ack]).unwrap();
+        rx.try_recv().expect("Never policy has nothing to wait for");
+        assert_eq!(group.sync_count().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -37,17 +37,21 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod compress;
+mod group_commit;
 mod paged;
 mod record;
 mod store;
 mod wal;
 
+pub use group_commit::{GroupAck, GroupCommitConfig, GroupCommitWal};
 pub use paged::{ItemStore, PagedStore, ResidentStore};
 pub use record::{crc32, WalRecord};
 pub use store::{Recovery, SnapshotInstaller, Store, MANIFEST_MAGIC, SNAPSHOT_BLOB_MAGIC};
 pub use wal::{Wal, DEFAULT_SEGMENT_BYTES, SEGMENT_MAGIC, SEGMENT_VERSION};
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// When appended log records reach the platters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +68,46 @@ pub enum SyncPolicy {
     /// kernel immediately (a SIGKILL loses nothing, a power cut may), so
     /// this is the honest baseline for measuring WAL overhead.
     Never,
+}
+
+/// How record frame payloads are encoded on disk, negotiated per segment
+/// in the segment header (so mixed-codec logs replay unambiguously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalCodec {
+    /// Plain [`WalRecord`] payloads, exactly the pre-compression layout.
+    Raw,
+    /// Per-record adaptive compression: every payload carries a one-byte
+    /// record codec choosing raw, sparse set/clear-bit, delta-against-a
+    /// -recent-record, or word-wise RLE encoding of the hypervector —
+    /// whichever measured smallest for that record. Level/circular
+    /// pipelines produce low-density flip structure, so deltas between
+    /// nearby records routinely collapse a `dim/8`-byte hypervector to a
+    /// handful of varint gaps. The default.
+    #[default]
+    Adaptive,
+}
+
+/// Tuning of the write-ahead log itself — the slice of
+/// [`DurabilityConfig`] that [`Store::open`] threads down to
+/// [`Wal::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// When appended records are `fsync`ed.
+    pub sync: SyncPolicy,
+    /// How record payloads are encoded in newly created segments.
+    pub codec: WalCodec,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            sync: SyncPolicy::default(),
+            codec: WalCodec::default(),
+        }
+    }
 }
 
 /// Configuration of the durability subsystem a serving runtime opens at
@@ -85,12 +129,30 @@ pub struct DurabilityConfig {
     /// file-backed [`PagedStore`] with at most `budget` hypervectors
     /// resident in its LRU cache; `None` keeps items in RAM.
     pub page_cache: Option<usize>,
+    /// Group-commit collection window: the bound on the extra latency
+    /// coalescing may add. Once the flusher wakes for a commit ticket it
+    /// lingers at most this long **minus the previous `fdatasync`'s
+    /// measured duration** (or until
+    /// [`group_commit_max`](Self::group_commit_max) tickets are parked),
+    /// then retires the whole group with **one** `fdatasync` — on slow
+    /// storage the in-flight flush is itself the collection window, so
+    /// the flusher flushes eagerly. `Duration::ZERO` disables the
+    /// flusher and degenerates exactly to the inline
+    /// one-flush-per-micro-batch schedule.
+    pub group_commit_window: Duration,
+    /// Ticket cap per flush group: the flusher stops collecting early
+    /// once this many commits are parked, bounding ack latency under
+    /// sustained load.
+    pub group_commit_max: usize,
+    /// How WAL record payloads are encoded in newly created segments.
+    pub codec: WalCodec,
 }
 
 impl DurabilityConfig {
     /// A store rooted at `dir` with default tuning: 4 MiB segments,
     /// a background snapshot every 4096 records, one `fsync` per
-    /// micro-batch, in-RAM item memory.
+    /// flush group, a 200 µs group-commit window, adaptive record
+    /// compression, in-RAM item memory.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
@@ -98,6 +160,29 @@ impl DurabilityConfig {
             snapshot_every: 4096,
             sync: SyncPolicy::EveryBatch,
             page_cache: None,
+            group_commit_window: Duration::from_micros(200),
+            group_commit_max: 256,
+            codec: WalCodec::Adaptive,
+        }
+    }
+
+    /// The WAL slice of this configuration, as [`Store::open`] wants it.
+    #[must_use]
+    pub fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            segment_bytes: self.segment_bytes,
+            sync: self.sync,
+            codec: self.codec,
+        }
+    }
+
+    /// The group-commit slice of this configuration, as
+    /// [`GroupCommitWal::new`] wants it.
+    #[must_use]
+    pub fn group_commit_config(&self) -> GroupCommitConfig {
+        GroupCommitConfig {
+            window: self.group_commit_window,
+            max_group: self.group_commit_max,
         }
     }
 }

@@ -453,6 +453,23 @@ impl PagedStore {
         self.index_appended = self.slots.len() as u64;
         Ok(())
     }
+
+    /// Syncs `pages.dat` and `keys.idx` to disk without the compaction
+    /// heuristic that [`ItemStore::flush`] applies — the group-commit
+    /// boundary wants exactly the durability barrier, not a potential
+    /// index rewrite on the serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::Storage`] if either fsync fails.
+    pub fn sync_files(&mut self) -> Result<(), HdcError> {
+        self.data
+            .sync_data()
+            .map_err(|e| storage("syncing pages.dat", e))?;
+        self.index_log
+            .sync_data()
+            .map_err(|e| storage("syncing keys.idx", e))
+    }
 }
 
 impl ItemStore for PagedStore {

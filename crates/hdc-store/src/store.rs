@@ -30,7 +30,7 @@ use hdc_core::HdcError;
 
 use crate::record::{crc32, WalRecord};
 use crate::wal::{list_segments, storage, Wal};
-use crate::SyncPolicy;
+use crate::WalConfig;
 
 /// Magic bytes opening the `MANIFEST` file.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"HDCM";
@@ -79,8 +79,7 @@ impl Store {
     pub fn open(
         dir: impl Into<PathBuf>,
         spec_digest: u64,
-        segment_bytes: u64,
-        sync: SyncPolicy,
+        config: WalConfig,
     ) -> Result<(Self, Recovery), HdcError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
@@ -93,7 +92,7 @@ impl Store {
             }
             None => (None, 0),
         };
-        let (wal, replayed) = Wal::open(&dir, spec_digest, segment_bytes, sync, from_seq)?;
+        let (wal, replayed) = Wal::open(&dir, spec_digest, config, from_seq)?;
         let records = replayed.into_iter().map(|(_, record)| record).collect();
         Ok((
             Self {
@@ -304,8 +303,25 @@ fn read_manifest(dir: &Path, spec_digest: u64) -> Result<Option<(String, u64)>, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{SyncPolicy, WalCodec};
     use hdc_core::BinaryHypervector;
     use rand::{rngs::StdRng, SeedableRng};
+
+    fn small() -> WalConfig {
+        WalConfig {
+            segment_bytes: 256,
+            sync: SyncPolicy::EveryBatch,
+            codec: WalCodec::Raw,
+        }
+    }
+
+    fn unbounded() -> WalConfig {
+        WalConfig {
+            segment_bytes: u64::MAX,
+            sync: SyncPolicy::Never,
+            codec: WalCodec::Raw,
+        }
+    }
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("hdc-store-{tag}-{}", std::process::id()));
@@ -324,7 +340,7 @@ mod tests {
     #[test]
     fn snapshot_install_cuts_replay_and_collects_segments() {
         let dir = tmp_dir("install");
-        let (store, recovery) = Store::open(&dir, 7, 256, SyncPolicy::EveryBatch).unwrap();
+        let (store, recovery) = Store::open(&dir, 7, small()).unwrap();
         assert!(recovery.snapshot.is_none());
         assert!(recovery.records.is_empty());
         let (mut wal, installer) = store.into_parts();
@@ -338,7 +354,7 @@ mod tests {
         installer.install(b"state-after-8", 8).unwrap();
         assert!(list_segments(&dir).unwrap().len() < segments_before);
 
-        let (_, recovery) = Store::open(&dir, 7, 256, SyncPolicy::EveryBatch).unwrap();
+        let (_, recovery) = Store::open(&dir, 7, small()).unwrap();
         assert_eq!(recovery.snapshot.as_deref(), Some(&b"state-after-8"[..]));
         let labels: Vec<u64> = recovery
             .records
@@ -355,7 +371,7 @@ mod tests {
     #[test]
     fn newer_snapshot_supersedes_older() {
         let dir = tmp_dir("supersede");
-        let (store, _) = Store::open(&dir, 7, u64::MAX, SyncPolicy::Never).unwrap();
+        let (store, _) = Store::open(&dir, 7, unbounded()).unwrap();
         let (mut wal, installer) = store.into_parts();
         for i in 0..4 {
             wal.append(&fit(i, i)).unwrap();
@@ -363,7 +379,7 @@ mod tests {
         installer.install(b"at-2", 2).unwrap();
         installer.install(b"at-4", 4).unwrap();
         assert!(!dir.join(snapshot_name(2)).exists(), "old blob collected");
-        let (_, recovery) = Store::open(&dir, 7, u64::MAX, SyncPolicy::Never).unwrap();
+        let (_, recovery) = Store::open(&dir, 7, unbounded()).unwrap();
         assert_eq!(recovery.snapshot.as_deref(), Some(&b"at-4"[..]));
         assert!(recovery.records.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -372,7 +388,7 @@ mod tests {
     #[test]
     fn damaged_snapshot_blob_and_manifest_are_loud() {
         let dir = tmp_dir("damage");
-        let (store, _) = Store::open(&dir, 7, u64::MAX, SyncPolicy::Never).unwrap();
+        let (store, _) = Store::open(&dir, 7, unbounded()).unwrap();
         let (mut wal, installer) = store.into_parts();
         wal.append(&fit(0, 0)).unwrap();
         installer.install(b"payload-bytes", 1).unwrap();
@@ -383,20 +399,20 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0x01;
         std::fs::write(&blob, &bytes).unwrap();
-        let err = Store::open(&dir, 7, u64::MAX, SyncPolicy::Never).unwrap_err();
+        let err = Store::open(&dir, 7, unbounded()).unwrap_err();
         assert!(err.to_string().contains("CRC"), "{err}");
         bytes[last] ^= 0x01;
         std::fs::write(&blob, &bytes).unwrap();
 
         // A manifest with a different spec digest is refused.
-        let err = Store::open(&dir, 8, u64::MAX, SyncPolicy::Never).unwrap_err();
+        let err = Store::open(&dir, 8, unbounded()).unwrap_err();
         assert!(err.to_string().contains("spec digest mismatch"), "{err}");
 
         // A truncated manifest is loud, not treated as absent.
         let manifest = dir.join("MANIFEST");
         let bytes = std::fs::read(&manifest).unwrap();
         std::fs::write(&manifest, &bytes[..bytes.len() - 2]).unwrap();
-        assert!(Store::open(&dir, 7, u64::MAX, SyncPolicy::Never).is_err());
+        assert!(Store::open(&dir, 7, unbounded()).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,28 +1,39 @@
-//! Crash recovery, the hard way: **SIGKILL a durable shard mid-fit and
-//! prove the restart is bit-identical for everything it acknowledged.**
+//! Crash recovery, the hard way: **SIGKILL a durable shard while four
+//! concurrent writers are mid-fit and prove the restart is bit-identical
+//! for everything it acknowledged.**
 //!
 //! The example re-executes itself. The parent process spawns
-//! `current_exe() --child DIR`, which runs a durable [`Runtime`]
-//! (write-ahead log under `DIR`) and streams acknowledged fits to stdout
-//! — one `ack N` line *after* each `fit` call returns, i.e. after the
-//! WAL record is fsynced. Once the parent has seen enough acks it sends
-//! SIGKILL (`Child::kill`), so the child dies with no destructors, no
-//! shutdown snapshot, and very likely a torn record at the log tail.
+//! `current_exe() --child DIR [--fsync POLICY]`, which runs a durable
+//! [`Runtime`] (write-ahead log under `DIR`) and starts [`WRITERS`]
+//! threads, each fitting its own deterministic stream through a cloned
+//! handle — the shape the group-commit flush scheduler exists for. Every
+//! writer streams acknowledged fits to stdout, one `ack W I` line *after*
+//! its `fit` call returns, i.e. after the group's `fdatasync` covered the
+//! record. Once the parent has seen enough acks it sends SIGKILL
+//! (`Child::kill`), so the child dies with no destructors, no shutdown
+//! snapshot, and very likely a torn record at the log tail.
 //!
 //! The parent then recovers in-process from the same directory and checks
 //! the durability contract:
 //!
-//! * every **acknowledged** fit survived (the recovered trainer has
-//!   observed at least that many examples — unacked tail records may
-//!   legitimately also survive, torn ones are truncated away);
+//! * every **acknowledged** fit survived, per writer (each writer labels
+//!   with its own id, so the recovered trainer's per-class counts are
+//!   per-writer retained counts — unacked tail records may legitimately
+//!   also survive, torn ones are truncated away);
 //! * the recovered state is **bit-identical** to a reference model fed
-//!   exactly the observations the log retained — every prediction over a
-//!   probe grid matches;
+//!   exactly the per-writer prefixes the log retained (a writer only
+//!   submits fit `k+1` after fit `k` acked, so each writer's retained set
+//!   is a prefix — and the centroid fold is integer-commutative, so the
+//!   kill-time interleaving cannot matter);
 //! * the item memory writes acknowledged before the kill are all present
 //!   and bit-identical.
 //!
+//! `--fsync always|batch|never` picks the [`SyncPolicy`] for both lives;
+//! CI runs the `always` leg, where the group commit is doing the most
+//! work.
+//!
 //! ```text
-//! cargo run --release --example crash_recovery
+//! cargo run --release --example crash_recovery [-- --fsync always]
 //! ```
 
 use std::io::{BufRead, BufReader, Write as _};
@@ -32,45 +43,60 @@ use std::time::Instant;
 
 use hdc::{
     Basis, BinaryHypervector, DurabilityConfig, Enc, HdcError, Model, Pipeline, Radians, Runtime,
-    RuntimeConfig,
+    RuntimeConfig, SyncPolicy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 const DIM: usize = 1024;
 const SEED: u64 = 42;
-/// Acks the parent waits for before pulling the trigger.
-const ACKS_BEFORE_KILL: usize = 25;
+/// Concurrent durable writer threads in the child.
+const WRITERS: usize = 4;
+/// Total acks (across writers) the parent waits for before the trigger.
+const ACKS_BEFORE_KILL: usize = 40;
 /// Item-memory keys the child registers (and acks) before fitting.
 const ITEMS: usize = 4;
 
-/// The untrained pipeline every life starts from: hour-of-day
-/// classification over the daily circle.
+/// The untrained pipeline every life starts from: writer-of-origin
+/// classification over the daily circle — one class per writer, so the
+/// recovered per-class counts are per-writer retained counts.
 fn blank() -> Result<Model<Radians>, HdcError> {
     Pipeline::builder(DIM)
         .seed(SEED)
-        .classes(2)
+        .classes(WRITERS)
         .basis(Basis::Circular { m: 48, r: 0.0 })
         .encoder(Enc::angle())
         .build()
 }
 
-fn durable(dir: &Path) -> RuntimeConfig {
+fn durable(dir: &Path, sync: SyncPolicy) -> RuntimeConfig {
     RuntimeConfig {
-        durability: Some(DurabilityConfig::new(dir)),
+        durability: Some(DurabilityConfig {
+            sync,
+            ..DurabilityConfig::new(dir)
+        }),
         ..RuntimeConfig::default()
     }
 }
 
-/// Deterministic training stream: any prefix is reconstructible from its
-/// length alone, which is what lets the parent rebuild a reference model
-/// for exactly the records the log retained.
-fn observation(i: usize) -> (Radians, usize) {
-    let step = i % 96;
-    (
-        Radians::periodic(step as f64 / 4.0, 24.0),
-        usize::from(step >= 48),
-    )
+fn parse_sync(value: &str) -> Result<SyncPolicy, String> {
+    match value {
+        "always" => Ok(SyncPolicy::Always),
+        "batch" => Ok(SyncPolicy::EveryBatch),
+        "never" => Ok(SyncPolicy::Never),
+        other => Err(format!(
+            "invalid --fsync {other:?}; expected always, batch or never"
+        )),
+    }
+}
+
+/// Deterministic per-writer training stream: any prefix is
+/// reconstructible from the writer id and its length alone, which is what
+/// lets the parent rebuild a reference model for exactly the records the
+/// log retained.
+fn observation(writer: usize, i: usize) -> (Radians, usize) {
+    let step = (writer * 31 + i) % 96;
+    (Radians::periodic(step as f64 / 4.0, 24.0), writer)
 }
 
 /// The item memories the child inserts, reproducible in the parent.
@@ -87,69 +113,110 @@ fn item_memories() -> Vec<(String, BinaryHypervector)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("--child") => {
-            let dir = PathBuf::from(args.next().ok_or("--child needs a data dir")?);
-            child(&dir)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sync = SyncPolicy::EveryBatch;
+    let mut child_dir = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--child" => {
+                child_dir = Some(PathBuf::from(
+                    iter.next().ok_or("--child needs a data dir")?,
+                ));
+            }
+            "--fsync" => {
+                sync = parse_sync(iter.next().ok_or("--fsync needs a value")?)?;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
         }
-        _ => parent(),
+    }
+    match child_dir {
+        Some(dir) => child(&dir, sync),
+        None => parent(sync),
     }
 }
 
-/// The victim: a durable runtime that acks every write to stdout and
-/// keeps fitting until it is killed from outside.
-fn child(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = Runtime::spawn(blank()?, durable(dir))?;
+/// The victim: a durable runtime with [`WRITERS`] concurrent fit threads,
+/// each acking every write to stdout, running until killed from outside.
+fn child(dir: &Path, sync: SyncPolicy) -> Result<(), Box<dyn std::error::Error>> {
+    let runtime = Runtime::spawn(blank()?, durable(dir, sync))?;
     let handle = runtime.handle();
-    let mut out = std::io::stdout().lock();
-    for (key, hv) in item_memories() {
-        handle.insert(key, hv)?;
-    }
-    writeln!(out, "items {ITEMS}")?;
-    out.flush()?;
-    for i in 0..1_000_000 {
-        let (hour, label) = observation(i);
-        // Durable path: this call returns only after the WAL record for
-        // the fit is flushed, so printing the ack is an honest promise.
-        handle.fit(&hour, label)?;
-        writeln!(out, "ack {i}")?;
+    {
+        let mut out = std::io::stdout().lock();
+        for (key, hv) in item_memories() {
+            handle.insert(key, hv)?;
+        }
+        writeln!(out, "items {ITEMS}")?;
         out.flush()?;
     }
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                for i in 0..1_000_000usize {
+                    let (hour, label) = observation(writer, i);
+                    // Durable path: this call returns only after the
+                    // group flush covering the fit's WAL record retires,
+                    // so printing the ack is an honest promise.
+                    handle.fit(&hour, label).expect("durable fit failed");
+                    let mut out = std::io::stdout().lock();
+                    writeln!(out, "ack {writer} {i}").expect("child stdout closed");
+                    out.flush().expect("child stdout closed");
+                }
+            });
+        }
+    });
     Err("child was never killed".into())
 }
 
-fn parent() -> Result<(), Box<dyn std::error::Error>> {
+fn parent(sync: SyncPolicy) -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
     let dir = std::env::temp_dir().join(format!("hdc-crash-recovery-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    let fsync_arg = match sync {
+        SyncPolicy::Always => "always",
+        SyncPolicy::EveryBatch => "batch",
+        SyncPolicy::Never => "never",
+    };
 
     // --- First life: spawn the child and SIGKILL it mid-fit. ---
     let mut victim = Command::new(std::env::current_exe()?)
         .arg("--child")
         .arg(&dir)
+        .arg("--fsync")
+        .arg(fsync_arg)
         .stdout(Stdio::piped())
         .spawn()?;
     let stdout = victim.stdout.take().ok_or("child stdout missing")?;
-    let mut acked = 0usize;
+    let mut acked = [0usize; WRITERS];
     for line in BufReader::new(stdout).lines() {
         let line = line?;
-        if line.starts_with("ack ") {
-            acked += 1;
+        if let Some(rest) = line.strip_prefix("ack ") {
+            let writer: usize = rest
+                .split_whitespace()
+                .next()
+                .ok_or("malformed ack line")?
+                .parse()?;
+            // The acked count doubles as the writer's next index: writer
+            // streams are in-order, ack k precedes the submit of k+1.
+            acked[writer] += 1;
         }
-        if acked >= ACKS_BEFORE_KILL {
+        if acked.iter().sum::<usize>() >= ACKS_BEFORE_KILL {
             break;
         }
     }
-    if acked < ACKS_BEFORE_KILL {
-        return Err(format!("child exited after only {acked} acks").into());
+    let total_acked: usize = acked.iter().sum();
+    if total_acked < ACKS_BEFORE_KILL {
+        return Err(format!("child exited after only {total_acked} acks").into());
     }
     victim.kill()?; // SIGKILL: no drop glue, no shutdown snapshot.
     victim.wait()?;
-    println!("killed the shard after {acked} acknowledged fits");
+    println!(
+        "killed the shard after {total_acked} acknowledged fits across {WRITERS} writers {acked:?}"
+    );
 
     // --- Second life: recover from the log alone. ---
-    let runtime = Runtime::spawn(blank()?, durable(&dir))?;
+    let runtime = Runtime::spawn(blank()?, durable(&dir, sync))?;
     let handle = runtime.handle();
 
     // Item memories acked before the kill are all there, bit-identical.
@@ -171,31 +238,45 @@ fn parent() -> Result<(), Box<dyn std::error::Error>> {
         .map(|hour| Ok::<_, HdcError>(handle.predict("probe", hour)?.label))
         .collect::<Result<_, _>>()?;
     let (_, learner) = runtime.shutdown();
-    let survived = learner.observed();
-    assert!(
-        survived >= acked,
-        "log retained {survived} fits but {acked} were acknowledged"
-    );
+    let retained: Vec<usize> = learner
+        .as_classify()
+        .ok_or("classification trainer expected")?
+        .counts()
+        .to_vec();
+    for writer in 0..WRITERS {
+        assert!(
+            retained[writer] >= acked[writer],
+            "writer {writer}: log retained {} fits but {} were acknowledged",
+            retained[writer],
+            acked[writer]
+        );
+    }
 
     // The recovered state must equal a model fed exactly the retained
-    // prefix of the (deterministic) training stream — no more, no less.
+    // per-writer prefixes of the (deterministic) training streams — no
+    // more, no less. Feeding them writer-major is fine: the centroid
+    // fold is integer-commutative, so the original interleaving of the
+    // writers cannot change a single bit.
     let mut reference = blank()?;
-    for i in 0..survived {
-        let (hour, label) = observation(i);
-        reference.fit(&hour, label)?;
+    for (writer, &survived) in retained.iter().enumerate() {
+        for i in 0..survived {
+            let (hour, label) = observation(writer, i);
+            reference.fit(&hour, label)?;
+        }
     }
     let expected: Vec<usize> = probes.iter().map(|hour| reference.predict(hour)).collect();
     assert_eq!(
         recovered, expected,
-        "recovered predictions must be bit-identical to the retained prefix"
+        "recovered predictions must be bit-identical to the retained prefixes"
     );
 
+    let total_retained: usize = retained.iter().sum();
     println!(
-        "recovered {survived} fits ({} unacked tail records also survived)",
-        survived - acked
+        "recovered {total_retained} fits ({} unacked tail records also survived)",
+        total_retained - total_acked
     );
     println!(
-        "bit-identical on all {} probes in {:.2?}",
+        "bit-identical on all {} probes in {:.2?} (fsync {fsync_arg})",
         probes.len(),
         started.elapsed()
     );

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use hdc::serve::Radians;
 use hdc::{
     Basis, BinaryHypervector, DurabilityConfig, Enc, HdcError, ItemStore, Model, PagedStore,
-    Pipeline, ResidentStore, Runtime, RuntimeConfig,
+    Pipeline, ResidentStore, Runtime, RuntimeConfig, SyncPolicy, WalCodec,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -245,8 +245,8 @@ proptest! {
         prop_assert!(sealed.len() >= 2, "need at least one sealed segment");
         let target = &sealed[0];
         let mut bytes = std::fs::read(target).unwrap();
-        // Flip one byte past the 22-byte segment header, inside the frames.
-        let header = 22;
+        // Flip one byte past the 23-byte segment header, inside the frames.
+        let header = 23;
         prop_assert!(bytes.len() > header);
         let index = header + offset % (bytes.len() - header);
         bytes[index] ^= 0xff;
@@ -256,6 +256,174 @@ proptest! {
             Runtime::spawn(classify(seed), durable(&dir, 128, 0)),
             Err(HdcError::Storage(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Mixed raw and adaptive segments in one log — the codec changed
+    /// across restarts, so sealed segments carry different header codec
+    /// bytes — replay bit-identically to a reference fed the whole
+    /// stream.
+    #[test]
+    fn mixed_codec_segments_replay_bit_identically(
+        seed in 0u64..1_000,
+        n1 in 4usize..20,
+        n2 in 4usize..20,
+    ) {
+        let dir = scratch_dir("mixed");
+        let config = |codec| RuntimeConfig {
+            durability: Some(DurabilityConfig {
+                // Small segments force rotation, so both codecs seal
+                // segments into the shared log.
+                segment_bytes: 600,
+                codec,
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..RuntimeConfig::default()
+        };
+        let observations = stream(seed, n1 + n2);
+
+        let runtime = Runtime::spawn(classify(seed), config(WalCodec::Raw)).unwrap();
+        let handle = runtime.handle();
+        for (hour, label, _) in &observations[..n1] {
+            handle.fit(hour, *label).unwrap();
+        }
+        runtime.shutdown();
+
+        let runtime = Runtime::spawn(classify(seed), config(WalCodec::Adaptive)).unwrap();
+        let handle = runtime.handle();
+        for (hour, label, _) in &observations[n1..] {
+            handle.fit(hour, *label).unwrap();
+        }
+        runtime.shutdown();
+
+        let runtime = Runtime::spawn(classify(seed), config(WalCodec::Adaptive)).unwrap();
+        let handle = runtime.handle();
+        let recovered: Vec<usize> = probes()
+            .iter()
+            .map(|hour| handle.predict("k", hour).unwrap().label)
+            .collect();
+        let (_, learner) = runtime.shutdown();
+        prop_assert_eq!(learner.observed(), n1 + n2, "every acked fit must replay");
+
+        let mut reference = classify(seed);
+        for (hour, label, _) in &observations {
+            reference.fit(hour, *label).unwrap();
+        }
+        let expected: Vec<usize> = probes().iter().map(|hour| reference.predict(hour)).collect();
+        prop_assert_eq!(recovered, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// N concurrent durable writers under the group-commit scheduler:
+    /// every acknowledged fit is recovered, and the recovered model
+    /// answers bit-identically to a reference fed each writer's stream
+    /// (the centroid fold is integer-commutative, so writer interleaving
+    /// cannot matter).
+    #[test]
+    fn concurrent_writers_recover_every_acked_fit(
+        seed in 0u64..1_000,
+        writers in 2usize..5,
+        per_writer in 1usize..16,
+    ) {
+        let dir = scratch_dir("writers");
+        let config = || RuntimeConfig {
+            durability: Some(DurabilityConfig {
+                sync: SyncPolicy::Always,
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..RuntimeConfig::default()
+        };
+        let streams: Vec<Vec<(Radians, usize, f64)>> = (0..writers)
+            .map(|w| stream(seed.wrapping_add(w as u64), per_writer))
+            .collect();
+
+        let runtime = Runtime::spawn(classify(seed), config()).unwrap();
+        let handle = runtime.handle();
+        std::thread::scope(|scope| {
+            for observations in &streams {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    for (hour, label, _) in observations {
+                        handle.fit(hour, *label).unwrap();
+                    }
+                });
+            }
+        });
+        runtime.shutdown();
+
+        let runtime = Runtime::spawn(classify(seed), config()).unwrap();
+        let handle = runtime.handle();
+        let recovered: Vec<usize> = probes()
+            .iter()
+            .map(|hour| handle.predict("k", hour).unwrap().label)
+            .collect();
+        let (_, learner) = runtime.shutdown();
+        prop_assert_eq!(
+            learner.observed(),
+            writers * per_writer,
+            "every acked fit from every writer must replay"
+        );
+
+        let mut reference = classify(seed);
+        for observations in &streams {
+            for (hour, label, _) in observations {
+                reference.fit(hour, *label).unwrap();
+            }
+        }
+        let expected: Vec<usize> = probes().iter().map(|hour| reference.predict(hour)).collect();
+        prop_assert_eq!(recovered, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A torn write to the paged item plane — the crash chopped the tail
+    /// of `pages.dat` — is healed by WAL replay: every acknowledged
+    /// insert reads back bit-identically after recovery, because under
+    /// [`SyncPolicy::Always`] the paged files share the WAL's commit
+    /// boundary and the log re-applies inserts idempotently.
+    #[test]
+    fn paged_torn_write_is_healed_by_replay(
+        seed in 0u64..1_000,
+        keys in 4usize..16,
+        cut in 1u64..300,
+    ) {
+        let dir = scratch_dir("paged-torn");
+        let config = || RuntimeConfig {
+            durability: Some(DurabilityConfig {
+                sync: SyncPolicy::Always,
+                page_cache: Some(2),
+                ..DurabilityConfig::new(&dir)
+            }),
+            ..RuntimeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expected: Vec<(String, BinaryHypervector)> = (0..keys)
+            .map(|i| (format!("k{i:03}"), BinaryHypervector::random(128, &mut rng)))
+            .collect();
+
+        let runtime = Runtime::spawn(classify(seed), config()).unwrap();
+        let handle = runtime.handle();
+        for (key, hv) in &expected {
+            handle.insert(key.clone(), hv.clone()).unwrap();
+        }
+        runtime.shutdown();
+
+        // Tear the page file's tail — a slot write the crash interrupted.
+        // A torn slot can lose any suffix of the slot region but never
+        // the 32-byte header, which was written (and synced) at creation.
+        let pages = dir.join("items").join("pages.dat");
+        let len = std::fs::metadata(&pages).unwrap().len();
+        let cut = cut.min(len - 32);
+        let file = std::fs::OpenOptions::new().write(true).open(&pages).unwrap();
+        file.set_len(len - cut).unwrap();
+        drop(file);
+
+        // Recovery replays the log over the torn plane, then flushes it
+        // on graceful shutdown.
+        let runtime = Runtime::spawn(classify(seed), config()).unwrap();
+        runtime.shutdown();
+
+        let mut reopened = PagedStore::open(dir.join("items"), 128, 2).unwrap();
+        prop_assert_eq!(reopened.entries().unwrap(), expected);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -308,6 +476,38 @@ proptest! {
         prop_assert_eq!(reopened.entries().unwrap(), resident.entries().unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// A segment header announcing a codec this build does not know must
+/// refuse recovery loudly — from a newer build or plain corruption, the
+/// records cannot be trusted, so they must never be silently skipped.
+#[test]
+fn unknown_wal_codec_is_loud_end_to_end() {
+    let dir = scratch_dir("codec");
+    let runtime = Runtime::spawn(classify(7), durable(&dir, 1 << 22, 0)).unwrap();
+    runtime
+        .handle()
+        .fit(&Radians::periodic(4.0, 24.0), 1)
+        .unwrap();
+    runtime.shutdown();
+
+    let target = &segments(&dir)[0];
+    let mut bytes = std::fs::read(target).unwrap();
+    // Byte 22 of a v2 header is the codec byte; 99 is not a codec.
+    bytes[22] = 99;
+    std::fs::write(target, &bytes).unwrap();
+
+    match Runtime::spawn(classify(7), durable(&dir, 1 << 22, 0)) {
+        Err(HdcError::Storage(message)) => {
+            assert!(
+                message.contains("codec"),
+                "the refusal must name the codec: {message}"
+            )
+        }
+        Err(other) => panic!("expected a storage error, got {other:?}"),
+        Ok(_) => panic!("unknown codec must refuse recovery"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// A durable directory written by one task family must refuse a runtime
