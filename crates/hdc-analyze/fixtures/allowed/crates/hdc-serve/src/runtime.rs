@@ -1,0 +1,10 @@
+// Fixture: two hot-path violations — one suppressed by the tree's
+// analyze.allow (snippet-anchored with a justification), one surviving.
+
+pub fn suppressed_site(input: Option<u32>) -> u32 {
+    input.expect("fixture invariant: caller always passes Some") // allowlisted
+}
+
+pub fn surviving_site(input: Option<u32>) -> u32 {
+    input.unwrap() // line 9: deny survives
+}

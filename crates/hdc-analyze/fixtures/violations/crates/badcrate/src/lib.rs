@@ -1,0 +1,6 @@
+// Fixture: crate-hygiene violations — a crate root with neither
+// `#![forbid(unsafe_code)]` nor `#![warn(missing_docs)]`.
+
+pub fn undocumented() -> u32 {
+    42
+}

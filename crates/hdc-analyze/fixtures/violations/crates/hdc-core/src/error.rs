@@ -1,0 +1,21 @@
+// Fixture: error-variant-coverage violations. `Unrendered` is used by
+// other code but missing from Display; `Unconstructed` is rendered but
+// never used outside this file; `Used` is fully covered (no finding).
+
+use std::fmt;
+
+pub enum HdcError {
+    Used(String),
+    Unrendered, // line 9: deny (not in Display)
+    Unconstructed, // line 10: deny (never used elsewhere)
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::Used(m) => write!(f, "used: {m}"),
+            HdcError::Unconstructed => write!(f, "unconstructed"),
+            _ => write!(f, "unknown"),
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: `unsafe` in a kernel module is the sanctioned location — the
+// unsafe-confinement lint must NOT flag this file.
+
+pub fn popcount_avx2(words: &[u64]) -> u64 {
+    unsafe { words.iter().map(|w| w.count_ones() as u64).sum() }
+}

@@ -1,0 +1,21 @@
+// Fixture crate root: carries both hygiene attributes, so the only
+// crate-hygiene findings in this tree come from badcrate. Also
+// constructs HdcError::Used and matches HdcError::Unrendered so those
+// variants count as used outside error.rs.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod kernels;
+
+pub fn classify(flag: bool) -> Result<(), error::HdcError> {
+    if flag {
+        return Err(error::HdcError::Used("flag".to_string()));
+    }
+    Ok(())
+}
+
+pub fn describe(e: &error::HdcError) -> bool {
+    matches!(e, crate::error::HdcError::Unrendered)
+}

@@ -1,0 +1,25 @@
+// Fixture: panic-free-hot-path violations at known lines, plus test-only
+// code that must NOT be flagged.
+
+pub fn dispatch(input: Option<u32>) -> u32 {
+    let value = input.unwrap(); // line 5: deny
+    if value > 10 {
+        panic!("too big"); // line 7: deny
+    }
+    value
+}
+
+pub fn render(name: &str) {
+    // The word unwrap in a comment, and "panic!(\"not real\")" in a
+    // string, must not trip the lexer-backed lint.
+    let _ = format!("{name} says .unwrap() and panic!");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panics_are_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3); // inside #[cfg(test)]: no finding
+    }
+}

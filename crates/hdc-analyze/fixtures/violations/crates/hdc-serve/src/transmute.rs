@@ -1,0 +1,6 @@
+// Fixture: unsafe-confinement violation — `unsafe` outside the kernel
+// modules.
+
+pub fn reinterpret(words: &[u64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), words.len() * 8) } // line 5: deny
+}

@@ -1,0 +1,33 @@
+// Fixture: wire-opcode-exhaustive violations. OP_ONLY_ENCODED is missing
+// from the decoder; OP_UNTESTED is in both directions but not in the
+// round-trip test; RESP_OK is fully covered (no finding).
+
+pub const OP_ONLY_ENCODED: u8 = 1; // line 5: deny (missing in read_request)
+pub const OP_UNTESTED: u8 = 2; // line 6: deny (missing in wire_roundtrip)
+pub const RESP_OK: u8 = 1;
+
+pub fn write_request(op: u8) -> u8 {
+    match op {
+        OP_ONLY_ENCODED => OP_ONLY_ENCODED,
+        _ => OP_UNTESTED,
+    }
+}
+
+pub fn read_request(op: u8) -> u8 {
+    match op {
+        OP_UNTESTED => OP_UNTESTED,
+        other => other,
+    }
+}
+
+pub fn write_response(_r: u8) -> u8 {
+    RESP_OK
+}
+
+pub fn read_response(op: u8) -> u8 {
+    if op == RESP_OK {
+        RESP_OK
+    } else {
+        op
+    }
+}

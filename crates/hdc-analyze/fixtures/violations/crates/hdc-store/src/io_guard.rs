@@ -1,0 +1,23 @@
+// Fixture: lock-across-io violations — a let-bound guard held across a
+// write+sync, a temporary guard chained straight into I/O, and a
+// drop-before-I/O shape that must NOT be flagged.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn held_across_sync(m: &Mutex<std::fs::File>, buf: &[u8]) -> std::io::Result<()> {
+    let mut file = m.lock().unwrap();
+    file.write_all(buf)?; // line 10: deny (guard `file` live)
+    file.sync_data() // line 11: deny
+}
+
+pub fn chained_io(m: &Mutex<std::fs::File>) -> std::io::Result<()> {
+    m.lock().unwrap().sync_all() // line 15: deny (temporary guard)
+}
+
+pub fn drop_before_io(m: &Mutex<Vec<u8>>, file: &mut std::fs::File) -> std::io::Result<()> {
+    let staged = m.lock().unwrap();
+    let copy = staged.clone();
+    drop(staged);
+    file.write_all(&copy) // after drop(): no finding
+}

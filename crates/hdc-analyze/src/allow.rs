@@ -1,0 +1,236 @@
+//! The `analyze.allow` file: per-site suppressions, each carrying a
+//! written justification. A deny-level finding matching an entry is
+//! suppressed; entries that match nothing are reported as `stale-allow`
+//! warnings so dead suppressions cannot accumulate silently.
+//!
+//! # Format
+//!
+//! One entry per line; blank lines and `#` comments are ignored:
+//!
+//! ```text
+//! <lint-id> <path>[:<line>] -- <justification>
+//! <lint-id> <path> "<snippet>" -- <justification>
+//! ```
+//!
+//! * `lint-id path -- why` suppresses every finding of that lint in the
+//!   file (use sparingly).
+//! * `lint-id path:17 -- why` suppresses line 17 exactly (brittle across
+//!   edits; prefer snippets).
+//! * `lint-id path "never poisons" -- why` suppresses findings on any
+//!   line whose source text contains the snippet — the recommended form:
+//!   it names the invariant and survives unrelated edits.
+//!
+//! The justification is mandatory: an entry without ` -- reason` is
+//! itself a deny-level `allow-parse` finding.
+
+use std::fmt;
+
+use crate::diag::{Diagnostic, Level};
+
+/// Where an entry applies within its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Site {
+    /// Every finding in the file.
+    WholeFile,
+    /// Exactly this 1-based line.
+    Line(usize),
+    /// Any line whose source text contains this snippet.
+    Snippet(String),
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::WholeFile => write!(f, "whole file"),
+            Site::Line(n) => write!(f, "line {n}"),
+            Site::Snippet(s) => write!(f, "snippet \"{s}\""),
+        }
+    }
+}
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// The lint this entry suppresses.
+    pub lint: String,
+    /// Path relative to the analysis root.
+    pub file: String,
+    /// Which sites in the file it covers.
+    pub site: Site,
+    /// The mandatory written justification.
+    pub reason: String,
+    /// 1-based line in `analyze.allow` (for stale-entry reporting).
+    pub source_line: usize,
+}
+
+/// The parsed allowlist plus any parse failures (reported as deny-level
+/// findings — a malformed suppression must not silently suppress
+/// nothing).
+#[derive(Debug, Default)]
+pub struct AllowList {
+    /// Every well-formed entry.
+    pub entries: Vec<AllowEntry>,
+    /// Parse failures as ready-to-report diagnostics.
+    pub errors: Vec<Diagnostic>,
+}
+
+impl AllowList {
+    /// Parses the contents of an `analyze.allow` file. `origin` is the
+    /// path diagnostics should cite (usually `analyze.allow`).
+    #[must_use]
+    pub fn parse(contents: &str, origin: &str) -> Self {
+        let mut list = AllowList::default();
+        for (index, raw) in contents.lines().enumerate() {
+            let line_no = index + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_entry(line, line_no) {
+                Ok(entry) => list.entries.push(entry),
+                Err(message) => list.errors.push(Diagnostic {
+                    lint: "allow-parse",
+                    level: Level::Deny,
+                    file: origin.to_string(),
+                    line: line_no,
+                    message,
+                }),
+            }
+        }
+        list
+    }
+
+    /// `true` if `entry` covers the diagnostic at `(file, line)` whose
+    /// source line reads `line_text`.
+    #[must_use]
+    pub fn matches(entry: &AllowEntry, diag: &Diagnostic, line_text: &str) -> bool {
+        if entry.lint != diag.lint || entry.file != diag.file {
+            return false;
+        }
+        match &entry.site {
+            Site::WholeFile => true,
+            Site::Line(n) => *n == diag.line,
+            Site::Snippet(s) => line_text.contains(s.as_str()),
+        }
+    }
+}
+
+fn parse_entry(line: &str, source_line: usize) -> Result<AllowEntry, String> {
+    let (spec, reason) = line
+        .split_once(" -- ")
+        .ok_or_else(|| "missing ` -- justification` separator".to_string())?;
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("empty justification after ` -- `".to_string());
+    }
+    let spec = spec.trim();
+    let (lint, rest) = spec
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| "expected `<lint-id> <path>` before ` -- `".to_string())?;
+    let rest = rest.trim();
+    // Optional trailing snippet: `path "snippet"`.
+    let (path_part, site) = if let Some(quote_at) = rest.find(" \"") {
+        let (path, quoted) = rest.split_at(quote_at);
+        let snippet = quoted
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| "unterminated snippet quote".to_string())?;
+        if snippet.is_empty() {
+            return Err("empty snippet".to_string());
+        }
+        (path.trim(), Site::Snippet(snippet.to_string()))
+    } else {
+        // Optional `:line` suffix. A Windows-style `C:` prefix is not a
+        // concern: paths are workspace-relative with forward slashes.
+        match rest.rsplit_once(':') {
+            Some((path, digits))
+                if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) =>
+            {
+                let n: usize = digits
+                    .parse()
+                    .map_err(|_| format!("line number `{digits}` out of range"))?;
+                (path, Site::Line(n))
+            }
+            _ => (rest, Site::WholeFile),
+        }
+    };
+    if path_part.is_empty() {
+        return Err("empty path".to_string());
+    }
+    Ok(AllowEntry {
+        lint: lint.to_string(),
+        file: path_part.to_string(),
+        site,
+        reason: reason.to_string(),
+        source_line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &'static str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            lint,
+            level: Level::Deny,
+            file: file.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_all_three_site_forms() {
+        let src = "\
+# comment
+panic-free-hot-path crates/a.rs -- whole file is exempt
+panic-free-hot-path crates/b.rs:17 -- line form
+lock-across-io crates/c.rs \"guard held\" -- snippet form
+";
+        let list = AllowList::parse(src, "analyze.allow");
+        assert!(list.errors.is_empty());
+        assert_eq!(list.entries.len(), 3);
+        assert_eq!(list.entries[0].site, Site::WholeFile);
+        assert_eq!(list.entries[1].site, Site::Line(17));
+        assert_eq!(list.entries[2].site, Site::Snippet("guard held".into()));
+        assert_eq!(list.entries[2].source_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_a_parse_error() {
+        let list = AllowList::parse("panic-free-hot-path crates/a.rs:3", "analyze.allow");
+        assert!(list.entries.is_empty());
+        assert_eq!(list.errors.len(), 1);
+        assert_eq!(list.errors[0].lint, "allow-parse");
+    }
+
+    #[test]
+    fn matching_respects_site_kinds() {
+        let list = AllowList::parse(
+            "x a.rs:5 -- why\nx a.rs \"expect(\" -- why\nx b.rs -- why",
+            "analyze.allow",
+        );
+        let d5 = diag("x", "a.rs", 5);
+        let d9 = diag("x", "a.rs", 9);
+        assert!(AllowList::matches(&list.entries[0], &d5, "anything"));
+        assert!(!AllowList::matches(&list.entries[0], &d9, "anything"));
+        assert!(AllowList::matches(
+            &list.entries[1],
+            &d9,
+            "  .expect(\"ok\")"
+        ));
+        assert!(!AllowList::matches(&list.entries[1], &d9, "  .unwrap()"));
+        assert!(AllowList::matches(
+            &list.entries[2],
+            &diag("x", "b.rs", 1),
+            ""
+        ));
+        assert!(!AllowList::matches(
+            &list.entries[2],
+            &diag("y", "b.rs", 1),
+            ""
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Machine-readable diagnostics: every finding carries a lint id, a
+//! severity, and a `file:line` location. Deny-level findings gate the
+//! build (the binary exits non-zero); warn-level findings inform.
+
+use std::fmt;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational: reported, never gates.
+    Warn,
+    /// A violated invariant: the analyzer exits non-zero unless the site
+    /// is allowlisted with a justification.
+    Deny,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Warn => write!(f, "warn"),
+            Level::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One finding at one site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint identifier (e.g. `panic-free-hot-path`).
+    pub lint: &'static str,
+    /// Severity.
+    pub level: Level,
+    /// Path relative to the analysis root, forward slashes.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as a missing file).
+    pub line: usize,
+    /// Human-readable description of the violated invariant.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the canonical single-line form:
+    /// `file:line: level [lint] message`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.level, self.lint, self.message
+        )
+    }
+
+    /// Renders the finding as one JSON object (hand-rolled — the analyzer
+    /// is dependency-free) for `--json` consumers.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"lint\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape_json(self.lint),
+            self.level,
+            escape_json(&self.file),
+            self.line,
+            escape_json(&self.message)
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_grep_friendly() {
+        let d = Diagnostic {
+            lint: "unsafe-confinement",
+            level: Level::Deny,
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            message: "`unsafe` outside the ISA kernel modules".into(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/x/src/lib.rs:7: deny [unsafe-confinement] `unsafe` outside the ISA kernel modules"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let d = Diagnostic {
+            lint: "x",
+            level: Level::Warn,
+            file: "a.rs".into(),
+            line: 1,
+            message: "say \"hi\"\nline2".into(),
+        };
+        assert!(d.render_json().contains("say \\\"hi\\\"\\nline2"));
+    }
+}

@@ -1,0 +1,404 @@
+//! A lightweight Rust lexer: just enough token structure for invariant
+//! linting. Comments and string/char literal *contents* never produce
+//! identifier tokens, so a lint matching the `unsafe` keyword cannot be
+//! fooled by `// unsafe` or `"unsafe"`. Not a full grammar — no keyword
+//! classification, no token trees — the lints work on flat token streams
+//! with line numbers.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `unwrap`, `HdcError`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `{`, …). Multi-character
+    /// operators arrive as consecutive punct tokens (`::` is `:`, `:`).
+    Punct,
+    /// A string literal (regular, raw, byte or raw-byte); `text` is the
+    /// literal's *contents* without quotes or hashes.
+    Str,
+    /// A character or byte literal (contents, unescaped).
+    Char,
+    /// A numeric literal (integer or float, any base).
+    Num,
+    /// A lifetime (`'a`, `'static`); `text` excludes the leading quote.
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The lexeme text (see the per-kind notes on [`TokKind`]).
+    pub text: String,
+    /// 1-based line the lexeme starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` if this token is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` if this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a flat token stream, skipping whitespace and comments
+/// (line, block — including nested — and doc comments). Malformed input
+/// (an unterminated string, say) never panics: the lexer consumes to end
+/// of input and returns what it saw.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: usize = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                i += 2;
+                let mut depth = 1;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (text, next) = lex_string(&chars, i + 1, &mut line);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                i = next;
+            }
+            'r' | 'b' if starts_raw_or_byte(&chars, i) => {
+                let start_line = line;
+                let (kind, text, next) = lex_prefixed_literal(&chars, i, &mut line);
+                tokens.push(Token {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                i = next;
+            }
+            '\'' => {
+                let start_line = line;
+                let (kind, text, next) = lex_quote(&chars, i + 1, &mut line);
+                tokens.push(Token {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                i = next;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if is_ident_continue(d) {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && chars.get(i.wrapping_sub(1)) != Some(&'.')
+                    {
+                        // `1.5` continues the number; `0..10` and
+                        // `x.0.unwrap()` do not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// `true` if position `i` starts `r"`, `r#`, `b"`, `b'`, `br"` or `br#` —
+/// i.e. a raw/byte literal rather than an identifier beginning with `r`
+/// or `b`.
+fn starts_raw_or_byte(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => {
+            matches!(chars.get(i + 1), Some('"') | Some('#'))
+                && raw_hashes_lead_to_quote(chars, i + 1)
+        }
+        'b' => match chars.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => {
+                matches!(chars.get(i + 2), Some('"') | Some('#'))
+                    && raw_hashes_lead_to_quote(chars, i + 2)
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From a position at `"` or the first `#`, checks the hash run ends in
+/// `"` (distinguishes `r#"…"#` from the raw identifier `r#match`).
+fn raw_hashes_lead_to_quote(chars: &[char], mut i: usize) -> bool {
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    chars.get(i) == Some(&'"')
+}
+
+/// Lexes a regular string body starting just past the opening quote.
+fn lex_string(chars: &[char], mut i: usize, line: &mut usize) -> (String, usize) {
+    let mut text = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // Keep escapes opaque; the contents only matter for
+                // snippet matching, never for token identity.
+                if let Some(&next) = chars.get(i + 1) {
+                    text.push(next);
+                    if next == '\n' {
+                        *line += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (text, i + 1),
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i)
+}
+
+/// Lexes `r…`, `b…` and `br…` literals starting at the prefix.
+fn lex_prefixed_literal(chars: &[char], i: usize, line: &mut usize) -> (TokKind, String, usize) {
+    let mut j = i;
+    let mut raw = false;
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        raw |= chars[j] == 'r';
+        j += 1;
+    }
+    if chars.get(j) == Some(&'\'') {
+        let (kind, text, next) = lex_quote(chars, j + 1, line);
+        return (kind, text, next);
+    }
+    if !raw {
+        let (text, next) = lex_string(chars, j + 1, line);
+        return (TokKind::Str, text, next);
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let start = j;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+        }
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (TokKind::Str, chars[start..j].iter().collect(), k);
+            }
+        }
+        j += 1;
+    }
+    (TokKind::Str, chars[start..j].iter().collect(), j)
+}
+
+/// Lexes what follows a single quote: a lifetime or a char literal.
+fn lex_quote(chars: &[char], i: usize, line: &mut usize) -> (TokKind, String, usize) {
+    match chars.get(i) {
+        Some('\\') => {
+            // Escaped char literal: consume to the closing quote.
+            let mut j = i;
+            let mut text = String::new();
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    if let Some(&next) = chars.get(j + 1) {
+                        text.push(next);
+                    }
+                    j += 2;
+                } else if chars[j] == '\'' {
+                    return (TokKind::Char, text, j + 1);
+                } else {
+                    if chars[j] == '\n' {
+                        *line += 1;
+                    }
+                    text.push(chars[j]);
+                    j += 1;
+                }
+            }
+            (TokKind::Char, text, j)
+        }
+        Some(&c) if is_ident_start(c) && chars.get(i + 1) != Some(&'\'') => {
+            // Lifetime: `'a`, `'static`, `'_`.
+            let mut j = i;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            (TokKind::Lifetime, chars[i..j].iter().collect(), j)
+        }
+        Some(&c) => {
+            // Plain char literal `'x'`.
+            let close = if chars.get(i + 1) == Some(&'\'') {
+                i + 2
+            } else {
+                i + 1
+            };
+            (TokKind::Char, c.to_string(), close)
+        }
+        None => (TokKind::Char, String::new(), i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // unsafe in a line comment
+            /* unsafe /* nested unsafe */ still a comment */
+            let x = "unsafe in a string";
+            let y = r#"unsafe in a raw string"#;
+            let z = b"unsafe bytes";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn escaped_chars_and_quotes() {
+        let toks = lex("let q = '\\''; let s = \"a\\\"b\";");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "a\"b"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "line1();\n/* block\nspanning\nlines */\nline5();";
+        let toks = lex(src);
+        let line5 = toks.iter().find(|t| t.is_ident("line5")).unwrap();
+        assert_eq!(line5.line, 5);
+    }
+
+    #[test]
+    fn numbers_stop_before_method_calls_and_ranges() {
+        let ids = idents("x.0.unwrap(); for i in 0..10 {}");
+        assert!(ids.contains(&"unwrap".to_string()));
+        let toks = lex("let f = 1.5e3; let h = 0xFF;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e3"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "0xFF"));
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_start_raw_strings() {
+        // `r#match` is a raw identifier, not an unterminated raw string.
+        let toks = lex("let r#match = 1; let s = r#\"text\"#;");
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "text"));
+    }
+}

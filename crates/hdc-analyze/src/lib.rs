@@ -1,0 +1,109 @@
+//! Workspace-native static analysis for the HDC serving stack.
+//!
+//! `hdc-analyze` is a dependency-free linter that enforces the
+//! project-specific invariants the Rust compiler cannot see: `unsafe`
+//! confinement to the ISA kernel modules, panic-free serving/durability
+//! hot paths, wire-opcode exhaustiveness across encoder + decoder +
+//! round-trip test, lock-vs-I/O discipline in the storage crate,
+//! `HdcError` variant coverage, bench-result provenance, and crate-root
+//! lint hygiene. See [`lints`] for the catalogue.
+//!
+//! It hand-rolls a small Rust [`lexer`] (strings, raw strings, nested
+//! comments, lifetimes) and a `#[cfg(test)]`-aware [`workspace`] walker
+//! instead of pulling in `syn`: the analyzer must keep building even
+//! while the dependency tree itself is being audited, and the lints only
+//! need token streams, not full ASTs.
+//!
+//! Suppressions live in `analyze.allow` at the workspace root; every
+//! entry carries a mandatory written justification and unmatched entries
+//! are themselves reported (see [`allow`]).
+//!
+//! Run it as `cargo run -p hdc-analyze`; the binary exits non-zero when
+//! any deny-level finding survives the allowlist, which is what the CI
+//! `analyze` job and the tier-1 `analyzer_clean` test assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use allow::AllowList;
+use diag::{Diagnostic, Level};
+use workspace::Workspace;
+
+/// The outcome of one analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings (allowlist applied), plus `stale-allow` /
+    /// `allow-parse` meta-findings, sorted by location.
+    pub diags: Vec<Diagnostic>,
+    /// How many findings `analyze.allow` suppressed.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of deny-level findings — the build gate.
+    #[must_use]
+    pub fn deny_count(&self) -> usize {
+        self.diags.iter().filter(|d| d.level == Level::Deny).count()
+    }
+}
+
+/// Loads the workspace at `root`, runs every lint, and applies the
+/// `analyze.allow` suppressions found at the root (if any).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the root is not a readable
+/// directory.
+pub fn analyze(root: &Path) -> Result<Report, String> {
+    let ws = Workspace::load(root)?;
+    let raw = lints::run_all(&ws);
+    let allow_path = root.join("analyze.allow");
+    let allow = match fs::read_to_string(&allow_path) {
+        Ok(contents) => AllowList::parse(&contents, "analyze.allow"),
+        Err(_) => AllowList::default(),
+    };
+
+    let mut used = vec![false; allow.entries.len()];
+    let mut suppressed = 0usize;
+    let mut diags = Vec::new();
+    for diag in raw {
+        let line_text = ws.file(&diag.file).map_or("", |f| f.line_text(diag.line));
+        match allow
+            .entries
+            .iter()
+            .position(|e| AllowList::matches(e, &diag, line_text))
+        {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => diags.push(diag),
+        }
+    }
+    diags.extend(allow.errors);
+    for (entry, used) in allow.entries.iter().zip(used) {
+        if !used {
+            diags.push(Diagnostic {
+                lint: "stale-allow",
+                level: Level::Warn,
+                file: "analyze.allow".to_string(),
+                line: entry.source_line,
+                message: format!(
+                    "entry for `{}` in {} ({}) matched no finding; remove it",
+                    entry.lint, entry.file, entry.site
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    Ok(Report { diags, suppressed })
+}

@@ -1,0 +1,32 @@
+//! `bench-provenance`: every committed benchmark result
+//! (`results/BENCH_*.json`) must record where it was measured. A number
+//! without its host, thread-pool width, and kernel backend cannot be
+//! compared against a rerun, which makes it noise with a filename.
+
+use crate::diag::{Diagnostic, Level};
+use crate::workspace::Workspace;
+
+/// Keys every bench-result file must carry (the `host` object with its
+/// `minipool_threads` and `kernel_backend` fields).
+const REQUIRED_KEYS: &[&str] = &["host", "minipool_threads", "kernel_backend"];
+
+/// Runs the lint over every `results/BENCH_*.json`.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for (rel, contents) in &ws.bench_jsons {
+        for key in REQUIRED_KEYS {
+            let needle = format!("\"{key}\"");
+            if !contents.contains(&needle) {
+                diags.push(Diagnostic {
+                    lint: "bench-provenance",
+                    level: Level::Deny,
+                    file: rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "bench result is missing the `{key}` provenance key; \
+                         results without host provenance are not comparable"
+                    ),
+                });
+            }
+        }
+    }
+}

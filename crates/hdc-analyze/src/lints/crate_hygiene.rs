@@ -1,0 +1,74 @@
+//! `crate-hygiene`: every crate root (`src/lib.rs`) must pin the
+//! workspace lint posture with inner attributes — `unsafe_code` at
+//! `forbid` (or `deny`, for the one crate whose kernel modules opt back
+//! in module-locally) and `missing_docs` at `warn` or stronger. This is
+//! what keeps [`super::unsafe_confinement`] honest: the compiler enforces
+//! the same boundary the analyzer audits.
+
+use crate::diag::{Diagnostic, Level};
+use crate::lexer::Token;
+use crate::workspace::Workspace;
+
+/// Runs the lint over every crate root.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if !(file.rel.ends_with("src/lib.rs") || file.rel == "src/lib.rs") {
+            continue;
+        }
+        let attrs = inner_attrs(&file.tokens);
+        let has = |level: &[&str], lint: &str| {
+            attrs.iter().any(|span| {
+                level.iter().any(|l| span.iter().any(|t| t.is_ident(l)))
+                    && span.iter().any(|t| t.is_ident(lint))
+            })
+        };
+        if !has(&["forbid", "deny"], "unsafe_code") {
+            diags.push(Diagnostic {
+                lint: "crate-hygiene",
+                level: Level::Deny,
+                file: file.rel.clone(),
+                line: 1,
+                message: "crate root lacks `#![forbid(unsafe_code)]` (or `deny` where \
+                          kernel modules opt back in locally)"
+                    .to_string(),
+            });
+        }
+        if !has(&["warn", "deny", "forbid"], "missing_docs") {
+            diags.push(Diagnostic {
+                lint: "crate-hygiene",
+                level: Level::Deny,
+                file: file.rel.clone(),
+                line: 1,
+                message: "crate root lacks `#![warn(missing_docs)]`".to_string(),
+            });
+        }
+    }
+}
+
+/// The token spans of every inner attribute (`#![...]`) in the file.
+fn inner_attrs(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_punct('#') && tokens[i + 1].is_punct('!') && tokens[i + 2].is_punct('[') {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push(&tokens[i + 2..tokens.len().min(j + 1)]);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}

@@ -1,0 +1,140 @@
+//! `error-variant-coverage`: every `HdcError` variant must be (a)
+//! rendered by the `Display` impl and (b) actually used somewhere outside
+//! its declaration file. A variant nobody constructs is dead API surface;
+//! a variant `Display` forgets renders as nothing useful at the one
+//! moment — an operator reading a log line — it exists for.
+
+use crate::diag::{Diagnostic, Level};
+use crate::lints::{fn_body_span, matching_brace};
+use crate::workspace::{SourceFile, Workspace};
+
+/// The file declaring the workspace error enum.
+const ERROR_FILE: &str = "crates/hdc-core/src/error.rs";
+/// The enum under audit.
+const ENUM_NAME: &str = "HdcError";
+
+/// Runs the lint when the workspace contains the error module.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(error_file) = ws.file(ERROR_FILE) else {
+        return;
+    };
+    let variants = enum_variants(error_file, ENUM_NAME);
+    if variants.is_empty() {
+        return;
+    }
+    let display_span = display_impl_span(error_file, ENUM_NAME);
+    for (variant, line) in &variants {
+        let rendered = display_span.is_some_and(|(open, close)| {
+            error_file.tokens[open..=close]
+                .iter()
+                .any(|t| t.is_ident(variant))
+        });
+        if !rendered {
+            diags.push(Diagnostic {
+                lint: "error-variant-coverage",
+                level: Level::Deny,
+                file: error_file.rel.clone(),
+                line: *line,
+                message: format!(
+                    "variant `{ENUM_NAME}::{variant}` is not rendered by the \
+                     `Display` impl; every error must print its cause"
+                ),
+            });
+        }
+        let constructed = ws
+            .files
+            .iter()
+            .any(|file| file.rel != ERROR_FILE && references_variant(file, variant));
+        if !constructed {
+            diags.push(Diagnostic {
+                lint: "error-variant-coverage",
+                level: Level::Deny,
+                file: error_file.rel.clone(),
+                line: *line,
+                message: format!(
+                    "variant `{ENUM_NAME}::{variant}` is never used outside its \
+                     declaration; wire it up or delete it"
+                ),
+            });
+        }
+    }
+}
+
+/// `(name, line)` of each variant of `enum name { .. }`.
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let Some(open) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))
+    else {
+        return out;
+    };
+    let Some(brace) = (open..tokens.len()).find(|&k| tokens[k].is_punct('{')) else {
+        return out;
+    };
+    let Some(close) = matching_brace(tokens, brace) else {
+        return out;
+    };
+    let mut depth = (0i32, 0i32, 0i32); // brace, paren, bracket beyond the enum's own
+    let mut expecting = true;
+    for token in &tokens[brace + 1..close] {
+        if let Some(&b) = token.text.as_bytes().first() {
+            match b {
+                b'{' => depth.0 += 1,
+                b'}' => depth.0 -= 1,
+                b'(' => depth.1 += 1,
+                b')' => depth.1 -= 1,
+                b'[' => depth.2 += 1,
+                b']' => depth.2 -= 1,
+                _ => {}
+            }
+        }
+        if depth != (0, 0, 0) {
+            continue;
+        }
+        if token.is_punct(',') {
+            expecting = true;
+        } else if expecting && token.kind == crate::lexer::TokKind::Ident {
+            out.push((token.text.clone(), token.line));
+            expecting = false;
+        }
+    }
+    out
+}
+
+/// Token span of `impl .. Display for <name> { .. }`, more precisely of
+/// its `fmt` body when present (falls back to the whole impl block).
+fn display_impl_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("Display") {
+            continue;
+        }
+        // `impl fmt::Display for HdcError {`
+        let found = (i + 1..tokens.len().min(i + 4)).any(|k| {
+            tokens[k].is_ident("for") && tokens.get(k + 1).is_some_and(|t| t.is_ident(name))
+        });
+        if !found {
+            continue;
+        }
+        let brace = (i..tokens.len()).find(|&k| tokens[k].is_punct('{'))?;
+        let close = matching_brace(tokens, brace)?;
+        return Some((brace, close));
+    }
+    // No dedicated impl header found: a derive-based Display (not used in
+    // this workspace) would make the `fmt` body the right span.
+    fn_body_span(file, "fmt")
+}
+
+/// `true` when the file mentions `HdcError::<variant>` (construction or
+/// pattern match — both count as "used").
+fn references_variant(file: &SourceFile, variant: &str) -> bool {
+    let tokens = &file.tokens;
+    tokens.iter().enumerate().any(|(i, t)| {
+        t.is_ident(ENUM_NAME)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(variant))
+    })
+}

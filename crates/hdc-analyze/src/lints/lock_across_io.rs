@@ -1,0 +1,205 @@
+//! `lock-across-io`: in the storage crate, no mutex guard may be live
+//! across a blocking I/O call. Holding the WAL lock through an
+//! `fdatasync` stalls every appender for the duration of the disk flush
+//! — the exact pathology the group-commit flusher exists to avoid (it
+//! duplicates the file handle and syncs *off* the lock).
+//!
+//! The analysis is intra-file and token-level:
+//!
+//! * A **live guard** is a `let g = <lock-expr>;` binding whose
+//!   right-hand side is lock-shaped — a `lock(...)` / `.lock()` call
+//!   followed only by `?`, `.unwrap()`, or `.expect(..)` before the
+//!   `;`. The guard dies when its enclosing block closes or at an
+//!   explicit `drop(g)`.
+//! * A **temporary guard** is any other lock call (`m.lock()?.f()`,
+//!   `match m.lock() { .. }`, `if let Ok(g) = m.lock() { .. }`); it is
+//!   live to the end of the enclosing statement or block arm.
+//!
+//! Any I/O-shaped method call (`.sync_data()`, `.write_all()`,
+//! `.send()`, ...) inside a live range is a deny finding. `let .. else`
+//! guards are a known blind spot (they outlive the heuristic's range).
+
+use crate::diag::{Diagnostic, Level};
+use crate::lexer::Token;
+use crate::lints::{brace_depths, is_method_call, matching_paren};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Only the storage crate is in scope: it is the only crate that mixes
+/// mutexes with disk I/O on purpose.
+const SCOPE_PREFIX: &str = "crates/hdc-store/src/";
+
+/// Method names that block on I/O (file syncs, writes, channel ops).
+const IO_CALLS: &[&str] = &[
+    "sync",
+    "sync_data",
+    "sync_all",
+    "sync_files",
+    "fdatasync",
+    "write_all",
+    "flush",
+    "send",
+    "recv",
+];
+
+/// Runs the lint over the storage crate.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in ws.files.iter().filter(|f| f.rel.starts_with(SCOPE_PREFIX)) {
+        check_file(file, diags);
+    }
+}
+
+fn check_file(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let tokens = &file.tokens;
+    let depths = brace_depths(tokens);
+    // (guard name, registered-at index, registration depth, lock line)
+    let mut guards: Vec<(String, usize, i32, usize)> = Vec::new();
+
+    for i in 0..tokens.len() {
+        if file.in_test[i] || !tokens[i].is_ident("lock") {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue; // `fn lock<..>` declaration or a bare mention
+        }
+        let Some(close) = matching_paren(tokens, i + 1) else {
+            continue;
+        };
+        let tail_end = guardish_tail_end(tokens, close + 1);
+        if tokens.get(tail_end).is_some_and(|t| t.is_punct(';')) {
+            // Statement-final lock expression: a live guard if let-bound.
+            if let Some(name) = let_binding_name(tokens, i) {
+                guards.push((name, tail_end, depths[i], tokens[i].line));
+            }
+        } else {
+            // Temporary guard: live to the end of the enclosing
+            // statement (or block, for match/if-let shapes).
+            let span_end = statement_end(tokens, &depths, tail_end, depths[i]);
+            report_io_calls(
+                file,
+                i + 1,
+                span_end,
+                &format!("a temporary lock guard from line {}", tokens[i].line),
+                diags,
+            );
+        }
+    }
+
+    // Second pass: I/O while a let-bound guard is live.
+    for (name, reg, reg_depth, lock_line) in guards {
+        let mut end = tokens.len();
+        for j in (reg + 1)..tokens.len() {
+            if tokens[j].is_punct('}') && depths[j] <= reg_depth {
+                end = j;
+                break;
+            }
+            if tokens[j].is_ident("drop")
+                && tokens.get(j + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(j + 2).is_some_and(|t| t.is_ident(&name))
+            {
+                end = j;
+                break;
+            }
+        }
+        report_io_calls(
+            file,
+            reg + 1,
+            end,
+            &format!("mutex guard `{name}` (locked at line {lock_line})"),
+            diags,
+        );
+    }
+}
+
+/// Index just past a run of `?` / `.unwrap()` / `.expect(..)` starting
+/// at `from` — the trailing forms that still yield a bare guard.
+fn guardish_tail_end(tokens: &[Token], mut from: usize) -> usize {
+    loop {
+        if tokens.get(from).is_some_and(|t| t.is_punct('?')) {
+            from += 1;
+            continue;
+        }
+        if tokens.get(from).is_some_and(|t| t.is_punct('.'))
+            && tokens
+                .get(from + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens.get(from + 2).is_some_and(|t| t.is_punct('('))
+        {
+            match matching_paren(tokens, from + 2) {
+                Some(close) => {
+                    from = close + 1;
+                    continue;
+                }
+                None => return from,
+            }
+        }
+        return from;
+    }
+}
+
+/// The binding name when the statement containing token `at` is a
+/// `let [mut] name = ...` (scanning back to the previous statement
+/// boundary).
+fn let_binding_name(tokens: &[Token], at: usize) -> Option<String> {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            let name_tok = tokens.get(k)?;
+            // Destructuring patterns (`let Ok(g) = ..`) never yield a
+            // bare guard binding the heuristic can track.
+            if tokens.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+                return None;
+            }
+            return Some(name_tok.text.clone());
+        }
+    }
+    None
+}
+
+/// First index at or after `from` that ends the statement begun at brace
+/// depth `depth`: a `;` or `}` back at (or shallower than) that depth.
+fn statement_end(tokens: &[Token], depths: &[i32], from: usize, depth: i32) -> usize {
+    for j in from..tokens.len() {
+        if (tokens[j].is_punct(';') || tokens[j].is_punct('}')) && depths[j] <= depth {
+            return j;
+        }
+    }
+    tokens.len()
+}
+
+/// Reports every I/O-shaped method call in `span` as a deny finding.
+fn report_io_calls(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    held: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for k in start..end.min(file.tokens.len()) {
+        let token = &file.tokens[k];
+        if file.in_test[k] {
+            continue;
+        }
+        if IO_CALLS.iter().any(|m| token.is_ident(m)) && is_method_call(&file.tokens, k) {
+            diags.push(Diagnostic {
+                lint: "lock-across-io",
+                level: Level::Deny,
+                file: file.rel.clone(),
+                line: token.line,
+                message: format!(
+                    "blocking I/O call `.{}()` while {held} is held; \
+                     drop the guard (or duplicate the handle) before I/O",
+                    token.text
+                ),
+            });
+        }
+    }
+}

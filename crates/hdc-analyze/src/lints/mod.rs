@@ -1,0 +1,120 @@
+//! The lint passes. Each lint is one module with a single
+//! `run(&Workspace, &mut Vec<Diagnostic>)` entry point; [`run_all`]
+//! executes every pass and returns the findings sorted by location.
+//!
+//! | id | level | invariant |
+//! |----|-------|-----------|
+//! | `unsafe-confinement` | deny | `unsafe` only in the ISA kernel modules |
+//! | `panic-free-hot-path` | deny | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test hot-path code |
+//! | `wire-opcode-exhaustive` | deny | every `OP_*`/`RESP_*` constant appears in both wire codec directions and the round-trip test |
+//! | `lock-across-io` | deny | no mutex guard live across a blocking I/O call in `hdc-store` |
+//! | `error-variant-coverage` | deny | every `HdcError` variant is rendered by `Display` and used outside its declaration |
+//! | `bench-provenance` | deny | every `results/BENCH_*.json` records host provenance |
+//! | `crate-hygiene` | deny | every crate root pins `unsafe_code` and `missing_docs` lint levels |
+
+pub mod bench_provenance;
+pub mod crate_hygiene;
+pub mod error_coverage;
+pub mod lock_across_io;
+pub mod panic_free;
+pub mod unsafe_confinement;
+pub mod wire_opcodes;
+
+use crate::diag::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::workspace::{SourceFile, Workspace};
+
+/// Runs every lint pass over the workspace, returning findings sorted by
+/// file, line, then lint id.
+#[must_use]
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    unsafe_confinement::run(ws, &mut diags);
+    panic_free::run(ws, &mut diags);
+    wire_opcodes::run(ws, &mut diags);
+    lock_across_io::run(ws, &mut diags);
+    error_coverage::run(ws, &mut diags);
+    bench_provenance::run(ws, &mut diags);
+    crate_hygiene::run(ws, &mut diags);
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.lint).cmp(&(b.file.as_str(), b.line, b.lint)));
+    diags
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub(crate) fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    matching_pair(tokens, open, '{', '}')
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    matching_pair(tokens, open, '(', ')')
+}
+
+fn matching_pair(tokens: &[Token], open: usize, lhs: char, rhs: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, token) in tokens.iter().enumerate().skip(open) {
+        if token.is_punct(lhs) {
+            depth += 1;
+        } else if token.is_punct(rhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Token span `(open_brace, close_brace)` of the body of the first
+/// `fn name` in the file, skipping generics/parameters/return type.
+pub(crate) fn fn_body_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if !(tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.is_ident(name))) {
+            continue;
+        }
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        for (k, token) in tokens.iter().enumerate().skip(i + 2) {
+            if token.kind != TokKind::Punct {
+                continue;
+            }
+            match token.text.as_bytes().first() {
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'{') if paren == 0 && bracket == 0 => {
+                    return matching_brace(tokens, k).map(|close| (k, close));
+                }
+                // Body-less declaration (trait method): keep looking for a
+                // later definition with the same name.
+                Some(b';') if paren == 0 && bracket == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// `depths[i]` is the brace depth *before* token `i` (so a `}` at index
+/// `j` closes the block whose interior ran at `depths[j]`).
+pub(crate) fn brace_depths(tokens: &[Token]) -> Vec<i32> {
+    let mut depths = Vec::with_capacity(tokens.len());
+    let mut depth = 0i32;
+    for token in tokens {
+        depths.push(depth);
+        if token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct('}') {
+            depth -= 1;
+        }
+    }
+    depths
+}
+
+/// `true` when `tokens[i]` is a method-call receiver position:
+/// `. name (`.
+pub(crate) fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    i > 0 && tokens[i - 1].is_punct('.') && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}

@@ -1,0 +1,37 @@
+//! `unsafe-confinement`: the `unsafe` keyword may appear only in the ISA
+//! kernel modules (`kernels/x86.rs`, `kernels/neon.rs`), where it wraps
+//! intrinsics behind runtime CPU-feature detection. Everywhere else —
+//! including test code — `unsafe` is a deny finding: the rest of the
+//! workspace is supposed to stay `#![forbid(unsafe_code)]`-clean.
+
+use crate::diag::{Diagnostic, Level};
+use crate::workspace::Workspace;
+
+/// File suffixes (relative-path endings) where `unsafe` is permitted.
+const UNSAFE_ALLOWED_SUFFIXES: &[&str] = &["kernels/x86.rs", "kernels/neon.rs"];
+
+/// Runs the lint over every loaded source file.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        if UNSAFE_ALLOWED_SUFFIXES
+            .iter()
+            .any(|suffix| file.rel.ends_with(suffix))
+        {
+            continue;
+        }
+        // The analyzer's own lexer names the keyword in string fixtures;
+        // the lexer already strips strings and comments, so any `unsafe`
+        // token left is the real keyword.
+        for token in file.tokens.iter().filter(|t| t.is_ident("unsafe")) {
+            diags.push(Diagnostic {
+                lint: "unsafe-confinement",
+                level: Level::Deny,
+                file: file.rel.clone(),
+                line: token.line,
+                message: "`unsafe` outside the ISA kernel modules (kernels/{x86,neon}.rs); \
+                          keep intrinsics behind the dispatch boundary"
+                    .to_string(),
+            });
+        }
+    }
+}

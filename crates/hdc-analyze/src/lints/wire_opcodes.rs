@@ -1,0 +1,117 @@
+//! `wire-opcode-exhaustive`: every wire opcode constant (`OP_*` for
+//! requests, `RESP_*` for responses) declared in the wire module must be
+//! referenced in *both* codec directions — the encoder and the decoder —
+//! and pinned by the integration round-trip test. Adding an opcode to
+//! `write_request` without a `read_request` arm (or without a round-trip
+//! test) is exactly the bug class this lint exists to catch.
+
+use crate::diag::{Diagnostic, Level};
+use crate::lints::fn_body_span;
+use crate::workspace::{SourceFile, Workspace};
+
+/// The wire codec module.
+const WIRE_FILE: &str = "crates/hdc-serve/src/wire.rs";
+/// The integration test that round-trips every frame shape.
+const ROUNDTRIP_FILE: &str = "tests/wire_roundtrip.rs";
+
+/// `(prefix, encoder fn, decoder fn)` for each opcode family.
+const FAMILIES: &[(&str, &str, &str)] = &[
+    ("OP_", "write_request", "read_request"),
+    ("RESP_", "write_response", "read_response"),
+];
+
+/// Runs the lint when the workspace contains the wire module.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(wire) = ws.file(WIRE_FILE) else {
+        return;
+    };
+    let consts = opcode_consts(wire);
+    if consts.is_empty() {
+        diags.push(Diagnostic {
+            lint: "wire-opcode-exhaustive",
+            level: Level::Deny,
+            file: wire.rel.clone(),
+            line: 1,
+            message: "no `OP_*`/`RESP_*` opcode constants declared; the wire \
+                      format must name its opcodes so exhaustiveness is checkable"
+                .to_string(),
+        });
+        return;
+    }
+    let roundtrip = ws.file(ROUNDTRIP_FILE);
+    if roundtrip.is_none() {
+        diags.push(Diagnostic {
+            lint: "wire-opcode-exhaustive",
+            level: Level::Deny,
+            file: ROUNDTRIP_FILE.to_string(),
+            line: 0,
+            message: "missing round-trip integration test for the wire format".to_string(),
+        });
+    }
+    for (name, line) in &consts {
+        let Some(&(_, encoder, decoder)) = FAMILIES
+            .iter()
+            .find(|(prefix, _, _)| name.starts_with(prefix))
+        else {
+            continue;
+        };
+        for fn_name in [encoder, decoder] {
+            match fn_body_span(wire, fn_name) {
+                None => diags.push(Diagnostic {
+                    lint: "wire-opcode-exhaustive",
+                    level: Level::Deny,
+                    file: wire.rel.clone(),
+                    line: *line,
+                    message: format!("`{name}` declared but `fn {fn_name}` not found"),
+                }),
+                Some((open, close)) => {
+                    let referenced = wire.tokens[open..=close].iter().any(|t| t.is_ident(name));
+                    if !referenced {
+                        diags.push(Diagnostic {
+                            lint: "wire-opcode-exhaustive",
+                            level: Level::Deny,
+                            file: wire.rel.clone(),
+                            line: *line,
+                            message: format!(
+                                "opcode `{name}` is not referenced in `fn {fn_name}`; \
+                                 encoder and decoder must both handle every opcode"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(rt) = roundtrip {
+            if !rt.tokens.iter().any(|t| t.is_ident(name)) {
+                diags.push(Diagnostic {
+                    lint: "wire-opcode-exhaustive",
+                    level: Level::Deny,
+                    file: wire.rel.clone(),
+                    line: *line,
+                    message: format!(
+                        "opcode `{name}` is not pinned by {ROUNDTRIP_FILE}; \
+                         add it to the opcode-stability test"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `(name, line)` of every `const OP_*` / `const RESP_*` declaration
+/// outside test regions.
+fn opcode_consts(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, token) in file.tokens.iter().enumerate() {
+        if file.in_test[i] || !token.is_ident("const") {
+            continue;
+        }
+        let Some(name_tok) = file.tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.text.starts_with("OP_") || name_tok.text.starts_with("RESP_") {
+            out.push((name_tok.text.clone(), name_tok.line));
+        }
+    }
+    out
+}

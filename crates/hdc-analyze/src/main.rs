@@ -1,0 +1,102 @@
+//! The `hdc-analyze` binary: runs every workspace lint and exits
+//! non-zero when a deny-level finding survives `analyze.allow`.
+//!
+//! ```text
+//! cargo run -p hdc-analyze [-- --root <dir>] [--json]
+//! ```
+//!
+//! * `--root <dir>` — analysis root (default: the nearest ancestor of the
+//!   current directory containing `Cargo.toml`).
+//! * `--json` — emit one JSON object per finding instead of the
+//!   `file:line: level [lint] message` text form.
+//!
+//! Exit codes: `0` clean, `1` deny findings remain, `2` usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hdc_analyze::analyze;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory argument"),
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: hdc-analyze [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.or_else(default_root) {
+        Some(root) => root,
+        None => return usage("no Cargo.toml in any ancestor; pass --root"),
+    };
+
+    let report = match analyze(&root) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("hdc-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    for diag in &report.diags {
+        if json {
+            println!("{}", diag.render_json());
+        } else {
+            println!("{}", diag.render());
+        }
+    }
+    let deny = report.deny_count();
+    let warn = report.diags.len() - deny;
+    eprintln!(
+        "hdc-analyze: {deny} deny, {warn} warn, {} suppressed by analyze.allow",
+        report.suppressed
+    );
+    if deny > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("hdc-analyze: {message}");
+    eprintln!("usage: hdc-analyze [--root <dir>] [--json]");
+    ExitCode::from(2)
+}
+
+/// The analysis root when `--root` is absent: the outermost ancestor of
+/// the current directory whose `Cargo.toml` declares `[workspace]`,
+/// falling back to the nearest ancestor with any `Cargo.toml` — so
+/// `cargo run -p hdc-analyze` analyzes the whole workspace no matter
+/// which crate directory it is invoked from.
+fn default_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    let mut nearest_manifest = None;
+    let mut workspace_root = None;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            nearest_manifest.get_or_insert_with(|| dir.clone());
+            if std::fs::read_to_string(&manifest).is_ok_and(|t| t.contains("[workspace]")) {
+                workspace_root = Some(dir.clone());
+            }
+        }
+        if !dir.pop() {
+            return workspace_root.or(nearest_manifest);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Workspace discovery and per-file preprocessing: walks the repository
+//! tree for Rust sources and bench-result JSON, lexes each source file,
+//! and marks the token spans that live under `#[cfg(test)]` so lints can
+//! restrict themselves to shipping code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// Directory names the walker never descends into: build output, vendored
+/// dependency stand-ins (not workspace code), VCS metadata, and the
+/// analyzer's own known-violation fixture trees.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// One lexed Rust source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, with forward slashes.
+    pub rel: String,
+    /// The raw source text.
+    pub text: String,
+    /// The flat token stream (see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is `true` when `tokens[i]` is inside a
+    /// `#[cfg(test)]` item (or a file under an inner `#![cfg(test)]`).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// The 1-based source line's text, or `""` past end of file.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        self.text.lines().nth(line.saturating_sub(1)).unwrap_or("")
+    }
+}
+
+/// The loaded analysis subject: every Rust source plus the bench-result
+/// JSON files under `results/`.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The analysis root (usually the repository root).
+    pub root: PathBuf,
+    /// Every `.rs` file found, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// `(relative path, contents)` of every `results/BENCH_*.json`.
+    pub bench_jsons: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Walks `root` and loads every analyzable file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the root is unreadable;
+    /// individual unreadable files are skipped (they cannot hold
+    /// violations the compiler would accept either).
+    pub fn load(root: &Path) -> Result<Self, String> {
+        if !root.is_dir() {
+            return Err(format!(
+                "analysis root {} is not a directory",
+                root.display()
+            ));
+        }
+        let mut rs_paths = Vec::new();
+        walk(root, root, &mut rs_paths)?;
+        rs_paths.sort();
+        let mut files = Vec::with_capacity(rs_paths.len());
+        for rel in rs_paths {
+            let Ok(text) = fs::read_to_string(root.join(&rel)) else {
+                continue;
+            };
+            let tokens = lex(&text);
+            let in_test = test_regions(&tokens);
+            files.push(SourceFile {
+                rel,
+                text,
+                tokens,
+                in_test,
+            });
+        }
+        let mut bench_jsons = Vec::new();
+        let results = root.join("results");
+        if let Ok(entries) = fs::read_dir(&results) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with("BENCH_") && name.ends_with(".json") {
+                    if let Ok(contents) = fs::read_to_string(entry.path()) {
+                        bench_jsons.push((format!("results/{name}"), contents));
+                    }
+                }
+            }
+        }
+        bench_jsons.sort();
+        Ok(Self {
+            root: root.to_path_buf(),
+            files,
+            bench_jsons,
+        })
+    }
+
+    /// The file at exactly this relative path, if it was loaded.
+    #[must_use]
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Recursively collects relative `.rs` paths, skipping [`SKIP_DIRS`].
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("reading directory {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel_string(rel));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Marks the token spans that are test-only: items annotated
+/// `#[cfg(test)]` (the attribute, any stacked attributes after it, and
+/// the item body through its matching brace or terminating semicolon),
+/// and everything after an inner `#![cfg(test)]`.
+#[must_use]
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        let inner = tokens.get(j).is_some_and(|t| t.is_punct('!'));
+        if inner {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let close = match matching_bracket(tokens, j) {
+            Some(close) => close,
+            None => break,
+        };
+        let is_cfg_test = attr_mentions_cfg_test(&tokens[j..=close]);
+        if !is_cfg_test {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the rest of the enclosing scope — for our
+            // purposes, the rest of the file — is test-only.
+            for flag in in_test.iter_mut().skip(attr_start) {
+                *flag = true;
+            }
+            return in_test;
+        }
+        let end = item_end(tokens, close + 1).unwrap_or(tokens.len() - 1);
+        for flag in in_test.iter_mut().take(end + 1).skip(attr_start) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    in_test
+}
+
+/// `true` when an attribute token span (from `[` to `]`) contains both
+/// `cfg` and `test` identifiers — covers `#[cfg(test)]` and compositions
+/// like `#[cfg(all(test, feature = "x"))]`.
+fn attr_mentions_cfg_test(span: &[Token]) -> bool {
+    let has = |name: &str| span.iter().any(|t| t.is_ident(name));
+    has("cfg") && has("test")
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, token) in tokens.iter().enumerate().skip(open) {
+        if token.is_punct('[') {
+            depth += 1;
+        } else if token.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the end of the item starting at `start` (just past a
+/// `#[cfg(test)]` attribute): skips stacked attributes, then runs to the
+/// matching `}` of the first body brace, or to a `;` at bracket depth
+/// zero for body-less items (`mod tests;`).
+fn item_end(tokens: &[Token], mut start: usize) -> Option<usize> {
+    // Skip any further attributes stacked on the same item.
+    while tokens.get(start).is_some_and(|t| t.is_punct('#')) {
+        let open = start + 1;
+        if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+            break;
+        }
+        start = matching_bracket(tokens, open)? + 1;
+    }
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (k, token) in tokens.iter().enumerate().skip(start) {
+        if token.kind != TokKind::Punct {
+            continue;
+        }
+        match token.text.as_bytes().first() {
+            Some(b'{') => brace += 1,
+            Some(b'}') => {
+                brace -= 1;
+                if brace == 0 {
+                    return Some(k);
+                }
+            }
+            Some(b'(') => paren += 1,
+            Some(b')') => paren -= 1,
+            Some(b'[') => bracket += 1,
+            Some(b']') => bracket -= 1,
+            Some(b';') if brace == 0 && paren == 0 && bracket == 0 => return Some(k),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(src: &str) -> Vec<(String, bool)> {
+        let tokens = lex(src);
+        let in_test = test_regions(&tokens);
+        tokens
+            .into_iter()
+            .zip(in_test)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, f)| (t.text, f))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn shipping() {}\n#[cfg(test)]\nmod tests {\n fn inner() { helper(); }\n}\nfn also_shipping() {}";
+        let f = flags(src);
+        let get = |name: &str| f.iter().find(|(t, _)| t == name).unwrap().1;
+        assert!(!get("shipping"));
+        assert!(get("inner"));
+        assert!(get("helper"));
+        assert!(!get("also_shipping"));
+    }
+
+    #[test]
+    fn stacked_attributes_stay_inside_the_test_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn test_only() { x(); }\nfn live() {}";
+        let f = flags(src);
+        assert!(f.iter().find(|(t, _)| t == "x").unwrap().1);
+        assert!(!f.iter().find(|(t, _)| t == "live").unwrap().1);
+    }
+
+    #[test]
+    fn inner_cfg_test_marks_the_rest_of_the_file() {
+        let src = "#![cfg(test)]\nfn everything() { here(); }";
+        let f = flags(src);
+        assert!(f.iter().all(|(_, in_test)| *in_test));
+    }
+
+    #[test]
+    fn semicolon_items_and_array_types_terminate_correctly() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live(x: [u8; 4]) { real(); }";
+        let f = flags(src);
+        assert!(!f.iter().find(|(t, _)| t == "real").unwrap().1);
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mark() {
+        let src = "#[derive(Debug)]\nstruct S { field: u8 }";
+        let f = flags(src);
+        assert!(f.iter().all(|(_, in_test)| !*in_test));
+    }
+}

@@ -1,0 +1,195 @@
+//! Integration tests: every lint is proven on a known-violation fixture
+//! tree (exact file and line), the sanctioned patterns in the same trees
+//! stay clean, the allowlist machinery suppresses/reports correctly —
+//! and the real workspace itself analyzes clean, which is the tier-1
+//! gate the CI `analyze` job mirrors.
+
+use std::path::PathBuf;
+
+use hdc_analyze::diag::{Diagnostic, Level};
+use hdc_analyze::{analyze, Report};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn violations() -> Report {
+    analyze(&fixture_root("violations")).expect("fixture tree loads")
+}
+
+fn has(report: &Report, lint: &str, file: &str, line: usize) -> bool {
+    report
+        .diags
+        .iter()
+        .any(|d| d.lint == lint && d.file == file && d.line == line)
+}
+
+fn lint_findings<'a>(report: &'a Report, lint: &str) -> Vec<&'a Diagnostic> {
+    report.diags.iter().filter(|d| d.lint == lint).collect()
+}
+
+#[test]
+fn unsafe_confinement_fires_outside_kernels_only() {
+    let report = violations();
+    assert!(has(
+        &report,
+        "unsafe-confinement",
+        "crates/hdc-serve/src/transmute.rs",
+        5
+    ));
+    // The kernel module's unsafe is sanctioned.
+    assert!(lint_findings(&report, "unsafe-confinement")
+        .iter()
+        .all(|d| !d.file.contains("kernels")));
+}
+
+#[test]
+fn panic_free_fires_at_expected_lines_but_not_in_tests() {
+    let report = violations();
+    let file = "crates/hdc-serve/src/runtime.rs";
+    assert!(has(&report, "panic-free-hot-path", file, 5), "unwrap");
+    assert!(has(&report, "panic-free-hot-path", file, 7), "panic!");
+    // Exactly two: the comment/string mentions and the #[cfg(test)]
+    // unwrap must not be flagged.
+    assert_eq!(lint_findings(&report, "panic-free-hot-path").len(), 2);
+}
+
+#[test]
+fn wire_opcode_exhaustiveness_catches_decoder_and_test_gaps() {
+    let report = violations();
+    let wire = "crates/hdc-serve/src/wire.rs";
+    // OP_ONLY_ENCODED is absent from read_request.
+    assert!(has(&report, "wire-opcode-exhaustive", wire, 5));
+    // OP_UNTESTED is absent from tests/wire_roundtrip.rs.
+    assert!(has(&report, "wire-opcode-exhaustive", wire, 6));
+    // RESP_OK is fully covered.
+    assert!(lint_findings(&report, "wire-opcode-exhaustive")
+        .iter()
+        .all(|d| !d.message.contains("RESP_OK")));
+}
+
+#[test]
+fn lock_across_io_fires_for_live_and_temporary_guards() {
+    let report = violations();
+    let file = "crates/hdc-store/src/io_guard.rs";
+    assert!(
+        has(&report, "lock-across-io", file, 10),
+        "write under guard"
+    );
+    assert!(has(&report, "lock-across-io", file, 11), "sync under guard");
+    assert!(
+        has(&report, "lock-across-io", file, 15),
+        "chained temporary"
+    );
+    // The drop-before-I/O function is clean: exactly the three above.
+    assert_eq!(lint_findings(&report, "lock-across-io").len(), 3);
+}
+
+#[test]
+fn error_variant_coverage_checks_display_and_use() {
+    let report = violations();
+    let file = "crates/hdc-core/src/error.rs";
+    let findings = lint_findings(&report, "error-variant-coverage");
+    assert!(
+        findings
+            .iter()
+            .any(|d| d.line == 9 && d.message.contains("Unrendered")),
+        "Unrendered missing from Display"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|d| d.line == 10 && d.message.contains("Unconstructed")),
+        "Unconstructed never used"
+    );
+    // `Used` is rendered and constructed: no third variant flagged.
+    assert!(findings.iter().all(|d| d.file == file));
+    assert!(findings.iter().all(|d| !d.message.contains("`Used`")));
+}
+
+#[test]
+fn bench_provenance_requires_host_keys() {
+    let report = violations();
+    let findings = lint_findings(&report, "bench-provenance");
+    assert_eq!(findings.len(), 1, "only minipool_threads is missing");
+    assert_eq!(findings[0].file, "results/BENCH_BAD.json");
+    assert!(findings[0].message.contains("minipool_threads"));
+}
+
+#[test]
+fn crate_hygiene_requires_both_attributes() {
+    let report = violations();
+    let findings = lint_findings(&report, "crate-hygiene");
+    assert!(findings
+        .iter()
+        .any(|d| d.file == "crates/badcrate/src/lib.rs" && d.message.contains("unsafe_code")));
+    assert!(findings
+        .iter()
+        .any(|d| d.file == "crates/badcrate/src/lib.rs" && d.message.contains("missing_docs")));
+    // The attributed fixture root is clean.
+    assert!(findings
+        .iter()
+        .all(|d| d.file != "crates/hdc-core/src/lib.rs"));
+}
+
+#[test]
+fn every_violation_fixture_finding_is_deny_level() {
+    let report = violations();
+    assert!(report.diags.iter().all(|d| d.level == Level::Deny));
+    assert_eq!(report.suppressed, 0, "no allowlist in the violations tree");
+}
+
+#[test]
+fn allowlist_suppresses_reports_stale_and_rejects_malformed() {
+    let report = analyze(&fixture_root("allowed")).expect("fixture tree loads");
+    // The justified snippet entry suppressed the expect() site...
+    assert_eq!(report.suppressed, 1);
+    assert!(!report
+        .diags
+        .iter()
+        .any(|d| d.lint == "panic-free-hot-path" && d.line == 5));
+    // ...the unwrap() site survives as deny...
+    assert!(has(
+        &report,
+        "panic-free-hot-path",
+        "crates/hdc-serve/src/runtime.rs",
+        9
+    ));
+    // ...the line-999 entry is reported stale (warn, does not gate)...
+    let stale = lint_findings(&report, "stale-allow");
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].level, Level::Warn);
+    assert_eq!(stale[0].file, "analyze.allow");
+    // ...and the justification-less line is a deny-level parse error.
+    let parse = lint_findings(&report, "allow-parse");
+    assert_eq!(parse.len(), 1);
+    assert_eq!(parse[0].level, Level::Deny);
+    assert_eq!(parse[0].line, 4);
+}
+
+/// The tier-1 gate: the workspace this crate ships in must analyze
+/// clean. Any new deny finding (or stale allowlist entry being the only
+/// warn class, kept at zero too) fails `cargo test` before CI even runs
+/// the dedicated analyze job.
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = analyze(&root).expect("workspace loads");
+    let rendered: Vec<String> = report.diags.iter().map(|d| d.render()).collect();
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "workspace has deny findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.diags.is_empty(),
+        "workspace has stale/warn findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(report.suppressed > 0, "analyze.allow should be exercised");
+}

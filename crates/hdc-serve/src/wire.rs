@@ -62,6 +62,85 @@ pub const MAX_FRAME_BYTES: usize = 16 << 20;
 /// dropped connection.
 pub const MAX_SNAPSHOT_BYTES: usize = MAX_FRAME_BYTES - 6;
 
+// --- opcodes -----------------------------------------------------------
+//
+// Every opcode is a named constant used by BOTH codec directions (the
+// `write_*` encoder and the `read_*` decoder match) and pinned by
+// `tests/wire_roundtrip.rs`. The `wire-opcode-exhaustive` lint in
+// `hdc-analyze` enforces all three references, so adding an opcode here
+// without a decoder arm or a round-trip test fails the analyze gate.
+
+/// Request opcode: [`Request::Predict`].
+pub const OP_PREDICT: u8 = 1;
+/// Request opcode: [`Request::PredictBatch`].
+pub const OP_PREDICT_BATCH: u8 = 2;
+/// Request opcode: [`Request::Insert`].
+pub const OP_INSERT: u8 = 3;
+/// Request opcode: [`Request::Remove`].
+pub const OP_REMOVE: u8 = 4;
+/// Request opcode: [`Request::Fit`].
+pub const OP_FIT: u8 = 5;
+/// Request opcode: [`Request::Refresh`].
+pub const OP_REFRESH: u8 = 6;
+/// Request opcode: [`Request::AddShard`].
+pub const OP_ADD_SHARD: u8 = 7;
+/// Request opcode: [`Request::RemoveShard`].
+pub const OP_REMOVE_SHARD: u8 = 8;
+/// Request opcode: [`Request::Stats`].
+pub const OP_STATS: u8 = 9;
+/// Request opcode: [`Request::PredictValue`].
+pub const OP_PREDICT_VALUE: u8 = 10;
+/// Request opcode: [`Request::FitValue`].
+pub const OP_FIT_VALUE: u8 = 11;
+/// Request opcode: [`Request::Ping`].
+pub const OP_PING: u8 = 12;
+/// Request opcode: [`Request::PredictValueBatch`].
+pub const OP_PREDICT_VALUE_BATCH: u8 = 13;
+/// Request opcode: [`Request::Snapshot`].
+pub const OP_SNAPSHOT: u8 = 14;
+/// Request opcode: [`Request::Restore`].
+pub const OP_RESTORE: u8 = 15;
+/// Request opcode: [`Request::ShardJoin`].
+pub const OP_SHARD_JOIN: u8 = 16;
+/// Request opcode: [`Request::ShardLeave`].
+pub const OP_SHARD_LEAVE: u8 = 17;
+
+/// Response opcode: [`Response::Label`].
+pub const RESP_LABEL: u8 = 1;
+/// Response opcode: [`Response::Labels`].
+pub const RESP_LABELS: u8 = 2;
+/// Response opcode: [`Response::Inserted`].
+pub const RESP_INSERTED: u8 = 3;
+/// Response opcode: [`Response::Removed`].
+pub const RESP_REMOVED: u8 = 4;
+/// Response opcode: [`Response::FitAck`].
+pub const RESP_FIT_ACK: u8 = 5;
+/// Response opcode: [`Response::Refreshed`].
+pub const RESP_REFRESHED: u8 = 6;
+/// Response opcode: [`Response::ShardAdded`].
+pub const RESP_SHARD_ADDED: u8 = 7;
+/// Response opcode: [`Response::ShardRemoved`].
+pub const RESP_SHARD_REMOVED: u8 = 8;
+/// Response opcode: [`Response::Stats`].
+pub const RESP_STATS: u8 = 9;
+/// Response opcode: [`Response::Value`].
+pub const RESP_VALUE: u8 = 10;
+/// Response opcode: [`Response::Pong`]. (11 is skipped on the response
+/// side: `Request::FitValue` is acknowledged by [`RESP_FIT_ACK`].)
+pub const RESP_PONG: u8 = 12;
+/// Response opcode: [`Response::Values`].
+pub const RESP_VALUES: u8 = 13;
+/// Response opcode: [`Response::Snapshot`].
+pub const RESP_SNAPSHOT: u8 = 14;
+/// Response opcode: [`Response::Restored`].
+pub const RESP_RESTORED: u8 = 15;
+/// Response opcode: [`Response::ShardJoined`].
+pub const RESP_SHARD_JOINED: u8 = 16;
+/// Response opcode: [`Response::ShardLeft`].
+pub const RESP_SHARD_LEFT: u8 = 17;
+/// Response opcode: [`Response::Error`].
+pub const RESP_ERROR: u8 = 255;
+
 /// A client → server operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -345,7 +424,7 @@ pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<(
         Request::Predict { key, hv } => {
             put_string(&mut body, key)?;
             put_hv(&mut body, hv)?;
-            1
+            OP_PREDICT
         }
         Request::PredictBatch { pairs } => {
             let n = u16::try_from(pairs.len())
@@ -355,40 +434,40 @@ pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<(
                 put_string(&mut body, key)?;
                 put_hv(&mut body, hv)?;
             }
-            2
+            OP_PREDICT_BATCH
         }
         Request::Insert { key, hv } => {
             put_string(&mut body, key)?;
             put_hv(&mut body, hv)?;
-            3
+            OP_INSERT
         }
         Request::Remove { key } => {
             put_string(&mut body, key)?;
-            4
+            OP_REMOVE
         }
         Request::Fit { label, hv } => {
             put_u32(&mut body, *label);
             put_hv(&mut body, hv)?;
-            5
+            OP_FIT
         }
-        Request::Refresh => 6,
-        Request::AddShard => 7,
+        Request::Refresh => OP_REFRESH,
+        Request::AddShard => OP_ADD_SHARD,
         Request::RemoveShard { id } => {
             put_u32(&mut body, *id);
-            8
+            OP_REMOVE_SHARD
         }
-        Request::Stats => 9,
+        Request::Stats => OP_STATS,
         Request::PredictValue { key, hv } => {
             put_string(&mut body, key)?;
             put_hv(&mut body, hv)?;
-            10
+            OP_PREDICT_VALUE
         }
         Request::FitValue { value, hv } => {
             put_f64(&mut body, *value);
             put_hv(&mut body, hv)?;
-            11
+            OP_FIT_VALUE
         }
-        Request::Ping => 12,
+        Request::Ping => OP_PING,
         Request::PredictValueBatch { pairs } => {
             let n = u16::try_from(pairs.len())
                 .map_err(|_| invalid("batch exceeds the u16 row limit"))?;
@@ -397,20 +476,20 @@ pub fn write_request(writer: &mut impl Write, request: &Request) -> io::Result<(
                 put_string(&mut body, key)?;
                 put_hv(&mut body, hv)?;
             }
-            13
+            OP_PREDICT_VALUE_BATCH
         }
-        Request::Snapshot => 14,
+        Request::Snapshot => OP_SNAPSHOT,
         Request::Restore { snapshot } => {
             put_bytes(&mut body, snapshot)?;
-            15
+            OP_RESTORE
         }
         Request::ShardJoin { addr } => {
             put_string(&mut body, addr)?;
-            16
+            OP_SHARD_JOIN
         }
         Request::ShardLeave { id } => {
             put_u32(&mut body, *id);
-            17
+            OP_SHARD_LEAVE
         }
     };
     write_frame(writer, opcode, &body)
@@ -428,11 +507,11 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
     };
     let mut cursor = Cursor::new(&body);
     let request = match opcode {
-        1 => Request::Predict {
+        OP_PREDICT => Request::Predict {
             key: cursor.string()?,
             hv: cursor.hv()?,
         },
-        2 => {
+        OP_PREDICT_BATCH => {
             let n = cursor.u16()? as usize;
             let mut pairs = Vec::with_capacity(n);
             for _ in 0..n {
@@ -440,31 +519,31 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
             }
             Request::PredictBatch { pairs }
         }
-        3 => Request::Insert {
+        OP_INSERT => Request::Insert {
             key: cursor.string()?,
             hv: cursor.hv()?,
         },
-        4 => Request::Remove {
+        OP_REMOVE => Request::Remove {
             key: cursor.string()?,
         },
-        5 => Request::Fit {
+        OP_FIT => Request::Fit {
             label: cursor.u32()?,
             hv: cursor.hv()?,
         },
-        6 => Request::Refresh,
-        7 => Request::AddShard,
-        8 => Request::RemoveShard { id: cursor.u32()? },
-        9 => Request::Stats,
-        10 => Request::PredictValue {
+        OP_REFRESH => Request::Refresh,
+        OP_ADD_SHARD => Request::AddShard,
+        OP_REMOVE_SHARD => Request::RemoveShard { id: cursor.u32()? },
+        OP_STATS => Request::Stats,
+        OP_PREDICT_VALUE => Request::PredictValue {
             key: cursor.string()?,
             hv: cursor.hv()?,
         },
-        11 => Request::FitValue {
+        OP_FIT_VALUE => Request::FitValue {
             value: cursor.f64()?,
             hv: cursor.hv()?,
         },
-        12 => Request::Ping,
-        13 => {
+        OP_PING => Request::Ping,
+        OP_PREDICT_VALUE_BATCH => {
             let n = cursor.u16()? as usize;
             let mut pairs = Vec::with_capacity(n);
             for _ in 0..n {
@@ -472,14 +551,14 @@ pub fn read_request(reader: &mut impl Read) -> io::Result<Option<Request>> {
             }
             Request::PredictValueBatch { pairs }
         }
-        14 => Request::Snapshot,
-        15 => Request::Restore {
+        OP_SNAPSHOT => Request::Snapshot,
+        OP_RESTORE => Request::Restore {
             snapshot: cursor.bytes()?,
         },
-        16 => Request::ShardJoin {
+        OP_SHARD_JOIN => Request::ShardJoin {
             addr: cursor.string()?,
         },
-        17 => Request::ShardLeave { id: cursor.u32()? },
+        OP_SHARD_LEAVE => Request::ShardLeave { id: cursor.u32()? },
         other => return Err(invalid(format!("unknown request opcode {other}"))),
     };
     cursor.finish()?;
@@ -499,7 +578,7 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
         Response::Label { label, generation } => {
             put_u32(&mut body, *label);
             put_u64(&mut body, *generation);
-            1
+            RESP_LABEL
         }
         Response::Labels { predictions } => {
             let n = u16::try_from(predictions.len())
@@ -509,37 +588,37 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
                 put_u32(&mut body, *label);
                 put_u64(&mut body, *generation);
             }
-            2
+            RESP_LABELS
         }
         Response::Inserted { replaced } => {
             body.push(u8::from(*replaced));
-            3
+            RESP_INSERTED
         }
         Response::Removed { removed } => {
             body.push(u8::from(*removed));
-            4
+            RESP_REMOVED
         }
-        Response::FitAck => 5,
+        Response::FitAck => RESP_FIT_ACK,
         Response::Refreshed { generation } => {
             put_u64(&mut body, *generation);
-            6
+            RESP_REFRESHED
         }
         Response::ShardAdded { id } => {
             put_u32(&mut body, *id);
-            7
+            RESP_SHARD_ADDED
         }
         Response::ShardRemoved { removed } => {
             body.push(u8::from(*removed));
-            8
+            RESP_SHARD_REMOVED
         }
         Response::Stats(stats) => {
             put_stats(&mut body, stats)?;
-            9
+            RESP_STATS
         }
         Response::Value { value, generation } => {
             put_f64(&mut body, *value);
             put_u64(&mut body, *generation);
-            10
+            RESP_VALUE
         }
         Response::Pong {
             generation,
@@ -547,7 +626,7 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
         } => {
             put_u64(&mut body, *generation);
             put_u64(&mut body, *uptime_us);
-            12
+            RESP_PONG
         }
         Response::Values { predictions } => {
             let n = u16::try_from(predictions.len())
@@ -557,32 +636,32 @@ pub fn write_response(writer: &mut impl Write, response: &Response) -> io::Resul
                 put_f64(&mut body, *value);
                 put_u64(&mut body, *generation);
             }
-            13
+            RESP_VALUES
         }
         Response::Snapshot { bytes } => {
             put_bytes(&mut body, bytes)?;
-            14
+            RESP_SNAPSHOT
         }
         Response::Restored { generation } => {
             put_u64(&mut body, *generation);
-            15
+            RESP_RESTORED
         }
         Response::ShardJoined { id, moved } => {
             put_u32(&mut body, *id);
             put_u64(&mut body, *moved);
-            16
+            RESP_SHARD_JOINED
         }
         Response::ShardLeft { removed, drained } => {
             body.push(u8::from(*removed));
             put_u64(&mut body, *drained);
-            17
+            RESP_SHARD_LEFT
         }
         Response::Error { message } => {
             // Truncation keeps the byte length well under put_string's
             // u16 limit even for 4-byte code points.
             let truncated: String = message.chars().take(512).collect();
             put_string(&mut body, &truncated)?;
-            255
+            RESP_ERROR
         }
     };
     write_frame(writer, opcode, &body)
@@ -600,11 +679,11 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
     };
     let mut cursor = Cursor::new(&body);
     let response = match opcode {
-        1 => Response::Label {
+        RESP_LABEL => Response::Label {
             label: cursor.u32()?,
             generation: cursor.u64()?,
         },
-        2 => {
+        RESP_LABELS => {
             let n = cursor.u16()? as usize;
             let mut predictions = Vec::with_capacity(n);
             for _ in 0..n {
@@ -612,30 +691,30 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
             }
             Response::Labels { predictions }
         }
-        3 => Response::Inserted {
+        RESP_INSERTED => Response::Inserted {
             replaced: cursor.take(1)?[0] != 0,
         },
-        4 => Response::Removed {
+        RESP_REMOVED => Response::Removed {
             removed: cursor.take(1)?[0] != 0,
         },
-        5 => Response::FitAck,
-        6 => Response::Refreshed {
+        RESP_FIT_ACK => Response::FitAck,
+        RESP_REFRESHED => Response::Refreshed {
             generation: cursor.u64()?,
         },
-        7 => Response::ShardAdded { id: cursor.u32()? },
-        8 => Response::ShardRemoved {
+        RESP_SHARD_ADDED => Response::ShardAdded { id: cursor.u32()? },
+        RESP_SHARD_REMOVED => Response::ShardRemoved {
             removed: cursor.take(1)?[0] != 0,
         },
-        9 => Response::Stats(read_stats(&mut cursor)?),
-        10 => Response::Value {
+        RESP_STATS => Response::Stats(read_stats(&mut cursor)?),
+        RESP_VALUE => Response::Value {
             value: cursor.f64()?,
             generation: cursor.u64()?,
         },
-        12 => Response::Pong {
+        RESP_PONG => Response::Pong {
             generation: cursor.u64()?,
             uptime_us: cursor.u64()?,
         },
-        13 => {
+        RESP_VALUES => {
             let n = cursor.u16()? as usize;
             let mut predictions = Vec::with_capacity(n);
             for _ in 0..n {
@@ -643,21 +722,21 @@ pub fn read_response(reader: &mut impl Read) -> io::Result<Option<Response>> {
             }
             Response::Values { predictions }
         }
-        14 => Response::Snapshot {
+        RESP_SNAPSHOT => Response::Snapshot {
             bytes: cursor.bytes()?,
         },
-        15 => Response::Restored {
+        RESP_RESTORED => Response::Restored {
             generation: cursor.u64()?,
         },
-        16 => Response::ShardJoined {
+        RESP_SHARD_JOINED => Response::ShardJoined {
             id: cursor.u32()?,
             moved: cursor.u64()?,
         },
-        17 => Response::ShardLeft {
+        RESP_SHARD_LEFT => Response::ShardLeft {
             removed: cursor.take(1)?[0] != 0,
             drained: cursor.u64()?,
         },
-        255 => {
+        RESP_ERROR => {
             let len = cursor.u16()? as usize;
             let bytes = cursor.take(len)?;
             Response::Error {

@@ -56,6 +56,28 @@ pub(crate) fn invalid(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
+/// Reads a big-endian `u16` at byte offset `at`, or `None` when the
+/// slice ends first — the panic-free form the durability paths use
+/// instead of `bytes[a..b].try_into().expect(..)`, which would turn a
+/// truncated or corrupt file into a process abort instead of an
+/// [`HdcError`](hdc_core::HdcError).
+pub(crate) fn be_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    let arr: [u8; 2] = bytes.get(at..at.checked_add(2)?)?.try_into().ok()?;
+    Some(u16::from_be_bytes(arr))
+}
+
+/// Reads a big-endian `u32` at byte offset `at` (see [`be_u16`]).
+pub(crate) fn be_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_be_bytes(arr))
+}
+
+/// Reads a big-endian `u64` at byte offset `at` (see [`be_u16`]).
+pub(crate) fn be_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let arr: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_be_bytes(arr))
+}
+
 /// A bounds-checked reader over one decoded body: every `take` validates
 /// the remaining length, and [`finish`](Cursor::finish) rejects trailing
 /// garbage so a well-formed prefix cannot smuggle extra bytes.

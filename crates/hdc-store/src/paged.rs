@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 
 use hdc_core::{BinaryHypervector, HdcError};
 
+use crate::codec::{be_u32, be_u64};
 use crate::record::crc32;
 use crate::wal::storage;
 
@@ -227,7 +228,12 @@ impl PagedStore {
                     data_path.display()
                 )));
             }
-            let found = u64::from_be_bytes(header[6..14].try_into().expect("8 bytes"));
+            let found = be_u64(&header, 6).ok_or_else(|| {
+                HdcError::Storage(format!(
+                    "{}: truncated page-file header",
+                    data_path.display()
+                ))
+            })?;
             if found != dim as u64 {
                 return Err(HdcError::Storage(format!(
                     "{}: stores {found}-dimensional vectors, model expects {dim}",
@@ -284,8 +290,10 @@ impl PagedStore {
             if bytes.len() - at < 8 {
                 break;
             }
-            let len = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_be_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            let (Some(len), Some(crc)) = (be_u32(&bytes, at), be_u32(&bytes, at + 4)) else {
+                break;
+            };
+            let len = len as usize;
             if bytes.len() - at - 8 < len || len < 9 {
                 break;
             }
@@ -294,7 +302,9 @@ impl PagedStore {
                 break;
             }
             let tag = payload[0];
-            let slot = u64::from_be_bytes(payload[1..9].try_into().expect("8 bytes"));
+            let Some(slot) = be_u64(payload, 1) else {
+                break;
+            };
             let Ok(key) = std::str::from_utf8(&payload[9..]) else {
                 break;
             };
@@ -369,9 +379,12 @@ impl PagedStore {
             .seek(SeekFrom::Start(offset))
             .and_then(|_| self.data.read_exact(&mut buf))
             .map_err(|e| storage("reading pages.dat slot", e))?;
+        // `chunks_exact(8)` only yields full chunks, so the filter never
+        // actually drops one — but the panic-free form keeps this path
+        // clean under the `panic-free-hot-path` lint.
         let mut words: Vec<u64> = buf
             .chunks_exact(8)
-            .map(|chunk| u64::from_be_bytes(chunk.try_into().expect("8 bytes")))
+            .filter_map(|chunk| be_u64(chunk, 0))
             .collect();
         // Mask the tail defensively: a torn in-place overwrite awaiting its
         // healing replay must not panic the clean-tail invariant.

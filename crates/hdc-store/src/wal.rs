@@ -41,6 +41,7 @@ use std::path::{Path, PathBuf};
 
 use hdc_core::HdcError;
 
+use crate::codec::{be_u16, be_u32, be_u64};
 use crate::compress::{self, CodecDict};
 use crate::record::{crc32, WalRecord};
 use crate::{SyncPolicy, WalCodec, WalConfig};
@@ -156,7 +157,8 @@ fn scan_segment(
             path.display()
         )));
     }
-    let version = u16::from_be_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    let truncated = || HdcError::Storage(format!("{}: truncated segment header", path.display()));
+    let version = be_u16(bytes, 4).ok_or_else(truncated)?;
     let header_len = match version {
         1 => SEGMENT_HEADER_LEN_V1 as usize,
         2 => SEGMENT_HEADER_LEN as usize,
@@ -173,8 +175,8 @@ fn scan_segment(
             path.display()
         )));
     }
-    let found_seq = u64::from_be_bytes(bytes[6..14].try_into().expect("8 bytes"));
-    let found_digest = u64::from_be_bytes(bytes[14..22].try_into().expect("8 bytes"));
+    let found_seq = be_u64(bytes, 6).ok_or_else(truncated)?;
+    let found_digest = be_u64(bytes, 14).ok_or_else(truncated)?;
     if found_digest != spec_digest {
         return Err(HdcError::Storage(format!(
             "{}: spec digest mismatch (log {found_digest:016x}, model {spec_digest:016x}) — \
@@ -211,8 +213,10 @@ fn scan_segment(
         if bytes.len() - at < FRAME_HEADER_LEN {
             break Some("short frame header".to_string());
         }
-        let len = u32::from_be_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_be_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let (Some(len), Some(crc)) = (be_u32(bytes, at), be_u32(bytes, at + 4)) else {
+            break Some("short frame header".to_string());
+        };
+        let len = len as usize;
         if bytes.len() - at - FRAME_HEADER_LEN < len {
             break Some(format!("frame of {len} bytes extends past end of file"));
         }

@@ -65,6 +65,9 @@
 //! # Ok::<(), hdc::HdcError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use hdc_basis as basis;
 pub use hdc_core as core;
 pub use hdc_datasets as datasets;

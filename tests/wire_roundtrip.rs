@@ -6,7 +6,12 @@
 
 use hdc::serve::wire::{
     read_request, read_response, write_request, write_response, Request, Response, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    OP_ADD_SHARD, OP_FIT, OP_FIT_VALUE, OP_INSERT, OP_PING, OP_PREDICT, OP_PREDICT_BATCH,
+    OP_PREDICT_VALUE, OP_PREDICT_VALUE_BATCH, OP_REFRESH, OP_REMOVE, OP_REMOVE_SHARD, OP_RESTORE,
+    OP_SHARD_JOIN, OP_SHARD_LEAVE, OP_SNAPSHOT, OP_STATS, PROTOCOL_VERSION, RESP_ERROR,
+    RESP_FIT_ACK, RESP_INSERTED, RESP_LABEL, RESP_LABELS, RESP_PONG, RESP_REFRESHED, RESP_REMOVED,
+    RESP_RESTORED, RESP_SHARD_ADDED, RESP_SHARD_JOINED, RESP_SHARD_LEFT, RESP_SHARD_REMOVED,
+    RESP_SNAPSHOT, RESP_STATS, RESP_VALUE, RESP_VALUES,
 };
 use hdc::serve::{MetricsSnapshot, RuntimeStats};
 use hdc::BinaryHypervector;
@@ -321,4 +326,72 @@ fn oversized_and_wrong_version_frames_are_rejected_for_new_ops() {
 
     // An empty stream is a clean EOF, not an error.
     assert_eq!(read_request(&mut [].as_slice()).unwrap(), None);
+}
+
+/// The opcode constants are the wire format: their numeric values may
+/// never drift, or a v3 peer built from a different commit stops
+/// interoperating. This test pins every `OP_*`/`RESP_*` constant to its
+/// frozen byte (and is what the `wire-opcode-exhaustive` lint points at
+/// when a new opcode lands without coverage).
+#[test]
+fn opcode_bytes_are_frozen() {
+    let request_ops = [
+        (OP_PREDICT, 1u8),
+        (OP_PREDICT_BATCH, 2),
+        (OP_INSERT, 3),
+        (OP_REMOVE, 4),
+        (OP_FIT, 5),
+        (OP_REFRESH, 6),
+        (OP_ADD_SHARD, 7),
+        (OP_REMOVE_SHARD, 8),
+        (OP_STATS, 9),
+        (OP_PREDICT_VALUE, 10),
+        (OP_FIT_VALUE, 11),
+        (OP_PING, 12),
+        (OP_PREDICT_VALUE_BATCH, 13),
+        (OP_SNAPSHOT, 14),
+        (OP_RESTORE, 15),
+        (OP_SHARD_JOIN, 16),
+        (OP_SHARD_LEAVE, 17),
+    ];
+    let response_ops = [
+        (RESP_LABEL, 1u8),
+        (RESP_LABELS, 2),
+        (RESP_INSERTED, 3),
+        (RESP_REMOVED, 4),
+        (RESP_FIT_ACK, 5),
+        (RESP_REFRESHED, 6),
+        (RESP_SHARD_ADDED, 7),
+        (RESP_SHARD_REMOVED, 8),
+        (RESP_STATS, 9),
+        (RESP_VALUE, 10),
+        (RESP_PONG, 12),
+        (RESP_VALUES, 13),
+        (RESP_SNAPSHOT, 14),
+        (RESP_RESTORED, 15),
+        (RESP_SHARD_JOINED, 16),
+        (RESP_SHARD_LEFT, 17),
+        (RESP_ERROR, 255),
+    ];
+    for (constant, frozen) in request_ops {
+        assert_eq!(constant, frozen, "request opcode value drifted");
+    }
+    for (constant, frozen) in response_ops {
+        assert_eq!(constant, frozen, "response opcode value drifted");
+    }
+
+    // And the constants really are what lands on the wire: byte 5 of a
+    // frame (after the u32 length and the version byte) is the opcode.
+    let mut frame = Vec::new();
+    write_request(&mut frame, &Request::Ping).unwrap();
+    assert_eq!(frame[5], OP_PING);
+    let mut frame = Vec::new();
+    write_response(
+        &mut frame,
+        &Response::Error {
+            message: "x".into(),
+        },
+    )
+    .unwrap();
+    assert_eq!(frame[5], RESP_ERROR);
 }
